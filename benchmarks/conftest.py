@@ -1,0 +1,66 @@
+"""Shared fixtures for the benchmark suite.
+
+Each ``test_table*.py`` / ``test_fig*.py`` file regenerates one table or
+figure of the paper.  Results are printed to stdout *and* appended to
+``benchmarks/results/<name>.txt`` so they survive pytest's capture.
+
+Dataset scaling: the synthetic ERP/BW populations are reduced (fewer,
+smaller columns) relative to the paper's proprietary datasets so the
+whole suite runs in minutes on a laptop; DESIGN.md documents the
+substitution.  Set the environment variable ``REPRO_BENCH_FULL=1`` to run
+the full 688/192-column populations.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.core.config import HistogramConfig
+from repro.experiments.harness import dataset_cache
+from repro.workloads.bw import make_bw_dataset
+from repro.workloads.erp import make_erp_dataset
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+FULL = os.environ.get("REPRO_BENCH_FULL", "") == "1"
+ERP_COLUMNS = 688 if FULL else 120
+ERP_MAX_DISTINCT = 15_000 if FULL else 6_000
+BW_COLUMNS = 192 if FULL else 64
+BW_MAX_DISTINCT = 40_000 if FULL else 20_000
+
+
+@pytest.fixture(scope="session")
+def erp_columns():
+    return dataset_cache(
+        "erp",
+        lambda: make_erp_dataset(n_columns=ERP_COLUMNS, max_distinct=ERP_MAX_DISTINCT),
+    )
+
+
+@pytest.fixture(scope="session")
+def bw_columns():
+    return dataset_cache(
+        "bw",
+        lambda: make_bw_dataset(n_columns=BW_COLUMNS, max_distinct=BW_MAX_DISTINCT),
+    )
+
+
+@pytest.fixture(scope="session")
+def paper_config():
+    """The evaluation's fixed per-bucket parameters: q = 2, system θ."""
+    return HistogramConfig(q=2.0)
+
+
+@pytest.fixture()
+def emit():
+    """Print a result block and persist it under benchmarks/results/."""
+
+    def _emit(name: str, text: str) -> None:
+        banner = f"\n===== {name} =====\n{text}\n"
+        print(banner)
+        RESULTS_DIR.mkdir(exist_ok=True)
+        with open(RESULTS_DIR / f"{name}.txt", "w") as handle:
+            handle.write(text + "\n")
+
+    return _emit

@@ -1,0 +1,84 @@
+"""Ablation: the extension bucket strategies against the paper's kinds.
+
+Compares, on hostile columns (smooth flanks around chaotic cores):
+
+* `V8DincB` -- the paper's best homogeneous type;
+* `Mixed`   -- Sec. 9's future-work heterogeneous histogram (variable
+  width + raw fallback), implemented in :mod:`repro.core.mixed`;
+* `FlexAlpha` -- the Eq. 1 flexible-slope atomic histogram.
+
+Reports size and worst q-error above θ' for each.
+"""
+
+import numpy as np
+
+from repro.core.builder import build_histogram
+from repro.core.config import HistogramConfig
+from repro.core.density import AttributeDensity
+from repro.core.flexalpha import build_flexible_alpha
+from repro.core.mixed import build_mixed
+from repro.core.qerror import qerror
+from repro.experiments.report import format_table
+
+THETA = 16
+THETA_OUT = 4 * THETA
+
+
+def _hostile(rng, n=6000, core=200):
+    left = np.full((n - core) // 2, 25, dtype=np.int64)
+    middle = rng.integers(1, 10**6, size=core).astype(np.int64)
+    right = np.full(n - core - left.size, 15, dtype=np.int64)
+    return AttributeDensity(np.concatenate([left, middle, right]))
+
+
+def _worst(histogram, density, rng, n_queries=4000):
+    cum = density.cumulative
+    d = density.n_distinct
+    worst = 1.0
+    for _ in range(n_queries):
+        c1, c2 = sorted(rng.integers(0, d + 1, size=2))
+        if c1 == c2:
+            continue
+        truth = float(cum[c2] - cum[c1])
+        estimate = histogram.estimate(float(c1), float(c2))
+        if truth <= THETA_OUT and estimate <= THETA_OUT:
+            continue
+        worst = max(worst, qerror(max(estimate, 1e-300), truth))
+    return worst
+
+
+def test_bucket_type_ablation(emit, benchmark):
+    rng = np.random.default_rng(77)
+    config = HistogramConfig(q=2.0, theta=THETA)
+    rows = []
+    results = {}
+    for trial in range(4):
+        density = _hostile(np.random.default_rng(trial))
+        builders = {
+            "V8DincB": lambda d: build_histogram(d, kind="V8DincB", config=config),
+            "Mixed": lambda d: build_mixed(d, config),
+            "FlexAlpha": lambda d: build_flexible_alpha(d, config),
+        }
+        for name, builder in builders.items():
+            histogram = builder(density)
+            entry = results.setdefault(name, {"bytes": 0, "worst": 1.0, "buckets": 0})
+            entry["bytes"] += histogram.size_bytes()
+            entry["buckets"] += len(histogram)
+            entry["worst"] = max(entry["worst"], _worst(histogram, density, rng))
+
+    for name, entry in results.items():
+        rows.append(
+            [name, entry["bytes"], entry["buckets"], f"{entry['worst']:.2f}"]
+        )
+    text = format_table(
+        ["strategy", "total bytes", "total buckets", "worst q above theta'"], rows
+    )
+    emit("ablation_bucket_types", text)
+
+    # Mixed matches or beats pure V8D size on chaotic cores while keeping
+    # the error bounded.
+    assert results["Mixed"]["bytes"] <= results["V8DincB"]["bytes"]
+    assert results["Mixed"]["worst"] <= 3.0 * np.sqrt(3.0)
+
+    density = _hostile(np.random.default_rng(0))
+    benchmark(lambda: build_mixed(density, config))

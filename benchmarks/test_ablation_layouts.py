@@ -1,0 +1,76 @@
+"""Ablation: Table 3's alternative payload layouts in live histograms.
+
+Builds equi-width histograms with every simple layout over a set of hard
+columns and reports size, bucket count, and the worst q-error above θ'.
+Expected shapes: the coarser-base layouts (QC16x4) carry more per-field
+error; layouts without a total field pay nothing for small buckets; the
+paper's default QC16T8x6 is the sweet spot it claims to be ("an
+excellent choice").
+"""
+
+import numpy as np
+
+from repro.compression.layouts import SIMPLE_LAYOUTS, QC16T8x6
+from repro.core.config import HistogramConfig
+from repro.core.density import AttributeDensity
+from repro.core.qerror import qerror
+from repro.core.qewh import build_qewh
+from repro.experiments.report import format_table
+from repro.workloads.distributions import make_density
+
+THETA = 16
+THETA_OUT = 4 * THETA
+
+
+def test_layout_ablation(emit, benchmark):
+    config = HistogramConfig(q=2.0, theta=THETA)
+    results = {layout.name: {"bytes": 0, "buckets": 0, "worst": 1.0} for layout in SIMPLE_LAYOUTS}
+    eval_rng = np.random.default_rng(123)
+    for trial in range(6):
+        density = make_density(
+            np.random.default_rng(trial), 2500, smooth_fraction=0.0
+        )
+        # QC16x4's 4-bit base-2.7 fields cap single frequencies at ~1.1e6;
+        # clip so every layout can represent every column of this ablation.
+        density = AttributeDensity(np.minimum(density.frequencies, 10**6))
+        cum = density.cumulative
+        d = density.n_distinct
+        queries = [
+            tuple(sorted(eval_rng.integers(0, d + 1, size=2))) for _ in range(1500)
+        ]
+        for layout in SIMPLE_LAYOUTS:
+            histogram = build_qewh(density, config, layout=layout)
+            entry = results[layout.name]
+            entry["bytes"] += histogram.size_bytes()
+            entry["buckets"] += len(histogram)
+            for c1, c2 in queries:
+                if c1 == c2:
+                    continue
+                truth = float(cum[c2] - cum[c1])
+                estimate = histogram.estimate(float(c1), float(c2))
+                if truth <= THETA_OUT and estimate <= THETA_OUT:
+                    continue
+                entry["worst"] = max(entry["worst"], qerror(estimate, truth))
+
+    rows = [
+        [
+            name,
+            entry["bytes"],
+            entry["buckets"],
+            f"{entry['worst']:.2f}",
+            f"{next(l for l in SIMPLE_LAYOUTS if l.name == name).qerror_bound():.3f}",
+        ]
+        for name, entry in results.items()
+    ]
+    text = format_table(
+        ["layout", "total bytes", "buckets", "worst q > theta'", "field q bound"],
+        rows,
+    )
+    emit("ablation_layouts", text)
+
+    # Every layout stays within Cor. 5.3 (k=4) times its field error.
+    for layout in SIMPLE_LAYOUTS:
+        assert results[layout.name]["worst"] <= 3.0 * layout.qerror_bound() * 1.01
+
+    density = make_density(np.random.default_rng(0), 2500, smooth_fraction=0.0)
+    benchmark(lambda: build_qewh(density, config, layout=QC16T8x6))

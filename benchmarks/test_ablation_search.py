@@ -1,0 +1,96 @@
+"""Ablation: the Sec. 4 optimisations, isolated.
+
+Two design choices DESIGN.md calls out:
+
+* the Corollary 4.2 bounded search window (inc vs incB) -- measured on a
+  worst-case long smooth column where the naive inner loop degenerates;
+* the Sec. 4.3 dense pretest inside the combined acceptance test --
+  measured as generate-and-test construction time with and without it.
+"""
+
+import time
+
+import numpy as np
+
+from repro.core.acceptance import is_theta_q_acceptable, subquadratic_test
+from repro.core.config import HistogramConfig
+from repro.core.density import AttributeDensity
+from repro.core.qvwh import build_qvwh, grow_bucklet
+from repro.experiments.report import format_table
+
+
+def test_bounded_search_ablation(emit, benchmark):
+    rng = np.random.default_rng(0)
+    density = AttributeDensity(rng.integers(18, 22, size=12_000))
+    theta, q = 64, 2.0
+
+    start = time.perf_counter()
+    m_naive = grow_bucklet(density, 0, 12_000, theta, q, bounded=False)
+    t_naive = time.perf_counter() - start
+    start = time.perf_counter()
+    m_bounded = grow_bucklet(density, 0, 12_000, theta, q, bounded=True)
+    t_bounded = time.perf_counter() - start
+
+    rows = [
+        ["naive (inc)", f"{t_naive * 1e3:.1f}", m_naive],
+        ["bounded (incB)", f"{t_bounded * 1e3:.1f}", m_bounded],
+    ]
+    text = format_table(["variant", "time ms", "bucklet length"], rows)
+    text += f"\nspeedup {t_naive / t_bounded:.1f}x; identical results: {m_naive == m_bounded}"
+    emit("ablation_bounded_search", text)
+
+    assert m_naive == m_bounded
+    assert t_bounded < t_naive
+
+    benchmark(lambda: grow_bucklet(density, 0, 3000, theta, q, bounded=True))
+
+
+def test_pretest_ablation(emit, benchmark):
+    rng = np.random.default_rng(1)
+    # Balanced frequencies: the pretest accepts instantly; without it the
+    # sub-quadratic test pays per-endpoint work.
+    density = AttributeDensity(rng.integers(50, 60, size=300))
+    theta, q = 16, 2.0
+
+    start = time.perf_counter()
+    for _ in range(50):
+        with_pretest = is_theta_q_acceptable(density, 0, 300, theta, q)
+    t_with = time.perf_counter() - start
+    start = time.perf_counter()
+    for _ in range(50):
+        without = subquadratic_test(density, 0, 300, theta, q)
+    t_without = time.perf_counter() - start
+
+    rows = [
+        ["combined (with pretest)", f"{t_with * 1e3 / 50:.3f}", with_pretest],
+        ["sub-quadratic only", f"{t_without * 1e3 / 50:.3f}", without],
+    ]
+    text = format_table(["variant", "time ms/test", "accepted"], rows)
+    text += f"\npretest speedup {t_without / max(t_with, 1e-12):.1f}x on balanced buckets"
+    emit("ablation_pretest", text)
+
+    assert with_pretest and without
+    assert t_with < t_without
+
+    benchmark(lambda: is_theta_q_acceptable(density, 0, 300, theta, q))
+
+
+def test_theta_tradeoff_single_column(emit, benchmark):
+    """Sec. 8.5 in miniature: one column, theta sweep, time vs space."""
+    rng = np.random.default_rng(2)
+    freqs = np.maximum(rng.zipf(1.5, size=8000), 1)
+    density = AttributeDensity(freqs)
+    rows = []
+    for theta in (8, 32, 128, 512):
+        config = HistogramConfig(q=2.0, theta=theta)
+        start = time.perf_counter()
+        histogram = build_qvwh(density, config)
+        elapsed = time.perf_counter() - start
+        rows.append([theta, f"{elapsed * 1e3:.1f}", histogram.size_bytes(), len(histogram)])
+    text = format_table(["theta", "time ms", "bytes", "buckets"], rows)
+    emit("ablation_theta_single_column", text)
+
+    sizes = [int(row[2]) for row in rows]
+    assert sizes == sorted(sizes, reverse=True)  # space shrinks with theta
+
+    benchmark(lambda: build_qvwh(density, HistogramConfig(q=2.0, theta=32)))

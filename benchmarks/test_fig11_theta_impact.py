@@ -1,0 +1,90 @@
+"""Fig. 11: impact of θ on V8DincB construction time and space (BW).
+
+Builds V8DincB over every BW column for θ in {32, 128, 512, system} and
+reports both rank series.
+
+Expected shape (paper Sec. 8.5): growing θ *reduces* space (larger
+buckets stay acceptable) and *increases* construction work for the
+bounded-search variant, because the Corollary 4.2 search window is
+proportional to θ.  Construction *work* is reported both as wall time
+and as the number of query intervals scanned: in this Python
+implementation the per-endpoint interpreter overhead flattens the wall
+time for small windows, so the scanned-interval count is the faithful
+proxy for the paper's search-length mechanism.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import HistogramConfig
+from repro.core.qvwh import GrowStats, build_qvwh
+from repro.experiments.harness import build_record, rank_series
+from repro.experiments.report import format_table, summarize_series
+
+THETAS = (32, 128, 512, None)  # None = the system policy
+
+
+def _label(theta):
+    return "system" if theta is None else str(theta)
+
+
+def test_fig11(bw_columns, emit, benchmark):
+    times = {}
+    memory = {}
+    work = {}
+    for theta in THETAS:
+        config = HistogramConfig(q=2.0, theta=theta)
+        times[theta] = []
+        memory[theta] = []
+        work[theta] = 0
+        for column in bw_columns:
+            record = build_record(column, "V8DincB", config)
+            times[theta].append(record.microseconds)
+            memory[theta].append(record.memory_percent)
+            stats = GrowStats()
+            build_qvwh(column.dense, config, stats=stats)
+            work[theta] += stats.intervals_scanned
+
+    rows = []
+    for theta in THETAS:
+        time_q = summarize_series(rank_series(times[theta]))
+        mem_q = summarize_series(rank_series(memory[theta]))
+        rows.append(
+            [_label(theta)]
+            + [f"{value:.0f}" for value in time_q]
+            + [f"{value:.3f}" for value in mem_q]
+            + [work[theta]]
+        )
+    text = format_table(
+        [
+            "theta",
+            "t p50 us",
+            "t p90 us",
+            "t p99 us",
+            "t max us",
+            "mem p50 %",
+            "mem p90 %",
+            "mem p99 %",
+            "mem max %",
+            "intervals scanned",
+        ],
+        rows,
+    )
+    total_time = {theta: sum(times[theta]) for theta in THETAS}
+    total_mem = {theta: float(np.mean(memory[theta])) for theta in THETAS}
+    text += "\ntotals: " + ", ".join(
+        f"theta={_label(t)}: {total_time[t] / 1e6:.2f}s / {total_mem[t]:.3f}% / "
+        f"{work[t] / 1e6:.1f}M intervals"
+        for t in THETAS
+    )
+    emit("fig11_theta_impact_bw", text)
+
+    # Shape assertions: space shrinks monotonically with theta...
+    assert total_mem[32] >= total_mem[128] >= total_mem[512]
+    # ...while construction work (search length ~ theta) grows.
+    assert work[512] > work[128] > work[32]
+
+    column = bw_columns[len(bw_columns) // 2]
+    benchmark(
+        lambda: build_record(column, "V8DincB", HistogramConfig(q=2.0, theta=512))
+    )

@@ -1,0 +1,50 @@
+"""Fig. 7: construction time of value-based histograms (1VincB1 vs 1VincB2).
+
+Builds both value-based variants over every ERP and BW column (system θ,
+q = 2) and reports the construction-time rank series as quantiles.
+
+Expected shape: 1VincB1 (which additionally tests distinct-count
+acceptability) takes roughly twice as long as 1VincB2; almost all
+columns stay under the one-second budget (scaled: our Python columns
+are smaller, the ratio is what carries over).
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.harness import build_record, rank_series
+from repro.experiments.report import format_table, summarize_series
+
+KINDS = ("1VincB1", "1VincB2")
+
+
+@pytest.mark.parametrize("dataset", ["ERP", "BW"])
+def test_fig7(dataset, erp_columns, bw_columns, paper_config, emit, benchmark):
+    columns = erp_columns if dataset == "ERP" else bw_columns
+    times = {kind: [] for kind in KINDS}
+    for column in columns:
+        for kind in KINDS:
+            record = build_record(column, kind, paper_config)
+            times[kind].append(record.microseconds)
+
+    rows = []
+    for kind in KINDS:
+        series = rank_series(times[kind])
+        quantiles = summarize_series(series)
+        rows.append(
+            [kind, len(series)]
+            + [f"{value:.0f}" for value in quantiles]
+            + [f"{sum(series) / len(series):.0f}"]
+        )
+    text = format_table(
+        ["kind", "#cols", "p50 us", "p90 us", "p99 us", "max us", "mean us"], rows
+    )
+    ratio = float(np.mean(times["1VincB1"])) / float(np.mean(times["1VincB2"]))
+    text += f"\nmean time ratio 1VincB1 / 1VincB2 = {ratio:.2f} (paper: ~2x)"
+    emit(f"fig7_value_construction_{dataset.lower()}", text)
+
+    # Shape: the distinct-testing variant is strictly slower on average.
+    assert np.mean(times["1VincB1"]) > np.mean(times["1VincB2"])
+
+    column = columns[len(columns) // 2]
+    benchmark(lambda: build_record(column, "1VincB1", paper_config))

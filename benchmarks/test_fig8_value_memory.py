@@ -1,0 +1,57 @@
+"""Fig. 8: memory consumption of value-based histograms.
+
+Histogram size as a percentage of the compressed column, rank series
+over every ERP and BW column, for 1VincB1 vs 1VincB2.
+
+Expected shape: a minority tail of columns above 10 % (acceptable for
+federation use, per the paper) and *virtually identical* consumption for
+the two variants -- the same bucket boundaries are chosen almost always
+because frequency estimation, not distinct-value estimation, is the
+binding constraint.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.harness import build_record, rank_series
+from repro.experiments.report import format_table, summarize_series
+
+KINDS = ("1VincB1", "1VincB2")
+
+
+@pytest.mark.parametrize("dataset", ["ERP", "BW"])
+def test_fig8(dataset, erp_columns, bw_columns, paper_config, emit, benchmark):
+    columns = erp_columns if dataset == "ERP" else bw_columns
+    memory = {kind: [] for kind in KINDS}
+    for column in columns:
+        for kind in KINDS:
+            record = build_record(column, kind, paper_config)
+            memory[kind].append(record.memory_percent)
+
+    rows = []
+    for kind in KINDS:
+        series = rank_series(memory[kind])
+        quantiles = summarize_series(series)
+        over_10 = 100.0 * sum(1 for value in series if value > 10.0) / len(series)
+        rows.append(
+            [kind, len(series)]
+            + [f"{value:.2f}" for value in quantiles]
+            + [f"{over_10:.1f}%"]
+        )
+    text = format_table(
+        ["kind", "#cols", "p50 %", "p90 %", "p99 %", "max %", ">10% cols"], rows
+    )
+    mean_1 = float(np.mean(memory["1VincB1"]))
+    mean_2 = float(np.mean(memory["1VincB2"]))
+    text += (
+        f"\nmean memory: 1VincB1 {mean_1:.2f}% vs 1VincB2 {mean_2:.2f}% "
+        "(paper: virtually identical)"
+    )
+    emit(f"fig8_value_memory_{dataset.lower()}", text)
+
+    # Shape: the two variants' sizes agree closely (same boundaries in
+    # almost all cases).
+    assert abs(mean_1 - mean_2) / max(mean_1, mean_2) < 0.25
+
+    column = columns[len(columns) // 2]
+    benchmark(lambda: build_record(column, "1VincB2", paper_config))

@@ -1,0 +1,63 @@
+"""Fig. 9: construction time on dictionary-encoded values, 5 bucket types.
+
+Builds 1Dinc, 1DincB, F8Dgt, V8Dinc and V8DincB over every ERP and BW
+column with the system θ and q = 2, and reports the construction-time
+rank series.
+
+Expected shapes (paper Sec. 8.4):
+* bounded-search variants (B) at least as fast as their naive twins on
+  the expensive columns, typically 1.1-2x;
+* for cheap columns the fixed-width generate-and-test build is faster
+  than the variable-width incremental build;
+* for long-running columns the incremental V8D catches up / wins.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.harness import build_record, rank_series
+from repro.experiments.report import format_table, summarize_series
+
+KINDS = ("1Dinc", "1DincB", "F8Dgt", "V8Dinc", "V8DincB")
+
+
+@pytest.mark.parametrize("dataset", ["ERP", "BW"])
+def test_fig9(dataset, erp_columns, bw_columns, paper_config, emit, benchmark):
+    columns = erp_columns if dataset == "ERP" else bw_columns
+    times = {kind: [] for kind in KINDS}
+    for column in columns:
+        for kind in KINDS:
+            record = build_record(column, kind, paper_config)
+            times[kind].append(record.microseconds)
+
+    rows = []
+    for kind in KINDS:
+        series = rank_series(times[kind])
+        quantiles = summarize_series(series)
+        rows.append(
+            [kind, len(series)]
+            + [f"{value:.0f}" for value in quantiles]
+            + [f"{sum(series):.0f}"]
+        )
+    text = format_table(
+        ["kind", "#cols", "p50 us", "p90 us", "p99 us", "max us", "total us"], rows
+    )
+    # The paper's headline comparisons, measured over the slowest decile
+    # (bounding only matters where search lengths get long).
+    slow_n = max(len(columns) // 10, 1)
+    naive_slow = sum(sorted(times["V8Dinc"])[-slow_n:])
+    bounded_slow = sum(sorted(times["V8DincB"])[-slow_n:])
+    text += (
+        f"\nslowest-decile V8Dinc / V8DincB time ratio = "
+        f"{naive_slow / bounded_slow:.2f} (paper: 1.1-2.0)"
+    )
+    emit(f"fig9_dict_construction_{dataset.lower()}", text)
+
+    # Shape assertions.
+    assert bounded_slow <= naive_slow * 1.05
+    slow_1d = sum(sorted(times["1Dinc"])[-slow_n:])
+    slow_1db = sum(sorted(times["1DincB"])[-slow_n:])
+    assert slow_1db <= slow_1d * 1.05
+
+    column = columns[len(columns) // 2]
+    benchmark(lambda: build_record(column, "V8DincB", paper_config))

@@ -1,0 +1,64 @@
+"""Sec. 8.5's q-error sweep (reported in the paper's text, not plotted).
+
+"Increasing the maximum allowed q-error for a bucket tends to reduce the
+construction time and space consumption.  However, we find that
+achieving a significant reduction in memory consumption requires
+increasing the maximum allowed q-error by a factor of four or more.  We
+judge this to be a bad trade-off..."
+
+This bench sweeps q over the BW population for V8DincB and checks both
+halves of that claim: sizes shrink monotonically, but doubling q buys
+only a modest reduction -- the significant savings need 4x.
+"""
+
+import time
+
+import numpy as np
+
+from repro.core.config import HistogramConfig
+from repro.experiments.harness import build_record
+from repro.experiments.report import format_table
+
+QS = (1.5, 2.0, 4.0, 8.0)
+
+
+def test_qerror_impact(bw_columns, emit, benchmark):
+    totals = {}
+    times = {}
+    for q in QS:
+        config = HistogramConfig(q=q)
+        totals[q] = 0
+        times[q] = 0.0
+        for column in bw_columns:
+            record = build_record(column, "V8DincB", config)
+            totals[q] += record.size_bytes
+            times[q] += record.seconds
+
+    rows = [
+        [
+            q,
+            totals[q],
+            f"{totals[2.0] / totals[q]:.2f}x",
+            f"{times[q]:.2f}",
+        ]
+        for q in QS
+    ]
+    text = format_table(
+        ["q", "total bytes", "size vs q=2", "build s"], rows
+    )
+    text += (
+        "\npaper (Sec. 8.5): significant memory reduction requires raising "
+        "q by 4x or more -- a bad precision trade-off."
+    )
+    emit("qerror_impact_bw", text)
+
+    # Monotone decrease in size with growing q...
+    sizes = [totals[q] for q in QS]
+    assert sizes == sorted(sizes, reverse=True)
+    # ...but doubling q (2 -> 4) saves only modestly, while 4x (2 -> 8)
+    # saves visibly more.
+    assert totals[2.0] / totals[4.0] < 1.7
+    assert totals[2.0] / totals[8.0] > totals[2.0] / totals[4.0]
+
+    column = bw_columns[len(bw_columns) // 2]
+    benchmark(lambda: build_record(column, "V8DincB", HistogramConfig(q=4.0)))

@@ -1,0 +1,78 @@
+"""Table 1: q-compression examples (bits, base, largest number, q-error).
+
+Regenerates every row of the paper's Table 1 analytically from our
+implementation and benchmarks the scalar compress+decompress round trip.
+"""
+
+from repro.compression.qcompress import (
+    largest_compressible,
+    max_roundtrip_qerror,
+    qcompress,
+    qdecompress,
+)
+from repro.experiments.report import format_table
+
+# The paper's (bits, base) grid.
+TABLE1_ROWS = [
+    (4, 2.5),
+    (4, 2.6),
+    (4, 2.7),
+    (5, 1.7),
+    (5, 1.8),
+    (5, 1.9),
+    (6, 1.2),
+    (6, 1.3),
+    (6, 1.4),
+    (7, 1.1),
+    (7, 1.2),
+    (8, 1.1),
+]
+
+# Paper values for the comparison column.
+PAPER = {
+    (4, 2.5): (372529, 1.58),
+    (4, 2.6): (645099, 1.61),
+    (4, 2.7): (1094189, 1.64),
+    (5, 1.7): (8193465, 1.30),
+    (5, 1.8): (45517159, 1.34),
+    (5, 1.9): (230466617, 1.38),
+    (6, 1.2): (81140, 1.10),
+    (6, 1.3): (11600797, 1.14),
+    (6, 1.4): (1147990282, 1.18),
+    (7, 1.1): (164239, 1.05),
+    (7, 1.2): (9480625727, 1.10),
+    (8, 1.1): (32639389743, 1.05),
+}
+
+
+def test_table1_rows(benchmark, emit):
+    rows = []
+    for bits, base in TABLE1_ROWS:
+        largest = largest_compressible(base, bits)
+        qerr = max_roundtrip_qerror(base)
+        paper_largest, paper_q = PAPER[(bits, base)]
+        rows.append(
+            [
+                bits,
+                base,
+                f"{largest:.6g}",
+                f"{paper_largest:.6g}",
+                f"{qerr:.2f}",
+                f"{paper_q:.2f}",
+            ]
+        )
+    emit(
+        "table1_qcompression",
+        format_table(
+            ["#Bits", "Base", "largest (ours)", "largest (paper)", "q-err (ours)", "q-err (paper)"],
+            rows,
+        ),
+    )
+
+    def roundtrip():
+        total = 0.0
+        for x in range(1, 1000):
+            total += qdecompress(qcompress(x, 1.1), 1.1)
+        return total
+
+    benchmark(roundtrip)

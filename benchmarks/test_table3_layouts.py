@@ -1,0 +1,55 @@
+"""Table 3: the simple 64-bit bucket layouts.
+
+Verifies each layout's geometry (field counts/widths/bases) against the
+paper's Table 3 and benchmarks QC16T8x6 encode/decode -- the bucket
+format the histograms use by default.
+"""
+
+import numpy as np
+
+from repro.compression.layouts import QC16T8x6, SIMPLE_LAYOUTS
+from repro.experiments.report import format_table
+
+
+def test_table3_inventory(benchmark, emit):
+    rows = []
+    for layout in SIMPLE_LAYOUTS:
+        rows.append(
+            [
+                layout.name,
+                layout.total_bits,
+                layout.total_codec or "-",
+                layout.n_bucklets,
+                layout.bucklet_bits,
+                layout.bucklet_codec,
+                "/".join(f"{b:g}" for b in layout.bases) or "-",
+                f"{layout.qerror_bound():.3f}",
+                f"{layout.max_bucklet_value():.3g}",
+            ]
+        )
+    emit(
+        "table3_layouts",
+        format_table(
+            [
+                "Name",
+                "total bits",
+                "total codec",
+                "#bucklets",
+                "bucklet bits",
+                "codec",
+                "bases",
+                "q-err bound",
+                "max bucklet freq",
+            ],
+            rows,
+        ),
+    )
+
+    rng = np.random.default_rng(0)
+    freqs = rng.integers(0, 10_000, size=8)
+
+    def encode_decode():
+        encoded = QC16T8x6.encode(freqs)
+        return QC16T8x6.decode(encoded)
+
+    benchmark(encode_decode)

@@ -1,0 +1,85 @@
+"""Two-dimensional histograms: conjunctive predicates on two columns.
+
+The paper's conclusion names multi-dimensional histograms as the
+challenge ahead; `repro.core.multidim` implements the two-dimensional
+step.  This example builds a 2-d θ,q histogram over a correlated pair of
+columns and compares its estimates against the *independence assumption*
+(multiplying per-column selectivities), the textbook approach that
+breaks on correlated data.
+
+Run:  python examples/multidim.py
+"""
+
+import numpy as np
+
+from repro import AttributeDensity, HistogramConfig, build_histogram, qerror
+from repro.core.multidim import Density2D, build_histogram_2d
+
+
+def main() -> None:
+    rng = np.random.default_rng(17)
+    n_rows = 200_000
+    d1, d2 = 120, 120
+
+    # Correlated columns: order date and ship date; shipping happens a
+    # few days after ordering, so the joint mass hugs the diagonal.
+    order_day = rng.integers(0, d1 - 10, size=n_rows)
+    lag = rng.geometric(0.4, size=n_rows)
+    ship_day = np.minimum(order_day + lag, d2 - 1)
+
+    joint = Density2D.from_codes(order_day, ship_day, d1, d2)
+    config = HistogramConfig(q=2.0, theta=32)
+    histogram_2d = build_histogram_2d(joint, config)
+    print(
+        f"2-d histogram: {len(histogram_2d)} leaves, "
+        f"{histogram_2d.size_bytes()} bytes over a {d1}x{d2} joint domain"
+    )
+
+    # Per-column marginals + independence assumption baseline.
+    marginal_a = AttributeDensity(np.maximum(joint.counts().sum(axis=1), 1))
+    marginal_b = AttributeDensity(np.maximum(joint.counts().sum(axis=0), 1))
+    hist_a = build_histogram(marginal_a, kind="V8DincB", config=config)
+    hist_b = build_histogram(marginal_b, kind="V8DincB", config=config)
+
+    def independence_estimate(r1, r2, c1, c2):
+        sel_a = hist_a.estimate(r1, r2) / n_rows
+        sel_b = hist_b.estimate(c1, c2) / n_rows
+        return max(sel_a * sel_b * n_rows, 1.0)
+
+    print("\nconjunctive range predicates (order_day AND ship_day):")
+    header = f"{'query':>28} {'truth':>8} {'2-d est':>9} {'2-d q':>6} {'indep est':>10} {'indep q':>8}"
+    print(header)
+    queries = [
+        (0, 30, 0, 30),      # aligned with the correlation
+        (0, 30, 60, 120),    # anti-correlated: nearly empty
+        (50, 80, 50, 90),
+        (100, 110, 100, 120),
+        (0, 120, 0, 120),
+    ]
+    worst_2d = worst_ind = 1.0
+    for r1, r2, c1, c2 in queries:
+        truth = max(joint.f_plus(r1, r2, c1, c2), 1)
+        est_2d = histogram_2d.estimate(r1, r2, c1, c2)
+        est_ind = independence_estimate(r1, r2, c1, c2)
+        q_2d = qerror(est_2d, truth)
+        q_ind = qerror(est_ind, truth)
+        worst_2d, worst_ind = max(worst_2d, q_2d), max(worst_ind, q_ind)
+        print(
+            f"[{r1:>3},{r2:>3}) x [{c1:>3},{c2:>3})    {truth:>8} {est_2d:>9.0f} "
+            f"{q_2d:>6.2f} {est_ind:>10.0f} {q_ind:>8.2f}"
+        )
+
+    theta_out = 4 * 32
+    print(
+        f"\nworst q-error: 2-d histogram {worst_2d:.2f} vs independence "
+        f"{worst_ind:.2f} -- correlation is where joint synopses pay off."
+    )
+    print(
+        f"(large 2-d q-errors only occur where truth and estimate are both "
+        f"below theta' = {theta_out}, the regime theta,q-acceptability "
+        "deliberately tolerates)"
+    )
+
+
+if __name__ == "__main__":
+    main()

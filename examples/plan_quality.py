@@ -1,0 +1,86 @@
+"""Plan quality: why θ,q-acceptability is the right precision notion.
+
+Reproduces the paper's Sec. 3 argument with the miniature optimizer:
+
+* build a θ,q-guaranteed histogram and a same-budget equi-width baseline;
+* drive index-vs-scan decisions from both estimators;
+* measure *plan regret* (chosen-plan cost / optimal-plan cost).
+
+The θ,q histogram's decisions stay near-optimal -- errors below θ never
+matter, and above θ the bounded q-error keeps the decision inside the
+cost model's indifference band.  The baseline's unbounded errors flip
+decisions that cost real execution time.
+
+Run:  python examples/plan_quality.py
+"""
+
+import numpy as np
+
+from repro import DictionaryEncodedColumn, HistogramConfig, build_histogram
+from repro.baselines import EquiWidthHistogram
+from repro.core.density import AttributeDensity
+from repro.optimizer import CostModel, decision_theta, plan_regret
+from repro.workloads.distributions import make_density
+
+
+def main() -> None:
+    rng = np.random.default_rng(2014)
+    density = make_density(rng, 5000)
+    column = DictionaryEncodedColumn.from_frequencies(
+        density.frequencies, name="line_items"
+    )
+    table_rows = column.n_rows
+    model = CostModel()
+    q = 2.0
+
+    theta = decision_theta(table_rows, q, model)
+    print(f"table: {table_rows} rows; index/scan crossover at {model.theta_idx(table_rows):.0f} rows")
+    print(f"decision theta = theta_idx / q = {theta:.0f}")
+
+    histogram = build_histogram(
+        column, kind="V8DincB", config=HistogramConfig(q=q, theta=min(theta, 512))
+    )
+    baseline = EquiWidthHistogram(
+        AttributeDensity.from_column(column),
+        max(histogram.size_bytes() // 12, 8),
+    )
+    print(
+        f"our histogram: {histogram.size_bytes()} bytes; "
+        f"equi-width baseline: {baseline.size_bytes()} bytes"
+    )
+
+    cum = column.cumulative
+    d = column.n_distinct
+    regrets = {"theta-q histogram": [], "equi-width": []}
+    flips = {"theta-q histogram": 0, "equi-width": 0}
+    n_queries = 20_000
+    for _ in range(n_queries):
+        c1, c2 = sorted(rng.integers(0, d + 1, size=2))
+        if c1 == c2:
+            continue
+        truth = float(cum[c2] - cum[c1])
+        for name, estimator in (
+            ("theta-q histogram", histogram),
+            ("equi-width", baseline),
+        ):
+            estimate = estimator.estimate(float(c1), float(c2))
+            regret = plan_regret(estimate, truth, table_rows, model)
+            regrets[name].append(regret)
+            if regret > 1.0:
+                flips[name] += 1
+
+    print(f"\nover {n_queries} random range predicates:")
+    print(f"{'estimator':>20}  {'flipped plans':>13}  {'worst regret':>12}  {'mean regret':>11}")
+    for name in regrets:
+        values = np.asarray(regrets[name])
+        print(
+            f"{name:>20}  {flips[name]:>13}  {values.max():>12.2f}  {values.mean():>11.4f}"
+        )
+    print(
+        "\nthe theta,q histogram's regret stays within the q-error guarantee;"
+        "\nthe baseline flips plans whenever in-bucket skew hides a hot region."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,116 @@
+"""Predicate-level estimation: the query layer end to end.
+
+Builds a small "orders" table, lets the statistics manager pick the
+right synopsis per column (exact counts for tiny domains, θ,q histograms
+otherwise), registers a joint 2-d histogram for a correlated column
+pair, and answers SQL-ish predicates -- showing which estimation path
+produced each answer.
+
+Run:  python examples/query_predicates.py
+"""
+
+import numpy as np
+
+from repro import DictionaryEncodedColumn, HistogramConfig, Table, qerror
+from repro.core.multidim import Density2D, build_histogram_2d
+from repro.query import (
+    AndPredicate,
+    CardinalityEstimator,
+    EqualsPredicate,
+    JointStatistics,
+    RangePredicate,
+)
+
+
+def main() -> None:
+    rng = np.random.default_rng(8)
+    n = 100_000
+
+    # Correlated pair: ship_day trails order_day by a geometric lag.
+    order_day = rng.integers(0, 180, size=n)
+    ship_day = np.minimum(order_day + rng.geometric(0.35, size=n), 199)
+    status = rng.choice([0, 1, 2], size=n, p=[0.9, 0.08, 0.02])
+    amount = np.round(rng.lognormal(4.0, 1.2, size=n)).astype(np.int64)
+
+    table = Table("orders")
+    table.add_column(DictionaryEncodedColumn.from_values(order_day, name="order_day"))
+    table.add_column(DictionaryEncodedColumn.from_values(ship_day, name="ship_day"))
+    table.add_column(DictionaryEncodedColumn.from_values(status, name="status"))
+    table.add_column(DictionaryEncodedColumn.from_values(amount, name="amount"))
+
+    estimator = CardinalityEstimator(table)
+    for name in ("order_day", "ship_day", "status", "amount"):
+        stats = estimator.manager.statistics("orders", name)
+        what = "exact counts" if stats.is_exact else f"{stats.histogram.kind} histogram"
+        print(f"{name:>10}: {what}, {stats.size_bytes()} bytes")
+
+    joint = Density2D.from_codes(
+        table.column("order_day").decode_codes(),
+        table.column("ship_day").decode_codes(),
+        table.column("order_day").n_distinct,
+        table.column("ship_day").n_distinct,
+    )
+    estimator.register_joint(
+        JointStatistics(
+            "order_day",
+            "ship_day",
+            build_histogram_2d(joint, HistogramConfig(q=2.0, theta=64)),
+        )
+    )
+
+    def truth_of(mask):
+        return max(int(np.count_nonzero(mask)), 1)
+
+    queries = [
+        (
+            "amount in [100, 500)",
+            RangePredicate("amount", 100, 500),
+            truth_of((amount >= 100) & (amount < 500)),
+        ),
+        (
+            "status = 2",
+            EqualsPredicate("status", 2),
+            truth_of(status == 2),
+        ),
+        (
+            "order in [0,30) AND ship in [0,40)",
+            AndPredicate(
+                RangePredicate("order_day", 0, 30),
+                RangePredicate("ship_day", 0, 40),
+            ),
+            truth_of((order_day < 30) & (ship_day < 40)),
+        ),
+        (
+            "order in [0,30) AND ship in [120,200)  (anti-correlated)",
+            AndPredicate(
+                RangePredicate("order_day", 0, 30),
+                RangePredicate("ship_day", 120, 200),
+            ),
+            truth_of((order_day < 30) & (ship_day >= 120)),
+        ),
+        (
+            "status = 1 AND amount in [0, 100)",
+            AndPredicate(
+                EqualsPredicate("status", 1),
+                RangePredicate("amount", 0, 100),
+            ),
+            truth_of((status == 1) & (amount < 100)),
+        ),
+    ]
+
+    print(f"\n{'predicate':>55} {'truth':>8} {'estimate':>9} {'q-err':>6}  method")
+    for label, predicate, truth in queries:
+        result = estimator.estimate(predicate)
+        print(
+            f"{label:>55} {truth:>8} {result.value:>9.0f} "
+            f"{qerror(max(result.value, 1), truth):>6.2f}  {result.method}"
+        )
+
+    print(
+        "\nsingle-column and joint paths carry the theta,q guarantee; the"
+        "\n'independence' method is the audit flag for unguaranteed estimates."
+    )
+
+
+if __name__ == "__main__":
+    main()

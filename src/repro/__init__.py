@@ -1,0 +1,63 @@
+"""repro: θ,q-acceptable histograms over ordered dictionaries.
+
+A from-scratch Python reproduction of *"Exploiting Ordered Dictionaries
+to Efficiently Construct Histograms with Q-Error Guarantees in SAP
+HANA"* (Moerkotte, DeHaan, May, Nica, Boehm; SIGMOD 2014).
+
+Quickstart::
+
+    import numpy as np
+    from repro import DictionaryEncodedColumn, build_histogram
+
+    column = DictionaryEncodedColumn.from_values(np.random.zipf(1.5, 100_000))
+    histogram = build_histogram(column, kind="V8DincB", q=2.0)
+    estimate = histogram.estimate(10, 250)   # cardinality of [10, 250)
+
+See ``DESIGN.md`` for the module map and ``EXPERIMENTS.md`` for the
+paper-versus-measured record.
+"""
+
+from repro.core import (
+    AttributeDensity,
+    ColumnStatistics,
+    Histogram,
+    HistogramConfig,
+    StatisticsManager,
+    build_histogram,
+    deserialize_histogram,
+    q_acceptable,
+    qerror,
+    serialize_histogram,
+    system_theta,
+    theta_q_acceptable,
+)
+from repro.core.builder import HISTOGRAM_KINDS
+from repro.dictionary import (
+    DeltaStore,
+    DictionaryEncodedColumn,
+    OrderedDictionary,
+    Table,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AttributeDensity",
+    "Histogram",
+    "HistogramConfig",
+    "HISTOGRAM_KINDS",
+    "build_histogram",
+    "system_theta",
+    "qerror",
+    "q_acceptable",
+    "theta_q_acceptable",
+    "serialize_histogram",
+    "deserialize_histogram",
+    "ColumnStatistics",
+    "StatisticsManager",
+    "OrderedDictionary",
+    "DictionaryEncodedColumn",
+    "DeltaStore",
+    "Table",
+    "__version__",
+]

@@ -1,0 +1,21 @@
+"""Baseline cardinality estimators (paper Secs. 2.2 and 9 context).
+
+The paper motivates its histograms by the unbounded q-errors of the
+synopses mainstream systems used at the time: equi-depth histograms from
+samples (DB2 BLU), max-diff histograms from samples (SQL Server), and
+plain row sampling (pre-histogram SAP HANA).  These implementations let
+the benchmarks demonstrate the "q-error often larger than 1000" failure
+mode on the hard synthetic columns and quantify the improvement.
+"""
+
+from repro.baselines.equiwidth import EquiWidthHistogram
+from repro.baselines.equidepth import EquiDepthHistogram
+from repro.baselines.maxdiff import MaxDiffHistogram
+from repro.baselines.sampling import SamplingEstimator
+
+__all__ = [
+    "EquiWidthHistogram",
+    "EquiDepthHistogram",
+    "MaxDiffHistogram",
+    "SamplingEstimator",
+]

@@ -1,0 +1,67 @@
+"""Equi-depth (equi-height) histogram baseline (DB2-style, Sec. 9).
+
+Bucket boundaries are chosen so each bucket holds roughly the same
+cumulated frequency.  Good at bounding the *absolute* error of large
+ranges, but single hot values still blow up the multiplicative error of
+short ranges inside a bucket.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.density import AttributeDensity
+
+__all__ = ["EquiDepthHistogram"]
+
+
+class EquiDepthHistogram:
+    """``n_buckets`` buckets of (approximately) equal cumulated frequency."""
+
+    def __init__(self, density: AttributeDensity, n_buckets: int) -> None:
+        if n_buckets < 1:
+            raise ValueError("need at least one bucket")
+        d = density.n_distinct
+        cum = density.cumulative
+        total = density.total
+        n_buckets = min(n_buckets, d)
+        targets = np.linspace(0, total, n_buckets + 1)
+        edges = np.searchsorted(cum, targets, side="left").astype(np.int64)
+        edges[0] = 0
+        edges[-1] = d
+        edges = np.maximum.accumulate(edges)
+        # Deduplicate collapsed buckets (very hot single values).
+        keep = np.concatenate(([True], np.diff(edges) > 0))
+        self._edges = edges[keep]
+        if self._edges[0] != 0:
+            self._edges = np.concatenate(([0], self._edges))
+        self._totals = (
+            cum[self._edges[1:]] - cum[self._edges[:-1]]
+        ).astype(np.float64)
+        self.kind = "equi-depth"
+
+    def __len__(self) -> int:
+        return len(self._totals)
+
+    def estimate(self, c1: float, c2: float) -> float:
+        """f̂avg estimate for ``[c1, c2)``, clamped to at least 1."""
+        if c2 <= c1:
+            return 0.0
+        edges = self._edges
+        c1 = max(float(c1), float(edges[0]))
+        c2 = min(float(c2), float(edges[-1]))
+        if c2 <= c1:
+            return 0.0
+        estimate = 0.0
+        first = int(np.searchsorted(edges, c1, side="right")) - 1
+        for b in range(max(first, 0), len(self._totals)):
+            lo, hi = float(edges[b]), float(edges[b + 1])
+            if lo >= c2:
+                break
+            overlap = min(hi, c2) - max(lo, c1)
+            if overlap > 0 and hi > lo:
+                estimate += self._totals[b] * overlap / (hi - lo)
+        return max(estimate, 1.0)
+
+    def size_bytes(self) -> int:
+        return 4 * (len(self._totals) + 1) + 8 * len(self._totals)

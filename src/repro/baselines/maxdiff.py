@@ -1,0 +1,65 @@
+"""Max-diff histogram baseline (SQL Server-style, Sec. 9).
+
+Bucket boundaries are placed at the ``n_buckets - 1`` largest adjacent
+frequency differences, so buckets cover regions of similar frequency.
+Better than equi-width on stepped data, but offers no multiplicative
+guarantee: a smooth exponential decay has small adjacent differences
+everywhere yet huge within-bucket skew.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.density import AttributeDensity
+
+__all__ = ["MaxDiffHistogram"]
+
+
+class MaxDiffHistogram:
+    """Boundaries at the largest adjacent frequency differences."""
+
+    def __init__(self, density: AttributeDensity, n_buckets: int) -> None:
+        if n_buckets < 1:
+            raise ValueError("need at least one bucket")
+        freqs = np.asarray(density.frequencies, dtype=np.float64)
+        d = density.n_distinct
+        n_buckets = min(n_buckets, d)
+        if d > 1 and n_buckets > 1:
+            diffs = np.abs(np.diff(freqs))
+            cut_count = min(n_buckets - 1, d - 1)
+            cuts = np.sort(np.argpartition(diffs, -cut_count)[-cut_count:]) + 1
+        else:
+            cuts = np.empty(0, dtype=np.int64)
+        self._edges = np.concatenate(([0], cuts, [d])).astype(np.int64)
+        cum = density.cumulative
+        self._totals = (
+            cum[self._edges[1:]] - cum[self._edges[:-1]]
+        ).astype(np.float64)
+        self.kind = "max-diff"
+
+    def __len__(self) -> int:
+        return len(self._totals)
+
+    def estimate(self, c1: float, c2: float) -> float:
+        """f̂avg estimate for ``[c1, c2)``, clamped to at least 1."""
+        if c2 <= c1:
+            return 0.0
+        edges = self._edges
+        c1 = max(float(c1), float(edges[0]))
+        c2 = min(float(c2), float(edges[-1]))
+        if c2 <= c1:
+            return 0.0
+        estimate = 0.0
+        first = int(np.searchsorted(edges, c1, side="right")) - 1
+        for b in range(max(first, 0), len(self._totals)):
+            lo, hi = float(edges[b]), float(edges[b + 1])
+            if lo >= c2:
+                break
+            overlap = min(hi, c2) - max(lo, c1)
+            if overlap > 0 and hi > lo:
+                estimate += self._totals[b] * overlap / (hi - lo)
+        return max(estimate, 1.0)
+
+    def size_bytes(self) -> int:
+        return 4 * (len(self._totals) + 1) + 8 * len(self._totals)

@@ -1,0 +1,62 @@
+"""Row-sampling estimator baseline.
+
+Until this paper's histograms, SAP HANA "relied on sampling data as the
+basis for cardinality estimates" (Sec. 9).  A Bernoulli row sample scales
+the sample count by the sampling rate; its q-error on selective ranges is
+unbounded (zero sample hits force the estimate to the clamp value).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.density import AttributeDensity
+
+__all__ = ["SamplingEstimator"]
+
+
+class SamplingEstimator:
+    """Cardinality estimation from a Bernoulli row sample.
+
+    Parameters
+    ----------
+    density:
+        The column's attribute density (dense code domain).
+    rate:
+        Sampling rate in (0, 1].
+    rng:
+        Randomness source for drawing the sample.
+    """
+
+    def __init__(
+        self,
+        density: AttributeDensity,
+        rate: float,
+        rng: np.random.Generator,
+    ) -> None:
+        if not 0 < rate <= 1:
+            raise ValueError(f"rate must be in (0, 1], got {rate}")
+        self.rate = rate
+        # Binomial thinning of the frequency vector == Bernoulli row sample.
+        sampled = rng.binomial(np.asarray(density.frequencies), rate)
+        self._sample_cum = np.concatenate(([0], np.cumsum(sampled)))
+        self._sample_size = int(self._sample_cum[-1])
+        self.kind = f"sample-{rate:g}"
+
+    @property
+    def sample_size(self) -> int:
+        return self._sample_size
+
+    def estimate(self, c1: float, c2: float) -> float:
+        """Scaled sample count for ``[c1, c2)``, clamped to at least 1."""
+        if c2 <= c1:
+            return 0.0
+        d = len(self._sample_cum) - 1
+        i = min(max(int(np.ceil(c1)), 0), d)
+        j = min(max(int(np.ceil(c2)), i), d)
+        hits = float(self._sample_cum[j] - self._sample_cum[i])
+        return max(hits / self.rate, 1.0)
+
+    def size_bytes(self) -> int:
+        """The sample's storage: one row id + value per sampled row."""
+        return self._sample_size * 8

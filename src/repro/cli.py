@@ -1,0 +1,217 @@
+"""Command-line interface: build, inspect and query histograms.
+
+Usage::
+
+    python -m repro build column.npy histogram.bin --kind V8DincB --q 2
+    python -m repro inspect histogram.bin
+    python -m repro estimate histogram.bin 100 5000
+    python -m repro analyze column.npy
+
+Column input formats:
+
+* ``.npy`` -- a 1-d numpy array of raw (numeric) column values;
+* ``.csv`` / ``.txt`` -- one numeric value per line (header lines that do
+  not parse as numbers are skipped).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.builder import HISTOGRAM_KINDS, build_histogram
+from repro.core.config import HistogramConfig
+from repro.core.serialize import deserialize_histogram, serialize_histogram
+from repro.core.transfer import exact_total_guarantee
+from repro.dictionary.column import DictionaryEncodedColumn
+from repro.experiments.report import format_table
+
+__all__ = ["main", "load_column_values"]
+
+
+def load_column_values(path: Path) -> np.ndarray:
+    """Load raw column values from a .npy or line-per-value text file."""
+    if not path.exists():
+        raise FileNotFoundError(path)
+    if path.suffix == ".npy":
+        values = np.load(path)
+        if values.ndim != 1:
+            raise ValueError(f"{path}: expected a 1-d array, got shape {values.shape}")
+        return values
+    rows: List[float] = []
+    with open(path) as handle:
+        for line in handle:
+            token = line.strip().split(",")[0]
+            if not token:
+                continue
+            try:
+                rows.append(float(token))
+            except ValueError:
+                continue  # header or junk line
+    if not rows:
+        raise ValueError(f"{path}: no numeric values found")
+    return np.asarray(rows)
+
+
+def _config_from_args(args: argparse.Namespace) -> HistogramConfig:
+    return HistogramConfig(q=args.q, theta=args.theta)
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    values = load_column_values(Path(args.input))
+    column = DictionaryEncodedColumn.from_values(values, name=Path(args.input).stem)
+    histogram = build_histogram(column, kind=args.kind, config=_config_from_args(args))
+    data = serialize_histogram(histogram)
+    Path(args.output).write_bytes(data)
+    ratio = 100.0 * histogram.size_bytes() / column.compressed_size_bytes()
+    print(
+        f"built {histogram.kind}: {len(histogram)} buckets, "
+        f"{histogram.size_bytes()} bytes ({ratio:.2f}% of compressed column), "
+        f"theta={histogram.theta:g}, q={histogram.q:g}"
+    )
+    print(f"wrote {len(data)} bytes to {args.output}")
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    histogram = deserialize_histogram(Path(args.histogram).read_bytes())
+    print(f"kind:    {histogram.kind}")
+    print(f"domain:  {histogram.domain}")
+    print(f"buckets: {len(histogram)}")
+    print(f"range:   [{histogram.lo:g}, {histogram.hi:g})")
+    print(f"size:    {histogram.size_bytes()} bytes (packed accounting)")
+    print(f"inner:   theta={histogram.theta:g}, q={histogram.q:g}")
+    try:
+        theta_out, q_out = exact_total_guarantee(histogram.theta, histogram.q, 4)
+        print(
+            f"guarantee (Cor. 5.3, k=4): estimates within factor {q_out:g} "
+            f"whenever truth or estimate exceeds {theta_out:g} "
+            "(plus bounded compression slack)"
+        )
+    except ValueError:
+        pass
+    return 0
+
+
+def _cmd_estimate(args: argparse.Namespace) -> int:
+    histogram = deserialize_histogram(Path(args.histogram).read_bytes())
+    estimate = histogram.estimate(args.low, args.high)
+    print(f"{estimate:.6g}")
+    return 0
+
+
+def _cmd_certify(args: argparse.Namespace) -> int:
+    from repro.core.density import AttributeDensity
+    from repro.experiments.validate import certify
+
+    values = load_column_values(Path(args.input))
+    column = DictionaryEncodedColumn.from_values(values, name=Path(args.input).stem)
+    histogram = build_histogram(column, kind=args.kind, config=_config_from_args(args))
+    report = certify(
+        histogram,
+        AttributeDensity.from_column(column),
+        k=args.k,
+        n_samples=args.samples,
+    )
+    print(report)
+    mode = "exhaustive" if report.exhaustive else f"sampled ({report.n_queries} queries)"
+    print(f"query enumeration: {mode}")
+    return 0 if report.passed else 2
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    values = load_column_values(Path(args.input))
+    column = DictionaryEncodedColumn.from_values(values, name=Path(args.input).stem)
+    print(
+        f"column: {column.n_rows} rows, {column.n_distinct} distinct, "
+        f"{column.compressed_size_bytes()} compressed bytes"
+    )
+    config = _config_from_args(args)
+    import time
+
+    rows = []
+    for kind in HISTOGRAM_KINDS:
+        start = time.perf_counter()
+        histogram = build_histogram(column, kind=kind, config=config)
+        elapsed = (time.perf_counter() - start) * 1e3
+        rows.append(
+            [
+                kind,
+                len(histogram),
+                histogram.size_bytes(),
+                f"{100.0 * histogram.size_bytes() / column.compressed_size_bytes():.2f}",
+                f"{elapsed:.1f}",
+            ]
+        )
+    print(format_table(["kind", "buckets", "bytes", "% of column", "build ms"], rows))
+    return 0
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="theta,q-guaranteed histograms over ordered dictionaries",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    build = sub.add_parser("build", help="build a histogram from a column file")
+    build.add_argument("input", help="column values (.npy or line-per-value text)")
+    build.add_argument("output", help="output histogram file")
+    build.add_argument("--kind", default="V8DincB", choices=HISTOGRAM_KINDS)
+    build.add_argument("--q", type=float, default=2.0, help="max per-bucket q-error")
+    build.add_argument(
+        "--theta", type=float, default=None, help="inner theta (default: system policy)"
+    )
+    build.set_defaults(func=_cmd_build)
+
+    inspect = sub.add_parser("inspect", help="summarise a histogram file")
+    inspect.add_argument("histogram")
+    inspect.set_defaults(func=_cmd_inspect)
+
+    estimate = sub.add_parser("estimate", help="estimate a range [low, high)")
+    estimate.add_argument("histogram")
+    estimate.add_argument("low", type=float)
+    estimate.add_argument("high", type=float)
+    estimate.set_defaults(func=_cmd_estimate)
+
+    analyze = sub.add_parser("analyze", help="compare every histogram kind on a column")
+    analyze.add_argument("input")
+    analyze.add_argument("--q", type=float, default=2.0)
+    analyze.add_argument("--theta", type=float, default=None)
+    analyze.set_defaults(func=_cmd_analyze)
+
+    certify_cmd = sub.add_parser(
+        "certify", help="build and verify the whole-histogram guarantee"
+    )
+    certify_cmd.add_argument("input")
+    # Certification operates on dictionary-code domains.
+    dense_kinds = [k for k in HISTOGRAM_KINDS if not k.startswith("1V")]
+    certify_cmd.add_argument("--kind", default="V8DincB", choices=dense_kinds)
+    certify_cmd.add_argument("--q", type=float, default=2.0)
+    certify_cmd.add_argument("--theta", type=float, default=None)
+    certify_cmd.add_argument("--k", type=float, default=4.0, help="transfer scale")
+    certify_cmd.add_argument(
+        "--samples", type=int, default=50_000, help="query budget for large domains"
+    )
+    certify_cmd.set_defaults(func=_cmd_certify)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (FileNotFoundError, ValueError, OverflowError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

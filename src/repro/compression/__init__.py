@@ -1,0 +1,70 @@
+"""Number-compression substrate (paper Sec. 6.1).
+
+This subpackage implements the lossy integer compression schemes the paper
+uses to pack bucket frequencies into small bit fields:
+
+* :mod:`repro.compression.qcompress` -- general-base q-compression
+  (logarithmic quantisation with a bounded multiplicative error).
+* :mod:`repro.compression.binaryq` -- binary q-compression (top-k-bits
+  floating-point-like scheme with the sqrt(2) midpoint shift trick).
+* :mod:`repro.compression.morris` -- Morris/Flajolet probabilistic counters
+  enabling incremental updates of q-compressed numbers.
+* :mod:`repro.compression.bitpack` -- fixed-width field packing helpers.
+* :mod:`repro.compression.layouts` -- the concrete 64/128-bit bucket
+  layouts of Table 3 and Sec. 6.2 (QC16T8x6, QC16T8x6+1F7x9, raw buckets).
+"""
+
+from repro.compression.qcompress import (
+    QCompressor,
+    qcompress,
+    qdecompress,
+    qcompress_base,
+    largest_compressible,
+)
+from repro.compression.binaryq import (
+    BinaryQCompressor,
+    bqcompress,
+    bqdecompress,
+    theoretical_max_qerror,
+)
+from repro.compression.morris import MorrisCounter, morris_increment
+from repro.compression.bitpack import pack_fields, unpack_fields, FieldSpec
+from repro.compression.layouts import (
+    BucketLayout,
+    QC16T8x6,
+    QC8x8,
+    QC16x4,
+    QC8T8x7,
+    BQC8x8,
+    QC16T8x6_1F7x9,
+    QCRawDense,
+    QCRawNonDense,
+    SIMPLE_LAYOUTS,
+)
+
+__all__ = [
+    "QCompressor",
+    "qcompress",
+    "qdecompress",
+    "qcompress_base",
+    "largest_compressible",
+    "BinaryQCompressor",
+    "bqcompress",
+    "bqdecompress",
+    "theoretical_max_qerror",
+    "MorrisCounter",
+    "morris_increment",
+    "pack_fields",
+    "unpack_fields",
+    "FieldSpec",
+    "BucketLayout",
+    "QC16T8x6",
+    "QC8x8",
+    "QC16x4",
+    "QC8T8x7",
+    "BQC8x8",
+    "QC16T8x6_1F7x9",
+    "QCRawDense",
+    "QCRawNonDense",
+    "SIMPLE_LAYOUTS",
+]

@@ -1,0 +1,149 @@
+"""Fixed-width bit-field packing helpers.
+
+Two layers:
+
+* *Word packing* -- :func:`pack_fields` / :func:`unpack_fields` compose a
+  single Python integer word from named fields.  The bucket layouts of
+  Sec. 6.2 are all 64- or 128-bit words built this way.
+* *Array packing* -- :func:`pack_uint_array` / :func:`unpack_uint_array`
+  store many equal-width unsigned values contiguously, the way the column
+  store bit-packs its dictionary-encoded value vector and the raw bucket
+  types store their 4-bit frequency arrays.  These are fully vectorised:
+  each value contributes to at most two 64-bit words.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+__all__ = [
+    "FieldSpec",
+    "pack_fields",
+    "unpack_fields",
+    "pack_uint_array",
+    "unpack_uint_array",
+    "packed_size_bits",
+]
+
+_WORD_BITS = 64
+_U64_MASK = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+@dataclass(frozen=True)
+class FieldSpec:
+    """One named bit field inside a packed word (low fields listed first)."""
+
+    name: str
+    bits: int
+
+    def __post_init__(self) -> None:
+        if self.bits < 1:
+            raise ValueError(f"field {self.name!r} must have >= 1 bit")
+
+
+def pack_fields(values: Dict[str, int], fields: Sequence[FieldSpec]) -> int:
+    """Pack named unsigned values into one integer word.
+
+    The first field occupies the least-significant bits.  Every field in
+    ``fields`` must be present in ``values`` and fit its width.
+    """
+    word = 0
+    offset = 0
+    for spec in fields:
+        value = values[spec.name]
+        if not 0 <= value < (1 << spec.bits):
+            raise OverflowError(
+                f"field {spec.name!r}: value {value} does not fit in {spec.bits} bits"
+            )
+        word |= value << offset
+        offset += spec.bits
+    return word
+
+
+def unpack_fields(word: int, fields: Sequence[FieldSpec]) -> Dict[str, int]:
+    """Inverse of :func:`pack_fields`."""
+    if word < 0:
+        raise ValueError("packed words are unsigned")
+    out: Dict[str, int] = {}
+    offset = 0
+    for spec in fields:
+        out[spec.name] = (word >> offset) & ((1 << spec.bits) - 1)
+        offset += spec.bits
+    return out
+
+
+def packed_size_bits(fields: Sequence[FieldSpec]) -> int:
+    """Total width of a field sequence."""
+    return sum(spec.bits for spec in fields)
+
+
+def pack_uint_array(values: np.ndarray, bits: int) -> np.ndarray:
+    """Bit-pack unsigned integers of width ``bits`` into a uint64 array.
+
+    Values are laid out little-endian within and across words; a value may
+    straddle a word boundary.  This mirrors the dense bit-compression of
+    dictionary-encoded column vectors.
+    """
+    if not 1 <= bits <= _WORD_BITS:
+        raise ValueError(f"bits must be in [1, 64], got {bits}")
+    values = np.ascontiguousarray(values, dtype=np.uint64)
+    if values.size and bits < _WORD_BITS and int(values.max()) >= (1 << bits):
+        raise OverflowError(f"a value does not fit in {bits} bits")
+    n = values.size
+    total_bits = n * bits
+    n_words = (total_bits + _WORD_BITS - 1) // _WORD_BITS
+    words = np.zeros(n_words, dtype=np.uint64)
+    if n == 0:
+        return words
+
+    bitpos = np.arange(n, dtype=np.uint64) * np.uint64(bits)
+    word_idx = (bitpos >> np.uint64(6)).astype(np.int64)
+    offset = bitpos & np.uint64(63)
+
+    # Low-word contribution: shifting wraps modulo 2**64, exactly what the
+    # low word should receive when the value straddles a boundary.
+    low = np.left_shift(values, offset)
+    np.bitwise_or.at(words, word_idx, low)
+
+    # High-word contribution where the value straddles a word boundary
+    # (offset > 0 guarantees the 64 - offset shift below is valid).
+    carries = (offset.astype(np.int64) + bits > _WORD_BITS)
+    if np.any(carries):
+        high = np.right_shift(values[carries], np.uint64(_WORD_BITS) - offset[carries])
+        np.bitwise_or.at(words, word_idx[carries] + 1, high)
+    return words
+
+
+def unpack_uint_array(words: np.ndarray, bits: int, count: int) -> np.ndarray:
+    """Inverse of :func:`pack_uint_array` for ``count`` values."""
+    if not 1 <= bits <= _WORD_BITS:
+        raise ValueError(f"bits must be in [1, 64], got {bits}")
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    words = np.ascontiguousarray(words, dtype=np.uint64)
+    if count == 0:
+        return np.empty(0, dtype=np.uint64)
+    needed_words = (count * bits + _WORD_BITS - 1) // _WORD_BITS
+    if words.size < needed_words:
+        raise ValueError(
+            f"need {needed_words} words for {count} values of {bits} bits, "
+            f"got {words.size}"
+        )
+
+    bitpos = np.arange(count, dtype=np.uint64) * np.uint64(bits)
+    word_idx = (bitpos >> np.uint64(6)).astype(np.int64)
+    offset = bitpos & np.uint64(63)
+    mask = _U64_MASK if bits == _WORD_BITS else np.uint64((1 << bits) - 1)
+
+    out = np.right_shift(words[word_idx], offset)
+    carries = np.nonzero(offset.astype(np.int64) + bits > _WORD_BITS)[0]
+    if carries.size:
+        # A carry requires offset > 0, so the 64 - offset shift is valid.
+        high = np.left_shift(
+            words[word_idx[carries] + 1], np.uint64(_WORD_BITS) - offset[carries]
+        )
+        out[carries] |= high
+    return out & mask

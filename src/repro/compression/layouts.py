@@ -1,0 +1,474 @@
+"""Packed bucket layouts (paper Sec. 6.2, Table 3, Fig. 4).
+
+A *bucket* of the histogram stores eight (or sixteen) *bucklet* cumulated
+frequencies, optionally a bucket total, compressed into one 64-bit word --
+plus, for variable-width bucklets, a second 64-bit word holding seven
+9-bit bucklet widths and a direction flag (the ``QC16T8x6+1F7x9`` 128-bit
+format).  Two raw formats store per-distinct-value frequencies for parts
+of a distribution that no estimator approximates well.
+
+The layouts here are pure codecs: they turn arrays of non-negative
+integers into packed words and back into estimates.  Bucket *semantics*
+(boundaries, estimation functions) live in :mod:`repro.core.buckets`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.compression.binaryq import BinaryQCompressor
+from repro.compression.bitpack import pack_uint_array, unpack_uint_array
+from repro.compression.qcompress import QCompressor, largest_compressible
+
+__all__ = [
+    "BucketLayout",
+    "EncodedBucket",
+    "QC16T8x6",
+    "QC8x8",
+    "QC16x4",
+    "QC8T8x7",
+    "BQC8x8",
+    "QC16T8x6_1F7x9",
+    "WidthsWord",
+    "QCRawDense",
+    "QCRawNonDense",
+    "SIMPLE_LAYOUTS",
+]
+
+# Fixed mantissa/shift splits for the binary-q-compressed fields.  The
+# 16-bit split reaches values of up to 10 + 2**6 - 1 = 73 bits; the 8-bit
+# split reaches 3 + 2**5 - 1 = 34 bits (~16e9), ample for bucket totals.
+_BQ16 = BinaryQCompressor(k=10, s=6)
+_BQ8 = BinaryQCompressor(k=3, s=5)
+
+
+@dataclass(frozen=True)
+class EncodedBucket:
+    """A packed bucket payload: the 64-bit word plus its base selector."""
+
+    word: int
+    base_index: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.word < (1 << 64):
+            raise OverflowError("bucket payload must fit in 64 bits")
+        if self.base_index < 0:
+            raise ValueError("base_index must be non-negative")
+
+
+@dataclass(frozen=True)
+class BucketLayout:
+    """A simple (single 64-bit word) bucket layout from Table 3.
+
+    Parameters
+    ----------
+    name:
+        Table 3 name, e.g. ``"QC16T8x6"``.
+    n_bucklets:
+        Number of bucklet frequency fields.
+    bucklet_bits:
+        Width of each bucklet field.
+    bucklet_codec:
+        ``"q"`` for general q-compression (base chosen per bucket from
+        ``bases``) or ``"bq"`` for binary q-compression.
+    bases:
+        Candidate bases for the ``"q"`` codec, smallest (most precise)
+        first; the encoder picks the first base whose range covers the
+        bucket's largest frequency and records its index in the header.
+    total_bits:
+        Width of the total field (0 for layouts without a total).
+    total_codec:
+        ``"bq"`` or ``"q"`` when ``total_bits > 0``.
+    """
+
+    name: str
+    n_bucklets: int
+    bucklet_bits: int
+    bucklet_codec: str
+    bases: Tuple[float, ...] = ()
+    total_bits: int = 0
+    total_codec: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.bucklet_codec not in ("q", "bq"):
+            raise ValueError(f"unknown bucklet codec {self.bucklet_codec!r}")
+        if self.bucklet_codec == "q" and not self.bases:
+            raise ValueError("q-compressed layouts need at least one base")
+        if self.total_bits and self.total_codec not in ("q", "bq"):
+            raise ValueError("layouts with a total need a total codec")
+        payload = self.total_bits + self.n_bucklets * self.bucklet_bits
+        if payload > 64:
+            raise ValueError(f"layout {self.name} needs {payload} > 64 payload bits")
+
+    # -- sizing ---------------------------------------------------------
+
+    @property
+    def header_bits(self) -> int:
+        """Per-bucket header overhead: the base-selector field."""
+        if self.bucklet_codec == "q" and len(self.bases) > 1:
+            return max(1, math.ceil(math.log2(len(self.bases))))
+        return 0
+
+    @property
+    def payload_bits(self) -> int:
+        return self.total_bits + self.n_bucklets * self.bucklet_bits
+
+    @property
+    def size_bits(self) -> int:
+        """Total storage per bucket payload (word is padded to 64 bits)."""
+        return 64 + self.header_bits
+
+    # -- codec selection ------------------------------------------------
+
+    def _fixed_bq_codec(self) -> BinaryQCompressor:
+        # The split must be a deterministic function of the layout so the
+        # decoder reconstructs the same codec without extra header state.
+        s = min(5, self.bucklet_bits - 1)
+        return BinaryQCompressor(k=self.bucklet_bits - s, s=s)
+
+    def _bucklet_codec_for(self, max_freq: int) -> Tuple[int, object]:
+        if self.bucklet_codec == "bq":
+            codec = self._fixed_bq_codec()
+            if max_freq > codec.max_value:
+                raise OverflowError(
+                    f"{self.name}: frequency {max_freq} exceeds the bq range"
+                )
+            return 0, codec
+        for index, base in enumerate(self.bases):
+            if largest_compressible(base, self.bucklet_bits) >= max_freq:
+                return index, QCompressor(base=base, bits=self.bucklet_bits)
+        raise OverflowError(
+            f"{self.name}: frequency {max_freq} exceeds every base's range"
+        )
+
+    def _total_codec(self, base: float) -> object:
+        if self.total_codec == "bq":
+            return _BQ16 if self.total_bits >= 16 else _BQ8
+        return QCompressor(base=base, bits=self.total_bits)
+
+    def max_bucklet_value(self) -> float:
+        """Largest bucklet frequency any base of this layout can hold."""
+        if self.bucklet_codec == "bq":
+            return float(self._fixed_bq_codec().max_value)
+        return max(largest_compressible(b, self.bucklet_bits) for b in self.bases)
+
+    def qerror_bound(self) -> float:
+        """Worst-case extra q-error the compression adds to any field."""
+        if self.bucklet_codec == "bq":
+            return self._fixed_bq_codec().max_qerror
+        return math.sqrt(max(self.bases))
+
+    # -- encode / decode --------------------------------------------------
+
+    def encode(self, bucklet_freqs: Sequence[int], total: Optional[int] = None) -> EncodedBucket:
+        """Pack bucklet frequencies (and the total, if the layout has one)."""
+        freqs = [int(f) for f in bucklet_freqs]
+        if len(freqs) != self.n_bucklets:
+            raise ValueError(
+                f"{self.name} expects {self.n_bucklets} bucklets, got {len(freqs)}"
+            )
+        if any(f < 0 for f in freqs):
+            raise ValueError("frequencies must be non-negative")
+        if self.total_bits:
+            if total is None:
+                total = sum(freqs)
+        elif total is not None and total != sum(freqs):
+            raise ValueError(f"{self.name} stores no total field")
+
+        base_index, codec = self._bucklet_codec_for(max(freqs) if freqs else 0)
+        word = 0
+        offset = 0
+        if self.total_bits:
+            base = self.bases[base_index] if self.bucklet_codec == "q" else 1.1
+            total_code = self._total_codec(base).compress(total)
+            word |= int(total_code) << offset
+            offset += self.total_bits
+        for freq in freqs:
+            word |= int(codec.compress(freq)) << offset
+            offset += self.bucklet_bits
+        return EncodedBucket(word=word, base_index=base_index)
+
+    def decode(self, bucket: EncodedBucket) -> Tuple[Optional[float], np.ndarray]:
+        """Unpack a bucket into (total estimate, bucklet frequency estimates)."""
+        if self.bucklet_codec == "q":
+            if bucket.base_index >= len(self.bases):
+                raise ValueError("base selector out of range")
+            codec = QCompressor(
+                base=self.bases[bucket.base_index], bits=self.bucklet_bits
+            )
+        else:
+            codec = self._fixed_bq_codec()
+        word = bucket.word
+        offset = 0
+        total: Optional[float] = None
+        if self.total_bits:
+            code = (word >> offset) & ((1 << self.total_bits) - 1)
+            base = self.bases[bucket.base_index] if self.bucklet_codec == "q" else 1.1
+            total = float(self._total_codec(base).decompress(code))
+            offset += self.total_bits
+        estimates = np.empty(self.n_bucklets, dtype=np.float64)
+        mask = (1 << self.bucklet_bits) - 1
+        for i in range(self.n_bucklets):
+            estimates[i] = float(codec.decompress((word >> offset) & mask))
+            offset += self.bucklet_bits
+        return total, estimates
+
+
+# The simple bucket types of Table 3.
+QC16T8x6 = BucketLayout(
+    name="QC16T8x6",
+    n_bucklets=8,
+    bucklet_bits=6,
+    bucklet_codec="q",
+    bases=(1.2, 1.3, 1.4),
+    total_bits=16,
+    total_codec="bq",
+)
+QC8x8 = BucketLayout(
+    name="QC8x8", n_bucklets=8, bucklet_bits=8, bucklet_codec="q", bases=(1.1,)
+)
+QC16x4 = BucketLayout(
+    name="QC16x4",
+    n_bucklets=16,
+    bucklet_bits=4,
+    bucklet_codec="q",
+    bases=(2.5, 2.6, 2.7),
+)
+QC8T8x7 = BucketLayout(
+    name="QC8T8x7",
+    n_bucklets=8,
+    bucklet_bits=7,
+    bucklet_codec="q",
+    bases=(1.1, 1.2),
+    total_bits=8,
+    total_codec="q",
+)
+BQC8x8 = BucketLayout(
+    name="BQC8x8", n_bucklets=8, bucklet_bits=8, bucklet_codec="bq"
+)
+
+SIMPLE_LAYOUTS = (QC16T8x6, QC8x8, QC16x4, QC8T8x7, BQC8x8)
+
+
+# -- variable-width bucklet widths word (Sec. 7.2) ------------------------
+
+
+@dataclass(frozen=True)
+class WidthsWord:
+    """The ``1F7x9`` half of the 128-bit QC16T8x6+1F7x9 bucket.
+
+    Seven 9-bit bucklet widths plus one flag bit.  With the flag clear the
+    widths describe bucklets 1..7 measured from the bucket start (bucklet 0
+    is unbounded); with the flag set they describe bucklets 0..6 measured
+    from the start, leaving the *last* bucklet unbounded.
+    """
+
+    word: int
+
+    MAX_WIDTH = (1 << 9) - 1  # 511, the paper's bucklet width cap
+
+    @classmethod
+    def encode(cls, widths: Sequence[int], open_at_end: bool) -> "WidthsWord":
+        """Pack seven bounded widths; ``open_at_end`` sets the flag bit."""
+        widths = [int(w) for w in widths]
+        if len(widths) != 7:
+            raise ValueError(f"need exactly 7 bounded widths, got {len(widths)}")
+        word = 1 if open_at_end else 0
+        offset = 1
+        for width in widths:
+            if not 0 <= width <= cls.MAX_WIDTH:
+                raise OverflowError(f"bucklet width {width} exceeds 511")
+            word |= width << offset
+            offset += 9
+        return cls(word=word)
+
+    def decode(self) -> Tuple[Tuple[int, ...], bool]:
+        """Return (seven bounded widths, open_at_end flag)."""
+        open_at_end = bool(self.word & 1)
+        widths = tuple(
+            (self.word >> (1 + 9 * i)) & self.MAX_WIDTH for i in range(7)
+        )
+        return widths, open_at_end
+
+
+@dataclass(frozen=True)
+class QC16T8x6_1F7x9:
+    """The 128-bit variable-width bucket: frequencies word + widths word."""
+
+    freqs: EncodedBucket
+    widths: WidthsWord
+
+    SIZE_BITS = 128 + QC16T8x6.header_bits
+
+    @classmethod
+    def encode(
+        cls,
+        bucklet_freqs: Sequence[int],
+        bucklet_widths: Sequence[int],
+        total: Optional[int] = None,
+    ) -> "QC16T8x6_1F7x9":
+        """Pack eight frequencies and eight widths (one width unbounded).
+
+        Exactly one of the first or last width may exceed 511; the packed
+        form stores the seven bounded ones and flags which end is open.
+        """
+        widths = [int(w) for w in bucklet_widths]
+        if len(widths) != 8:
+            raise ValueError(f"need 8 bucklet widths, got {len(widths)}")
+        if widths[-1] > WidthsWord.MAX_WIDTH:
+            bounded, open_at_end = widths[:7], True
+        else:
+            bounded, open_at_end = widths[1:], False
+        return cls(
+            freqs=QC16T8x6.encode(bucklet_freqs, total=total),
+            widths=WidthsWord.encode(bounded, open_at_end),
+        )
+
+    def decode_widths(self, bucket_width: int) -> np.ndarray:
+        """Reconstruct all eight widths given the enclosing bucket width."""
+        bounded, open_at_end = self.widths.decode()
+        known = sum(bounded)
+        free = bucket_width - known
+        if free < 0:
+            raise ValueError("bucket width smaller than stored bucklet widths")
+        if open_at_end:
+            widths = list(bounded) + [free]
+        else:
+            widths = [free] + list(bounded)
+        return np.asarray(widths, dtype=np.int64)
+
+    def decode_freqs(self) -> Tuple[float, np.ndarray]:
+        total, estimates = QC16T8x6.decode(self.freqs)
+        return float(total), estimates
+
+
+# -- raw bucket types ------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class QCRawDense:
+    """Raw dense bucket: 4-bit q-compressed frequency per distinct value.
+
+    Used for distribution regions no estimator approximates within q.  The
+    bucket is dense (every domain value in range occurs), so only the
+    frequencies are stored, at 4 bits each, behind a 64-bit header.
+    """
+
+    header_bits = 64
+    freq_bits = 4
+    bases = (1.5, 2.0, 2.5, 3.0)
+
+    base_index: int
+    total_code: int
+    words: Tuple[int, ...]
+    count: int
+
+    @classmethod
+    def encode(cls, freqs: Sequence[int]) -> "QCRawDense":
+        freqs = np.asarray(list(freqs), dtype=np.int64)
+        if freqs.size == 0:
+            raise ValueError("raw buckets must hold at least one value")
+        if np.any(freqs < 0):
+            raise ValueError("frequencies must be non-negative")
+        max_freq = int(freqs.max())
+        for index, base in enumerate(cls.bases):
+            if largest_compressible(base, cls.freq_bits) >= max_freq:
+                codec = QCompressor(base=base, bits=cls.freq_bits)
+                codes = codec.compress_array(freqs)
+                words = tuple(
+                    int(w) for w in pack_uint_array(codes.astype(np.uint64), cls.freq_bits)
+                )
+                total_code = _BQ16.compress(int(freqs.sum()))
+                return cls(
+                    base_index=index,
+                    total_code=total_code,
+                    words=words,
+                    count=int(freqs.size),
+                )
+        raise OverflowError(f"frequency {max_freq} exceeds every 4-bit base range")
+
+    def decode(self) -> np.ndarray:
+        """Per-distinct-value frequency estimates."""
+        codec = QCompressor(base=self.bases[self.base_index], bits=self.freq_bits)
+        codes = unpack_uint_array(
+            np.asarray(self.words, dtype=np.uint64), self.freq_bits, self.count
+        )
+        return codec.decompress_array(codes.astype(np.int64))
+
+    def total_estimate(self) -> float:
+        return float(_BQ16.decompress(self.total_code))
+
+    @property
+    def size_bits(self) -> int:
+        return self.header_bits + self.freq_bits * self.count
+
+
+@dataclass(frozen=True)
+class QCRawNonDense:
+    """Raw non-dense bucket (Fig. 4): distinct values + 4-bit frequencies.
+
+    The 64-bit header holds a 32-bit offset into two aligned arrays (we
+    keep the arrays inline but charge the same storage), a 16-bit size and
+    a 16-bit binary-q-compressed total.
+    """
+
+    header_bits = 64
+    value_bits = 32
+    freq_bits = 4
+    bases = QCRawDense.bases
+
+    base_index: int
+    total_code: int
+    values: Tuple[int, ...]
+    words: Tuple[int, ...]
+
+    @classmethod
+    def encode(cls, values: Sequence[int], freqs: Sequence[int]) -> "QCRawNonDense":
+        values = tuple(int(v) for v in values)
+        freqs_arr = np.asarray(list(freqs), dtype=np.int64)
+        if len(values) != freqs_arr.size:
+            raise ValueError("values and freqs must have equal length")
+        if len(values) == 0:
+            raise ValueError("raw buckets must hold at least one value")
+        if len(values) >= (1 << 16):
+            raise OverflowError("raw bucket size field is 16 bits")
+        if any(v2 <= v1 for v1, v2 in zip(values, values[1:])):
+            raise ValueError("distinct values must be strictly increasing")
+        max_freq = int(freqs_arr.max())
+        for index, base in enumerate(cls.bases):
+            if largest_compressible(base, cls.freq_bits) >= max_freq:
+                codec = QCompressor(base=base, bits=cls.freq_bits)
+                codes = codec.compress_array(freqs_arr)
+                words = tuple(
+                    int(w) for w in pack_uint_array(codes.astype(np.uint64), cls.freq_bits)
+                )
+                total_code = _BQ16.compress(int(freqs_arr.sum()))
+                return cls(
+                    base_index=index,
+                    total_code=total_code,
+                    values=values,
+                    words=words,
+                )
+        raise OverflowError(f"frequency {max_freq} exceeds every 4-bit base range")
+
+    def decode(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Return (distinct values, per-value frequency estimates)."""
+        codec = QCompressor(base=self.bases[self.base_index], bits=self.freq_bits)
+        codes = unpack_uint_array(
+            np.asarray(self.words, dtype=np.uint64), self.freq_bits, len(self.values)
+        )
+        return (
+            np.asarray(self.values, dtype=np.int64),
+            codec.decompress_array(codes.astype(np.int64)),
+        )
+
+    def total_estimate(self) -> float:
+        return float(_BQ16.decompress(self.total_code))
+
+    @property
+    def size_bits(self) -> int:
+        return self.header_bits + (self.value_bits + self.freq_bits) * len(self.values)

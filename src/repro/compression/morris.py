@@ -1,0 +1,89 @@
+"""Probabilistic (Morris/Flajolet) counters for incremental updates.
+
+Paper Sec. 6.1.3: q-compressed numbers can be updated incrementally.  A
+counter register ``c`` approximating ``log_base(n)`` is incremented with
+probability ``base ** -c`` on each event; in expectation the estimate
+
+    n_hat = (base**c - 1) / (base - 1)
+
+is unbiased for the true event count (Morris 1978, Flajolet 1985).
+
+This makes the q-compressed bucket totals of our histograms maintainable
+under inserts without decompressing and recompressing: each new row in a
+bucket triggers one :func:`morris_increment` of that bucket's register.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["morris_increment", "MorrisCounter"]
+
+
+def morris_increment(register: int, base: float, rng: np.random.Generator) -> int:
+    """Return the register after one probabilistic increment.
+
+    The register is incremented with probability ``base ** -register``,
+    which keeps ``(base**c - 1) / (base - 1)`` an unbiased estimate of the
+    number of increments performed so far.
+    """
+    if register < 0:
+        raise ValueError(f"register must be non-negative, got {register}")
+    if base <= 1.0:
+        raise ValueError(f"base must be > 1, got {base}")
+    if rng.random() < base ** (-register):
+        return register + 1
+    return register
+
+
+@dataclass
+class MorrisCounter:
+    """An approximate event counter with logarithmic register size.
+
+    Parameters
+    ----------
+    base:
+        Counting base.  Base 2 is the classic Morris counter; bases close
+        to 1 trade register size for accuracy, matching the q-compression
+        bases of Table 1.
+    rng:
+        Randomness source; pass a seeded generator for reproducibility.
+    max_register:
+        Optional register ceiling (the bit-field width limit of the
+        surrounding bucket layout).  Increments saturate at the ceiling.
+    """
+
+    base: float
+    rng: np.random.Generator = field(default_factory=np.random.default_rng)
+    max_register: Optional[int] = None
+    register: int = 0
+
+    def __post_init__(self) -> None:
+        if self.base <= 1.0:
+            raise ValueError(f"base must be > 1, got {self.base}")
+        if self.register < 0:
+            raise ValueError("register must be non-negative")
+
+    def increment(self, times: int = 1) -> None:
+        """Record ``times`` events."""
+        if times < 0:
+            raise ValueError(f"times must be non-negative, got {times}")
+        for _ in range(times):
+            if self.max_register is not None and self.register >= self.max_register:
+                return
+            self.register = morris_increment(self.register, self.base, self.rng)
+
+    def estimate(self) -> float:
+        """Unbiased estimate of the number of recorded events."""
+        return (self.base ** self.register - 1.0) / (self.base - 1.0)
+
+    def relative_std(self) -> float:
+        """Asymptotic relative standard deviation of :meth:`estimate`.
+
+        Flajolet (1985): for ``n`` large the standard error approaches
+        ``sqrt((base - 1) / 2)``, independent of ``n``.
+        """
+        return float(np.sqrt((self.base - 1.0) / 2.0))

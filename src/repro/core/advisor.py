@@ -1,0 +1,133 @@
+"""Statistics advisor: feedback-driven rebuild scheduling.
+
+Real deployments of the paper's histograms need to decide *when* to
+rebuild.  Two signals are available without any extra I/O:
+
+* insert volume since the last build (the delta store's size -- see
+  :class:`~repro.core.maintenance.MaintainedHistogram`);
+* estimation *feedback*: after a query executes, the actual cardinality
+  is known and can be compared against the estimate the optimizer used
+  (the interleaving idea of Sec. 3 / [15] makes the actuals available).
+
+:class:`StatisticsAdvisor` aggregates feedback per column and recommends
+rebuilds when observed q-errors exceed the histogram's guaranteed band
+-- which, for a correctly built histogram, can only happen because the
+data changed underneath it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.qerror import qerror
+from repro.core.transfer import exact_total_guarantee
+
+__all__ = ["FeedbackRecord", "ColumnFeedback", "StatisticsAdvisor"]
+
+
+@dataclass(frozen=True)
+class FeedbackRecord:
+    """One executed predicate: what was estimated, what was true."""
+
+    column: str
+    estimate: float
+    actual: float
+
+    @property
+    def q_error(self) -> float:
+        return qerror(max(self.estimate, 1e-300), max(self.actual, 1e-300))
+
+
+@dataclass
+class ColumnFeedback:
+    """Aggregated feedback for one column."""
+
+    n_queries: int = 0
+    n_violations: int = 0
+    worst_q_error: float = 1.0
+    records: List[FeedbackRecord] = field(default_factory=list)
+
+    def violation_rate(self) -> float:
+        return self.n_violations / self.n_queries if self.n_queries else 0.0
+
+
+class StatisticsAdvisor:
+    """Tracks feedback and recommends histogram rebuilds.
+
+    Parameters
+    ----------
+    theta, q:
+        The inner per-bucket parameters the histograms were built with.
+    k:
+        The transfer scale; feedback counts as a violation when the
+        observed q-error exceeds the Corollary 5.3 band at ``k θ`` (and
+        the actual or estimated cardinality exceeds ``k θ``).
+    compression_slack:
+        Extra multiplicative tolerance for the payload compression.
+    min_queries:
+        Columns with fewer observations are never flagged (no evidence).
+    violation_threshold:
+        Flag a column once this fraction of its guarded feedback
+        violates the band.
+    """
+
+    def __init__(
+        self,
+        theta: float,
+        q: float = 2.0,
+        k: float = 4.0,
+        compression_slack: float = 1.4 ** 0.5,
+        min_queries: int = 20,
+        violation_threshold: float = 0.01,
+        keep_records: int = 100,
+    ) -> None:
+        self.theta = theta
+        self.q = q
+        self.k = k
+        theta_out, q_out = exact_total_guarantee(theta, q, k)
+        self.theta_out = theta_out
+        self.q_bound = q_out * compression_slack
+        self.min_queries = min_queries
+        self.violation_threshold = violation_threshold
+        self.keep_records = keep_records
+        self._feedback: Dict[str, ColumnFeedback] = {}
+
+    def record(self, column: str, estimate: float, actual: float) -> None:
+        """Feed back one executed predicate's estimate and actual count."""
+        entry = self._feedback.setdefault(column, ColumnFeedback())
+        if actual <= self.theta_out and estimate <= self.theta_out:
+            return  # inside the tolerated band: carries no signal
+        record = FeedbackRecord(column=column, estimate=estimate, actual=actual)
+        entry.n_queries += 1
+        entry.worst_q_error = max(entry.worst_q_error, record.q_error)
+        if record.q_error > self.q_bound:
+            entry.n_violations += 1
+            entry.records.append(record)
+            del entry.records[: -self.keep_records]
+
+    def feedback(self, column: str) -> ColumnFeedback:
+        return self._feedback.get(column, ColumnFeedback())
+
+    def should_rebuild(self, column: str) -> bool:
+        """True when the observed violations exceed the threshold."""
+        entry = self.feedback(column)
+        if entry.n_queries < self.min_queries:
+            return False
+        return entry.violation_rate() > self.violation_threshold
+
+    def rebuild_candidates(self) -> List[str]:
+        """All columns currently recommended for a rebuild."""
+        return sorted(
+            name for name in self._feedback if self.should_rebuild(name)
+        )
+
+    def reset(self, column: str) -> None:
+        """Clear a column's feedback (call after rebuilding it)."""
+        self._feedback.pop(column, None)
+
+    def __repr__(self) -> str:
+        return (
+            f"StatisticsAdvisor(columns={len(self._feedback)}, "
+            f"candidates={self.rebuild_candidates()})"
+        )

@@ -1,0 +1,325 @@
+"""Bucket model objects: estimation semantics over packed layouts.
+
+Each bucket couples a code-domain interval ``[lo, hi)`` with a packed
+payload from :mod:`repro.compression.layouts` and answers range queries
+against it.  Estimation-relevant numbers are decoded once on first use
+and cached; the cache is *not* charged to the bucket's storage size
+(only the packed form is, as in the paper's memory accounting).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.compression.binaryq import BinaryQCompressor
+from repro.compression.layouts import (
+    BucketLayout,
+    EncodedBucket,
+    QC16T8x6,
+    QC16T8x6_1F7x9,
+    QCRawDense,
+    QCRawNonDense,
+    SIMPLE_LAYOUTS,
+)
+
+#: Lookup for (de)serialisation and layout-parametric builders.
+LAYOUTS_BY_NAME = {layout.name: layout for layout in SIMPLE_LAYOUTS}
+
+__all__ = [
+    "EquiWidthBucket",
+    "VariableWidthBucket",
+    "AtomicDenseBucket",
+    "ValueAtomicBucket",
+    "RawDenseBucket",
+    "RawNonDenseBucket",
+]
+
+# 8-bit binary-q codec of the atomic dense bucket (1D*) and the two
+# fields of the 16-bit value-based bucket (1V*): k=3, s=5 reaches 34-bit
+# values, far beyond any realistic bucket cardinality.
+_BQ8 = BinaryQCompressor(k=3, s=5)
+# Bits charged per stored bucket boundary.
+BOUNDARY_BITS = 32
+
+
+def _clamped_partial(est_total: float, lo: float, hi: float, c1: float, c2: float) -> float:
+    """f̂avg within ``[lo, hi)``: the covered fraction of the total."""
+    c1 = max(c1, lo)
+    c2 = min(c2, hi)
+    if c2 <= c1:
+        return 0.0
+    return est_total * (c2 - c1) / (hi - lo)
+
+
+class EquiWidthBucket:
+    """A bucket of equi-width bucklets in a packed layout (Sec. 7.1).
+
+    The default payload is QC16T8x6 (8 bucklets, 16-bit total); any
+    simple layout of Table 3 may be substituted -- e.g. QC16x4 trades
+    per-bucklet precision for 16 narrower bucklets, BQC8x8 trades
+    density for decompression speed.
+
+    The bucket spans codes ``[lo, lo + n_bucklets * m)``; the last
+    bucket of a histogram may logically extend past the domain end (its
+    trailing bucklets then carry frequency 0).
+    """
+
+    def __init__(
+        self,
+        lo: int,
+        bucklet_width: int,
+        payload: EncodedBucket,
+        layout: BucketLayout = QC16T8x6,
+    ) -> None:
+        if bucklet_width < 1:
+            raise ValueError("bucklet width must be >= 1")
+        self.lo = int(lo)
+        self.bucklet_width = int(bucklet_width)
+        self.layout = layout
+        self.hi = self.lo + layout.n_bucklets * self.bucklet_width
+        self.payload = payload
+        self._total: Optional[float] = None
+        self._bucklets: Optional[np.ndarray] = None
+
+    @classmethod
+    def build(
+        cls,
+        lo: int,
+        bucklet_width: int,
+        bucklet_freqs: Sequence[int],
+        layout: BucketLayout = QC16T8x6,
+    ) -> "EquiWidthBucket":
+        """Encode the bucklet cumulated frequencies into the payload."""
+        payload = layout.encode(bucklet_freqs)
+        return cls(lo, bucklet_width, payload, layout=layout)
+
+    def _decode(self) -> None:
+        if self._bucklets is None:
+            total, bucklets = self.layout.decode(self.payload)
+            self._bucklets = bucklets
+            # Layouts without a total field fall back to the bucklet sum.
+            self._total = float(total) if total is not None else float(bucklets.sum())
+
+    def total_estimate(self) -> float:
+        self._decode()
+        return float(self._total)
+
+    def estimate_range(self, c1: float, c2: float) -> float:
+        """Estimate for ``[c1, c2)`` clipped to this bucket."""
+        c1 = max(float(c1), float(self.lo))
+        c2 = min(float(c2), float(self.hi))
+        if c2 <= c1:
+            return 0.0
+        if c1 == self.lo and c2 == self.hi:
+            return self.total_estimate()
+        self._decode()
+        m = self.bucklet_width
+        n = self.layout.n_bucklets
+        est = 0.0
+        first = int((c1 - self.lo) // m)
+        last = int(-(-(c2 - self.lo) // m))  # ceil division
+        for b in range(first, min(last, n)):
+            b_lo = self.lo + b * m
+            b_hi = b_lo + m
+            est += _clamped_partial(float(self._bucklets[b]), b_lo, b_hi, c1, c2)
+        return est
+
+    @property
+    def size_bits(self) -> int:
+        return self.layout.size_bits + BOUNDARY_BITS
+
+
+class VariableWidthBucket:
+    """A 128-bit QC16T8x6+1F7x9 bucket of variable-width bucklets (Sec. 7.2)."""
+
+    def __init__(self, lo: int, hi: int, payload: QC16T8x6_1F7x9) -> None:
+        if hi <= lo:
+            raise ValueError(f"empty bucket [{lo}, {hi})")
+        self.lo = int(lo)
+        self.hi = int(hi)
+        self.payload = payload
+        self._total: Optional[float] = None
+        self._bucklets: Optional[np.ndarray] = None
+        self._edges: Optional[np.ndarray] = None
+
+    @classmethod
+    def build(
+        cls, lo: int, widths: Sequence[int], bucklet_freqs: Sequence[int]
+    ) -> "VariableWidthBucket":
+        widths = [int(w) for w in widths]
+        hi = lo + sum(widths)
+        payload = QC16T8x6_1F7x9.encode(bucklet_freqs, widths)
+        return cls(lo, hi, payload)
+
+    def _decode(self) -> None:
+        if self._bucklets is None:
+            total, bucklets = self.payload.decode_freqs()
+            widths = self.payload.decode_widths(self.hi - self.lo)
+            self._total = float(total)
+            self._bucklets = bucklets
+            self._edges = self.lo + np.concatenate(([0], np.cumsum(widths)))
+
+    def total_estimate(self) -> float:
+        self._decode()
+        return float(self._total)
+
+    def estimate_range(self, c1: float, c2: float) -> float:
+        c1 = max(float(c1), float(self.lo))
+        c2 = min(float(c2), float(self.hi))
+        if c2 <= c1:
+            return 0.0
+        if c1 == self.lo and c2 == self.hi:
+            return self.total_estimate()
+        self._decode()
+        edges = self._edges
+        est = 0.0
+        for b in range(8):
+            b_lo, b_hi = float(edges[b]), float(edges[b + 1])
+            if b_hi <= b_lo:
+                continue
+            if b_hi <= c1:
+                continue
+            if b_lo >= c2:
+                break
+            est += _clamped_partial(float(self._bucklets[b]), b_lo, b_hi, c1, c2)
+        return est
+
+    @property
+    def size_bits(self) -> int:
+        return QC16T8x6_1F7x9.SIZE_BITS + BOUNDARY_BITS
+
+
+class AtomicDenseBucket:
+    """An atomic 8-bit bucket: one binary-q-compressed total (the 1D* types)."""
+
+    def __init__(self, lo: int, hi: int, total_code: int) -> None:
+        if hi <= lo:
+            raise ValueError(f"empty bucket [{lo}, {hi})")
+        self.lo = int(lo)
+        self.hi = int(hi)
+        self.total_code = int(total_code)
+
+    @classmethod
+    def build(cls, lo: int, hi: int, total: int) -> "AtomicDenseBucket":
+        return cls(lo, hi, _BQ8.compress(int(total)))
+
+    def total_estimate(self) -> float:
+        return float(_BQ8.decompress(self.total_code))
+
+    def estimate_range(self, c1: float, c2: float) -> float:
+        return _clamped_partial(
+            self.total_estimate(), float(self.lo), float(self.hi), float(c1), float(c2)
+        )
+
+    @property
+    def size_bits(self) -> int:
+        return 8 + BOUNDARY_BITS
+
+
+class ValueAtomicBucket:
+    """An atomic 16-bit value-domain bucket (the 1V* types, Sec. 8.3).
+
+    Stores the cumulated frequency and the distinct-value count, each as
+    an 8-bit binary-q-compressed integer, over a *value-space* interval
+    ``[lo, hi)``; estimation is f̂avg in value space.
+    """
+
+    def __init__(self, lo: float, hi: float, total_code: int, distinct_code: int) -> None:
+        if hi <= lo:
+            raise ValueError(f"empty bucket [{lo}, {hi})")
+        self.lo = float(lo)
+        self.hi = float(hi)
+        self.total_code = int(total_code)
+        self.distinct_code = int(distinct_code)
+
+    @classmethod
+    def build(cls, lo: float, hi: float, total: int, distinct: int) -> "ValueAtomicBucket":
+        return cls(lo, hi, _BQ8.compress(int(total)), _BQ8.compress(int(distinct)))
+
+    def total_estimate(self) -> float:
+        return float(_BQ8.decompress(self.total_code))
+
+    def distinct_total_estimate(self) -> float:
+        return float(_BQ8.decompress(self.distinct_code))
+
+    def estimate_range(self, c1: float, c2: float) -> float:
+        return _clamped_partial(self.total_estimate(), self.lo, self.hi, c1, c2)
+
+    def estimate_distinct(self, c1: float, c2: float) -> float:
+        return _clamped_partial(self.distinct_total_estimate(), self.lo, self.hi, c1, c2)
+
+    @property
+    def size_bits(self) -> int:
+        # Two 8-bit fields plus the (value-typed, 64-bit) boundary.
+        return 16 + 64
+
+
+class RawDenseBucket:
+    """A QCRawDense bucket: exact per-code 4-bit q-compressed frequencies."""
+
+    def __init__(self, lo: int, payload: QCRawDense) -> None:
+        self.lo = int(lo)
+        self.hi = self.lo + payload.count
+        self.payload = payload
+        self._freqs: Optional[np.ndarray] = None
+
+    @classmethod
+    def build(cls, lo: int, freqs: Sequence[int]) -> "RawDenseBucket":
+        return cls(lo, QCRawDense.encode(freqs))
+
+    def _decode(self) -> np.ndarray:
+        if self._freqs is None:
+            self._freqs = self.payload.decode()
+        return self._freqs
+
+    def total_estimate(self) -> float:
+        return self.payload.total_estimate()
+
+    def estimate_range(self, c1: float, c2: float) -> float:
+        i = max(int(np.ceil(c1)), self.lo) - self.lo
+        j = min(int(np.ceil(c2)), self.hi) - self.lo
+        if j <= i:
+            return 0.0
+        return float(self._decode()[i:j].sum())
+
+    @property
+    def size_bits(self) -> int:
+        return self.payload.size_bits + BOUNDARY_BITS
+
+
+class RawNonDenseBucket:
+    """A QCRawNonDense bucket: distinct values plus 4-bit frequencies."""
+
+    def __init__(self, payload: QCRawNonDense) -> None:
+        self.payload = payload
+        values = payload.values
+        self.lo = float(values[0])
+        self.hi = float(values[-1]) + 1.0
+        self._decoded = None
+
+    @classmethod
+    def build(cls, values: Sequence[int], freqs: Sequence[int]) -> "RawNonDenseBucket":
+        return cls(QCRawNonDense.encode(values, freqs))
+
+    def _decode(self):
+        if self._decoded is None:
+            self._decoded = self.payload.decode()
+        return self._decoded
+
+    def total_estimate(self) -> float:
+        return self.payload.total_estimate()
+
+    def estimate_range(self, c1: float, c2: float) -> float:
+        values, freqs = self._decode()
+        mask = (values >= c1) & (values < c2)
+        return float(freqs[mask].sum())
+
+    def estimate_distinct(self, c1: float, c2: float) -> float:
+        values, _ = self._decode()
+        return float(np.count_nonzero((values >= c1) & (values < c2)))
+
+    @property
+    def size_bits(self) -> int:
+        return self.payload.size_bits + 64

@@ -1,0 +1,134 @@
+"""Unified histogram-build API.
+
+``build_histogram`` is the one-call entry point used by the examples and
+experiments; it dispatches on the evaluation's variant names:
+
+=========  ==================================================  =========
+Kind       Construction                                        Sec.
+=========  ==================================================  =========
+F8Dgt      8 fixed-width bucklets, generate-and-test            7.1
+V8Dinc     8 variable-width bucklets, incremental               7.2
+V8DincB    same, with bounded search                            4.5-4.7
+1Dinc      atomic buckets, incremental                          8.4
+1DincB     same, with bounded search                            8.4
+1VincB1    value-based atomic, range + distinct guarantees      8.3
+1VincB2    value-based atomic, range guarantees only            8.3
+=========  ==================================================  =========
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Union
+
+from repro.core.config import DEFAULT_THETA_FACTOR, HistogramConfig
+from repro.core.density import AttributeDensity
+from repro.core.histogram import Histogram
+from repro.core.qewh import build_qewh
+from repro.core.qvwh import build_atomic_dense, build_qvwh
+from repro.core.valuebased import build_value_histogram
+
+__all__ = ["build_histogram", "system_theta", "HISTOGRAM_KINDS"]
+
+HISTOGRAM_KINDS = (
+    "F8Dgt",
+    "V8Dinc",
+    "V8DincB",
+    "1Dinc",
+    "1DincB",
+    "1VincB1",
+    "1VincB2",
+)
+
+
+def system_theta(total_rows: int, factor: float = DEFAULT_THETA_FACTOR) -> int:
+    """The paper's system θ policy: ``ceil(factor * sqrt(|R|))`` (Sec. 8.1)."""
+    if total_rows < 0:
+        raise ValueError("row count must be non-negative")
+    return int(math.ceil(factor * math.sqrt(total_rows)))
+
+
+def _as_density(source, value_domain: bool) -> AttributeDensity:
+    if isinstance(source, AttributeDensity):
+        return source
+    # Duck-type: a DictionaryEncodedColumn exposes frequencies/dictionary.
+    if hasattr(source, "frequencies") and hasattr(source, "dictionary"):
+        if value_domain:
+            return AttributeDensity.from_value_column(source)
+        return AttributeDensity.from_column(source)
+    raise TypeError(
+        f"cannot build a histogram from {type(source).__name__}; pass an "
+        "AttributeDensity or a DictionaryEncodedColumn"
+    )
+
+
+def build_histogram(
+    source: Union[AttributeDensity, "object"],
+    kind: str = "V8DincB",
+    config: HistogramConfig = None,
+    **config_overrides,
+) -> Histogram:
+    """Build a histogram of the given ``kind`` over ``source``.
+
+    Parameters
+    ----------
+    source:
+        An :class:`AttributeDensity` or a
+        :class:`~repro.dictionary.column.DictionaryEncodedColumn`.
+    kind:
+        One of :data:`HISTOGRAM_KINDS`; the default ``V8DincB`` is the
+        paper's best-performing dictionary-encoded variant.
+    config:
+        Full :class:`HistogramConfig`; keyword overrides (``q=...``,
+        ``theta=...``) are applied on top of the default config when no
+        explicit config is given.
+    """
+    if kind not in HISTOGRAM_KINDS:
+        raise ValueError(f"unknown histogram kind {kind!r}; pick from {HISTOGRAM_KINDS}")
+    if config is None:
+        config = HistogramConfig(**config_overrides)
+    elif config_overrides:
+        raise ValueError("pass either a config object or keyword overrides, not both")
+
+    value_domain = kind.startswith("1V")
+    density = _as_density(source, value_domain)
+
+    if kind == "F8Dgt":
+        return build_qewh(density, config)
+    if kind in ("V8Dinc", "V8DincB"):
+        cfg = _with_bounded(config, kind.endswith("B"))
+        return build_qvwh(density, cfg)
+    if kind in ("1Dinc", "1DincB"):
+        cfg = _with_bounded(config, kind.endswith("B"))
+        return build_atomic_dense(density, cfg)
+    # Value-based variants.
+    cfg = _with_distinct(config, kind == "1VincB1")
+    return build_value_histogram(density, cfg)
+
+
+def _with_bounded(config: HistogramConfig, bounded: bool) -> HistogramConfig:
+    if config.bounded_search == bounded:
+        return config
+    return HistogramConfig(
+        q=config.q,
+        theta=config.theta,
+        theta_factor=config.theta_factor,
+        bounded_search=bounded,
+        use_history=config.use_history,
+        max_pretest_size=config.max_pretest_size,
+        test_distinct=config.test_distinct,
+    )
+
+
+def _with_distinct(config: HistogramConfig, test_distinct: bool) -> HistogramConfig:
+    if config.test_distinct == test_distinct:
+        return config
+    return HistogramConfig(
+        q=config.q,
+        theta=config.theta,
+        theta_factor=config.theta_factor,
+        bounded_search=config.bounded_search,
+        use_history=config.use_history,
+        max_pretest_size=config.max_pretest_size,
+        test_distinct=test_distinct,
+    )

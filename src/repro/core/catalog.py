@@ -1,0 +1,124 @@
+"""Statistics catalog: persist a table's histograms to disk.
+
+The missing last mile of :mod:`repro.core.serialize`: a directory-backed
+catalog holding one histogram file per (table, column) plus a small
+manifest, so statistics survive process restarts the way a database's
+catalog does.  Layout::
+
+    <root>/
+      MANIFEST            one line per entry: table<TAB>column<TAB>file
+      <table>.<column>.hist
+
+Writes are atomic per file (write-to-temp + rename); the manifest is
+rewritten on every change.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, Iterator, List, Tuple
+
+from repro.core.histogram import Histogram
+from repro.core.serialize import deserialize_histogram, serialize_histogram
+
+__all__ = ["StatisticsCatalog"]
+
+_MANIFEST = "MANIFEST"
+
+
+class StatisticsCatalog:
+    """A directory of serialized histograms keyed by (table, column)."""
+
+    def __init__(self, root: Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._entries: Dict[Tuple[str, str], str] = {}
+        self._load_manifest()
+
+    # -- manifest ---------------------------------------------------------
+
+    def _manifest_path(self) -> Path:
+        return self.root / _MANIFEST
+
+    def _load_manifest(self) -> None:
+        path = self._manifest_path()
+        if not path.exists():
+            return
+        for line in path.read_text().splitlines():
+            if not line.strip():
+                continue
+            parts = line.split("\t")
+            if len(parts) != 3:
+                raise ValueError(f"corrupt manifest line: {line!r}")
+            table, column, filename = parts
+            self._entries[(table, column)] = filename
+
+    def _write_manifest(self) -> None:
+        lines = [
+            f"{table}\t{column}\t{filename}"
+            for (table, column), filename in sorted(self._entries.items())
+        ]
+        tmp = self._manifest_path().with_suffix(".tmp")
+        tmp.write_text("\n".join(lines) + ("\n" if lines else ""))
+        os.replace(tmp, self._manifest_path())
+
+    # -- access ------------------------------------------------------------
+
+    @staticmethod
+    def _filename(table: str, column: str) -> str:
+        safe = lambda s: "".join(c if c.isalnum() or c in "-_" else "_" for c in s)
+        return f"{safe(table)}.{safe(column)}.hist"
+
+    def put(self, table: str, column: str, histogram: Histogram) -> None:
+        """Persist one histogram (atomically) and update the manifest."""
+        filename = self._filename(table, column)
+        target = self.root / filename
+        tmp = target.with_suffix(".tmp")
+        tmp.write_bytes(serialize_histogram(histogram))
+        os.replace(tmp, target)
+        self._entries[(table, column)] = filename
+        self._write_manifest()
+
+    def get(self, table: str, column: str) -> Histogram:
+        """Load one histogram; raises ``KeyError`` when absent."""
+        key = (table, column)
+        if key not in self._entries:
+            raise KeyError(f"no statistics for {table}.{column}")
+        data = (self.root / self._entries[key]).read_bytes()
+        return deserialize_histogram(data)
+
+    def __contains__(self, key: Tuple[str, str]) -> bool:
+        return key in self._entries
+
+    def remove(self, table: str, column: str) -> None:
+        """Drop one entry and its file."""
+        key = (table, column)
+        filename = self._entries.pop(key, None)
+        if filename is None:
+            raise KeyError(f"no statistics for {table}.{column}")
+        path = self.root / filename
+        if path.exists():
+            path.unlink()
+        self._write_manifest()
+
+    def entries(self) -> Iterator[Tuple[str, str]]:
+        return iter(sorted(self._entries))
+
+    def tables(self) -> List[str]:
+        return sorted({table for table, _ in self._entries})
+
+    def size_bytes(self) -> int:
+        """On-disk footprint of all histogram files."""
+        total = 0
+        for filename in self._entries.values():
+            path = self.root / filename
+            if path.exists():
+                total += path.stat().st_size
+        return total
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return f"StatisticsCatalog(root={str(self.root)!r}, entries={len(self)})"

@@ -1,0 +1,157 @@
+"""Attribute densities: the input to histogram construction.
+
+An attribute density is the sequence ``{(x_i, f_i)}`` of distinct values
+and their frequencies (paper Sec. 2.2).  Two flavours matter:
+
+* *dense* -- the values are the dictionary codes ``0 .. d-1`` themselves
+  (every code occurs).  All dictionary-encoded histograms operate here.
+* *non-dense* -- arbitrary strictly increasing numeric values with gaps,
+  the domain of the value-based histograms (paper Sec. 8.3).
+
+The class pre-computes an exclusive prefix-sum array so the cumulated
+frequency ``f+(i, j)`` of any index range is O(1); every acceptance test
+and construction algorithm leans on that.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["AttributeDensity"]
+
+
+class AttributeDensity:
+    """Distinct values with frequencies, plus O(1) range sums.
+
+    Index-space convention: all methods below address *indices into the
+    distinct-value sequence*, not raw values.  ``f_plus(i, j)`` is the
+    cumulated frequency of distinct values ``x_i .. x_{j-1}`` (half-open,
+    like the paper's range queries).
+    """
+
+    def __init__(
+        self, frequencies: Sequence[int], values: Optional[Sequence[float]] = None
+    ) -> None:
+        frequencies = np.asarray(frequencies, dtype=np.int64)
+        if frequencies.ndim != 1 or frequencies.size == 0:
+            raise ValueError("need a non-empty 1-d frequency array")
+        if np.any(frequencies < 1):
+            raise ValueError("every distinct value must occur at least once")
+        if values is None:
+            values = np.arange(frequencies.size, dtype=np.float64)
+            dense = True
+        else:
+            values = np.asarray(values, dtype=np.float64)
+            if values.shape != frequencies.shape:
+                raise ValueError("values and frequencies must align")
+            if values.size > 1 and np.any(np.diff(values) <= 0):
+                raise ValueError("values must be strictly increasing")
+            dense = bool(
+                values.size == 0
+                or (values[0] == 0 and np.all(np.diff(values) == 1))
+            )
+        self._freqs = frequencies
+        self._values = values
+        self._cum = np.concatenate(([0], np.cumsum(frequencies)))
+        self._dense = dense
+
+    @classmethod
+    def from_column(cls, column) -> "AttributeDensity":
+        """Density of a :class:`~repro.dictionary.column.DictionaryEncodedColumn`.
+
+        Dictionary-encoded histograms see the dense code domain, so the
+        values are the codes ``0 .. d-1``.
+        """
+        return cls(np.asarray(column.frequencies))
+
+    @classmethod
+    def from_value_column(cls, column) -> "AttributeDensity":
+        """Density over the column's raw (possibly non-dense) values."""
+        return cls(
+            np.asarray(column.frequencies),
+            np.asarray(column.dictionary.values, dtype=np.float64),
+        )
+
+    # -- shape -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return int(self._freqs.size)
+
+    @property
+    def n_distinct(self) -> int:
+        return int(self._freqs.size)
+
+    @property
+    def total(self) -> int:
+        """Total row count ``|R|``."""
+        return int(self._cum[-1])
+
+    @property
+    def is_dense(self) -> bool:
+        """True when the values are exactly ``0 .. d-1`` (dictionary codes)."""
+        return self._dense
+
+    @property
+    def frequencies(self) -> np.ndarray:
+        view = self._freqs.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def values(self) -> np.ndarray:
+        view = self._values.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def cumulative(self) -> np.ndarray:
+        """Exclusive prefix sums; ``cum[j] - cum[i]`` is ``f_plus(i, j)``."""
+        view = self._cum.view()
+        view.flags.writeable = False
+        return view
+
+    # -- range sums ---------------------------------------------------------
+
+    def f_plus(self, i: int, j: int) -> int:
+        """Cumulated frequency of distinct values ``x_i .. x_{j-1}``."""
+        if not 0 <= i <= j <= self.n_distinct:
+            raise IndexError(f"range [{i}, {j}) out of [0, {self.n_distinct}]")
+        return int(self._cum[j] - self._cum[i])
+
+    def value_at(self, index: int) -> float:
+        return float(self._values[index])
+
+    def width(self, i: int, j: int) -> float:
+        """Value-space width ``x_j - x_i`` (for ``j == n`` the open edge
+        extends one unit past the last value, matching half-open ranges)."""
+        upper = (
+            float(self._values[-1]) + 1.0 if j >= self.n_distinct else float(self._values[j])
+        )
+        lower = float(self._values[i]) if i < self.n_distinct else upper
+        return upper - lower
+
+    def max_frequency(self, i: int, j: int) -> int:
+        """Largest single-value frequency within index range ``[i, j)``."""
+        if j <= i:
+            raise ValueError("empty range")
+        return int(self._freqs[i:j].max())
+
+    def min_frequency(self, i: int, j: int) -> int:
+        """Smallest single-value frequency within index range ``[i, j)``."""
+        if j <= i:
+            raise ValueError("empty range")
+        return int(self._freqs[i:j].min())
+
+    def slice(self, i: int, j: int) -> Tuple[np.ndarray, np.ndarray]:
+        """The (values, frequencies) pair of index range ``[i, j)``."""
+        return self._values[i:j].copy(), self._freqs[i:j].copy()
+
+    def index_of_value(self, value: float, side: str = "left") -> int:
+        """Index of the first distinct value ``>= value`` (searchsorted)."""
+        return int(np.searchsorted(self._values, value, side=side))
+
+    def __repr__(self) -> str:
+        kind = "dense" if self._dense else "non-dense"
+        return f"AttributeDensity({kind}, d={self.n_distinct}, total={self.total})"

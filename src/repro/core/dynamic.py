@@ -1,0 +1,221 @@
+"""Dynamic-θ acceptance testing with history pruning (paper Sec. 4.6-4.7).
+
+``isThetaQAccDynamic`` (Fig. 1) enumerates query intervals by advancing
+the right endpoint ``j`` and scanning left endpoints ``i`` backwards
+within a search window proportional to the *smallest threshold θ'
+demonstrated necessary so far* (Axiom 4.1: θ',q-acceptability implies
+θ,q-acceptability for θ' < θ, so θ' can start at 0 and grow lazily).
+Each violation raises θ' to ``max(f+, f̂+)``; the test fails the moment
+θ' would have to exceed the requested θ.
+
+The bounded search window comes from Corollary 4.2: a minimal
+θ',q-violation of ``f̂avg`` on a dense bucket of ``n`` values with total
+``f+`` is narrower than ``2 θ' n / f+ + 3``.
+
+History optimisations (Sec. 4.7):
+
+* Corollary 4.4 -- if ``f̂+(j-1, j)`` is 0,q-acceptable and iteration
+  ``j-1`` saw no 0,q-violation, the whole backward search at ``j`` can be
+  skipped.
+* Corollary 4.3 -- once the backward scan at ``j`` meets its first
+  0,q-acceptable estimate at ``i'``, the remaining window shrinks to
+  ``θ' n / f+ + (j - i') + 1``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.core.density import AttributeDensity
+
+__all__ = [
+    "is_theta_q_acceptable_dynamic",
+    "is_theta_q_acceptable_dynamic_nondense",
+    "DynamicTestStats",
+]
+
+
+class DynamicTestStats:
+    """Mutable counters describing one dynamic-test invocation."""
+
+    def __init__(self) -> None:
+        self.intervals_checked = 0
+        self.rows_skipped_by_history = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"DynamicTestStats(checked={self.intervals_checked}, "
+            f"skipped={self.rows_skipped_by_history})"
+        )
+
+
+def is_theta_q_acceptable_dynamic(
+    density: AttributeDensity,
+    l: int,
+    u: int,
+    theta: float,
+    q: float,
+    alpha: Optional[float] = None,
+    bounded: bool = True,
+    use_history: bool = True,
+    stats: Optional[DynamicTestStats] = None,
+) -> bool:
+    """Decide θ,q-acceptability of ``f̂avg`` on dense ``[l, u)`` (Fig. 1).
+
+    Parameters
+    ----------
+    bounded:
+        Apply the Corollary 4.2 search-length bound (the paper's ``incB``
+        family).  With ``False`` every left endpoint is scanned (``inc``).
+    use_history:
+        Apply the Sec. 4.7 recent-history skips (only meaningful together
+        with ``bounded``; they are what make ``incB`` fast in practice).
+    stats:
+        Optional counter sink for instrumentation.
+    """
+    if not 0 <= l < u <= density.n_distinct:
+        raise IndexError(f"bucket [{l}, {u}) out of range")
+    if alpha is None:
+        alpha = density.f_plus(l, u) / (u - l)
+    cum = density.cumulative
+    n = u - l
+    total = density.f_plus(l, u)
+    if total <= theta:
+        # Every sub-range estimate and truth is below θ for f̂avg.
+        return True
+
+    theta_dyn = 0.0
+    prev_had_zero_violation = True  # conservative for the first iteration
+    for j in range(l + 1, u + 1):
+        truth_last = float(cum[j] - cum[j - 1])
+        est_last = alpha
+        last_zero_acceptable = (
+            truth_last <= q * est_last and est_last <= q * truth_last
+        )
+        if (
+            use_history
+            and bounded
+            and last_zero_acceptable
+            and not prev_had_zero_violation
+        ):
+            # Corollary 4.4: no minimal violation can end at this j.
+            if stats is not None:
+                stats.rows_skipped_by_history += 1
+            prev_had_zero_violation = False
+            continue
+
+        if bounded:
+            window = math.ceil(2.0 * theta_dyn * n / total) + 3
+            i_low = max(l, j - window)
+        else:
+            i_low = l
+
+        had_zero_violation = False
+        seen_zero_acceptable_at: Optional[int] = None
+        i = j - 1
+        while i >= i_low:
+            truth = float(cum[j] - cum[i])
+            est = alpha * (j - i)
+            if stats is not None:
+                stats.intervals_checked += 1
+            zero_acceptable = truth <= q * est and est <= q * truth
+            if not zero_acceptable:
+                had_zero_violation = True
+                if not (truth <= theta_dyn and est <= theta_dyn):
+                    theta_dyn = max(truth, est)
+                    if theta_dyn > theta:
+                        return False
+                    if bounded:
+                        window = math.ceil(2.0 * theta_dyn * n / total) + 3
+                        i_low = max(l, j - window)
+            elif (
+                use_history
+                and bounded
+                and seen_zero_acceptable_at is None
+            ):
+                # Corollary 4.3: tighten the remaining window.
+                seen_zero_acceptable_at = i
+                tightened = math.ceil(theta_dyn * n / total) + (j - i) + 1
+                i_low = max(i_low, j - tightened)
+            i -= 1
+        prev_had_zero_violation = had_zero_violation
+    return True
+
+
+def is_theta_q_acceptable_dynamic_nondense(
+    density: AttributeDensity,
+    l: int,
+    u: int,
+    theta: float,
+    q: float,
+    bounded: bool = True,
+    stats: Optional[DynamicTestStats] = None,
+) -> bool:
+    """The non-dense extension of Fig. 1 (Sec. 4.6's closing remark).
+
+    Tests theta,q-acceptability of f-hat-avg *in value space* over the
+    distinct-value index range ``[l, u)``: queries snap to distinct
+    values, the estimate for ``[x_i, x_j)`` is ``alpha_v (x_j - x_i)``
+    with ``alpha_v = f+ / (x_u' - x_l)`` (``x_u'`` the value-space upper
+    edge).
+
+    The bounded search window generalises Corollary 4.2 by bounding the
+    *value width* of a minimal violation: the maximal prefix and suffix
+    with estimates below theta' each span at most ``theta' / alpha_v``,
+    and discretisation can overshoot by at most two adjacent-value gaps,
+    so minimal violations are narrower than
+    ``2 theta' / alpha_v + 2 * maxgap`` in value space.
+    """
+    if not 0 <= l < u <= density.n_distinct:
+        raise IndexError(f"bucket [{l}, {u}) out of range")
+    values = density.values
+    cum = density.cumulative
+    upper = (
+        float(values[u]) if u < density.n_distinct else float(values[-1]) + 1.0
+    )
+    span = upper - float(values[l])
+    total = density.f_plus(l, u)
+    if total <= theta:
+        return True
+    alpha = total / span
+    if u - l > 1:
+        max_gap = float(np.max(np.diff(values[l:u])))
+        max_gap = max(max_gap, upper - float(values[u - 1]))
+    else:
+        max_gap = upper - float(values[l])
+
+    def edge(j: int) -> float:
+        return float(values[j]) if j < density.n_distinct else upper
+
+    theta_dyn = 0.0
+    for j in range(l + 1, u + 1):
+        w_j = edge(j)
+        if bounded:
+            window = 2.0 * theta_dyn / alpha + 2.0 * max_gap
+        else:
+            window = math.inf
+        i = j - 1
+        while i >= l:
+            width = w_j - float(values[i])
+            if bounded and width > window and not (
+                # Always include the single-value interval so theta_dyn
+                # can seed from zero.
+                i == j - 1
+            ):
+                break
+            truth = float(cum[j] - cum[i])
+            estimate = alpha * width
+            if stats is not None:
+                stats.intervals_checked += 1
+            acceptable = truth <= q * estimate and estimate <= q * truth
+            if not acceptable and not (
+                truth <= theta_dyn and estimate <= theta_dyn
+            ):
+                theta_dyn = max(truth, estimate)
+                if theta_dyn > theta:
+                    return False
+            i -= 1
+    return True

@@ -1,0 +1,74 @@
+"""Estimation functions for range queries (paper Sec. 2.4).
+
+The paper shows that every *linear and additive* estimation function has
+the form ``f̂+(x, y) = α (y - x)``; the canonical choice per bucket is
+
+    f̂avg(x, y) = (y - x) / (u - l) * f+(l, u)
+
+i.e. ``α = f+(l, u) / (u - l)``, which estimates whole-bucket queries
+exactly (1-acceptable) -- the property Corollary 5.3's tighter histogram
+bound requires.  Eq. 1 alternatively permits any α within
+``[(1/q) f+/(u-l), q f+/(u-l)]``; :class:`AlphaEstimator` exposes that
+freedom (it is what makes the dense pretest's ``max/min <= q^2``
+condition sound).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["AlphaEstimator", "FAvgEstimator", "alpha_bounds"]
+
+
+@dataclass(frozen=True)
+class AlphaEstimator:
+    """The linear additive estimator ``f̂+(x, y) = α (y - x)`` on ``[l, u)``.
+
+    Monotonic and additive by construction; both properties are exploited
+    by the acceptance tests of Sec. 4.
+    """
+
+    alpha: float
+    lo: float
+    hi: float
+
+    def __post_init__(self) -> None:
+        if self.alpha < 0:
+            raise ValueError(f"alpha must be non-negative, got {self.alpha}")
+        if self.hi <= self.lo:
+            raise ValueError(f"empty bucket [{self.lo}, {self.hi})")
+
+    def __call__(self, c1: float, c2: float) -> float:
+        """Estimate for the range query ``[c1, c2)`` within the bucket."""
+        if c2 < c1:
+            raise ValueError(f"inverted range [{c1}, {c2})")
+        return self.alpha * (c2 - c1)
+
+    @property
+    def bucket_total_estimate(self) -> float:
+        """Estimate for the query spanning the whole bucket."""
+        return self.alpha * (self.hi - self.lo)
+
+
+class FAvgEstimator(AlphaEstimator):
+    """``f̂avg``: the α that reproduces the bucket total exactly (Eq. 3)."""
+
+    def __init__(self, lo: float, hi: float, total: float) -> None:
+        if hi <= lo:
+            raise ValueError(f"empty bucket [{lo}, {hi})")
+        if total < 0:
+            raise ValueError(f"negative bucket total {total}")
+        super().__init__(alpha=total / (hi - lo), lo=lo, hi=hi)
+
+
+def alpha_bounds(total: float, lo: float, hi: float, q: float):
+    """Eq. 1: the α interval that keeps the whole-bucket estimate q-acceptable.
+
+    Returns ``((1/q) f+/(u-l), q f+/(u-l))``.
+    """
+    if hi <= lo:
+        raise ValueError(f"empty bucket [{lo}, {hi})")
+    if q < 1:
+        raise ValueError(f"q must be >= 1, got {q}")
+    density = total / (hi - lo)
+    return density / q, density * q

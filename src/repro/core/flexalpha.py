@@ -1,0 +1,118 @@
+"""Flexible-α construction: exploiting the Eq. 1 freedom.
+
+The default estimator f̂avg fixes ``α = f+/(u - l)``, which makes
+whole-bucket estimates exact (the premise of Corollary 5.3's tight
+bound).  Eq. 1 alternatively allows any α in
+``[(1/q) f+/(u-l), q f+/(u-l)]``; with ``α = sqrt(fmin * fmax)`` (the
+geometric mid of the bucket's frequency extremes) a bucket is
+q-acceptable for every sub-range whenever ``fmax/fmin <= q^2`` --
+Theorem 4.3's *flexible* pretest condition, which is weaker than the
+f̂avg condition and therefore admits longer buckets.
+
+The trade-off this module makes measurable: flexible-α buckets can be
+fewer/larger, but whole-bucket estimates are no longer exact, so only
+the weaker Theorem 5.2 histogram bound applies.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+import numpy as np
+
+from repro.compression.binaryq import BinaryQCompressor
+from repro.core.config import HistogramConfig
+from repro.core.density import AttributeDensity
+from repro.core.histogram import Histogram
+
+__all__ = ["build_flexible_alpha", "FlexAlphaBucket"]
+
+_BQ8 = BinaryQCompressor(k=3, s=5)
+
+
+class FlexAlphaBucket:
+    """An atomic bucket whose slope is the stored (compressed) α.
+
+    Unlike :class:`~repro.core.buckets.AtomicDenseBucket`, the 8-bit
+    payload encodes α itself rather than the bucket total, so the
+    whole-bucket estimate is ``α (u - l)``, q-acceptable but not exact.
+    """
+
+    def __init__(self, lo: int, hi: int, alpha_code: int) -> None:
+        if hi <= lo:
+            raise ValueError(f"empty bucket [{lo}, {hi})")
+        self.lo = int(lo)
+        self.hi = int(hi)
+        self.alpha_code = int(alpha_code)
+
+    @classmethod
+    def build(cls, lo: int, hi: int, alpha: float) -> "FlexAlphaBucket":
+        return cls(lo, hi, _BQ8.compress(max(int(round(alpha)), 1)))
+
+    @property
+    def alpha(self) -> float:
+        return float(_BQ8.decompress(self.alpha_code))
+
+    def total_estimate(self) -> float:
+        return self.alpha * (self.hi - self.lo)
+
+    def estimate_range(self, c1: float, c2: float) -> float:
+        c1 = max(float(c1), float(self.lo))
+        c2 = min(float(c2), float(self.hi))
+        if c2 <= c1:
+            return 0.0
+        return self.alpha * (c2 - c1)
+
+    @property
+    def size_bits(self) -> int:
+        return 8 + 32
+
+
+def build_flexible_alpha(
+    density: AttributeDensity,
+    config: HistogramConfig = HistogramConfig(),
+) -> Histogram:
+    """Greedy maximal buckets under the flexible pretest condition.
+
+    A bucket ``[l, u)`` is kept while ``total <= theta`` or
+    ``fmax / fmin <= q^2``; its stored slope is ``sqrt(fmin * fmax)``
+    (clamped into the Eq. 1 interval), which makes every sub-range
+    estimate q-acceptable (see tests for the proof obligation).
+    """
+    if not density.is_dense:
+        raise ValueError("flexible-alpha construction needs a dense domain")
+    theta = config.resolve_theta(density.total)
+    q = config.q
+    d = density.n_distinct
+    freqs = np.asarray(density.frequencies, dtype=np.float64)
+    cum = density.cumulative
+
+    buckets: List[FlexAlphaBucket] = []
+    b = 0
+    while b < d:
+        fmin = fmax = float(freqs[b])
+        total = float(freqs[b])
+        u = b + 1
+        while u < d:
+            candidate = float(freqs[u])
+            new_min = min(fmin, candidate)
+            new_max = max(fmax, candidate)
+            new_total = total + candidate
+            if new_total > theta and new_max > q * q * new_min:
+                break
+            fmin, fmax, total = new_min, new_max, new_total
+            u += 1
+        if total <= theta and fmax > q * q * fmin:
+            # θ-branch bucket: any alpha below θ/(u-b) keeps estimates
+            # small; the average is the natural choice.
+            alpha = total / (u - b)
+        else:
+            alpha = math.sqrt(fmin * fmax)
+            # Clamp into Eq. 1's interval so whole-bucket estimates stay
+            # q-acceptable.
+            density_avg = total / (u - b)
+            alpha = min(max(alpha, density_avg / q), density_avg * q)
+        buckets.append(FlexAlphaBucket.build(b, u, alpha))
+        b = u
+    return Histogram(buckets, kind="FlexAlpha", theta=theta, q=q, domain="code")

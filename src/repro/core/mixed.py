@@ -1,0 +1,90 @@
+"""Heterogeneous (mixed bucket-type) histograms.
+
+Paper Sec. 9: "we currently only consider histograms using a single
+bucket type.  Mixing different bucket types similar to [9] is part of
+our future work."  This module implements that extension: the builder
+grows variable-width buckets as usual, but when a region is so hostile
+that buckets degenerate to a handful of values, it switches to a raw
+bucket (QCRawDense) that stores every frequency at 4 bits -- trading a
+few bytes for exactness where approximation is hopeless.
+
+The decision rule: collect consecutive degenerate buckets (fewer than
+``raw_threshold`` values each) and fuse them into one raw bucket when
+the raw encoding is at least as small as the packed buckets it replaces.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.buckets import RawDenseBucket, VariableWidthBucket
+from repro.core.config import HistogramConfig
+from repro.core.density import AttributeDensity
+from repro.core.histogram import Histogram
+from repro.core.qvwh import _grow_bucket
+
+__all__ = ["build_mixed"]
+
+# A variable-width bucket whose eight bucklets hold fewer values than
+# this in total is considered degenerate.
+DEFAULT_RAW_THRESHOLD = 24
+
+
+def build_mixed(
+    density: AttributeDensity,
+    config: HistogramConfig = HistogramConfig(),
+    raw_threshold: int = DEFAULT_RAW_THRESHOLD,
+) -> Histogram:
+    """Build a mixed V8D + QCRawDense histogram (the Sec. 9 extension).
+
+    Regions where θ,q-acceptable buckets grow normally use the compact
+    128-bit variable-width bucket; degenerate regions fall back to raw
+    per-value storage, which is *exact* (up to 4-bit q-compression of
+    each frequency) and therefore trivially θ,q-acceptable.
+    """
+    if not density.is_dense:
+        raise ValueError("mixed construction needs a dense domain")
+    if raw_threshold < 1:
+        raise ValueError("raw_threshold must be positive")
+    theta = config.resolve_theta(density.total)
+    q = config.q
+    d = density.n_distinct
+
+    # Pass 1: grow variable-width buckets.
+    spans: List[tuple] = []  # (lo, widths, totals)
+    b = 0
+    while b < d:
+        widths, totals, nxt = _grow_bucket(density, b, theta, q, config.bounded_search)
+        spans.append((b, widths, totals))
+        b = nxt
+
+    # Pass 2: fuse runs of degenerate buckets into raw buckets.
+    buckets: List = []
+    raw_run_start: int = -1
+    for lo, widths, totals in spans:
+        width = sum(widths)
+        degenerate = width < raw_threshold
+        if degenerate:
+            if raw_run_start < 0:
+                raw_run_start = lo
+            continue
+        if raw_run_start >= 0:
+            _flush_raw(buckets, density, raw_run_start, lo)
+            raw_run_start = -1
+        buckets.append(VariableWidthBucket.build(lo, widths, totals))
+    if raw_run_start >= 0:
+        _flush_raw(buckets, density, raw_run_start, d)
+
+    return Histogram(buckets, kind="Mixed", theta=theta, q=q, domain="code")
+
+
+def _flush_raw(buckets: List, density: AttributeDensity, lo: int, hi: int) -> None:
+    """Append raw buckets covering ``[lo, hi)`` (chunked to the 16-bit
+    size field of the raw header)."""
+    max_chunk = (1 << 16) - 1
+    position = lo
+    while position < hi:
+        end = min(position + max_chunk, hi)
+        freqs = density.frequencies[position:end]
+        buckets.append(RawDenseBucket.build(position, freqs))
+        position = end

@@ -1,0 +1,94 @@
+"""The q-error metric and θ,q-acceptability (paper Secs. 2.3 and 3).
+
+The q-error of an estimate ``f̂`` for a true value ``f`` is
+``max(f̂/f, f/f̂)`` -- the factor by which the estimate is off,
+symmetrically in both directions.  It is the only precision measure
+tightly bound to plan quality (Moerkotte/Neumann/Steidl, VLDB 2009).
+
+θ,q-acceptability weakens the pure q-error below a cardinality threshold
+θ: when both the estimate and the truth are at most θ, any error is
+tolerated, because every plan is near-optimal for such small inputs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+__all__ = [
+    "qerror",
+    "q_acceptable",
+    "theta_q_acceptable",
+    "max_qerror",
+    "qerror_of_sum",
+    "qerror_of_product",
+]
+
+
+def qerror(estimate: float, truth: float) -> float:
+    """``||f̂/f||_Q = max(f̂/f, f/f̂)``.
+
+    Conventions for the boundary cases: two zeros agree perfectly
+    (q-error 1); a zero on exactly one side is infinitely wrong.
+    """
+    if estimate < 0 or truth < 0:
+        raise ValueError("q-error is defined for non-negative quantities")
+    if estimate == 0 and truth == 0:
+        return 1.0
+    if estimate == 0 or truth == 0:
+        return math.inf
+    ratio = estimate / truth
+    return max(ratio, 1.0 / ratio)
+
+
+def q_acceptable(estimate: float, truth: float, q: float) -> bool:
+    """True iff the estimate's q-error is at most ``q``."""
+    if q < 1:
+        raise ValueError(f"q must be >= 1, got {q}")
+    # Multiplicative form avoids the division in the hot construction loop
+    # and is exact for the q-error's boundary cases.
+    return truth <= q * estimate and estimate <= q * truth
+
+
+def theta_q_acceptable(
+    estimate: float, truth: float, theta: float, q: float
+) -> bool:
+    """θ,q-acceptability (paper Sec. 3).
+
+    The estimate is acceptable when (1) both it and the truth lie at or
+    below θ, or (2) its q-error is at most q.
+    """
+    if theta < 0:
+        raise ValueError(f"theta must be >= 0, got {theta}")
+    if truth <= theta and estimate <= theta:
+        return True
+    return q_acceptable(estimate, truth, q)
+
+
+def max_qerror(estimates: Iterable[float], truths: Iterable[float]) -> float:
+    """Largest q-error over paired estimates and truths."""
+    worst = 1.0
+    for estimate, truth in zip(estimates, truths):
+        worst = max(worst, qerror(estimate, truth))
+    return worst
+
+
+def qerror_of_sum(q_errors: Iterable[float]) -> float:
+    """Bound on the q-error of a sum of q-bounded estimates.
+
+    Sec. 2.3: if every term has q-error at most ``q_i``, the sum of the
+    estimates has q-error at most ``max_i q_i``.
+    """
+    return max(q_errors, default=1.0)
+
+
+def qerror_of_product(q_errors: Iterable[float]) -> float:
+    """Bound on the q-error of a product of q-bounded estimates.
+
+    Sec. 2.3: q-errors multiply under products (which is why estimation
+    errors propagate with the power of the number of joined predicates).
+    """
+    result = 1.0
+    for q in q_errors:
+        result *= q
+    return result

@@ -1,0 +1,154 @@
+"""QEWH: histograms with eight equi-width bucklets (paper Sec. 7.1, Fig. 5).
+
+``BuildQEWH`` is the generate-and-test construction: starting at the
+current bucket boundary it searches for the largest bucklet width ``m``
+such that all eight bucklets of width ``m`` are individually
+θ,q-acceptable (``FindLargest``: doubling followed by binary search,
+using the combined acceptance test of Sec. 4.4).  Each bucket is encoded
+as a 64-bit QC16T8x6 word.  This is the ``F8Dgt`` variant of the
+evaluation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from repro.compression.layouts import BucketLayout, QC16T8x6
+from repro.core.acceptance import is_theta_q_acceptable
+from repro.core.buckets import EquiWidthBucket
+from repro.core.config import HistogramConfig
+from repro.core.density import AttributeDensity
+from repro.core.histogram import Histogram
+
+__all__ = ["find_largest", "build_qewh"]
+
+
+def _bucklets_acceptable(
+    density: AttributeDensity,
+    l: int,
+    m: int,
+    theta: float,
+    q: float,
+    config: HistogramConfig,
+    n_bucklets: int = 8,
+    max_bucklet_total: float = float("inf"),
+) -> bool:
+    """True iff every one of the ``n_bucklets`` width-``m`` bucklets
+    starting at ``l`` is θ,q-acceptable for its f̂avg estimator *and*
+    its total fits the payload layout's compressible range.
+
+    Bucklets clipped by the domain end are tested with the slope the
+    estimator will actually use (bucklet total over the *unclipped*
+    width ``m``).
+    """
+    d = density.n_distinct
+    for i in range(n_bucklets):
+        lo = l + i * m
+        hi = lo + m
+        if lo >= d:
+            break  # fully past the domain: empty, trivially acceptable
+        clipped = min(hi, d)
+        total = density.f_plus(lo, clipped)
+        if total > max_bucklet_total:
+            return False
+        alpha = total / m
+        if not is_theta_q_acceptable(
+            density,
+            lo,
+            clipped,
+            theta,
+            q,
+            max_size=config.max_pretest_size,
+            alpha=alpha,
+        ):
+            return False
+    return True
+
+
+def find_largest(
+    density: AttributeDensity,
+    l: int,
+    theta: float,
+    q: float,
+    config: HistogramConfig,
+    n_bucklets: int = 8,
+    max_bucklet_total: float = float("inf"),
+) -> int:
+    """Fig. 5's ``FindLargest``: the maximal bucklet width ``m`` at ``l``.
+
+    Doubles ``m`` until some bucklet fails the acceptance test, then
+    binary-searches the maximal acceptable width in between.  Width 1 is
+    always acceptable on a dense domain (a single-value bucklet estimates
+    itself exactly), so the result is at least 1.
+    """
+    d = density.n_distinct
+    if not 0 <= l < d:
+        raise IndexError(f"start {l} outside domain [0, {d})")
+    # A bucket never needs to reach past the domain end by more than one
+    # bucklet's worth of padding.
+    m_cap = max(1, math.ceil((d - l) / n_bucklets))
+    # Width 1 is acceptable by construction: a single-value bucklet's
+    # f̂avg answers its only query exactly.
+    m_good = 1
+    m_bad = m_cap + 1
+    while m_good < m_cap:
+        m_next = min(2 * m_good, m_cap)
+        if _bucklets_acceptable(
+            density, l, m_next, theta, q, config, n_bucklets, max_bucklet_total
+        ):
+            m_good = m_next
+        else:
+            m_bad = m_next
+            break
+    # Largest acceptable m in [m_good, m_bad).
+    while m_bad - m_good > 1:
+        mid = (m_good + m_bad) // 2
+        if _bucklets_acceptable(
+            density, l, mid, theta, q, config, n_bucklets, max_bucklet_total
+        ):
+            m_good = mid
+        else:
+            m_bad = mid
+    return m_good
+
+
+def build_qewh(
+    density: AttributeDensity,
+    config: HistogramConfig = HistogramConfig(),
+    layout: BucketLayout = QC16T8x6,
+) -> Histogram:
+    """Fig. 5's ``BuildQEWH``: generate-and-test equi-width construction.
+
+    ``layout`` selects the packed bucket format (default QC16T8x6); any
+    simple layout of Table 3 works, e.g. QC16x4 for sixteen narrower
+    bucklets or BQC8x8 for binary-q payloads.
+    """
+    if not density.is_dense:
+        raise ValueError("QEWH requires a dense (dictionary-code) domain")
+    theta = config.resolve_theta(density.total)
+    q = config.q
+    d = density.n_distinct
+    n = layout.n_bucklets
+    capacity = layout.max_bucklet_value()
+    max_freq = int(density.frequencies.max())
+    if max_freq > capacity:
+        raise OverflowError(
+            f"layout {layout.name} cannot represent a single-value frequency "
+            f"of {max_freq} (range cap {capacity:.3g}); pick a layout with a "
+            "larger base or wider fields"
+        )
+    buckets: List[EquiWidthBucket] = []
+    b = 0
+    while b < d:
+        m = find_largest(
+            density, b, theta, q, config, n_bucklets=n, max_bucklet_total=capacity
+        )
+        freqs = [
+            density.f_plus(min(b + i * m, d), min(b + (i + 1) * m, d))
+            for i in range(n)
+        ]
+        buckets.append(EquiWidthBucket.build(b, m, freqs, layout=layout))
+        b += n * m
+    kind = "F8Dgt" if layout is QC16T8x6 else f"F{n}Dgt[{layout.name}]"
+    return Histogram(buckets, kind=kind, theta=theta, q=q, domain="code")

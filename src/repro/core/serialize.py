@@ -1,0 +1,237 @@
+"""Binary (de)serialisation of histograms.
+
+Histograms are statistics objects a database persists in its catalog;
+this module gives every bucket type a compact binary form close to its
+in-memory packed size.  Format (little-endian):
+
+* header: magic ``RQH1``, kind string, θ, q, domain flag, bucket count;
+* per bucket: a one-byte type tag followed by the type's fields.
+
+The round trip is exact: a deserialised histogram produces bit-identical
+estimates, because only the packed payloads and boundaries are stored.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List
+
+from repro.core.buckets import (
+    LAYOUTS_BY_NAME,
+    AtomicDenseBucket,
+    EquiWidthBucket,
+    RawDenseBucket,
+    RawNonDenseBucket,
+    ValueAtomicBucket,
+    VariableWidthBucket,
+)
+from repro.core.flexalpha import FlexAlphaBucket
+from repro.core.histogram import Histogram
+from repro.compression.layouts import (
+    EncodedBucket,
+    QC16T8x6_1F7x9,
+    QCRawDense,
+    QCRawNonDense,
+    WidthsWord,
+)
+
+__all__ = ["serialize_histogram", "deserialize_histogram", "SerializationError"]
+
+_MAGIC = b"RQH1"
+
+_TAG_EQUI = 1
+_TAG_VARIABLE = 2
+_TAG_ATOMIC = 3
+_TAG_VALUE_ATOMIC = 4
+_TAG_RAW_DENSE = 5
+_TAG_RAW_NONDENSE = 6
+_TAG_FLEX_ALPHA = 7
+
+
+class SerializationError(ValueError):
+    """Raised for malformed input or unsupported bucket types."""
+
+
+def serialize_histogram(histogram: Histogram) -> bytes:
+    """Encode a histogram to bytes (see module docstring for the format)."""
+    parts: List[bytes] = [_MAGIC]
+    kind = histogram.kind.encode("utf-8")
+    parts.append(struct.pack("<H", len(kind)))
+    parts.append(kind)
+    parts.append(
+        struct.pack(
+            "<ddBI",
+            histogram.theta,
+            histogram.q,
+            1 if histogram.domain == "value" else 0,
+            len(histogram),
+        )
+    )
+    for bucket in histogram.buckets:
+        parts.append(_encode_bucket(bucket))
+    return b"".join(parts)
+
+
+def deserialize_histogram(data: bytes) -> Histogram:
+    """Decode bytes produced by :func:`serialize_histogram`."""
+    if data[:4] != _MAGIC:
+        raise SerializationError("bad magic; not a serialized histogram")
+    offset = 4
+    (kind_len,) = struct.unpack_from("<H", data, offset)
+    offset += 2
+    kind = data[offset : offset + kind_len].decode("utf-8")
+    offset += kind_len
+    theta, q, domain_flag, n_buckets = struct.unpack_from("<ddBI", data, offset)
+    offset += struct.calcsize("<ddBI")
+    buckets = []
+    for _ in range(n_buckets):
+        bucket, offset = _decode_bucket(data, offset)
+        buckets.append(bucket)
+    if offset != len(data):
+        raise SerializationError(f"{len(data) - offset} trailing bytes")
+    return Histogram(
+        buckets,
+        kind=kind,
+        theta=theta,
+        q=q,
+        domain="value" if domain_flag else "code",
+    )
+
+
+def _encode_bucket(bucket) -> bytes:
+    if isinstance(bucket, EquiWidthBucket):
+        layout_name = bucket.layout.name.encode("utf-8")
+        return (
+            struct.pack(
+                "<BqqQBB",
+                _TAG_EQUI,
+                bucket.lo,
+                bucket.bucklet_width,
+                bucket.payload.word,
+                bucket.payload.base_index,
+                len(layout_name),
+            )
+            + layout_name
+        )
+    if isinstance(bucket, VariableWidthBucket):
+        return struct.pack(
+            "<BqqQBQ",
+            _TAG_VARIABLE,
+            bucket.lo,
+            bucket.hi,
+            bucket.payload.freqs.word,
+            bucket.payload.freqs.base_index,
+            bucket.payload.widths.word,
+        )
+    if isinstance(bucket, AtomicDenseBucket):
+        return struct.pack("<BqqB", _TAG_ATOMIC, bucket.lo, bucket.hi, bucket.total_code)
+    if isinstance(bucket, ValueAtomicBucket):
+        return struct.pack(
+            "<BddBB",
+            _TAG_VALUE_ATOMIC,
+            bucket.lo,
+            bucket.hi,
+            bucket.total_code,
+            bucket.distinct_code,
+        )
+    if isinstance(bucket, RawDenseBucket):
+        payload = bucket.payload
+        head = struct.pack(
+            "<BqIBHH",
+            _TAG_RAW_DENSE,
+            bucket.lo,
+            payload.count,
+            payload.base_index,
+            payload.total_code,
+            len(payload.words),
+        )
+        return head + struct.pack(f"<{len(payload.words)}Q", *payload.words)
+    if isinstance(bucket, RawNonDenseBucket):
+        payload = bucket.payload
+        head = struct.pack(
+            "<BBHHH",
+            _TAG_RAW_NONDENSE,
+            payload.base_index,
+            payload.total_code,
+            len(payload.values),
+            len(payload.words),
+        )
+        return (
+            head
+            + struct.pack(f"<{len(payload.values)}q", *payload.values)
+            + struct.pack(f"<{len(payload.words)}Q", *payload.words)
+        )
+    if isinstance(bucket, FlexAlphaBucket):
+        return struct.pack(
+            "<BqqB", _TAG_FLEX_ALPHA, bucket.lo, bucket.hi, bucket.alpha_code
+        )
+    raise SerializationError(f"unsupported bucket type {type(bucket).__name__}")
+
+
+def _decode_bucket(data: bytes, offset: int):
+    (tag,) = struct.unpack_from("<B", data, offset)
+    if tag == _TAG_EQUI:
+        _, lo, width, word, base_index, name_len = struct.unpack_from(
+            "<BqqQBB", data, offset
+        )
+        offset += struct.calcsize("<BqqQBB")
+        layout_name = data[offset : offset + name_len].decode("utf-8")
+        offset += name_len
+        layout = LAYOUTS_BY_NAME.get(layout_name)
+        if layout is None:
+            raise SerializationError(f"unknown equi-width layout {layout_name!r}")
+        return (
+            EquiWidthBucket(
+                lo, width, EncodedBucket(word=word, base_index=base_index), layout=layout
+            ),
+            offset,
+        )
+    if tag == _TAG_VARIABLE:
+        _, lo, hi, freq_word, base_index, widths_word = struct.unpack_from(
+            "<BqqQBQ", data, offset
+        )
+        offset += struct.calcsize("<BqqQBQ")
+        payload = QC16T8x6_1F7x9(
+            freqs=EncodedBucket(word=freq_word, base_index=base_index),
+            widths=WidthsWord(word=widths_word),
+        )
+        return VariableWidthBucket(lo, hi, payload), offset
+    if tag == _TAG_ATOMIC:
+        _, lo, hi, code = struct.unpack_from("<BqqB", data, offset)
+        offset += struct.calcsize("<BqqB")
+        return AtomicDenseBucket(lo, hi, code), offset
+    if tag == _TAG_VALUE_ATOMIC:
+        _, lo, hi, total_code, distinct_code = struct.unpack_from(
+            "<BddBB", data, offset
+        )
+        offset += struct.calcsize("<BddBB")
+        return ValueAtomicBucket(lo, hi, total_code, distinct_code), offset
+    if tag == _TAG_RAW_DENSE:
+        _, lo, count, base_index, total_code, n_words = struct.unpack_from(
+            "<BqIBHH", data, offset
+        )
+        offset += struct.calcsize("<BqIBHH")
+        words = struct.unpack_from(f"<{n_words}Q", data, offset)
+        offset += 8 * n_words
+        payload = QCRawDense(
+            base_index=base_index, total_code=total_code, words=words, count=count
+        )
+        return RawDenseBucket(lo, payload), offset
+    if tag == _TAG_RAW_NONDENSE:
+        _, base_index, total_code, n_values, n_words = struct.unpack_from(
+            "<BBHHH", data, offset
+        )
+        offset += struct.calcsize("<BBHHH")
+        values = struct.unpack_from(f"<{n_values}q", data, offset)
+        offset += 8 * n_values
+        words = struct.unpack_from(f"<{n_words}Q", data, offset)
+        offset += 8 * n_words
+        payload = QCRawNonDense(
+            base_index=base_index, total_code=total_code, values=values, words=words
+        )
+        return RawNonDenseBucket(payload), offset
+    if tag == _TAG_FLEX_ALPHA:
+        _, lo, hi, code = struct.unpack_from("<BqqB", data, offset)
+        offset += struct.calcsize("<BqqB")
+        return FlexAlphaBucket(lo, hi, code), offset
+    raise SerializationError(f"unknown bucket tag {tag}")

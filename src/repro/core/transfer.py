@@ -1,0 +1,86 @@
+"""Bucket-to-histogram error transfer (paper Sec. 5).
+
+θ,q-acceptability of individual buckets does *not* carry over to the
+whole histogram: a query spanning ``n`` buckets each estimated as 1 with
+true total ``n θ`` has q-error θ.  Theorems 5.1/5.2 and Corollary 5.3
+rescue the situation: relative to a *scaled* threshold ``k θ`` the
+histogram's q-error degrades only by an additive term that shrinks with
+``k``.
+
+These functions compute the guaranteed (θ', q') pairs; the Table 4
+benchmark compares them against q-errors observed by enumerating range
+queries.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+__all__ = [
+    "two_bucket_guarantee",
+    "multi_bucket_guarantee",
+    "exact_total_guarantee",
+    "histogram_guarantee",
+]
+
+
+def two_bucket_guarantee(theta: float, q: float, k: float) -> Tuple[float, float]:
+    """Theorem 5.1: two θ,q-acceptable neighbouring buckets yield a
+    ``(kθ, q + q/(k-1))``-acceptable histogram, for ``k >= 2``."""
+    if k < 2:
+        raise ValueError(f"Theorem 5.1 needs k >= 2, got {k}")
+    if q < 1:
+        raise ValueError(f"q must be >= 1, got {q}")
+    return k * theta, q + q / (k - 1.0)
+
+
+def multi_bucket_guarantee(theta: float, q: float, k: float) -> Tuple[float, float]:
+    """Theorem 5.2: if whole-bucket estimates are q-acceptable and every
+    bucket is θ,q-acceptable, the histogram is
+    ``(kθ, q + 2q/(k-2))``-acceptable, for ``k >= 3``."""
+    if k < 3:
+        raise ValueError(f"Theorem 5.2 needs k >= 3, got {k}")
+    if q < 1:
+        raise ValueError(f"q must be >= 1, got {q}")
+    return k * theta, q + 2.0 * q / (k - 2.0)
+
+
+def exact_total_guarantee(theta: float, q: float, k: float) -> Tuple[float, float]:
+    """Corollary 5.3: with *1-acceptable* (exact) whole-bucket estimates
+    -- which ``f̂avg`` provides up to compression error -- the histogram
+    is ``(kθ, 2q/(k-2) + 1)``-acceptable, for ``k >= 3``.
+
+    This is the bound Table 4 evaluates: for θ=32, q=2 it gives q' = 5 at
+    k = 3 and q' = 3 at k = 4, with no guarantee for k < 3.
+    """
+    if k < 3:
+        raise ValueError(f"Corollary 5.3 needs k >= 3, got {k}")
+    if q < 1:
+        raise ValueError(f"q must be >= 1, got {q}")
+    return k * theta, 2.0 * q / (k - 2.0) + 1.0
+
+
+def histogram_guarantee(
+    theta: float,
+    q: float,
+    k: float,
+    exact_totals: bool = True,
+    compression_qerror: float = 1.0,
+) -> Tuple[float, float]:
+    """The practical end-to-end guarantee for our histograms.
+
+    Combines the Sec. 5 transfer theorem with the extra multiplicative
+    error of q-compressed bucket contents (Sec. 6.2 notes the layouts add
+    a small factor; q-errors multiply, Sec. 2.3).
+
+    Returns ``(theta', q')`` such that the histogram's range estimates
+    are θ',q'-acceptable, or raises for ``k`` below the theorem's reach.
+    """
+    if compression_qerror < 1:
+        raise ValueError("compression q-error is >= 1 by definition")
+    if exact_totals:
+        theta_out, q_out = exact_total_guarantee(theta, q, k)
+    else:
+        theta_out, q_out = multi_bucket_guarantee(theta, q, k)
+    return theta_out, q_out * compression_qerror

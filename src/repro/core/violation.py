@@ -1,0 +1,110 @@
+"""θ,q-violations and their structure (paper Sec. 4.5, Theorems 4.4-4.6).
+
+A range query ``[i, j)`` is a θ,q-*violation* for an estimator when its
+estimate is not θ,q-acceptable; a violation is *minimal* when it strictly
+contains no other violation.  Proving the absence of minimal violations
+proves acceptability, and the theorems here bound how wide a minimal
+violation can be -- which is what makes the bounded-search construction
+variants (``incB``) correct.
+
+These functions are primarily an executable specification: the property
+tests assert the theorems against brute-force enumeration, and the
+bounded-search window in :mod:`repro.core.dynamic` cites them.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+from repro.core.density import AttributeDensity
+from repro.core.qerror import theta_q_acceptable
+
+__all__ = [
+    "find_violations",
+    "find_minimal_violations",
+    "minimal_violation_width_bound",
+    "is_minimal_violation",
+]
+
+
+def _estimate(alpha: float, i: int, j: int) -> float:
+    return alpha * (j - i)
+
+
+def find_violations(
+    density: AttributeDensity,
+    l: int,
+    u: int,
+    theta: float,
+    q: float,
+    alpha: Optional[float] = None,
+) -> List[Tuple[int, int]]:
+    """All θ,q-violations of ``f̂avg`` on dense ``[l, u)`` (brute force)."""
+    if alpha is None:
+        alpha = density.f_plus(l, u) / (u - l)
+    out: List[Tuple[int, int]] = []
+    for i in range(l, u):
+        for j in range(i + 1, u + 1):
+            truth = density.f_plus(i, j)
+            if not theta_q_acceptable(_estimate(alpha, i, j), truth, theta, q):
+                out.append((i, j))
+    return out
+
+
+def is_minimal_violation(
+    density: AttributeDensity,
+    i: int,
+    j: int,
+    theta: float,
+    q: float,
+    alpha: float,
+) -> bool:
+    """True iff ``[i, j)`` is a violation strictly containing no other."""
+    if theta_q_acceptable(_estimate(alpha, i, j), density.f_plus(i, j), theta, q):
+        return False
+    for i2 in range(i, j):
+        for j2 in range(i2 + 1, j + 1):
+            if (i2, j2) == (i, j):
+                continue
+            truth = density.f_plus(i2, j2)
+            if not theta_q_acceptable(_estimate(alpha, i2, j2), truth, theta, q):
+                return False
+    return True
+
+
+def find_minimal_violations(
+    density: AttributeDensity,
+    l: int,
+    u: int,
+    theta: float,
+    q: float,
+    alpha: Optional[float] = None,
+) -> List[Tuple[int, int]]:
+    """All *minimal* θ,q-violations on dense ``[l, u)`` (brute force)."""
+    if alpha is None:
+        alpha = density.f_plus(l, u) / (u - l)
+    violations = find_violations(density, l, u, theta, q, alpha=alpha)
+    vset = set(violations)
+
+    def contains_other(i: int, j: int) -> bool:
+        return any(
+            (i2, j2) != (i, j) and i <= i2 and j2 <= j for (i2, j2) in vset
+        )
+
+    return [(i, j) for (i, j) in violations if not contains_other(i, j)]
+
+
+def minimal_violation_width_bound(
+    theta: float, n: int, total: int
+) -> int:
+    """Corollary 4.2: minimal θ,q-violations of ``f̂avg`` on a dense
+    bucket of ``n`` values with cumulated frequency ``total`` are
+    narrower than ``2 θ n / total + 3``.
+
+    Returns an integer width such that every minimal violation ``[i, j)``
+    has ``j - i <`` the returned value.
+    """
+    if n < 1 or total < 1:
+        raise ValueError("need a non-empty bucket")
+    return math.ceil(2.0 * theta * n / total) + 3

@@ -1,0 +1,30 @@
+"""Order-preserving dictionary column-store substrate (paper Sec. 2.1-2.2).
+
+SAP HANA's read-optimised store encodes every column through an
+order-preserving dictionary with *dense* integer codes: the distinct
+values ``x_1 < ... < x_d`` map to ``0 .. d-1`` and the column stores only
+bit-packed codes.  The histograms of the paper consume exactly this
+substrate -- a dense, ordered integer domain plus per-code frequencies --
+so this subpackage provides:
+
+* :class:`repro.dictionary.ordered.OrderedDictionary` -- the encoding.
+* :class:`repro.dictionary.column.DictionaryEncodedColumn` -- a column
+  with a bit-packed code vector, ground-truth range counts, and a
+  compressed-size model (the denominator of the paper's space ratios).
+* :class:`repro.dictionary.delta.DeltaStore` -- write-optimised append
+  buffer whose *delta merge* re-encodes the main column (the moment the
+  paper builds its histograms, when the maximum frequency is known).
+* :class:`repro.dictionary.table.Table` -- a named collection of columns.
+"""
+
+from repro.dictionary.ordered import OrderedDictionary
+from repro.dictionary.column import DictionaryEncodedColumn
+from repro.dictionary.delta import DeltaStore
+from repro.dictionary.table import Table
+
+__all__ = [
+    "OrderedDictionary",
+    "DictionaryEncodedColumn",
+    "DeltaStore",
+    "Table",
+]

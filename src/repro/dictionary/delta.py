@@ -1,0 +1,75 @@
+"""Write-optimised delta store and the delta merge.
+
+HANA splits each column into a read-optimised main part and a
+write-optimised delta.  Periodically a *delta merge* folds the delta into
+the main store, rebuilding the ordered dictionary.  The paper constructs
+its histograms at exactly this moment -- "we know the largest value after
+we have generated the dictionary during the delta merge" (Sec. 6.1.1) --
+so the merge is the natural trigger for histogram (re)construction.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.dictionary.column import DictionaryEncodedColumn
+
+__all__ = ["DeltaStore"]
+
+
+class DeltaStore:
+    """An append buffer of raw values awaiting a delta merge.
+
+    Parameters
+    ----------
+    on_merge:
+        Optional callback invoked with the freshly merged column --
+        the hook where histogram construction plugs in.
+    """
+
+    def __init__(
+        self, on_merge: Optional[Callable[[DictionaryEncodedColumn], None]] = None
+    ) -> None:
+        self._rows: List[Any] = []
+        self._on_merge = on_merge
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def insert(self, value: Any) -> None:
+        """Append one row."""
+        self._rows.append(value)
+
+    def insert_many(self, values: Sequence[Any]) -> None:
+        """Append many rows."""
+        self._rows.extend(values)
+
+    def merge(
+        self, main: Optional[DictionaryEncodedColumn] = None, name: str = ""
+    ) -> DictionaryEncodedColumn:
+        """Fold the buffered rows into ``main``, producing a new column.
+
+        The merged column gets a rebuilt ordered dictionary covering the
+        union of old and new distinct values (codes of existing values may
+        shift -- exactly why histograms are rebuilt at merge time rather
+        than patched).  The delta is emptied.
+        """
+        if not self._rows and main is None:
+            raise ValueError("nothing to merge: empty delta and no main column")
+        parts = []
+        if main is not None:
+            # Re-materialise the main rows in value space.  Histogram
+            # experiments only need frequencies, so we expand from the
+            # density rather than requiring a packed row vector.
+            values = np.asarray(main.dictionary.values)
+            parts.append(np.repeat(values, main.frequencies))
+        if self._rows:
+            parts.append(np.asarray(self._rows))
+        raw = np.concatenate(parts) if len(parts) > 1 else parts[0]
+        merged = DictionaryEncodedColumn.from_values(raw, name=name or getattr(main, "name", ""))
+        self._rows.clear()
+        if self._on_merge is not None:
+            self._on_merge(merged)
+        return merged

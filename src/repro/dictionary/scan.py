@@ -1,0 +1,101 @@
+"""Scan and index-access operators over dictionary-encoded columns.
+
+The execution substrate the miniature optimizer chooses between:
+
+* :func:`range_scan` -- full scan: unpack the bit-packed code vector and
+  filter (cost proportional to the row count);
+* :class:`CodeIndex` -- an inverted index from code to row ids, giving
+  an index scan whose cost is proportional to the *qualifying* rows;
+* :class:`AccessExecutor` -- runs whichever path the optimizer picked
+  and reports an abstract cost consistent with
+  :class:`~repro.optimizer.cost.CostModel`, so plan-regret predictions
+  can be validated against "executed" costs.
+
+Because dictionary codes are order-preserving, a range predicate on
+values is a contiguous code range, and the index can answer it with one
+slice of its code-sorted row-id array.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.dictionary.column import DictionaryEncodedColumn
+from repro.optimizer.access import AccessPath
+from repro.optimizer.cost import CostModel
+
+__all__ = ["range_scan", "CodeIndex", "AccessExecutor"]
+
+
+def range_scan(column: DictionaryEncodedColumn, c1: int, c2: int) -> np.ndarray:
+    """Row ids whose code falls in ``[c1, c2)`` via a full scan."""
+    codes = column.decode_codes()
+    return np.nonzero((codes >= c1) & (codes < c2))[0]
+
+
+class CodeIndex:
+    """An inverted index: row ids grouped by code, in code order.
+
+    Equivalent to a B-tree on the column for our purposes: a code range
+    maps to one contiguous slice of the row-id array.
+    """
+
+    def __init__(self, column: DictionaryEncodedColumn) -> None:
+        codes = column.decode_codes()
+        order = np.argsort(codes, kind="stable")
+        self._row_ids = order.astype(np.int64)
+        sorted_codes = codes[order]
+        # Slice boundaries per code: positions[c] .. positions[c+1].
+        self._positions = np.searchsorted(
+            sorted_codes, np.arange(column.n_distinct + 1)
+        )
+        self.n_distinct = column.n_distinct
+
+    def lookup_range(self, c1: int, c2: int) -> np.ndarray:
+        """Row ids for code range ``[c1, c2)``, via the index."""
+        c1 = min(max(c1, 0), self.n_distinct)
+        c2 = min(max(c2, c1), self.n_distinct)
+        return self._row_ids[self._positions[c1] : self._positions[c2]]
+
+    def count_range(self, c1: int, c2: int) -> int:
+        c1 = min(max(c1, 0), self.n_distinct)
+        c2 = min(max(c2, c1), self.n_distinct)
+        return int(self._positions[c2] - self._positions[c1])
+
+    def size_bytes(self) -> int:
+        return int(self._row_ids.nbytes + self._positions.nbytes)
+
+
+class AccessExecutor:
+    """Executes an access-path choice and accounts its abstract cost."""
+
+    def __init__(
+        self,
+        column: DictionaryEncodedColumn,
+        cost_model: CostModel = CostModel(),
+    ) -> None:
+        self.column = column
+        self.cost_model = cost_model
+        self._index = CodeIndex(column)
+
+    @property
+    def index(self) -> CodeIndex:
+        return self._index
+
+    def execute(
+        self, path: AccessPath, c1: int, c2: int
+    ) -> Tuple[np.ndarray, float]:
+        """Run the chosen path; returns (row ids, abstract cost).
+
+        Costs follow the optimizer's model: a scan pays per table row, an
+        index access pays per *qualifying* row (plus the fixed cost).
+        """
+        if path is AccessPath.SCAN:
+            rows = range_scan(self.column, c1, c2)
+            cost = self.cost_model.scan_cost(self.column.n_rows)
+        else:
+            rows = self._index.lookup_range(c1, c2)
+            cost = self.cost_model.index_cost(rows.size)
+        return rows, cost

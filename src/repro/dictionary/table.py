@@ -1,0 +1,71 @@
+"""A minimal table abstraction: named dictionary-encoded columns.
+
+Provides the per-column iteration and the "is a histogram worthwhile"
+filter from the paper's Sec. 8.2: columns with fewer than 20 distinct
+values get exact per-value statistics instead, and unique (key) columns
+have a trivial density known from the dictionary alone.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+from repro.dictionary.column import DictionaryEncodedColumn
+
+__all__ = ["Table", "histogram_worthy"]
+
+MIN_DISTINCT_FOR_HISTOGRAM = 20
+
+
+def histogram_worthy(column: DictionaryEncodedColumn) -> bool:
+    """The Sec. 8.2 filter: skip tiny domains and unique columns.
+
+    Columns with < 20 distinct values can keep exact per-value counts;
+    columns where every value is unique (primary keys) have a trivial
+    density fully described by the dictionary.
+    """
+    if column.n_distinct < MIN_DISTINCT_FOR_HISTOGRAM:
+        return False
+    if column.n_distinct == column.n_rows:
+        return False
+    return True
+
+
+class Table:
+    """An ordered collection of named columns."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._columns: Dict[str, DictionaryEncodedColumn] = {}
+
+    def add_column(self, column: DictionaryEncodedColumn) -> None:
+        if not column.name:
+            raise ValueError("columns added to a table need a name")
+        if column.name in self._columns:
+            raise ValueError(f"duplicate column name {column.name!r}")
+        self._columns[column.name] = column
+
+    def column(self, name: str) -> DictionaryEncodedColumn:
+        return self._columns[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._columns
+
+    def __len__(self) -> int:
+        return len(self._columns)
+
+    def __iter__(self) -> Iterator[DictionaryEncodedColumn]:
+        return iter(self._columns.values())
+
+    def columns(self) -> List[DictionaryEncodedColumn]:
+        return list(self._columns.values())
+
+    def histogram_candidates(self) -> List[DictionaryEncodedColumn]:
+        """Columns passing the Sec. 8.2 histogram-worthiness filter."""
+        return [col for col in self if histogram_worthy(col)]
+
+    def items(self) -> Iterator[Tuple[str, DictionaryEncodedColumn]]:
+        return iter(self._columns.items())
+
+    def __repr__(self) -> str:
+        return f"Table(name={self.name!r}, columns={len(self._columns)})"

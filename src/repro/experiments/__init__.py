@@ -1,0 +1,20 @@
+"""Shared experiment harness for the benchmark suite."""
+
+from repro.experiments.harness import (
+    BuildRecord,
+    build_record,
+    dataset_cache,
+    evaluate_max_qerror,
+    rank_series,
+)
+from repro.experiments.report import format_table, summarize_series
+
+__all__ = [
+    "BuildRecord",
+    "build_record",
+    "dataset_cache",
+    "evaluate_max_qerror",
+    "rank_series",
+    "format_table",
+    "summarize_series",
+]

@@ -1,0 +1,111 @@
+"""Experiment harness: timed builds, q-error sweeps, dataset caching.
+
+The benchmark files under ``benchmarks/`` regenerate the paper's tables
+and figures; this module holds the shared machinery so each benchmark
+stays a thin, readable driver.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+
+from repro.core.builder import build_histogram
+from repro.core.config import HistogramConfig
+from repro.core.density import AttributeDensity
+from repro.core.histogram import Histogram
+from repro.core.qerror import qerror
+from repro.workloads.dataset import DatasetColumn
+
+__all__ = [
+    "BuildRecord",
+    "build_record",
+    "dataset_cache",
+    "evaluate_max_qerror",
+    "rank_series",
+]
+
+# Benchmarks share generated datasets through this process-wide cache so
+# a pytest-benchmark session generates each population once.
+_DATASETS: Dict[str, List[DatasetColumn]] = {}
+
+
+def dataset_cache(name: str, factory: Callable[[], List[DatasetColumn]]) -> List[DatasetColumn]:
+    """Build-once access to a named dataset population."""
+    if name not in _DATASETS:
+        _DATASETS[name] = factory()
+    return _DATASETS[name]
+
+
+@dataclass(frozen=True)
+class BuildRecord:
+    """One histogram build: timing, size, and context."""
+
+    column: str
+    kind: str
+    seconds: float
+    size_bytes: int
+    n_buckets: int
+    compressed_bytes: int
+    n_distinct: int
+
+    @property
+    def memory_percent(self) -> float:
+        """Histogram size as % of the compressed column (Figs. 8/10)."""
+        return 100.0 * self.size_bytes / max(self.compressed_bytes, 1)
+
+    @property
+    def microseconds(self) -> float:
+        return self.seconds * 1e6
+
+
+def build_record(
+    column: DatasetColumn,
+    kind: str,
+    config: HistogramConfig,
+) -> BuildRecord:
+    """Time one histogram build on one column."""
+    density = column.value_density if kind.startswith("1V") else column.dense
+    start = time.perf_counter()
+    histogram = build_histogram(density, kind=kind, config=config)
+    elapsed = time.perf_counter() - start
+    return BuildRecord(
+        column=column.name,
+        kind=kind,
+        seconds=elapsed,
+        size_bytes=histogram.size_bytes(),
+        n_buckets=len(histogram),
+        compressed_bytes=column.compressed_bytes,
+        n_distinct=column.n_distinct,
+    )
+
+
+def rank_series(values: Sequence[float]) -> List[float]:
+    """Sort ascending: the paper's rank-plot y-series (x is the rank)."""
+    return sorted(float(v) for v in values)
+
+
+def evaluate_max_qerror(
+    histogram: Histogram,
+    density: AttributeDensity,
+    queries: np.ndarray,
+    theta_out: float,
+) -> float:
+    """Largest q-error over the query set, ignoring the sub-θ' regime.
+
+    Implements the Sec. 8.6 measurement: q-errors only count when the
+    estimate or the truth exceeds the whole-histogram threshold θ'
+    (``k * theta``); below it θ',q'-acceptability tolerates anything.
+    """
+    cum = density.cumulative
+    worst = 1.0
+    for c1, c2 in np.asarray(queries, dtype=np.int64):
+        truth = float(cum[c2] - cum[c1])
+        estimate = histogram.estimate(float(c1), float(c2))
+        if truth <= theta_out and estimate <= theta_out:
+            continue
+        worst = max(worst, qerror(estimate, truth))
+    return worst

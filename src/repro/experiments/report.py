@@ -1,0 +1,50 @@
+"""Plain-text table and series formatting for benchmark output.
+
+The benchmarks print the same rows/series the paper's tables and figures
+report; these helpers keep that output aligned and uniform.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+__all__ = ["format_table", "summarize_series"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Fixed-width text table with a header rule."""
+    cells = [[str(h) for h in headers]] + [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for index, row in enumerate(cells):
+        lines.append("  ".join(cell.rjust(width) for cell, width in zip(row, widths)))
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def summarize_series(values: Sequence[float], quantiles=(0.5, 0.9, 0.99)) -> List[float]:
+    """Selected quantiles plus the maximum of a sorted-or-not series.
+
+    Rank plots do not paste well into text output; their shape is
+    captured by a handful of quantiles and the max.
+    """
+    if not values:
+        return [0.0 for _ in quantiles] + [0.0]
+    ordered = sorted(float(v) for v in values)
+    out = []
+    for fraction in quantiles:
+        index = min(int(fraction * (len(ordered) - 1)), len(ordered) - 1)
+        out.append(ordered[index])
+    out.append(ordered[-1])
+    return out

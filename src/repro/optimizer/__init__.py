@@ -1,0 +1,24 @@
+"""Plan-quality substrate: why θ,q-acceptability suffices (paper Sec. 3).
+
+A miniature cost-based access-path choice (index scan vs full table
+scan).  The punchline, which the ``plan_quality`` example and tests
+demonstrate empirically: estimates that are θ,q-acceptable with
+``θ = min(θ_buf - 1, θ_idx / q)`` never flip the optimizer's decision
+in the regime where the decision matters.
+"""
+
+from repro.optimizer.cost import CostModel
+from repro.optimizer.access import (
+    AccessPath,
+    choose_access_path,
+    decision_theta,
+    plan_regret,
+)
+
+__all__ = [
+    "CostModel",
+    "AccessPath",
+    "choose_access_path",
+    "decision_theta",
+    "plan_regret",
+]

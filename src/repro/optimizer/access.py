@@ -1,0 +1,72 @@
+"""Access-path choice and the θ derivation of Sec. 3.
+
+``decision_theta`` reproduces the paper's threshold construction: with a
+buffer of θ_buf tuples (interleaved optimization/execution knows exact
+cardinalities below it) and an index/scan crossover at θ_idx, estimates
+only need to be q-accurate above ``θ = min(θ_buf - 1, θ_idx / q)`` --
+below that, any estimate leads to a near-optimal plan.
+
+``plan_regret`` quantifies the damage of a wrong choice: the cost of the
+plan picked from the estimate divided by the cost of the truly optimal
+plan (1.0 = optimal).
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.optimizer.cost import CostModel
+
+__all__ = ["AccessPath", "choose_access_path", "decision_theta", "plan_regret"]
+
+
+class AccessPath(enum.Enum):
+    """The two access paths of the miniature optimizer."""
+
+    INDEX = "index"
+    SCAN = "scan"
+
+
+def choose_access_path(
+    estimate: float, table_rows: int, cost_model: CostModel
+) -> AccessPath:
+    """Pick the cheaper path for an estimated qualifying-row count."""
+    if estimate < 0:
+        raise ValueError("estimates are non-negative")
+    if cost_model.index_cost(estimate) <= cost_model.scan_cost(table_rows):
+        return AccessPath.INDEX
+    return AccessPath.SCAN
+
+
+def decision_theta(
+    table_rows: int, q: float, cost_model: CostModel, theta_buf: float = float("inf")
+) -> float:
+    """Sec. 3's θ: ``min(θ_buf - 1, θ_idx / q)``.
+
+    Estimates that are θ,q-acceptable for this θ keep every index/scan
+    decision optimal (up to the inherent indifference region around the
+    crossover) and every post-buffer cardinality exact.
+    """
+    if q < 1:
+        raise ValueError(f"q must be >= 1, got {q}")
+    theta_idx = cost_model.theta_idx(table_rows)
+    return min(theta_buf - 1.0, theta_idx / q)
+
+
+def plan_regret(
+    estimate: float, truth: float, table_rows: int, cost_model: CostModel
+) -> float:
+    """Cost ratio of the estimate-driven plan to the optimal plan.
+
+    1.0 means the estimate led to the optimal access path; values above
+    1.0 measure how much the mis-estimate costs at execution time.
+    """
+    chosen = choose_access_path(estimate, table_rows, cost_model)
+    optimal = choose_access_path(truth, table_rows, cost_model)
+    if chosen == optimal:
+        return 1.0
+    cost_of = {
+        AccessPath.INDEX: cost_model.index_cost(truth),
+        AccessPath.SCAN: cost_model.scan_cost(table_rows),
+    }
+    return cost_of[chosen] / cost_of[optimal]

@@ -1,0 +1,50 @@
+"""A two-path cost model: full scan vs index scan.
+
+Deliberately minimal -- linear costs with a crossover at roughly 10 % of
+the table (the classic rule of thumb the paper cites [7, 11]): an index
+scan pays a per-qualifying-row penalty (random access), the full scan a
+smaller per-row cost over the whole table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CostModel"]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Costs in abstract units per row.
+
+    With the defaults the index is cheaper while fewer than
+    ``table_rows * scan_cost / index_cost = 10 %`` of the rows qualify.
+    """
+
+    scan_cost_per_row: float = 1.0
+    index_cost_per_row: float = 10.0
+    index_fixed_cost: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.scan_cost_per_row <= 0 or self.index_cost_per_row <= 0:
+            raise ValueError("per-row costs must be positive")
+        if self.index_fixed_cost < 0:
+            raise ValueError("fixed cost must be non-negative")
+
+    def scan_cost(self, table_rows: int) -> float:
+        """Cost of a full table scan."""
+        return self.scan_cost_per_row * table_rows
+
+    def index_cost(self, qualifying_rows: float) -> float:
+        """Cost of an index scan retrieving ``qualifying_rows`` rows."""
+        return self.index_fixed_cost + self.index_cost_per_row * qualifying_rows
+
+    def theta_idx(self, table_rows: int) -> float:
+        """The qualifying-row count where scan and index cost cross.
+
+        Below this the index wins; above it the full scan wins.  This is
+        the paper's θ_idx.
+        """
+        return (
+            self.scan_cost(table_rows) - self.index_fixed_cost
+        ) / self.index_cost_per_row

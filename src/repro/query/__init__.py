@@ -1,0 +1,28 @@
+"""Predicate-level cardinality estimation.
+
+A thin query layer on top of the statistics substrate: value-space
+predicates (range, equality, conjunction) are translated through the
+ordered dictionaries into code ranges and answered from the per-column
+histograms -- or from a joint 2-D histogram when one is registered for a
+column pair (conjunctions otherwise fall back to the independence
+assumption, with attribution in the result so callers can see which path
+produced an estimate).
+"""
+
+from repro.query.predicates import (
+    AndPredicate,
+    EqualsPredicate,
+    Predicate,
+    RangePredicate,
+)
+from repro.query.estimator import CardinalityEstimate, CardinalityEstimator, JointStatistics
+
+__all__ = [
+    "Predicate",
+    "RangePredicate",
+    "EqualsPredicate",
+    "AndPredicate",
+    "CardinalityEstimator",
+    "CardinalityEstimate",
+    "JointStatistics",
+]

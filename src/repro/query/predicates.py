@@ -1,0 +1,81 @@
+"""Predicate model: the query shapes the paper's histograms answer.
+
+Sec. 2.2: "Other forms of range queries and exact match queries can
+easily be translated into this form" -- the half-open range ``[c1, c2)``.
+These classes perform that translation; conjunctions compose them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Tuple
+
+__all__ = ["Predicate", "RangePredicate", "EqualsPredicate", "AndPredicate"]
+
+
+class Predicate:
+    """Base class; concrete predicates implement ``columns()``."""
+
+    def columns(self) -> List[str]:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class RangePredicate(Predicate):
+    """``column >= low AND column < high`` (the canonical ``[c1, c2)``)."""
+
+    column: str
+    low: Any
+    high: Any
+
+    def __post_init__(self) -> None:
+        if self.high <= self.low:
+            raise ValueError(f"empty range [{self.low}, {self.high})")
+
+    def columns(self) -> List[str]:
+        return [self.column]
+
+    def bounds(self) -> Tuple[Any, Any]:
+        return self.low, self.high
+
+
+@dataclass(frozen=True)
+class EqualsPredicate(Predicate):
+    """``column = value``, translated to the range ``[value, next)``.
+
+    On discrete domains an exact match is the half-open range from the
+    value to its successor; the estimator performs the translation using
+    the column's dictionary.
+    """
+
+    column: str
+    value: Any
+
+    def columns(self) -> List[str]:
+        return [self.column]
+
+
+@dataclass(frozen=True)
+class AndPredicate(Predicate):
+    """A conjunction of predicates over one or more columns."""
+
+    children: Tuple[Predicate, ...]
+
+    def __init__(self, *children: Predicate) -> None:
+        if len(children) < 2:
+            raise ValueError("a conjunction needs at least two children")
+        flat: List[Predicate] = []
+        for child in children:
+            if isinstance(child, AndPredicate):
+                flat.extend(child.children)
+            else:
+                flat.append(child)
+        object.__setattr__(self, "children", tuple(flat))
+
+    def columns(self) -> List[str]:
+        out: List[str] = []
+        for child in self.children:
+            for name in child.columns():
+                if name not in out:
+                    out.append(name)
+        return out

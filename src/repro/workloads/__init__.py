@@ -1,0 +1,35 @@
+"""Synthetic evaluation workloads (paper Sec. 8.2).
+
+The paper evaluates on two proprietary SAP datasets (an ERP development
+system and a customer BW warehouse).  Those are unavailable, so this
+subpackage synthesises column populations with the *hard* characteristics
+the paper emphasises -- footnote 1 warns that generated Zipf or TPC-DS
+data is "too simple to approximate", so the generators here combine heavy
+tails, plateaus, spikes, regime switches and random-walk densities within
+single columns.
+
+* :mod:`repro.workloads.distributions` -- the building-block generators.
+* :mod:`repro.workloads.erp` / :mod:`repro.workloads.bw` -- the two
+  scaled dataset populations.
+* :mod:`repro.workloads.queries` -- range-query workload generators.
+"""
+
+from repro.workloads.distributions import (
+    DISTRIBUTIONS,
+    make_density,
+    make_nondense_density,
+)
+from repro.workloads.erp import make_erp_dataset
+from repro.workloads.bw import make_bw_dataset
+from repro.workloads.queries import all_ranges, sample_ranges, exhaustive_or_sampled
+
+__all__ = [
+    "DISTRIBUTIONS",
+    "make_density",
+    "make_nondense_density",
+    "make_erp_dataset",
+    "make_bw_dataset",
+    "all_ranges",
+    "sample_ranges",
+    "exhaustive_or_sampled",
+]

@@ -1,0 +1,113 @@
+"""Dataset scaffolding shared by the synthetic ERP and BW populations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.density import AttributeDensity
+from repro.dictionary.column import DictionaryEncodedColumn
+from repro.workloads.distributions import make_density
+
+__all__ = ["DatasetColumn", "make_columns"]
+
+
+@dataclass
+class DatasetColumn:
+    """One synthetic evaluation column.
+
+    Carries both views the experiments need: the dense dictionary-code
+    density (Figs. 9-11, Table 4) and a non-dense value-domain density
+    over scattered raw values (Figs. 7-8), plus the compressed column
+    size that the space experiments divide by.
+    """
+
+    name: str
+    dense: AttributeDensity
+    value_density: AttributeDensity
+    compressed_bytes: int
+
+    @property
+    def n_distinct(self) -> int:
+        return self.dense.n_distinct
+
+    @property
+    def n_rows(self) -> int:
+        return self.dense.total
+
+
+def _scatter_values(
+    rng: np.random.Generator, n_distinct: int
+) -> np.ndarray:
+    """Non-dense raw values: strictly increasing with irregular gaps.
+
+    Mixes unit steps (dense runs) with occasional large jumps, the
+    pattern of real identifier/timestamp columns.
+    """
+    gaps = rng.choice(
+        [1, 2, 3, 10, 100, 5000],
+        size=n_distinct,
+        p=[0.55, 0.15, 0.10, 0.12, 0.06, 0.02],
+    ).astype(np.float64)
+    return np.cumsum(gaps)
+
+
+def make_columns(
+    seed: int,
+    n_columns: int,
+    min_distinct: int,
+    max_distinct: int,
+    name_prefix: str,
+    heavy_tail_exponent: float = 1.0,
+) -> List[DatasetColumn]:
+    """Generate a column population with a log-uniform size distribution.
+
+    ``heavy_tail_exponent`` > 1 skews the draw towards small columns
+    (most real columns are tiny; a handful are huge).
+    """
+    if n_columns < 1:
+        raise ValueError("need at least one column")
+    if not 1 <= min_distinct <= max_distinct:
+        raise ValueError("invalid distinct-count range")
+    rng = np.random.default_rng(seed)
+    log_lo = np.log10(min_distinct)
+    log_hi = np.log10(max_distinct)
+    columns: List[DatasetColumn] = []
+    for index in range(n_columns):
+        # Log-uniform draw, skewed towards the small end.
+        fraction = rng.uniform() ** heavy_tail_exponent
+        n_distinct = int(round(10 ** (log_lo + fraction * (log_hi - log_lo))))
+        n_distinct = max(min_distinct, min(n_distinct, max_distinct))
+        dense = make_density(rng, n_distinct)
+        values = _scatter_values(rng, n_distinct)
+        value_density = AttributeDensity(dense.frequencies, values=values)
+        column = DictionaryEncodedColumn.from_frequencies(
+            dense.frequencies, values=values.astype(np.float64)
+        )
+        columns.append(
+            DatasetColumn(
+                name=f"{name_prefix}_{index:04d}",
+                dense=dense,
+                value_density=value_density,
+                compressed_bytes=column.compressed_size_bytes(),
+            )
+        )
+    # Guarantee the advertised maximum is actually reached: force the
+    # last column to the top of the range (the paper's "most challenging
+    # column").
+    if columns and columns[-1].n_distinct < max_distinct:
+        dense = make_density(rng, max_distinct)
+        values = _scatter_values(rng, max_distinct)
+        value_density = AttributeDensity(dense.frequencies, values=values)
+        column = DictionaryEncodedColumn.from_frequencies(
+            dense.frequencies, values=values.astype(np.float64)
+        )
+        columns[-1] = DatasetColumn(
+            name=f"{name_prefix}_{n_columns - 1:04d}",
+            dense=dense,
+            value_density=value_density,
+            compressed_bytes=column.compressed_size_bytes(),
+        )
+    return columns

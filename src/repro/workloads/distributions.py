@@ -1,0 +1,202 @@
+"""Frequency-distribution building blocks for synthetic columns.
+
+Every generator returns an ``int64`` frequency array of the requested
+number of distinct values, all entries >= 1 (dense dictionary domains
+have no zero-frequency codes).  Single-kind columns are easy to
+approximate; :func:`make_density` therefore composes several *segments*
+of different kinds, plus spikes, which is what defeats naive histograms
+and exercises the acceptance machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.core.density import AttributeDensity
+
+__all__ = [
+    "DISTRIBUTIONS",
+    "make_density",
+    "make_nondense_density",
+    "uniform_freqs",
+    "zipf_freqs",
+    "lognormal_freqs",
+    "random_walk_freqs",
+    "stepped_freqs",
+    "spiky_freqs",
+    "sorted_zipf_freqs",
+]
+
+
+def uniform_freqs(rng: np.random.Generator, n: int, level: int = 10) -> np.ndarray:
+    """Near-uniform frequencies around ``level`` (the easy case)."""
+    low = max(1, int(level * 0.8))
+    high = max(low + 1, int(level * 1.2) + 1)
+    return rng.integers(low, high, size=n).astype(np.int64)
+
+
+def zipf_freqs(rng: np.random.Generator, n: int, a: float = 1.5) -> np.ndarray:
+    """Heavy-tailed Zipf frequencies in random (unsorted) value order."""
+    return np.maximum(rng.zipf(a, size=n), 1).astype(np.int64)
+
+
+def sorted_zipf_freqs(rng: np.random.Generator, n: int, a: float = 1.5) -> np.ndarray:
+    """Zipf frequencies sorted descending: a smooth but steep decay."""
+    return np.sort(zipf_freqs(rng, n, a))[::-1].copy()
+
+
+def lognormal_freqs(
+    rng: np.random.Generator, n: int, sigma: float = 1.5
+) -> np.ndarray:
+    """Log-normal frequencies: moderate skew, no extreme outliers."""
+    return np.maximum(rng.lognormal(2.0, sigma, size=n), 1.0).astype(np.int64)
+
+
+def random_walk_freqs(
+    rng: np.random.Generator, n: int, step: float = 0.15
+) -> np.ndarray:
+    """A multiplicative random walk: locally smooth, globally wandering.
+
+    Hard for equi-anything histograms because the local level drifts
+    across orders of magnitude without a stationary shape.  The drift is
+    renormalised to span at most four orders of magnitude so column
+    totals stay within realistic row counts.
+    """
+    log_level = np.cumsum(rng.normal(0.0, step, size=n))
+    log_level -= log_level.min()
+    spread = log_level.max()
+    max_spread = np.log(10_000.0)
+    if spread > max_spread:
+        log_level *= max_spread / spread
+    freqs = np.exp(log_level + 0.5)
+    return np.maximum(freqs, 1.0).astype(np.int64)
+
+
+def stepped_freqs(
+    rng: np.random.Generator, n: int, n_steps: int = 8, spread: float = 3.0
+) -> np.ndarray:
+    """Plateaus at very different levels with abrupt jumps."""
+    if n < 2:
+        return np.maximum(
+            np.exp(rng.uniform(0.0, spread, size=n)), 1.0
+        ).astype(np.int64)
+    n_steps = max(2, min(n_steps, n))
+    edges = np.sort(rng.choice(np.arange(1, n), size=n_steps - 1, replace=False))
+    levels = np.exp(rng.uniform(0.0, spread, size=n_steps))
+    freqs = np.empty(n, dtype=np.int64)
+    start = 0
+    for index, end in enumerate(list(edges) + [n]):
+        freqs[start:end] = max(1, int(levels[index]))
+        start = end
+    return freqs
+
+
+def spiky_freqs(
+    rng: np.random.Generator,
+    n: int,
+    base_level: int = 5,
+    spike_fraction: float = 0.01,
+    spike_scale: float = 10_000.0,
+) -> np.ndarray:
+    """A low base with rare huge spikes (isolated hot values)."""
+    freqs = np.maximum(
+        rng.integers(1, max(base_level, 2), size=n), 1
+    ).astype(np.int64)
+    n_spikes = max(1, int(n * spike_fraction))
+    positions = rng.choice(n, size=n_spikes, replace=False)
+    spikes = (rng.pareto(1.0, size=n_spikes) + 1.0) * spike_scale / 10.0
+    freqs[positions] = np.clip(spikes, spike_scale / 100, 10 * spike_scale).astype(
+        np.int64
+    )
+    return freqs
+
+
+DISTRIBUTIONS: Dict[str, Callable[[np.random.Generator, int], np.ndarray]] = {
+    "uniform": uniform_freqs,
+    "zipf": zipf_freqs,
+    "sorted_zipf": sorted_zipf_freqs,
+    "lognormal": lognormal_freqs,
+    "random_walk": random_walk_freqs,
+    "stepped": stepped_freqs,
+    "spiky": spiky_freqs,
+}
+
+
+def make_density(
+    rng: np.random.Generator,
+    n_distinct: int,
+    n_segments: Optional[int] = None,
+    spike_rate: float = 0.002,
+    smooth_fraction: float = 0.35,
+) -> AttributeDensity:
+    """A challenging dense density: mixed segments plus injected spikes.
+
+    A ``smooth_fraction`` of columns are entirely smooth (near-uniform
+    frequencies) -- as most real ERP/BW columns are; these are where
+    buckets grow long and the bounded-search optimisation matters.  The
+    rest are divided into 1-6 contiguous segments, each drawn from a
+    different distribution family, with a sprinkling of isolated spikes
+    -- the rough regions where acceptance must cut buckets short.
+    """
+    if n_distinct < 1:
+        raise ValueError("need at least one distinct value")
+    if n_segments is None and rng.uniform() < smooth_fraction:
+        level = int(rng.integers(3, 200))
+        return AttributeDensity(uniform_freqs(rng, n_distinct, level=level))
+    if n_segments is None:
+        n_segments = int(rng.integers(1, 7))
+    n_segments = max(1, min(n_segments, n_distinct))
+    cut_points = np.sort(
+        rng.choice(np.arange(1, n_distinct), size=n_segments - 1, replace=False)
+    ) if n_segments > 1 else np.empty(0, dtype=np.int64)
+    names = list(DISTRIBUTIONS)
+    freqs = np.empty(n_distinct, dtype=np.int64)
+    start = 0
+    for end in list(cut_points) + [n_distinct]:
+        name = names[int(rng.integers(0, len(names)))]
+        seg_len = end - start
+        if seg_len > 0:
+            freqs[start:end] = DISTRIBUTIONS[name](rng, seg_len)
+        start = end
+    # Inject isolated spikes across segment boundaries.  Frequencies are
+    # capped at 10^7 so bucklet totals stay inside the paper's 6-bit
+    # q-compression ranges (largest base 1.4 reaches ~1.1e9).
+    n_spikes = int(n_distinct * spike_rate)
+    if n_spikes:
+        positions = rng.choice(n_distinct, size=n_spikes, replace=False)
+        freqs[positions] = np.maximum(
+            freqs[positions] * rng.integers(100, 10_000, size=n_spikes), 1
+        )
+    return AttributeDensity(np.clip(freqs, 1, 10**7))
+
+
+def make_nondense_density(
+    rng: np.random.Generator,
+    n_distinct: int,
+    domain_span: Optional[float] = None,
+    clustered: bool = True,
+) -> AttributeDensity:
+    """A non-dense (value-domain) density for value-based histograms.
+
+    Distinct values are scattered over a wide numeric domain; with
+    ``clustered`` they bunch into groups separated by large gaps, the
+    pattern (e.g. surrogate keys from several ranges) that makes
+    value-space estimation hard.
+    """
+    if domain_span is None:
+        domain_span = float(n_distinct) * 100.0
+    if clustered and n_distinct >= 10:
+        n_clusters = int(rng.integers(2, max(3, n_distinct // 50 + 2)))
+        centers = np.sort(rng.uniform(0, domain_span, size=n_clusters))
+        sizes = rng.multinomial(n_distinct, np.full(n_clusters, 1.0 / n_clusters))
+        points = []
+        for center, size in zip(centers, sizes):
+            points.append(center + rng.exponential(domain_span / 500.0, size=size))
+        values = np.concatenate(points)
+    else:
+        values = rng.uniform(0, domain_span, size=n_distinct)
+    values = np.unique(np.round(values, 6))
+    dense = make_density(rng, values.size)
+    return AttributeDensity(dense.frequencies, values=values)

@@ -1,0 +1,81 @@
+"""Query traces with temporal locality and data drift.
+
+Real workloads do not sample ranges uniformly: queries cluster on hot
+regions, and the data underneath drifts between statistics rebuilds.
+This module generates both, for the advisor/maintenance experiments:
+
+* :func:`hot_range_queries` -- range queries concentrated around a set
+  of hot centers (plus a uniform background);
+* :func:`drift_density` -- a sequence of densities where the frequency
+  mass shifts between epochs (new hot values, decaying old ones).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+import numpy as np
+
+from repro.core.density import AttributeDensity
+
+__all__ = ["hot_range_queries", "drift_density"]
+
+
+def hot_range_queries(
+    rng: np.random.Generator,
+    d: int,
+    n_queries: int,
+    n_hotspots: int = 3,
+    hot_fraction: float = 0.8,
+    hot_width: int = 50,
+) -> np.ndarray:
+    """Range queries with locality: most hit one of a few hot regions.
+
+    Returns an ``(n_queries, 2)`` array of half-open code ranges.
+    """
+    if d < 2:
+        raise ValueError("need a domain of at least 2 codes")
+    centers = rng.integers(0, d, size=max(n_hotspots, 1))
+    out = np.empty((n_queries, 2), dtype=np.int64)
+    for i in range(n_queries):
+        if rng.uniform() < hot_fraction:
+            center = int(centers[rng.integers(0, centers.size)])
+            width = max(int(rng.geometric(1.0 / max(hot_width, 2))), 1)
+            c1 = max(center - width // 2, 0)
+            c2 = min(c1 + width, d)
+            c1 = min(c1, c2 - 1)
+        else:
+            c1, c2 = sorted(rng.integers(0, d + 1, size=2))
+            if c1 == c2:
+                c2 = min(c1 + 1, d)
+                c1 = c2 - 1
+        out[i] = (c1, c2)
+    return out
+
+
+def drift_density(
+    base: AttributeDensity,
+    rng: np.random.Generator,
+    n_epochs: int,
+    drift_per_epoch: float = 0.3,
+) -> Iterator[AttributeDensity]:
+    """Yield ``n_epochs`` densities drifting away from ``base``.
+
+    Each epoch multiplies a random contiguous region's frequencies by a
+    large factor and decays another region -- the pattern of hot data
+    moving (e.g. recent orders) that invalidates old statistics.
+    """
+    if not 0 < drift_per_epoch <= 1:
+        raise ValueError("drift_per_epoch must be in (0, 1]")
+    freqs = np.asarray(base.frequencies, dtype=np.float64).copy()
+    d = freqs.size
+    region = max(int(d * drift_per_epoch / 2), 1)
+    for _ in range(n_epochs):
+        grow_at = int(rng.integers(0, max(d - region, 1)))
+        decay_at = int(rng.integers(0, max(d - region, 1)))
+        freqs[grow_at : grow_at + region] *= float(rng.uniform(5.0, 50.0))
+        freqs[decay_at : decay_at + region] = np.maximum(
+            freqs[decay_at : decay_at + region] * float(rng.uniform(0.02, 0.2)),
+            1.0,
+        )
+        yield AttributeDensity(np.clip(freqs, 1, 10**7).astype(np.int64))

@@ -1,0 +1,94 @@
+"""Baselines: correctness of estimates and the unbounded-error failure."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    EquiDepthHistogram,
+    EquiWidthHistogram,
+    MaxDiffHistogram,
+    SamplingEstimator,
+)
+from repro.core.density import AttributeDensity
+from repro.core.qerror import qerror
+
+ALL_HISTOGRAM_BASELINES = [EquiWidthHistogram, EquiDepthHistogram, MaxDiffHistogram]
+
+
+class TestHistogramBaselines:
+    @pytest.mark.parametrize("cls", ALL_HISTOGRAM_BASELINES)
+    def test_whole_domain_is_exact(self, cls, zipf_density):
+        baseline = cls(zipf_density, 32)
+        estimate = baseline.estimate(0, zipf_density.n_distinct)
+        assert estimate == pytest.approx(zipf_density.total, rel=1e-9)
+
+    @pytest.mark.parametrize("cls", ALL_HISTOGRAM_BASELINES)
+    def test_uniform_data_is_easy(self, cls):
+        density = AttributeDensity(np.full(1000, 10))
+        baseline = cls(density, 16)
+        for c1, c2 in [(0, 100), (250, 800), (999, 1000)]:
+            truth = (c2 - c1) * 10
+            assert qerror(baseline.estimate(c1, c2), truth) < 1.6
+
+    @pytest.mark.parametrize("cls", ALL_HISTOGRAM_BASELINES)
+    def test_empty_range(self, cls, zipf_density):
+        baseline = cls(zipf_density, 8)
+        assert baseline.estimate(5, 5) == 0.0
+        assert baseline.estimate(8, 2) == 0.0
+
+    @pytest.mark.parametrize("cls", ALL_HISTOGRAM_BASELINES)
+    def test_bucket_count_respected(self, cls, zipf_density):
+        baseline = cls(zipf_density, 16)
+        assert len(baseline) <= 16
+
+    @pytest.mark.parametrize("cls", ALL_HISTOGRAM_BASELINES)
+    def test_bad_bucket_count(self, cls, zipf_density):
+        with pytest.raises(ValueError):
+            cls(zipf_density, 0)
+
+    def test_equidepth_buckets_balanced(self, zipf_density):
+        baseline = EquiDepthHistogram(zipf_density, 10)
+        totals = baseline._totals
+        # No bucket should hold more than a few times the target depth
+        # (hot single values may force overshoot).
+        assert totals.max() <= zipf_density.total
+
+    def test_maxdiff_cuts_at_steps(self):
+        freqs = np.concatenate([np.full(50, 5), np.full(50, 5000)])
+        density = AttributeDensity(freqs)
+        baseline = MaxDiffHistogram(density, 4)
+        assert 50 in baseline._edges
+
+    def test_spike_defeats_equiwidth(self, spiky_density):
+        baseline = EquiWidthHistogram(spiky_density, 8)
+        # Query exactly the near-empty value next to the spike.
+        estimate = baseline.estimate(51, 52)
+        assert qerror(estimate, 3) > 10
+
+
+class TestSampling:
+    def test_scales_counts(self, rng):
+        density = AttributeDensity(np.full(100, 1000))
+        estimator = SamplingEstimator(density, rate=0.1, rng=rng)
+        estimate = estimator.estimate(0, 100)
+        assert estimate == pytest.approx(100_000, rel=0.05)
+
+    def test_selective_queries_fail(self, rng):
+        # The motivating failure: rare values are invisible to a sample.
+        freqs = np.full(10_000, 1, dtype=np.int64)
+        freqs[0] = 100_000
+        density = AttributeDensity(freqs)
+        estimator = SamplingEstimator(density, rate=0.001, rng=rng)
+        misses = 0
+        for code in range(1, 200):
+            if estimator.estimate(code, code + 1) == 1.0:
+                misses += 1
+        assert misses > 150  # almost every rare value unseen
+
+    def test_rate_validation(self, rng, zipf_density):
+        with pytest.raises(ValueError):
+            SamplingEstimator(zipf_density, rate=0.0, rng=rng)
+
+    def test_size_reflects_sample(self, rng, zipf_density):
+        estimator = SamplingEstimator(zipf_density, rate=0.5, rng=rng)
+        assert estimator.size_bytes() == estimator.sample_size * 8

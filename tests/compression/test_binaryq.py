@@ -1,0 +1,105 @@
+"""Binary q-compression: Table 2 and the fast midpoint correction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression.binaryq import (
+    BinaryQCompressor,
+    bqcompress,
+    bqdecompress,
+    theoretical_max_qerror,
+)
+
+
+class TestScalar:
+    def test_zero_and_small_values_exact(self):
+        for x in range(0, 8):
+            assert bqdecompress(bqcompress(x, 3, 5), 3, 5) == x
+
+    def test_values_below_mantissa_range_are_exact(self):
+        k, s = 6, 5
+        for x in range(0, 1 << k):
+            assert bqdecompress(bqcompress(x, k, s), k, s) == x
+
+    def test_shift_overflow_raises(self):
+        with pytest.raises(OverflowError):
+            bqcompress(1 << 40, 3, 2)  # needs shift 37, field holds < 4
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bqcompress(-1, 3, 5)
+
+
+class TestTable2:
+    """Observed maximum q-error per mantissa width matches the paper."""
+
+    # Paper's Table 2 "max q-error observed" column.
+    OBSERVED = {
+        1: 1.5,
+        2: 1.25,
+        3: 1.13,
+        4: 1.07,
+        5: 1.036,
+        6: 1.018,
+        7: 1.0091,
+        8: 1.0045,
+    }
+
+    @pytest.mark.parametrize("k", sorted(OBSERVED))
+    def test_observed_matches_paper(self, k):
+        codec = BinaryQCompressor(k=k, s=6)
+        observed = codec.observed_max_qerror(1 << 14)
+        assert observed == pytest.approx(self.OBSERVED[k], rel=0.02)
+
+    @pytest.mark.parametrize("k", range(1, 13))
+    def test_observed_between_theoretical_and_cell_bound(self, k):
+        codec = BinaryQCompressor(k=k, s=6)
+        observed = codec.observed_max_qerror(1 << 13)
+        assert observed >= theoretical_max_qerror(k) * (1 - 1e-9)
+        assert observed <= codec.max_qerror * (1 + 1e-9)
+
+    def test_theoretical_formula(self):
+        assert theoretical_max_qerror(1) == pytest.approx(np.sqrt(2))
+        assert theoretical_max_qerror(4) == pytest.approx(np.sqrt(1 + 2 ** -3))
+
+
+class TestCodec:
+    def test_for_width_reaches_max_value(self):
+        codec = BinaryQCompressor.for_width(8, 10**6)
+        assert codec.bits == 8
+        assert codec.max_value >= 10**6
+        codec.compress(10**6)  # must not raise
+
+    def test_for_width_prefers_precision(self):
+        # A tiny max value should leave the whole width to the mantissa.
+        codec = BinaryQCompressor.for_width(8, 100)
+        assert codec.s == 0 or codec.k >= 7
+
+    def test_for_width_impossible_raises(self):
+        with pytest.raises(OverflowError):
+            BinaryQCompressor.for_width(2, 10**9)
+
+    def test_array_matches_scalar(self):
+        codec = BinaryQCompressor(k=4, s=5)
+        xs = np.arange(0, 4000)
+        codes = codec.compress_array(xs)
+        assert [int(c) for c in codes] == [codec.compress(int(x)) for x in xs]
+        back = codec.decompress_array(codes)
+        assert [int(b) for b in back] == [codec.decompress(int(c)) for c in codes]
+
+    @given(x=st.integers(min_value=0, max_value=(1 << 34) - 1))
+    @settings(max_examples=300, deadline=None)
+    def test_property_roundtrip_bound(self, x):
+        codec = BinaryQCompressor(k=3, s=5)
+        est = codec.decompress(codec.compress(x))
+        if x == 0:
+            assert est == 0
+        else:
+            assert max(est / x, x / est) <= codec.max_qerror * (1 + 1e-9)
+
+    def test_monotone_estimates(self):
+        codec = BinaryQCompressor(k=4, s=5)
+        estimates = [codec.decompress(codec.compress(x)) for x in range(1, 5000)]
+        assert all(b >= a for a, b in zip(estimates, estimates[1:]))

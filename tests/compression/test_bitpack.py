@@ -1,0 +1,86 @@
+"""Bit packing: word fields and vectorised arrays."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression.bitpack import (
+    FieldSpec,
+    pack_fields,
+    pack_uint_array,
+    packed_size_bits,
+    unpack_fields,
+    unpack_uint_array,
+)
+
+
+class TestFields:
+    FIELDS = [FieldSpec("total", 16), FieldSpec("a", 6), FieldSpec("b", 6)]
+
+    def test_roundtrip(self):
+        values = {"total": 65535, "a": 63, "b": 0}
+        word = pack_fields(values, self.FIELDS)
+        assert unpack_fields(word, self.FIELDS) == values
+
+    def test_field_order_is_low_first(self):
+        word = pack_fields({"total": 1, "a": 0, "b": 0}, self.FIELDS)
+        assert word == 1
+        word = pack_fields({"total": 0, "a": 1, "b": 0}, self.FIELDS)
+        assert word == 1 << 16
+
+    def test_overflowing_field_raises(self):
+        with pytest.raises(OverflowError):
+            pack_fields({"total": 1 << 16, "a": 0, "b": 0}, self.FIELDS)
+
+    def test_size(self):
+        assert packed_size_bits(self.FIELDS) == 28
+
+    def test_zero_width_field_rejected(self):
+        with pytest.raises(ValueError):
+            FieldSpec("bad", 0)
+
+
+class TestArrays:
+    @pytest.mark.parametrize("bits", [1, 3, 4, 6, 7, 9, 13, 16, 31, 32, 33, 64])
+    def test_roundtrip_random(self, bits, rng):
+        high = (1 << bits) if bits < 64 else (1 << 63)
+        values = rng.integers(0, high, size=777, dtype=np.uint64)
+        words = pack_uint_array(values, bits)
+        assert np.array_equal(unpack_uint_array(words, bits, 777), values)
+
+    def test_empty_array(self):
+        words = pack_uint_array(np.empty(0, dtype=np.uint64), 7)
+        assert words.size == 0
+        assert unpack_uint_array(words, 7, 0).size == 0
+
+    def test_word_count_is_minimal(self):
+        words = pack_uint_array(np.zeros(100, dtype=np.uint64), 13)
+        assert words.size == (100 * 13 + 63) // 64
+
+    def test_value_too_large_raises(self):
+        with pytest.raises(OverflowError):
+            pack_uint_array(np.array([16], dtype=np.uint64), 4)
+
+    def test_unpack_with_too_few_words_raises(self):
+        with pytest.raises(ValueError):
+            unpack_uint_array(np.zeros(1, dtype=np.uint64), 13, 100)
+
+    def test_straddling_boundary(self):
+        # 7-bit values: value index 9 straddles the first word boundary.
+        values = np.arange(20, dtype=np.uint64)
+        words = pack_uint_array(values, 7)
+        assert np.array_equal(unpack_uint_array(words, 7, 20), values)
+
+    @given(
+        bits=st.integers(min_value=1, max_value=64),
+        n=st.integers(min_value=0, max_value=200),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_roundtrip(self, bits, n, seed):
+        rng = np.random.default_rng(seed)
+        high = (1 << bits) if bits < 64 else (1 << 63)
+        values = rng.integers(0, high, size=n, dtype=np.uint64)
+        words = pack_uint_array(values, bits)
+        assert np.array_equal(unpack_uint_array(words, bits, n), values)

@@ -1,0 +1,155 @@
+"""Packed bucket layouts: Table 3 formats and the raw buckets."""
+
+import numpy as np
+import pytest
+
+from repro.compression.layouts import (
+    BQC8x8,
+    QC8T8x7,
+    QC8x8,
+    QC16T8x6,
+    QC16T8x6_1F7x9,
+    QC16x4,
+    QCRawDense,
+    QCRawNonDense,
+    SIMPLE_LAYOUTS,
+    WidthsWord,
+)
+
+
+class TestSimpleLayouts:
+    @pytest.mark.parametrize("layout", SIMPLE_LAYOUTS, ids=lambda l: l.name)
+    def test_payload_fits_64_bits(self, layout):
+        assert layout.payload_bits <= 64
+
+    @pytest.mark.parametrize("layout", SIMPLE_LAYOUTS, ids=lambda l: l.name)
+    def test_roundtrip_within_qerror_bound(self, layout, rng):
+        bound = layout.qerror_bound()
+        freqs = rng.integers(0, 5000, size=layout.n_bucklets)
+        encoded = layout.encode(freqs)
+        total, estimates = layout.decode(encoded)
+        for truth, est in zip(freqs, estimates):
+            if truth == 0:
+                assert est == 0
+            else:
+                assert max(est / truth, truth / est) <= bound * (1 + 1e-9)
+        if layout.total_bits:
+            true_total = int(freqs.sum())
+            if true_total:
+                assert max(total / true_total, true_total / total) <= 1.5
+
+    def test_qc16t8x6_matches_table3(self):
+        assert QC16T8x6.n_bucklets == 8
+        assert QC16T8x6.bucklet_bits == 6
+        assert QC16T8x6.total_bits == 16
+        assert QC16T8x6.bases == (1.2, 1.3, 1.4)
+
+    def test_qc16x4_matches_table3(self):
+        assert QC16x4.n_bucklets == 16
+        assert QC16x4.bucklet_bits == 4
+        assert QC16x4.total_bits == 0
+        assert QC16x4.bases == (2.5, 2.6, 2.7)
+
+    def test_base_escalation_for_large_frequencies(self):
+        # Frequencies beyond base 1.2's 6-bit range force a larger base.
+        small = QC16T8x6.encode([10] * 8)
+        large = QC16T8x6.encode([5_000_000] * 8)
+        assert small.base_index < large.base_index
+
+    def test_too_large_frequency_raises(self):
+        with pytest.raises(OverflowError):
+            QC16x4.encode([10**7] * 16)
+
+    def test_wrong_bucklet_count_raises(self):
+        with pytest.raises(ValueError):
+            QC16T8x6.encode([1, 2, 3])
+
+    def test_layout_without_total_rejects_mismatched_total(self):
+        with pytest.raises(ValueError):
+            QC8x8.encode([1] * 8, total=100)
+
+    def test_bqc8x8_small_values_exact(self):
+        encoded = BQC8x8.encode([0, 1, 2, 3, 4, 5, 6, 7])
+        _, estimates = BQC8x8.decode(encoded)
+        assert list(estimates) == [0, 1, 2, 3, 4, 5, 6, 7]
+
+    def test_qc8t8x7_total_within_bound(self):
+        freqs = [100] * 8
+        encoded = QC8T8x7.encode(freqs)
+        total, _ = QC8T8x7.decode(encoded)
+        assert max(total / 800, 800 / total) <= 1.2 ** 0.5 * 1.001
+
+
+class TestWidthsWord:
+    def test_roundtrip_open_at_end(self):
+        widths = [100, 200, 0, 511, 1, 2, 3]
+        word = WidthsWord.encode(widths, open_at_end=True)
+        decoded, open_at_end = word.decode()
+        assert list(decoded) == widths
+        assert open_at_end
+
+    def test_roundtrip_open_at_start(self):
+        word = WidthsWord.encode([5] * 7, open_at_end=False)
+        decoded, open_at_end = word.decode()
+        assert list(decoded) == [5] * 7
+        assert not open_at_end
+
+    def test_width_over_511_raises(self):
+        with pytest.raises(OverflowError):
+            WidthsWord.encode([512] + [0] * 6, open_at_end=False)
+
+
+class TestVariableWidthBucket:
+    def test_open_first_bucklet(self):
+        widths = [2000, 50, 50, 50, 50, 50, 50, 100]
+        bucket = QC16T8x6_1F7x9.encode([10] * 8, widths)
+        assert list(bucket.decode_widths(sum(widths))) == widths
+
+    def test_open_last_bucklet(self):
+        widths = [100, 50, 50, 50, 50, 50, 50, 2000]
+        bucket = QC16T8x6_1F7x9.encode([10] * 8, widths)
+        assert list(bucket.decode_widths(sum(widths))) == widths
+
+    def test_freqs_roundtrip(self):
+        bucket = QC16T8x6_1F7x9.encode([7, 0, 13, 99, 5, 5, 5, 5], [10] * 8)
+        total, estimates = bucket.decode_freqs()
+        assert estimates[1] == 0
+        assert total > 0
+
+    def test_mismatched_bucket_width_raises(self):
+        bucket = QC16T8x6_1F7x9.encode([1] * 8, [100] * 8)
+        with pytest.raises(ValueError):
+            bucket.decode_widths(10)  # smaller than stored widths
+
+
+class TestRawBuckets:
+    def test_dense_roundtrip_bound(self, rng):
+        freqs = rng.integers(1, 100, size=50)
+        bucket = QCRawDense.encode(freqs)
+        estimates = bucket.decode()
+        base = QCRawDense.bases[bucket.base_index]
+        for truth, est in zip(freqs, estimates):
+            assert max(est / truth, truth / est) <= np.sqrt(base) * (1 + 1e-9)
+
+    def test_dense_size_accounting(self):
+        bucket = QCRawDense.encode([1] * 100)
+        assert bucket.size_bits == 64 + 4 * 100
+
+    def test_nondense_roundtrip(self):
+        values = [3, 7, 10, 99]
+        bucket = QCRawNonDense.encode(values, [1, 2, 3, 4])
+        decoded_values, estimates = bucket.decode()
+        assert list(decoded_values) == values
+        assert estimates.shape == (4,)
+
+    def test_nondense_requires_increasing_values(self):
+        with pytest.raises(ValueError):
+            QCRawNonDense.encode([5, 5], [1, 1])
+
+    def test_nondense_size_accounting(self):
+        bucket = QCRawNonDense.encode([1, 2, 3], [1, 1, 1])
+        assert bucket.size_bits == 64 + 36 * 3
+
+    def test_empty_raw_bucket_rejected(self):
+        with pytest.raises(ValueError):
+            QCRawDense.encode([])

@@ -1,0 +1,104 @@
+"""Property-based fuzzing of the packed bucket layouts."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression.layouts import (
+    QC16T8x6_1F7x9,
+    QCRawDense,
+    SIMPLE_LAYOUTS,
+    WidthsWord,
+)
+
+
+def layout_and_freqs():
+    """A layout plus frequencies that fit its representable range."""
+    return st.sampled_from(SIMPLE_LAYOUTS).flatmap(
+        lambda layout: st.tuples(
+            st.just(layout),
+            st.lists(
+                st.integers(0, min(int(layout.max_bucklet_value()), 10**12)),
+                min_size=layout.n_bucklets,
+                max_size=layout.n_bucklets,
+            ),
+        )
+    )
+
+
+class TestSimpleLayoutFuzz:
+    @given(data=layout_and_freqs())
+    @settings(max_examples=300, deadline=None)
+    def test_roundtrip_within_bound(self, data):
+        layout, freqs = data
+        encoded = layout.encode(freqs)
+        assert 0 <= encoded.word < (1 << 64)
+        total, estimates = layout.decode(encoded)
+        bound = layout.qerror_bound() * (1 + 1e-9)
+        for truth, estimate in zip(freqs, estimates):
+            if truth == 0:
+                assert estimate == 0
+            else:
+                assert max(estimate / truth, truth / estimate) <= bound
+        if layout.total_bits:
+            true_total = sum(freqs)
+            if true_total > 0:
+                assert total > 0
+
+    @given(data=layout_and_freqs())
+    @settings(max_examples=100, deadline=None)
+    def test_decode_is_deterministic(self, data):
+        layout, freqs = data
+        encoded = layout.encode(freqs)
+        first = layout.decode(encoded)
+        second = layout.decode(encoded)
+        assert first[0] == second[0]
+        assert np.array_equal(first[1], second[1])
+
+
+class TestWidthsWordFuzz:
+    @given(
+        widths=st.lists(st.integers(0, 511), min_size=7, max_size=7),
+        open_at_end=st.booleans(),
+    )
+    @settings(max_examples=200)
+    def test_roundtrip(self, widths, open_at_end):
+        word = WidthsWord.encode(widths, open_at_end)
+        decoded, flag = word.decode()
+        assert list(decoded) == widths
+        assert flag == open_at_end
+
+
+class TestVariableWidthFuzz:
+    @given(
+        bounded=st.lists(st.integers(0, 511), min_size=7, max_size=7),
+        open_width=st.integers(0, 100_000),
+        first_open=st.booleans(),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_widths_roundtrip(self, bounded, open_width, first_open):
+        # One open width placed at the start or end; the rest bounded.
+        if first_open:
+            widths = [max(open_width, 512)] + bounded
+        else:
+            widths = bounded + [max(open_width, 512)]
+        bucket = QC16T8x6_1F7x9.encode([1] * 8, widths)
+        assert list(bucket.decode_widths(sum(widths))) == widths
+
+
+class TestRawDenseFuzz:
+    @given(freqs=st.lists(st.integers(0, 100_000), min_size=1, max_size=200))
+    @settings(max_examples=150, deadline=None)
+    def test_roundtrip_bound(self, freqs):
+        bucket = QCRawDense.encode(freqs)
+        estimates = bucket.decode()
+        base = QCRawDense.bases[bucket.base_index]
+        for truth, estimate in zip(freqs, estimates):
+            if truth == 0:
+                assert estimate == 0
+            else:
+                assert max(estimate / truth, truth / estimate) <= np.sqrt(base) * (
+                    1 + 1e-9
+                )
+        assert bucket.size_bits == 64 + 4 * len(freqs)

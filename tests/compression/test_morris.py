@@ -1,0 +1,63 @@
+"""Morris counters: unbiasedness and register behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.compression.morris import MorrisCounter, morris_increment
+
+
+class TestMorrisIncrement:
+    def test_register_zero_always_increments(self, rng):
+        # Probability base**-0 == 1: the first event is always counted.
+        assert morris_increment(0, 2.0, rng) == 1
+
+    def test_rejects_bad_inputs(self, rng):
+        with pytest.raises(ValueError):
+            morris_increment(-1, 2.0, rng)
+        with pytest.raises(ValueError):
+            morris_increment(0, 1.0, rng)
+
+
+class TestMorrisCounter:
+    def test_estimate_zero_initially(self):
+        counter = MorrisCounter(base=2.0)
+        assert counter.estimate() == 0.0
+
+    def test_estimate_tracks_count_within_tolerance(self):
+        # Average over several counters: the estimator is unbiased, so
+        # the mean should land near the true count.
+        true_count = 5000
+        estimates = []
+        for seed in range(30):
+            counter = MorrisCounter(base=1.2, rng=np.random.default_rng(seed))
+            counter.increment(true_count)
+            estimates.append(counter.estimate())
+        mean = float(np.mean(estimates))
+        assert mean == pytest.approx(true_count, rel=0.25)
+
+    def test_smaller_base_is_more_accurate(self):
+        spreads = {}
+        for base in (1.1, 2.0):
+            estimates = []
+            for seed in range(40):
+                counter = MorrisCounter(base=base, rng=np.random.default_rng(seed))
+                counter.increment(2000)
+                estimates.append(counter.estimate())
+            spreads[base] = np.std(estimates) / np.mean(estimates)
+        assert spreads[1.1] < spreads[2.0]
+
+    def test_relative_std_formula(self):
+        counter = MorrisCounter(base=2.0)
+        assert counter.relative_std() == pytest.approx(np.sqrt(0.5))
+
+    def test_max_register_saturates(self):
+        counter = MorrisCounter(
+            base=2.0, rng=np.random.default_rng(0), max_register=3
+        )
+        counter.increment(100000)
+        assert counter.register <= 3
+
+    def test_negative_increment_rejected(self):
+        counter = MorrisCounter(base=2.0)
+        with pytest.raises(ValueError):
+            counter.increment(-1)

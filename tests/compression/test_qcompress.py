@@ -1,0 +1,125 @@
+"""General-base q-compression: round-trip bounds and Table 1 values."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression.qcompress import (
+    QCompressor,
+    largest_compressible,
+    max_roundtrip_qerror,
+    qcompress,
+    qcompress_base,
+    qdecompress,
+)
+
+
+class TestScalarRoundtrip:
+    def test_zero_roundtrips_exactly(self):
+        assert qcompress(0, 1.1) == 0
+        assert qdecompress(0, 1.1) == 0.0
+
+    @pytest.mark.parametrize("base", [1.05, 1.1, 1.2, 1.5, 2.0, 2.5])
+    def test_roundtrip_qerror_within_sqrt_base(self, base):
+        bound = max_roundtrip_qerror(base)
+        for x in range(1, 3000):
+            est = qdecompress(qcompress(x, base), base)
+            assert est > 0
+            qerr = max(est / x, x / est)
+            assert qerr <= bound * (1 + 1e-12), (x, qerr, bound)
+
+    def test_exact_powers_stay_bounded(self):
+        base = 1.1
+        bound = max_roundtrip_qerror(base)
+        for exponent in range(1, 120):
+            x = base ** exponent
+            est = qdecompress(qcompress(x, base), base)
+            assert max(est / x, x / est) <= bound * (1 + 1e-9)
+
+    def test_rejects_negative_and_bad_base(self):
+        with pytest.raises(ValueError):
+            qcompress(-1, 1.1)
+        with pytest.raises(ValueError):
+            qcompress(5, 1.0)
+        with pytest.raises(ValueError):
+            qdecompress(-1, 1.1)
+
+    def test_codes_monotone_in_x(self):
+        codes = [qcompress(x, 1.3) for x in range(0, 500)]
+        assert codes == sorted(codes)
+
+
+class TestTable1:
+    """The paper's Table 1: largest compressible number per (bits, base)."""
+
+    @pytest.mark.parametrize(
+        "bits,base,largest,qerr",
+        [
+            (4, 2.5, 372529, 1.58),
+            (4, 2.6, 645099, 1.61),
+            (4, 2.7, 1094189, 1.64),
+            (5, 1.7, 8193465, 1.30),
+            (5, 1.8, 45517159, 1.34),
+            (5, 1.9, 230466617, 1.38),
+            (6, 1.2, 81140, 1.10),
+            (6, 1.3, 11600797, 1.14),
+            (6, 1.4, 1147990282, 1.18),
+            (7, 1.1, 164239, 1.05),
+            (7, 1.2, 9480625727, 1.10),
+            (8, 1.1, 32639389743, 1.05),
+        ],
+    )
+    def test_largest_and_qerror_match_paper(self, bits, base, largest, qerr):
+        assert largest_compressible(base, bits) == pytest.approx(largest, rel=1e-3)
+        assert max_roundtrip_qerror(base) == pytest.approx(qerr, abs=0.005)
+
+    def test_qcompress_base_formula(self):
+        # Fig. 2's qcompressbase: x ** (1 / (2**k - 1)).
+        assert qcompress_base(10_000.0, 8) == pytest.approx(10_000.0 ** (1 / 255))
+
+
+class TestQCompressor:
+    def test_for_max_value_fits_the_max(self):
+        for x_max in (10, 1000, 10**6, 10**12):
+            codec = QCompressor.for_max_value(x_max, 8)
+            assert codec.compress(x_max) <= codec.max_code
+
+    def test_overflow_raises(self):
+        codec = QCompressor(base=1.1, bits=4)
+        with pytest.raises(OverflowError):
+            codec.compress(10**9)
+
+    def test_array_matches_scalar(self):
+        codec = QCompressor(base=1.2, bits=8)
+        xs = np.arange(0, 2000)
+        codes = codec.compress_array(xs)
+        assert [int(c) for c in codes] == [codec.compress(int(x)) for x in xs]
+        back = codec.decompress_array(codes)
+        expected = [codec.decompress(int(c)) for c in codes]
+        assert np.allclose(back, expected)
+
+    def test_array_rejects_negative(self):
+        codec = QCompressor(base=1.2, bits=8)
+        with pytest.raises(ValueError):
+            codec.compress_array(np.array([1, -1]))
+
+    def test_decompress_array_rejects_out_of_range(self):
+        codec = QCompressor(base=1.2, bits=4)
+        with pytest.raises(ValueError):
+            codec.decompress_array(np.array([16]))
+
+    @given(
+        x=st.integers(min_value=0, max_value=10**12),
+        bits=st.integers(min_value=4, max_value=16),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_property_roundtrip_bound(self, x, bits):
+        codec = QCompressor.for_max_value(max(x, 1), bits)
+        est = codec.decompress(codec.compress(x))
+        if x == 0:
+            assert est == 0
+        else:
+            assert max(est / x, x / est) <= codec.max_qerror * (1 + 1e-9)

@@ -1,0 +1,42 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.core.density import AttributeDensity
+
+
+@pytest.fixture
+def rng():
+    """A deterministic random generator per test."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def smooth_density():
+    """A gently varying dense density: easy to approximate."""
+    freqs = 10 + (np.arange(200) % 5)
+    return AttributeDensity(freqs)
+
+
+@pytest.fixture
+def spiky_density():
+    """A dense density with isolated hot values: hard to approximate."""
+    freqs = np.full(200, 3, dtype=np.int64)
+    freqs[50] = 5000
+    freqs[120] = 900
+    freqs[121] = 2
+    return AttributeDensity(freqs)
+
+
+@pytest.fixture
+def zipf_density(rng):
+    """A heavy-tailed random density."""
+    return AttributeDensity(np.maximum(rng.zipf(1.7, size=300), 1))
+
+
+def random_density(rng, n_max=60, f_max=200):
+    """Small random density for brute-force comparisons."""
+    n = int(rng.integers(2, n_max))
+    freqs = rng.integers(1, f_max, size=n)
+    return AttributeDensity(freqs)

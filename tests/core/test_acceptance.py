@@ -1,0 +1,162 @@
+"""Acceptance tests of Sec. 4: soundness against brute force."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.acceptance import (
+    is_theta_q_acceptable,
+    pretest_dense,
+    quadratic_test,
+    subquadratic_test,
+    subquadratic_test_literal,
+)
+from repro.core.density import AttributeDensity
+from repro.core.qerror import theta_q_acceptable
+
+
+def brute_force(density, l, u, theta, q, alpha=None):
+    """Reference oracle: check every pair directly."""
+    if alpha is None:
+        alpha = density.f_plus(l, u) / (u - l)
+    for i in range(l, u):
+        for j in range(i + 1, u + 1):
+            if not theta_q_acceptable(
+                alpha * (j - i), density.f_plus(i, j), theta, q
+            ):
+                return False
+    return True
+
+
+small_freqs = st.lists(st.integers(1, 500), min_size=2, max_size=40)
+
+
+class TestQuadraticTest:
+    def test_uniform_is_acceptable(self, smooth_density):
+        assert quadratic_test(smooth_density, 0, 200, theta=0, q=2.0)
+
+    def test_spike_is_rejected(self, spiky_density):
+        assert not quadratic_test(spiky_density, 0, 200, theta=10, q=2.0)
+
+    def test_spike_accepted_with_huge_theta(self, spiky_density):
+        assert quadratic_test(spiky_density, 0, 200, theta=10**7, q=2.0)
+
+    @given(freqs=small_freqs, theta=st.integers(0, 200), q=st.floats(1.0, 4.0))
+    @settings(max_examples=150, deadline=None)
+    def test_property_matches_brute_force(self, freqs, theta, q):
+        density = AttributeDensity(freqs)
+        expected = brute_force(density, 0, len(freqs), theta, q)
+        assert quadratic_test(density, 0, len(freqs), theta, q) == expected
+
+    def test_out_of_range_raises(self, smooth_density):
+        with pytest.raises(IndexError):
+            quadratic_test(smooth_density, 0, 999, 0, 2.0)
+
+
+class TestPretest:
+    def test_condition1_total_below_theta(self):
+        density = AttributeDensity([1, 1, 1])
+        assert pretest_dense(density, 0, 3, theta=3, q=1.0)
+
+    def test_condition2_balanced_frequencies(self):
+        density = AttributeDensity([10, 12, 11, 13])
+        assert pretest_dense(density, 0, 4, theta=0, q=2.0)
+
+    def test_unbalanced_fails(self):
+        density = AttributeDensity([1, 1000])
+        assert not pretest_dense(density, 0, 2, theta=0, q=2.0)
+
+    def test_flexible_alpha_weaker_condition(self):
+        # max/min = q^2 passes flexible but can fail the favg variant.
+        density = AttributeDensity([1, 1, 1, 4])
+        assert pretest_dense(density, 0, 4, theta=0, q=2.0, flexible_alpha=True)
+
+    @given(freqs=small_freqs, theta=st.integers(0, 100), q=st.floats(1.0, 4.0))
+    @settings(max_examples=150, deadline=None)
+    def test_property_pretest_implies_acceptable(self, freqs, theta, q):
+        # Theorem 4.3 soundness: a passing (favg) pretest implies real
+        # theta,q-acceptability of favg.
+        density = AttributeDensity(freqs)
+        if pretest_dense(density, 0, len(freqs), theta, q):
+            assert brute_force(density, 0, len(freqs), theta, q)
+
+    @given(freqs=small_freqs, theta=st.integers(0, 100), q=st.floats(1.0, 4.0))
+    @settings(max_examples=150, deadline=None)
+    def test_property_flexible_pretest_implies_existence(self, freqs, theta, q):
+        # Theorem 4.3 with Eq. 1 freedom: some alpha must be acceptable.
+        density = AttributeDensity(freqs)
+        n = len(freqs)
+        if not pretest_dense(density, 0, n, theta, q, flexible_alpha=True):
+            return
+        fmin, fmax = min(freqs), max(freqs)
+        alpha = float(np.sqrt(fmin * fmax))
+        assert brute_force(density, 0, n, theta, q, alpha=alpha)
+
+
+class TestSubquadraticTest:
+    @given(freqs=small_freqs, theta=st.integers(0, 150), q=st.floats(1.05, 4.0))
+    @settings(max_examples=150, deadline=None)
+    def test_property_guarantee(self, freqs, theta, q):
+        # Theorem 4.2: passing certifies theta,(q + 1/k)-acceptability.
+        density = AttributeDensity(freqs)
+        n = len(freqs)
+        k = 8.0
+        if subquadratic_test(density, 0, n, theta, q, k=k):
+            assert brute_force(density, 0, n, theta, q + 1.0 / k)
+
+    @given(freqs=small_freqs, theta=st.integers(0, 150), q=st.floats(1.05, 4.0))
+    @settings(max_examples=150, deadline=None)
+    def test_property_no_false_rejections(self, freqs, theta, q):
+        # Completeness: a truly acceptable bucket always passes.
+        density = AttributeDensity(freqs)
+        n = len(freqs)
+        if brute_force(density, 0, n, theta, q):
+            assert subquadratic_test(density, 0, n, theta, q)
+
+    def test_k_must_be_positive(self, smooth_density):
+        with pytest.raises(ValueError):
+            subquadratic_test(smooth_density, 0, 10, 0, 2.0, k=0)
+
+    @given(
+        freqs=small_freqs,
+        theta=st.integers(0, 150),
+        q=st.floats(1.05, 4.0),
+        k=st.sampled_from([2.0, 4.0, 8.0]),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_property_literal_matches_vectorised(self, freqs, theta, q, k):
+        # The paper-literal rendering and the production vectorised form
+        # must agree on every input.
+        density = AttributeDensity(freqs)
+        n = len(freqs)
+        assert subquadratic_test_literal(
+            density, 0, n, theta, q, k=k
+        ) == subquadratic_test(density, 0, n, theta, q, k=k)
+
+
+class TestCombinedTest:
+    def test_max_size_cutoff(self, rng):
+        # A large bucket that fails the pretest is rejected outright.
+        freqs = rng.integers(1, 1000, size=400)
+        freqs[7] = 10**6
+        density = AttributeDensity(freqs)
+        assert not is_theta_q_acceptable(density, 0, 400, theta=8, q=2.0, max_size=300)
+
+    def test_large_smooth_bucket_passes_via_pretest(self):
+        density = AttributeDensity(np.full(10_000, 10))
+        assert is_theta_q_acceptable(density, 0, 10_000, theta=8, q=2.0)
+
+    @given(freqs=small_freqs, theta=st.integers(0, 150), q=st.floats(1.05, 4.0))
+    @settings(max_examples=100, deadline=None)
+    def test_property_accepts_only_nearly_acceptable(self, freqs, theta, q):
+        density = AttributeDensity(freqs)
+        n = len(freqs)
+        if is_theta_q_acceptable(density, 0, n, theta, q, k=8.0):
+            assert brute_force(density, 0, n, theta, q + 1.0 / 8.0)
+
+    def test_explicit_alpha_respected(self):
+        # With a deliberately wrong alpha the bucket must be rejected.
+        density = AttributeDensity([10, 10, 10, 10])
+        assert not is_theta_q_acceptable(density, 0, 4, theta=0, q=1.5, alpha=100.0)
+        assert is_theta_q_acceptable(density, 0, 4, theta=0, q=1.5, alpha=10.0)

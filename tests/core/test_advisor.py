@@ -1,0 +1,100 @@
+"""The statistics advisor: feedback aggregation and rebuild signals."""
+
+import numpy as np
+import pytest
+
+from repro.core.advisor import FeedbackRecord, StatisticsAdvisor
+from repro.core.builder import build_histogram
+from repro.core.density import AttributeDensity
+
+
+class TestFeedbackRecord:
+    def test_q_error(self):
+        record = FeedbackRecord("a", estimate=10, actual=40)
+        assert record.q_error == pytest.approx(4.0)
+
+
+class TestAdvisor:
+    def _advisor(self, **kwargs):
+        return StatisticsAdvisor(theta=32, q=2.0, min_queries=10, **kwargs)
+
+    def test_in_band_feedback_carries_no_signal(self):
+        advisor = self._advisor()
+        # Both sides below theta' = 128: ignored entirely.
+        for _ in range(100):
+            advisor.record("col", estimate=1, actual=100)
+        assert advisor.feedback("col").n_queries == 0
+        assert not advisor.should_rebuild("col")
+
+    def test_good_estimates_never_flag(self):
+        advisor = self._advisor()
+        for _ in range(100):
+            advisor.record("col", estimate=1000, actual=1400)
+        assert advisor.feedback("col").n_violations == 0
+        assert not advisor.should_rebuild("col")
+
+    def test_violations_flag_after_min_queries(self):
+        advisor = self._advisor()
+        for _ in range(9):
+            advisor.record("col", estimate=10_000, actual=200)
+        assert not advisor.should_rebuild("col")  # not enough evidence
+        for _ in range(10):
+            advisor.record("col", estimate=10_000, actual=200)
+        assert advisor.should_rebuild("col")
+        assert advisor.rebuild_candidates() == ["col"]
+
+    def test_reset_clears(self):
+        advisor = self._advisor()
+        for _ in range(30):
+            advisor.record("col", estimate=10_000, actual=200)
+        advisor.reset("col")
+        assert not advisor.should_rebuild("col")
+
+    def test_bound_uses_corollary_53(self):
+        advisor = self._advisor()
+        # theta=32, q=2, k=4 -> q' = 3 x sqrt(1.4) ~ 3.55.
+        assert advisor.q_bound == pytest.approx(3.0 * 1.4 ** 0.5)
+        assert advisor.theta_out == 128
+
+    def test_records_capped(self):
+        advisor = StatisticsAdvisor(theta=32, min_queries=1, keep_records=5)
+        for _ in range(50):
+            advisor.record("col", estimate=10_000, actual=200)
+        assert len(advisor.feedback("col").records) <= 5
+
+
+class TestEndToEnd:
+    def test_drift_detection(self, rng):
+        """A histogram built on old data gets flagged once the data drifts."""
+        old = AttributeDensity(rng.integers(40, 60, size=1000))
+        histogram = build_histogram(old, kind="V8DincB", q=2.0, theta=32)
+        advisor = StatisticsAdvisor(theta=32, q=2.0, min_queries=10)
+
+        # Phase 1: data matches the build -> no flags.
+        cum_old = old.cumulative
+        for _ in range(50):
+            c1, c2 = sorted(rng.integers(0, 1001, size=2))
+            if c1 == c2:
+                continue
+            advisor.record(
+                "col",
+                histogram.estimate(float(c1), float(c2)),
+                float(cum_old[c2] - cum_old[c1]),
+            )
+        assert not advisor.should_rebuild("col")
+
+        # Phase 2: the data underneath changes drastically.
+        new_freqs = np.asarray(old.frequencies).copy()
+        new_freqs[:500] *= 50
+        new = AttributeDensity(new_freqs)
+        cum_new = new.cumulative
+        for _ in range(50):
+            c1, c2 = sorted(rng.integers(0, 501, size=2))
+            if c1 == c2:
+                continue
+            advisor.record(
+                "col",
+                histogram.estimate(float(c1), float(c2)),
+                float(cum_new[c2] - cum_new[c1]),
+            )
+        assert advisor.should_rebuild("col")

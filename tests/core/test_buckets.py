@@ -1,0 +1,122 @@
+"""Bucket model objects: estimation semantics and size accounting."""
+
+import numpy as np
+import pytest
+
+from repro.core.buckets import (
+    AtomicDenseBucket,
+    EquiWidthBucket,
+    RawDenseBucket,
+    RawNonDenseBucket,
+    ValueAtomicBucket,
+    VariableWidthBucket,
+)
+
+
+class TestEquiWidthBucket:
+    def test_whole_bucket_uses_total(self):
+        freqs = [100] * 8
+        bucket = EquiWidthBucket.build(0, 10, freqs)
+        total = bucket.estimate_range(0, 80)
+        assert total == bucket.total_estimate()
+        assert total == pytest.approx(800, rel=0.1)
+
+    def test_partial_bucklet_fraction(self):
+        bucket = EquiWidthBucket.build(0, 10, [100, 0, 0, 0, 0, 0, 0, 0])
+        # Half of the first bucklet.
+        half = bucket.estimate_range(0, 5)
+        assert half == pytest.approx(bucket.estimate_range(0, 10) / 2)
+
+    def test_outside_bucket_is_zero(self):
+        bucket = EquiWidthBucket.build(100, 5, [1] * 8)
+        assert bucket.estimate_range(0, 100) == 0.0
+        assert bucket.estimate_range(140, 200) == 0.0
+
+    def test_additivity_across_bucklets(self):
+        freqs = [10, 20, 30, 40, 50, 60, 70, 80]
+        bucket = EquiWidthBucket.build(0, 4, freqs)
+        whole = bucket.estimate_range(0, 32)
+        split = bucket.estimate_range(0, 13) + bucket.estimate_range(13, 32)
+        assert split == pytest.approx(whole, rel=0.05)
+
+    def test_size_constant(self):
+        bucket = EquiWidthBucket.build(0, 10, [1] * 8)
+        assert bucket.size_bits == 64 + 2 + 32  # word + base selector + boundary
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(ValueError):
+            EquiWidthBucket(0, 0, None)
+
+
+class TestVariableWidthBucket:
+    def test_widths_respected(self):
+        widths = [1000, 10, 10, 10, 10, 10, 10, 10]
+        freqs = [5000, 100, 100, 100, 100, 100, 100, 100]
+        bucket = VariableWidthBucket.build(0, widths, freqs)
+        assert bucket.hi == sum(widths)
+        # Estimate inside the second bucklet only.
+        est = bucket.estimate_range(1000, 1010)
+        assert est == pytest.approx(100, rel=0.25)
+
+    def test_zero_width_bucklets_skipped(self):
+        widths = [10, 0, 0, 0, 0, 0, 0, 10]
+        freqs = [100, 0, 0, 0, 0, 0, 0, 300]
+        bucket = VariableWidthBucket.build(0, widths, freqs)
+        est = bucket.estimate_range(10, 20)
+        assert est == pytest.approx(300, rel=0.25)
+
+    def test_whole_bucket_total(self):
+        bucket = VariableWidthBucket.build(5, [10] * 8, [50] * 8)
+        assert bucket.estimate_range(5, 85) == bucket.total_estimate()
+
+    def test_size_constant(self):
+        bucket = VariableWidthBucket.build(0, [10] * 8, [1] * 8)
+        assert bucket.size_bits == 128 + 2 + 32
+
+
+class TestAtomicDenseBucket:
+    def test_favg_fraction(self):
+        bucket = AtomicDenseBucket.build(0, 100, total=1000)
+        assert bucket.estimate_range(0, 50) == pytest.approx(
+            bucket.total_estimate() / 2
+        )
+
+    def test_small_totals_exact(self):
+        bucket = AtomicDenseBucket.build(0, 10, total=7)
+        assert bucket.total_estimate() == 7
+
+    def test_size(self):
+        bucket = AtomicDenseBucket.build(0, 10, total=7)
+        assert bucket.size_bits == 8 + 32
+
+
+class TestValueAtomicBucket:
+    def test_range_and_distinct(self):
+        bucket = ValueAtomicBucket.build(0.0, 100.0, total=400, distinct=5)
+        assert bucket.estimate_range(0, 50) == pytest.approx(
+            bucket.total_estimate() / 2
+        )
+        assert bucket.estimate_distinct(0, 100) == bucket.distinct_total_estimate()
+
+    def test_size(self):
+        bucket = ValueAtomicBucket.build(0.0, 1.0, total=1, distinct=1)
+        assert bucket.size_bits == 16 + 64
+
+
+class TestRawBuckets:
+    def test_dense_exact_boundaries(self):
+        freqs = [1, 2, 3, 4, 5]
+        bucket = RawDenseBucket.build(10, freqs)
+        assert bucket.hi == 15
+        est = bucket.estimate_range(11, 13)
+        # Per-value 4-bit q-compression: small multiplicative error only.
+        assert est == pytest.approx(2 + 3, rel=0.3)
+
+    def test_nondense_value_filtering(self):
+        bucket = RawNonDenseBucket.build([10, 20, 30], [5, 5, 5])
+        assert bucket.estimate_distinct(15, 31) == 2
+        assert bucket.estimate_range(0, 10) == 0.0
+
+    def test_total_estimates(self):
+        bucket = RawDenseBucket.build(0, [10] * 8)
+        assert bucket.total_estimate() == pytest.approx(80, rel=0.1)

@@ -1,0 +1,87 @@
+"""The unified build API and the system θ policy."""
+
+import numpy as np
+import pytest
+
+from repro.core.builder import HISTOGRAM_KINDS, build_histogram, system_theta
+from repro.core.config import HistogramConfig
+from repro.core.density import AttributeDensity
+from repro.dictionary.column import DictionaryEncodedColumn
+
+
+class TestSystemTheta:
+    def test_formula(self):
+        # ceil(0.1 * sqrt(|R|))
+        assert system_theta(100) == 1
+        assert system_theta(10_000) == 10
+        assert system_theta(1_000_000) == 100
+
+    def test_zero_rows(self):
+        assert system_theta(0) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            system_theta(-1)
+
+    def test_config_uses_policy(self):
+        config = HistogramConfig()
+        assert config.resolve_theta(10_000) == 10
+        assert HistogramConfig(theta=77).resolve_theta(10_000) == 77
+
+
+class TestBuildHistogram:
+    @pytest.mark.parametrize("kind", HISTOGRAM_KINDS)
+    def test_all_kinds_build(self, kind, rng):
+        column = DictionaryEncodedColumn.from_values(
+            rng.integers(0, 300, size=3000)
+        )
+        histogram = build_histogram(column, kind=kind, q=2.0, theta=16)
+        assert histogram.kind == kind
+        assert len(histogram) >= 1
+        assert histogram.size_bytes() > 0
+
+    def test_accepts_density(self, zipf_density):
+        histogram = build_histogram(zipf_density, kind="V8DincB", theta=16)
+        assert histogram.kind == "V8DincB"
+
+    def test_unknown_kind_rejected(self, zipf_density):
+        with pytest.raises(ValueError):
+            build_histogram(zipf_density, kind="magic")
+
+    def test_unknown_source_rejected(self):
+        with pytest.raises(TypeError):
+            build_histogram([1, 2, 3], kind="V8DincB")
+
+    def test_config_and_overrides_exclusive(self, zipf_density):
+        with pytest.raises(ValueError):
+            build_histogram(
+                zipf_density, kind="V8DincB", config=HistogramConfig(), q=3.0
+            )
+
+    def test_value_kinds_use_raw_values(self, rng):
+        raw = rng.choice([10, 200, 3000, 40_000], size=500)
+        raw = np.concatenate([raw, np.arange(100) * 7 + 50])
+        column = DictionaryEncodedColumn.from_values(raw)
+        histogram = build_histogram(column, kind="1VincB1", theta=8)
+        assert histogram.domain == "value"
+        # Bucket boundaries live in value space, not code space.
+        assert histogram.hi > column.n_distinct
+
+    def test_estimates_against_truth(self, rng):
+        raw = rng.zipf(1.4, size=20_000)
+        raw = raw[raw < 1000]
+        column = DictionaryEncodedColumn.from_values(raw)
+        histogram = build_histogram(column, kind="V8DincB", q=2.0, theta=32)
+        cum = column.cumulative
+        worst = 1.0
+        for _ in range(500):
+            c1, c2 = sorted(rng.integers(0, column.n_distinct + 1, size=2))
+            if c1 == c2:
+                continue
+            truth = int(cum[c2] - cum[c1])
+            estimate = histogram.estimate(float(c1), float(c2))
+            if truth <= 4 * 32 and estimate <= 4 * 32:
+                continue
+            worst = max(worst, max(estimate / truth, truth / estimate))
+        # Corollary 5.3 at k=4 gives q' = 3 plus small compression error.
+        assert worst <= 3.0 * 1.25

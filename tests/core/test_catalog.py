@@ -1,0 +1,72 @@
+"""The on-disk statistics catalog."""
+
+import numpy as np
+import pytest
+
+from repro.core.builder import build_histogram
+from repro.core.catalog import StatisticsCatalog
+from repro.core.density import AttributeDensity
+
+
+@pytest.fixture
+def histogram(rng):
+    density = AttributeDensity(rng.integers(1, 200, size=400))
+    return build_histogram(density, kind="V8DincB", theta=16)
+
+
+class TestCatalog:
+    def test_put_get_roundtrip(self, tmp_path, histogram, rng):
+        catalog = StatisticsCatalog(tmp_path)
+        catalog.put("orders", "customer", histogram)
+        restored = catalog.get("orders", "customer")
+        for _ in range(50):
+            a, b = sorted(rng.uniform(0, histogram.hi, size=2))
+            assert restored.estimate(a, b) == histogram.estimate(a, b)
+
+    def test_survives_reopen(self, tmp_path, histogram):
+        catalog = StatisticsCatalog(tmp_path)
+        catalog.put("orders", "customer", histogram)
+        reopened = StatisticsCatalog(tmp_path)
+        assert ("orders", "customer") in reopened
+        assert reopened.get("orders", "customer").kind == histogram.kind
+
+    def test_missing_raises(self, tmp_path):
+        catalog = StatisticsCatalog(tmp_path)
+        with pytest.raises(KeyError):
+            catalog.get("nope", "none")
+
+    def test_remove(self, tmp_path, histogram):
+        catalog = StatisticsCatalog(tmp_path)
+        catalog.put("t", "c", histogram)
+        catalog.remove("t", "c")
+        assert len(catalog) == 0
+        assert StatisticsCatalog(tmp_path).__len__() == 0
+        with pytest.raises(KeyError):
+            catalog.remove("t", "c")
+
+    def test_overwrite_updates(self, tmp_path, histogram, rng):
+        catalog = StatisticsCatalog(tmp_path)
+        catalog.put("t", "c", histogram)
+        density = AttributeDensity(rng.integers(1, 50, size=100))
+        other = build_histogram(density, kind="1DincB", theta=8)
+        catalog.put("t", "c", other)
+        assert catalog.get("t", "c").kind == "1DincB"
+        assert len(catalog) == 1
+
+    def test_odd_names_sanitised(self, tmp_path, histogram):
+        catalog = StatisticsCatalog(tmp_path)
+        catalog.put("my table!", "col/umn", histogram)
+        assert catalog.get("my table!", "col/umn").kind == histogram.kind
+
+    def test_listing_and_size(self, tmp_path, histogram):
+        catalog = StatisticsCatalog(tmp_path)
+        catalog.put("a", "x", histogram)
+        catalog.put("b", "y", histogram)
+        assert list(catalog.entries()) == [("a", "x"), ("b", "y")]
+        assert catalog.tables() == ["a", "b"]
+        assert catalog.size_bytes() > 0
+
+    def test_corrupt_manifest_rejected(self, tmp_path):
+        (tmp_path / "MANIFEST").write_text("not\tenough\n" + "way\ttoo\tmany\tfields\n")
+        with pytest.raises(ValueError):
+            StatisticsCatalog(tmp_path)

@@ -1,0 +1,96 @@
+"""Attribute densities: prefix sums, denseness, slicing."""
+
+import numpy as np
+import pytest
+
+from repro.core.density import AttributeDensity
+
+
+class TestConstruction:
+    def test_dense_by_default(self):
+        density = AttributeDensity([1, 2, 3])
+        assert density.is_dense
+        assert list(density.values) == [0, 1, 2]
+
+    def test_explicit_dense_values_detected(self):
+        density = AttributeDensity([1, 1], values=[0.0, 1.0])
+        assert density.is_dense
+
+    def test_nondense_detected(self):
+        density = AttributeDensity([1, 1], values=[0.0, 5.0])
+        assert not density.is_dense
+
+    def test_zero_frequency_rejected(self):
+        with pytest.raises(ValueError):
+            AttributeDensity([1, 0, 2])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            AttributeDensity([])
+
+    def test_nonincreasing_values_rejected(self):
+        with pytest.raises(ValueError):
+            AttributeDensity([1, 1], values=[2.0, 1.0])
+
+
+class TestRangeSums:
+    def test_f_plus_matches_slices(self, rng):
+        freqs = rng.integers(1, 100, size=80)
+        density = AttributeDensity(freqs)
+        for _ in range(100):
+            i, j = sorted(rng.integers(0, 81, size=2))
+            assert density.f_plus(int(i), int(j)) == int(freqs[i:j].sum())
+
+    def test_total(self):
+        density = AttributeDensity([1, 2, 3])
+        assert density.total == 6
+
+    def test_out_of_range_raises(self):
+        density = AttributeDensity([1, 2])
+        with pytest.raises(IndexError):
+            density.f_plus(0, 3)
+        with pytest.raises(IndexError):
+            density.f_plus(-1, 1)
+
+    def test_min_max_frequency(self):
+        density = AttributeDensity([5, 1, 9, 3])
+        assert density.max_frequency(0, 4) == 9
+        assert density.min_frequency(1, 3) == 1
+        with pytest.raises(ValueError):
+            density.max_frequency(2, 2)
+
+
+class TestValueSpace:
+    def test_width_dense(self):
+        density = AttributeDensity([1, 1, 1])
+        assert density.width(0, 2) == 2.0
+        # The open edge extends one past the last value.
+        assert density.width(0, 3) == 3.0
+
+    def test_width_nondense(self):
+        density = AttributeDensity([1, 1], values=[10.0, 20.0])
+        assert density.width(0, 1) == 10.0
+        assert density.width(0, 2) == 11.0
+
+    def test_index_of_value(self):
+        density = AttributeDensity([1, 1, 1], values=[10.0, 20.0, 30.0])
+        assert density.index_of_value(20.0) == 1
+        assert density.index_of_value(15.0) == 1
+        assert density.index_of_value(35.0) == 3
+
+    def test_slice_copies(self):
+        density = AttributeDensity([1, 2, 3])
+        values, freqs = density.slice(0, 2)
+        freqs[0] = 99
+        assert density.frequencies[0] == 1
+
+    def test_from_column(self):
+        from repro.dictionary.column import DictionaryEncodedColumn
+
+        column = DictionaryEncodedColumn.from_values([5, 5, 7, 9])
+        dense = AttributeDensity.from_column(column)
+        assert dense.is_dense
+        assert list(dense.frequencies) == [2, 1, 1]
+        value_density = AttributeDensity.from_value_column(column)
+        assert not value_density.is_dense
+        assert list(value_density.values) == [5, 7, 9]

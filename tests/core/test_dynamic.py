@@ -1,0 +1,110 @@
+"""Dynamic-θ acceptance testing: equivalence with the exact oracle."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.density import AttributeDensity
+from repro.core.dynamic import DynamicTestStats, is_theta_q_acceptable_dynamic
+from repro.core.qerror import theta_q_acceptable
+
+
+def brute_force(density, l, u, theta, q):
+    alpha = density.f_plus(l, u) / (u - l)
+    for i in range(l, u):
+        for j in range(i + 1, u + 1):
+            if not theta_q_acceptable(
+                alpha * (j - i), density.f_plus(i, j), theta, q
+            ):
+                return False
+    return True
+
+
+small_freqs = st.lists(st.integers(1, 400), min_size=2, max_size=40)
+params = dict(theta=st.integers(0, 200), q=st.floats(1.0, 4.0))
+
+
+class TestAgainstBruteForce:
+    @given(freqs=small_freqs, **params)
+    @settings(max_examples=200, deadline=None)
+    def test_unbounded_matches_oracle(self, freqs, theta, q):
+        density = AttributeDensity(freqs)
+        n = len(freqs)
+        expected = brute_force(density, 0, n, theta, q)
+        got = is_theta_q_acceptable_dynamic(
+            density, 0, n, theta, q, bounded=False, use_history=False
+        )
+        assert got == expected
+
+    @given(freqs=small_freqs, **params)
+    @settings(max_examples=200, deadline=None)
+    def test_bounded_matches_oracle(self, freqs, theta, q):
+        density = AttributeDensity(freqs)
+        n = len(freqs)
+        expected = brute_force(density, 0, n, theta, q)
+        got = is_theta_q_acceptable_dynamic(
+            density, 0, n, theta, q, bounded=True, use_history=False
+        )
+        assert got == expected
+
+    @given(freqs=small_freqs, **params)
+    @settings(max_examples=200, deadline=None)
+    def test_bounded_with_history_matches_oracle(self, freqs, theta, q):
+        density = AttributeDensity(freqs)
+        n = len(freqs)
+        expected = brute_force(density, 0, n, theta, q)
+        got = is_theta_q_acceptable_dynamic(
+            density, 0, n, theta, q, bounded=True, use_history=True
+        )
+        assert got == expected
+
+
+class TestPruningEffect:
+    def test_bounded_checks_fewer_intervals(self, rng):
+        # An accepting run on a long bucket: the naive variant scans every
+        # left endpoint while the bounded variant stays in its window.
+        freqs = rng.integers(30, 40, size=2000)
+        density = AttributeDensity(freqs)
+        naive = DynamicTestStats()
+        bounded = DynamicTestStats()
+        assert is_theta_q_acceptable_dynamic(
+            density, 0, 2000, 10, 2.0, bounded=False, use_history=False, stats=naive
+        )
+        assert is_theta_q_acceptable_dynamic(
+            density, 0, 2000, 10, 2.0, bounded=True, use_history=False, stats=bounded
+        )
+        assert bounded.intervals_checked < naive.intervals_checked
+
+    def test_history_skips_rows(self, rng):
+        freqs = rng.integers(9, 12, size=500)
+        density = AttributeDensity(freqs)
+        stats = DynamicTestStats()
+        assert is_theta_q_acceptable_dynamic(
+            density, 0, 500, 5, 2.0, bounded=True, use_history=True, stats=stats
+        )
+        assert stats.rows_skipped_by_history > 0
+
+    def test_total_below_theta_short_circuits(self):
+        density = AttributeDensity([1] * 50)
+        stats = DynamicTestStats()
+        assert is_theta_q_acceptable_dynamic(
+            density, 0, 50, theta=100, q=1.0, stats=stats
+        )
+        assert stats.intervals_checked == 0
+
+
+class TestEdgeCases:
+    def test_single_value_always_acceptable(self):
+        density = AttributeDensity([12345])
+        assert is_theta_q_acceptable_dynamic(density, 0, 1, theta=0, q=1.0)
+
+    def test_theta_zero_equals_pure_q(self):
+        density = AttributeDensity([10, 10, 1000])
+        assert not is_theta_q_acceptable_dynamic(density, 0, 3, theta=0, q=2.0)
+        # Restricting to the smooth prefix passes.
+        assert is_theta_q_acceptable_dynamic(density, 0, 2, theta=0, q=2.0)
+
+    def test_subrange_of_density(self, spiky_density):
+        # The spike at 50 is outside [60, 110): acceptable there.
+        assert is_theta_q_acceptable_dynamic(spiky_density, 60, 110, 10, 2.0)
+        assert not is_theta_q_acceptable_dynamic(spiky_density, 40, 60, 10, 2.0)

@@ -1,0 +1,100 @@
+"""Non-dense dynamic acceptance testing (Sec. 4.6's extension)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.density import AttributeDensity
+from repro.core.dynamic import (
+    DynamicTestStats,
+    is_theta_q_acceptable_dynamic_nondense,
+)
+from repro.core.qerror import theta_q_acceptable
+
+
+def brute_force(density, l, u, theta, q):
+    values = density.values
+    cum = density.cumulative
+    upper = float(values[u]) if u < density.n_distinct else float(values[-1]) + 1.0
+    span = upper - float(values[l])
+    alpha = density.f_plus(l, u) / span
+
+    def edge(j):
+        return float(values[j]) if j < density.n_distinct else upper
+
+    for i in range(l, u):
+        for j in range(i + 1, u + 1):
+            width = edge(j) - float(values[i])
+            if not theta_q_acceptable(
+                alpha * width, float(cum[j] - cum[i]), theta, q
+            ):
+                return False
+    return True
+
+
+def nondense(data):
+    freqs = [f for f, _ in data]
+    values = np.cumsum([g for _, g in data]).astype(float)
+    return AttributeDensity(freqs, values=values)
+
+
+pairs = st.lists(
+    st.tuples(st.integers(1, 300), st.integers(1, 100)), min_size=2, max_size=25
+)
+
+
+class TestAgainstBruteForce:
+    @given(data=pairs, theta=st.integers(0, 150), q=st.floats(1.0, 4.0))
+    @settings(max_examples=150, deadline=None)
+    def test_unbounded_matches_oracle(self, data, theta, q):
+        density = nondense(data)
+        n = density.n_distinct
+        expected = brute_force(density, 0, n, theta, q)
+        got = is_theta_q_acceptable_dynamic_nondense(
+            density, 0, n, theta, q, bounded=False
+        )
+        assert got == expected
+
+    @given(data=pairs, theta=st.integers(0, 150), q=st.floats(1.0, 4.0))
+    @settings(max_examples=150, deadline=None)
+    def test_bounded_matches_oracle(self, data, theta, q):
+        density = nondense(data)
+        n = density.n_distinct
+        expected = brute_force(density, 0, n, theta, q)
+        got = is_theta_q_acceptable_dynamic_nondense(
+            density, 0, n, theta, q, bounded=True
+        )
+        assert got == expected
+
+
+class TestBehaviour:
+    def test_total_below_theta_short_circuits(self):
+        density = AttributeDensity([1, 1, 1], values=[0.0, 5.0, 100.0])
+        stats = DynamicTestStats()
+        assert is_theta_q_acceptable_dynamic_nondense(
+            density, 0, 3, theta=10, q=1.0, stats=stats
+        )
+        assert stats.intervals_checked == 0
+
+    def test_gap_spanning_estimates_fail(self):
+        # A huge gap before a heavy value: value-space favg overestimates
+        # narrow queries after the gap and underestimates wide ones.
+        density = AttributeDensity(
+            [500, 500], values=[0.0, 10_000.0]
+        )
+        assert not is_theta_q_acceptable_dynamic_nondense(
+            density, 0, 2, theta=10, q=2.0
+        )
+
+    def test_bounded_scans_fewer(self, rng):
+        values = np.cumsum(rng.integers(1, 3, size=800)).astype(float)
+        density = AttributeDensity(rng.integers(20, 25, size=800), values=values)
+        naive = DynamicTestStats()
+        bounded = DynamicTestStats()
+        assert is_theta_q_acceptable_dynamic_nondense(
+            density, 0, 800, 10, 2.0, bounded=False, stats=naive
+        )
+        assert is_theta_q_acceptable_dynamic_nondense(
+            density, 0, 800, 10, 2.0, bounded=True, stats=bounded
+        )
+        assert bounded.intervals_checked < naive.intervals_checked

@@ -1,0 +1,68 @@
+"""Estimation functions: linearity, additivity, f̂avg exactness."""
+
+import pytest
+
+from repro.core.estimator import AlphaEstimator, FAvgEstimator, alpha_bounds
+
+
+class TestAlphaEstimator:
+    def test_linear_in_width(self):
+        estimator = AlphaEstimator(alpha=2.0, lo=0, hi=10)
+        assert estimator(0, 5) == 10.0
+        assert estimator(2, 4) == 4.0
+
+    def test_additive(self):
+        # Sec. 2.4: every linear additive estimator is alpha * (y - x).
+        estimator = AlphaEstimator(alpha=3.0, lo=0, hi=100)
+        assert estimator(0, 100) == pytest.approx(
+            estimator(0, 30) + estimator(30, 70) + estimator(70, 100)
+        )
+
+    def test_monotonic(self):
+        estimator = AlphaEstimator(alpha=1.5, lo=0, hi=10)
+        assert estimator(2, 5) <= estimator(1, 6)
+
+    def test_inverted_range_rejected(self):
+        estimator = AlphaEstimator(alpha=1.0, lo=0, hi=10)
+        with pytest.raises(ValueError):
+            estimator(5, 2)
+
+    def test_empty_bucket_rejected(self):
+        with pytest.raises(ValueError):
+            AlphaEstimator(alpha=1.0, lo=5, hi=5)
+
+
+class TestFAvg:
+    def test_whole_bucket_exact(self):
+        # Eq. 3: f̂avg reproduces the bucket total exactly (1-acceptable).
+        estimator = FAvgEstimator(lo=10, hi=20, total=500)
+        assert estimator(10, 20) == pytest.approx(500.0)
+
+    def test_alpha_is_average_density(self):
+        estimator = FAvgEstimator(lo=0, hi=4, total=8)
+        assert estimator.alpha == 2.0
+
+    def test_zero_total(self):
+        estimator = FAvgEstimator(lo=0, hi=4, total=0)
+        assert estimator(0, 2) == 0.0
+
+
+class TestAlphaBounds:
+    def test_eq1_interval(self):
+        lo_bound, hi_bound = alpha_bounds(total=100, lo=0, hi=10, q=2.0)
+        assert lo_bound == pytest.approx(5.0)
+        assert hi_bound == pytest.approx(20.0)
+
+    def test_favg_alpha_inside_bounds(self):
+        estimator = FAvgEstimator(lo=0, hi=10, total=100)
+        lo_bound, hi_bound = alpha_bounds(100, 0, 10, q=2.0)
+        assert lo_bound <= estimator.alpha <= hi_bound
+
+    def test_whole_bucket_q_acceptable_within_bounds(self):
+        # Eq. 2: any alpha in the Eq. 1 interval keeps the whole-bucket
+        # estimate q-acceptable.
+        total, lo, hi, q = 100, 0, 10, 2.0
+        lo_bound, hi_bound = alpha_bounds(total, lo, hi, q)
+        for alpha in (lo_bound, (lo_bound + hi_bound) / 2, hi_bound):
+            estimate = AlphaEstimator(alpha=alpha, lo=lo, hi=hi)(lo, hi)
+            assert max(estimate / total, total / estimate) <= q * (1 + 1e-12)

@@ -1,0 +1,75 @@
+"""Flexible-α construction: the Eq. 1 freedom ablation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import HistogramConfig
+from repro.core.density import AttributeDensity
+from repro.core.flexalpha import FlexAlphaBucket, build_flexible_alpha
+from repro.core.qerror import theta_q_acceptable
+from repro.core.qvwh import build_atomic_dense
+
+
+class TestFlexAlphaBucket:
+    def test_estimates_linear(self):
+        bucket = FlexAlphaBucket.build(0, 10, alpha=5.0)
+        assert bucket.estimate_range(0, 4) == pytest.approx(4 * bucket.alpha)
+
+    def test_total_is_alpha_times_width(self):
+        bucket = FlexAlphaBucket.build(0, 10, alpha=5.0)
+        assert bucket.total_estimate() == pytest.approx(10 * bucket.alpha)
+
+
+class TestBuildFlexibleAlpha:
+    def test_geometric_mid_accepts_q_squared_spread(self):
+        # fmax/fmin = 4 = q^2 for q=2: one bucket suffices with the
+        # flexible alpha even though favg construction must split.
+        freqs = np.array([10, 40] * 200)
+        density = AttributeDensity(freqs)
+        config = HistogramConfig(q=2.0, theta=0)
+        flexible = build_flexible_alpha(density, config)
+        assert len(flexible) == 1
+
+    def test_fewer_buckets_than_favg_atomic(self, rng):
+        # The weaker acceptance condition admits longer buckets.
+        freqs = rng.integers(10, 39, size=3000)  # spread just under q^2
+        density = AttributeDensity(freqs)
+        config = HistogramConfig(q=2.0, theta=0)
+        flexible = build_flexible_alpha(density, config)
+        favg = build_atomic_dense(density, config)
+        assert len(flexible) <= len(favg)
+
+    @given(
+        freqs=st.lists(st.integers(1, 500), min_size=2, max_size=50),
+        theta=st.integers(0, 60),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_property_all_subranges_acceptable(self, freqs, theta):
+        # The proof obligation: with alpha = sqrt(fmin*fmax) clamped into
+        # Eq. 1, every sub-range estimate within a bucket is
+        # theta,q-acceptable (up to the 8-bit compression of alpha).
+        q = 2.0
+        compression_slack = 1.27  # bq8 with k=3: 1 + 2^-2, ~1.25 + margin
+        density = AttributeDensity(freqs)
+        histogram = build_flexible_alpha(
+            density, HistogramConfig(q=q, theta=theta)
+        )
+        for bucket in histogram.buckets:
+            for i in range(bucket.lo, bucket.hi):
+                for j in range(i + 1, bucket.hi + 1):
+                    truth = density.f_plus(i, j)
+                    estimate = bucket.estimate_range(i, j)
+                    assert theta_q_acceptable(
+                        estimate, truth, theta, q * compression_slack
+                    ), (bucket.lo, bucket.hi, i, j)
+
+    def test_kind_recorded(self, smooth_density):
+        histogram = build_flexible_alpha(smooth_density)
+        assert histogram.kind == "FlexAlpha"
+
+    def test_nondense_rejected(self):
+        density = AttributeDensity([1, 1], values=[0.0, 9.0])
+        with pytest.raises(ValueError):
+            build_flexible_alpha(density)

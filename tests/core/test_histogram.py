@@ -1,0 +1,137 @@
+"""Histogram object: bucket lookup, estimation, sizing."""
+
+import numpy as np
+import pytest
+
+from repro.core.buckets import AtomicDenseBucket
+from repro.core.histogram import Histogram
+
+
+def _make(totals, width=10):
+    buckets = []
+    lo = 0
+    for total in totals:
+        buckets.append(AtomicDenseBucket.build(lo, lo + width, total))
+        lo += width
+    return Histogram(buckets, kind="test", theta=10, q=2.0)
+
+
+class TestConstruction:
+    def test_requires_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram([], kind="x", theta=1, q=1)
+
+    def test_requires_adjoining(self):
+        buckets = [
+            AtomicDenseBucket.build(0, 10, 5),
+            AtomicDenseBucket.build(11, 20, 5),
+        ]
+        with pytest.raises(ValueError):
+            Histogram(buckets, kind="x", theta=1, q=1)
+
+    def test_bad_domain_rejected(self):
+        bucket = AtomicDenseBucket.build(0, 10, 5)
+        with pytest.raises(ValueError):
+            Histogram([bucket], kind="x", theta=1, q=1, domain="weird")
+
+
+class TestEstimation:
+    def test_full_domain(self):
+        histogram = _make([100, 200, 300])
+        assert histogram.estimate(0, 30) == pytest.approx(600, rel=0.1)
+
+    def test_middle_buckets_use_totals(self):
+        histogram = _make([100, 200, 300, 400])
+        spanning = histogram.estimate(5, 35)
+        partial_ends = (
+            histogram.buckets[0].estimate_range(5, 10)
+            + histogram.buckets[1].total_estimate()
+            + histogram.buckets[2].total_estimate()
+            + histogram.buckets[3].estimate_range(30, 35)
+        )
+        assert spanning == pytest.approx(partial_ends)
+
+    def test_never_below_one_inside_domain(self):
+        histogram = _make([1, 1])
+        assert histogram.estimate(3, 4) >= 1.0
+
+    def test_empty_or_outside_ranges(self):
+        histogram = _make([10, 10])
+        assert histogram.estimate(5, 5) == 0.0
+        assert histogram.estimate(9, 3) == 0.0
+        assert histogram.estimate(100, 200) == 0.0
+
+    def test_clamps_to_domain(self):
+        histogram = _make([100])
+        assert histogram.estimate(-50, 50) == histogram.estimate(0, 10)
+
+    def test_bucket_index(self):
+        histogram = _make([1, 1, 1])
+        assert histogram.bucket_index(0) == 0
+        assert histogram.bucket_index(9.5) == 0
+        assert histogram.bucket_index(10) == 1
+        assert histogram.bucket_index(29) == 2
+        assert histogram.bucket_index(999) == 2
+
+    def test_estimate_batch(self):
+        histogram = _make([100, 200])
+        batch = histogram.estimate_batch(np.array([0, 10]), np.array([10, 20]))
+        assert batch[0] == pytest.approx(histogram.estimate(0, 10))
+        assert batch[1] == pytest.approx(histogram.estimate(10, 20))
+
+    def test_distinct_on_code_domain_is_width(self):
+        histogram = _make([100, 200])
+        assert histogram.estimate_distinct(2, 12) == pytest.approx(10)
+
+
+class TestExplain:
+    def test_breakdown_sums_to_estimate(self):
+        histogram = _make([100, 200, 300])
+        breakdown = histogram.explain(5, 25)
+        total = sum(r["contribution"] for r in breakdown)
+        assert max(total, 1.0) == pytest.approx(histogram.estimate(5, 25))
+
+    def test_paths_labelled(self):
+        histogram = _make([100, 200, 300])
+        breakdown = histogram.explain(5, 25)
+        assert [r["path"] for r in breakdown] == ["partial", "total", "partial"]
+
+    def test_empty_query(self):
+        histogram = _make([100])
+        assert histogram.explain(5, 5) == []
+        assert histogram.explain(50, 60) == []
+
+
+class TestSummary:
+    def test_fields(self):
+        histogram = _make([100, 200, 300])
+        summary = histogram.summary()
+        assert summary["buckets"] == 3
+        assert summary["range"] == (0.0, 30.0)
+        assert summary["bucket_width_median"] == 10.0
+        assert summary["bucket_types"] == {"AtomicDenseBucket": 3}
+        assert summary["estimated_rows"] == pytest.approx(600, rel=0.1)
+
+    def test_mixed_census(self, rng):
+        import numpy as np
+
+        from repro.core.config import HistogramConfig
+        from repro.core.density import AttributeDensity
+        from repro.core.mixed import build_mixed
+
+        freqs = np.concatenate(
+            [np.full(600, 10), rng.integers(1, 10**5, size=80), np.full(600, 10)]
+        )
+        histogram = build_mixed(
+            AttributeDensity(freqs), HistogramConfig(q=2.0, theta=8)
+        )
+        census = histogram.summary()["bucket_types"]
+        assert set(census) == {"VariableWidthBucket", "RawDenseBucket"}
+
+
+class TestSizing:
+    def test_size_sums_buckets(self):
+        histogram = _make([1, 2, 3])
+        per_bucket = histogram.buckets[0].size_bits
+        assert histogram.size_bits() == 3 * per_bucket
+        assert histogram.size_bytes() == (3 * per_bucket + 7) // 8

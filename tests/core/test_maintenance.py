@@ -1,0 +1,96 @@
+"""Incremental maintenance: Morris-backed insert tracking."""
+
+import numpy as np
+import pytest
+
+from repro.core.builder import build_histogram
+from repro.core.density import AttributeDensity
+from repro.core.maintenance import MaintainedHistogram
+from repro.core.qerror import qerror
+
+
+def _maintained(rng, kind="V8DincB"):
+    density = AttributeDensity(rng.integers(50, 70, size=500))
+    histogram = build_histogram(density, kind=kind, theta=16)
+    return density, MaintainedHistogram(
+        histogram, counter_base=1.05, rng=np.random.default_rng(0)
+    )
+
+
+class TestInsertTracking:
+    def test_no_inserts_is_identity(self, rng):
+        density, maintained = _maintained(rng)
+        for _ in range(50):
+            a, b = sorted(rng.integers(0, 501, size=2))
+            assert maintained.estimate(a, b) == maintained.histogram.estimate(a, b)
+
+    def test_inserts_raise_estimates(self, rng):
+        density, maintained = _maintained(rng)
+        before = maintained.estimate(0, 500)
+        maintained.insert_many(rng.integers(0, 500, size=20_000))
+        after = maintained.estimate(0, 500)
+        assert after > before
+
+    def test_insert_mass_roughly_tracked(self, rng):
+        density, maintained = _maintained(rng)
+        n_inserts = 30_000
+        maintained.insert_many(rng.integers(0, 500, size=n_inserts))
+        added = maintained.estimate(0, 500) - maintained.histogram.estimate(0, 500)
+        assert qerror(added, n_inserts) < 1.6
+
+    def test_localised_inserts_land_in_their_buckets(self, rng, zipf_density):
+        # A skewed density so the histogram has several buckets.
+        histogram = build_histogram(zipf_density, kind="1DincB", theta=8)
+        assert len(histogram) > 3
+        maintained = MaintainedHistogram(
+            histogram, counter_base=1.05, rng=np.random.default_rng(0)
+        )
+        maintained.insert_many(np.full(20_000, 1))  # all into one value
+        bucket = histogram.buckets[histogram.bucket_index(1)]
+        grown = maintained.estimate(bucket.lo, bucket.hi)
+        base = histogram.estimate(bucket.lo, bucket.hi)
+        assert grown > base + 10_000
+        # A disjoint far-away bucket is unaffected.
+        last = histogram.buckets[-1]
+        assert maintained.estimate(last.lo, last.hi) == histogram.estimate(
+            last.lo, last.hi
+        )
+
+    def test_out_of_domain_insert_raises(self, rng):
+        _, maintained = _maintained(rng)
+        with pytest.raises(ValueError):
+            maintained.insert(10**6)
+
+
+class TestRebuildSignal:
+    def test_staleness_grows(self, rng):
+        _, maintained = _maintained(rng)
+        assert maintained.staleness() == 0.0
+        maintained.insert_many(rng.integers(0, 500, size=5000))
+        assert 0 < maintained.staleness() < 1
+
+    def test_needs_rebuild_threshold(self, rng):
+        _, maintained = _maintained(rng)
+        assert not maintained.needs_rebuild()
+        maintained.insert_many(rng.integers(0, 500, size=60_000))
+        assert maintained.needs_rebuild(threshold=0.2)
+
+    def test_bad_threshold(self, rng):
+        _, maintained = _maintained(rng)
+        with pytest.raises(ValueError):
+            maintained.needs_rebuild(threshold=0)
+
+    def test_error_profile_fields(self, rng):
+        _, maintained = _maintained(rng)
+        profile = maintained.error_profile()
+        assert profile["base_q"] == maintained.histogram.q
+        assert profile["insert_relative_std"] == pytest.approx(
+            np.sqrt(0.05 / 2), rel=1e-6
+        )
+
+    def test_value_domain_rejected(self, rng):
+        values = np.cumsum(rng.integers(1, 9, size=300)).astype(float)
+        density = AttributeDensity(rng.integers(1, 40, size=300), values=values)
+        histogram = build_histogram(density, kind="1VincB1", theta=8)
+        with pytest.raises(ValueError):
+            MaintainedHistogram(histogram)

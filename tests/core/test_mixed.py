@@ -1,0 +1,69 @@
+"""Mixed bucket-type construction (the Sec. 9 future-work extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core.buckets import RawDenseBucket, VariableWidthBucket
+from repro.core.config import HistogramConfig
+from repro.core.density import AttributeDensity
+from repro.core.mixed import build_mixed
+from repro.core.qerror import qerror
+from repro.core.qvwh import build_qvwh
+
+
+def _hostile_density(rng):
+    """Smooth flanks around a chaotic core that defeats approximation."""
+    left = np.full(1500, 20, dtype=np.int64)
+    core = rng.integers(1, 10**6, size=120).astype(np.int64)
+    right = np.full(1500, 30, dtype=np.int64)
+    return AttributeDensity(np.concatenate([left, core, right]))
+
+
+class TestBuildMixed:
+    def test_uses_both_bucket_types_on_hostile_data(self, rng):
+        density = _hostile_density(rng)
+        histogram = build_mixed(density, HistogramConfig(q=2.0, theta=8))
+        kinds = {type(b) for b in histogram.buckets}
+        assert VariableWidthBucket in kinds
+        assert RawDenseBucket in kinds
+
+    def test_smooth_data_uses_no_raw_buckets(self, smooth_density):
+        histogram = build_mixed(smooth_density, HistogramConfig(q=2.0, theta=8))
+        assert all(isinstance(b, VariableWidthBucket) for b in histogram.buckets)
+
+    def test_buckets_tile_domain(self, rng):
+        density = _hostile_density(rng)
+        histogram = build_mixed(density, HistogramConfig(q=2.0, theta=8))
+        assert histogram.buckets[0].lo == 0
+        assert histogram.hi == density.n_distinct
+        for left, right in zip(histogram.buckets, histogram.buckets[1:]):
+            assert right.lo == left.hi
+
+    def test_raw_regions_estimate_precisely(self, rng):
+        density = _hostile_density(rng)
+        histogram = build_mixed(density, HistogramConfig(q=2.0, theta=8))
+        cum = density.cumulative
+        # Queries inside the chaotic core: raw buckets answer within the
+        # 4-bit q-compression error, far better than any bucklet could.
+        for _ in range(100):
+            c1 = int(rng.integers(1500, 1610))
+            c2 = int(rng.integers(c1 + 1, 1621))
+            truth = float(cum[c2] - cum[c1])
+            estimate = histogram.estimate(float(c1), float(c2))
+            assert qerror(estimate, truth) <= np.sqrt(3.0) * 1.01
+
+    def test_mixed_smaller_than_pure_on_hostile_core(self, rng):
+        density = _hostile_density(rng)
+        config = HistogramConfig(q=2.0, theta=8)
+        mixed = build_mixed(density, config)
+        pure = build_qvwh(density, config)
+        assert mixed.size_bytes() <= pure.size_bytes()
+
+    def test_bad_threshold_rejected(self, smooth_density):
+        with pytest.raises(ValueError):
+            build_mixed(smooth_density, raw_threshold=0)
+
+    def test_nondense_rejected(self):
+        density = AttributeDensity([1, 1], values=[0.0, 9.0])
+        with pytest.raises(ValueError):
+            build_mixed(density)

@@ -1,0 +1,123 @@
+"""Two-dimensional θ,q histograms (the paper's future-work extension)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import HistogramConfig
+from repro.core.multidim import Density2D, build_histogram_2d
+from repro.core.qerror import qerror
+
+
+class TestDensity2D:
+    def test_prefix_sums_match_brute_force(self, rng):
+        counts = rng.integers(0, 20, size=(15, 12))
+        density = Density2D(counts)
+        for _ in range(100):
+            r1, r2 = sorted(rng.integers(0, 16, size=2))
+            c1, c2 = sorted(rng.integers(0, 13, size=2))
+            expected = int(counts[r1:r2, c1:c2].sum())
+            assert density.f_plus(int(r1), int(r2), int(c1), int(c2)) == expected
+
+    def test_from_codes(self, rng):
+        a = rng.integers(0, 5, size=1000)
+        b = rng.integers(0, 7, size=1000)
+        density = Density2D.from_codes(a, b, 5, 7)
+        assert density.total == 1000
+        assert density.f_plus(0, 5, 0, 7) == 1000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Density2D(np.zeros((0, 3)))
+        with pytest.raises(ValueError):
+            Density2D(np.array([[1, -1]]))
+
+
+class TestConstruction:
+    def test_uniform_needs_one_leaf(self):
+        density = Density2D(np.full((50, 50), 4))
+        histogram = build_histogram_2d(density, HistogramConfig(q=2.0, theta=16))
+        assert len(histogram) == 1
+
+    def test_hotspot_forces_splits(self, rng):
+        counts = np.full((40, 40), 2, dtype=np.int64)
+        counts[10, 30] = 100_000
+        density = Density2D(counts)
+        histogram = build_histogram_2d(density, HistogramConfig(q=2.0, theta=8))
+        assert len(histogram) > 1
+
+    def test_leaves_partition_domain(self, rng):
+        counts = rng.integers(0, 50, size=(30, 25))
+        counts[5, 5] = 10_000
+        density = Density2D(counts)
+        histogram = build_histogram_2d(density, HistogramConfig(q=2.0, theta=8))
+        covered = np.zeros(density.shape, dtype=np.int64)
+        for leaf in histogram.leaves:
+            covered[leaf.r1 : leaf.r2, leaf.c1 : leaf.c2] += 1
+        assert np.all(covered == 1)
+
+    def test_every_leaf_is_acceptable(self, rng):
+        # The construction invariant checked by brute force per leaf.
+        from repro.core.multidim import _cell_acceptable
+
+        counts = rng.integers(0, 30, size=(25, 25))
+        density = Density2D(counts)
+        theta, q = 8, 2.0
+        histogram = build_histogram_2d(density, HistogramConfig(q=q, theta=theta))
+        for leaf in histogram.leaves:
+            if (leaf.r2 - leaf.r1, leaf.c2 - leaf.c1) == (1, 1):
+                continue
+            assert _cell_acceptable(
+                density, leaf.r1, leaf.r2, leaf.c1, leaf.c2, theta, q
+            )
+
+
+class TestEstimation:
+    def test_whole_domain_near_exact(self, rng):
+        counts = rng.integers(1, 30, size=(20, 20))
+        density = Density2D(counts)
+        histogram = build_histogram_2d(density, HistogramConfig(q=2.0, theta=8))
+        estimate = histogram.estimate(0, 20, 0, 20)
+        assert qerror(estimate, density.total) < 1.1
+
+    def test_empty_query(self, rng):
+        density = Density2D(rng.integers(1, 5, size=(10, 10)))
+        histogram = build_histogram_2d(density, HistogramConfig(q=2.0, theta=4))
+        assert histogram.estimate(3, 3, 0, 10) == 0.0
+
+    @given(seed=st.integers(0, 50), theta=st.integers(2, 40))
+    @settings(max_examples=30, deadline=None)
+    def test_property_guarantee_above_scaled_theta(self, seed, theta):
+        """An empirical 2-D error band above the scaled threshold.
+
+        No *formal* multi-dimensional transfer bound exists (the paper's
+        open problem): a rectangle's partial boundary band can stack a
+        few per-leaf errors, so the band here is wider than the 1-D
+        Corollary 5.3 value of 3.
+        """
+        q = 2.0
+        rng = np.random.default_rng(seed)
+        counts = rng.integers(0, 25, size=(18, 18))
+        counts[rng.integers(0, 18), rng.integers(0, 18)] = 5_000
+        density = Density2D(counts)
+        histogram = build_histogram_2d(density, HistogramConfig(q=q, theta=theta))
+        theta_out = 4 * theta
+        q_out = 8.0  # empirical 2-D band (1-D Cor. 5.3 would give 3)
+        worst = 1.0
+        for _ in range(300):
+            r1, r2 = sorted(rng.integers(0, 19, size=2))
+            c1, c2 = sorted(rng.integers(0, 19, size=2))
+            if r1 == r2 or c1 == c2:
+                continue
+            truth = density.f_plus(int(r1), int(r2), int(c1), int(c2))
+            estimate = histogram.estimate(float(r1), float(r2), float(c1), float(c2))
+            if truth <= theta_out and estimate <= theta_out:
+                continue
+            worst = max(worst, qerror(max(estimate, 1e-300), max(truth, 1e-300)))
+        assert worst <= q_out * (1 + 1e-9)
+
+    def test_size_accounting(self, rng):
+        density = Density2D(rng.integers(1, 5, size=(10, 10)))
+        histogram = build_histogram_2d(density, HistogramConfig(q=2.0, theta=4))
+        assert histogram.size_bytes() == (len(histogram) * 80 + 7) // 8

@@ -1,0 +1,118 @@
+"""q-error metric and θ,q-acceptability semantics."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.qerror import (
+    max_qerror,
+    q_acceptable,
+    qerror,
+    qerror_of_product,
+    qerror_of_sum,
+    theta_q_acceptable,
+)
+
+
+class TestQError:
+    def test_perfect_estimate(self):
+        assert qerror(10, 10) == 1.0
+
+    def test_symmetry(self):
+        assert qerror(5, 10) == qerror(10, 5) == 2.0
+
+    def test_zero_conventions(self):
+        assert qerror(0, 0) == 1.0
+        assert qerror(0, 5) == math.inf
+        assert qerror(5, 0) == math.inf
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            qerror(-1, 1)
+
+    @given(
+        est=st.floats(min_value=1e-6, max_value=1e12),
+        truth=st.floats(min_value=1e-6, max_value=1e12),
+    )
+    @settings(max_examples=200)
+    def test_property_at_least_one(self, est, truth):
+        assert qerror(est, truth) >= 1.0
+
+
+class TestAcceptability:
+    def test_q_acceptable_boundary(self):
+        assert q_acceptable(5, 10, 2.0)
+        assert q_acceptable(10, 5, 2.0)
+        assert not q_acceptable(4.9, 10, 2.0)
+
+    def test_q_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            q_acceptable(1, 1, 0.5)
+
+    def test_theta_branch(self):
+        # Wildly wrong but both below theta: acceptable.
+        assert theta_q_acceptable(1, 500, theta=1000, q=2.0)
+        # Truth above theta: the q-error must hold.
+        assert not theta_q_acceptable(1, 500, theta=100, q=2.0)
+
+    def test_the_paper_example(self):
+        # Sec. 3: estimate 1, truth 500, threshold 500 -> acceptable
+        # although the q-error is 500.
+        assert theta_q_acceptable(1, 500, theta=500, q=2.0)
+
+    def test_zero_truth_handled(self):
+        # Estimate 1, truth 0: acceptable iff theta >= 1.
+        assert theta_q_acceptable(1, 0, theta=1, q=2.0)
+        assert not theta_q_acceptable(1, 0, theta=0.5, q=2.0)
+
+    @given(
+        est=st.floats(min_value=0, max_value=1e9),
+        truth=st.floats(min_value=0, max_value=1e9),
+        theta=st.floats(min_value=0, max_value=1e6),
+        q=st.floats(min_value=1, max_value=100),
+    )
+    @settings(max_examples=300)
+    def test_property_theta_monotone(self, est, truth, theta, q):
+        # Axiom 4.1: acceptability is monotone in theta.
+        if theta_q_acceptable(est, truth, theta, q):
+            assert theta_q_acceptable(est, truth, theta * 2 + 1, q)
+
+
+class TestCompositionBounds:
+    def test_sum_bound(self):
+        # Sec. 2.3: the sum's q-error is bounded by the max term q-error.
+        truths = [10, 20, 30]
+        estimates = [20, 10, 45]
+        term_q = [qerror(e, t) for e, t in zip(estimates, truths)]
+        assert qerror(sum(estimates), sum(truths)) <= qerror_of_sum(term_q)
+
+    def test_product_bound(self):
+        truths = [10.0, 20.0]
+        estimates = [15.0, 30.0]
+        term_q = [qerror(e, t) for e, t in zip(estimates, truths)]
+        product_q = qerror(estimates[0] * estimates[1], truths[0] * truths[1])
+        assert product_q <= qerror_of_product(term_q) * (1 + 1e-12)
+
+    def test_max_qerror(self):
+        assert max_qerror([1, 4], [2, 2]) == 2.0
+
+    @given(
+        pairs=st.lists(
+            st.tuples(
+                st.floats(min_value=0.1, max_value=1e6),
+                st.floats(min_value=0.1, max_value=1e6),
+            ),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    @settings(max_examples=200)
+    def test_property_sum_bound(self, pairs):
+        estimates = [p[0] for p in pairs]
+        truths = [p[1] for p in pairs]
+        term_q = [qerror(e, t) for e, t in zip(estimates, truths)]
+        assert qerror(sum(estimates), sum(truths)) <= qerror_of_sum(term_q) * (
+            1 + 1e-9
+        )

@@ -1,0 +1,91 @@
+"""QEWH construction: FindLargest and the per-bucklet guarantee."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.acceptance import quadratic_test
+from repro.core.config import HistogramConfig
+from repro.core.density import AttributeDensity
+from repro.core.qewh import build_qewh, find_largest
+
+
+class TestFindLargest:
+    def test_uniform_grows_to_cover_domain(self):
+        density = AttributeDensity(np.full(800, 10))
+        config = HistogramConfig(q=2.0, theta=32)
+        m = find_largest(density, 0, 32, 2.0, config)
+        assert 8 * m >= 800  # one bucket suffices
+
+    def test_spike_limits_width(self, spiky_density):
+        config = HistogramConfig(q=2.0, theta=5)
+        m = find_largest(spiky_density, 0, 5, 2.0, config)
+        assert m < 25  # the spike at 50 must not share a wide bucklet
+
+    def test_returns_at_least_one(self):
+        density = AttributeDensity([1, 10**6, 1, 10**6])
+        config = HistogramConfig(q=1.0, theta=0)
+        assert find_largest(density, 0, 0, 1.0, config) >= 1
+
+    def test_out_of_domain_start_raises(self, smooth_density):
+        config = HistogramConfig()
+        with pytest.raises(IndexError):
+            find_largest(smooth_density, 999, 10, 2.0, config)
+
+
+class TestBuildQEWH:
+    def test_buckets_tile_domain(self, zipf_density):
+        histogram = build_qewh(zipf_density, HistogramConfig(q=2.0, theta=16))
+        assert histogram.buckets[0].lo == 0
+        assert histogram.hi >= zipf_density.n_distinct
+        for left, right in zip(histogram.buckets, histogram.buckets[1:]):
+            assert right.lo == left.hi
+
+    def test_rejects_nondense_domain(self):
+        density = AttributeDensity([1, 1], values=[0.0, 5.0])
+        with pytest.raises(ValueError):
+            build_qewh(density)
+
+    def test_kind_and_parameters_recorded(self, smooth_density):
+        histogram = build_qewh(smooth_density, HistogramConfig(q=2.0, theta=8))
+        assert histogram.kind == "F8Dgt"
+        assert histogram.theta == 8
+        assert histogram.q == 2.0
+
+    @given(
+        freqs=st.lists(st.integers(1, 800), min_size=8, max_size=100),
+        theta=st.integers(0, 64),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_every_bucklet_acceptable(self, freqs, theta):
+        # The construction invariant: every (domain-clipped) bucklet of
+        # every bucket is theta,(q + 1/k)-acceptable for its estimation
+        # slope (the sub-quadratic test's guarantee with k=8).
+        q = 2.0
+        density = AttributeDensity(freqs)
+        d = density.n_distinct
+        histogram = build_qewh(density, HistogramConfig(q=q, theta=theta))
+        for bucket in histogram.buckets:
+            m = bucket.bucklet_width
+            for b in range(8):
+                lo = bucket.lo + b * m
+                hi = min(lo + m, d)
+                if lo >= hi:
+                    continue
+                alpha = density.f_plus(lo, hi) / m
+                assert quadratic_test(
+                    density, lo, hi, theta, q + 1.0 / 8.0, alpha=alpha
+                ), (bucket.lo, m, b)
+
+    def test_smooth_data_compresses_well(self, smooth_density):
+        histogram = build_qewh(smooth_density, HistogramConfig(q=2.0, theta=8))
+        assert len(histogram) <= 4
+
+    def test_hostile_data_degrades_gracefully(self):
+        rng = np.random.default_rng(5)
+        freqs = rng.integers(1, 10**6, size=256)
+        density = AttributeDensity(freqs)
+        histogram = build_qewh(density, HistogramConfig(q=2.0, theta=4))
+        # Worst case: one value per bucklet, i.e. d/8 buckets.
+        assert len(histogram) <= 256 / 8 + 1

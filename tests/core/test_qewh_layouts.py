@@ -1,0 +1,104 @@
+"""Layout-parametric equi-width construction: Table 3's alternatives."""
+
+import numpy as np
+import pytest
+
+from repro.compression.layouts import BQC8x8, QC8T8x7, QC8x8, QC16T8x6, QC16x4
+from repro.core.acceptance import quadratic_test
+from repro.core.config import HistogramConfig
+from repro.core.density import AttributeDensity
+from repro.core.qerror import qerror
+from repro.core.qewh import build_qewh
+from repro.core.serialize import deserialize_histogram, serialize_histogram
+
+ALL_LAYOUTS = [QC16T8x6, QC8x8, QC16x4, QC8T8x7, BQC8x8]
+
+
+@pytest.fixture
+def hard_density(rng):
+    freqs = np.maximum(rng.zipf(1.8, size=1500), 1)
+    freqs[700] = 30_000
+    return AttributeDensity(freqs)
+
+
+class TestLayoutVariants:
+    @pytest.mark.parametrize("layout", ALL_LAYOUTS, ids=lambda l: l.name)
+    def test_builds_and_tiles(self, layout, hard_density):
+        histogram = build_qewh(
+            hard_density, HistogramConfig(q=2.0, theta=16), layout=layout
+        )
+        assert histogram.buckets[0].lo == 0
+        assert histogram.hi >= hard_density.n_distinct
+        for left, right in zip(histogram.buckets, histogram.buckets[1:]):
+            assert right.lo == left.hi
+
+    @pytest.mark.parametrize("layout", ALL_LAYOUTS, ids=lambda l: l.name)
+    def test_bucklet_acceptability_invariant(self, layout, rng):
+        theta, q = 16, 2.0
+        density = AttributeDensity(rng.integers(1, 300, size=200))
+        histogram = build_qewh(
+            density, HistogramConfig(q=q, theta=theta), layout=layout
+        )
+        d = density.n_distinct
+        for bucket in histogram.buckets:
+            m = bucket.bucklet_width
+            for b in range(layout.n_bucklets):
+                lo = bucket.lo + b * m
+                hi = min(lo + m, d)
+                if lo >= hi:
+                    continue
+                alpha = density.f_plus(lo, hi) / m
+                assert quadratic_test(
+                    density, lo, hi, theta, q + 1 / 8.0, alpha=alpha
+                )
+
+    @pytest.mark.parametrize("layout", ALL_LAYOUTS, ids=lambda l: l.name)
+    def test_estimates_within_guarantee(self, layout, hard_density, rng):
+        theta = 16
+        histogram = build_qewh(
+            hard_density, HistogramConfig(q=2.0, theta=theta), layout=layout
+        )
+        cum = hard_density.cumulative
+        d = hard_density.n_distinct
+        slack = layout.qerror_bound()
+        worst = 1.0
+        for _ in range(1500):
+            c1, c2 = sorted(rng.integers(0, d + 1, size=2))
+            if c1 == c2:
+                continue
+            truth = float(cum[c2] - cum[c1])
+            estimate = histogram.estimate(float(c1), float(c2))
+            if truth <= 4 * theta and estimate <= 4 * theta:
+                continue
+            worst = max(worst, qerror(estimate, truth))
+        assert worst <= 3.0 * slack * (1 + 1e-9), layout.name
+
+    @pytest.mark.parametrize("layout", ALL_LAYOUTS, ids=lambda l: l.name)
+    def test_serialization_roundtrip(self, layout, hard_density, rng):
+        histogram = build_qewh(
+            hard_density, HistogramConfig(q=2.0, theta=16), layout=layout
+        )
+        restored = deserialize_histogram(serialize_histogram(histogram))
+        assert restored.kind == histogram.kind
+        for _ in range(100):
+            a, b = sorted(rng.uniform(0, histogram.hi, size=2))
+            assert restored.estimate(a, b) == histogram.estimate(a, b)
+
+    def test_kind_names_distinguish_layouts(self, smooth_density):
+        default = build_qewh(smooth_density, HistogramConfig(theta=8))
+        alt = build_qewh(smooth_density, HistogramConfig(theta=8), layout=QC16x4)
+        assert default.kind == "F8Dgt"
+        assert alt.kind == "F16Dgt[QC16x4]"
+
+    def test_coarse_base_pays_in_accuracy(self, rng):
+        # QC16x4's base 2.5 carries ~sqrt(2.5) error per bucklet vs
+        # QC16T8x6's ~sqrt(1.4): whole-domain estimates reflect that.
+        freqs = rng.integers(50, 70, size=640)
+        density = AttributeDensity(freqs)
+        config = HistogramConfig(q=2.0, theta=8)
+        fine = build_qewh(density, config, layout=QC16T8x6)
+        coarse = build_qewh(density, config, layout=QC16x4)
+        truth = density.total
+        fine_err = qerror(fine.estimate(0, 640), truth)
+        coarse_err = qerror(coarse.estimate(0, 640), truth)
+        assert fine_err <= coarse_err * 1.05

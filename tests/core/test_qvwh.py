@@ -1,0 +1,152 @@
+"""QVWH and atomic incremental construction: GrowBucklet invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.acceptance import quadratic_test
+from repro.core.config import HistogramConfig
+from repro.core.density import AttributeDensity
+from repro.core.qvwh import build_atomic_dense, build_qvwh, grow_bucklet
+
+small_freqs = st.lists(st.integers(1, 600), min_size=2, max_size=60)
+
+
+class TestGrowBucklet:
+    def test_uniform_grows_to_max(self):
+        density = AttributeDensity(np.full(500, 10))
+        assert grow_bucklet(density, 0, 500, theta=8, q=2.0) == 500
+
+    def test_spike_stops_growth(self, spiky_density):
+        m = grow_bucklet(spiky_density, 0, 200, theta=5, q=2.0)
+        assert 1 <= m <= 50
+
+    def test_mmax_respected(self, smooth_density):
+        assert grow_bucklet(smooth_density, 0, 7, theta=8, q=2.0) == 7
+
+    def test_zero_mmax(self, smooth_density):
+        assert grow_bucklet(smooth_density, 0, 0, theta=8, q=2.0) == 0
+
+    @given(freqs=small_freqs, theta=st.integers(0, 100))
+    @settings(max_examples=120, deadline=None)
+    def test_property_result_is_acceptable(self, freqs, theta):
+        # The grown prefix must be theta,q-acceptable for its favg.
+        q = 2.0
+        density = AttributeDensity(freqs)
+        n = density.n_distinct
+        m = grow_bucklet(density, 0, n, theta, q, bounded=False)
+        if m >= 1:
+            assert quadratic_test(density, 0, m, theta, q)
+
+    @given(freqs=small_freqs, theta=st.integers(0, 100))
+    @settings(max_examples=120, deadline=None)
+    def test_property_bounded_result_is_acceptable(self, freqs, theta):
+        q = 2.0
+        density = AttributeDensity(freqs)
+        n = density.n_distinct
+        m = grow_bucklet(density, 0, n, theta, q, bounded=True)
+        if m >= 1:
+            assert quadratic_test(density, 0, m, theta, q)
+
+    @given(freqs=small_freqs, theta=st.integers(0, 100))
+    @settings(max_examples=120, deadline=None)
+    def test_property_bounded_equals_unbounded(self, freqs, theta):
+        # The Corollary 4.2 window only prunes constraints that cannot
+        # bind, so both variants must agree exactly.
+        q = 2.0
+        density = AttributeDensity(freqs)
+        n = density.n_distinct
+        assert grow_bucklet(density, 0, n, theta, q, bounded=True) == grow_bucklet(
+            density, 0, n, theta, q, bounded=False
+        )
+
+    def test_growth_from_offset(self, spiky_density):
+        m = grow_bucklet(spiky_density, 60, 60, theta=5, q=2.0)
+        assert m == 60  # the region past the spike is smooth
+
+
+class TestBuildQVWH:
+    def test_buckets_tile_domain(self, zipf_density):
+        histogram = build_qvwh(zipf_density, HistogramConfig(q=2.0, theta=16))
+        assert histogram.buckets[0].lo == 0
+        assert histogram.hi == zipf_density.n_distinct
+        for left, right in zip(histogram.buckets, histogram.buckets[1:]):
+            assert right.lo == left.hi
+
+    def test_kind_reflects_bounding(self, smooth_density):
+        bounded = build_qvwh(smooth_density, HistogramConfig(bounded_search=True))
+        naive = build_qvwh(smooth_density, HistogramConfig(bounded_search=False))
+        assert bounded.kind == "V8DincB"
+        assert naive.kind == "V8Dinc"
+
+    def test_bounded_and_naive_identical_output(self, zipf_density):
+        # Paper Sec. 8.4: "the memory consumption was identical for the
+        # bounded and unbounded variants".
+        config_b = HistogramConfig(q=2.0, theta=16, bounded_search=True)
+        config_n = HistogramConfig(q=2.0, theta=16, bounded_search=False)
+        bounded = build_qvwh(zipf_density, config_b)
+        naive = build_qvwh(zipf_density, config_n)
+        assert len(bounded) == len(naive)
+        assert bounded.size_bytes() == naive.size_bytes()
+
+    def test_variable_beats_fixed_on_mixed_data(self):
+        # A single narrow hot region should not force narrow bucklets
+        # everywhere: V8D needs fewer buckets than F8D here.
+        from repro.core.qewh import build_qewh
+
+        rng = np.random.default_rng(11)
+        freqs = np.full(2000, 20, dtype=np.int64)
+        freqs[1000:1010] = rng.integers(10**4, 10**6, size=10)
+        density = AttributeDensity(freqs)
+        config = HistogramConfig(q=2.0, theta=16)
+        fixed = build_qewh(density, config)
+        variable = build_qvwh(density, config)
+        assert variable.size_bytes() < fixed.size_bytes()
+
+    def test_rejects_nondense(self):
+        density = AttributeDensity([1, 1], values=[0.0, 7.0])
+        with pytest.raises(ValueError):
+            build_qvwh(density)
+
+    @given(freqs=small_freqs, theta=st.integers(0, 60))
+    @settings(max_examples=60, deadline=None)
+    def test_property_every_bucklet_acceptable(self, freqs, theta):
+        q = 2.0
+        density = AttributeDensity(freqs)
+        histogram = build_qvwh(density, HistogramConfig(q=q, theta=theta))
+        for bucket in histogram.buckets:
+            bucket._decode()
+            edges = bucket._edges
+            for b in range(8):
+                lo, hi = int(edges[b]), int(edges[b + 1])
+                if hi <= lo:
+                    continue
+                assert quadratic_test(density, lo, hi, theta, q), (lo, hi)
+
+
+class TestBuildAtomic:
+    def test_every_bucket_acceptable(self, zipf_density):
+        theta, q = 16, 2.0
+        histogram = build_atomic_dense(
+            zipf_density, HistogramConfig(q=q, theta=theta)
+        )
+        for bucket in histogram.buckets:
+            assert quadratic_test(zipf_density, bucket.lo, bucket.hi, theta, q)
+
+    def test_kinds(self, smooth_density):
+        assert build_atomic_dense(smooth_density, HistogramConfig()).kind == "1DincB"
+        assert (
+            build_atomic_dense(
+                smooth_density, HistogramConfig(bounded_search=False)
+            ).kind
+            == "1Dinc"
+        )
+
+    def test_atomic_needs_more_buckets_than_bucklets(self, zipf_density):
+        # Eight bucklets per bucket amortise boundaries: V8D should not
+        # need more storage than the atomic variant on hard data.
+        config = HistogramConfig(q=2.0, theta=16)
+        atomic = build_atomic_dense(zipf_density, config)
+        variable = build_qvwh(zipf_density, config)
+        assert variable.size_bytes() <= atomic.size_bytes()

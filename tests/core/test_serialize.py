@@ -1,0 +1,85 @@
+"""Histogram serialization: exact round trips for every bucket type."""
+
+import numpy as np
+import pytest
+
+from repro.core.builder import HISTOGRAM_KINDS, build_histogram
+from repro.core.config import HistogramConfig
+from repro.core.density import AttributeDensity
+from repro.core.flexalpha import build_flexible_alpha
+from repro.core.mixed import build_mixed
+from repro.core.serialize import (
+    SerializationError,
+    deserialize_histogram,
+    serialize_histogram,
+)
+from repro.workloads.distributions import make_density
+
+
+def _assert_identical_estimates(original, restored, rng, n=300):
+    lo, hi = original.lo, original.hi
+    assert restored.lo == lo and restored.hi == hi
+    for _ in range(n):
+        a, b = sorted(rng.uniform(lo, hi, size=2))
+        assert restored.estimate(a, b) == original.estimate(a, b)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("kind", HISTOGRAM_KINDS)
+    def test_all_kinds_roundtrip(self, kind, rng):
+        density = make_density(np.random.default_rng(3), 1200)
+        if kind.startswith("1V"):
+            values = np.cumsum(rng.integers(1, 50, size=1200)).astype(float)
+            density = AttributeDensity(density.frequencies, values=values)
+        histogram = build_histogram(density, kind=kind, theta=16)
+        data = serialize_histogram(histogram)
+        restored = deserialize_histogram(data)
+        assert restored.kind == histogram.kind
+        assert restored.theta == histogram.theta
+        assert restored.q == histogram.q
+        assert restored.domain == histogram.domain
+        assert len(restored) == len(histogram)
+        _assert_identical_estimates(histogram, restored, rng)
+
+    def test_mixed_roundtrip(self, rng):
+        freqs = np.concatenate(
+            [np.full(800, 10), rng.integers(1, 10**6, size=100), np.full(800, 10)]
+        )
+        histogram = build_mixed(
+            AttributeDensity(freqs), HistogramConfig(q=2.0, theta=8)
+        )
+        restored = deserialize_histogram(serialize_histogram(histogram))
+        _assert_identical_estimates(histogram, restored, rng)
+
+    def test_flexalpha_roundtrip(self, zipf_density, rng):
+        histogram = build_flexible_alpha(zipf_density)
+        restored = deserialize_histogram(serialize_histogram(histogram))
+        _assert_identical_estimates(histogram, restored, rng)
+
+    def test_size_close_to_packed_size(self, zipf_density):
+        histogram = build_histogram(zipf_density, kind="V8DincB", theta=16)
+        data = serialize_histogram(histogram)
+        # The binary form should be within ~2.5x of the accounted packed
+        # size (boundaries stored at full width plus the header).
+        assert len(data) <= histogram.size_bytes() * 2.5 + 64
+
+
+class TestErrors:
+    def test_bad_magic(self):
+        with pytest.raises(SerializationError):
+            deserialize_histogram(b"NOPE" + b"\x00" * 32)
+
+    def test_trailing_garbage(self, smooth_density):
+        histogram = build_histogram(smooth_density, kind="1DincB", theta=8)
+        data = serialize_histogram(histogram) + b"\x00"
+        with pytest.raises(SerializationError):
+            deserialize_histogram(data)
+
+    def test_unknown_tag(self, smooth_density):
+        histogram = build_histogram(smooth_density, kind="1DincB", theta=8)
+        data = bytearray(serialize_histogram(histogram))
+        # Corrupt the first bucket's tag byte (right after the header).
+        header = 4 + 2 + len(histogram.kind) + 8 + 8 + 1 + 4
+        data[header] = 250
+        with pytest.raises(SerializationError):
+            deserialize_histogram(bytes(data))

@@ -1,0 +1,81 @@
+"""Table-level statistics management."""
+
+import numpy as np
+import pytest
+
+from repro.core.statistics import ColumnStatistics, StatisticsManager
+from repro.dictionary.column import DictionaryEncodedColumn
+from repro.dictionary.table import Table
+
+
+def _table(rng):
+    table = Table("orders")
+    table.add_column(
+        DictionaryEncodedColumn.from_values(
+            rng.integers(0, 500, size=20_000), name="customer"
+        )
+    )
+    table.add_column(
+        DictionaryEncodedColumn.from_values(
+            rng.choice([1, 2, 3], size=20_000), name="status"
+        )
+    )
+    table.add_column(
+        DictionaryEncodedColumn.from_values(np.arange(5_000), name="order_id")
+    )
+    return table
+
+
+class TestStatisticsManager:
+    def test_builds_histograms_and_exact_counts(self, rng):
+        table = _table(rng)
+        manager = StatisticsManager(kind="V8DincB")
+        stats = manager.build_for_table(table)
+        assert not stats["customer"].is_exact
+        assert stats["status"].is_exact      # < 20 distinct values
+        assert stats["order_id"].is_exact    # unique key
+
+    def test_exact_counts_are_exact(self, rng):
+        table = _table(rng)
+        manager = StatisticsManager()
+        stats = manager.build_for_table(table)
+        column = table.column("status")
+        assert stats["status"].estimate_range(0, 2) == column.count_range(0, 2)
+
+    def test_histogram_estimates_reasonable(self, rng):
+        table = _table(rng)
+        manager = StatisticsManager()
+        manager.build_for_table(table)
+        column = table.column("customer")
+        truth = column.count_range(0, 250)
+        estimate = manager.statistics("orders", "customer").estimate_range(0, 250)
+        assert max(estimate / truth, truth / estimate) < 2.0
+
+    def test_value_range_goes_through_dictionary(self, rng):
+        table = _table(rng)
+        manager = StatisticsManager()
+        manager.build_for_table(table)
+        truth = table.column("customer").count_value_range(100, 200)
+        estimate = manager.estimate("orders", "customer", 100, 200)
+        assert max(estimate / truth, truth / estimate) < 2.0
+
+    def test_total_size(self, rng):
+        table = _table(rng)
+        manager = StatisticsManager()
+        manager.build_for_table(table)
+        assert manager.total_size_bytes("orders") > 0
+
+    def test_value_domain_kind(self, rng):
+        table = _table(rng)
+        manager = StatisticsManager(kind="1VincB1")
+        manager.build_for_table(table)
+        stats = manager.statistics("orders", "customer")
+        assert stats.histogram.domain == "value"
+        truth = table.column("customer").count_value_range(100, 200)
+        estimate = stats.estimate_value_range(100, 200)
+        assert max(estimate / truth, truth / estimate) < 2.5
+
+    def test_unknown_lookup_raises(self):
+        manager = StatisticsManager()
+        with pytest.raises(KeyError):
+            manager.statistics("nope", "none")

@@ -1,0 +1,102 @@
+"""Mixed value-based histograms: raw non-dense fallback."""
+
+import numpy as np
+import pytest
+
+from repro.core.buckets import RawNonDenseBucket, ValueAtomicBucket
+from repro.core.config import HistogramConfig
+from repro.core.density import AttributeDensity
+from repro.core.qerror import qerror
+from repro.core.valuebased import build_value_histogram, build_value_mixed
+
+
+def _chaotic_value_density(rng):
+    """Scattered integer values with a hostile frequency pattern."""
+    values = np.unique(rng.integers(0, 10**6, size=300)).astype(float)
+    freqs = np.clip(np.maximum(rng.zipf(1.3, size=values.size), 1), 1, 10**6)
+    return AttributeDensity(freqs, values=values)
+
+
+class TestBuildValueMixed:
+    def test_uses_both_bucket_types(self, rng):
+        density = _chaotic_value_density(rng)
+        histogram = build_value_mixed(density, HistogramConfig(q=2.0, theta=8))
+        kinds = {type(b) for b in histogram.buckets}
+        assert RawNonDenseBucket in kinds
+
+    def test_buckets_tile_value_domain(self, rng):
+        density = _chaotic_value_density(rng)
+        histogram = build_value_mixed(density, HistogramConfig(q=2.0, theta=8))
+        for left, right in zip(histogram.buckets, histogram.buckets[1:]):
+            assert right.lo == left.hi
+
+    def test_estimates_within_raw_compression_band(self, rng):
+        """Raw buckets trade estimator error for 4-bit compression error.
+
+        Per-value q-error of a raw bucket is at most sqrt(base) <=
+        sqrt(3), and sums of q-bounded terms stay q-bounded (Sec. 2.3),
+        so the mixed histogram's range error is bounded by the worse of
+        the atomic guarantee and sqrt(3).
+        """
+        density = _chaotic_value_density(rng)
+        config = HistogramConfig(q=2.0, theta=8)
+        mixed = build_value_mixed(density, config)
+        atomic = build_value_histogram(density, config)
+        values = density.values
+        cum = density.cumulative
+        worst = {"mixed": 1.0, "atomic": 1.0}
+        for _ in range(500):
+            i, j = sorted(rng.integers(0, density.n_distinct, size=2))
+            if i == j:
+                continue
+            lo, hi = float(values[i]), float(values[j])
+            truth = float(cum[j] - cum[i])
+            if truth <= 32:
+                continue
+            worst["mixed"] = max(
+                worst["mixed"], qerror(max(mixed.estimate(lo, hi), 1), truth)
+            )
+            worst["atomic"] = max(
+                worst["atomic"], qerror(max(atomic.estimate(lo, hi), 1), truth)
+            )
+        band = max(worst["atomic"], np.sqrt(3.0)) * 1.05
+        assert worst["mixed"] <= band
+
+    def test_smooth_values_stay_mostly_atomic(self, rng):
+        values = np.arange(0, 5000, 7).astype(float)
+        freqs = rng.integers(40, 50, size=values.size)
+        density = AttributeDensity(freqs, values=values)
+        histogram = build_value_mixed(density, HistogramConfig(q=2.0, theta=8))
+        census = histogram.summary()["bucket_types"]
+        # The bulk of the domain is atomic; at most a tiny trailing
+        # remainder may fall back to a raw bucket.
+        assert census.get("ValueAtomicBucket", 0) >= 1
+        assert census.get("RawNonDenseBucket", 0) <= 1
+
+    def test_fractional_values_rejected(self, rng):
+        density = AttributeDensity([5, 5], values=[0.5, 2.75])
+        with pytest.raises(ValueError):
+            build_value_mixed(density)
+
+    def test_huge_frequencies_stay_atomic(self, rng):
+        # A spike beyond the 4-bit raw codec's range must not land in a
+        # raw bucket.
+        values = np.array([0.0, 10.0, 20.0, 1000.0, 2000.0, 3000.0])
+        freqs = np.array([1, 10**7, 1, 50, 50, 50])
+        density = AttributeDensity(freqs, values=values)
+        histogram = build_value_mixed(
+            density, HistogramConfig(q=2.0, theta=4), raw_threshold=10
+        )
+        for bucket in histogram.buckets:
+            if isinstance(bucket, RawNonDenseBucket):
+                _, estimates = bucket._decode()
+                assert estimates.max() < 10**7
+
+    def test_kind_name(self, rng):
+        density = _chaotic_value_density(rng)
+        assert build_value_mixed(
+            density, HistogramConfig(test_distinct=True)
+        ).kind == "1VMixedB1"
+        assert build_value_mixed(
+            density, HistogramConfig(test_distinct=False)
+        ).kind == "1VMixedB2"

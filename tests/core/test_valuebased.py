@@ -1,0 +1,130 @@
+"""Value-based histograms: non-dense growth and the two 1V variants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import HistogramConfig
+from repro.core.density import AttributeDensity
+from repro.core.qerror import theta_q_acceptable
+from repro.core.valuebased import build_value_histogram, grow_value_bucket
+
+
+def value_brute_force(density, s, e, theta, q, check_distinct):
+    """Oracle over snapped query endpoints: all index pairs in [s, e]."""
+    values = density.values
+    hi_v = float(values[e]) if e < density.n_distinct else float(values[-1]) + 1.0
+    lo_v = float(values[s])
+    span = hi_v - lo_v
+    alpha = density.f_plus(s, e) / span
+    beta = (e - s) / span
+
+    def upper(j):
+        return float(values[j]) if j < density.n_distinct else float(values[-1]) + 1.0
+
+    for i in range(s, e):
+        for j in range(i + 1, e + 1):
+            width = upper(j) - float(values[i])
+            truth = density.f_plus(i, j)
+            if not theta_q_acceptable(alpha * width, truth, theta, q):
+                return False
+            if check_distinct and not theta_q_acceptable(
+                beta * width, j - i, theta, q
+            ):
+                return False
+    return True
+
+
+def nondense_strategy():
+    return st.lists(
+        st.tuples(st.integers(1, 400), st.integers(1, 50)),
+        min_size=2,
+        max_size=30,
+    )
+
+
+class TestGrowValueBucket:
+    def test_returns_at_least_one(self):
+        density = AttributeDensity([1000, 1], values=[0.0, 1000.0])
+        assert grow_value_bucket(density, 0, theta=0, q=1.0) >= 1
+
+    @given(data=nondense_strategy(), theta=st.integers(0, 80))
+    @settings(max_examples=100, deadline=None)
+    def test_property_result_is_acceptable(self, data, theta):
+        q = 2.0
+        freqs = [f for f, _ in data]
+        values = np.cumsum([g for _, g in data]).astype(float)
+        density = AttributeDensity(freqs, values=values)
+        m = grow_value_bucket(density, 0, theta, q, test_distinct=True)
+        assert value_brute_force(density, 0, m, theta, q, check_distinct=True)
+
+    @given(data=nondense_strategy(), theta=st.integers(0, 80))
+    @settings(max_examples=100, deadline=None)
+    def test_property_range_only_variant(self, data, theta):
+        q = 2.0
+        freqs = [f for f, _ in data]
+        values = np.cumsum([g for _, g in data]).astype(float)
+        density = AttributeDensity(freqs, values=values)
+        m = grow_value_bucket(density, 0, theta, q, test_distinct=False)
+        assert value_brute_force(density, 0, m, theta, q, check_distinct=False)
+
+    def test_distinct_testing_shrinks_buckets(self):
+        # Clustered values: frequency density smooth, distinct density
+        # wildly uneven -> the B1 variant must cut earlier somewhere.
+        rng = np.random.default_rng(3)
+        cluster1 = np.arange(100).astype(float)
+        cluster2 = 10_000 + np.arange(100).astype(float) * 100
+        values = np.concatenate([cluster1, cluster2])
+        freqs = np.full(200, 10, dtype=np.int64)
+        density = AttributeDensity(freqs, values=values)
+        config1 = HistogramConfig(q=2.0, theta=8, test_distinct=True)
+        config2 = HistogramConfig(q=2.0, theta=8, test_distinct=False)
+        with_distinct = build_value_histogram(density, config1)
+        without = build_value_histogram(density, config2)
+        assert len(with_distinct) >= len(without)
+
+
+class TestBuildValueHistogram:
+    def _density(self, rng):
+        values = np.unique(rng.integers(0, 10**6, size=400)).astype(float)
+        freqs = np.maximum(rng.zipf(1.7, size=values.size), 1)
+        return AttributeDensity(freqs, values=values)
+
+    def test_buckets_tile_value_domain(self, rng):
+        density = self._density(rng)
+        histogram = build_value_histogram(density, HistogramConfig(q=2.0, theta=16))
+        assert histogram.domain == "value"
+        assert histogram.buckets[0].lo == density.values[0]
+        for left, right in zip(histogram.buckets, histogram.buckets[1:]):
+            assert right.lo == left.hi
+
+    def test_kinds(self, rng):
+        density = self._density(rng)
+        assert (
+            build_value_histogram(density, HistogramConfig(test_distinct=True)).kind
+            == "1VincB1"
+        )
+        assert (
+            build_value_histogram(density, HistogramConfig(test_distinct=False)).kind
+            == "1VincB2"
+        )
+
+    def test_distinct_estimates_available(self, rng):
+        density = self._density(rng)
+        histogram = build_value_histogram(density, HistogramConfig(q=2.0, theta=16))
+        lo, hi = float(density.values[0]), float(density.values[-1]) + 1
+        estimate = histogram.estimate_distinct(lo, hi)
+        truth = density.n_distinct
+        assert max(estimate / truth, truth / estimate) < 3.0
+
+    def test_range_estimates_reasonable(self, rng):
+        density = self._density(rng)
+        histogram = build_value_histogram(density, HistogramConfig(q=2.0, theta=16))
+        values = density.values
+        cum = density.cumulative
+        # Whole-domain query: per-bucket totals are bq8-compressed, so
+        # the estimate must sit within that compression error.
+        estimate = histogram.estimate(float(values[0]), float(values[-1]) + 1)
+        truth = density.total
+        assert max(estimate / truth, truth / estimate) < 1.3

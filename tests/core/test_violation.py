@@ -1,0 +1,128 @@
+"""Violation structure: Theorems 4.4-4.6 and the width bounds."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.density import AttributeDensity
+from repro.core.qerror import q_acceptable, theta_q_acceptable
+from repro.core.violation import (
+    find_minimal_violations,
+    find_violations,
+    is_minimal_violation,
+    minimal_violation_width_bound,
+)
+
+small_freqs = st.lists(st.integers(1, 300), min_size=2, max_size=30)
+
+
+class TestFindViolations:
+    def test_uniform_has_none(self):
+        density = AttributeDensity([10] * 20)
+        assert find_violations(density, 0, 20, theta=0, q=1.5) == []
+
+    def test_spike_produces_violations(self):
+        density = AttributeDensity([1, 1, 1000, 1, 1])
+        violations = find_violations(density, 0, 5, theta=0, q=2.0)
+        assert violations
+        # The single-value range over the spike must be among them.
+        assert any(i <= 2 < j for i, j in violations)
+
+    def test_minimal_subset_of_all(self):
+        density = AttributeDensity([1, 1, 1000, 1, 1])
+        all_v = set(find_violations(density, 0, 5, theta=0, q=2.0))
+        minimal = find_minimal_violations(density, 0, 5, theta=0, q=2.0)
+        assert set(minimal) <= all_v
+
+
+class TestCorollary41:
+    @given(freqs=small_freqs, q=st.floats(1.0, 4.0))
+    @settings(max_examples=100, deadline=None)
+    def test_minimal_zero_q_violations_are_single_values(self, freqs, q):
+        # Corollary 4.1: for theta = 0 a minimal violation has j = i + 1.
+        density = AttributeDensity(freqs)
+        n = len(freqs)
+        for i, j in find_minimal_violations(density, 0, n, theta=0, q=q):
+            assert j == i + 1
+
+
+class TestTheorem44:
+    @given(freqs=small_freqs, q=st.floats(1.0, 4.0))
+    @settings(max_examples=80, deadline=None)
+    def test_at_most_one_half_acceptable(self, freqs, q):
+        # Theorem 4.4: splitting a 0,q-violation leaves at most one
+        # 0,q-acceptable half.
+        density = AttributeDensity(freqs)
+        n = len(freqs)
+        alpha = density.f_plus(0, n) / n
+        for i, j in find_violations(density, 0, n, theta=0, q=q):
+            for split in range(i + 1, j):
+                left_ok = q_acceptable(
+                    alpha * (split - i), density.f_plus(i, split), q
+                )
+                right_ok = q_acceptable(
+                    alpha * (j - split), density.f_plus(split, j), q
+                )
+                assert not (left_ok and right_ok)
+
+
+class TestTheorem45AndCorollary42:
+    @given(freqs=small_freqs, theta=st.integers(1, 100), q=st.floats(1.0, 3.0))
+    @settings(max_examples=80, deadline=None)
+    def test_minimal_violation_width_bound(self, freqs, theta, q):
+        # Corollary 4.2: minimal violations of favg are narrower than
+        # 2 theta n / f+ + 3.
+        density = AttributeDensity(freqs)
+        n = len(freqs)
+        bound = minimal_violation_width_bound(theta, n, density.total)
+        for i, j in find_minimal_violations(density, 0, n, theta, q):
+            assert j - i < bound
+
+    @given(freqs=small_freqs, theta=st.integers(1, 100), q=st.floats(1.0, 3.0))
+    @settings(max_examples=60, deadline=None)
+    def test_theorem_45_split_condition(self, freqs, theta, q):
+        # Theorem 4.5: if both halves of a violation exceed theta (truth
+        # or estimate), the violation is not minimal.
+        density = AttributeDensity(freqs)
+        n = len(freqs)
+        alpha = density.f_plus(0, n) / n
+        minimal = find_minimal_violations(density, 0, n, theta, q)
+        for i, j in minimal:
+            for split in range(i + 1, j):
+                left_big = (
+                    density.f_plus(i, split) > theta
+                    or alpha * (split - i) > theta
+                )
+                right_big = (
+                    density.f_plus(split, j) > theta
+                    or alpha * (j - split) > theta
+                )
+                # Minimality implies the theorem's precondition fails.
+                assert not (left_big and right_big)
+
+
+class TestTheorem46:
+    @given(freqs=small_freqs, theta=st.integers(1, 80), q=st.floats(1.0, 3.0))
+    @settings(max_examples=60, deadline=None)
+    def test_acceptable_half_forces_small_other_half(self, freqs, theta, q):
+        # Theorem 4.6: in a minimal violation, a 0,q-acceptable half
+        # forces the other half below theta (truth and estimate).
+        density = AttributeDensity(freqs)
+        n = len(freqs)
+        alpha = density.f_plus(0, n) / n
+        for i, j in find_minimal_violations(density, 0, n, theta, q):
+            for split in range(i + 1, j):
+                if q_acceptable(alpha * (split - i), density.f_plus(i, split), q):
+                    assert density.f_plus(split, j) <= theta
+                    assert alpha * (j - split) <= theta
+                if q_acceptable(alpha * (j - split), density.f_plus(split, j), q):
+                    assert density.f_plus(i, split) <= theta
+                    assert alpha * (split - i) <= theta
+
+
+class TestIsMinimal:
+    def test_direct_check(self):
+        density = AttributeDensity([1, 1000, 1])
+        alpha = density.f_plus(0, 3) / 3
+        assert not theta_q_acceptable(alpha, 1, 0, 2.0)
+        assert is_minimal_violation(density, 0, 1, theta=0, q=2.0, alpha=alpha)

@@ -1,0 +1,76 @@
+"""Dictionary-encoded columns: ground truth counts and sizing."""
+
+import numpy as np
+import pytest
+
+from repro.dictionary.column import DictionaryEncodedColumn
+
+
+class TestFromValues:
+    def test_frequencies_and_codes(self, rng):
+        raw = rng.integers(0, 50, size=1000)
+        column = DictionaryEncodedColumn.from_values(raw)
+        assert column.n_rows == 1000
+        values, counts = np.unique(raw, return_counts=True)
+        assert np.array_equal(column.frequencies, counts)
+        decoded = column.decode_codes()
+        assert np.array_equal(np.sort(values[decoded]), np.sort(raw))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            DictionaryEncodedColumn.from_values([])
+
+    def test_zero_frequency_rejected(self):
+        with pytest.raises(ValueError):
+            DictionaryEncodedColumn.from_frequencies([3, 0, 2])
+
+
+class TestCountRange:
+    def test_matches_brute_force(self, rng):
+        raw = rng.integers(0, 30, size=500)
+        column = DictionaryEncodedColumn.from_values(raw)
+        codes = column.decode_codes()
+        for _ in range(50):
+            c1, c2 = sorted(rng.integers(0, column.n_distinct + 1, size=2))
+            expected = int(np.count_nonzero((codes >= c1) & (codes < c2)))
+            assert column.count_range(int(c1), int(c2)) == expected
+
+    def test_out_of_range_clamps(self):
+        column = DictionaryEncodedColumn.from_values([1, 2, 2, 3])
+        assert column.count_range(-5, 100) == 4
+        assert column.count_range(10, 20) == 0
+
+    def test_value_range_uses_dictionary(self):
+        column = DictionaryEncodedColumn.from_values([10, 20, 20, 30])
+        assert column.count_value_range(15, 25) == 2
+        assert column.count_value_range(10, 31) == 4
+
+    def test_distinct_in_range_is_width(self):
+        column = DictionaryEncodedColumn.from_values([1, 2, 2, 3])
+        assert column.distinct_in_range(0, 2) == 2
+        assert column.distinct_in_range(1, 1) == 0
+
+
+class TestSizing:
+    def test_bits_per_code(self):
+        assert DictionaryEncodedColumn._bits_for(1) == 1
+        assert DictionaryEncodedColumn._bits_for(2) == 1
+        assert DictionaryEncodedColumn._bits_for(3) == 2
+        assert DictionaryEncodedColumn._bits_for(1024) == 10
+        assert DictionaryEncodedColumn._bits_for(1025) == 11
+
+    def test_compressed_size_components(self):
+        column = DictionaryEncodedColumn.from_values(
+            np.arange(16, dtype=np.int64).repeat(4)
+        )
+        vector_bytes = (64 * 4 + 7) // 8  # 64 rows x 4 bits
+        assert column.compressed_size_bytes() == vector_bytes + 16 * 8
+
+    def test_from_frequencies_charges_vector_anyway(self):
+        column = DictionaryEncodedColumn.from_frequencies([4] * 16)
+        assert column.compressed_size_bytes() > 0
+
+    def test_decode_codes_requires_row_vector(self):
+        column = DictionaryEncodedColumn.from_frequencies([1, 2, 3])
+        with pytest.raises(ValueError):
+            column.decode_codes()

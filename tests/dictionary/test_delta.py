@@ -1,0 +1,55 @@
+"""Delta store and merge: re-encoding and the histogram-rebuild hook."""
+
+import numpy as np
+import pytest
+
+from repro.dictionary.column import DictionaryEncodedColumn
+from repro.dictionary.delta import DeltaStore
+
+
+class TestDeltaMerge:
+    def test_merge_without_main(self):
+        delta = DeltaStore()
+        delta.insert_many([3, 1, 2, 1])
+        column = delta.merge()
+        assert column.n_rows == 4
+        assert column.n_distinct == 3
+        assert len(delta) == 0
+
+    def test_merge_into_main_rebuilds_codes(self):
+        main = DictionaryEncodedColumn.from_values([10, 30, 30])
+        delta = DeltaStore()
+        delta.insert(20)  # lands between existing values: codes must shift
+        merged = delta.merge(main)
+        assert merged.n_distinct == 3
+        assert merged.dictionary.encode(20) == 1
+        assert merged.dictionary.encode(30) == 2
+        assert merged.count_value_range(10, 31) == 4
+
+    def test_merge_empty_delta_with_main(self):
+        main = DictionaryEncodedColumn.from_values([1, 2])
+        merged = DeltaStore().merge(main)
+        assert merged.n_rows == main.n_rows
+
+    def test_merge_nothing_raises(self):
+        with pytest.raises(ValueError):
+            DeltaStore().merge()
+
+    def test_on_merge_hook_fires(self):
+        seen = []
+        delta = DeltaStore(on_merge=seen.append)
+        delta.insert_many([1, 2, 3])
+        merged = delta.merge()
+        assert seen == [merged]
+
+    def test_frequencies_accumulate(self, rng):
+        raw_main = rng.integers(0, 20, size=200)
+        raw_delta = rng.integers(10, 40, size=100)
+        main = DictionaryEncodedColumn.from_values(raw_main)
+        delta = DeltaStore()
+        delta.insert_many(raw_delta.tolist())
+        merged = delta.merge(main)
+        combined = np.concatenate([raw_main, raw_delta])
+        values, counts = np.unique(combined, return_counts=True)
+        assert np.array_equal(merged.frequencies, counts)
+        assert np.array_equal(merged.dictionary.values, values)

@@ -1,0 +1,68 @@
+"""NULL handling in the column substrate."""
+
+import numpy as np
+import pytest
+
+from repro.core.builder import build_histogram
+from repro.dictionary.column import DictionaryEncodedColumn
+
+
+class TestNullEncoding:
+    def test_none_values_tracked(self):
+        column = DictionaryEncodedColumn.from_values(
+            np.asarray([1, None, 2, None, 2], dtype=object)
+        )
+        assert column.null_count == 2
+        assert column.n_rows == 3
+        assert column.total_rows == 5
+        assert column.n_distinct == 2
+
+    def test_nan_values_tracked(self):
+        column = DictionaryEncodedColumn.from_values(
+            np.asarray([1.5, np.nan, 2.5, np.nan])
+        )
+        assert column.null_count == 2
+        assert column.n_rows == 2
+
+    def test_all_null_rejected(self):
+        with pytest.raises(ValueError):
+            DictionaryEncodedColumn.from_values(
+                np.asarray([None, None], dtype=object)
+            )
+
+    def test_no_nulls_default(self, rng):
+        column = DictionaryEncodedColumn.from_values(rng.integers(0, 5, size=100))
+        assert column.null_count == 0
+        assert column.total_rows == column.n_rows
+
+    def test_null_fraction(self):
+        column = DictionaryEncodedColumn.from_values(
+            np.asarray([1, None, None, None], dtype=object)
+        )
+        assert column.null_fraction() == pytest.approx(0.75)
+
+    def test_negative_null_count_rejected(self):
+        column = DictionaryEncodedColumn.from_values([1, 2])
+        with pytest.raises(ValueError):
+            DictionaryEncodedColumn(
+                column.dictionary, column.frequencies, null_count=-1
+            )
+
+
+class TestNullSemantics:
+    def test_range_queries_exclude_nulls(self):
+        column = DictionaryEncodedColumn.from_values(
+            np.asarray([10, None, 20, 20, None], dtype=object)
+        )
+        # [10, 21) matches the three non-NULL rows only.
+        assert column.count_value_range(10, 21) == 3
+
+    def test_histograms_cover_non_null_domain(self, rng):
+        raw = rng.integers(0, 300, size=5000).astype(float)
+        raw[rng.choice(5000, size=500, replace=False)] = np.nan
+        column = DictionaryEncodedColumn.from_values(raw)
+        histogram = build_histogram(column, kind="V8DincB", q=2.0, theta=16)
+        # Whole-domain estimate approximates the non-NULL row count.
+        estimate = histogram.estimate(0, column.n_distinct)
+        truth = column.n_rows
+        assert max(estimate / truth, truth / estimate) < 1.2

@@ -1,0 +1,89 @@
+"""Ordered dictionary: order preservation, dense codes, range mapping."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dictionary.ordered import OrderedDictionary
+
+
+class TestConstruction:
+    def test_from_column_returns_dense_codes(self):
+        dictionary, codes = OrderedDictionary.from_column([30, 10, 20, 10])
+        assert dictionary.size == 3
+        assert list(codes) == [2, 0, 1, 0]
+
+    def test_rejects_unsorted_values(self):
+        with pytest.raises(ValueError):
+            OrderedDictionary(np.array([3, 1, 2]))
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            OrderedDictionary(np.array([1, 1, 2]))
+
+    def test_string_values(self):
+        dictionary, codes = OrderedDictionary.from_column(["b", "a", "c", "a"])
+        assert dictionary.decode(0) == "a"
+        assert list(codes) == [1, 0, 2, 0]
+
+
+class TestEncodingIsOrderPreserving:
+    @given(st.lists(st.integers(-10**9, 10**9), min_size=1, max_size=100))
+    @settings(max_examples=100, deadline=None)
+    def test_code_order_matches_value_order(self, raw):
+        dictionary, _ = OrderedDictionary.from_column(raw)
+        values = dictionary.values
+        for a in range(dictionary.size):
+            for b in range(a + 1, min(a + 3, dictionary.size)):
+                assert values[a] < values[b]
+                assert dictionary.encode(values[a]) < dictionary.encode(values[b])
+
+    def test_encode_decode_inverse(self):
+        dictionary, _ = OrderedDictionary.from_column([5, 1, 9, 5])
+        for code in range(dictionary.size):
+            assert dictionary.encode(dictionary.decode(code)) == code
+
+    def test_encode_missing_raises(self):
+        dictionary, _ = OrderedDictionary.from_column([1, 3, 5])
+        with pytest.raises(KeyError):
+            dictionary.encode(2)
+
+    def test_decode_out_of_range_raises(self):
+        dictionary, _ = OrderedDictionary.from_column([1])
+        with pytest.raises(IndexError):
+            dictionary.decode(1)
+
+
+class TestRangeMapping:
+    def test_exact_boundaries(self):
+        dictionary, _ = OrderedDictionary.from_column([10, 20, 30, 40])
+        assert dictionary.encode_range(20, 40) == (1, 3)
+
+    def test_absent_boundaries_snap(self):
+        dictionary, _ = OrderedDictionary.from_column([10, 20, 30, 40])
+        assert dictionary.encode_range(15, 35) == (1, 3)
+
+    def test_empty_range(self):
+        dictionary, _ = OrderedDictionary.from_column([10, 20])
+        c1, c2 = dictionary.encode_range(12, 13)
+        assert c1 == c2
+
+    def test_range_outside_domain(self):
+        dictionary, _ = OrderedDictionary.from_column([10, 20])
+        assert dictionary.encode_range(-5, 100) == (0, 2)
+
+
+class TestSizing:
+    def test_numeric_size(self):
+        dictionary = OrderedDictionary(np.array([1, 2, 3], dtype=np.int64))
+        assert dictionary.size_bytes() == 3 * 8
+
+    def test_string_size_counts_bytes(self):
+        dictionary, _ = OrderedDictionary.from_column(["aa", "b"])
+        assert dictionary.size_bytes() == (2 + 1) + (1 + 1)
+
+    def test_values_view_is_readonly(self):
+        dictionary = OrderedDictionary(np.array([1, 2, 3]))
+        with pytest.raises(ValueError):
+            dictionary.values[0] = 99

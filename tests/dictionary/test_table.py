@@ -1,0 +1,53 @@
+"""Table container and the histogram-worthiness filter."""
+
+import numpy as np
+import pytest
+
+from repro.dictionary.column import DictionaryEncodedColumn
+from repro.dictionary.table import Table, histogram_worthy
+
+
+def _column(name, raw):
+    return DictionaryEncodedColumn.from_values(np.asarray(raw), name=name)
+
+
+class TestHistogramWorthy:
+    def test_tiny_domain_skipped(self):
+        column = _column("tiny", [1, 2, 3] * 10)
+        assert not histogram_worthy(column)
+
+    def test_unique_column_skipped(self):
+        column = _column("pk", list(range(100)))
+        assert not histogram_worthy(column)
+
+    def test_normal_column_kept(self):
+        column = _column("ok", list(range(50)) * 3)
+        assert histogram_worthy(column)
+
+
+class TestTable:
+    def test_add_and_lookup(self):
+        table = Table("t")
+        column = _column("a", [1, 2, 2])
+        table.add_column(column)
+        assert table.column("a") is column
+        assert "a" in table
+        assert len(table) == 1
+
+    def test_duplicate_name_rejected(self):
+        table = Table("t")
+        table.add_column(_column("a", [1]))
+        with pytest.raises(ValueError):
+            table.add_column(_column("a", [2]))
+
+    def test_unnamed_column_rejected(self):
+        table = Table("t")
+        with pytest.raises(ValueError):
+            table.add_column(DictionaryEncodedColumn.from_values([1]))
+
+    def test_histogram_candidates_filters(self):
+        table = Table("t")
+        table.add_column(_column("tiny", [1, 2, 3] * 5))
+        table.add_column(_column("good", list(range(40)) * 2))
+        candidates = table.histogram_candidates()
+        assert [c.name for c in candidates] == ["good"]

@@ -1,0 +1,80 @@
+"""Equi-join cardinality estimation."""
+
+import numpy as np
+import pytest
+
+from repro.core.builder import build_histogram
+from repro.core.config import HistogramConfig
+from repro.core.density import AttributeDensity
+from repro.core.qerror import qerror
+from repro.optimizer.join import estimate_equijoin, join_qerror_bound
+
+
+def _true_join_size(freqs_l, freqs_r):
+    n = min(len(freqs_l), len(freqs_r))
+    return int(np.sum(np.asarray(freqs_l[:n]) * np.asarray(freqs_r[:n])))
+
+
+class TestJoinEstimate:
+    def test_uniform_join_is_accurate(self):
+        left = AttributeDensity(np.full(500, 10))
+        right = AttributeDensity(np.full(500, 7))
+        hist_l = build_histogram(left, kind="V8DincB", theta=16)
+        hist_r = build_histogram(right, kind="V8DincB", theta=16)
+        truth = _true_join_size(left.frequencies, right.frequencies)
+        estimate = estimate_equijoin(hist_l, hist_r)
+        assert qerror(estimate, truth) < 1.2
+
+    def test_skewed_join_within_product_bound(self, rng):
+        freqs_l = np.maximum(rng.zipf(1.6, size=800), 1)
+        freqs_r = np.maximum(rng.zipf(1.6, size=800), 1)
+        left = AttributeDensity(np.clip(freqs_l, 1, 10**6))
+        right = AttributeDensity(np.clip(freqs_r, 1, 10**6))
+        config = HistogramConfig(q=2.0, theta=8)
+        hist_l = build_histogram(left, kind="1DincB", config=config)
+        hist_r = build_histogram(right, kind="1DincB", config=config)
+        truth = _true_join_size(left.frequencies, right.frequencies)
+        estimate = estimate_equijoin(hist_l, hist_r)
+        # Not a formal guarantee (within-bucket alignment is assumed
+        # uniform), but skew-driven blowups should stay moderate here
+        # because buckets are theta,q-acceptable on both sides.
+        assert qerror(max(estimate, 1), truth) < 50
+
+    def test_disjoint_domains_give_zero(self):
+        left = AttributeDensity(np.full(100, 5))
+        hist_l = build_histogram(left, kind="1DincB", theta=8)
+        # Shift the right histogram's domain by rebuilding over a
+        # density and manually offsetting: easiest is an empty overlap
+        # via slicing -- use a one-bucket histogram over [100, 200).
+        from repro.core.buckets import AtomicDenseBucket
+        from repro.core.histogram import Histogram
+
+        right = Histogram(
+            [AtomicDenseBucket.build(100, 200, 500)], kind="x", theta=8, q=2.0
+        )
+        assert estimate_equijoin(hist_l, right) == 0.0
+
+    def test_fk_pk_join_size(self, rng):
+        """FK->PK join: |R join S| == |R| when every FK value exists."""
+        pk = AttributeDensity(np.full(300, 1))  # a key column: freq 1
+        fk_freqs = np.maximum(rng.zipf(1.5, size=300), 1)
+        fk = AttributeDensity(np.clip(fk_freqs, 1, 10**5))
+        hist_pk = build_histogram(pk, kind="1DincB", theta=4)
+        hist_fk = build_histogram(fk, kind="V8DincB", theta=16)
+        estimate = estimate_equijoin(hist_fk, hist_pk)
+        assert qerror(estimate, fk.total) < 1.5
+
+    def test_value_domain_rejected(self, rng):
+        values = np.cumsum(rng.integers(1, 5, size=100)).astype(float)
+        density = AttributeDensity(rng.integers(1, 20, size=100), values=values)
+        value_hist = build_histogram(density, kind="1VincB1", theta=8)
+        dense_hist = build_histogram(
+            AttributeDensity(rng.integers(1, 20, size=100)), kind="1DincB", theta=8
+        )
+        with pytest.raises(ValueError):
+            estimate_equijoin(value_hist, dense_hist)
+
+    def test_bound_formula(self):
+        assert join_qerror_bound(2.0, 3.0) == 6.0
+        with pytest.raises(ValueError):
+            join_qerror_bound(0.5, 2.0)

@@ -1,0 +1,89 @@
+"""Optimizer substrate: cost crossover and the Sec. 3 θ argument."""
+
+import numpy as np
+import pytest
+
+from repro.optimizer import (
+    AccessPath,
+    CostModel,
+    choose_access_path,
+    decision_theta,
+    plan_regret,
+)
+
+
+class TestCostModel:
+    def test_crossover_at_ten_percent(self):
+        model = CostModel()
+        assert model.theta_idx(10_000) == pytest.approx(1000)
+
+    def test_costs_monotone(self):
+        model = CostModel()
+        assert model.index_cost(10) < model.index_cost(100)
+        assert model.scan_cost(10) < model.scan_cost(100)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CostModel(scan_cost_per_row=0)
+
+
+class TestAccessChoice:
+    def test_selective_query_uses_index(self):
+        model = CostModel()
+        assert choose_access_path(50, 10_000, model) is AccessPath.INDEX
+
+    def test_broad_query_scans(self):
+        model = CostModel()
+        assert choose_access_path(5000, 10_000, model) is AccessPath.SCAN
+
+    def test_decision_theta_formula(self):
+        model = CostModel()
+        # theta_idx = 1000, q = 2 -> theta = 500 (paper's Sec. 3 example).
+        assert decision_theta(10_000, 2.0, model) == pytest.approx(500)
+        assert decision_theta(10_000, 2.0, model, theta_buf=300) == pytest.approx(299)
+
+
+class TestPlanQuality:
+    def test_regret_one_when_right(self):
+        model = CostModel()
+        assert plan_regret(10, 20, 10_000, model) == 1.0
+
+    def test_regret_above_one_when_flipped(self):
+        model = CostModel()
+        # Estimate says index, truth says scan.
+        assert plan_regret(100, 5000, 10_000, model) > 1.0
+
+    def test_theta_q_acceptable_estimates_never_flip_decisions(self, rng):
+        """The paper's core claim, checked empirically.
+
+        For every (truth, estimate) pair that is θ,q-acceptable with
+        θ = θ_idx / q, the access-path decision from the estimate is
+        optimal whenever a wrong decision would actually hurt.
+        """
+        from repro.core.qerror import theta_q_acceptable
+
+        model = CostModel()
+        table_rows = 10_000
+        theta = decision_theta(table_rows, 2.0, model)
+        q = 2.0
+        for _ in range(3000):
+            truth = float(rng.integers(0, table_rows))
+            # Sample an estimate that is theta,q-acceptable for truth.
+            if truth <= theta and rng.random() < 0.5:
+                estimate = float(rng.uniform(0, theta))
+            else:
+                estimate = float(truth * rng.uniform(1 / q, q))
+            if not theta_q_acceptable(estimate, truth, theta, q):
+                continue
+            regret = plan_regret(estimate, truth, table_rows, model)
+            # A flip may only happen inside the indifference band where
+            # both plans cost within a factor q of each other.
+            assert regret <= q * (1 + 1e-9), (truth, estimate, regret)
+
+    def test_unbounded_estimates_cause_large_regret(self):
+        model = CostModel()
+        # A 100x underestimate on a broad predicate picks the index and
+        # pays dearly.
+        regret = plan_regret(90, 9000, 10_000, model)
+        assert regret == pytest.approx(model.index_cost(9000) / model.scan_cost(10_000))
+        assert regret > 5

@@ -1,0 +1,58 @@
+"""The certification API."""
+
+import numpy as np
+import pytest
+
+from repro.core.builder import HISTOGRAM_KINDS, build_histogram
+from repro.core.buckets import AtomicDenseBucket
+from repro.core.config import HistogramConfig
+from repro.core.density import AttributeDensity
+from repro.core.histogram import Histogram
+from repro.experiments.validate import certify
+from repro.workloads.distributions import make_density
+
+
+class TestCertify:
+    @pytest.mark.parametrize("kind", [k for k in HISTOGRAM_KINDS if not k.startswith("1V")])
+    def test_built_histograms_pass(self, kind):
+        density = make_density(np.random.default_rng(4), 400, smooth_fraction=0.0)
+        histogram = build_histogram(
+            density, kind=kind, config=HistogramConfig(q=2.0, theta=16)
+        )
+        report = certify(histogram, density)
+        assert report.passed, str(report)
+        assert report.exhaustive  # 400 distinct values: below the limit
+
+    def test_broken_histogram_fails(self):
+        # A deliberately wrong histogram: one bucket claiming 10x the mass.
+        density = AttributeDensity(np.full(100, 50))
+        bogus = Histogram(
+            [AtomicDenseBucket.build(0, 100, 50_000)], kind="bogus", theta=16, q=2.0
+        )
+        report = certify(bogus, density)
+        assert not report.passed
+        assert report.worst_query is not None
+
+    def test_sampled_path_for_large_domains(self):
+        density = make_density(np.random.default_rng(2), 5000)
+        histogram = build_histogram(
+            density, kind="V8DincB", config=HistogramConfig(q=2.0, theta=32)
+        )
+        report = certify(histogram, density, n_samples=5000)
+        assert not report.exhaustive
+        assert report.n_queries == 5000
+        assert report.passed
+
+    def test_value_domain_rejected(self, rng):
+        values = np.cumsum(rng.integers(1, 5, size=50)).astype(float)
+        density = AttributeDensity(rng.integers(1, 20, size=50), values=values)
+        histogram = build_histogram(density, kind="1VincB1", theta=8)
+        with pytest.raises(ValueError):
+            certify(histogram, density)
+
+    def test_report_string(self):
+        density = AttributeDensity(np.full(60, 5))
+        histogram = build_histogram(density, kind="1DincB", theta=8)
+        report = certify(histogram, density)
+        assert "PASS" in str(report)
+        assert "worst q-error" in str(report)

@@ -1,0 +1,103 @@
+"""The command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import load_column_values, main
+
+
+@pytest.fixture
+def column_npy(tmp_path, rng):
+    path = tmp_path / "col.npy"
+    np.save(path, rng.zipf(1.6, size=20_000))
+    return path
+
+
+class TestLoadColumn:
+    def test_npy(self, column_npy):
+        values = load_column_values(column_npy)
+        assert values.ndim == 1
+        assert values.size == 20_000
+
+    def test_text_with_header(self, tmp_path):
+        path = tmp_path / "col.csv"
+        path.write_text("value\n1\n2\n2\n3\n")
+        values = load_column_values(path)
+        assert list(values) == [1, 2, 2, 3]
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_column_values(tmp_path / "nope.npy")
+
+    def test_empty_text(self, tmp_path):
+        path = tmp_path / "col.csv"
+        path.write_text("header\nonly\n")
+        with pytest.raises(ValueError):
+            load_column_values(path)
+
+    def test_2d_npy_rejected(self, tmp_path):
+        path = tmp_path / "bad.npy"
+        np.save(path, np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            load_column_values(path)
+
+
+class TestCommands:
+    def test_build_inspect_estimate_roundtrip(self, column_npy, tmp_path, capsys):
+        out = tmp_path / "hist.bin"
+        assert main(["build", str(column_npy), str(out), "--kind", "V8DincB"]) == 0
+        assert out.exists()
+        captured = capsys.readouterr().out
+        assert "built V8DincB" in captured
+
+        assert main(["inspect", str(out)]) == 0
+        captured = capsys.readouterr().out
+        assert "kind:    V8DincB" in captured
+        assert "guarantee" in captured
+
+        assert main(["estimate", str(out), "0", "100"]) == 0
+        estimate = float(capsys.readouterr().out.strip())
+        assert estimate > 0
+
+    def test_build_with_explicit_theta(self, column_npy, tmp_path, capsys):
+        out = tmp_path / "hist.bin"
+        assert (
+            main(["build", str(column_npy), str(out), "--theta", "64", "--q", "3"])
+            == 0
+        )
+        captured = capsys.readouterr().out
+        assert "theta=64" in captured
+        assert "q=3" in captured
+
+    def test_analyze_lists_all_kinds(self, column_npy, capsys):
+        assert main(["analyze", str(column_npy)]) == 0
+        captured = capsys.readouterr().out
+        for kind in ("F8Dgt", "V8DincB", "1VincB1"):
+            assert kind in captured
+
+    def test_missing_input_is_error_exit(self, tmp_path, capsys):
+        code = main(["build", str(tmp_path / "none.npy"), str(tmp_path / "o.bin")])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_certify_passes_on_real_column(self, column_npy, capsys):
+        code = main(["certify", str(column_npy), "--theta", "32", "--samples", "3000"])
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "PASS" in captured
+
+    def test_certify_rejects_value_kinds(self, column_npy):
+        with pytest.raises(SystemExit):
+            main(["certify", str(column_npy), "--kind", "1VincB1"])
+
+    def test_estimate_accuracy_through_cli(self, tmp_path, rng, capsys):
+        raw = rng.integers(0, 300, size=30_000)
+        path = tmp_path / "col.npy"
+        np.save(path, raw)
+        out = tmp_path / "hist.bin"
+        main(["build", str(path), str(out), "--theta", "32"])
+        capsys.readouterr()
+        main(["estimate", str(out), "0", "150"])
+        estimate = float(capsys.readouterr().out.strip())
+        truth = int(np.count_nonzero(np.unique(raw, return_inverse=True)[1] < 150))
+        assert max(estimate / truth, truth / estimate) < 2.0

@@ -1,0 +1,88 @@
+"""The experiment harness and report formatting."""
+
+import numpy as np
+import pytest
+
+from repro.core.builder import build_histogram
+from repro.core.config import HistogramConfig
+from repro.experiments.harness import (
+    BuildRecord,
+    build_record,
+    dataset_cache,
+    evaluate_max_qerror,
+    rank_series,
+)
+from repro.experiments.report import format_table, summarize_series
+from repro.workloads.erp import make_erp_dataset
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [10, 0.125]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[1].startswith("-")
+        # All rows have equal display width.
+        assert len({len(line) for line in lines}) == 1
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [[0.0], [12345.6789], [0.001234]])
+        assert "0" in text
+        assert "1.23e+04" in text
+        assert "0.00123" in text
+
+    def test_summarize_series(self):
+        values = list(range(1, 101))
+        p50, p90, p99, top = summarize_series(values)
+        assert p50 == 50
+        assert p90 == 90
+        assert top == 100
+
+    def test_summarize_empty(self):
+        assert summarize_series([]) == [0.0, 0.0, 0.0, 0.0]
+
+
+class TestHarness:
+    def test_dataset_cache_builds_once(self):
+        calls = []
+
+        def factory():
+            calls.append(1)
+            return ["x"]
+
+        name = "test-cache-entry"
+        first = dataset_cache(name, factory)
+        second = dataset_cache(name, factory)
+        assert first is second
+        assert len(calls) == 1
+
+    def test_build_record_fields(self):
+        column = make_erp_dataset(n_columns=1, max_distinct=300)[0]
+        record = build_record(column, "V8DincB", HistogramConfig(q=2.0, theta=8))
+        assert record.kind == "V8DincB"
+        assert record.seconds > 0
+        assert record.size_bytes > 0
+        assert record.n_distinct == column.n_distinct
+        assert record.memory_percent == pytest.approx(
+            100 * record.size_bytes / column.compressed_bytes
+        )
+        assert record.microseconds == pytest.approx(record.seconds * 1e6)
+
+    def test_value_kind_uses_value_density(self):
+        column = make_erp_dataset(n_columns=1, max_distinct=300)[0]
+        record = build_record(column, "1VincB1", HistogramConfig(q=2.0, theta=8))
+        assert record.kind == "1VincB1"
+
+    def test_rank_series_sorts(self):
+        assert rank_series([3.0, 1.0, 2.0]) == [1.0, 2.0, 3.0]
+
+    def test_evaluate_max_qerror_threshold(self, rng):
+        column = make_erp_dataset(n_columns=1, max_distinct=500)[0]
+        histogram = build_histogram(
+            column.dense, kind="V8DincB", config=HistogramConfig(q=2.0, theta=8)
+        )
+        queries = np.array([[0, column.n_distinct]])
+        # A huge threshold suppresses every query.
+        assert evaluate_max_qerror(histogram, column.dense, queries, 10**15) == 1.0
+        worst = evaluate_max_qerror(histogram, column.dense, queries, 0)
+        assert worst >= 1.0

@@ -1,0 +1,174 @@
+"""End-to-end integration: raw rows -> dictionary -> histogram -> plans.
+
+These tests walk the full pipeline the paper describes: data arrives in
+a delta store, a delta merge produces the ordered dictionary, histograms
+are built at merge time, the optimizer consumes their estimates, and the
+error guarantees hold against the ground-truth column.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    DeltaStore,
+    DictionaryEncodedColumn,
+    HistogramConfig,
+    build_histogram,
+    qerror,
+    system_theta,
+)
+from repro.core.builder import HISTOGRAM_KINDS
+from repro.core.transfer import exact_total_guarantee
+from repro.optimizer import CostModel, plan_regret
+from repro.workloads.distributions import make_density
+
+
+def _hard_column(seed, n_distinct=1500):
+    rng = np.random.default_rng(seed)
+    density = make_density(rng, n_distinct)
+    return DictionaryEncodedColumn.from_frequencies(density.frequencies)
+
+
+class TestMergeDrivenConstruction:
+    def test_histogram_rebuilt_on_merge(self, rng):
+        histograms = []
+
+        def rebuild(column):
+            histograms.append(build_histogram(column, kind="V8DincB", theta=8))
+
+        delta = DeltaStore(on_merge=rebuild)
+        delta.insert_many(rng.integers(0, 500, size=5000).tolist())
+        column = delta.merge()
+        assert len(histograms) == 1
+        # The merged dictionary defines the dense domain the histogram covers.
+        assert histograms[0].hi == column.n_distinct
+
+    def test_second_merge_shifts_codes_and_rebuilds(self, rng):
+        delta = DeltaStore()
+        delta.insert_many(rng.integers(100, 200, size=1000).tolist())
+        column = delta.merge()
+        h1 = build_histogram(column, kind="1DincB", theta=4)
+        delta.insert_many(rng.integers(0, 100, size=1000).tolist())
+        column2 = delta.merge(column)
+        h2 = build_histogram(column2, kind="1DincB", theta=4)
+        assert h2.hi == column2.n_distinct
+        assert h2.hi > h1.hi
+
+
+class TestGuaranteesOnHardColumns:
+    @pytest.mark.parametrize("kind", ["F8Dgt", "V8Dinc", "V8DincB", "1Dinc", "1DincB"])
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_corollary_53_with_compression_slack(self, kind, seed):
+        """Built histograms respect the k=4 whole-histogram bound.
+
+        Inner q = 2, theta = 32; Corollary 5.3 gives q' = 3 at
+        theta' = 128, on top of which the bucket payload compression adds
+        a bounded multiplicative factor (<= sqrt(1.4) for QC16T8x6).
+        """
+        theta, q, k = 32, 2.0, 4
+        column = _hard_column(seed)
+        histogram = build_histogram(
+            column, kind=kind, config=HistogramConfig(q=q, theta=theta)
+        )
+        theta_out, q_out = exact_total_guarantee(theta, q, k)
+        compression_slack = 1.4 ** 0.5
+        rng = np.random.default_rng(seed + 100)
+        cum = column.cumulative
+        d = column.n_distinct
+        worst = 1.0
+        for _ in range(4000):
+            c1, c2 = sorted(rng.integers(0, d + 1, size=2))
+            if c1 == c2:
+                continue
+            truth = float(cum[c2] - cum[c1])
+            estimate = histogram.estimate(float(c1), float(c2))
+            if truth <= theta_out and estimate <= theta_out:
+                continue
+            worst = max(worst, qerror(estimate, truth))
+        assert worst <= q_out * compression_slack * (1 + 1e-9), (kind, worst)
+
+    def test_space_budget_headline(self):
+        """The management directive: < 10 % of the compressed column."""
+        for seed in range(3):
+            column = _hard_column(seed, n_distinct=4000)
+            histogram = build_histogram(column, kind="V8DincB", q=2.0)
+            ratio = histogram.size_bytes() / column.compressed_size_bytes()
+            assert ratio < 0.10
+
+    def test_system_theta_used_by_default(self):
+        column = _hard_column(7)
+        histogram = build_histogram(column, kind="V8DincB", q=2.0)
+        assert histogram.theta == system_theta(column.n_rows)
+
+
+class TestOptimizerIntegration:
+    def test_histogram_estimates_keep_plans_near_optimal(self):
+        """θ,q-acceptable estimates keep access-path regret bounded."""
+        column = _hard_column(3, n_distinct=2000)
+        theta = 32
+        histogram = build_histogram(
+            column, kind="V8DincB", config=HistogramConfig(q=2.0, theta=theta)
+        )
+        model = CostModel()
+        table_rows = column.n_rows
+        theta_out, q_out = exact_total_guarantee(theta, 2.0, 4)
+        rng = np.random.default_rng(42)
+        cum = column.cumulative
+        d = column.n_distinct
+        worst_regret = 1.0
+        for _ in range(2000):
+            c1, c2 = sorted(rng.integers(0, d + 1, size=2))
+            if c1 == c2:
+                continue
+            truth = float(cum[c2] - cum[c1])
+            estimate = histogram.estimate(float(c1), float(c2))
+            # Decisions only matter around theta_idx, far above theta_out
+            # here, so regret stays within the q' guarantee.
+            if truth <= theta_out and estimate <= theta_out:
+                continue
+            worst_regret = max(
+                worst_regret, plan_regret(estimate, truth, table_rows, model)
+            )
+        assert worst_regret <= q_out * 1.4 ** 0.5 * (1 + 1e-9)
+
+
+class TestValueBasedEndToEnd:
+    def test_federation_scenario(self, rng):
+        """Value-based histograms answer raw-value range queries."""
+        raw = np.concatenate(
+            [
+                rng.integers(10_000, 10_500, size=3000),
+                rng.integers(900_000, 901_000, size=2000),
+            ]
+        )
+        column = DictionaryEncodedColumn.from_values(raw)
+        histogram = build_histogram(column, kind="1VincB1", q=2.0, theta=32)
+        # Queries with arbitrary (non-occurring) boundaries.
+        for low, high in [(10_000, 10_250), (500_000, 950_000), (0, 10**6)]:
+            truth = column.count_value_range(low, high)
+            estimate = histogram.estimate(low, high)
+            if truth > 500:
+                assert qerror(estimate, truth) < 4.0
+
+    def test_distinct_count_guarantee_variant(self, rng):
+        raw = rng.choice(np.arange(0, 10**6, 37), size=20_000)
+        column = DictionaryEncodedColumn.from_values(raw)
+        b1 = build_histogram(column, kind="1VincB1", q=2.0, theta=32)
+        values = column.dictionary.values
+        lo, hi = float(values[0]), float(values[-1]) + 1
+        truth = column.n_distinct
+        estimate = b1.estimate_distinct(lo, hi)
+        assert qerror(estimate, truth) < 3.0
+
+
+class TestAllKindsSmoke:
+    @pytest.mark.parametrize("kind", HISTOGRAM_KINDS)
+    def test_estimates_are_positive_and_finite(self, kind, rng):
+        column = _hard_column(11, n_distinct=800)
+        histogram = build_histogram(column, kind=kind, theta=16)
+        lo, hi = histogram.lo, histogram.hi
+        for _ in range(200):
+            a, b = sorted(rng.uniform(lo, hi, size=2))
+            estimate = histogram.estimate(a, b)
+            assert np.isfinite(estimate)
+            assert estimate >= 0.0

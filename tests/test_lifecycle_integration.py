@@ -1,0 +1,116 @@
+"""Full statistics lifecycle: manager -> catalog -> advisor -> rebuild.
+
+The integration story a downstream system would run: statistics built
+per table, persisted to a catalog, reloaded after a "restart", fed with
+execution feedback, and rebuilt when the advisor flags drift.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.advisor import StatisticsAdvisor
+from repro.core.builder import build_histogram
+from repro.core.catalog import StatisticsCatalog
+from repro.core.config import HistogramConfig
+from repro.core.statistics import StatisticsManager
+from repro.dictionary.column import DictionaryEncodedColumn
+from repro.dictionary.table import Table
+
+
+@pytest.fixture
+def table(rng):
+    table = Table("sales")
+    table.add_column(
+        DictionaryEncodedColumn.from_values(
+            rng.integers(0, 400, size=30_000), name="product"
+        )
+    )
+    table.add_column(
+        DictionaryEncodedColumn.from_values(
+            np.maximum(rng.zipf(1.5, size=30_000), 1), name="quantity"
+        )
+    )
+    return table
+
+
+class TestManagerToCatalog:
+    def test_persist_and_reload_all_histograms(self, table, tmp_path, rng):
+        manager = StatisticsManager(kind="V8DincB", config=HistogramConfig(q=2.0))
+        stats = manager.build_for_table(table)
+        catalog = StatisticsCatalog(tmp_path)
+        for name, column_stats in stats.items():
+            if column_stats.histogram is not None:
+                catalog.put("sales", name, column_stats.histogram)
+
+        # "Restart": a fresh catalog object reads from disk.
+        reloaded = StatisticsCatalog(tmp_path)
+        for name, column_stats in stats.items():
+            if column_stats.histogram is None:
+                continue
+            restored = reloaded.get("sales", name)
+            for _ in range(30):
+                a, b = sorted(rng.uniform(0, restored.hi, size=2))
+                assert restored.estimate(a, b) == column_stats.histogram.estimate(
+                    a, b
+                )
+
+
+class TestFeedbackDrivenRebuild:
+    def test_drift_flags_and_rebuild_clears(self, table, rng):
+        manager = StatisticsManager(kind="V8DincB", config=HistogramConfig(q=2.0, theta=32))
+        manager.build_for_table(table)
+        advisor = StatisticsAdvisor(theta=32, q=2.0, min_queries=15)
+        column = table.column("product")
+        histogram = manager.statistics("sales", "product").histogram
+
+        # Matching data: feedback is clean.
+        cum = column.cumulative
+        for _ in range(50):
+            c1, c2 = sorted(rng.integers(0, column.n_distinct + 1, size=2))
+            if c1 == c2:
+                continue
+            advisor.record(
+                "product",
+                histogram.estimate(float(c1), float(c2)),
+                float(cum[c2] - cum[c1]),
+            )
+        assert advisor.rebuild_candidates() == []
+
+        # The table is replaced by drastically different data.
+        drifted = DictionaryEncodedColumn.from_values(
+            np.concatenate(
+                [
+                    rng.integers(0, 10, size=50_000),
+                    rng.integers(0, 400, size=1_000),
+                ]
+            ),
+            name="product",
+        )
+        cum2 = drifted.cumulative
+        for _ in range(50):
+            c1, c2 = sorted(rng.integers(0, drifted.n_distinct + 1, size=2))
+            if c1 == c2:
+                continue
+            advisor.record(
+                "product",
+                histogram.estimate(float(c1), float(c2)),
+                float(cum2[c2] - cum2[c1]),
+            )
+        assert "product" in advisor.rebuild_candidates()
+
+        # Rebuild on the new data; the advisor is reset and fresh
+        # feedback is clean again.
+        new_histogram = build_histogram(
+            drifted, kind="V8DincB", config=HistogramConfig(q=2.0, theta=32)
+        )
+        advisor.reset("product")
+        for _ in range(50):
+            c1, c2 = sorted(rng.integers(0, drifted.n_distinct + 1, size=2))
+            if c1 == c2:
+                continue
+            advisor.record(
+                "product",
+                new_histogram.estimate(float(c1), float(c2)),
+                float(cum2[c2] - cum2[c1]),
+            )
+        assert advisor.rebuild_candidates() == []

@@ -1,0 +1,131 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+Invariants that tie several modules together: estimation-function
+properties on built histograms, serialization faithfulness, and the
+end-to-end guarantee under randomly generated densities.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.builder import build_histogram
+from repro.core.config import HistogramConfig
+from repro.core.density import AttributeDensity
+from repro.core.qerror import qerror
+from repro.core.serialize import deserialize_histogram, serialize_histogram
+from repro.core.transfer import exact_total_guarantee
+
+freq_lists = st.lists(st.integers(1, 10_000), min_size=2, max_size=120)
+dense_kinds = st.sampled_from(["F8Dgt", "V8DincB", "1DincB"])
+
+
+class TestEstimateFunctionProperties:
+    # Whole-bucket queries read the separately compressed total field
+    # while partial queries sum bucklet codes; the two can disagree by
+    # the payload compression factor (<= sqrt(1.4) for QC16T8x6), so the
+    # estimator-level properties hold up to that slack.
+    COMPRESSION_SLACK = 1.4 ** 0.5
+
+    @given(freqs=freq_lists, kind=dense_kinds, theta=st.integers(0, 64))
+    @settings(max_examples=60, deadline=None)
+    def test_monotonicity(self, freqs, kind, theta):
+        """Wider queries never estimate less (Sec. 2.4 monotonicity),
+        modulo the total-vs-bucklet compression mismatch."""
+        density = AttributeDensity(freqs)
+        histogram = build_histogram(
+            density, kind=kind, config=HistogramConfig(q=2.0, theta=theta)
+        )
+        d = density.n_distinct
+        rng = np.random.default_rng(sum(freqs) % 2**31)
+        for _ in range(20):
+            c1, c2 = sorted(rng.integers(0, d + 1, size=2))
+            if c1 == c2:
+                continue
+            inner = histogram.estimate(float(c1), float(c2))
+            outer = histogram.estimate(max(float(c1) - 1, 0), min(float(c2) + 1, d))
+            assert outer >= inner / self.COMPRESSION_SLACK - 1e-9
+
+    @given(freqs=freq_lists, kind=dense_kinds, theta=st.integers(0, 64))
+    @settings(max_examples=60, deadline=None)
+    def test_near_additivity(self, freqs, kind, theta):
+        """Splitting a query changes the estimate only by the clamping.
+
+        The underlying estimators are additive; the only non-additive
+        element is the never-return-zero clamp, so the split sum may
+        exceed the whole by at most 2 (each part clamped up to 1).
+        """
+        density = AttributeDensity(freqs)
+        histogram = build_histogram(
+            density, kind=kind, config=HistogramConfig(q=2.0, theta=theta)
+        )
+        d = density.n_distinct
+        rng = np.random.default_rng((sum(freqs) * 7) % 2**31)
+        for _ in range(10):
+            points = sorted(rng.integers(0, d + 1, size=3))
+            a, b, c = (float(p) for p in points)
+            if a == b or b == c:
+                continue
+            whole = histogram.estimate(a, c)
+            split = histogram.estimate(a, b) + histogram.estimate(b, c)
+            tolerance = 2.0 + whole * (self.COMPRESSION_SLACK - 1.0)
+            assert split == pytest.approx(whole, abs=tolerance)
+
+    @given(freqs=freq_lists, kind=dense_kinds)
+    @settings(max_examples=40, deadline=None)
+    def test_domain_total_reasonable(self, freqs, kind):
+        density = AttributeDensity(freqs)
+        histogram = build_histogram(
+            density, kind=kind, config=HistogramConfig(q=2.0, theta=16)
+        )
+        estimate = histogram.estimate(0, density.n_distinct)
+        # Whole-domain estimates are sums of compressed bucket totals.
+        assert qerror(estimate, density.total) < 1.3
+
+
+class TestSerializationProperties:
+    @given(freqs=freq_lists, kind=dense_kinds, theta=st.integers(0, 64))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_estimates_identical(self, freqs, kind, theta):
+        density = AttributeDensity(freqs)
+        histogram = build_histogram(
+            density, kind=kind, config=HistogramConfig(q=2.0, theta=theta)
+        )
+        restored = deserialize_histogram(serialize_histogram(histogram))
+        d = density.n_distinct
+        rng = np.random.default_rng((sum(freqs) * 13) % 2**31)
+        for _ in range(20):
+            a, b = sorted(rng.uniform(0, d, size=2))
+            assert restored.estimate(a, b) == histogram.estimate(a, b)
+
+
+class TestEndToEndGuarantee:
+    @given(
+        freqs=st.lists(st.integers(1, 100_000), min_size=8, max_size=150),
+        kind=dense_kinds,
+        theta=st.integers(1, 48),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_corollary_53_everywhere(self, freqs, kind, theta):
+        """The k=4 bound holds for random densities and every dense kind."""
+        q = 2.0
+        density = AttributeDensity(freqs)
+        histogram = build_histogram(
+            density, kind=kind, config=HistogramConfig(q=q, theta=theta)
+        )
+        theta_out, q_out = exact_total_guarantee(theta, q, 4)
+        slack = 1.4 ** 0.5
+        d = density.n_distinct
+        cum = density.cumulative
+        for c1 in range(d):
+            for c2 in range(c1 + 1, d + 1):
+                truth = float(cum[c2] - cum[c1])
+                estimate = histogram.estimate(float(c1), float(c2))
+                if truth <= theta_out and estimate <= theta_out:
+                    continue
+                assert qerror(estimate, truth) <= q_out * slack * (1 + 1e-9), (
+                    kind,
+                    c1,
+                    c2,
+                )

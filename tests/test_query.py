@@ -1,0 +1,166 @@
+"""The predicate-level query layer."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import HistogramConfig
+from repro.core.multidim import Density2D, build_histogram_2d
+from repro.core.qerror import qerror
+from repro.dictionary.column import DictionaryEncodedColumn
+from repro.dictionary.table import Table
+from repro.query import (
+    AndPredicate,
+    CardinalityEstimator,
+    EqualsPredicate,
+    JointStatistics,
+    RangePredicate,
+)
+
+
+@pytest.fixture
+def correlated_table(rng):
+    n = 50_000
+    order_day = rng.integers(0, 90, size=n)
+    lag = rng.geometric(0.5, size=n)
+    ship_day = np.minimum(order_day + lag, 99)
+    table = Table("orders")
+    table.add_column(DictionaryEncodedColumn.from_values(order_day, name="order_day"))
+    table.add_column(DictionaryEncodedColumn.from_values(ship_day, name="ship_day"))
+    return table, order_day, ship_day
+
+
+class TestPredicates:
+    def test_range_validation(self):
+        with pytest.raises(ValueError):
+            RangePredicate("a", 5, 5)
+
+    def test_and_flattens(self):
+        p = AndPredicate(
+            RangePredicate("a", 0, 1),
+            AndPredicate(RangePredicate("b", 0, 1), RangePredicate("c", 0, 1)),
+        )
+        assert len(p.children) == 3
+        assert p.columns() == ["a", "b", "c"]
+
+    def test_and_needs_two(self):
+        with pytest.raises(ValueError):
+            AndPredicate(RangePredicate("a", 0, 1))
+
+
+class TestSingleColumn:
+    def test_range_estimate_accuracy(self, correlated_table):
+        table, order_day, _ = correlated_table
+        estimator = CardinalityEstimator(table)
+        truth = int(np.count_nonzero((order_day >= 10) & (order_day < 40)))
+        result = estimator.estimate(RangePredicate("order_day", 10, 40))
+        assert result.method == "histogram"
+        assert qerror(result.value, truth) < 2.0
+
+    def test_equality_estimate(self, correlated_table):
+        table, order_day, _ = correlated_table
+        estimator = CardinalityEstimator(table)
+        truth = int(np.count_nonzero(order_day == 5))
+        result = estimator.estimate(EqualsPredicate("order_day", 5))
+        assert qerror(result.value, max(truth, 1)) < 3.0
+
+    def test_absent_value_is_zero(self, correlated_table):
+        table, _, _ = correlated_table
+        estimator = CardinalityEstimator(table)
+        result = estimator.estimate(EqualsPredicate("order_day", 12345))
+        assert result.value == 0.0
+        assert result.method == "exact"
+
+    def test_selectivity_bounded(self, correlated_table):
+        table, _, _ = correlated_table
+        estimator = CardinalityEstimator(table)
+        sel = estimator.selectivity(RangePredicate("order_day", 0, 1_000))
+        assert 0 < sel <= 1.0
+
+
+class TestConjunctions:
+    def test_independence_fallback(self, correlated_table):
+        table, _, _ = correlated_table
+        estimator = CardinalityEstimator(table)
+        result = estimator.estimate(
+            AndPredicate(
+                RangePredicate("order_day", 0, 30),
+                RangePredicate("ship_day", 0, 30),
+            )
+        )
+        assert result.method == "independence"
+        assert result.value >= 1.0
+
+    def test_joint_histogram_beats_independence(self, correlated_table, rng):
+        table, order_day, ship_day = correlated_table
+        estimator = CardinalityEstimator(table)
+        joint_density = Density2D.from_codes(
+            table.column("order_day").decode_codes(),
+            table.column("ship_day").decode_codes(),
+            table.column("order_day").n_distinct,
+            table.column("ship_day").n_distinct,
+        )
+        estimator.register_joint(
+            JointStatistics(
+                "order_day",
+                "ship_day",
+                build_histogram_2d(joint_density, HistogramConfig(q=2.0, theta=32)),
+            )
+        )
+        # Anti-correlated query: nearly empty in truth.
+        predicate = AndPredicate(
+            RangePredicate("order_day", 0, 20),
+            RangePredicate("ship_day", 60, 100),
+        )
+        truth = max(
+            int(
+                np.count_nonzero(
+                    (order_day >= 0)
+                    & (order_day < 20)
+                    & (ship_day >= 60)
+                    & (ship_day < 100)
+                )
+            ),
+            1,
+        )
+        joint_result = estimator.estimate(predicate)
+        assert joint_result.method == "joint"
+        # Remove the joint to get the independence answer.
+        estimator._joints.clear()
+        independence_result = estimator.estimate(predicate)
+        assert qerror(max(joint_result.value, 1), truth) < qerror(
+            independence_result.value, truth
+        )
+
+    def test_joint_intersects_multiple_children_same_column(self, correlated_table):
+        table, order_day, ship_day = correlated_table
+        estimator = CardinalityEstimator(table)
+        joint_density = Density2D.from_codes(
+            table.column("order_day").decode_codes(),
+            table.column("ship_day").decode_codes(),
+            table.column("order_day").n_distinct,
+            table.column("ship_day").n_distinct,
+        )
+        estimator.register_joint(
+            JointStatistics(
+                "order_day",
+                "ship_day",
+                build_histogram_2d(joint_density, HistogramConfig(q=2.0, theta=32)),
+            )
+        )
+        predicate = AndPredicate(
+            RangePredicate("order_day", 0, 50),
+            RangePredicate("order_day", 20, 90),  # same column, tighter
+            RangePredicate("ship_day", 0, 100),
+        )
+        result = estimator.estimate(predicate)
+        assert result.method == "joint"
+        truth = int(
+            np.count_nonzero((order_day >= 20) & (order_day < 50))
+        )
+        assert qerror(result.value, truth) < 2.5
+
+    def test_register_joint_validates_columns(self, correlated_table):
+        table, _, _ = correlated_table
+        estimator = CardinalityEstimator(table)
+        with pytest.raises(KeyError):
+            estimator.register_joint(JointStatistics("nope", "ship_day", None))

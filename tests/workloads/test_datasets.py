@@ -1,0 +1,39 @@
+"""Synthetic ERP/BW dataset populations."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.bw import make_bw_dataset
+from repro.workloads.erp import make_erp_dataset
+
+
+class TestPopulations:
+    def test_erp_shape(self):
+        columns = make_erp_dataset(n_columns=40, max_distinct=2000)
+        assert len(columns) == 40
+        assert all(20 <= c.n_distinct <= 2000 for c in columns)
+        assert max(c.n_distinct for c in columns) == 2000  # forced top column
+
+    def test_bw_has_heavier_tail_than_erp(self):
+        erp = make_erp_dataset(n_columns=60, max_distinct=5000)
+        bw = make_bw_dataset(n_columns=60, max_distinct=5000)
+        erp_median = np.median([c.n_distinct for c in erp])
+        bw_median = np.median([c.n_distinct for c in bw])
+        assert bw_median > erp_median
+
+    def test_deterministic(self):
+        a = make_erp_dataset(n_columns=5, max_distinct=500)
+        b = make_erp_dataset(n_columns=5, max_distinct=500)
+        for col_a, col_b in zip(a, b):
+            assert np.array_equal(col_a.dense.frequencies, col_b.dense.frequencies)
+
+    def test_column_views_consistent(self):
+        for column in make_erp_dataset(n_columns=5, max_distinct=300):
+            assert column.dense.n_distinct == column.value_density.n_distinct
+            assert column.dense.total == column.value_density.total
+            assert column.compressed_bytes > 0
+            assert np.all(np.diff(column.value_density.values) > 0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            make_erp_dataset(n_columns=0)

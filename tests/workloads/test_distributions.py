@@ -1,0 +1,83 @@
+"""Workload generators: validity and hardness characteristics."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.distributions import (
+    DISTRIBUTIONS,
+    make_density,
+    make_nondense_density,
+    spiky_freqs,
+    stepped_freqs,
+)
+
+
+class TestBuildingBlocks:
+    @pytest.mark.parametrize("name", sorted(DISTRIBUTIONS))
+    def test_all_positive_and_right_size(self, name, rng):
+        freqs = DISTRIBUTIONS[name](rng, 500)
+        assert freqs.shape == (500,)
+        assert freqs.dtype == np.int64
+        assert freqs.min() >= 1
+
+    def test_spiky_has_spikes(self, rng):
+        freqs = spiky_freqs(rng, 1000)
+        assert freqs.max() / np.median(freqs) > 100
+
+    def test_stepped_has_plateaus(self, rng):
+        freqs = stepped_freqs(rng, 1000)
+        assert len(np.unique(freqs)) <= 8
+
+    @pytest.mark.parametrize("name", sorted(DISTRIBUTIONS))
+    def test_deterministic_under_seed(self, name):
+        a = DISTRIBUTIONS[name](np.random.default_rng(7), 100)
+        b = DISTRIBUTIONS[name](np.random.default_rng(7), 100)
+        assert np.array_equal(a, b)
+
+
+class TestMakeDensity:
+    def test_valid_density(self, rng):
+        density = make_density(rng, 2000)
+        assert density.n_distinct == 2000
+        assert density.is_dense
+
+    def test_tiny_density(self, rng):
+        assert make_density(rng, 1).n_distinct == 1
+
+    def test_densities_are_hard_for_naive_histograms(self):
+        # The generated columns should defeat a generously sized
+        # equi-width histogram (the paper's motivation: q-errors > 1000).
+        from repro.baselines.equiwidth import EquiWidthHistogram
+        from repro.core.qerror import qerror
+
+        rng = np.random.default_rng(99)
+        worst = 1.0
+        for _ in range(10):
+            density = make_density(rng, 3000, smooth_fraction=0.0)
+            baseline = EquiWidthHistogram(density, 64)
+            cum = density.cumulative
+            for _ in range(500):
+                c1, c2 = sorted(rng.integers(0, 3001, size=2))
+                if c1 == c2:
+                    continue
+                truth = int(cum[c2] - cum[c1])
+                if truth == 0:
+                    continue
+                worst = max(worst, qerror(baseline.estimate(c1, c2), truth))
+        assert worst > 1000
+
+    def test_invalid_size_rejected(self, rng):
+        with pytest.raises(ValueError):
+            make_density(rng, 0)
+
+
+class TestMakeNonDense:
+    def test_values_strictly_increasing(self, rng):
+        density = make_nondense_density(rng, 500)
+        assert not density.is_dense or density.n_distinct < 3
+        assert np.all(np.diff(density.values) > 0)
+
+    def test_clustering_creates_gaps(self, rng):
+        density = make_nondense_density(rng, 1000, clustered=True)
+        gaps = np.diff(density.values)
+        assert gaps.max() / np.median(gaps) > 50

@@ -1,0 +1,44 @@
+"""Range-query workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.queries import all_ranges, exhaustive_or_sampled, sample_ranges
+
+
+class TestAllRanges:
+    def test_count(self):
+        ranges = list(all_ranges(4))
+        assert len(ranges) == 4 * 5 // 2
+
+    def test_all_valid(self):
+        for c1, c2 in all_ranges(6):
+            assert 0 <= c1 < c2 <= 6
+
+
+class TestSampling:
+    def test_shape_and_validity(self, rng):
+        pairs = sample_ranges(1000, 500, rng)
+        assert pairs.shape == (500, 2)
+        assert np.all(pairs[:, 0] < pairs[:, 1])
+        assert np.all(pairs[:, 0] >= 0)
+        assert np.all(pairs[:, 1] <= 1000)
+
+    def test_contains_short_ranges(self, rng):
+        pairs = sample_ranges(10_000, 2000, rng)
+        widths = pairs[:, 1] - pairs[:, 0]
+        assert np.median(widths[len(widths) // 2 :]) < 1000
+
+    def test_empty_domain_rejected(self, rng):
+        with pytest.raises(ValueError):
+            sample_ranges(0, 10, rng)
+
+
+class TestPolicy:
+    def test_small_domain_is_exhaustive(self, rng):
+        pairs = exhaustive_or_sampled(50, rng)
+        assert len(pairs) == 50 * 51 // 2
+
+    def test_large_domain_is_sampled(self, rng):
+        pairs = exhaustive_or_sampled(10_000, rng, n_samples=777)
+        assert len(pairs) == 777

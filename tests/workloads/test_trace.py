@@ -1,0 +1,54 @@
+"""Query traces and drift generators."""
+
+import numpy as np
+import pytest
+
+from repro.core.density import AttributeDensity
+from repro.workloads.trace import drift_density, hot_range_queries
+
+
+class TestHotRangeQueries:
+    def test_shape_and_validity(self, rng):
+        queries = hot_range_queries(rng, d=1000, n_queries=500)
+        assert queries.shape == (500, 2)
+        assert np.all(queries[:, 0] < queries[:, 1])
+        assert np.all(queries[:, 0] >= 0)
+        assert np.all(queries[:, 1] <= 1000)
+
+    def test_locality(self, rng):
+        queries = hot_range_queries(
+            rng, d=100_000, n_queries=2000, n_hotspots=2, hot_fraction=0.9
+        )
+        # Most query midpoints concentrate near two centers: the spread
+        # of the hot 90% is far below a uniform spread.
+        mids = queries.mean(axis=1)
+        hist, _ = np.histogram(mids, bins=50, range=(0, 100_000))
+        assert hist.max() > 2000 / 50 * 5  # heavily peaked
+
+    def test_tiny_domain_rejected(self, rng):
+        with pytest.raises(ValueError):
+            hot_range_queries(rng, d=1, n_queries=5)
+
+
+class TestDriftDensity:
+    def test_yields_epochs(self, rng):
+        base = AttributeDensity(rng.integers(10, 20, size=500))
+        epochs = list(drift_density(base, rng, n_epochs=4))
+        assert len(epochs) == 4
+        for density in epochs:
+            assert density.n_distinct == 500
+            assert density.frequencies.min() >= 1
+
+    def test_mass_actually_moves(self, rng):
+        base = AttributeDensity(rng.integers(10, 20, size=500))
+        last = list(drift_density(base, rng, n_epochs=5))[-1]
+        ratio = np.asarray(last.frequencies, dtype=float) / np.asarray(
+            base.frequencies, dtype=float
+        )
+        assert ratio.max() > 5
+        assert ratio.min() < 0.5
+
+    def test_invalid_drift_rejected(self, rng):
+        base = AttributeDensity([1, 1])
+        with pytest.raises(ValueError):
+            list(drift_density(base, rng, 1, drift_per_epoch=0))
