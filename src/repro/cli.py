@@ -3,6 +3,7 @@
 Usage::
 
     python -m repro build column.npy histogram.bin --kind V8DincB --q 2
+    python -m repro build-table data_dir/ catalog_dir/ --table orders --workers 8
     python -m repro inspect histogram.bin
     python -m repro estimate histogram.bin 100 5000
     python -m repro analyze column.npy
@@ -58,7 +59,9 @@ def load_column_values(path: Path) -> np.ndarray:
 
 
 def _config_from_args(args: argparse.Namespace) -> HistogramConfig:
-    return HistogramConfig(q=args.q, theta=args.theta)
+    return HistogramConfig(
+        q=args.q, theta=args.theta, kernel=getattr(args, "kernel", "vectorized")
+    )
 
 
 def _cmd_build(args: argparse.Namespace) -> int:
@@ -74,6 +77,53 @@ def _cmd_build(args: argparse.Namespace) -> int:
         f"theta={histogram.theta:g}, q={histogram.q:g}"
     )
     print(f"wrote {len(data)} bytes to {args.output}")
+    return 0
+
+
+def _cmd_build_table(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.core.catalog import StatisticsCatalog
+    from repro.core.parallel import build_table_histograms, default_workers
+    from repro.dictionary.table import Table
+
+    source = Path(args.input)
+    if source.is_dir():
+        files = sorted(
+            path
+            for path in source.iterdir()
+            if path.suffix in (".npy", ".csv", ".txt")
+        )
+    else:
+        files = [source]
+    if not files:
+        raise ValueError(f"{source}: no column files (.npy/.csv/.txt) found")
+    table = Table(args.table)
+    for path in files:
+        values = load_column_values(path)
+        table.add_column(DictionaryEncodedColumn.from_values(values, name=path.stem))
+
+    catalog = StatisticsCatalog(Path(args.catalog))
+    workers = args.workers if args.workers else default_workers()
+    start = time.perf_counter()
+    histograms = build_table_histograms(
+        table,
+        config=_config_from_args(args),
+        kind=args.kind,
+        max_workers=workers,
+        executor=args.executor,
+        catalog=catalog,
+    )
+    elapsed = time.perf_counter() - start
+    skipped = len(table) - len(histograms)
+    print(
+        f"built {len(histograms)} {args.kind} histograms for table "
+        f"{args.table!r} in {elapsed * 1e3:.1f} ms "
+        f"({args.executor} x{workers}, kernel={args.kernel})"
+    )
+    if skipped:
+        print(f"skipped {skipped} unworthy column(s) (tiny domain or unique key)")
+    print(f"catalog: {catalog.root} ({len(catalog)} entries, {catalog.size_bytes()} bytes)")
     return 0
 
 
@@ -158,15 +208,42 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_construction_options(command) -> None:
+        command.add_argument("--q", type=float, default=2.0, help="max per-bucket q-error")
+        command.add_argument(
+            "--theta", type=float, default=None,
+            help="inner theta (default: system policy)",
+        )
+        command.add_argument(
+            "--kernel", default="vectorized", choices=("vectorized", "literal"),
+            help="acceptance-test kernel (literal = paper-loop oracle)",
+        )
+
     build = sub.add_parser("build", help="build a histogram from a column file")
     build.add_argument("input", help="column values (.npy or line-per-value text)")
     build.add_argument("output", help="output histogram file")
     build.add_argument("--kind", default="V8DincB", choices=HISTOGRAM_KINDS)
-    build.add_argument("--q", type=float, default=2.0, help="max per-bucket q-error")
-    build.add_argument(
-        "--theta", type=float, default=None, help="inner theta (default: system policy)"
-    )
+    add_construction_options(build)
     build.set_defaults(func=_cmd_build)
+
+    build_table = sub.add_parser(
+        "build-table",
+        help="build histograms for every column file in a directory, in parallel",
+    )
+    build_table.add_argument(
+        "input", help="directory of column files (or a single column file)"
+    )
+    build_table.add_argument("catalog", help="statistics catalog directory")
+    build_table.add_argument("--table", default="table", help="table name in the catalog")
+    build_table.add_argument("--kind", default="V8DincB", choices=HISTOGRAM_KINDS)
+    build_table.add_argument(
+        "--workers", type=int, default=0, help="pool width (0 = one per CPU)"
+    )
+    build_table.add_argument(
+        "--executor", default="process", choices=("process", "thread", "serial")
+    )
+    add_construction_options(build_table)
+    build_table.set_defaults(func=_cmd_build_table)
 
     inspect = sub.add_parser("inspect", help="summarise a histogram file")
     inspect.add_argument("histogram")
@@ -180,8 +257,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
     analyze = sub.add_parser("analyze", help="compare every histogram kind on a column")
     analyze.add_argument("input")
-    analyze.add_argument("--q", type=float, default=2.0)
-    analyze.add_argument("--theta", type=float, default=None)
+    add_construction_options(analyze)
     analyze.set_defaults(func=_cmd_analyze)
 
     certify_cmd = sub.add_parser(
@@ -191,8 +267,7 @@ def _build_parser() -> argparse.ArgumentParser:
     # Certification operates on dictionary-code domains.
     dense_kinds = [k for k in HISTOGRAM_KINDS if not k.startswith("1V")]
     certify_cmd.add_argument("--kind", default="V8DincB", choices=dense_kinds)
-    certify_cmd.add_argument("--q", type=float, default=2.0)
-    certify_cmd.add_argument("--theta", type=float, default=None)
+    add_construction_options(certify_cmd)
     certify_cmd.add_argument("--k", type=float, default=4.0, help="transfer scale")
     certify_cmd.add_argument(
         "--samples", type=int, default=50_000, help="query budget for large domains"

@@ -14,6 +14,10 @@ Public surface:
   :mod:`repro.core.valuebased` -- the construction algorithms (the atomic
   1D builders share qvwh's incremental engine).
 * :mod:`repro.core.builder` -- one-call build API with the system θ policy.
+* :mod:`repro.core.kernels` -- vectorized acceptance-test kernels and the
+  per-build :class:`~repro.core.kernels.AcceptanceCache`.
+* :mod:`repro.core.parallel` -- parallel multi-column construction with
+  catalog bulk-loading.
 * Extensions: :mod:`repro.core.mixed` (heterogeneous buckets),
   :mod:`repro.core.flexalpha` (Eq. 1 freedom),
   :mod:`repro.core.multidim` (2-D histograms),
@@ -33,11 +37,16 @@ from repro.core.advisor import StatisticsAdvisor
 from repro.core.batch import CompiledHistogram, compile_histogram
 from repro.core.catalog import StatisticsCatalog
 from repro.core.flexalpha import build_flexible_alpha
+from repro.core.kernels import AcceptanceCache
 from repro.core.maintenance import MaintainedHistogram
 from repro.core.mixed import build_mixed
 from repro.core.multidim import Density2D, Histogram2D, build_histogram_2d
+from repro.core.parallel import build_column_histograms, build_table_histograms
 
 __all__ = [
+    "AcceptanceCache",
+    "build_column_histograms",
+    "build_table_histograms",
     "StatisticsAdvisor",
     "CompiledHistogram",
     "compile_histogram",

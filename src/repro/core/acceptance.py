@@ -14,6 +14,12 @@ estimator of that range (or an explicit α).  The ladder of tests:
 * :func:`is_theta_q_acceptable` -- the Sec. 4.4 combined test
   (pretest, then MaxSize cut-off, then sub-quadratic), the building block
   of the generate-and-test construction.
+
+The combined test dispatches its sub-quadratic stage through a named
+kernel (``"vectorized"`` -- the batch implementation in
+:mod:`repro.core.kernels` -- or ``"literal"``, the per-endpoint loop
+below, kept as the correctness oracle) and can memoize decisions in an
+:class:`~repro.core.kernels.AcceptanceCache`.
 """
 
 from __future__ import annotations
@@ -24,12 +30,14 @@ from typing import Optional
 import numpy as np
 
 from repro.core.density import AttributeDensity
+from repro.core.kernels import AcceptanceCache, subquadratic_test_vectorized
 
 __all__ = [
     "quadratic_test",
     "pretest_dense",
     "subquadratic_test",
     "subquadratic_test_literal",
+    "subquadratic_test_vectorized",
     "is_theta_q_acceptable",
     "MAX_SUBQUADRATIC_SIZE",
 ]
@@ -138,14 +146,16 @@ def subquadratic_test(
         raise ValueError(f"k must be positive, got {k}")
     if alpha is None:
         alpha = _alpha_for(density, l, u)
-    cum = density.cumulative
+    # One float64 view of the prefix sums and one width ramp serve every
+    # left endpoint; the per-iteration slices below are views into them.
+    cum = density.cumulative[l : u + 1].astype(np.float64)
+    all_widths = np.arange(1, u - l + 1, dtype=np.float64)
     stop = k * theta
     for i in range(l, u):
         # Find the window of right endpoints where either side exceeds θ
         # but not both sides exceed kθ yet.
-        truths = (cum[i + 1 : u + 1] - cum[i]).astype(np.float64)
-        widths = np.arange(1, u - i + 1, dtype=np.float64)
-        estimates = alpha * widths
+        truths = cum[i - l + 1 :] - cum[i - l]
+        estimates = alpha * all_widths[: u - i]
         interesting = ~((truths <= theta) & (estimates <= theta))
         if not np.any(interesting):
             continue
@@ -162,6 +172,15 @@ def subquadratic_test(
     return True
 
 
+# The kernel registry: "vectorized" is the batch implementation of
+# repro.core.kernels; "literal" is the per-endpoint loop above, kept as
+# the executable rendering of the paper's Sec. 4.2 prose.
+_SUBQUADRATIC_KERNELS = {
+    "vectorized": subquadratic_test_vectorized,
+    "literal": subquadratic_test,
+}
+
+
 def is_theta_q_acceptable(
     density: AttributeDensity,
     l: int,
@@ -172,6 +191,8 @@ def is_theta_q_acceptable(
     k: float = 8.0,
     flexible_alpha: bool = False,
     alpha: Optional[float] = None,
+    kernel: str = "vectorized",
+    cache: Optional[AcceptanceCache] = None,
 ) -> bool:
     """The combined test of Sec. 4.4 (``isThetaQAcc``).
 
@@ -179,17 +200,53 @@ def is_theta_q_acceptable(
     2. Reject if the bucket holds more than ``max_size`` distinct values
        (the sub-quadratic test would be too expensive; the paper's
        MaxSize is 300).
-    3. Otherwise decide by the sub-quadratic test.
+    3. Otherwise decide by the sub-quadratic test, run through the
+       selected ``kernel``.
 
     ``alpha`` overrides the f̂avg slope; the generate-and-test builder
     uses this for a domain-clamped trailing bucklet whose estimation
-    slope is computed over the unclamped bucklet width.
+    slope is computed over the unclamped bucklet width.  A ``cache``
+    memoizes decisions per (range, θ, q, α-bucket), so doubling/binary
+    search probes that revisit a range answer in O(1).
     """
+    if kernel not in _SUBQUADRATIC_KERNELS:
+        raise ValueError(
+            f"unknown kernel {kernel!r}; pick from {sorted(_SUBQUADRATIC_KERNELS)}"
+        )
+    key = None
+    if cache is not None:
+        key = cache.decision_key(
+            l, u, theta, q, alpha,
+            k=k, max_size=max_size, flexible_alpha=flexible_alpha,
+        )
+        cached = cache.lookup_decision(key)
+        if cached is not None:
+            return cached
+    decision = _is_theta_q_acceptable_uncached(
+        density, l, u, theta, q, max_size, k, flexible_alpha, alpha, kernel
+    )
+    if cache is not None:
+        cache.store_decision(key, decision)
+    return decision
+
+
+def _is_theta_q_acceptable_uncached(
+    density: AttributeDensity,
+    l: int,
+    u: int,
+    theta: float,
+    q: float,
+    max_size: int,
+    k: float,
+    flexible_alpha: bool,
+    alpha: Optional[float],
+    kernel: str,
+) -> bool:
     if pretest_dense(density, l, u, theta, q, flexible_alpha=flexible_alpha, alpha=alpha):
         return True
     if (u - l) > max_size:
         return False
-    return subquadratic_test(density, l, u, theta, q, k=k, alpha=alpha)
+    return _SUBQUADRATIC_KERNELS[kernel](density, l, u, theta, q, k=k, alpha=alpha)
 
 
 def subquadratic_test_literal(
@@ -210,8 +267,10 @@ def subquadratic_test_literal(
     ``k·θ`` (Theorem 4.2 then guarantees θ,(q + 1/k)-acceptability of
     everything further out).
 
-    Semantically identical to :func:`subquadratic_test` (the vectorised
-    form used in production); kept as an executable rendering of the
+    Semantically identical to :func:`subquadratic_test` (the
+    numpy-windowed loop) and to
+    :func:`~repro.core.kernels.subquadratic_test_vectorized` (the batch
+    kernel used in production); kept as an executable rendering of the
     paper's prose, with an equivalence property test.
     """
     if not 0 <= l < u <= density.n_distinct:

@@ -18,6 +18,7 @@ V8DincB    same, with bounded search                            4.5-4.7
 
 from __future__ import annotations
 
+import dataclasses
 import math
 from typing import Union
 
@@ -109,26 +110,10 @@ def build_histogram(
 def _with_bounded(config: HistogramConfig, bounded: bool) -> HistogramConfig:
     if config.bounded_search == bounded:
         return config
-    return HistogramConfig(
-        q=config.q,
-        theta=config.theta,
-        theta_factor=config.theta_factor,
-        bounded_search=bounded,
-        use_history=config.use_history,
-        max_pretest_size=config.max_pretest_size,
-        test_distinct=config.test_distinct,
-    )
+    return dataclasses.replace(config, bounded_search=bounded)
 
 
 def _with_distinct(config: HistogramConfig, test_distinct: bool) -> HistogramConfig:
     if config.test_distinct == test_distinct:
         return config
-    return HistogramConfig(
-        q=config.q,
-        theta=config.theta,
-        theta_factor=config.theta_factor,
-        bounded_search=config.bounded_search,
-        use_history=config.use_history,
-        max_pretest_size=config.max_pretest_size,
-        test_distinct=test_distinct,
-    )
+    return dataclasses.replace(config, test_distinct=test_distinct)

@@ -10,14 +10,18 @@ catalog does.  Layout::
       <table>.<column>.hist
 
 Writes are atomic per file (write-to-temp + rename); the manifest is
-rewritten on every change.
+rewritten on every change -- or once per batch inside
+:meth:`StatisticsCatalog.batch` / :meth:`StatisticsCatalog.bulk_put`,
+which is how whole-table (re)builds avoid one manifest rewrite per
+column.
 """
 
 from __future__ import annotations
 
 import os
+from contextlib import contextmanager
 from pathlib import Path
-from typing import Dict, Iterator, List, Tuple
+from typing import Dict, Iterable, Iterator, List, Tuple
 
 from repro.core.histogram import Histogram
 from repro.core.serialize import deserialize_histogram, serialize_histogram
@@ -34,6 +38,7 @@ class StatisticsCatalog:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self._entries: Dict[Tuple[str, str], str] = {}
+        self._batch_depth = 0
         self._load_manifest()
 
     # -- manifest ---------------------------------------------------------
@@ -71,14 +76,47 @@ class StatisticsCatalog:
         return f"{safe(table)}.{safe(column)}.hist"
 
     def put(self, table: str, column: str, histogram: Histogram) -> None:
-        """Persist one histogram (atomically) and update the manifest."""
+        """Persist one histogram (atomically) and update the manifest.
+
+        Inside a :meth:`batch` block the manifest rewrite is deferred to
+        one atomic write when the block closes.
+        """
         filename = self._filename(table, column)
         target = self.root / filename
         tmp = target.with_suffix(".tmp")
         tmp.write_bytes(serialize_histogram(histogram))
         os.replace(tmp, target)
         self._entries[(table, column)] = filename
-        self._write_manifest()
+        if self._batch_depth == 0:
+            self._write_manifest()
+
+    @contextmanager
+    def batch(self) -> Iterator["StatisticsCatalog"]:
+        """Defer manifest rewrites: ``put``/``remove`` calls inside the
+        block update the in-memory entries and write their histogram
+        files immediately, but the manifest is rewritten exactly once --
+        atomically -- when the block exits (also on error: the files are
+        already on disk, and a manifest matching them is strictly better
+        than one missing the batch)."""
+        self._batch_depth += 1
+        try:
+            yield self
+        finally:
+            self._batch_depth -= 1
+            if self._batch_depth == 0:
+                self._write_manifest()
+
+    def bulk_put(
+        self, items: Iterable[Tuple[str, str, Histogram]]
+    ) -> int:
+        """Persist many ``(table, column, histogram)`` entries with a
+        single manifest rewrite; returns the number stored."""
+        count = 0
+        with self.batch():
+            for table, column, histogram in items:
+                self.put(table, column, histogram)
+                count += 1
+        return count
 
     def get(self, table: str, column: str) -> Histogram:
         """Load one histogram; raises ``KeyError`` when absent."""
@@ -100,7 +138,8 @@ class StatisticsCatalog:
         path = self.root / filename
         if path.exists():
             path.unlink()
-        self._write_manifest()
+        if self._batch_depth == 0:
+            self._write_manifest()
 
     def entries(self) -> Iterator[Tuple[str, str]]:
         return iter(sorted(self._entries))

@@ -41,6 +41,10 @@ class HistogramConfig:
         For value-based histograms: additionally require θ,q-acceptable
         *distinct-count* estimates (the 1VincB1 variant; 1VincB2 turns
         this off).
+    kernel:
+        Acceptance-test kernel: ``"vectorized"`` (the batch kernels of
+        :mod:`repro.core.kernels`, the default) or ``"literal"`` (the
+        per-endpoint Sec. 4.2 loop, kept as the correctness oracle).
     """
 
     q: float = 2.0
@@ -50,6 +54,7 @@ class HistogramConfig:
     use_history: bool = True
     max_pretest_size: int = 300
     test_distinct: bool = True
+    kernel: str = "vectorized"
 
     def __post_init__(self) -> None:
         if self.q < 1:
@@ -60,6 +65,10 @@ class HistogramConfig:
             raise ValueError("theta_factor must be positive")
         if self.max_pretest_size < 1:
             raise ValueError("max_pretest_size must be >= 1")
+        if self.kernel not in ("vectorized", "literal"):
+            raise ValueError(
+                f"kernel must be 'vectorized' or 'literal', got {self.kernel!r}"
+            )
 
     def resolve_theta(self, total_rows: int) -> float:
         """The θ to use for a column with ``total_rows`` rows."""

@@ -14,14 +14,26 @@ from __future__ import annotations
 import math
 from typing import List
 
+from typing import Optional
+
 from repro.compression.layouts import BucketLayout, QC16T8x6
-from repro.core.acceptance import is_theta_q_acceptable
+from repro.core.acceptance import is_theta_q_acceptable, pretest_dense
 from repro.core.buckets import EquiWidthBucket
 from repro.core.config import HistogramConfig
 from repro.core.density import AttributeDensity
 from repro.core.histogram import Histogram
+from repro.core.kernels import (
+    MATRIX_STRATEGY_MAX,
+    AcceptanceCache,
+    acceptance_matrix_batch,
+    pretest_dense_batch,
+)
 
 __all__ = ["find_largest", "build_qewh"]
+
+# Probes whose stacked acceptance grid has at most this many cells go
+# straight to the matrix kernel; bigger ones try the batch pretest first.
+_DIRECT_MATRIX_CELLS = 4096
 
 
 def _bucklets_acceptable(
@@ -33,6 +45,7 @@ def _bucklets_acceptable(
     config: HistogramConfig,
     n_bucklets: int = 8,
     max_bucklet_total: float = float("inf"),
+    cache: Optional[AcceptanceCache] = None,
 ) -> bool:
     """True iff every one of the ``n_bucklets`` width-``m`` bucklets
     starting at ``l`` is θ,q-acceptable for its f̂avg estimator *and*
@@ -40,9 +53,15 @@ def _bucklets_acceptable(
 
     Bucklets clipped by the domain end are tested with the slope the
     estimator will actually use (bucklet total over the *unclipped*
-    width ``m``).
+    width ``m``).  With the vectorized kernel the whole probe costs two
+    batch dispatches: one shared pretest, then one stacked acceptance
+    grid over whatever the pretest (and the ``cache``) cannot resolve.
     """
     d = density.n_distinct
+    lowers = []
+    uppers = []
+    alphas = []
+    totals = []
     for i in range(n_bucklets):
         lo = l + i * m
         hi = lo + m
@@ -52,18 +71,100 @@ def _bucklets_acceptable(
         total = density.f_plus(lo, clipped)
         if total > max_bucklet_total:
             return False
-        alpha = total / m
-        if not is_theta_q_acceptable(
-            density,
-            lo,
-            clipped,
-            theta,
-            q,
-            max_size=config.max_pretest_size,
-            alpha=alpha,
-        ):
+        lowers.append(lo)
+        uppers.append(clipped)
+        alphas.append(total / m)
+        totals.append(total)
+    if config.kernel != "vectorized":
+        return all(
+            is_theta_q_acceptable(
+                density,
+                lo,
+                clipped,
+                theta,
+                q,
+                max_size=config.max_pretest_size,
+                alpha=alpha,
+                kernel=config.kernel,
+                cache=cache,
+            )
+            for lo, clipped, alpha in zip(lowers, uppers, alphas)
+        )
+    # For probes whose stacked acceptance grid is tiny, running the
+    # pretest first costs more dispatches than it can save -- and for
+    # sizes within MaxSize the matrix decides identically (a certified
+    # bucket is truly θ,q-acceptable, so every pair passes).  Larger
+    # probes keep the pretest-first shortcut: one cheap batch often
+    # certifies all eight bucklets and skips the O(m^2) grid.
+    certified = None
+    if (
+        m > config.max_pretest_size
+        or m > MATRIX_STRATEGY_MAX
+        or len(lowers) * m * m > _DIRECT_MATRIX_CELLS
+    ):
+        certified = pretest_dense_batch(
+            density, lowers, uppers, theta, q, alphas=alphas, totals=totals
+        )
+        if bool(certified.all()):
+            return True
+    # Combined-test semantics for the rest: an unpretested bucklet gets a
+    # scalar-pretest appeal if the grid rejects it, an uncertified one
+    # larger than MaxSize is rejected outright, and everything else goes
+    # through the cache and then one stacked matrix evaluation.
+    keys = []
+    pending = []
+    for position, (lo, clipped, alpha) in enumerate(zip(lowers, uppers, alphas)):
+        if certified is not None and certified[position]:
+            continue
+        if clipped - lo > config.max_pretest_size:
             return False
-    return True
+        if cache is not None:
+            key = cache.decision_key(
+                lo, clipped, theta, q, alpha,
+                k=8.0, max_size=config.max_pretest_size, flexible_alpha=False,
+            )
+            cached = cache.lookup_decision(key)
+            if cached is not None:
+                if not cached:
+                    return False
+                continue
+            keys.append(key)
+        else:
+            keys.append(None)
+        pending.append((lo, clipped, alpha))
+    if not pending:
+        return True
+    if max(clipped - lo for lo, clipped, _ in pending) > MATRIX_STRATEGY_MAX:
+        # MaxSize raised beyond the grid bound: fall back to one
+        # (equivalent) kernel call per bucklet.
+        return all(
+            is_theta_q_acceptable(
+                density, lo, clipped, theta, q,
+                max_size=config.max_pretest_size, alpha=alpha,
+                kernel=config.kernel, cache=cache,
+            )
+            for lo, clipped, alpha in pending
+        )
+    decisions = acceptance_matrix_batch(
+        density,
+        [lo for lo, _, _ in pending],
+        [clipped for _, clipped, _ in pending],
+        theta,
+        q,
+        alphas=[alpha for _, _, alpha in pending],
+    )
+    accepted = True
+    for key, decision, (lo, clipped, alpha) in zip(keys, decisions, pending):
+        decision = bool(decision)
+        if not decision and certified is None:
+            # The pretest was skipped; honour its (sufficient) verdict so
+            # the decision matches the combined test bit-for-bit even if
+            # rounding ever made the grid stricter than Theorem 4.3.
+            decision = pretest_dense(density, lo, clipped, theta, q, alpha=alpha)
+        if cache is not None:
+            cache.store_decision(key, decision)
+        accepted &= decision
+    return accepted
 
 
 def find_largest(
@@ -74,13 +175,16 @@ def find_largest(
     config: HistogramConfig,
     n_bucklets: int = 8,
     max_bucklet_total: float = float("inf"),
+    cache: Optional[AcceptanceCache] = None,
 ) -> int:
     """Fig. 5's ``FindLargest``: the maximal bucklet width ``m`` at ``l``.
 
     Doubles ``m`` until some bucklet fails the acceptance test, then
     binary-searches the maximal acceptable width in between.  Width 1 is
     always acceptable on a dense domain (a single-value bucklet estimates
-    itself exactly), so the result is at least 1.
+    itself exactly), so the result is at least 1.  A shared ``cache``
+    answers any range the doubling/binary-search probes revisit without
+    re-testing it.
     """
     d = density.n_distinct
     if not 0 <= l < d:
@@ -95,7 +199,7 @@ def find_largest(
     while m_good < m_cap:
         m_next = min(2 * m_good, m_cap)
         if _bucklets_acceptable(
-            density, l, m_next, theta, q, config, n_bucklets, max_bucklet_total
+            density, l, m_next, theta, q, config, n_bucklets, max_bucklet_total, cache
         ):
             m_good = m_next
         else:
@@ -105,7 +209,7 @@ def find_largest(
     while m_bad - m_good > 1:
         mid = (m_good + m_bad) // 2
         if _bucklets_acceptable(
-            density, l, mid, theta, q, config, n_bucklets, max_bucklet_total
+            density, l, mid, theta, q, config, n_bucklets, max_bucklet_total, cache
         ):
             m_good = mid
         else:
@@ -139,10 +243,18 @@ def build_qewh(
             "larger base or wider fields"
         )
     buckets: List[EquiWidthBucket] = []
+    cache = AcceptanceCache()
     b = 0
     while b < d:
         m = find_largest(
-            density, b, theta, q, config, n_bucklets=n, max_bucklet_total=capacity
+            density,
+            b,
+            theta,
+            q,
+            config,
+            n_bucklets=n,
+            max_bucklet_total=capacity,
+            cache=cache,
         )
         freqs = [
             density.f_plus(min(b + i * m, d), min(b + (i + 1) * m, d))

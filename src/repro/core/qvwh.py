@@ -25,12 +25,11 @@ from __future__ import annotations
 import math
 from typing import List, Tuple
 
-import numpy as np
-
 from repro.core.buckets import AtomicDenseBucket, VariableWidthBucket
 from repro.core.config import HistogramConfig
 from repro.core.density import AttributeDensity
 from repro.core.histogram import Histogram
+from repro.core.kernels import AcceptanceCache, slope_constraints
 
 __all__ = ["grow_bucklet", "build_qvwh", "build_atomic_dense", "GrowStats"]
 
@@ -55,12 +54,15 @@ def grow_bucklet(
     q: float,
     bounded: bool = True,
     stats: "GrowStats" = None,
+    cache: AcceptanceCache = None,
 ) -> int:
     """Longest prefix ``[l, l + m)`` that stays θ,q-acceptable for f̂avg.
 
     Returns ``m`` with ``0 <= m <= m_max``; at least 1 whenever
     ``m_max >= 1`` (a single dense value always estimates itself
-    exactly).
+    exactly).  A shared ``cache`` memoizes the per-(window, right
+    endpoint) slope constraints, which recur when the next bucklet's
+    first extension re-scans the window of the previous failure.
     """
     if m_max <= 0:
         return 0
@@ -89,38 +91,15 @@ def grow_bucklet(
             i_low = l
         if stats is not None:
             stats.intervals_scanned += j - i_low
-        lb_new, ub_new = _constraints_for_endpoint(cum, i_low, j, theta, q)
+        if cache is not None:
+            lb_new, ub_new = cache.constraints(cum, i_low, j, theta, q)
+        else:
+            lb_new, ub_new = slope_constraints(cum, i_low, j, theta, q)
         alpha_lb = max(alpha_lb, lb_new)
         alpha_ub = min(alpha_ub, ub_new)
         if alpha < alpha_lb or alpha > alpha_ub:
             return m - 1
     return m_max
-
-
-def _constraints_for_endpoint(
-    cum: np.ndarray, i_low: int, j: int, theta: float, q: float
-) -> Tuple[float, float]:
-    """Slope constraints from all query intervals ``[i, j)``, ``i_low <= i < j``.
-
-    Vectorised: one numpy pass per right endpoint keeps the incremental
-    construction linear-ish in practice instead of a pure-Python double
-    loop.  Returns (new lower bound, new upper bound) contributions.
-    """
-    truths = (cum[j] - cum[i_low:j]).astype(np.float64)
-    widths = np.arange(j - i_low, 0, -1, dtype=np.float64)
-    big = truths > theta
-    lb = 0.0
-    ub = math.inf
-    if np.any(big):
-        lb = float(np.max(truths[big] / (q * widths[big])))
-        ub = float(np.min(q * truths[big] / widths[big]))
-    small = ~big
-    if np.any(small):
-        ub_small = float(
-            np.min(np.maximum(theta, q * truths[small]) / widths[small])
-        )
-        ub = min(ub, ub_small)
-    return lb, ub
 
 
 def _grow_bucket(
@@ -130,6 +109,7 @@ def _grow_bucket(
     q: float,
     bounded: bool,
     stats: GrowStats = None,
+    cache: AcceptanceCache = None,
 ) -> Tuple[List[int], List[int], int]:
     """Grow one 8-bucklet bucket from ``start`` (Fig. 6's outer loop body).
 
@@ -142,7 +122,9 @@ def _grow_bucket(
     widths: List[int] = []
     totals: List[int] = []
     pos = start
-    m0 = grow_bucklet(density, pos, d - pos, theta, q, bounded=bounded, stats=stats)
+    m0 = grow_bucklet(
+        density, pos, d - pos, theta, q, bounded=bounded, stats=stats, cache=cache
+    )
     m0 = max(m0, 1)
     widths.append(m0)
     totals.append(density.f_plus(pos, pos + m0))
@@ -158,7 +140,9 @@ def _grow_bucket(
             cap = d - pos
         else:
             cap = min(MAX_BOUNDED_BUCKLET, d - pos)
-        m = grow_bucklet(density, pos, cap, theta, q, bounded=bounded, stats=stats)
+        m = grow_bucklet(
+            density, pos, cap, theta, q, bounded=bounded, stats=stats, cache=cache
+        )
         m = max(m, 1) if cap >= 1 else 0
         widths.append(m)
         totals.append(density.f_plus(pos, pos + m))
@@ -182,10 +166,11 @@ def build_qvwh(
     q = config.q
     d = density.n_distinct
     buckets: List[VariableWidthBucket] = []
+    cache = AcceptanceCache() if config.kernel == "vectorized" else None
     b = 0
     while b < d:
         widths, totals, b = _grow_bucket(
-            density, b, theta, q, config.bounded_search, stats=stats
+            density, b, theta, q, config.bounded_search, stats=stats, cache=cache
         )
         buckets.append(VariableWidthBucket.build(b - sum(widths), widths, totals))
     kind = "V8DincB" if config.bounded_search else "V8Dinc"
@@ -207,9 +192,12 @@ def build_atomic_dense(
     q = config.q
     d = density.n_distinct
     buckets: List[AtomicDenseBucket] = []
+    cache = AcceptanceCache() if config.kernel == "vectorized" else None
     b = 0
     while b < d:
-        m = grow_bucklet(density, b, d - b, theta, q, bounded=config.bounded_search)
+        m = grow_bucklet(
+            density, b, d - b, theta, q, bounded=config.bounded_search, cache=cache
+        )
         m = max(m, 1)
         buckets.append(AtomicDenseBucket.build(b, b + m, density.f_plus(b, b + m)))
         b += m

@@ -14,11 +14,10 @@ from typing import Any, Dict, Optional
 
 import numpy as np
 
-from repro.core.builder import build_histogram
 from repro.core.config import HistogramConfig
 from repro.core.histogram import Histogram
 from repro.dictionary.column import DictionaryEncodedColumn
-from repro.dictionary.table import Table, histogram_worthy
+from repro.dictionary.table import Table
 
 __all__ = ["ColumnStatistics", "StatisticsManager"]
 
@@ -69,19 +68,34 @@ class StatisticsManager:
         self.config = config
         self._stats: Dict[str, Dict[str, ColumnStatistics]] = {}
 
-    def build_for_table(self, table: Table) -> Dict[str, ColumnStatistics]:
+    def build_for_table(
+        self,
+        table: Table,
+        max_workers: Optional[int] = None,
+        executor: str = "process",
+    ) -> Dict[str, ColumnStatistics]:
         """(Re)build statistics for every column of ``table``.
 
         Columns failing the Sec. 8.2 worthiness filter get exact
         per-value counts (cheap: < 20 values or unique keys); the rest
-        get histograms of the manager's kind.
+        get histograms of the manager's kind.  ``max_workers > 1`` (or
+        ``None`` with more than one worthy column) fans the histogram
+        builds across a :mod:`repro.core.parallel` pool.
         """
+        from repro.core.parallel import build_table_histograms
+
+        histograms = build_table_histograms(
+            table,
+            config=self.config,
+            kind=self.kind,
+            max_workers=max_workers,
+            executor=executor,
+        )
         per_column: Dict[str, ColumnStatistics] = {}
         for column in table:
-            if histogram_worthy(column):
-                histogram = build_histogram(column, kind=self.kind, config=self.config)
+            if column.name in histograms:
                 per_column[column.name] = ColumnStatistics(
-                    column=column, histogram=histogram
+                    column=column, histogram=histograms[column.name]
                 )
             else:
                 per_column[column.name] = ColumnStatistics(

@@ -27,7 +27,7 @@ endpoint discretisation.
 from __future__ import annotations
 
 import math
-from typing import List, Tuple
+from typing import List
 
 import numpy as np
 
@@ -35,6 +35,7 @@ from repro.core.buckets import ValueAtomicBucket
 from repro.core.config import HistogramConfig
 from repro.core.density import AttributeDensity
 from repro.core.histogram import Histogram
+from repro.core.kernels import batch_slope_constraints
 
 __all__ = ["grow_value_bucket", "build_value_histogram", "build_value_mixed"]
 
@@ -113,12 +114,12 @@ def grow_value_bucket(
         w_j = _upper_value(density, j)
         widths = w_j - np.asarray(values[i_low:j], dtype=np.float64)
         truths = (cum[j] - cum[i_low:j]).astype(np.float64)
-        lb, ub = _batch_constraints(truths, widths, theta, q)
+        lb, ub = batch_slope_constraints(truths, widths, theta, q)
         freq_bounds.lb = max(freq_bounds.lb, lb)
         freq_bounds.ub = min(freq_bounds.ub, ub)
         if test_distinct:
             counts = np.arange(j - i_low, 0, -1, dtype=np.float64)
-            lb_d, ub_d = _batch_constraints(counts, widths, theta, q)
+            lb_d, ub_d = batch_slope_constraints(counts, widths, theta, q)
             dist_bounds.lb = max(dist_bounds.lb, lb_d)
             dist_bounds.ub = min(dist_bounds.ub, ub_d)
         if not freq_bounds.contains(alpha):
@@ -127,25 +128,6 @@ def grow_value_bucket(
             break
         m = m_try
     return max(m, 1)
-
-
-def _batch_constraints(
-    truths: np.ndarray, widths: np.ndarray, theta: float, q: float
-) -> Tuple[float, float]:
-    """Vectorised slope constraints for one batch of query intervals."""
-    big = truths > theta
-    lb = 0.0
-    ub = math.inf
-    if np.any(big):
-        lb = float(np.max(truths[big] / (q * widths[big])))
-        ub = float(np.min(q * truths[big] / widths[big]))
-    small = ~big
-    if np.any(small):
-        ub = min(
-            ub,
-            float(np.min(np.maximum(theta, q * truths[small]) / widths[small])),
-        )
-    return lb, ub
 
 
 def build_value_histogram(

@@ -70,3 +70,52 @@ class TestCatalog:
         (tmp_path / "MANIFEST").write_text("not\tenough\n" + "way\ttoo\tmany\tfields\n")
         with pytest.raises(ValueError):
             StatisticsCatalog(tmp_path)
+
+
+class TestBatchMode:
+    def test_batch_defers_manifest_to_one_write(self, tmp_path, histogram):
+        catalog = StatisticsCatalog(tmp_path)
+        manifest = tmp_path / "MANIFEST"
+        with catalog.batch():
+            catalog.put("t", "a", histogram)
+            catalog.put("t", "b", histogram)
+            # Histogram files land immediately; the manifest waits.
+            assert not manifest.exists()
+        assert manifest.exists()
+        reopened = StatisticsCatalog(tmp_path)
+        assert list(reopened.entries()) == [("t", "a"), ("t", "b")]
+
+    def test_batch_covers_remove(self, tmp_path, histogram):
+        catalog = StatisticsCatalog(tmp_path)
+        catalog.put("t", "a", histogram)
+        before = (tmp_path / "MANIFEST").read_text()
+        with catalog.batch():
+            catalog.remove("t", "a")
+            catalog.put("t", "b", histogram)
+            assert (tmp_path / "MANIFEST").read_text() == before
+        assert list(StatisticsCatalog(tmp_path).entries()) == [("t", "b")]
+
+    def test_nested_batches_write_once_at_outermost_exit(self, tmp_path, histogram):
+        catalog = StatisticsCatalog(tmp_path)
+        with catalog.batch():
+            with catalog.batch():
+                catalog.put("t", "a", histogram)
+            assert not (tmp_path / "MANIFEST").exists()
+        assert ("t", "a") in StatisticsCatalog(tmp_path)
+
+    def test_batch_writes_manifest_on_error(self, tmp_path, histogram):
+        catalog = StatisticsCatalog(tmp_path)
+        with pytest.raises(RuntimeError):
+            with catalog.batch():
+                catalog.put("t", "a", histogram)
+                raise RuntimeError("boom")
+        # The file is on disk, so the manifest must list it.
+        assert ("t", "a") in StatisticsCatalog(tmp_path)
+
+    def test_bulk_put(self, tmp_path, histogram):
+        catalog = StatisticsCatalog(tmp_path)
+        stored = catalog.bulk_put(
+            ("orders", f"c{i}", histogram) for i in range(5)
+        )
+        assert stored == 5
+        assert len(StatisticsCatalog(tmp_path)) == 5

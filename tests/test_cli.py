@@ -90,6 +90,61 @@ class TestCommands:
         with pytest.raises(SystemExit):
             main(["certify", str(column_npy), "--kind", "1VincB1"])
 
+    def test_build_table_directory(self, tmp_path, rng, capsys):
+        data = tmp_path / "cols"
+        data.mkdir()
+        np.save(data / "customer.npy", rng.integers(0, 500, size=20_000))
+        np.save(data / "amount.npy", rng.zipf(1.8, size=20_000))
+        np.save(data / "status.npy", rng.choice([1, 2, 3], size=20_000))  # unworthy
+        catalog_dir = tmp_path / "catalog"
+        code = main(
+            [
+                "build-table",
+                str(data),
+                str(catalog_dir),
+                "--table",
+                "orders",
+                "--workers",
+                "2",
+                "--executor",
+                "thread",
+                "--theta",
+                "32",
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "built 2 V8DincB histograms" in captured
+        assert "skipped 1 unworthy" in captured
+        from repro.core.catalog import StatisticsCatalog
+
+        catalog = StatisticsCatalog(catalog_dir)
+        assert set(catalog.entries()) == {("orders", "customer"), ("orders", "amount")}
+
+    def test_build_table_kernel_flag(self, tmp_path, rng, capsys):
+        data = tmp_path / "c.npy"
+        np.save(data, rng.integers(0, 300, size=10_000))
+        code = main(
+            [
+                "build-table",
+                str(data),
+                str(tmp_path / "cat"),
+                "--executor",
+                "serial",
+                "--kernel",
+                "literal",
+            ]
+        )
+        assert code == 0
+        assert "kernel=literal" in capsys.readouterr().out
+
+    def test_build_table_empty_directory_is_error(self, tmp_path, capsys):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        code = main(["build-table", str(empty), str(tmp_path / "cat")])
+        assert code == 1
+        assert "no column files" in capsys.readouterr().err
+
     def test_estimate_accuracy_through_cli(self, tmp_path, rng, capsys):
         raw = rng.integers(0, 300, size=30_000)
         path = tmp_path / "col.npy"

@@ -10,6 +10,12 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.core.acceptance import (
+    quadratic_test,
+    subquadratic_test,
+    subquadratic_test_literal,
+    subquadratic_test_vectorized,
+)
 from repro.core.builder import build_histogram
 from repro.core.config import HistogramConfig
 from repro.core.density import AttributeDensity
@@ -19,6 +25,87 @@ from repro.core.transfer import exact_total_guarantee
 
 freq_lists = st.lists(st.integers(1, 10_000), min_size=2, max_size=120)
 dense_kinds = st.sampled_from(["F8Dgt", "V8DincB", "1DincB"])
+
+
+class TestKernelEquivalence:
+    """The vectorized acceptance kernel against the scalar renderings.
+
+    Decision equivalence is exact (not approximate): the batch kernel
+    evaluates the same float64 truths and estimates as the per-endpoint
+    loops, so it must return the *same boolean* as both scalar
+    sub-quadratic implementations on every input.  Against the
+    Theorem 4.1 oracle the usual sandwich holds: a θ,q-acceptable bucket
+    always passes, and passing certifies θ,(q + 1/k)-acceptability.
+    """
+
+    @given(
+        freqs=st.lists(st.integers(1, 2_000), min_size=2, max_size=60),
+        theta=st.integers(0, 200),
+        q=st.floats(1.0, 4.0),
+        k=st.sampled_from([1.0, 2.0, 4.0, 8.0, 16.0]),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_vectorized_matches_scalar_kernels(self, freqs, theta, q, k):
+        density = AttributeDensity(freqs)
+        n = len(freqs)
+        got = subquadratic_test_vectorized(density, 0, n, theta, q, k=k)
+        assert got == subquadratic_test(density, 0, n, theta, q, k=k)
+        assert got == subquadratic_test_literal(density, 0, n, theta, q, k=k)
+
+    @given(
+        freqs=st.lists(st.integers(1, 2_000), min_size=2, max_size=60),
+        theta=st.integers(0, 200),
+        q=st.floats(1.05, 4.0),
+        k=st.sampled_from([2.0, 8.0]),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_vectorized_sandwiched_by_quadratic(self, freqs, theta, q, k):
+        density = AttributeDensity(freqs)
+        n = len(freqs)
+        if quadratic_test(density, 0, n, theta, q):
+            assert subquadratic_test_vectorized(density, 0, n, theta, q, k=k)
+        if subquadratic_test_vectorized(density, 0, n, theta, q, k=k):
+            assert quadratic_test(density, 0, n, theta, q + 1.0 / k)
+
+    @given(
+        freqs=st.lists(st.integers(1, 2_000), min_size=4, max_size=60),
+        theta=st.integers(0, 200),
+        q=st.floats(1.0, 4.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_vectorized_matches_on_subranges_and_alpha(self, freqs, theta, q):
+        density = AttributeDensity(freqs)
+        n = len(freqs)
+        l, u = n // 4, n - n // 4
+        for alpha in (None, 1.0, float(max(freqs))):
+            assert subquadratic_test_vectorized(
+                density, l, u, theta, q, alpha=alpha
+            ) == subquadratic_test(density, l, u, theta, q, alpha=alpha)
+
+    @given(freq=st.integers(1, 10_000), theta=st.integers(0, 64), q=st.floats(1.0, 4.0))
+    @settings(max_examples=40, deadline=None)
+    def test_degenerate_single_value(self, freq, theta, q):
+        # A one-value bucket estimates itself exactly: every kernel
+        # accepts, and the boundary arithmetic must not trip on n = 1.
+        density = AttributeDensity([freq])
+        assert subquadratic_test_vectorized(density, 0, 1, theta, q)
+        assert subquadratic_test(density, 0, 1, theta, q)
+        assert subquadratic_test_literal(density, 0, 1, theta, q)
+
+    @given(
+        freq=st.integers(1, 5_000),
+        n=st.integers(2, 80),
+        theta=st.integers(0, 64),
+        q=st.floats(1.0, 4.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_degenerate_all_equal_frequency(self, freq, n, theta, q):
+        # f̂avg is exact on a flat density, so all kernels accept; the
+        # θ- and kθ-boundaries coincide for every left endpoint.
+        density = AttributeDensity([freq] * n)
+        assert subquadratic_test_vectorized(density, 0, n, theta, q)
+        assert subquadratic_test(density, 0, n, theta, q)
+        assert subquadratic_test_literal(density, 0, n, theta, q)
 
 
 class TestEstimateFunctionProperties:
