@@ -1,0 +1,110 @@
+"""Throughput of the statistics service (estimates/sec).
+
+Two axes the issue asks for:
+
+* **cold vs warm cache** -- a cold read deserializes the histogram from
+  the catalog; a warm read is an LRU hit in the
+  :class:`~repro.service.store.StatisticsStore`.  Measured on the store
+  directly, since that is exactly the code path the cache short-cuts.
+* **single vs many clients** -- end-to-end JSON-lines TCP ``estimate``
+  requests against a running server, one connection vs several
+  concurrent ones.
+
+Sizes are deliberately small so this runs inside the tier-1 suite; set
+``REPRO_BENCH_FULL=1`` for larger columns and request counts.
+"""
+
+import os
+import threading
+import time
+
+import numpy as np
+
+from repro.dictionary.column import DictionaryEncodedColumn
+from repro.dictionary.table import Table
+from repro.experiments.report import format_table
+from repro.service.client import StatisticsClient
+from repro.service.server import StatisticsService, start_server_thread
+
+FULL = os.environ.get("REPRO_BENCH_FULL", "") == "1"
+N_ROWS = 50_000 if FULL else 4_000
+N_REQUESTS = 2_000 if FULL else 300
+CLIENT_COUNTS = (1, 2, 4, 8) if FULL else (1, 4)
+
+
+def _service(tmp_path):
+    rng = np.random.default_rng(7)
+    table = Table("bench")
+    table.add_column(
+        DictionaryEncodedColumn.from_values(
+            rng.zipf(1.4, size=N_ROWS).clip(max=2_000), name="amount"
+        )
+    )
+    service = StatisticsService(tmp_path / "catalog", seed=7)
+    service.add_table(table)
+    return service
+
+
+def _store_reads_per_second(service, *, cold: bool, n: int) -> float:
+    store = service.store
+    start = time.perf_counter()
+    for _ in range(n):
+        if cold:
+            store.invalidate("bench", "amount")
+        store.get("bench", "amount")
+    return n / (time.perf_counter() - start)
+
+
+def _tcp_estimates_per_second(address, n_clients: int, per_client: int) -> float:
+    barrier = threading.Barrier(n_clients + 1)
+    failures = []
+
+    def run(seed):
+        rng = np.random.default_rng(seed)
+        with StatisticsClient(*address) as client:
+            barrier.wait()
+            for _ in range(per_client):
+                low = int(rng.integers(1, 1_500))
+                estimate = client.estimate_range("bench", "amount", low, low + 100)
+                if not np.isfinite(estimate.value):
+                    failures.append(estimate.value)
+
+    threads = [threading.Thread(target=run, args=(i,)) for i in range(n_clients)]
+    for t in threads:
+        t.start()
+    barrier.wait()
+    start = time.perf_counter()
+    for t in threads:
+        t.join()
+    elapsed = time.perf_counter() - start
+    assert not failures
+    return (n_clients * per_client) / elapsed
+
+
+def test_service_throughput(tmp_path, emit):
+    service = _service(tmp_path)
+
+    warm = _store_reads_per_second(service, cold=False, n=N_REQUESTS)
+    cold = _store_reads_per_second(service, cold=True, n=max(N_REQUESTS // 10, 30))
+
+    rows = [
+        ["store get (warm cache)", f"{warm:,.0f}"],
+        ["store get (cold, reparse)", f"{cold:,.0f}"],
+    ]
+
+    handle = start_server_thread(service)
+    try:
+        per_client = max(N_REQUESTS // max(CLIENT_COUNTS), 50)
+        for n_clients in CLIENT_COUNTS:
+            rate = _tcp_estimates_per_second(handle.address, n_clients, per_client)
+            rows.append([f"tcp estimate ({n_clients} client(s))", f"{rate:,.0f}"])
+    finally:
+        handle.stop()
+
+    text = format_table(["path", "requests/sec"], rows)
+    emit("service_throughput", text)
+
+    # The cache has to pay for itself: warm reads must beat reparsing.
+    assert warm > cold
+    # And the serving stack stayed healthy under concurrent load.
+    assert service.metrics.snapshot()["errors"] == {}

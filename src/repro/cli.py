@@ -1,4 +1,4 @@
-"""Command-line interface: build, inspect and query histograms.
+"""Command-line interface: build, inspect, query and serve histograms.
 
 Usage::
 
@@ -7,6 +7,9 @@ Usage::
     python -m repro inspect histogram.bin
     python -m repro estimate histogram.bin 100 5000
     python -m repro analyze column.npy
+    python -m repro serve data_dir/ catalog_dir/ --table orders --port 7443
+    python -m repro query localhost:7443 --table orders --column amount 100 5000
+    python -m repro query localhost:7443 --status
 
 Column input formats:
 
@@ -19,19 +22,44 @@ from __future__ import annotations
 
 import argparse
 import sys
+from collections import OrderedDict
 from pathlib import Path
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from repro.core.builder import HISTOGRAM_KINDS, build_histogram
 from repro.core.config import HistogramConfig
+from repro.core.histogram import Histogram
 from repro.core.serialize import deserialize_histogram, serialize_histogram
 from repro.core.transfer import exact_total_guarantee
 from repro.dictionary.column import DictionaryEncodedColumn
 from repro.experiments.report import format_table
 
 __all__ = ["main", "load_column_values"]
+
+# Histograms already deserialized by this process, keyed by (path,
+# mtime, size) so an on-disk update is picked up.  ``estimate`` and
+# ``inspect`` are frequently driven programmatically in a loop over one
+# file (tests, notebooks); the cache turns every call after the first
+# into a dictionary lookup.
+_LOAD_CACHE_CAPACITY = 8
+_load_cache: "OrderedDict[Tuple[str, int, int], Histogram]" = OrderedDict()
+
+
+def _load_histogram(path: Path) -> Histogram:
+    """Deserialize a histogram file with an in-memory LRU cache."""
+    stat = path.stat()
+    key = (str(path.resolve()), stat.st_mtime_ns, stat.st_size)
+    histogram = _load_cache.get(key)
+    if histogram is None:
+        histogram = deserialize_histogram(path.read_bytes())
+        _load_cache[key] = histogram
+        while len(_load_cache) > _LOAD_CACHE_CAPACITY:
+            _load_cache.popitem(last=False)
+    else:
+        _load_cache.move_to_end(key)
+    return histogram
 
 
 def load_column_values(path: Path) -> np.ndarray:
@@ -80,14 +108,10 @@ def _cmd_build(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_build_table(args: argparse.Namespace) -> int:
-    import time
-
-    from repro.core.catalog import StatisticsCatalog
-    from repro.core.parallel import build_table_histograms, default_workers
+def _load_table(source: Path, name: str):
+    """A ``Table`` from a directory of column files (or one file)."""
     from repro.dictionary.table import Table
 
-    source = Path(args.input)
     if source.is_dir():
         files = sorted(
             path
@@ -98,11 +122,20 @@ def _cmd_build_table(args: argparse.Namespace) -> int:
         files = [source]
     if not files:
         raise ValueError(f"{source}: no column files (.npy/.csv/.txt) found")
-    table = Table(args.table)
+    table = Table(name)
     for path in files:
         values = load_column_values(path)
         table.add_column(DictionaryEncodedColumn.from_values(values, name=path.stem))
+    return table
 
+
+def _cmd_build_table(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.core.catalog import StatisticsCatalog
+    from repro.core.parallel import build_table_histograms, default_workers
+
+    table = _load_table(Path(args.input), args.table)
     catalog = StatisticsCatalog(Path(args.catalog))
     workers = args.workers if args.workers else default_workers()
     start = time.perf_counter()
@@ -128,7 +161,7 @@ def _cmd_build_table(args: argparse.Namespace) -> int:
 
 
 def _cmd_inspect(args: argparse.Namespace) -> int:
-    histogram = deserialize_histogram(Path(args.histogram).read_bytes())
+    histogram = _load_histogram(Path(args.histogram))
     print(f"kind:    {histogram.kind}")
     print(f"domain:  {histogram.domain}")
     print(f"buckets: {len(histogram)}")
@@ -148,7 +181,7 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
 
 
 def _cmd_estimate(args: argparse.Namespace) -> int:
-    histogram = deserialize_histogram(Path(args.histogram).read_bytes())
+    histogram = _load_histogram(Path(args.histogram))
     estimate = histogram.estimate(args.low, args.high)
     print(f"{estimate:.6g}")
     return 0
@@ -198,6 +231,74 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             ]
         )
     print(format_table(["kind", "buckets", "bytes", "% of column", "build ms"], rows))
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service.refresh import RefreshScheduler
+    from repro.service.server import StatisticsServer, StatisticsService
+
+    table = _load_table(Path(args.input), args.table)
+    service = StatisticsService(
+        Path(args.catalog),
+        kind=args.kind,
+        config=_config_from_args(args),
+        cache_capacity=args.cache_capacity,
+        build_workers=args.workers or None,
+    )
+    built = service.add_table(table)
+    print(
+        f"table {args.table!r}: {built['built']} histograms, "
+        f"{built['exact']} exact-count columns"
+    )
+    scheduler = RefreshScheduler(
+        service.store,
+        service.registry,
+        threshold=args.staleness_threshold,
+        interval=args.refresh_interval,
+        kind=args.kind,
+        config=service.config,
+        metrics=service.metrics,
+    )
+    scheduler.start()
+    server = StatisticsServer(service, host=args.host, port=args.port)
+
+    async def _serve() -> None:
+        await server.start()
+        host, port = server.address
+        # Flush so wrappers watching a pipe see the address immediately.
+        print(f"serving statistics on {host}:{port} (ctrl-c to stop)", flush=True)
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        scheduler.stop()
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service.client import StatisticsClient
+
+    host, _, port = args.address.rpartition(":")
+    if not host or not port.isdigit():
+        raise ValueError(f"address must be host:port, got {args.address!r}")
+    with StatisticsClient(host, int(port), timeout=args.timeout) as client:
+        if args.status:
+            print(json.dumps(client.status(), indent=2, sort_keys=True))
+            return 0
+        if args.table is None or args.column is None:
+            raise ValueError("--table and --column are required for an estimate")
+        if args.low is None or args.high is None:
+            raise ValueError("provide LOW and HIGH for an estimate")
+        estimate = client.estimate_range(args.table, args.column, args.low, args.high)
+        print(f"{estimate.value:.6g} ({estimate.method})")
     return 0
 
 
@@ -274,6 +375,44 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     certify_cmd.set_defaults(func=_cmd_certify)
 
+    serve = sub.add_parser(
+        "serve",
+        help="serve statistics over TCP with background staleness rebuilds",
+    )
+    serve.add_argument("input", help="directory of column files (or a single file)")
+    serve.add_argument("catalog", help="statistics catalog directory")
+    serve.add_argument("--table", default="table", help="table name to serve")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0, help="0 picks an ephemeral port")
+    serve.add_argument("--kind", default="V8DincB", choices=HISTOGRAM_KINDS)
+    serve.add_argument(
+        "--workers", type=int, default=0, help="build pool width (0 = one per CPU)"
+    )
+    serve.add_argument(
+        "--cache-capacity", type=int, default=128,
+        help="LRU capacity of the serving store",
+    )
+    serve.add_argument(
+        "--refresh-interval", type=float, default=2.0,
+        help="staleness poll period, seconds",
+    )
+    serve.add_argument(
+        "--staleness-threshold", type=float, default=0.2,
+        help="insert fraction that triggers a background rebuild",
+    )
+    add_construction_options(serve)
+    serve.set_defaults(func=_cmd_serve)
+
+    query = sub.add_parser("query", help="query a running statistics server")
+    query.add_argument("address", help="host:port of the server")
+    query.add_argument("low", type=float, nargs="?", default=None)
+    query.add_argument("high", type=float, nargs="?", default=None)
+    query.add_argument("--table", default=None)
+    query.add_argument("--column", default=None)
+    query.add_argument("--status", action="store_true", help="print server status")
+    query.add_argument("--timeout", type=float, default=10.0)
+    query.set_defaults(func=_cmd_query)
+
     return parser
 
 
@@ -283,7 +422,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
-    except (FileNotFoundError, ValueError, OverflowError) as error:
+    except (FileNotFoundError, ValueError, OverflowError, OSError, RuntimeError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
 

@@ -7,21 +7,31 @@ catalog does.  Layout::
 
     <root>/
       MANIFEST            one line per entry: table<TAB>column<TAB>file
-      <table>.<column>.hist
+      <table>.<column>.<digest>.hist
+
+The digest is a short hash of the *raw* (table, column) key: filename
+sanitization alone is lossy (``a.b``/``c`` and ``a_b``/``c`` both
+sanitize to ``a_b.c``), so the digest keeps distinct keys in distinct
+files.  Legacy files without a digest stay loadable -- the manifest, not
+the naming scheme, is authoritative for reads.
 
 Writes are atomic per file (write-to-temp + rename); the manifest is
 rewritten on every change -- or once per batch inside
 :meth:`StatisticsCatalog.batch` / :meth:`StatisticsCatalog.bulk_put`,
 which is how whole-table (re)builds avoid one manifest rewrite per
-column.
+column.  An optional in-memory LRU cache (``cache_size``) keeps the most
+recently used *deserialized* histograms, so repeated ``get`` calls skip
+the parse cost.
 """
 
 from __future__ import annotations
 
+import hashlib
 import os
+from collections import OrderedDict
 from contextlib import contextmanager
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.core.histogram import Histogram
 from repro.core.serialize import deserialize_histogram, serialize_histogram
@@ -30,15 +40,47 @@ __all__ = ["StatisticsCatalog"]
 
 _MANIFEST = "MANIFEST"
 
+# Characters that would corrupt the tab-separated, line-per-entry
+# manifest if they appeared in a key.
+_FORBIDDEN_KEY_CHARS = "\t\n\r"
+
+
+def _validate_key(table: str, column: str) -> None:
+    for label, name in (("table", table), ("column", column)):
+        if any(ch in name for ch in _FORBIDDEN_KEY_CHARS):
+            raise ValueError(
+                f"{label} name {name!r} contains a tab/newline character, "
+                "which the manifest format cannot represent"
+            )
+
 
 class StatisticsCatalog:
-    """A directory of serialized histograms keyed by (table, column)."""
+    """A directory of serialized histograms keyed by (table, column).
 
-    def __init__(self, root: Path) -> None:
+    Parameters
+    ----------
+    root:
+        Catalog directory (created if missing).
+    cache_size:
+        When > 0, keep up to this many deserialized histograms in an
+        in-memory LRU cache; ``get`` for a cached key skips the read +
+        parse entirely.  0 (the default) disables caching -- callers
+        that layer their own cache (e.g. the service's
+        :class:`~repro.service.store.StatisticsStore`) should leave it
+        off to avoid holding every histogram twice.
+    """
+
+    def __init__(self, root: Path, cache_size: int = 0) -> None:
+        if cache_size < 0:
+            raise ValueError(f"cache_size must be >= 0, got {cache_size}")
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self._entries: Dict[Tuple[str, str], str] = {}
         self._batch_depth = 0
+        self._cache_size = cache_size
+        self._cache: "OrderedDict[Tuple[str, str], Histogram]" = OrderedDict()
+        self._cache_hits = 0
+        self._cache_misses = 0
         self._load_manifest()
 
     # -- manifest ---------------------------------------------------------
@@ -73,7 +115,10 @@ class StatisticsCatalog:
     @staticmethod
     def _filename(table: str, column: str) -> str:
         safe = lambda s: "".join(c if c.isalnum() or c in "-_" else "_" for c in s)
-        return f"{safe(table)}.{safe(column)}.hist"
+        digest = hashlib.blake2b(
+            f"{table}\x1f{column}".encode("utf-8"), digest_size=4
+        ).hexdigest()
+        return f"{safe(table)}.{safe(column)}.{digest}.hist"
 
     def put(self, table: str, column: str, histogram: Histogram) -> None:
         """Persist one histogram (atomically) and update the manifest.
@@ -81,12 +126,24 @@ class StatisticsCatalog:
         Inside a :meth:`batch` block the manifest rewrite is deferred to
         one atomic write when the block closes.
         """
+        _validate_key(table, column)
+        key = (table, column)
         filename = self._filename(table, column)
         target = self.root / filename
         tmp = target.with_suffix(".tmp")
         tmp.write_bytes(serialize_histogram(histogram))
         os.replace(tmp, target)
-        self._entries[(table, column)] = filename
+        old = self._entries.get(key)
+        self._entries[key] = filename
+        if old is not None and old != filename:
+            # Migrating a legacy (pre-digest) file to the new naming;
+            # drop the old file unless another key still points at it
+            # (the collision this migration exists to untangle).
+            if old not in self._entries.values():
+                old_path = self.root / old
+                if old_path.exists():
+                    old_path.unlink()
+        self._cache_store(key, histogram)
         if self._batch_depth == 0:
             self._write_manifest()
 
@@ -123,8 +180,13 @@ class StatisticsCatalog:
         key = (table, column)
         if key not in self._entries:
             raise KeyError(f"no statistics for {table}.{column}")
+        cached = self._cache_lookup(key)
+        if cached is not None:
+            return cached
         data = (self.root / self._entries[key]).read_bytes()
-        return deserialize_histogram(data)
+        histogram = deserialize_histogram(data)
+        self._cache_store(key, histogram)
+        return histogram
 
     def __contains__(self, key: Tuple[str, str]) -> bool:
         return key in self._entries
@@ -135,11 +197,44 @@ class StatisticsCatalog:
         filename = self._entries.pop(key, None)
         if filename is None:
             raise KeyError(f"no statistics for {table}.{column}")
+        self._cache.pop(key, None)
         path = self.root / filename
-        if path.exists():
+        if path.exists() and filename not in self._entries.values():
             path.unlink()
         if self._batch_depth == 0:
             self._write_manifest()
+
+    # -- cache -------------------------------------------------------------
+
+    def _cache_lookup(self, key: Tuple[str, str]) -> Optional[Histogram]:
+        if self._cache_size == 0:
+            return None
+        cached = self._cache.get(key)
+        if cached is None:
+            self._cache_misses += 1
+            return None
+        self._cache.move_to_end(key)
+        self._cache_hits += 1
+        return cached
+
+    def _cache_store(self, key: Tuple[str, str], histogram: Histogram) -> None:
+        if self._cache_size == 0:
+            return
+        self._cache[key] = histogram
+        self._cache.move_to_end(key)
+        while len(self._cache) > self._cache_size:
+            self._cache.popitem(last=False)
+
+    def cache_info(self) -> Dict[str, int]:
+        """Hit/miss/size counters of the in-memory histogram cache."""
+        return {
+            "hits": self._cache_hits,
+            "misses": self._cache_misses,
+            "size": len(self._cache),
+            "capacity": self._cache_size,
+        }
+
+    # -- listing -----------------------------------------------------------
 
     def entries(self) -> Iterator[Tuple[str, str]]:
         return iter(sorted(self._entries))

@@ -88,6 +88,35 @@ class MaintainedHistogram:
         for code in codes:
             self.insert(int(code))
 
+    def insert_counts(self, counts) -> int:
+        """Record inserts given as per-code counts.
+
+        ``counts[i]`` rows are recorded for code ``lo + i``.  The array
+        may be shorter than the domain; it must not extend past ``hi``.
+        Returns the number of rows recorded.  This is the bulk path the
+        service's rebuild swap uses to replay inserts that arrived while
+        a new histogram was being built.
+        """
+        counts = np.asarray(counts, dtype=np.int64)
+        if counts.ndim != 1:
+            raise ValueError("counts must be a 1-d array")
+        if np.any(counts < 0):
+            raise ValueError("counts must be non-negative")
+        lo = int(self.histogram.lo)
+        if lo + counts.size > self.histogram.hi:
+            raise ValueError(
+                f"counts cover codes up to {lo + counts.size}, outside the "
+                f"histogram domain [{self.histogram.lo}, {self.histogram.hi})"
+            )
+        total = 0
+        for offset in np.flatnonzero(counts):
+            times = int(counts[offset])
+            index = self.histogram.bucket_index(lo + int(offset))
+            self._counters[index].increment(times)
+            total += times
+        self._inserts += total
+        return total
+
     # -- estimation -----------------------------------------------------
 
     def _bucket_insert_estimate(self, index: int) -> float:
@@ -129,6 +158,23 @@ class MaintainedHistogram:
     @property
     def inserts_recorded(self) -> int:
         return self._inserts
+
+    @property
+    def base_total(self) -> float:
+        """Estimated total mass of the build-time population."""
+        return self._base_total
+
+    def morris_insert_total(self) -> float:
+        """The registers' estimate of all post-build insert mass.
+
+        This is the Morris-blended component of a maintained estimate
+        (the exact insert count is known to :attr:`inserts_recorded`;
+        what the *estimates* blend in is this probabilistic total) --
+        surfaced so a serving layer can report its degradation ladder.
+        """
+        return float(
+            sum(counter.estimate() for counter in self._counters)
+        )
 
     def staleness(self) -> float:
         """Fraction of the current population inserted since the build."""

@@ -34,6 +34,8 @@ __all__ = [
     "build_column_histograms",
     "build_table_histograms",
     "default_workers",
+    "make_executor",
+    "submit_histogram_build",
     "EXECUTOR_KINDS",
 ]
 
@@ -154,6 +156,54 @@ def build_table_histograms(
             (table.name, name, histogram) for name, histogram in histograms.items()
         )
     return histograms
+
+
+def make_executor(executor: str = "thread", max_workers: Optional[int] = None) -> Executor:
+    """A standalone pool for callers that schedule builds themselves.
+
+    The refresh scheduler of :mod:`repro.service.refresh` keeps one of
+    these alive across rebuilds instead of paying pool startup per
+    build.  ``executor`` is ``"process"`` or ``"thread"`` (``"serial"``
+    has no pool; use :func:`build_column_histograms` for that).
+    """
+    if executor not in ("process", "thread"):
+        raise ValueError(
+            f"unknown executor {executor!r}; pick 'process' or 'thread'"
+        )
+    workers = max_workers or default_workers()
+    if workers < 1:
+        raise ValueError("max_workers must be >= 1")
+    if executor == "process":
+        return ProcessPoolExecutor(max_workers=workers)
+    return ThreadPoolExecutor(max_workers=workers)
+
+
+def submit_histogram_build(
+    pool: Executor,
+    name: str,
+    frequencies: np.ndarray,
+    values: Optional[np.ndarray] = None,
+    kind: str = "V8DincB",
+    config: HistogramConfig = HistogramConfig(),
+):
+    """Submit one column build to ``pool``; the future resolves to
+    ``(name, serialized_bytes)``.
+
+    The payload crosses the worker boundary in the same picklable form
+    :func:`build_column_histograms` uses, so process and thread pools
+    behave identically; deserialize the result with
+    :func:`repro.core.serialize.deserialize_histogram`.
+    """
+    if kind not in HISTOGRAM_KINDS:
+        raise ValueError(f"unknown histogram kind {kind!r}; pick from {HISTOGRAM_KINDS}")
+    payload: _Payload = (
+        name,
+        np.asarray(frequencies, dtype=np.int64),
+        None if values is None else np.asarray(values, dtype=np.float64),
+        kind,
+        config,
+    )
+    return pool.submit(_build_one, payload)
 
 
 def default_workers() -> int:

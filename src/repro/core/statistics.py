@@ -105,6 +105,21 @@ class StatisticsManager:
         self._stats[table.name] = per_column
         return per_column
 
+    def set_statistics(self, table_name: str, column_name: str, stats) -> None:
+        """Install externally built statistics for one column.
+
+        The serving layer uses this to back a manager with live
+        register-blended statistics instead of the static histograms
+        :meth:`build_for_table` produces; anything implementing the
+        :class:`ColumnStatistics` estimate interface (``estimate_range``,
+        ``is_exact``) is accepted.
+        """
+        self._stats.setdefault(table_name, {})[column_name] = stats
+
+    def has_table(self, table_name: str) -> bool:
+        """True when statistics for ``table_name`` are already present."""
+        return table_name in self._stats
+
     def statistics(self, table_name: str, column_name: str) -> ColumnStatistics:
         return self._stats[table_name][column_name]
 

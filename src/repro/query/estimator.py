@@ -60,10 +60,17 @@ class CardinalityEstimator:
         self,
         table: Table,
         manager: Optional[StatisticsManager] = None,
+        build: Optional[bool] = None,
     ) -> None:
         self.table = table
         self.manager = manager if manager is not None else StatisticsManager()
-        self.manager.build_for_table(table)
+        # A manager that already holds this table's statistics (e.g. the
+        # statistics service's live register-backed manager) is used
+        # as-is; ``build=True``/``False`` overrides the inference.
+        if build is None:
+            build = not self.manager.has_table(table.name)
+        if build:
+            self.manager.build_for_table(table)
         self._joints: Dict[Tuple[str, str], JointStatistics] = {}
 
     # -- registration -----------------------------------------------------

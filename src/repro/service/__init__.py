@@ -1,0 +1,35 @@
+"""The statistics service: served θ,q-guaranteed estimates.
+
+The paper deploys its histograms *inside* a running system -- the
+optimizer consults them on every plan, delta merges refresh them in the
+background (Sec. 8).  This package is that serving layer for our
+reproduction:
+
+* :mod:`~repro.service.store` -- a thread-safe, generation-versioned
+  LRU cache over the on-disk :class:`~repro.core.catalog.StatisticsCatalog`;
+* :mod:`~repro.service.refresh` -- per-column maintenance registers and
+  the staleness-driven background rebuild scheduler;
+* :mod:`~repro.service.server` -- the request core plus an asyncio
+  JSON-lines TCP front end;
+* :mod:`~repro.service.client` -- a small blocking client;
+* :mod:`~repro.service.metrics` -- request/latency/cache/rebuild counters.
+"""
+
+from repro.service.client import ServiceError, StatisticsClient
+from repro.service.metrics import ServiceMetrics
+from repro.service.refresh import ColumnRegister, MaintenanceRegistry, RefreshScheduler
+from repro.service.server import StatisticsServer, StatisticsService, start_server_thread
+from repro.service.store import StatisticsStore
+
+__all__ = [
+    "ColumnRegister",
+    "MaintenanceRegistry",
+    "RefreshScheduler",
+    "ServiceError",
+    "ServiceMetrics",
+    "StatisticsClient",
+    "StatisticsServer",
+    "StatisticsService",
+    "StatisticsStore",
+    "start_server_thread",
+]

@@ -1,0 +1,99 @@
+"""A small blocking client for the statistics service.
+
+One socket, JSON lines, synchronous request/response -- the shape an
+optimizer thread or a CLI invocation wants.  Transport problems raise
+``OSError``; the server's structured failures raise
+:class:`ServiceError` with the server-side message.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Dict, Optional, Sequence
+
+from repro.query.estimator import CardinalityEstimate
+from repro.query.predicates import Predicate, RangePredicate
+from repro.service.protocol import decode_line, encode_line, predicate_to_wire
+
+__all__ = ["ServiceError", "StatisticsClient"]
+
+
+class ServiceError(RuntimeError):
+    """The server answered ``{"ok": false, ...}``."""
+
+
+class StatisticsClient:
+    """Blocking JSON-lines client; safe for one thread per instance."""
+
+    def __init__(self, host: str, port: int, timeout: float = 10.0) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._reader = self._sock.makefile("rb")
+        self._request_id = 0
+
+    # -- plumbing ---------------------------------------------------------
+
+    def call(self, op: str, **fields: Any) -> Dict[str, Any]:
+        """One round trip; returns the response fields on success."""
+        self._request_id += 1
+        request = {"op": op, "id": self._request_id, **fields}
+        self._sock.sendall(encode_line(request))
+        line = self._reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        response = decode_line(line)
+        if not response.get("ok"):
+            raise ServiceError(response.get("error", "unknown server error"))
+        return response
+
+    def close(self) -> None:
+        try:
+            self._reader.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "StatisticsClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- operations -------------------------------------------------------
+
+    def ping(self) -> bool:
+        return bool(self.call("ping").get("pong"))
+
+    def estimate(self, table: str, predicate: Predicate) -> CardinalityEstimate:
+        response = self.call(
+            "estimate", table=table, predicate=predicate_to_wire(predicate)
+        )
+        return CardinalityEstimate(
+            value=float(response["value"]), method=str(response["method"])
+        )
+
+    def estimate_range(
+        self, table: str, column: str, low: Any, high: Any
+    ) -> CardinalityEstimate:
+        """Convenience wrapper for the canonical ``[low, high)`` query."""
+        return self.estimate(table, RangePredicate(column, low, high))
+
+    def insert(self, table: str, column: str, codes: Sequence[int]) -> Dict[str, Any]:
+        return self.call("insert", table=table, column=column, codes=list(codes))
+
+    def build(self, table: str, kind: Optional[str] = None) -> Dict[str, Any]:
+        fields: Dict[str, Any] = {"table": table}
+        if kind is not None:
+            fields["kind"] = kind
+        return self.call("build", **fields)
+
+    def invalidate(
+        self, table: Optional[str] = None, column: Optional[str] = None
+    ) -> int:
+        fields: Dict[str, Any] = {}
+        if table is not None:
+            fields["table"] = table
+        if column is not None:
+            fields["column"] = column
+        return int(self.call("invalidate", **fields)["invalidated"])
+
+    def status(self) -> Dict[str, Any]:
+        return self.call("status")["status"]

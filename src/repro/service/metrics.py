@@ -1,0 +1,101 @@
+"""Service observability: request, latency, cache and rebuild counters.
+
+A deliberately small metrics surface -- the counters a ``status`` call
+reports and the throughput benchmark reads.  Everything is guarded by
+one lock; the increments are nanoseconds next to histogram estimation,
+and a single lock keeps :meth:`ServiceMetrics.snapshot` consistent.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator
+
+__all__ = ["LatencyStat", "ServiceMetrics"]
+
+
+class LatencyStat:
+    """Count / total / max of one operation's service time."""
+
+    __slots__ = ("count", "total_seconds", "max_seconds")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total_seconds = 0.0
+        self.max_seconds = 0.0
+
+    def record(self, seconds: float) -> None:
+        self.count += 1
+        self.total_seconds += seconds
+        if seconds > self.max_seconds:
+            self.max_seconds = seconds
+
+    def snapshot(self) -> Dict[str, float]:
+        mean = self.total_seconds / self.count if self.count else 0.0
+        return {
+            "count": self.count,
+            "mean_ms": mean * 1e3,
+            "max_ms": self.max_seconds * 1e3,
+        }
+
+
+class ServiceMetrics:
+    """Thread-safe counters for the statistics service.
+
+    Three families:
+
+    * per-op request/error counts and latencies (via :meth:`track`);
+    * free-form named counters (:meth:`incr`) -- rebuilds triggered /
+      completed / failed, rows inserted, estimates served stale;
+    * whatever the caller merges in at :meth:`snapshot` time (the store
+      contributes its cache hit/miss numbers there).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._requests: Dict[str, int] = {}
+        self._errors: Dict[str, int] = {}
+        self._latency: Dict[str, LatencyStat] = {}
+        self._counters: Dict[str, int] = {}
+
+    @contextmanager
+    def track(self, op: str) -> Iterator[None]:
+        """Time one request; errors are counted and re-raised."""
+        start = time.perf_counter()
+        try:
+            yield
+        except Exception:
+            with self._lock:
+                self._errors[op] = self._errors.get(op, 0) + 1
+            raise
+        finally:
+            elapsed = time.perf_counter() - start
+            with self._lock:
+                self._requests[op] = self._requests.get(op, 0) + 1
+                self._latency.setdefault(op, LatencyStat()).record(elapsed)
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    def counter(self, name: str) -> int:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def requests(self, op: str) -> int:
+        with self._lock:
+            return self._requests.get(op, 0)
+
+    def snapshot(self) -> Dict[str, object]:
+        """A JSON-compatible view of every counter."""
+        with self._lock:
+            return {
+                "requests": dict(self._requests),
+                "errors": dict(self._errors),
+                "latency": {
+                    op: stat.snapshot() for op, stat in self._latency.items()
+                },
+                "counters": dict(self._counters),
+            }

@@ -1,0 +1,127 @@
+"""Wire format of the statistics service.
+
+The service speaks JSON lines: one request object per line in, one
+response object per line out, over a plain TCP stream.  Requests carry
+an ``op`` plus op-specific fields (and an optional ``id`` echoed back);
+responses always carry ``ok`` and either the result fields or an
+``error`` string.  Predicates -- the interesting payload -- serialize to
+small tagged objects mirroring :mod:`repro.query.predicates`::
+
+    {"type": "range", "column": "price", "low": 10, "high": 99}
+    {"type": "eq", "column": "region", "value": 3}
+    {"type": "and", "children": [ ... ]}
+
+Everything here is pure data transformation shared by the asyncio server
+and the blocking client; neither networking nor locking lives in this
+module.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.query.predicates import (
+    AndPredicate,
+    EqualsPredicate,
+    Predicate,
+    RangePredicate,
+)
+
+__all__ = [
+    "predicate_to_wire",
+    "predicate_from_wire",
+    "encode_line",
+    "decode_line",
+    "error_response",
+    "ok_response",
+]
+
+
+def predicate_to_wire(predicate: Predicate) -> Dict[str, Any]:
+    """Serialize a predicate tree to a JSON-compatible dict."""
+    if isinstance(predicate, RangePredicate):
+        return {
+            "type": "range",
+            "column": predicate.column,
+            "low": predicate.low,
+            "high": predicate.high,
+        }
+    if isinstance(predicate, EqualsPredicate):
+        return {"type": "eq", "column": predicate.column, "value": predicate.value}
+    if isinstance(predicate, AndPredicate):
+        return {
+            "type": "and",
+            "children": [predicate_to_wire(child) for child in predicate.children],
+        }
+    raise TypeError(f"cannot serialize predicate {type(predicate).__name__}")
+
+
+def predicate_from_wire(data: Dict[str, Any]) -> Predicate:
+    """Rebuild a predicate tree from its wire dict."""
+    if not isinstance(data, dict):
+        raise ValueError(f"predicate must be an object, got {type(data).__name__}")
+    kind = data.get("type")
+    if kind == "range":
+        return RangePredicate(
+            column=_field(data, "column"),
+            low=_field(data, "low"),
+            high=_field(data, "high"),
+        )
+    if kind == "eq":
+        return EqualsPredicate(column=_field(data, "column"), value=_field(data, "value"))
+    if kind == "and":
+        children = _field(data, "children")
+        if not isinstance(children, list):
+            raise ValueError("'and' children must be a list")
+        return AndPredicate(*(predicate_from_wire(child) for child in children))
+    raise ValueError(f"unknown predicate type {kind!r}")
+
+
+def _field(data: Dict[str, Any], name: str) -> Any:
+    if name not in data:
+        raise ValueError(f"predicate is missing field {name!r}")
+    return data[name]
+
+
+def _coerce_scalar(value: Any) -> Any:
+    # Numpy integer scalars are not JSON serializable (float64 subclasses
+    # float, int64 does not subclass int); callers naturally pass both.
+    if hasattr(value, "item"):
+        return value.item()
+    raise TypeError(f"Object of type {type(value).__name__} is not JSON serializable")
+
+
+def encode_line(message: Dict[str, Any]) -> bytes:
+    """One wire line: compact JSON plus the newline terminator."""
+    return (
+        json.dumps(message, separators=(",", ":"), default=_coerce_scalar).encode(
+            "utf-8"
+        )
+        + b"\n"
+    )
+
+
+def decode_line(line: bytes) -> Dict[str, Any]:
+    """Parse one wire line into a dict; rejects non-object payloads."""
+    message = json.loads(line.decode("utf-8"))
+    if not isinstance(message, dict):
+        raise ValueError("wire messages must be JSON objects")
+    return message
+
+
+def ok_response(request: Dict[str, Any], **fields: Any) -> Dict[str, Any]:
+    """A success response, echoing the request id when present."""
+    response: Dict[str, Any] = {"ok": True}
+    if "id" in request:
+        response["id"] = request["id"]
+    response.update(fields)
+    return response
+
+
+def error_response(request: Dict[str, Any], error: str) -> Dict[str, Any]:
+    """A structured failure response (the connection stays usable)."""
+    response: Dict[str, Any] = {"ok": False, "error": error}
+    if isinstance(request, dict) and "id" in request:
+        response["id"] = request["id"]
+    return response

@@ -1,0 +1,388 @@
+"""Staleness-driven background rebuilds (the served delta merge).
+
+The paper refreshes statistics at delta-merge time (Sec. 8); between
+merges, Sec. 6.1.3's Morris registers absorb inserts.  This module runs
+that loop as a service concern:
+
+* :class:`ColumnRegister` -- the per-column serving state: a
+  :class:`~repro.core.maintenance.MaintainedHistogram` answering
+  estimates (base payload + Morris-blended inserts) plus an *exact*
+  per-code delta of inserts since the last build, which is what a
+  rebuild folds in (the Morris registers approximate mass for serving;
+  the delta is the write-optimized store that the merge consumes).
+* :class:`MaintenanceRegistry` -- a thread-safe name → register map.
+* :class:`RefreshScheduler` -- a daemon thread that polls staleness and
+  ships rebuilds to a :func:`repro.core.parallel.make_executor` pool.
+  The new histogram is swapped in atomically under the store's
+  generation counter while estimates keep serving the old one.
+
+Degradation ladder: a column with a fresh histogram answers within the
+θ,q bound; once inserts accumulate, estimates blend Morris counts (known
+relative error, surfaced via ``error_profile``); if a rebuild fails, the
+stale-but-blended register keeps answering and the failure is only a
+metrics counter -- an estimate request never errors because maintenance
+is behind.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import HistogramConfig
+from repro.core.histogram import Histogram
+from repro.core.maintenance import MaintainedHistogram
+from repro.core.parallel import make_executor, submit_histogram_build
+from repro.core.serialize import deserialize_histogram
+from repro.service.metrics import ServiceMetrics
+from repro.service.store import StatisticsStore
+
+__all__ = ["ColumnRegister", "MaintenanceRegistry", "RefreshScheduler"]
+
+_Key = Tuple[str, str]
+
+
+class ColumnRegister:
+    """Serving + maintenance state for one (table, column).
+
+    Parameters
+    ----------
+    table, column:
+        The key this register serves.
+    frequencies:
+        Per-code frequencies the current histogram was built from.
+    histogram:
+        The current base histogram (code domain).
+    counter_base:
+        Morris base for the insert registers.
+    rng:
+        Randomness source for the probabilistic increments.
+    """
+
+    def __init__(
+        self,
+        table: str,
+        column: str,
+        frequencies: np.ndarray,
+        histogram: Histogram,
+        counter_base: float = 1.05,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self.table = table
+        self.column = column
+        self._lock = threading.RLock()
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._counter_base = counter_base
+        self._base_freqs = np.asarray(frequencies, dtype=np.int64).copy()
+        self._delta = np.zeros_like(self._base_freqs)
+        self._maintained = MaintainedHistogram(
+            histogram, counter_base=counter_base, rng=self._rng
+        )
+        self._rebuilds = 0
+
+    @property
+    def key(self) -> _Key:
+        return (self.table, self.column)
+
+    # -- serving ----------------------------------------------------------
+
+    def estimate(self, c1: float, c2: float) -> float:
+        with self._lock:
+            return self._maintained.estimate(c1, c2)
+
+    def histogram(self) -> Histogram:
+        with self._lock:
+            return self._maintained.histogram
+
+    # -- updates ----------------------------------------------------------
+
+    def insert(self, code: int) -> None:
+        """Record one inserted row (raises outside the code domain)."""
+        with self._lock:
+            self._maintained.insert(code)
+            self._delta[code] += 1
+
+    def insert_many(self, codes) -> int:
+        """Record many inserted rows; returns the count recorded.
+
+        Validation is all-or-nothing: one out-of-domain code rejects the
+        whole batch before any register is touched.
+        """
+        codes = np.asarray(codes, dtype=np.int64)
+        if codes.size == 0:
+            return 0
+        with self._lock:
+            lo, hi = int(self._maintained.histogram.lo), int(
+                self._maintained.histogram.hi
+            )
+            if codes.min() < lo or codes.max() >= hi:
+                raise ValueError(
+                    f"insert batch contains codes outside the histogram "
+                    f"domain [{lo}, {hi}); run a delta merge to extend "
+                    "the dictionary"
+                )
+            self._maintained.insert_many(codes)
+            np.add.at(self._delta, codes, 1)
+            return int(codes.size)
+
+    # -- rebuild ----------------------------------------------------------
+
+    def staleness(self) -> float:
+        with self._lock:
+            return self._maintained.staleness()
+
+    def needs_rebuild(self, threshold: float = 0.2) -> bool:
+        with self._lock:
+            return self._maintained.needs_rebuild(threshold)
+
+    def snapshot_for_rebuild(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The frequencies a rebuild should use.
+
+        Returns ``(merged, delta_snapshot)``: the base frequencies plus
+        every insert recorded so far, and the delta that snapshot
+        includes (needed at swap time to tell which inserts the new
+        histogram already covers).
+        """
+        with self._lock:
+            delta = self._delta.copy()
+            return self._base_freqs + delta, delta
+
+    def swap(self, histogram: Histogram, merged: np.ndarray, covered_delta: np.ndarray) -> None:
+        """Install a freshly built histogram.
+
+        ``merged``/``covered_delta`` are the arrays
+        :meth:`snapshot_for_rebuild` returned to the rebuild.  Inserts
+        that arrived *while the build ran* are replayed into the new
+        registers, so no recorded row is ever dropped; everything the
+        build covered becomes the new exact base.
+        """
+        with self._lock:
+            fresh = MaintainedHistogram(
+                histogram, counter_base=self._counter_base, rng=self._rng
+            )
+            remaining = self._delta - covered_delta
+            if remaining.any():
+                fresh.insert_counts(remaining)
+            self._base_freqs = np.asarray(merged, dtype=np.int64)
+            self._delta = remaining
+            self._maintained = fresh
+            self._rebuilds += 1
+
+    @property
+    def rebuilds(self) -> int:
+        with self._lock:
+            return self._rebuilds
+
+    @property
+    def inserts_recorded(self) -> int:
+        with self._lock:
+            return self._maintained.inserts_recorded
+
+    def status(self) -> Dict[str, object]:
+        with self._lock:
+            profile = self._maintained.error_profile()
+            return {
+                "staleness": profile["staleness"],
+                "inserts": self._maintained.inserts_recorded,
+                "morris_insert_estimate": self._maintained.morris_insert_total(),
+                "base_total": self._maintained.base_total,
+                "base_theta": profile["base_theta"],
+                "base_q": profile["base_q"],
+                "insert_relative_std": profile["insert_relative_std"],
+                "rebuilds": self._rebuilds,
+                "buckets": len(self._maintained.histogram),
+                "kind": self._maintained.histogram.kind,
+            }
+
+
+class MaintenanceRegistry:
+    """A thread-safe map of (table, column) → :class:`ColumnRegister`."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._registers: Dict[_Key, ColumnRegister] = {}
+
+    def register(self, register: ColumnRegister) -> None:
+        with self._lock:
+            self._registers[register.key] = register
+
+    def get(self, table: str, column: str) -> Optional[ColumnRegister]:
+        with self._lock:
+            return self._registers.get((table, column))
+
+    def remove(self, table: str, column: str) -> None:
+        with self._lock:
+            self._registers.pop((table, column), None)
+
+    def items(self) -> List[Tuple[_Key, ColumnRegister]]:
+        with self._lock:
+            return list(self._registers.items())
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._registers)
+
+
+class RefreshScheduler:
+    """Watch register staleness; rebuild and swap in the background.
+
+    Parameters
+    ----------
+    store:
+        The serving store; completed rebuilds are published through
+        :meth:`StatisticsStore.put` (bumping the key's generation).
+    registry:
+        The registers to watch.
+    threshold:
+        Staleness fraction that triggers a rebuild.
+    interval:
+        Poll period of the background thread, seconds.
+    kind, config:
+        Histogram variant/parameters for rebuilds.
+    executor, max_workers:
+        Pool shape (see :func:`repro.core.parallel.make_executor`);
+        thread pools are the default -- rebuild traffic is a few columns
+        at a time and skips process spawn overhead.
+    metrics:
+        Counter sink (``rebuilds_triggered`` / ``rebuilds_completed`` /
+        ``rebuilds_failed``).
+    on_rebuild:
+        Optional callback ``(register, histogram_or_None)`` after each
+        attempt -- tests hook this to observe convergence.
+    """
+
+    def __init__(
+        self,
+        store: StatisticsStore,
+        registry: MaintenanceRegistry,
+        threshold: float = 0.2,
+        interval: float = 0.25,
+        kind: str = "V8DincB",
+        config: HistogramConfig = HistogramConfig(),
+        executor: str = "thread",
+        max_workers: Optional[int] = None,
+        metrics: Optional[ServiceMetrics] = None,
+        on_rebuild: Optional[Callable[[ColumnRegister, Optional[Histogram]], None]] = None,
+    ) -> None:
+        if not 0 < threshold < 1:
+            raise ValueError("threshold must be in (0, 1)")
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.store = store
+        self.registry = registry
+        self.threshold = threshold
+        self.interval = interval
+        self.kind = kind
+        self.config = config
+        self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self._on_rebuild = on_rebuild
+        self._pool = make_executor(executor, max_workers)
+        self._in_flight: Dict[_Key, object] = {}
+        # Reentrant: add_done_callback runs _finish inline on this very
+        # thread when the build finished before the callback attached.
+        self._lock = threading.RLock()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle --------------------------------------------------------
+
+    def start(self) -> None:
+        """Start the polling thread (idempotent)."""
+        if self._thread is not None and self._thread.is_alive():
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="statistics-refresh", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Stop polling and shut the pool down (waits for in-flight builds)."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout)
+            self._thread = None
+        self._pool.shutdown(wait=True)
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            try:
+                self.check_now(block=False)
+            except Exception:
+                # The poll loop must survive anything; failures of
+                # individual rebuilds are already counted per key.
+                self.metrics.incr("refresh_poll_errors")
+
+    # -- the rebuild loop -------------------------------------------------
+
+    def check_now(self, block: bool = True) -> List[_Key]:
+        """One staleness sweep; returns the keys whose rebuild was started.
+
+        ``block=True`` (the deterministic mode tests use) waits for
+        those rebuilds to finish before returning.
+        """
+        started: List[Tuple[_Key, threading.Event]] = []
+        for key, register in self.registry.items():
+            with self._lock:
+                if key in self._in_flight:
+                    continue
+                if not register.needs_rebuild(self.threshold):
+                    continue
+                merged, covered = register.snapshot_for_rebuild()
+                self.metrics.incr("rebuilds_triggered")
+                try:
+                    future = submit_histogram_build(
+                        self._pool,
+                        name=f"{key[0]}.{key[1]}",
+                        frequencies=merged,
+                        kind=self.kind,
+                        config=self.config,
+                    )
+                except Exception:
+                    # Same degradation as a failed build: the register
+                    # keeps serving, the next sweep retries.
+                    self.metrics.incr("rebuilds_failed")
+                    continue
+                done = threading.Event()
+                self._in_flight[key] = future
+                future.add_done_callback(
+                    lambda fut, key=key, register=register, merged=merged,
+                    covered=covered, done=done: self._finish(
+                        key, register, merged, covered, fut, done
+                    )
+                )
+                started.append((key, done))
+        if block:
+            # Wait on the post-swap event, not the future: result() can
+            # return before the done callback has swapped the register.
+            for _, done in started:
+                done.wait()
+        return [key for key, _ in started]
+
+    def _finish(
+        self, key: _Key, register: ColumnRegister, merged, covered, future, done
+    ) -> None:
+        histogram: Optional[Histogram] = None
+        try:
+            _, data = future.result()
+            histogram = deserialize_histogram(data)
+            register.swap(histogram, merged, covered)
+            self.store.put(key[0], key[1], histogram)
+            self.metrics.incr("rebuilds_completed")
+        except Exception:
+            # Graceful degradation: the register keeps serving the stale
+            # histogram with Morris-blended inserts; nothing propagates
+            # to request traffic.
+            self.metrics.incr("rebuilds_failed")
+        finally:
+            with self._lock:
+                self._in_flight.pop(key, None)
+            if self._on_rebuild is not None:
+                self._on_rebuild(register, histogram)
+            done.set()
+
+    def in_flight(self) -> int:
+        with self._lock:
+            return len(self._in_flight)

@@ -1,0 +1,419 @@
+"""The statistics service: request core + asyncio TCP front end.
+
+:class:`StatisticsService` is the synchronous heart -- it owns the
+store, the maintenance registry and the metrics, registers tables,
+builds their statistics and answers requests.  The estimate path runs
+through :class:`repro.query.estimator.CardinalityEstimator`, backed by a
+:class:`~repro.core.statistics.StatisticsManager` whose worthy columns
+are *live* register-blended statistics (so estimates include Morris
+counts for post-build inserts) and whose unworthy columns keep exact
+per-value counts, exactly as Sec. 8.2 prescribes.
+
+:class:`StatisticsServer` puts that core behind a JSON-lines TCP
+endpoint (one request object per line, one response per line; see
+:mod:`repro.service.protocol`).  Request handling hops to a worker
+thread so a slow estimate never stalls the accept loop.  A malformed or
+failing request produces a structured ``{"ok": false}`` response -- the
+connection, and every other client, keeps going.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.catalog import StatisticsCatalog
+from repro.core.config import HistogramConfig
+from repro.core.parallel import build_column_histograms
+from repro.core.statistics import ColumnStatistics, StatisticsManager
+from repro.dictionary.table import Table, histogram_worthy
+from repro.query.estimator import CardinalityEstimate, CardinalityEstimator
+from repro.service.metrics import ServiceMetrics
+from repro.service.protocol import (
+    decode_line,
+    encode_line,
+    error_response,
+    ok_response,
+    predicate_from_wire,
+)
+from repro.service.refresh import ColumnRegister, MaintenanceRegistry
+from repro.service.store import StatisticsStore
+
+__all__ = [
+    "RegisterStatistics",
+    "StatisticsService",
+    "StatisticsServer",
+    "start_server_thread",
+]
+
+
+class RegisterStatistics:
+    """Live column statistics backed by a maintenance register.
+
+    Duck-types the :class:`~repro.core.statistics.ColumnStatistics`
+    estimate interface; every call reads the register's *current*
+    maintained histogram, so a background swap is visible to the very
+    next estimate without rebuilding the estimator.
+    """
+
+    is_exact = False
+
+    def __init__(self, register: ColumnRegister) -> None:
+        self._register = register
+
+    def estimate_range(self, c1: int, c2: int) -> float:
+        return self._register.estimate(float(c1), float(c2))
+
+    def size_bytes(self) -> int:
+        return self._register.histogram().size_bytes()
+
+
+class StatisticsService:
+    """Tables, statistics and the request operations of the service.
+
+    Parameters
+    ----------
+    catalog_root:
+        Directory for the backing :class:`StatisticsCatalog`.
+    kind, config:
+        Default histogram variant/parameters for builds.
+    cache_capacity:
+        LRU capacity of the serving store.
+    build_executor, build_workers:
+        Pool shape for whole-table builds (threads by default: a serving
+        process should not fork a process pool per ``build`` request).
+    counter_base:
+        Morris base for the maintenance registers.
+    seed:
+        Seed for the registers' randomness (tests pin it).
+    """
+
+    def __init__(
+        self,
+        catalog_root: Path,
+        kind: str = "V8DincB",
+        config: HistogramConfig = HistogramConfig(),
+        cache_capacity: int = 128,
+        build_executor: str = "thread",
+        build_workers: Optional[int] = None,
+        counter_base: float = 1.05,
+        seed: Optional[int] = None,
+    ) -> None:
+        self.kind = kind
+        self.config = config
+        self.store = StatisticsStore(
+            StatisticsCatalog(Path(catalog_root)), capacity=cache_capacity
+        )
+        self.registry = MaintenanceRegistry()
+        self.metrics = ServiceMetrics()
+        self._build_executor = build_executor
+        self._build_workers = build_workers
+        self._counter_base = counter_base
+        self._rng = np.random.default_rng(seed)
+        self._lock = threading.RLock()
+        self._tables: Dict[str, Table] = {}
+        self._estimators: Dict[str, CardinalityEstimator] = {}
+
+    # -- table registration ------------------------------------------------
+
+    def add_table(self, table: Table, build: bool = True) -> Dict[str, int]:
+        """Register a table; by default build and publish its statistics."""
+        with self._lock:
+            self._tables[table.name] = table
+        if build:
+            return self.build(table.name)
+        return {"built": 0, "exact": 0}
+
+    def tables(self) -> Tuple[str, ...]:
+        with self._lock:
+            return tuple(sorted(self._tables))
+
+    # -- operations --------------------------------------------------------
+
+    def build(self, table_name: str, kind: Optional[str] = None) -> Dict[str, int]:
+        """(Re)build statistics for every column of a registered table.
+
+        Worthy columns get fresh histograms (fanned across the build
+        pool), published through the store (generation bump) and wrapped
+        in new maintenance registers; tiny/unique columns keep exact
+        counts.  The estimate path picks the new statistics up
+        atomically when the estimator is swapped at the end.
+        """
+        with self.metrics.track("build"):
+            with self._lock:
+                table = self._tables.get(table_name)
+            if table is None:
+                raise KeyError(f"unknown table {table_name!r}")
+            kind = kind or self.kind
+            worthy = [column for column in table if histogram_worthy(column)]
+            histograms = build_column_histograms(
+                worthy,
+                kind=kind,
+                config=self.config,
+                max_workers=self._build_workers,
+                executor=self._build_executor,
+            )
+            manager = StatisticsManager(kind=kind, config=self.config)
+            exact = 0
+            for column in table:
+                histogram = histograms.get(column.name)
+                if histogram is not None:
+                    self.store.put(table_name, column.name, histogram)
+                    register = ColumnRegister(
+                        table_name,
+                        column.name,
+                        np.asarray(column.frequencies, dtype=np.int64),
+                        histogram,
+                        counter_base=self._counter_base,
+                        rng=np.random.default_rng(self._rng.integers(2**63)),
+                    )
+                    self.registry.register(register)
+                    manager.set_statistics(
+                        table_name, column.name, RegisterStatistics(register)
+                    )
+                else:
+                    exact += 1
+                    manager.set_statistics(
+                        table_name,
+                        column.name,
+                        ColumnStatistics(
+                            column=column,
+                            exact_counts=np.asarray(
+                                column.frequencies, dtype=np.int64
+                            ),
+                        ),
+                    )
+            estimator = CardinalityEstimator(table, manager, build=False)
+            with self._lock:
+                self._estimators[table_name] = estimator
+            return {"built": len(histograms), "exact": exact}
+
+    def estimate(self, table_name: str, predicate) -> CardinalityEstimate:
+        """Predicate cardinality via the served statistics."""
+        with self.metrics.track("estimate"):
+            with self._lock:
+                estimator = self._estimators.get(table_name)
+            if estimator is None:
+                raise KeyError(
+                    f"no statistics served for table {table_name!r}; "
+                    "build it first"
+                )
+            return estimator.estimate(predicate)
+
+    def insert(self, table_name: str, column_name: str, codes) -> Dict[str, Any]:
+        """Route inserted rows to the column's maintenance register."""
+        with self.metrics.track("insert"):
+            register = self.registry.get(table_name, column_name)
+            if register is None:
+                raise KeyError(
+                    f"no maintained statistics for {table_name}.{column_name}"
+                )
+            inserted = register.insert_many(np.atleast_1d(codes))
+            self.metrics.incr("rows_inserted", inserted)
+            return {"inserted": inserted, "staleness": register.staleness()}
+
+    def invalidate(
+        self, table: Optional[str] = None, column: Optional[str] = None
+    ) -> int:
+        """Bump store generations (drop cached deserialized histograms)."""
+        with self.metrics.track("invalidate"):
+            return self.store.invalidate(table, column)
+
+    def status(self) -> Dict[str, Any]:
+        """Metrics, cache counters and per-column maintenance state."""
+        with self.metrics.track("status"):
+            columns = {}
+            for (table, column), register in self.registry.items():
+                state = register.status()
+                state["generation"] = self.store.generation(table, column)
+                columns[f"{table}.{column}"] = state
+            return {
+                "tables": list(self.tables()),
+                "metrics": self.metrics.snapshot(),
+                "cache": self.store.cache_stats(),
+                "columns": columns,
+            }
+
+    # -- wire dispatch -----------------------------------------------------
+
+    def handle(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Serve one wire request; always returns a response object."""
+        try:
+            op = request.get("op")
+            if op == "ping":
+                return ok_response(request, pong=True)
+            if op == "estimate":
+                predicate = predicate_from_wire(_require(request, "predicate"))
+                estimate = self.estimate(_require(request, "table"), predicate)
+                return ok_response(
+                    request, value=estimate.value, method=estimate.method
+                )
+            if op == "insert":
+                codes = request.get("codes")
+                if codes is None:
+                    codes = [_require(request, "code")]
+                result = self.insert(
+                    _require(request, "table"), _require(request, "column"), codes
+                )
+                return ok_response(request, **result)
+            if op == "build":
+                result = self.build(
+                    _require(request, "table"), kind=request.get("kind")
+                )
+                return ok_response(request, **result)
+            if op == "invalidate":
+                count = self.invalidate(request.get("table"), request.get("column"))
+                return ok_response(request, invalidated=count)
+            if op == "status":
+                return ok_response(request, status=self.status())
+            return error_response(request, f"unknown op {op!r}")
+        except Exception as error:  # noqa: BLE001 -- every failure is a response
+            return error_response(request, f"{type(error).__name__}: {error}")
+
+
+def _require(request: Dict[str, Any], field: str) -> Any:
+    if field not in request:
+        raise ValueError(f"request is missing field {field!r}")
+    return request[field]
+
+
+class StatisticsServer:
+    """JSON-lines TCP endpoint over a :class:`StatisticsService`."""
+
+    def __init__(
+        self,
+        service: StatisticsService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound (host, port); valid after :meth:`start`."""
+        if self._server is None:
+            raise RuntimeError("server is not started")
+        return self._server.sockets[0].getsockname()[:2]
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                try:
+                    request = decode_line(line)
+                except Exception as error:
+                    response = error_response({}, f"bad request: {error}")
+                else:
+                    # Off the event loop: estimates and inserts take
+                    # locks and run numpy; the accept loop stays free.
+                    response = await asyncio.to_thread(self.service.handle, request)
+                writer.write(encode_line(response))
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+
+class ServerHandle:
+    """A server running on a dedicated event-loop thread."""
+
+    def __init__(
+        self,
+        server: StatisticsServer,
+        loop: asyncio.AbstractEventLoop,
+        thread: threading.Thread,
+    ) -> None:
+        self.server = server
+        self._loop = loop
+        self._thread = thread
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self.server.address
+
+    def stop(self, timeout: float = 5.0) -> None:
+        asyncio.run_coroutine_threadsafe(self.server.stop(), self._loop).result(
+            timeout
+        )
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout)
+        self._loop.close()
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+def start_server_thread(
+    service: StatisticsService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    timeout: float = 10.0,
+) -> ServerHandle:
+    """Start a :class:`StatisticsServer` on a background thread.
+
+    Returns a handle exposing the bound ``address`` and ``stop()``;
+    the default ``port=0`` binds an ephemeral port.  This is what the
+    tests and the throughput benchmark use to host a real TCP server
+    inside one process.
+    """
+    server = StatisticsServer(service, host, port)
+    loop = asyncio.new_event_loop()
+    started = threading.Event()
+    failure: Dict[str, BaseException] = {}
+
+    def run() -> None:
+        asyncio.set_event_loop(loop)
+        try:
+            loop.run_until_complete(server.start())
+        except BaseException as error:  # noqa: BLE001 -- surfaced to the caller
+            failure["error"] = error
+            started.set()
+            return
+        started.set()
+        loop.run_forever()
+
+    thread = threading.Thread(target=run, name="statistics-server", daemon=True)
+    thread.start()
+    if not started.wait(timeout):
+        raise RuntimeError("statistics server did not start in time")
+    if "error" in failure:
+        raise RuntimeError("statistics server failed to start") from failure["error"]
+    return ServerHandle(server, loop, thread)

@@ -1,0 +1,250 @@
+"""Thread-safe, generation-versioned histogram store.
+
+:class:`StatisticsStore` layers serving concerns over the on-disk
+:class:`~repro.core.catalog.StatisticsCatalog`:
+
+* an LRU cache of *deserialized* histograms, so concurrent estimate
+  traffic never re-parses bytes on the hot path;
+* per-key read/write locks -- estimate reads share a key, a rebuild's
+  ``put`` excludes them only for the instant of the swap;
+* a generation counter per key.  Every ``put``/``invalidate`` bumps the
+  generation, and a cache fill is discarded if the generation moved
+  while the bytes were being parsed -- the invariant that makes
+  background rebuild swaps atomic: a reader either sees the complete old
+  histogram or the complete new one, never a torn mixture and never a
+  resurrected stale cache entry.
+
+The store owns all catalog access; the underlying
+:class:`StatisticsCatalog` is single-threaded by design, so every
+catalog call goes through one internal lock.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.catalog import StatisticsCatalog
+from repro.core.histogram import Histogram
+
+__all__ = ["ReadWriteLock", "StatisticsStore"]
+
+_Key = Tuple[str, str]
+
+
+class ReadWriteLock:
+    """A writer-preferring readers/writer lock.
+
+    Many readers may hold the lock together; a writer waits for readers
+    to drain and then holds it exclusively.  Arriving readers queue
+    behind a waiting writer so rebuild swaps are not starved by estimate
+    traffic.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+
+    def acquire_read(self) -> None:
+        with self._cond:
+            while self._writer or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    def acquire_write(self) -> None:
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer = True
+
+    def release_write(self) -> None:
+        with self._cond:
+            self._writer = False
+            self._cond.notify_all()
+
+    class _Guard:
+        def __init__(self, acquire, release):
+            self._acquire, self._release = acquire, release
+
+        def __enter__(self):
+            self._acquire()
+            return self
+
+        def __exit__(self, *exc):
+            self._release()
+            return False
+
+    def read(self) -> "ReadWriteLock._Guard":
+        return self._Guard(self.acquire_read, self.release_read)
+
+    def write(self) -> "ReadWriteLock._Guard":
+        return self._Guard(self.acquire_write, self.release_write)
+
+
+class StatisticsStore:
+    """A concurrent, cached, versioned view of a statistics catalog.
+
+    Parameters
+    ----------
+    catalog:
+        The backing on-disk catalog.  The store assumes exclusive
+        ownership; leave the catalog's own ``cache_size`` at 0 or every
+        histogram is held twice.
+    capacity:
+        Maximum number of deserialized histograms kept in memory.
+    """
+
+    def __init__(self, catalog: StatisticsCatalog, capacity: int = 128) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._catalog = catalog
+        self._capacity = capacity
+        # _mutex guards the maps below *and* all catalog access.
+        self._mutex = threading.Lock()
+        self._cache: "OrderedDict[_Key, Tuple[int, Histogram]]" = OrderedDict()
+        self._generations: Dict[_Key, int] = {}
+        self._key_locks: Dict[_Key, ReadWriteLock] = {}
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    # -- locking ----------------------------------------------------------
+
+    def _key_lock(self, key: _Key) -> ReadWriteLock:
+        with self._mutex:
+            lock = self._key_locks.get(key)
+            if lock is None:
+                lock = self._key_locks[key] = ReadWriteLock()
+            return lock
+
+    # -- reads ------------------------------------------------------------
+
+    def get(self, table: str, column: str) -> Histogram:
+        """The current histogram for a key, cached; ``KeyError`` if absent."""
+        key = (table, column)
+        lock = self._key_lock(key)
+        with lock.read():
+            with self._mutex:
+                generation = self._generations.get(key, 0)
+                cached = self._cache.get(key)
+                if cached is not None and cached[0] == generation:
+                    self._cache.move_to_end(key)
+                    self._hits += 1
+                    return cached[1]
+                self._misses += 1
+                data_histogram = None
+                if key in self._catalog:
+                    # Load under the mutex: catalog internals are not
+                    # thread-safe, and the per-key read lock already
+                    # orders us against writers of this key.
+                    data_histogram = self._catalog.get(table, column)
+            if data_histogram is None:
+                raise KeyError(f"no statistics for {table}.{column}")
+            with self._mutex:
+                # Cache only if nobody bumped the generation while we
+                # were off the mutex (between the two blocks).
+                if self._generations.get(key, 0) == generation:
+                    self._cache_store(key, generation, data_histogram)
+            return data_histogram
+
+    def generation(self, table: str, column: str) -> int:
+        with self._mutex:
+            return self._generations.get((table, column), 0)
+
+    def __contains__(self, key: _Key) -> bool:
+        with self._mutex:
+            return key in self._catalog
+
+    def keys(self) -> List[_Key]:
+        with self._mutex:
+            return list(self._catalog.entries())
+
+    # -- writes -----------------------------------------------------------
+
+    def put(self, table: str, column: str, histogram: Histogram) -> int:
+        """Persist and atomically publish a new histogram version.
+
+        Returns the new generation.  Readers in flight keep the version
+        they already resolved; the next ``get`` serves the new one.
+        """
+        key = (table, column)
+        lock = self._key_lock(key)
+        with lock.write():
+            with self._mutex:
+                self._catalog.put(table, column, histogram)
+                generation = self._generations.get(key, 0) + 1
+                self._generations[key] = generation
+                self._cache_store(key, generation, histogram)
+                return generation
+
+    def invalidate(self, table: Optional[str] = None, column: Optional[str] = None) -> int:
+        """Bump generations and drop cached histograms.
+
+        Scope narrows with the arguments: no arguments invalidates every
+        key, ``table`` alone invalidates that table's columns, both
+        pinpoint one key.  Returns the number of keys invalidated.  The
+        on-disk bytes are untouched -- the next ``get`` re-reads them.
+        """
+        with self._mutex:
+            if table is None and column is not None:
+                raise ValueError("cannot invalidate a column without its table")
+            keys = [
+                key
+                for key in set(self._catalog.entries()) | set(self._generations)
+                if (table is None or key[0] == table)
+                and (column is None or key[1] == column)
+            ]
+            for key in keys:
+                self._generations[key] = self._generations.get(key, 0) + 1
+                self._cache.pop(key, None)
+            return len(keys)
+
+    def remove(self, table: str, column: str) -> None:
+        """Drop one key from cache, generations and the catalog."""
+        key = (table, column)
+        lock = self._key_lock(key)
+        with lock.write():
+            with self._mutex:
+                self._cache.pop(key, None)
+                self._generations.pop(key, None)
+                self._catalog.remove(table, column)
+
+    # -- cache ------------------------------------------------------------
+
+    def _cache_store(self, key: _Key, generation: int, histogram: Histogram) -> None:
+        self._cache[key] = (generation, histogram)
+        self._cache.move_to_end(key)
+        while len(self._cache) > self._capacity:
+            self._cache.popitem(last=False)
+            self._evictions += 1
+
+    def cache_stats(self) -> Dict[str, int]:
+        with self._mutex:
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+                "size": len(self._cache),
+                "capacity": self._capacity,
+            }
+
+    def __repr__(self) -> str:
+        stats = self.cache_stats()
+        return (
+            f"StatisticsStore(entries={len(self.keys())}, "
+            f"cached={stats['size']}/{stats['capacity']}, "
+            f"hits={stats['hits']}, misses={stats['misses']})"
+        )

@@ -71,6 +71,115 @@ class TestCatalog:
         with pytest.raises(ValueError):
             StatisticsCatalog(tmp_path)
 
+    def test_sanitization_collisions_stay_distinct(self, tmp_path, histogram, rng):
+        # "a.b"/"c" and "a_b"/"c" sanitize to the same stem; the digest
+        # must keep them in separate files.
+        catalog = StatisticsCatalog(tmp_path)
+        density = AttributeDensity(rng.integers(1, 50, size=100))
+        other = build_histogram(density, kind="1DincB", theta=8)
+        catalog.put("a.b", "c", histogram)
+        catalog.put("a_b", "c", other)
+        assert catalog.get("a.b", "c").kind == histogram.kind
+        assert catalog.get("a_b", "c").kind == "1DincB"
+        reopened = StatisticsCatalog(tmp_path)
+        assert reopened.get("a.b", "c").kind == histogram.kind
+        assert reopened.get("a_b", "c").kind == "1DincB"
+
+    def test_legacy_files_stay_loadable(self, tmp_path, histogram):
+        # A pre-digest catalog named files <table>.<column>.hist and the
+        # manifest is authoritative; such entries must keep loading, and
+        # a re-put must migrate them without breaking reads.
+        from repro.core.serialize import serialize_histogram
+
+        (tmp_path / "orders.customer.hist").write_bytes(
+            serialize_histogram(histogram)
+        )
+        (tmp_path / "MANIFEST").write_text("orders\tcustomer\torders.customer.hist\n")
+        catalog = StatisticsCatalog(tmp_path)
+        assert catalog.get("orders", "customer").kind == histogram.kind
+        catalog.put("orders", "customer", histogram)
+        assert not (tmp_path / "orders.customer.hist").exists()  # migrated
+        assert StatisticsCatalog(tmp_path).get("orders", "customer").kind == histogram.kind
+
+    def test_tab_and_newline_names_rejected(self, tmp_path, histogram):
+        catalog = StatisticsCatalog(tmp_path)
+        for bad in ("or\tders", "or\nders", "or\rders"):
+            with pytest.raises(ValueError):
+                catalog.put(bad, "c", histogram)
+            with pytest.raises(ValueError):
+                catalog.put("t", bad, histogram)
+        # Nothing was persisted, so reopening cannot hit a corrupt line.
+        assert len(StatisticsCatalog(tmp_path)) == 0
+
+
+class TestGetCache:
+    def test_cache_skips_reparse(self, tmp_path, histogram, monkeypatch):
+        catalog = StatisticsCatalog(tmp_path, cache_size=4)
+        catalog.put("t", "c", histogram)
+        calls = []
+        import repro.core.catalog as catalog_module
+
+        real = catalog_module.deserialize_histogram
+        monkeypatch.setattr(
+            catalog_module,
+            "deserialize_histogram",
+            lambda data: calls.append(1) or real(data),
+        )
+        first = catalog.get("t", "c")
+        second = catalog.get("t", "c")
+        # put() seeded the cache, so no deserialization happened at all,
+        # and both reads return the same object.
+        assert calls == []
+        assert first is second
+        assert catalog.cache_info()["hits"] >= 1
+
+    def test_cold_get_fills_cache(self, tmp_path, histogram, monkeypatch):
+        StatisticsCatalog(tmp_path).put("t", "c", histogram)
+        catalog = StatisticsCatalog(tmp_path, cache_size=4)
+        calls = []
+        import repro.core.catalog as catalog_module
+
+        real = catalog_module.deserialize_histogram
+        monkeypatch.setattr(
+            catalog_module,
+            "deserialize_histogram",
+            lambda data: calls.append(1) or real(data),
+        )
+        catalog.get("t", "c")
+        catalog.get("t", "c")
+        assert len(calls) == 1
+
+    def test_cache_disabled_by_default(self, tmp_path, histogram):
+        StatisticsCatalog(tmp_path).put("t", "c", histogram)
+        catalog = StatisticsCatalog(tmp_path)
+        assert catalog.get("t", "c") is not catalog.get("t", "c")
+        assert catalog.cache_info() == {
+            "hits": 0, "misses": 0, "size": 0, "capacity": 0,
+        }
+
+    def test_cache_evicts_lru(self, tmp_path, histogram):
+        catalog = StatisticsCatalog(tmp_path, cache_size=2)
+        for i in range(3):
+            catalog.put("t", f"c{i}", histogram)
+        info = catalog.cache_info()
+        assert info["size"] == 2
+
+    def test_put_and_remove_keep_cache_fresh(self, tmp_path, histogram, rng):
+        catalog = StatisticsCatalog(tmp_path, cache_size=4)
+        catalog.put("t", "c", histogram)
+        catalog.get("t", "c")
+        density = AttributeDensity(rng.integers(1, 50, size=100))
+        other = build_histogram(density, kind="1DincB", theta=8)
+        catalog.put("t", "c", other)
+        assert catalog.get("t", "c").kind == "1DincB"
+        catalog.remove("t", "c")
+        with pytest.raises(KeyError):
+            catalog.get("t", "c")
+
+    def test_negative_cache_size_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            StatisticsCatalog(tmp_path, cache_size=-1)
+
 
 class TestBatchMode:
     def test_batch_defers_manifest_to_one_write(self, tmp_path, histogram):

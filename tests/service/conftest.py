@@ -1,0 +1,39 @@
+"""Shared fixtures for the statistics-service suite."""
+
+import numpy as np
+import pytest
+
+from repro.dictionary.column import DictionaryEncodedColumn
+from repro.dictionary.table import Table
+from repro.service.server import StatisticsService
+
+
+@pytest.fixture
+def served_table(rng):
+    """A small table with two worthy columns and one exact-count column."""
+    table = Table("orders")
+    table.add_column(
+        DictionaryEncodedColumn.from_values(
+            rng.zipf(1.5, size=4000).clip(max=300), name="amount"
+        )
+    )
+    table.add_column(
+        DictionaryEncodedColumn.from_values(
+            rng.integers(0, 120, size=4000), name="region"
+        )
+    )
+    # < 20 distinct values: fails the worthiness filter, gets exact counts.
+    table.add_column(
+        DictionaryEncodedColumn.from_values(
+            rng.integers(0, 5, size=4000), name="flag"
+        )
+    )
+    return table
+
+
+@pytest.fixture
+def service(tmp_path, served_table):
+    """A built service over ``served_table`` with pinned randomness."""
+    service = StatisticsService(tmp_path / "catalog", seed=1234)
+    service.add_table(served_table)
+    return service

@@ -1,0 +1,237 @@
+"""Maintenance registers and the staleness-driven rebuild loop."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.builder import build_histogram
+from repro.core.catalog import StatisticsCatalog
+from repro.core.config import HistogramConfig
+from repro.core.density import AttributeDensity
+from repro.core.qerror import qerror
+from repro.experiments.validate import certify
+from repro.service.metrics import ServiceMetrics
+from repro.service.refresh import ColumnRegister, MaintenanceRegistry, RefreshScheduler
+from repro.service.store import StatisticsStore
+
+
+def _register(rng, base=None, theta=16.0, seed=0):
+    base = base if base is not None else rng.integers(20, 40, size=300)
+    histogram = build_histogram(AttributeDensity(base), kind="V8DincB", theta=theta)
+    register = ColumnRegister(
+        "t", "c", base, histogram, counter_base=1.05,
+        rng=np.random.default_rng(seed),
+    )
+    return base, histogram, register
+
+
+class TestColumnRegister:
+    def test_estimates_match_maintained_histogram(self, rng):
+        base, histogram, register = _register(rng)
+        assert register.estimate(0, 300) == histogram.estimate(0, 300)
+        register.insert_many(rng.integers(0, 300, size=2000))
+        assert register.estimate(0, 300) > histogram.estimate(0, 300)
+
+    def test_insert_batch_is_all_or_nothing(self, rng):
+        _, _, register = _register(rng)
+        with pytest.raises(ValueError):
+            register.insert_many([1, 2, 10**6])
+        assert register.inserts_recorded == 0
+        assert register.staleness() == 0.0
+
+    def test_delta_tracks_exact_counts(self, rng):
+        base, _, register = _register(rng)
+        register.insert_many([5, 5, 7])
+        register.insert(5)
+        merged, delta = register.snapshot_for_rebuild()
+        assert delta[5] == 3
+        assert delta[7] == 1
+        assert merged[5] == base[5] + 3
+
+    def test_swap_replays_mid_rebuild_inserts(self, rng):
+        base, _, register = _register(rng)
+        register.insert_many(rng.integers(0, 300, size=1000))
+        merged, covered = register.snapshot_for_rebuild()
+        # Rows that arrive while the rebuild is "running":
+        register.insert_many([0] * 500)
+        new_histogram = build_histogram(AttributeDensity(merged), kind="V8DincB", theta=16)
+        register.swap(new_histogram, merged, covered)
+        # The 500 late inserts survived the swap: they are the new delta
+        # and the blended estimate still counts their mass.
+        _, delta = register.snapshot_for_rebuild()
+        assert delta.sum() == 500
+        assert register.staleness() > 0
+        # Over the full domain the blended estimate carries the late
+        # rows' mass (Morris counters: small relative error).
+        added = register.estimate(0, 300) - new_histogram.estimate(0, 300)
+        assert qerror(max(added, 1e-9), 500) < 1.5
+
+    def test_status_surfaces_error_profile(self, rng):
+        _, _, register = _register(rng)
+        register.insert_many(rng.integers(0, 300, size=100))
+        status = register.status()
+        assert status["inserts"] == 100
+        assert 0 < status["staleness"] < 1
+        assert status["rebuilds"] == 0
+        assert status["insert_relative_std"] == pytest.approx(
+            np.sqrt(0.05 / 2), rel=1e-6
+        )
+
+
+class TestRebuildLoop:
+    """The maintenance→rebuild loop of the issue's satellite task."""
+
+    def _loop(self, tmp_path, rng, threshold=0.2, seed=0):
+        base, histogram, register = _register(rng, seed=seed)
+        store = StatisticsStore(StatisticsCatalog(tmp_path), capacity=8)
+        store.put("t", "c", histogram)
+        registry = MaintenanceRegistry()
+        registry.register(register)
+        metrics = ServiceMetrics()
+        scheduler = RefreshScheduler(
+            store,
+            registry,
+            threshold=threshold,
+            interval=0.05,
+            kind="V8DincB",
+            config=HistogramConfig(theta=16.0),
+            metrics=metrics,
+        )
+        return base, register, store, scheduler, metrics
+
+    def test_skewed_inserts_trigger_exactly_one_rebuild_and_converge(
+        self, tmp_path, rng
+    ):
+        base, register, store, scheduler, metrics = self._loop(tmp_path, rng)
+        try:
+            # Below the threshold: a sweep does nothing.
+            warmup = rng.integers(0, 300, size=100)
+            register.insert_many(warmup)
+            assert scheduler.check_now(block=True) == []
+            assert metrics.counter("rebuilds_triggered") == 0
+
+            # Heavily skewed inserts (all mass into codes [0, 10)) push
+            # staleness past the threshold; sub-bucket estimates degrade
+            # because registers spread inserts uniformly per bucket.
+            inserts = rng.integers(0, 10, size=4000)
+            register.insert_many(inserts)
+            assert register.needs_rebuild(scheduler.threshold)
+
+            assert scheduler.check_now(block=True) == [("t", "c")]
+            assert metrics.counter("rebuilds_triggered") == 1
+            assert metrics.counter("rebuilds_completed") == 1
+            assert metrics.counter("rebuilds_failed") == 0
+
+            # Exactly one: staleness reset below threshold, further
+            # sweeps are no-ops.
+            assert scheduler.check_now(block=True) == []
+            assert metrics.counter("rebuilds_triggered") == 1
+            assert register.rebuilds == 1
+            assert register.staleness() == 0.0
+
+            # The swap went through the store's generation counter.
+            assert store.generation("t", "c") == 2
+
+            # Convergence: the published histogram certifies against the
+            # merged (base + all inserts) ground truth within the θ,q
+            # transfer bound -- the repo's own Sec. 8.6 checker.
+            merged = base.copy()
+            np.add.at(merged, warmup, 1)
+            np.add.at(merged, inserts, 1)
+            report = certify(store.get("t", "c"), AttributeDensity(merged))
+            assert report.passed, str(report)
+
+            # And the register serves those certified estimates (no
+            # pending inserts -> register == histogram).
+            rebuilt = store.get("t", "c")
+            assert register.estimate(0, 10) == rebuilt.estimate(0, 10)
+        finally:
+            scheduler.stop()
+
+    def test_convergence_against_pre_rebuild_distortion(self, tmp_path, rng):
+        """The rebuild repairs what Morris blending cannot represent."""
+        base, register, store, scheduler, metrics = self._loop(tmp_path, rng)
+        try:
+            inserts = np.zeros(4000, dtype=np.int64)  # all rows into code 0
+            register.insert_many(inserts)
+            truth = float(base[0] + 4000)
+            before = register.estimate(0, 1)
+            scheduler.check_now(block=True)
+            after = register.estimate(0, 1)
+            # The uniform-spread assumption smeared the hot code's mass
+            # over its bucket; the rebuild isolates it again.
+            assert qerror(after, truth) < qerror(before, truth)
+            assert qerror(after, truth) <= 3.0  # Cor. 5.3 at k=4 for q=2
+        finally:
+            scheduler.stop()
+
+    def test_failed_submit_degrades_gracefully(self, tmp_path, rng, monkeypatch):
+        """A trigger that cannot even submit leaves the sweep healthy."""
+        base, register, store, scheduler, metrics = self._loop(tmp_path, rng)
+        try:
+            import repro.service.refresh as refresh_module
+
+            def explode(*args, **kwargs):
+                raise RuntimeError("pool is gone")
+
+            monkeypatch.setattr(refresh_module, "submit_histogram_build", explode)
+            register.insert_many(rng.integers(0, 300, size=4000))
+            before = register.estimate(0, 300)
+
+            # The sweep survives, counts the failure, publishes nothing.
+            assert scheduler.check_now(block=True) == []
+            assert metrics.counter("rebuilds_triggered") == 1
+            assert metrics.counter("rebuilds_failed") == 1
+            assert metrics.counter("rebuilds_completed") == 0
+            assert store.generation("t", "c") == 1
+
+            # Estimates keep serving the stale histogram + Morris blend.
+            assert register.estimate(0, 300) == before
+        finally:
+            scheduler.stop()
+
+    def test_failed_build_counts_and_recovers(self, tmp_path, rng, monkeypatch):
+        """Submit succeeds, the worker raises: degrade, then retry."""
+        base, register, store, scheduler, metrics = self._loop(tmp_path, rng)
+        try:
+            import repro.service.refresh as refresh_module
+
+            def failing_submit(pool, name, frequencies, **kwargs):
+                return pool.submit(_raise)
+
+            register.insert_many(rng.integers(0, 300, size=4000))
+            with monkeypatch.context() as patched:
+                patched.setattr(
+                    refresh_module, "submit_histogram_build", failing_submit
+                )
+                assert scheduler.check_now(block=True) == [("t", "c")]
+
+            assert metrics.counter("rebuilds_failed") == 1
+            assert metrics.counter("rebuilds_completed") == 0
+            assert store.generation("t", "c") == 1  # nothing published
+            assert register.rebuilds == 0
+            value = register.estimate(0, 300)
+            assert np.isfinite(value) and value > 0
+
+            # The loop recovers: the next sweep (submit restored) rebuilds.
+            assert scheduler.check_now(block=True) == [("t", "c")]
+            assert metrics.counter("rebuilds_completed") == 1
+        finally:
+            scheduler.stop()
+
+    def test_background_thread_polls(self, tmp_path, rng):
+        base, register, store, scheduler, metrics = self._loop(tmp_path, rng)
+        scheduler.start()
+        try:
+            register.insert_many(rng.integers(0, 300, size=4000))
+            done = threading.Event()
+            scheduler._on_rebuild = lambda *_: done.set()
+            assert done.wait(timeout=20), "background rebuild never ran"
+            assert metrics.counter("rebuilds_completed") == 1
+        finally:
+            scheduler.stop()
+
+
+def _raise():
+    raise RuntimeError("builder crashed")

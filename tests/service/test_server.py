@@ -1,0 +1,139 @@
+"""The service request core and the asyncio TCP front end."""
+
+import numpy as np
+import pytest
+
+from repro.query.predicates import AndPredicate, EqualsPredicate, RangePredicate
+from repro.service.client import ServiceError, StatisticsClient
+from repro.service.server import start_server_thread
+
+
+@pytest.fixture
+def running(service):
+    handle = start_server_thread(service)
+    try:
+        yield handle
+    finally:
+        handle.stop()
+
+
+@pytest.fixture
+def client(running):
+    with StatisticsClient(*running.address) as client:
+        yield client
+
+
+class TestServiceCore:
+    def test_build_reports_worthiness_split(self, service):
+        # amount + region are worthy, flag keeps exact counts.
+        status = service.status()
+        assert sorted(status["columns"]) == ["orders.amount", "orders.region"]
+
+    def test_estimate_exact_for_tiny_domain(self, service):
+        estimate = service.estimate("orders", RangePredicate("flag", 0, 3))
+        assert estimate.method == "exact"
+
+    def test_estimate_histogram_method(self, service):
+        estimate = service.estimate("orders", RangePredicate("amount", 1, 100))
+        assert estimate.method == "histogram"
+        assert estimate.value > 0
+
+    def test_unknown_table_raises(self, service):
+        with pytest.raises(KeyError):
+            service.estimate("nope", RangePredicate("amount", 1, 2))
+
+    def test_insert_requires_register(self, service):
+        with pytest.raises(KeyError):
+            service.insert("orders", "flag", [1])
+
+    def test_rebuild_bumps_generation(self, service):
+        first = service.store.generation("orders", "amount")
+        service.build("orders")
+        assert service.store.generation("orders", "amount") == first + 1
+
+    def test_handle_wraps_errors(self, service):
+        response = service.handle({"op": "estimate", "table": "nope", "id": 4})
+        assert response["ok"] is False
+        assert response["id"] == 4
+        assert "missing field" in response["error"]
+
+    def test_handle_unknown_op(self, service):
+        assert service.handle({"op": "frobnicate"})["ok"] is False
+
+
+class TestTcpServer:
+    def test_ping(self, client):
+        assert client.ping() is True
+
+    def test_estimate_matches_direct_call(self, service, client):
+        predicate = RangePredicate("amount", 1, 120)
+        direct = service.estimate("orders", predicate)
+        remote = client.estimate("orders", predicate)
+        assert remote.value == pytest.approx(direct.value)
+        assert remote.method == direct.method
+
+    def test_conjunction_over_the_wire(self, client):
+        estimate = client.estimate(
+            "orders",
+            AndPredicate(
+                RangePredicate("amount", 1, 100), EqualsPredicate("region", 3)
+            ),
+        )
+        assert estimate.method == "independence"
+        assert estimate.value >= 1.0
+
+    def test_insert_and_staleness(self, service, client):
+        result = client.insert("orders", "amount", [0, 1, 2] * 10)
+        assert result["inserted"] == 30
+        assert result["staleness"] > 0
+        assert service.registry.get("orders", "amount").inserts_recorded == 30
+
+    def test_numpy_codes_accepted(self, client):
+        codes = list(np.random.default_rng(0).integers(0, 5, size=8))
+        assert client.insert("orders", "amount", codes)["inserted"] == 8
+
+    def test_build_over_the_wire(self, client):
+        result = client.build("orders")
+        assert result["built"] == 2
+        assert result["exact"] == 1
+
+    def test_invalidate_over_the_wire(self, client):
+        assert client.invalidate("orders", "amount") == 1
+        assert client.invalidate() >= 2
+
+    def test_status_fields(self, client):
+        client.status()  # the snapshot is taken before track() counts it
+        status = client.status()
+        assert status["tables"] == ["orders"]
+        column = status["columns"]["orders.amount"]
+        for field in ("staleness", "inserts", "generation", "buckets", "kind"):
+            assert field in column
+        assert status["metrics"]["requests"]["status"] >= 1
+        assert "hits" in status["cache"]
+
+    def test_error_is_structured_and_connection_survives(self, client):
+        with pytest.raises(ServiceError):
+            client.estimate_range("orders", "nope", 0, 1)
+        assert client.ping() is True
+
+    def test_malformed_line_gets_error_response(self, running):
+        import socket
+
+        from repro.service.protocol import decode_line
+
+        with socket.create_connection(running.address, timeout=5) as sock:
+            sock.sendall(b"this is not json\n")
+            reader = sock.makefile("rb")
+            response = decode_line(reader.readline())
+        assert response["ok"] is False
+        assert "bad request" in response["error"]
+
+    def test_many_sequential_requests(self, client):
+        for low in range(1, 60):
+            estimate = client.estimate_range("orders", "amount", low, low + 40)
+            assert estimate.value >= 0
+        cache = client.status()["cache"]
+        # The estimate path serves registers, not store loads -- but the
+        # requests themselves must all have been counted.
+        assert client.status()["metrics"]["requests"]["estimate"] >= 59
+        assert cache is not None

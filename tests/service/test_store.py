@@ -1,0 +1,160 @@
+"""The concurrent, generation-versioned statistics store."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.builder import build_histogram
+from repro.core.catalog import StatisticsCatalog
+from repro.core.density import AttributeDensity
+from repro.service.store import ReadWriteLock, StatisticsStore
+
+
+def _histogram(rng, low=1, high=200, size=400, kind="V8DincB"):
+    density = AttributeDensity(rng.integers(low, high, size=size))
+    return build_histogram(density, kind=kind, theta=16)
+
+
+@pytest.fixture
+def store(tmp_path):
+    return StatisticsStore(StatisticsCatalog(tmp_path), capacity=4)
+
+
+class TestReadWriteLock:
+    def test_readers_share(self):
+        lock = ReadWriteLock()
+        entered = []
+        with lock.read():
+            t = threading.Thread(
+                target=lambda: (lock.acquire_read(), entered.append(1), lock.release_read())
+            )
+            t.start()
+            t.join(timeout=2)
+        assert entered == [1]
+
+    def test_writer_excludes_readers(self):
+        lock = ReadWriteLock()
+        order = []
+        lock.acquire_write()
+        t = threading.Thread(
+            target=lambda: (lock.acquire_read(), order.append("read"), lock.release_read())
+        )
+        t.start()
+        t.join(timeout=0.2)
+        assert order == []  # reader blocked behind the writer
+        order.append("release")
+        lock.release_write()
+        t.join(timeout=2)
+        assert order == ["release", "read"]
+
+
+class TestStoreBasics:
+    def test_get_missing_raises(self, store):
+        with pytest.raises(KeyError):
+            store.get("t", "c")
+
+    def test_put_get_and_generation(self, store, rng):
+        histogram = _histogram(rng)
+        assert store.generation("t", "c") == 0
+        generation = store.put("t", "c", histogram)
+        assert generation == 1
+        assert store.get("t", "c") is histogram  # served straight from cache
+        assert ("t", "c") in store
+
+    def test_hot_path_never_reparses(self, tmp_path, rng):
+        catalog = StatisticsCatalog(tmp_path)
+        catalog.put("t", "c", _histogram(rng))
+        store = StatisticsStore(catalog, capacity=4)
+        first = store.get("t", "c")
+        for _ in range(10):
+            assert store.get("t", "c") is first
+        stats = store.cache_stats()
+        assert stats["misses"] == 1
+        assert stats["hits"] == 10
+
+    def test_invalidate_forces_reload(self, tmp_path, rng):
+        catalog = StatisticsCatalog(tmp_path)
+        catalog.put("t", "c", _histogram(rng))
+        store = StatisticsStore(catalog, capacity=4)
+        first = store.get("t", "c")
+        assert store.invalidate("t", "c") == 1
+        assert store.generation("t", "c") == 1
+        second = store.get("t", "c")
+        assert second is not first  # fresh deserialization
+        assert second.kind == first.kind
+
+    def test_invalidate_scopes(self, store, rng):
+        histogram = _histogram(rng)
+        store.put("a", "x", histogram)
+        store.put("a", "y", histogram)
+        store.put("b", "x", histogram)
+        assert store.invalidate("a") == 2
+        assert store.invalidate() == 3
+        with pytest.raises(ValueError):
+            store.invalidate(column="x")
+
+    def test_put_bumps_over_invalidate(self, store, rng):
+        store.put("t", "c", _histogram(rng))
+        store.invalidate("t", "c")
+        assert store.put("t", "c", _histogram(rng)) == 3
+
+    def test_lru_eviction(self, store, rng):
+        for i in range(6):
+            store.put("t", f"c{i}", _histogram(rng, size=100))
+        stats = store.cache_stats()
+        assert stats["size"] == 4
+        assert stats["evictions"] == 2
+        # Evicted keys still load (from disk) and re-enter the cache.
+        assert store.get("t", "c0") is not None
+
+    def test_remove(self, store, rng):
+        store.put("t", "c", _histogram(rng))
+        store.remove("t", "c")
+        with pytest.raises(KeyError):
+            store.get("t", "c")
+
+    def test_capacity_validated(self, tmp_path):
+        with pytest.raises(ValueError):
+            StatisticsStore(StatisticsCatalog(tmp_path), capacity=0)
+
+
+class TestStoreConcurrency:
+    def test_concurrent_readers_and_swappers(self, tmp_path, rng):
+        """Hammer one key with readers while a writer swaps versions.
+
+        Every read must observe a complete histogram (estimates over the
+        full domain are internally consistent), and the final cached
+        version must be the last one written.
+        """
+        catalog = StatisticsCatalog(tmp_path)
+        store = StatisticsStore(catalog, capacity=8)
+        versions = [_histogram(rng, high=50 + 50 * i) for i in range(4)]
+        store.put("t", "c", versions[0])
+        stop = threading.Event()
+        failures = []
+
+        def reader():
+            while not stop.is_set():
+                histogram = store.get("t", "c")
+                value = histogram.estimate(0.0, float(histogram.hi))
+                if not np.isfinite(value) or value <= 0:
+                    failures.append(value)
+
+        def writer():
+            for _ in range(5):
+                for version in versions:
+                    store.put("t", "c", version)
+                    store.invalidate("t", "c")
+
+        readers = [threading.Thread(target=reader) for _ in range(4)]
+        for t in readers:
+            t.start()
+        w = threading.Thread(target=writer)
+        w.start()
+        w.join(timeout=30)
+        stop.set()
+        for t in readers:
+            t.join(timeout=10)
+        assert not failures
+        assert store.get("t", "c").hi == versions[-1].hi
