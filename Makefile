@@ -1,0 +1,22 @@
+# Tier-1 verification targets.  `make smoke` is the pre-merge gate:
+# the full fast test suite plus a lint that fails if any Python
+# bytecode artifact is checked into git.
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test lint-artifacts smoke
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+lint-artifacts:
+	@bad=$$(git ls-files | grep -E '__pycache__|\.pyc$$' || true); \
+	if [ -n "$$bad" ]; then \
+		echo "error: bytecode artifacts tracked in git:"; \
+		echo "$$bad"; \
+		exit 1; \
+	fi; \
+	echo "lint-artifacts: ok (no tracked __pycache__/*.pyc)"
+
+smoke: lint-artifacts test

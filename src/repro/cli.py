@@ -28,12 +28,13 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from repro.core.builder import HISTOGRAM_KINDS, build_histogram
+from repro.core.builder import HISTOGRAM_KINDS
 from repro.core.config import HistogramConfig
 from repro.core.histogram import Histogram
 from repro.core.serialize import deserialize_histogram, serialize_histogram
 from repro.core.transfer import exact_total_guarantee
 from repro.dictionary.column import DictionaryEncodedColumn
+from repro.engine import DEFAULT_PIPELINE, BuildRequest
 from repro.experiments.report import format_table
 
 __all__ = ["main", "load_column_values"]
@@ -92,10 +93,23 @@ def _config_from_args(args: argparse.Namespace) -> HistogramConfig:
     )
 
 
+def _profile_sidecar(histogram_path: Path) -> Path:
+    """Where ``build --profile`` parks its profile for later ``inspect``."""
+    return histogram_path.with_name(histogram_path.name + ".profile.json")
+
+
 def _cmd_build(args: argparse.Namespace) -> int:
     values = load_column_values(Path(args.input))
     column = DictionaryEncodedColumn.from_values(values, name=Path(args.input).stem)
-    histogram = build_histogram(column, kind=args.kind, config=_config_from_args(args))
+    result = DEFAULT_PIPELINE.build(
+        BuildRequest(
+            source=column,
+            kind=args.kind,
+            config=_config_from_args(args),
+            trace=args.profile,
+        )
+    )
+    histogram = result.histogram
     data = serialize_histogram(histogram)
     Path(args.output).write_bytes(data)
     ratio = 100.0 * histogram.size_bytes() / column.compressed_size_bytes()
@@ -105,6 +119,16 @@ def _cmd_build(args: argparse.Namespace) -> int:
         f"theta={histogram.theta:g}, q={histogram.q:g}"
     )
     print(f"wrote {len(data)} bytes to {args.output}")
+    if args.profile:
+        import json
+
+        print()
+        print(result.trace.format())
+        print()
+        print(result.format_phases())
+        sidecar = _profile_sidecar(Path(args.output))
+        sidecar.write_text(json.dumps(result.profile(), indent=2, sort_keys=True))
+        print(f"profile: {sidecar}")
     return 0
 
 
@@ -138,6 +162,10 @@ def _cmd_build_table(args: argparse.Namespace) -> int:
     table = _load_table(Path(args.input), args.table)
     catalog = StatisticsCatalog(Path(args.catalog))
     workers = args.workers if args.workers else default_workers()
+    profiles: "OrderedDict[str, dict]" = OrderedDict()
+    sink = None
+    if args.profile:
+        sink = lambda name, profile: profiles.__setitem__(name, profile)  # noqa: E731
     start = time.perf_counter()
     histograms = build_table_histograms(
         table,
@@ -146,6 +174,7 @@ def _cmd_build_table(args: argparse.Namespace) -> int:
         max_workers=workers,
         executor=args.executor,
         catalog=catalog,
+        phase_sink=sink,
     )
     elapsed = time.perf_counter() - start
     skipped = len(table) - len(histograms)
@@ -157,6 +186,20 @@ def _cmd_build_table(args: argparse.Namespace) -> int:
     if skipped:
         print(f"skipped {skipped} unworthy column(s) (tiny domain or unique key)")
     print(f"catalog: {catalog.root} ({len(catalog)} entries, {catalog.size_bytes()} bytes)")
+    if args.profile and profiles:
+        phases: "OrderedDict[str, float]" = OrderedDict()
+        counters: "OrderedDict[str, int]" = OrderedDict()
+        for profile in profiles.values():
+            for name, seconds in (profile.get("phases") or {}).items():
+                phases[name] = phases.get(name, 0.0) + float(seconds)
+            for name, amount in (profile.get("counters") or {}).items():
+                counters[name] = counters.get(name, 0) + int(amount)
+        print(f"phase totals across {len(profiles)} builds:")
+        for name, seconds in sorted(phases.items(), key=lambda item: -item[1]):
+            print(f"  {name:<20} {seconds * 1e3:10.3f} ms")
+        if counters:
+            rendered = "  ".join(f"{k}={v}" for k, v in sorted(counters.items()))
+            print(f"  counters: {rendered}")
     return 0
 
 
@@ -177,6 +220,21 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
         )
     except ValueError:
         pass
+    sidecar = _profile_sidecar(Path(args.histogram))
+    if sidecar.exists():
+        import json
+
+        profile = json.loads(sidecar.read_text())
+        print(f"build profile ({profile.get('kind', '?')}, from {sidecar.name}):")
+        print(f"  total                {float(profile.get('seconds', 0.0)) * 1e3:10.3f} ms")
+        for name, seconds in sorted(
+            (profile.get("phases") or {}).items(), key=lambda item: -item[1]
+        ):
+            print(f"  {name:<20} {float(seconds) * 1e3:10.3f} ms")
+        counters = profile.get("counters") or {}
+        if counters:
+            rendered = "  ".join(f"{k}={v}" for k, v in sorted(counters.items()))
+            print(f"  counters: {rendered}")
     return 0
 
 
@@ -193,7 +251,9 @@ def _cmd_certify(args: argparse.Namespace) -> int:
 
     values = load_column_values(Path(args.input))
     column = DictionaryEncodedColumn.from_values(values, name=Path(args.input).stem)
-    histogram = build_histogram(column, kind=args.kind, config=_config_from_args(args))
+    histogram = DEFAULT_PIPELINE.build(
+        BuildRequest(source=column, kind=args.kind, config=_config_from_args(args))
+    ).histogram
     report = certify(
         histogram,
         AttributeDensity.from_column(column),
@@ -214,23 +274,28 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         f"{column.compressed_size_bytes()} compressed bytes"
     )
     config = _config_from_args(args)
-    import time
-
+    profile = getattr(args, "profile", False)
     rows = []
     for kind in HISTOGRAM_KINDS:
-        start = time.perf_counter()
-        histogram = build_histogram(column, kind=kind, config=config)
-        elapsed = (time.perf_counter() - start) * 1e3
-        rows.append(
-            [
-                kind,
-                len(histogram),
-                histogram.size_bytes(),
-                f"{100.0 * histogram.size_bytes() / column.compressed_size_bytes():.2f}",
-                f"{elapsed:.1f}",
-            ]
+        result = DEFAULT_PIPELINE.build(
+            BuildRequest(source=column, kind=kind, config=config, trace=profile)
         )
-    print(format_table(["kind", "buckets", "bytes", "% of column", "build ms"], rows))
+        histogram = result.histogram
+        row = [
+            kind,
+            len(histogram),
+            histogram.size_bytes(),
+            f"{100.0 * histogram.size_bytes() / column.compressed_size_bytes():.2f}",
+            f"{result.seconds * 1e3:.1f}",
+        ]
+        if profile:
+            row.append(result.counters.get("acceptance_tests", 0))
+            row.append(f"{result.phases.get('acceptance_tests', 0.0) * 1e3:.1f}")
+        rows.append(row)
+    headers = ["kind", "buckets", "bytes", "% of column", "build ms"]
+    if profile:
+        headers += ["accept tests", "accept ms"]
+    print(format_table(headers, rows))
     return 0
 
 
@@ -320,11 +385,18 @@ def _build_parser() -> argparse.ArgumentParser:
             help="acceptance-test kernel (literal = paper-loop oracle)",
         )
 
+    def add_profile_option(command) -> None:
+        command.add_argument(
+            "--profile", action="store_true",
+            help="trace the build: per-phase timing and acceptance-test counts",
+        )
+
     build = sub.add_parser("build", help="build a histogram from a column file")
     build.add_argument("input", help="column values (.npy or line-per-value text)")
     build.add_argument("output", help="output histogram file")
     build.add_argument("--kind", default="V8DincB", choices=HISTOGRAM_KINDS)
     add_construction_options(build)
+    add_profile_option(build)
     build.set_defaults(func=_cmd_build)
 
     build_table = sub.add_parser(
@@ -344,6 +416,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--executor", default="process", choices=("process", "thread", "serial")
     )
     add_construction_options(build_table)
+    add_profile_option(build_table)
     build_table.set_defaults(func=_cmd_build_table)
 
     inspect = sub.add_parser("inspect", help="summarise a histogram file")
@@ -359,6 +432,7 @@ def _build_parser() -> argparse.ArgumentParser:
     analyze = sub.add_parser("analyze", help="compare every histogram kind on a column")
     analyze.add_argument("input")
     add_construction_options(analyze)
+    add_profile_option(analyze)
     analyze.set_defaults(func=_cmd_analyze)
 
     certify_cmd = sub.add_parser(

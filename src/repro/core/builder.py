@@ -14,32 +14,27 @@ V8DincB    same, with bounded search                            4.5-4.7
 1VincB1    value-based atomic, range + distinct guarantees      8.3
 1VincB2    value-based atomic, range guarantees only            8.3
 =========  ==================================================  =========
+
+Construction itself lives in :mod:`repro.engine`: this module resolves
+the call into a :class:`~repro.engine.BuildRequest` against the default
+registry-backed pipeline, so every kind listed in
+:data:`HISTOGRAM_KINDS` (and any spec registered on top) is reachable
+from the same call.
 """
 
 from __future__ import annotations
 
-import dataclasses
 import math
 from typing import Union
 
 from repro.core.config import DEFAULT_THETA_FACTOR, HistogramConfig
 from repro.core.density import AttributeDensity
 from repro.core.histogram import Histogram
-from repro.core.qewh import build_qewh
-from repro.core.qvwh import build_atomic_dense, build_qvwh
-from repro.core.valuebased import build_value_histogram
+from repro.engine import DEFAULT_PIPELINE, DEFAULT_REGISTRY, BuildRequest
 
 __all__ = ["build_histogram", "system_theta", "HISTOGRAM_KINDS"]
 
-HISTOGRAM_KINDS = (
-    "F8Dgt",
-    "V8Dinc",
-    "V8DincB",
-    "1Dinc",
-    "1DincB",
-    "1VincB1",
-    "1VincB2",
-)
+HISTOGRAM_KINDS = DEFAULT_REGISTRY.kinds()
 
 
 def system_theta(total_rows: int, factor: float = DEFAULT_THETA_FACTOR) -> int:
@@ -47,20 +42,6 @@ def system_theta(total_rows: int, factor: float = DEFAULT_THETA_FACTOR) -> int:
     if total_rows < 0:
         raise ValueError("row count must be non-negative")
     return int(math.ceil(factor * math.sqrt(total_rows)))
-
-
-def _as_density(source, value_domain: bool) -> AttributeDensity:
-    if isinstance(source, AttributeDensity):
-        return source
-    # Duck-type: a DictionaryEncodedColumn exposes frequencies/dictionary.
-    if hasattr(source, "frequencies") and hasattr(source, "dictionary"):
-        if value_domain:
-            return AttributeDensity.from_value_column(source)
-        return AttributeDensity.from_column(source)
-    raise TypeError(
-        f"cannot build a histogram from {type(source).__name__}; pass an "
-        "AttributeDensity or a DictionaryEncodedColumn"
-    )
 
 
 def build_histogram(
@@ -84,36 +65,11 @@ def build_histogram(
         ``theta=...``) are applied on top of the default config when no
         explicit config is given.
     """
-    if kind not in HISTOGRAM_KINDS:
-        raise ValueError(f"unknown histogram kind {kind!r}; pick from {HISTOGRAM_KINDS}")
     if config is None:
         config = HistogramConfig(**config_overrides)
     elif config_overrides:
         raise ValueError("pass either a config object or keyword overrides, not both")
-
-    value_domain = kind.startswith("1V")
-    density = _as_density(source, value_domain)
-
-    if kind == "F8Dgt":
-        return build_qewh(density, config)
-    if kind in ("V8Dinc", "V8DincB"):
-        cfg = _with_bounded(config, kind.endswith("B"))
-        return build_qvwh(density, cfg)
-    if kind in ("1Dinc", "1DincB"):
-        cfg = _with_bounded(config, kind.endswith("B"))
-        return build_atomic_dense(density, cfg)
-    # Value-based variants.
-    cfg = _with_distinct(config, kind == "1VincB1")
-    return build_value_histogram(density, cfg)
-
-
-def _with_bounded(config: HistogramConfig, bounded: bool) -> HistogramConfig:
-    if config.bounded_search == bounded:
-        return config
-    return dataclasses.replace(config, bounded_search=bounded)
-
-
-def _with_distinct(config: HistogramConfig, test_distinct: bool) -> HistogramConfig:
-    if config.test_distinct == test_distinct:
-        return config
-    return dataclasses.replace(config, test_distinct=test_distinct)
+    result = DEFAULT_PIPELINE.build(
+        BuildRequest(source=source, kind=kind, config=config)
+    )
+    return result.histogram

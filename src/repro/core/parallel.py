@@ -11,24 +11,26 @@ rewrite instead of one per ``put``.
 Columns cross the process boundary as (name, frequencies, values)
 payloads and histograms come back serialized, so both the thread and the
 process executor see identical, picklable traffic; results are
-deterministic and independent of worker scheduling.
+deterministic and independent of worker scheduling.  Each worker runs
+the shared :mod:`repro.engine` pipeline; with tracing requested, the
+per-build phase/counter profile travels back beside the histogram bytes.
 """
 
 from __future__ import annotations
 
 import os
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
-from repro.core.builder import HISTOGRAM_KINDS, build_histogram
-from repro.core.catalog import StatisticsCatalog
 from repro.core.config import HistogramConfig
 from repro.core.density import AttributeDensity
 from repro.core.histogram import Histogram
 from repro.core.serialize import deserialize_histogram, serialize_histogram
 from repro.dictionary.table import Table, histogram_worthy
+from repro.core.catalog import StatisticsCatalog
+from repro.engine import DEFAULT_PIPELINE, DEFAULT_REGISTRY, BuildRequest
 
 __all__ = [
     "build_column_histograms",
@@ -41,24 +43,33 @@ __all__ = [
 
 EXECUTOR_KINDS = ("process", "thread", "serial")
 
-# (name, frequencies, values-or-None, kind, config)
-_Payload = Tuple[str, np.ndarray, Optional[np.ndarray], str, HistogramConfig]
+# (name, frequencies, values-or-None, kind, config, trace?)
+_Payload = Tuple[str, np.ndarray, Optional[np.ndarray], str, HistogramConfig, bool]
+
+# name -> picklable BuildResult.profile() dict
+PhaseSink = Callable[[str, Dict[str, object]], None]
 
 
-def _build_one(payload: _Payload) -> Tuple[str, bytes]:
-    """Worker body: density construction + build, result serialized.
+def _build_one(payload: _Payload) -> Tuple[str, bytes, Optional[Dict[str, object]]]:
+    """Worker body: density construction + pipeline build, serialized.
 
     Top-level (not a closure) so process pools can pickle it; the
     histogram travels back as its compact wire format, which is cheaper
-    and sturdier than pickling bucket objects.
+    and sturdier than pickling bucket objects, and the profile (when
+    tracing) as plain dicts.
     """
-    name, frequencies, values, kind, config = payload
+    name, frequencies, values, kind, config, trace = payload
     density = AttributeDensity(frequencies, values)
-    histogram = build_histogram(density, kind=kind, config=config)
-    return name, serialize_histogram(histogram)
+    result = DEFAULT_PIPELINE.build(
+        BuildRequest(source=density, kind=kind, config=config, trace=trace, label=name)
+    )
+    profile = result.profile() if trace else None
+    return name, serialize_histogram(result.histogram), profile
 
 
-def _payload_for(column, kind: str, config: HistogramConfig) -> _Payload:
+def _payload_for(
+    column, kind: str, config: HistogramConfig, trace: bool = False
+) -> _Payload:
     values = None
     if kind.startswith("1V"):
         values = np.asarray(column.dictionary.values, dtype=np.float64)
@@ -68,6 +79,7 @@ def _payload_for(column, kind: str, config: HistogramConfig) -> _Payload:
         values,
         kind,
         config,
+        trace,
     )
 
 
@@ -96,6 +108,7 @@ def build_column_histograms(
     config: HistogramConfig = HistogramConfig(),
     max_workers: Optional[int] = None,
     executor: str = "process",
+    phase_sink: Optional[PhaseSink] = None,
 ) -> Dict[str, Histogram]:
     """Build one histogram per named column, fanned across a pool.
 
@@ -112,10 +125,14 @@ def build_column_histograms(
     executor:
         ``"process"`` (default: construction is CPU-bound Python, so
         only processes scale), ``"thread"`` or ``"serial"``.
+    phase_sink:
+        When given, every build runs traced and ``phase_sink(name,
+        profile)`` receives its per-phase timing/counter profile (the
+        picklable :meth:`~repro.engine.BuildResult.profile` dict).
     """
-    if kind not in HISTOGRAM_KINDS:
-        raise ValueError(f"unknown histogram kind {kind!r}; pick from {HISTOGRAM_KINDS}")
-    payloads: List[_Payload] = [_payload_for(c, kind, config) for c in columns]
+    DEFAULT_REGISTRY.get(kind)  # fail fast with the canonical kind error
+    trace = phase_sink is not None
+    payloads: List[_Payload] = [_payload_for(c, kind, config, trace) for c in columns]
     names = [p[0] for p in payloads]
     if len(set(names)) != len(names):
         raise ValueError("columns must have unique names")
@@ -128,7 +145,12 @@ def build_column_histograms(
             results = list(pool.map(_build_one, payloads))
         finally:
             pool.shutdown()
-    return {name: deserialize_histogram(data) for name, data in results}
+    histograms: Dict[str, Histogram] = {}
+    for name, data, profile in results:
+        histograms[name] = deserialize_histogram(data)
+        if phase_sink is not None and profile is not None:
+            phase_sink(name, profile)
+    return histograms
 
 
 def build_table_histograms(
@@ -138,6 +160,7 @@ def build_table_histograms(
     max_workers: Optional[int] = None,
     executor: str = "process",
     catalog: Optional[StatisticsCatalog] = None,
+    phase_sink: Optional[PhaseSink] = None,
 ) -> Dict[str, Histogram]:
     """Build histograms for every worthy column of ``table`` in parallel.
 
@@ -149,7 +172,12 @@ def build_table_histograms(
     """
     worthy = [column for column in table if histogram_worthy(column)]
     histograms = build_column_histograms(
-        worthy, kind=kind, config=config, max_workers=max_workers, executor=executor
+        worthy,
+        kind=kind,
+        config=config,
+        max_workers=max_workers,
+        executor=executor,
+        phase_sink=phase_sink,
     )
     if catalog is not None:
         catalog.bulk_put(
@@ -185,23 +213,26 @@ def submit_histogram_build(
     values: Optional[np.ndarray] = None,
     kind: str = "V8DincB",
     config: HistogramConfig = HistogramConfig(),
+    trace: bool = False,
 ):
     """Submit one column build to ``pool``; the future resolves to
-    ``(name, serialized_bytes)``.
+    ``(name, serialized_bytes, profile_or_None)``.
 
     The payload crosses the worker boundary in the same picklable form
     :func:`build_column_histograms` uses, so process and thread pools
     behave identically; deserialize the result with
-    :func:`repro.core.serialize.deserialize_histogram`.
+    :func:`repro.core.serialize.deserialize_histogram`.  With ``trace``
+    the third element is the build's
+    :meth:`~repro.engine.BuildResult.profile` dict.
     """
-    if kind not in HISTOGRAM_KINDS:
-        raise ValueError(f"unknown histogram kind {kind!r}; pick from {HISTOGRAM_KINDS}")
+    DEFAULT_REGISTRY.get(kind)  # fail fast with the canonical kind error
     payload: _Payload = (
         name,
         np.asarray(frequencies, dtype=np.int64),
         None if values is None else np.asarray(values, dtype=np.float64),
         kind,
         config,
+        trace,
     )
     return pool.submit(_build_one, payload)
 

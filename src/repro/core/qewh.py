@@ -28,6 +28,7 @@ from repro.core.kernels import (
     acceptance_matrix_batch,
     pretest_dense_batch,
 )
+from repro.obs import NULL_TRACE
 
 __all__ = ["find_largest", "build_qewh"]
 
@@ -46,6 +47,7 @@ def _bucklets_acceptable(
     n_bucklets: int = 8,
     max_bucklet_total: float = float("inf"),
     cache: Optional[AcceptanceCache] = None,
+    trace=NULL_TRACE,
 ) -> bool:
     """True iff every one of the ``n_bucklets`` width-``m`` bucklets
     starting at ``l`` is θ,q-acceptable for its f̂avg estimator *and*
@@ -75,6 +77,7 @@ def _bucklets_acceptable(
         uppers.append(clipped)
         alphas.append(total / m)
         totals.append(total)
+    trace.count("acceptance_tests", len(lowers))
     if config.kernel != "vectorized":
         return all(
             is_theta_q_acceptable(
@@ -176,6 +179,7 @@ def find_largest(
     n_bucklets: int = 8,
     max_bucklet_total: float = float("inf"),
     cache: Optional[AcceptanceCache] = None,
+    trace=NULL_TRACE,
 ) -> int:
     """Fig. 5's ``FindLargest``: the maximal bucklet width ``m`` at ``l``.
 
@@ -189,6 +193,7 @@ def find_largest(
     d = density.n_distinct
     if not 0 <= l < d:
         raise IndexError(f"start {l} outside domain [0, {d})")
+    acceptance = trace.timer("acceptance_tests")
     # A bucket never needs to reach past the domain end by more than one
     # bucklet's worth of padding.
     m_cap = max(1, math.ceil((d - l) / n_bucklets))
@@ -198,9 +203,12 @@ def find_largest(
     m_bad = m_cap + 1
     while m_good < m_cap:
         m_next = min(2 * m_good, m_cap)
-        if _bucklets_acceptable(
-            density, l, m_next, theta, q, config, n_bucklets, max_bucklet_total, cache
-        ):
+        with acceptance:
+            accepted = _bucklets_acceptable(
+                density, l, m_next, theta, q, config, n_bucklets,
+                max_bucklet_total, cache, trace,
+            )
+        if accepted:
             m_good = m_next
         else:
             m_bad = m_next
@@ -208,9 +216,12 @@ def find_largest(
     # Largest acceptable m in [m_good, m_bad).
     while m_bad - m_good > 1:
         mid = (m_good + m_bad) // 2
-        if _bucklets_acceptable(
-            density, l, mid, theta, q, config, n_bucklets, max_bucklet_total, cache
-        ):
+        with acceptance:
+            accepted = _bucklets_acceptable(
+                density, l, mid, theta, q, config, n_bucklets,
+                max_bucklet_total, cache, trace,
+            )
+        if accepted:
             m_good = mid
         else:
             m_bad = mid
@@ -221,13 +232,17 @@ def build_qewh(
     density: AttributeDensity,
     config: HistogramConfig = HistogramConfig(),
     layout: BucketLayout = QC16T8x6,
+    trace=None,
 ) -> Histogram:
     """Fig. 5's ``BuildQEWH``: generate-and-test equi-width construction.
 
     ``layout`` selects the packed bucket format (default QC16T8x6); any
     simple layout of Table 3 works, e.g. QC16x4 for sixteen narrower
-    bucklets or BQC8x8 for binary-q payloads.
+    bucklets or BQC8x8 for binary-q payloads.  ``trace`` (a
+    :class:`repro.obs.Trace`) accumulates acceptance-test/packing phase
+    timings and counters; ``None`` disables instrumentation.
     """
+    trace = trace if trace is not None else NULL_TRACE
     if not density.is_dense:
         raise ValueError("QEWH requires a dense (dictionary-code) domain")
     theta = config.resolve_theta(density.total)
@@ -244,6 +259,7 @@ def build_qewh(
         )
     buckets: List[EquiWidthBucket] = []
     cache = AcceptanceCache()
+    packing = trace.timer("packing")
     b = 0
     while b < d:
         m = find_largest(
@@ -255,12 +271,15 @@ def build_qewh(
             n_bucklets=n,
             max_bucklet_total=capacity,
             cache=cache,
+            trace=trace,
         )
-        freqs = [
-            density.f_plus(min(b + i * m, d), min(b + (i + 1) * m, d))
-            for i in range(n)
-        ]
-        buckets.append(EquiWidthBucket.build(b, m, freqs, layout=layout))
+        with packing:
+            freqs = [
+                density.f_plus(min(b + i * m, d), min(b + (i + 1) * m, d))
+                for i in range(n)
+            ]
+            buckets.append(EquiWidthBucket.build(b, m, freqs, layout=layout))
         b += n * m
+    trace.count("buckets", len(buckets))
     kind = "F8Dgt" if layout is QC16T8x6 else f"F{n}Dgt[{layout.name}]"
     return Histogram(buckets, kind=kind, theta=theta, q=q, domain="code")

@@ -30,6 +30,7 @@ from repro.core.config import HistogramConfig
 from repro.core.density import AttributeDensity
 from repro.core.histogram import Histogram
 from repro.core.kernels import AcceptanceCache, slope_constraints
+from repro.obs import NULL_TRACE
 
 __all__ = ["grow_bucklet", "build_qvwh", "build_atomic_dense", "GrowStats"]
 
@@ -55,6 +56,7 @@ def grow_bucklet(
     bounded: bool = True,
     stats: "GrowStats" = None,
     cache: AcceptanceCache = None,
+    trace=NULL_TRACE,
 ) -> int:
     """Longest prefix ``[l, l + m)`` that stays θ,q-acceptable for f̂avg.
 
@@ -71,35 +73,45 @@ def grow_bucklet(
     m_max = min(m_max, density.n_distinct - l)
     cum = density.cumulative
     base = int(cum[l])
+    acceptance = trace.timer("acceptance_tests")
 
     alpha_lb = 0.0
     alpha_ub = math.inf
     alpha_min = math.inf
-    for m in range(1, m_max + 1):
-        j = l + m
-        total = float(cum[j] - base)
-        alpha = total / m
-        alpha_min = min(alpha_min, alpha)
-        if bounded:
-            # Corollary 4.2 window: minimal violations are narrower than
-            # 2 theta n / f+ + 3 = 2 theta / alpha + 3.  Using the
-            # smallest alpha the growing bucket has seen keeps the window
-            # valid for every slope the bucket has taken.
-            window = math.ceil(2.0 * theta / alpha_min) + 3
-            i_low = max(l, j - window)
-        else:
-            i_low = l
-        if stats is not None:
-            stats.intervals_scanned += j - i_low
-        if cache is not None:
-            lb_new, ub_new = cache.constraints(cum, i_low, j, theta, q)
-        else:
-            lb_new, ub_new = slope_constraints(cum, i_low, j, theta, q)
-        alpha_lb = max(alpha_lb, lb_new)
-        alpha_ub = min(alpha_ub, ub_new)
-        if alpha < alpha_lb or alpha > alpha_ub:
-            return m - 1
-    return m_max
+    tests = 0
+    scanned = 0
+    try:
+        for m in range(1, m_max + 1):
+            j = l + m
+            total = float(cum[j] - base)
+            alpha = total / m
+            alpha_min = min(alpha_min, alpha)
+            if bounded:
+                # Corollary 4.2 window: minimal violations are narrower than
+                # 2 theta n / f+ + 3 = 2 theta / alpha + 3.  Using the
+                # smallest alpha the growing bucket has seen keeps the window
+                # valid for every slope the bucket has taken.
+                window = math.ceil(2.0 * theta / alpha_min) + 3
+                i_low = max(l, j - window)
+            else:
+                i_low = l
+            if stats is not None:
+                stats.intervals_scanned += j - i_low
+            tests += 1
+            scanned += j - i_low
+            with acceptance:
+                if cache is not None:
+                    lb_new, ub_new = cache.constraints(cum, i_low, j, theta, q)
+                else:
+                    lb_new, ub_new = slope_constraints(cum, i_low, j, theta, q)
+            alpha_lb = max(alpha_lb, lb_new)
+            alpha_ub = min(alpha_ub, ub_new)
+            if alpha < alpha_lb or alpha > alpha_ub:
+                return m - 1
+        return m_max
+    finally:
+        trace.count("acceptance_tests", tests)
+        trace.count("intervals_scanned", scanned)
 
 
 def _grow_bucket(
@@ -110,6 +122,7 @@ def _grow_bucket(
     bounded: bool,
     stats: GrowStats = None,
     cache: AcceptanceCache = None,
+    trace=NULL_TRACE,
 ) -> Tuple[List[int], List[int], int]:
     """Grow one 8-bucklet bucket from ``start`` (Fig. 6's outer loop body).
 
@@ -123,7 +136,8 @@ def _grow_bucket(
     totals: List[int] = []
     pos = start
     m0 = grow_bucklet(
-        density, pos, d - pos, theta, q, bounded=bounded, stats=stats, cache=cache
+        density, pos, d - pos, theta, q, bounded=bounded, stats=stats, cache=cache,
+        trace=trace,
     )
     m0 = max(m0, 1)
     widths.append(m0)
@@ -141,7 +155,8 @@ def _grow_bucket(
         else:
             cap = min(MAX_BOUNDED_BUCKLET, d - pos)
         m = grow_bucklet(
-            density, pos, cap, theta, q, bounded=bounded, stats=stats, cache=cache
+            density, pos, cap, theta, q, bounded=bounded, stats=stats, cache=cache,
+            trace=trace,
         )
         m = max(m, 1) if cap >= 1 else 0
         widths.append(m)
@@ -154,12 +169,16 @@ def build_qvwh(
     density: AttributeDensity,
     config: HistogramConfig = HistogramConfig(),
     stats: GrowStats = None,
+    trace=None,
 ) -> Histogram:
     """Fig. 6's ``BuildQVWH``: incremental variable-width construction.
 
     Produces 128-bit QC16T8x6+1F7x9 buckets; the evaluation's ``V8Dinc``
     (``bounded_search=False``) and ``V8DincB`` (``True``) variants.
+    ``trace`` (a :class:`repro.obs.Trace`) accumulates per-phase timings
+    and counters; ``None`` disables instrumentation.
     """
+    trace = trace if trace is not None else NULL_TRACE
     if not density.is_dense:
         raise ValueError("QVWH requires a dense (dictionary-code) domain")
     theta = config.resolve_theta(density.total)
@@ -167,12 +186,16 @@ def build_qvwh(
     d = density.n_distinct
     buckets: List[VariableWidthBucket] = []
     cache = AcceptanceCache() if config.kernel == "vectorized" else None
+    packing = trace.timer("packing")
     b = 0
     while b < d:
         widths, totals, b = _grow_bucket(
-            density, b, theta, q, config.bounded_search, stats=stats, cache=cache
+            density, b, theta, q, config.bounded_search, stats=stats, cache=cache,
+            trace=trace,
         )
-        buckets.append(VariableWidthBucket.build(b - sum(widths), widths, totals))
+        with packing:
+            buckets.append(VariableWidthBucket.build(b - sum(widths), widths, totals))
+    trace.count("buckets", len(buckets))
     kind = "V8DincB" if config.bounded_search else "V8Dinc"
     return Histogram(buckets, kind=kind, theta=theta, q=q, domain="code")
 
@@ -180,12 +203,14 @@ def build_qvwh(
 def build_atomic_dense(
     density: AttributeDensity,
     config: HistogramConfig = HistogramConfig(),
+    trace=None,
 ) -> Histogram:
     """Atomic (bucklet-less) histograms: the ``1Dinc[B]`` variants.
 
     Each bucket is grown incrementally to the longest θ,q-acceptable
     range and stores a single 8-bit binary-q-compressed total.
     """
+    trace = trace if trace is not None else NULL_TRACE
     if not density.is_dense:
         raise ValueError("atomic dense construction needs a dense domain")
     theta = config.resolve_theta(density.total)
@@ -193,13 +218,19 @@ def build_atomic_dense(
     d = density.n_distinct
     buckets: List[AtomicDenseBucket] = []
     cache = AcceptanceCache() if config.kernel == "vectorized" else None
+    packing = trace.timer("packing")
     b = 0
     while b < d:
         m = grow_bucklet(
-            density, b, d - b, theta, q, bounded=config.bounded_search, cache=cache
+            density, b, d - b, theta, q, bounded=config.bounded_search, cache=cache,
+            trace=trace,
         )
         m = max(m, 1)
-        buckets.append(AtomicDenseBucket.build(b, b + m, density.f_plus(b, b + m)))
+        with packing:
+            buckets.append(
+                AtomicDenseBucket.build(b, b + m, density.f_plus(b, b + m))
+            )
         b += m
+    trace.count("buckets", len(buckets))
     kind = "1DincB" if config.bounded_search else "1Dinc"
     return Histogram(buckets, kind=kind, theta=theta, q=q, domain="code")

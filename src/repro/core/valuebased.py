@@ -36,6 +36,7 @@ from repro.core.config import HistogramConfig
 from repro.core.density import AttributeDensity
 from repro.core.histogram import Histogram
 from repro.core.kernels import batch_slope_constraints
+from repro.obs import NULL_TRACE
 
 __all__ = ["grow_value_bucket", "build_value_histogram", "build_value_mixed"]
 
@@ -77,6 +78,7 @@ def grow_value_bucket(
     q: float,
     bounded: bool = True,
     test_distinct: bool = True,
+    trace=NULL_TRACE,
 ) -> int:
     """Longest θ,q-acceptable prefix of distinct values from ``start``.
 
@@ -90,59 +92,72 @@ def grow_value_bucket(
     cum = density.cumulative
     values = density.values
     lo_v = float(values[start])
+    acceptance = trace.timer("acceptance_tests")
 
     freq_bounds = _SlopeBounds()
     dist_bounds = _SlopeBounds()
     alpha_min = math.inf
     m = 0
-    for m_try in range(1, d - start + 1):
-        j = start + m_try
-        hi_v = _upper_value(density, j)
-        span = hi_v - lo_v
-        total = float(cum[j] - cum[start])
-        alpha = total / span
-        beta = m_try / span
-        # Index-space analogue of the Corollary 4.2 window, using the
-        # most pessimistic per-index density seen so far.
-        idx_alpha = total / m_try
-        alpha_min = min(alpha_min, idx_alpha)
-        if bounded:
-            window = math.ceil(2.0 * theta / alpha_min) + 3
-            i_low = max(start, j - window)
-        else:
-            i_low = start
-        w_j = _upper_value(density, j)
-        widths = w_j - np.asarray(values[i_low:j], dtype=np.float64)
-        truths = (cum[j] - cum[i_low:j]).astype(np.float64)
-        lb, ub = batch_slope_constraints(truths, widths, theta, q)
-        freq_bounds.lb = max(freq_bounds.lb, lb)
-        freq_bounds.ub = min(freq_bounds.ub, ub)
-        if test_distinct:
-            counts = np.arange(j - i_low, 0, -1, dtype=np.float64)
-            lb_d, ub_d = batch_slope_constraints(counts, widths, theta, q)
-            dist_bounds.lb = max(dist_bounds.lb, lb_d)
-            dist_bounds.ub = min(dist_bounds.ub, ub_d)
-        if not freq_bounds.contains(alpha):
-            break
-        if test_distinct and not dist_bounds.contains(beta):
-            break
-        m = m_try
-    return max(m, 1)
+    tests = 0
+    scanned = 0
+    try:
+        for m_try in range(1, d - start + 1):
+            j = start + m_try
+            hi_v = _upper_value(density, j)
+            span = hi_v - lo_v
+            total = float(cum[j] - cum[start])
+            alpha = total / span
+            beta = m_try / span
+            # Index-space analogue of the Corollary 4.2 window, using the
+            # most pessimistic per-index density seen so far.
+            idx_alpha = total / m_try
+            alpha_min = min(alpha_min, idx_alpha)
+            if bounded:
+                window = math.ceil(2.0 * theta / alpha_min) + 3
+                i_low = max(start, j - window)
+            else:
+                i_low = start
+            tests += 1
+            scanned += j - i_low
+            w_j = _upper_value(density, j)
+            with acceptance:
+                widths = w_j - np.asarray(values[i_low:j], dtype=np.float64)
+                truths = (cum[j] - cum[i_low:j]).astype(np.float64)
+                lb, ub = batch_slope_constraints(truths, widths, theta, q)
+                freq_bounds.lb = max(freq_bounds.lb, lb)
+                freq_bounds.ub = min(freq_bounds.ub, ub)
+                if test_distinct:
+                    counts = np.arange(j - i_low, 0, -1, dtype=np.float64)
+                    lb_d, ub_d = batch_slope_constraints(counts, widths, theta, q)
+                    dist_bounds.lb = max(dist_bounds.lb, lb_d)
+                    dist_bounds.ub = min(dist_bounds.ub, ub_d)
+            if not freq_bounds.contains(alpha):
+                break
+            if test_distinct and not dist_bounds.contains(beta):
+                break
+            m = m_try
+        return max(m, 1)
+    finally:
+        trace.count("acceptance_tests", tests)
+        trace.count("intervals_scanned", scanned)
 
 
 def build_value_histogram(
     density: AttributeDensity,
     config: HistogramConfig = HistogramConfig(),
+    trace=None,
 ) -> Histogram:
     """Build a value-based atomic histogram (``1VincB1`` / ``1VincB2``).
 
     The variant is selected by ``config.test_distinct``.
     """
+    trace = trace if trace is not None else NULL_TRACE
     theta = config.resolve_theta(density.total)
     q = config.q
     d = density.n_distinct
     values = density.values
     buckets: List[ValueAtomicBucket] = []
+    packing = trace.timer("packing")
     s = 0
     while s < d:
         m = grow_value_bucket(
@@ -152,14 +167,17 @@ def build_value_histogram(
             q,
             bounded=config.bounded_search,
             test_distinct=config.test_distinct,
+            trace=trace,
         )
         e = s + m
-        lo_v = float(values[s])
-        hi_v = _upper_value(density, e)
-        buckets.append(
-            ValueAtomicBucket.build(lo_v, hi_v, density.f_plus(s, e), m)
-        )
+        with packing:
+            lo_v = float(values[s])
+            hi_v = _upper_value(density, e)
+            buckets.append(
+                ValueAtomicBucket.build(lo_v, hi_v, density.f_plus(s, e), m)
+            )
         s = e
+    trace.count("buckets", len(buckets))
     kind = "1VincB1" if config.test_distinct else "1VincB2"
     return Histogram(buckets, kind=kind, theta=theta, q=q, domain="value")
 

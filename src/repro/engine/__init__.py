@@ -1,0 +1,28 @@
+"""Build-pipeline layer: registry-dispatched, instrumented construction.
+
+The single entry point for histogram construction.  See
+:mod:`repro.engine.pipeline` for the pipeline itself and
+:mod:`repro.engine.registry` for the pluggable builder specs.
+"""
+
+from repro.engine.pipeline import (
+    DEFAULT_PIPELINE,
+    BuildContext,
+    BuildPipeline,
+    BuildRequest,
+    BuildResult,
+    build,
+)
+from repro.engine.registry import DEFAULT_REGISTRY, BuilderRegistry, BuilderSpec
+
+__all__ = [
+    "BuildContext",
+    "BuildPipeline",
+    "BuildRequest",
+    "BuildResult",
+    "BuilderRegistry",
+    "BuilderSpec",
+    "DEFAULT_PIPELINE",
+    "DEFAULT_REGISTRY",
+    "build",
+]

@@ -7,17 +7,16 @@ stays a thin, readable driver.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Sequence
 
 import numpy as np
 
-from repro.core.builder import build_histogram
 from repro.core.config import HistogramConfig
 from repro.core.density import AttributeDensity
 from repro.core.histogram import Histogram
 from repro.core.qerror import qerror
+from repro.engine import DEFAULT_PIPELINE, BuildRequest
 from repro.workloads.dataset import DatasetColumn
 
 __all__ = [
@@ -67,15 +66,20 @@ def build_record(
     kind: str,
     config: HistogramConfig,
 ) -> BuildRecord:
-    """Time one histogram build on one column."""
+    """Time one histogram build on one column.
+
+    Runs untraced through the shared :mod:`repro.engine` pipeline, so
+    the reported seconds measure construction alone (no span overhead).
+    """
     density = column.value_density if kind.startswith("1V") else column.dense
-    start = time.perf_counter()
-    histogram = build_histogram(density, kind=kind, config=config)
-    elapsed = time.perf_counter() - start
+    result = DEFAULT_PIPELINE.build(
+        BuildRequest(source=density, kind=kind, config=config)
+    )
+    histogram = result.histogram
     return BuildRecord(
         column=column.name,
         kind=kind,
-        seconds=elapsed,
+        seconds=result.seconds,
         size_bytes=histogram.size_bytes(),
         n_buckets=len(histogram),
         compressed_bytes=column.compressed_bytes,

@@ -1,0 +1,20 @@
+"""Lightweight observability: trace spans, phase timers, counters.
+
+Zero-dependency instrumentation shared by the build pipeline
+(:mod:`repro.engine`) and the statistics service
+(:mod:`repro.service.metrics`).  Tracing is opt-in per build; the
+disabled path (:data:`NULL_TRACE`) costs an attribute lookup and an
+empty call, so hot loops stay instrumented unconditionally.
+"""
+
+from repro.obs.counters import CounterSet
+from repro.obs.trace import NULL_TRACE, NullTrace, PhaseTimer, Span, Trace
+
+__all__ = [
+    "CounterSet",
+    "NULL_TRACE",
+    "NullTrace",
+    "PhaseTimer",
+    "Span",
+    "Trace",
+]

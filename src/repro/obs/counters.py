@@ -1,0 +1,60 @@
+"""Thread-safe named counters: the shared primitive under service metrics.
+
+:class:`CounterSet` is a locked name → integer map.  It backs the
+request/error/free-form counter families of
+:class:`repro.service.metrics.ServiceMetrics` and absorbs the per-build
+counter totals (acceptance tests, buckets, intervals scanned) that the
+build pipeline reports, so service dashboards and build instrumentation
+speak the same vocabulary.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Mapping, Optional
+
+__all__ = ["CounterSet"]
+
+
+class CounterSet:
+    """Named monotonic counters behind one lock.
+
+    Parameters
+    ----------
+    lock:
+        Optional externally owned lock.  A holder with several counter
+        families (e.g. ``ServiceMetrics``) passes one shared re-entrant
+        lock so a combined snapshot is consistent across families.
+    """
+
+    __slots__ = ("_lock", "_counts")
+
+    def __init__(self, lock: Optional[threading.RLock] = None) -> None:
+        self._lock = lock if lock is not None else threading.Lock()
+        self._counts: Dict[str, int] = {}
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            self._counts[name] = self._counts.get(name, 0) + amount
+
+    def get(self, name: str) -> int:
+        with self._lock:
+            return self._counts.get(name, 0)
+
+    def merge(self, counts: Mapping[str, int], prefix: str = "") -> None:
+        """Fold a whole mapping in at once (one lock acquisition)."""
+        with self._lock:
+            for name, amount in counts.items():
+                key = prefix + name
+                self._counts[key] = self._counts.get(key, 0) + int(amount)
+
+    def snapshot(self) -> Dict[str, int]:
+        with self._lock:
+            return dict(self._counts)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._counts)
+
+    def __repr__(self) -> str:
+        return f"CounterSet({self.snapshot()!r})"

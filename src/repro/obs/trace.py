@@ -1,0 +1,252 @@
+"""Nestable trace spans and accumulating phase timers.
+
+The build pipeline (:mod:`repro.engine`) reports where construction time
+goes -- density scan, bucket search, acceptance tests, packing -- without
+a profiler.  Two complementary primitives:
+
+* :class:`Span` -- one timed section of work.  Spans nest (a build span
+  holds a density-scan span and a bucket-search span), carry named
+  counters, and own :class:`PhaseTimer` aggregates for work that is too
+  fine-grained to be a span of its own.
+* :class:`PhaseTimer` -- an accumulating monotonic timer used as a
+  reusable context manager.  Acceptance tests run thousands of times per
+  build; giving each its own span would dominate the measurement, so a
+  single timer object accumulates total seconds + call count instead.
+
+:class:`Trace` is the enabled collector: a stack of open spans rooted at
+one build span.  :data:`NULL_TRACE` is the disabled twin -- every method
+is a no-op returning shared singletons, so instrumented code pays one
+attribute lookup and an empty call when tracing is off.  Everything here
+is stdlib-only and allocation-free on the disabled path.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from time import perf_counter
+from typing import Dict, Iterator, List, Optional
+
+__all__ = [
+    "PhaseTimer",
+    "Span",
+    "Trace",
+    "NullTrace",
+    "NULL_TRACE",
+]
+
+
+class PhaseTimer:
+    """Accumulating monotonic timer; reusable as a context manager.
+
+    One instance aggregates many short ``with timer:`` sections into a
+    total (``seconds``) and a call count (``calls``).  Not reentrant --
+    phase sections do not nest (nesting is what spans are for).
+    """
+
+    __slots__ = ("name", "seconds", "calls", "_t0")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.seconds = 0.0
+        self.calls = 0
+        self._t0 = 0.0
+
+    def __enter__(self) -> "PhaseTimer":
+        self._t0 = perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.seconds += perf_counter() - self._t0
+        self.calls += 1
+        return False
+
+    def snapshot(self) -> Dict[str, float]:
+        return {"seconds": self.seconds, "calls": self.calls}
+
+    def __repr__(self) -> str:
+        return f"PhaseTimer({self.name!r}, {self.seconds * 1e3:.3f} ms, {self.calls} calls)"
+
+
+class _NullContext:
+    """Shared do-nothing context manager: the disabled-tracing fast path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullContext":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def count(self, name: str, amount: int = 1) -> None:  # span-compatible
+        return None
+
+
+_NULL_CONTEXT = _NullContext()
+
+
+class Span:
+    """One timed section of work with counters, phase timers and children."""
+
+    __slots__ = ("name", "seconds", "children", "counters", "timers", "_t0")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.seconds = 0.0
+        self.children: List["Span"] = []
+        self.counters: Dict[str, int] = {}
+        self.timers: Dict[str, PhaseTimer] = {}
+        self._t0: Optional[float] = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def begin(self) -> "Span":
+        self._t0 = perf_counter()
+        return self
+
+    def finish(self) -> None:
+        if self._t0 is not None:
+            self.seconds = perf_counter() - self._t0
+            self._t0 = None
+
+    # -- instrumentation ---------------------------------------------------
+
+    def count(self, name: str, amount: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def timer(self, name: str) -> PhaseTimer:
+        timer = self.timers.get(name)
+        if timer is None:
+            timer = self.timers[name] = PhaseTimer(name)
+        return timer
+
+    # -- aggregation -------------------------------------------------------
+
+    def phase_seconds(self) -> Dict[str, float]:
+        """Wall-clock per phase over the whole subtree.
+
+        A *phase* is either a named child span or a named phase timer;
+        repeated names (e.g. the same timer on parallel sub-spans) sum.
+        """
+        phases: Dict[str, float] = {}
+
+        def visit(span: "Span") -> None:
+            for timer in span.timers.values():
+                phases[timer.name] = phases.get(timer.name, 0.0) + timer.seconds
+            for child in span.children:
+                phases[child.name] = phases.get(child.name, 0.0) + child.seconds
+                visit(child)
+
+        visit(self)
+        return phases
+
+    def counter_totals(self) -> Dict[str, int]:
+        """Named counters summed over the whole subtree."""
+        totals: Dict[str, int] = {}
+
+        def visit(span: "Span") -> None:
+            for name, amount in span.counters.items():
+                totals[name] = totals.get(name, 0) + amount
+            for child in span.children:
+                visit(child)
+
+        visit(self)
+        return totals
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-compatible span tree (the wire/profile format)."""
+        return {
+            "name": self.name,
+            "seconds": self.seconds,
+            "counters": dict(self.counters),
+            "timers": {name: t.snapshot() for name, t in self.timers.items()},
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    def format(self, indent: int = 0) -> str:
+        """Human-readable indented rendering of the span tree."""
+        pad = "  " * indent
+        lines = [f"{pad}{self.name:<28} {self.seconds * 1e3:10.3f} ms"]
+        for timer in self.timers.values():
+            lines.append(
+                f"{pad}  ~ {timer.name:<24} {timer.seconds * 1e3:10.3f} ms"
+                f"  ({timer.calls} calls)"
+            )
+        if self.counters:
+            rendered = " ".join(f"{k}={v}" for k, v in sorted(self.counters.items()))
+            lines.append(f"{pad}  # {rendered}")
+        for child in self.children:
+            lines.append(child.format(indent + 1))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"Span({self.name!r}, {self.seconds * 1e3:.3f} ms, {len(self.children)} children)"
+
+
+class Trace:
+    """An enabled trace: a stack of open spans rooted at one build span.
+
+    Instrumented code never checks whether tracing is on -- it calls
+    :meth:`span` / :meth:`timer` / :meth:`count` and the type of the
+    trace object (this class or :class:`NullTrace`) decides the cost.
+    ``enabled`` exists for callers that want to skip building expensive
+    *inputs* to those calls.
+    """
+
+    enabled = True
+
+    def __init__(self, name: str = "build") -> None:
+        self.root = Span(name).begin()
+        self._stack: List[Span] = [self.root]
+
+    @property
+    def current(self) -> Span:
+        return self._stack[-1]
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[Span]:
+        """Open a child span of the current span for the ``with`` body."""
+        span = Span(name)
+        self._stack[-1].children.append(span)
+        self._stack.append(span)
+        span.begin()
+        try:
+            yield span
+        finally:
+            span.finish()
+            self._stack.pop()
+
+    def timer(self, name: str) -> PhaseTimer:
+        """The named accumulating timer of the *current* span."""
+        return self._stack[-1].timer(name)
+
+    def count(self, name: str, amount: int = 1) -> None:
+        self._stack[-1].count(name, amount)
+
+    def close(self) -> Span:
+        """Finish the root span and return it."""
+        self.root.finish()
+        return self.root
+
+
+class NullTrace:
+    """Disabled tracing: every operation is a no-op on shared singletons."""
+
+    enabled = False
+
+    __slots__ = ()
+
+    def span(self, name: str) -> _NullContext:
+        return _NULL_CONTEXT
+
+    def timer(self, name: str) -> _NullContext:
+        return _NULL_CONTEXT
+
+    def count(self, name: str, amount: int = 1) -> None:
+        return None
+
+    def close(self) -> None:
+        return None
+
+
+NULL_TRACE = NullTrace()

@@ -1,9 +1,14 @@
 """Service observability: request, latency, cache and rebuild counters.
 
 A deliberately small metrics surface -- the counters a ``status`` call
-reports and the throughput benchmark reads.  Everything is guarded by
-one lock; the increments are nanoseconds next to histogram estimation,
-and a single lock keeps :meth:`ServiceMetrics.snapshot` consistent.
+reports and the throughput benchmark reads.  The counter families are
+:class:`repro.obs.CounterSet` instances sharing one re-entrant lock, so
+the increments are nanoseconds next to histogram estimation and
+:meth:`ServiceMetrics.snapshot` stays consistent across families.  Build
+profiles reported by the :mod:`repro.engine` pipeline fold in through
+:meth:`ServiceMetrics.record_build_profile`, giving ``status`` the same
+per-phase vocabulary (density scan, bucket search, acceptance tests,
+packing) that ``repro build --profile`` prints.
 """
 
 from __future__ import annotations
@@ -11,7 +16,9 @@ from __future__ import annotations
 import threading
 import time
 from contextlib import contextmanager
-from typing import Dict, Iterator
+from typing import Dict, Iterator, List, Mapping, Optional
+
+from repro.obs import CounterSet
 
 __all__ = ["LatencyStat", "ServiceMetrics"]
 
@@ -44,21 +51,27 @@ class LatencyStat:
 class ServiceMetrics:
     """Thread-safe counters for the statistics service.
 
-    Three families:
+    Four families:
 
     * per-op request/error counts and latencies (via :meth:`track`);
     * free-form named counters (:meth:`incr`) -- rebuilds triggered /
       completed / failed, rows inserted, estimates served stale;
+    * per-phase build timing folded in from pipeline profiles
+      (:meth:`record_build_profile`), keyed by operation (``"build"``
+      for request-driven builds, ``"rebuild"`` for the background
+      refresh loop);
     * whatever the caller merges in at :meth:`snapshot` time (the store
       contributes its cache hit/miss numbers there).
     """
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self._requests: Dict[str, int] = {}
-        self._errors: Dict[str, int] = {}
+        self._lock = threading.RLock()
+        self._requests = CounterSet(lock=self._lock)
+        self._errors = CounterSet(lock=self._lock)
+        self._counters = CounterSet(lock=self._lock)
         self._latency: Dict[str, LatencyStat] = {}
-        self._counters: Dict[str, int] = {}
+        # op -> phase -> [seconds, builds]
+        self._phases: Dict[str, Dict[str, List[float]]] = {}
 
     @contextmanager
     def track(self, op: str) -> Iterator[None]:
@@ -67,35 +80,63 @@ class ServiceMetrics:
         try:
             yield
         except Exception:
-            with self._lock:
-                self._errors[op] = self._errors.get(op, 0) + 1
+            self._errors.incr(op)
             raise
         finally:
             elapsed = time.perf_counter() - start
+            self._requests.incr(op)
             with self._lock:
-                self._requests[op] = self._requests.get(op, 0) + 1
                 self._latency.setdefault(op, LatencyStat()).record(elapsed)
 
     def incr(self, name: str, amount: int = 1) -> None:
-        with self._lock:
-            self._counters[name] = self._counters.get(name, 0) + amount
+        self._counters.incr(name, amount)
 
     def counter(self, name: str) -> int:
-        with self._lock:
-            return self._counters.get(name, 0)
+        return self._counters.get(name)
 
     def requests(self, op: str) -> int:
+        return self._requests.get(op)
+
+    def record_build_profile(
+        self, op: str, profile: Optional[Mapping[str, object]]
+    ) -> None:
+        """Fold one pipeline build profile into the ``op`` aggregate.
+
+        ``profile`` is the picklable
+        :meth:`~repro.engine.BuildResult.profile` dict: its ``phases``
+        accumulate per-phase wall-clock under ``op``, its ``counters``
+        land in the free-form family as ``"<op>.<name>"``.
+        """
+        if not profile:
+            return
+        phases = profile.get("phases") or {}
+        counters = profile.get("counters") or {}
         with self._lock:
-            return self._requests.get(op, 0)
+            agg = self._phases.setdefault(op, {})
+            for name, seconds in phases.items():
+                slot = agg.setdefault(name, [0.0, 0])
+                slot[0] += float(seconds)
+                slot[1] += 1
+            slot = agg.setdefault("total", [0.0, 0])
+            slot[0] += float(profile.get("seconds") or 0.0)
+            slot[1] += 1
+        self._counters.merge(counters, prefix=f"{op}.")
 
     def snapshot(self) -> Dict[str, object]:
         """A JSON-compatible view of every counter."""
         with self._lock:
             return {
-                "requests": dict(self._requests),
-                "errors": dict(self._errors),
+                "requests": self._requests.snapshot(),
+                "errors": self._errors.snapshot(),
                 "latency": {
                     op: stat.snapshot() for op, stat in self._latency.items()
                 },
-                "counters": dict(self._counters),
+                "counters": self._counters.snapshot(),
+                "phases": {
+                    op: {
+                        name: {"seconds": slot[0], "builds": slot[1]}
+                        for name, slot in agg.items()
+                    }
+                    for op, agg in self._phases.items()
+                },
             }

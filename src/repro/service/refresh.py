@@ -339,6 +339,7 @@ class RefreshScheduler:
                         frequencies=merged,
                         kind=self.kind,
                         config=self.config,
+                        trace=True,
                     )
                 except Exception:
                     # Same degradation as a failed build: the register
@@ -366,11 +367,12 @@ class RefreshScheduler:
     ) -> None:
         histogram: Optional[Histogram] = None
         try:
-            _, data = future.result()
+            _, data, profile = future.result()
             histogram = deserialize_histogram(data)
             register.swap(histogram, merged, covered)
             self.store.put(key[0], key[1], histogram)
             self.metrics.incr("rebuilds_completed")
+            self.metrics.record_build_profile("rebuild", profile)
         except Exception:
             # Graceful degradation: the register keeps serving the stale
             # histogram with Morris-blended inserts; nothing propagates

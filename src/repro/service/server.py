@@ -156,6 +156,9 @@ class StatisticsService:
                 config=self.config,
                 max_workers=self._build_workers,
                 executor=self._build_executor,
+                phase_sink=lambda name, profile: self.metrics.record_build_profile(
+                    "build", profile
+                ),
             )
             manager = StatisticsManager(kind=kind, config=self.config)
             exact = 0

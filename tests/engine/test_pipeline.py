@@ -1,0 +1,201 @@
+"""The build pipeline: registry dispatch, parity with the direct
+builders, and trace instrumentation."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.builder import HISTOGRAM_KINDS, build_histogram
+from repro.core.config import HistogramConfig
+from repro.core.density import AttributeDensity
+from repro.core.qewh import build_qewh
+from repro.core.qvwh import build_atomic_dense, build_qvwh
+from repro.core.serialize import serialize_histogram
+from repro.core.valuebased import build_value_histogram
+from repro.dictionary.column import DictionaryEncodedColumn
+from repro.engine import (
+    DEFAULT_PIPELINE,
+    DEFAULT_REGISTRY,
+    BuilderRegistry,
+    BuilderSpec,
+    BuildPipeline,
+    BuildRequest,
+    build,
+)
+
+
+@pytest.fixture
+def zipf_column(rng):
+    return DictionaryEncodedColumn.from_values(
+        np.minimum(rng.zipf(1.5, size=5000), 2000), name="zipf"
+    )
+
+
+@pytest.fixture
+def uniform_column(rng):
+    return DictionaryEncodedColumn.from_values(
+        rng.integers(0, 400, size=5000), name="uniform"
+    )
+
+
+def legacy_build(column, kind, config):
+    """The pre-pipeline dispatch, replicated builder-by-builder."""
+    if kind.startswith("1V"):
+        density = AttributeDensity.from_value_column(column)
+        cfg = dataclasses.replace(config, test_distinct=kind == "1VincB1")
+        return build_value_histogram(density, cfg)
+    density = AttributeDensity.from_column(column)
+    if kind == "F8Dgt":
+        return build_qewh(density, config)
+    cfg = dataclasses.replace(config, bounded_search=kind.endswith("B"))
+    if kind.startswith("V8D"):
+        return build_qvwh(density, cfg)
+    return build_atomic_dense(density, cfg)
+
+
+class TestParity:
+    """Bucket-for-bucket parity between the pipeline and the direct
+    builders, on both a heavy-tailed and a uniform column."""
+
+    @pytest.mark.parametrize("column_fixture", ["zipf_column", "uniform_column"])
+    @pytest.mark.parametrize("kind", HISTOGRAM_KINDS)
+    def test_pipeline_matches_direct_builders(self, kind, column_fixture, request):
+        column = request.getfixturevalue(column_fixture)
+        config = HistogramConfig(q=2.0, theta=16)
+        expected = legacy_build(column, kind, config)
+        result = DEFAULT_PIPELINE.build(
+            BuildRequest(source=column, kind=kind, config=config)
+        )
+        assert result.kind == kind
+        assert serialize_histogram(result.histogram) == serialize_histogram(expected)
+
+    @pytest.mark.parametrize("kind", HISTOGRAM_KINDS)
+    def test_build_histogram_matches_pipeline(self, kind, zipf_column):
+        config = HistogramConfig(q=2.0, theta=16)
+        via_api = build_histogram(zipf_column, kind=kind, config=config)
+        via_pipeline = build(zipf_column, kind=kind, config=config).histogram
+        assert serialize_histogram(via_api) == serialize_histogram(via_pipeline)
+
+    @pytest.mark.parametrize("kind", ["V8DincB", "F8Dgt"])
+    def test_certify_passes_both_paths(self, kind, uniform_column):
+        from repro.experiments.validate import certify
+
+        config = HistogramConfig(q=2.0, theta=16)
+        density = AttributeDensity.from_column(uniform_column)
+        for histogram in (
+            legacy_build(uniform_column, kind, config),
+            build(uniform_column, kind=kind, config=config).histogram,
+        ):
+            report = certify(histogram, density, k=4.0, n_samples=20_000)
+            assert report.passed
+
+    @pytest.mark.parametrize("kind", HISTOGRAM_KINDS)
+    def test_traced_equals_untraced(self, kind, zipf_column):
+        config = HistogramConfig(q=2.0, theta=16)
+        untraced = build(zipf_column, kind=kind, config=config)
+        traced = build(zipf_column, kind=kind, config=config, trace=True)
+        assert serialize_histogram(traced.histogram) == serialize_histogram(
+            untraced.histogram
+        )
+
+
+class TestDispatch:
+    def test_unknown_kind_lists_registered_kinds(self, zipf_column):
+        with pytest.raises(ValueError, match="unknown histogram kind") as excinfo:
+            build(zipf_column, kind="magic")
+        for kind in HISTOGRAM_KINDS:
+            assert kind in str(excinfo.value)
+
+    def test_histogram_kinds_mirror_registry(self):
+        assert HISTOGRAM_KINDS == DEFAULT_REGISTRY.kinds()
+        assert len(DEFAULT_REGISTRY) == 7
+        for spec in DEFAULT_REGISTRY:
+            assert spec.kind in DEFAULT_REGISTRY
+
+    def test_bad_source_rejected_with_type_error(self):
+        with pytest.raises(TypeError, match="cannot build a histogram"):
+            build([1, 2, 3], kind="V8DincB")
+
+    def test_kind_implied_config_is_pinned(self, zipf_column):
+        # V8DincB forces bounded search even when the config says otherwise.
+        config = HistogramConfig(q=2.0, theta=16, bounded_search=False)
+        result = build(zipf_column, kind="V8DincB", config=config)
+        assert result.histogram.kind == "V8DincB"
+
+    def test_duplicate_registration_rejected(self):
+        registry = BuilderRegistry()
+        spec = DEFAULT_REGISTRY.get("F8Dgt")
+        registry.register(spec)
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register(spec)
+        registry.register(spec, replace=True)
+
+    def test_custom_kind_is_pluggable(self, zipf_column):
+        registry = BuilderRegistry()
+        for spec in DEFAULT_REGISTRY:
+            registry.register(spec)
+        base = DEFAULT_REGISTRY.get("1DincB")
+        registry.register(
+            BuilderSpec(
+                kind="custom",
+                section="n/a",
+                summary="test-only alias of 1DincB",
+                value_domain=False,
+                prepare=base.prepare,
+                construct=base.construct,
+            )
+        )
+        pipeline = BuildPipeline(registry)
+        result = pipeline.build(
+            BuildRequest(source=zipf_column, kind="custom", config=HistogramConfig(theta=16))
+        )
+        assert result.histogram.kind == "1DincB"
+        assert len(result.histogram) >= 1
+
+
+class TestInstrumentation:
+    @pytest.mark.parametrize("kind", HISTOGRAM_KINDS)
+    def test_traced_build_reports_every_phase(self, kind, zipf_column):
+        result = build(
+            zipf_column, kind=kind, config=HistogramConfig(q=2.0, theta=16), trace=True
+        )
+        for phase in ("density_scan", "bucket_search", "acceptance_tests", "packing"):
+            assert phase in result.phases, phase
+            assert result.phases[phase] >= 0.0
+        assert result.counters["acceptance_tests"] > 0
+        assert result.counters["buckets"] == len(result.histogram)
+        assert result.seconds > 0.0
+
+    def test_trace_span_tree_shape(self, zipf_column):
+        result = build(zipf_column, kind="V8DincB", trace=True, label="my-build")
+        assert result.trace is not None
+        assert result.trace.name == "my-build"
+        child_names = [child.name for child in result.trace.children]
+        assert child_names == ["density_scan", "bucket_search"]
+        search = result.trace.children[1]
+        assert search.timers["acceptance_tests"].calls > 0
+        assert search.timers["packing"].calls > 0
+
+    def test_untraced_build_has_no_trace(self, zipf_column):
+        result = build(zipf_column, kind="V8DincB")
+        assert result.trace is None
+        assert result.phases == {}
+        assert result.counters == {}
+
+    def test_profile_is_json_compatible(self, zipf_column):
+        import json
+
+        result = build(zipf_column, kind="F8Dgt", trace=True)
+        profile = result.profile()
+        round_tripped = json.loads(json.dumps(profile))
+        assert round_tripped["kind"] == "F8Dgt"
+        assert round_tripped["trace"]["name"] == "build[F8Dgt]"
+        assert round_tripped["counters"]["buckets"] == len(result.histogram)
+
+    def test_format_phases_renders_table(self, zipf_column):
+        result = build(zipf_column, kind="V8DincB", trace=True)
+        rendered = result.format_phases()
+        assert "bucket_search" in rendered
+        assert "total" in rendered
+        assert "acceptance_tests=" in rendered

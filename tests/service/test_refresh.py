@@ -146,6 +146,15 @@ class TestRebuildLoop:
             # pending inserts -> register == histogram).
             rebuilt = store.get("t", "c")
             assert register.estimate(0, 10) == rebuilt.estimate(0, 10)
+
+            # The rebuild ran traced: per-phase timing and acceptance
+            # counters landed in the metrics under the "rebuild" op.
+            phases = metrics.snapshot()["phases"]["rebuild"]
+            assert phases["total"]["builds"] == 1
+            for phase in ("bucket_search", "acceptance_tests", "packing"):
+                assert phase in phases
+            assert metrics.counter("rebuild.acceptance_tests") > 0
+            assert metrics.counter("rebuild.buckets") > 0
         finally:
             scheduler.stop()
 

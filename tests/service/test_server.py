@@ -51,6 +51,18 @@ class TestServiceCore:
         service.build("orders")
         assert service.store.generation("orders", "amount") == first + 1
 
+    def test_status_exposes_build_phase_breakdown(self, service):
+        status = service.status()
+        phases = status["metrics"]["phases"]["build"]
+        # add_table built two worthy columns through the traced pipeline.
+        assert phases["total"]["builds"] == 2
+        for phase in ("density_scan", "bucket_search", "acceptance_tests", "packing"):
+            assert phase in phases
+            assert phases[phase]["seconds"] >= 0.0
+        counters = status["metrics"]["counters"]
+        assert counters["build.acceptance_tests"] > 0
+        assert counters["build.buckets"] > 0
+
     def test_handle_wraps_errors(self, service):
         response = service.handle({"op": "estimate", "table": "nope", "id": 4})
         assert response["ok"] is False

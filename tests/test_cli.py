@@ -145,6 +145,73 @@ class TestCommands:
         assert code == 1
         assert "no column files" in capsys.readouterr().err
 
+    def test_build_profile_prints_phase_breakdown(self, column_npy, tmp_path, capsys):
+        out = tmp_path / "hist.bin"
+        code = main(["build", str(column_npy), str(out), "--profile", "--theta", "32"])
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "build[V8DincB]" in captured
+        assert "density_scan" in captured
+        assert "bucket_search" in captured
+        assert "acceptance_tests" in captured
+        assert "packing" in captured
+        assert "acceptance_tests=" in captured
+        sidecar = tmp_path / "hist.bin.profile.json"
+        assert sidecar.exists()
+        import json
+
+        profile = json.loads(sidecar.read_text())
+        assert profile["kind"] == "V8DincB"
+        assert profile["counters"]["acceptance_tests"] > 0
+
+    def test_inspect_surfaces_profile_sidecar(self, column_npy, tmp_path, capsys):
+        out = tmp_path / "hist.bin"
+        main(["build", str(column_npy), str(out), "--profile", "--theta", "32"])
+        capsys.readouterr()
+        assert main(["inspect", str(out)]) == 0
+        captured = capsys.readouterr().out
+        assert "build profile" in captured
+        assert "bucket_search" in captured
+        assert "acceptance_tests=" in captured
+
+    def test_inspect_without_sidecar_stays_quiet(self, column_npy, tmp_path, capsys):
+        out = tmp_path / "hist.bin"
+        main(["build", str(column_npy), str(out), "--theta", "32"])
+        capsys.readouterr()
+        assert main(["inspect", str(out)]) == 0
+        assert "build profile" not in capsys.readouterr().out
+
+    def test_build_table_profile_aggregates_phases(self, tmp_path, rng, capsys):
+        data = tmp_path / "cols"
+        data.mkdir()
+        np.save(data / "a.npy", rng.integers(0, 500, size=20_000))
+        np.save(data / "b.npy", rng.zipf(1.8, size=20_000))
+        code = main(
+            [
+                "build-table",
+                str(data),
+                str(tmp_path / "cat"),
+                "--executor",
+                "thread",
+                "--workers",
+                "2",
+                "--theta",
+                "32",
+                "--profile",
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "phase totals across 2 builds" in captured
+        assert "bucket_search" in captured
+        assert "acceptance_tests=" in captured
+
+    def test_analyze_profile_adds_acceptance_columns(self, column_npy, capsys):
+        assert main(["analyze", str(column_npy), "--profile"]) == 0
+        captured = capsys.readouterr().out
+        assert "accept tests" in captured
+        assert "accept ms" in captured
+
     def test_estimate_accuracy_through_cli(self, tmp_path, rng, capsys):
         raw = rng.integers(0, 300, size=30_000)
         path = tmp_path / "col.npy"

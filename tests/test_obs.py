@@ -1,0 +1,196 @@
+"""The observability primitives: spans, phase timers, counters."""
+
+import threading
+import time
+
+import pytest
+
+from repro.obs import NULL_TRACE, CounterSet, NullTrace, PhaseTimer, Span, Trace
+
+
+class TestPhaseTimer:
+    def test_accumulates_across_uses(self):
+        timer = PhaseTimer("work")
+        for _ in range(3):
+            with timer:
+                pass
+        assert timer.calls == 3
+        assert timer.seconds >= 0.0
+
+    def test_measures_elapsed_time(self):
+        timer = PhaseTimer("sleep")
+        with timer:
+            time.sleep(0.01)
+        assert timer.seconds >= 0.009
+
+    def test_snapshot(self):
+        timer = PhaseTimer("x")
+        with timer:
+            pass
+        snap = timer.snapshot()
+        assert snap["calls"] == 1
+        assert snap["seconds"] == timer.seconds
+
+
+class TestSpan:
+    def test_counters_accumulate(self):
+        span = Span("root")
+        span.count("tests", 5)
+        span.count("tests", 2)
+        assert span.counters == {"tests": 7}
+
+    def test_timer_get_or_create(self):
+        span = Span("root")
+        assert span.timer("a") is span.timer("a")
+        assert span.timer("a") is not span.timer("b")
+
+    def test_phase_seconds_sums_subtree(self):
+        root = Span("root").begin()
+        child = Span("search").begin()
+        child.timer("accept").seconds = 0.25
+        child.finish()
+        child.seconds = 1.0
+        root.children.append(child)
+        other = Span("scan").begin()
+        other.finish()
+        other.seconds = 0.5
+        root.children.append(other)
+        root.finish()
+        phases = root.phase_seconds()
+        assert phases["search"] == 1.0
+        assert phases["scan"] == 0.5
+        assert phases["accept"] == 0.25
+
+    def test_counter_totals_sums_subtree(self):
+        root = Span("root")
+        root.count("tests", 1)
+        child = Span("child")
+        child.count("tests", 2)
+        child.count("buckets", 3)
+        root.children.append(child)
+        assert root.counter_totals() == {"tests": 3, "buckets": 3}
+
+    def test_to_dict_round_trips_structure(self):
+        root = Span("root").begin()
+        root.count("n", 4)
+        with root.timer("t"):
+            pass
+        root.children.append(Span("child"))
+        root.finish()
+        tree = root.to_dict()
+        assert tree["name"] == "root"
+        assert tree["counters"] == {"n": 4}
+        assert tree["timers"]["t"]["calls"] == 1
+        assert tree["children"][0]["name"] == "child"
+
+    def test_format_renders_every_line(self):
+        root = Span("build").begin()
+        root.count("buckets", 2)
+        with root.timer("packing"):
+            pass
+        root.finish()
+        rendered = root.format()
+        assert "build" in rendered
+        assert "packing" in rendered
+        assert "buckets=2" in rendered
+
+
+class TestTrace:
+    def test_span_nesting_and_stack(self):
+        trace = Trace("build")
+        with trace.span("outer") as outer:
+            assert trace.current is outer
+            with trace.span("inner") as inner:
+                assert trace.current is inner
+            assert trace.current is outer
+        assert trace.current is trace.root
+        assert [c.name for c in trace.root.children] == ["outer"]
+        assert [c.name for c in trace.root.children[0].children] == ["inner"]
+
+    def test_timer_attaches_to_current_span(self):
+        trace = Trace()
+        with trace.span("phase"):
+            with trace.timer("work"):
+                pass
+        phase = trace.root.children[0]
+        assert phase.timers["work"].calls == 1
+        assert "work" not in trace.root.timers
+
+    def test_count_attaches_to_current_span(self):
+        trace = Trace()
+        with trace.span("phase"):
+            trace.count("tests", 9)
+        assert trace.root.children[0].counters == {"tests": 9}
+        assert trace.root.counter_totals() == {"tests": 9}
+
+    def test_close_finishes_root(self):
+        trace = Trace("b")
+        root = trace.close()
+        assert root is trace.root
+        assert root.seconds >= 0.0
+
+    def test_span_pops_on_exception(self):
+        trace = Trace()
+        with pytest.raises(RuntimeError):
+            with trace.span("boom"):
+                raise RuntimeError("x")
+        assert trace.current is trace.root
+
+    def test_enabled_flags(self):
+        assert Trace().enabled is True
+        assert NULL_TRACE.enabled is False
+
+
+class TestNullTrace:
+    def test_all_operations_are_noops(self):
+        null = NullTrace()
+        with null.span("a"):
+            with null.timer("b"):
+                null.count("c", 10)
+        assert null.close() is None
+
+    def test_shared_singleton_contexts(self):
+        assert NULL_TRACE.span("a") is NULL_TRACE.timer("b")
+        NULL_TRACE.span("a").count("x")  # span-compatible surface
+
+
+class TestCounterSet:
+    def test_incr_and_get(self):
+        counters = CounterSet()
+        counters.incr("a")
+        counters.incr("a", 4)
+        assert counters.get("a") == 5
+        assert counters.get("missing") == 0
+
+    def test_merge_with_prefix(self):
+        counters = CounterSet()
+        counters.merge({"x": 2, "y": 3}, prefix="build.")
+        counters.merge({"x": 1}, prefix="build.")
+        assert counters.snapshot() == {"build.x": 3, "build.y": 3}
+
+    def test_external_lock_is_used(self):
+        lock = threading.RLock()
+        counters = CounterSet(lock=lock)
+        with lock:  # re-entrant: incr under the caller's lock must not deadlock
+            counters.incr("a")
+        assert counters.get("a") == 1
+
+    def test_len(self):
+        counters = CounterSet()
+        assert len(counters) == 0
+        counters.incr("a")
+        assert len(counters) == 1
+
+    def test_thread_safety(self):
+        counters = CounterSet()
+
+        def work():
+            for _ in range(1000):
+                counters.incr("n")
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counters.get("n") == 4000
