@@ -5,10 +5,17 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint-artifacts smoke
+.PHONY: test lint-artifacts smoke bench-estimation
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# Estimation benchmarks with the compiled-path speedup floors armed:
+# a regression of the compiled batch path (>= 10x interpreted) or the
+# service batch op (>= 3x single-op) fails THIS target, not tier-1.
+bench-estimation:
+	REPRO_BENCH_ASSERT_SPEEDUP=1 $(PYTHON) -m pytest -x -q \
+		benchmarks/test_estimation_cost.py benchmarks/test_service_throughput.py
 
 lint-artifacts:
 	@bad=$$(git ls-files | grep -E '__pycache__|\.pyc$$' || true); \

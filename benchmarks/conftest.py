@@ -11,6 +11,7 @@ substitution.  Set the environment variable ``REPRO_BENCH_FULL=1`` to run
 the full 688/192-column populations.
 """
 
+import json
 import os
 from pathlib import Path
 
@@ -62,5 +63,31 @@ def emit():
         RESULTS_DIR.mkdir(exist_ok=True)
         with open(RESULTS_DIR / f"{name}.txt", "w") as handle:
             handle.write(text + "\n")
+
+    return _emit
+
+
+@pytest.fixture()
+def emit_json():
+    """Merge a section into ``benchmarks/results/BENCH_<name>.json``.
+
+    The machine-readable sidecar of :func:`emit`: each benchmark
+    contributes top-level keys, so several tests in one file share one
+    ``BENCH_*.json`` and the perf trajectory can be diffed across PRs.
+    """
+
+    def _emit(name: str, payload: dict) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"BENCH_{name}.json"
+        merged = {}
+        if path.exists():
+            try:
+                merged = json.loads(path.read_text())
+            except ValueError:
+                merged = {}
+        merged.update(payload)
+        rendered = json.dumps(merged, indent=2, sort_keys=True)
+        path.write_text(rendered + "\n")
+        print(f"\n===== BENCH_{name}.json =====\n{rendered}\n")
 
     return _emit

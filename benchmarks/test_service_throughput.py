@@ -20,6 +20,8 @@ import time
 
 import numpy as np
 
+ASSERT_SPEEDUP = os.environ.get("REPRO_BENCH_ASSERT_SPEEDUP", "") == "1"
+
 from repro.dictionary.column import DictionaryEncodedColumn
 from repro.dictionary.table import Table
 from repro.experiments.report import format_table
@@ -81,7 +83,7 @@ def _tcp_estimates_per_second(address, n_clients: int, per_client: int) -> float
     return (n_clients * per_client) / elapsed
 
 
-def test_service_throughput(tmp_path, emit):
+def test_service_throughput(tmp_path, emit, emit_json):
     service = _service(tmp_path)
 
     warm = _store_reads_per_second(service, cold=False, n=N_REQUESTS)
@@ -103,8 +105,99 @@ def test_service_throughput(tmp_path, emit):
 
     text = format_table(["path", "requests/sec"], rows)
     emit("service_throughput", text)
+    emit_json(
+        "service",
+        {
+            "store_reads": {"warm_per_second": warm, "cold_per_second": cold},
+        },
+    )
 
     # The cache has to pay for itself: warm reads must beat reparsing.
     assert warm > cold
     # And the serving stack stayed healthy under concurrent load.
     assert service.metrics.snapshot()["errors"] == {}
+
+
+def test_service_batch_speedup(tmp_path, emit, emit_json):
+    """Acceptance bar: ``estimate_batch`` >= 3x single-op predicates/sec.
+
+    Same predicates either way; the batch ships them as one request line
+    and answers them with one compiled-plan pass.
+    """
+    service = _service(tmp_path)
+    rng = np.random.default_rng(17)
+    n_predicates = 1_000 if FULL else 400
+    batch_size = 50
+    lows = rng.integers(1, 1_500, size=n_predicates)
+    highs = lows + 100
+
+    handle = start_server_thread(service)
+    try:
+        with StatisticsClient(*handle.address) as client:
+            # Warm both paths (plan compile, JIT-ish caches) off the clock.
+            client.estimate_range("bench", "amount", 1, 10)
+            client.estimate_range_batch("bench", "amount", lows[:8], highs[:8])
+
+            start = time.perf_counter()
+            single_values = [
+                client.estimate_range("bench", "amount", int(lo), int(hi)).value
+                for lo, hi in zip(lows, highs)
+            ]
+            single_elapsed = time.perf_counter() - start
+
+            start = time.perf_counter()
+            batch_values = []
+            for offset in range(0, n_predicates, batch_size):
+                chunk = client.estimate_range_batch(
+                    "bench",
+                    "amount",
+                    lows[offset : offset + batch_size],
+                    highs[offset : offset + batch_size],
+                )
+                batch_values.extend(estimate.value for estimate in chunk)
+            batch_elapsed = time.perf_counter() - start
+    finally:
+        handle.stop()
+
+    np.testing.assert_allclose(batch_values, single_values, rtol=1e-9)
+    single_rps = n_predicates / single_elapsed
+    batch_rps = n_predicates / batch_elapsed
+    speedup = batch_rps / single_rps
+    emit(
+        "service_batch_speedup",
+        format_table(
+            ["path", "predicates/sec", "speedup"],
+            [
+                ["single-op estimate", f"{single_rps:,.0f}", "1.0x"],
+                [
+                    f"estimate_batch (size {batch_size})",
+                    f"{batch_rps:,.0f}",
+                    f"{speedup:.1f}x",
+                ],
+            ],
+        ),
+    )
+    emit_json(
+        "service",
+        {
+            "estimate_batch_speedup": {
+                "n_predicates": int(n_predicates),
+                "batch_size": batch_size,
+                "single_per_second": single_rps,
+                "batch_per_second": batch_rps,
+                "speedup": speedup,
+                "floor": 3.0,
+            }
+        },
+    )
+
+    assert speedup > 1.0
+    metrics = service.metrics.snapshot()
+    assert metrics["errors"] == {}
+    # Per-op aggregation: each family tracked under its own op.
+    assert metrics["requests"]["estimate"] >= n_predicates
+    assert metrics["requests"]["estimate_batch"] >= n_predicates // batch_size
+    if ASSERT_SPEEDUP:
+        assert speedup >= 3.0, (
+            f"service batch path regressed: {speedup:.1f}x < 3x floor"
+        )

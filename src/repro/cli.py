@@ -240,8 +240,44 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
 
 def _cmd_estimate(args: argparse.Namespace) -> int:
     histogram = _load_histogram(Path(args.histogram))
-    estimate = histogram.estimate(args.low, args.high)
-    print(f"{estimate:.6g}")
+    if args.batch is not None:
+        pairs = []
+        for line_no, line in enumerate(
+            Path(args.batch).read_text().splitlines(), start=1
+        ):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.replace(",", " ").split()
+            try:
+                if len(parts) != 2:
+                    raise ValueError
+                pairs.append((float(parts[0]), float(parts[1])))
+            except ValueError:
+                raise SystemExit(
+                    f"{args.batch}:{line_no}: expected 'low high', got {line!r}"
+                )
+        lows = np.asarray([p[0] for p in pairs])
+        highs = np.asarray([p[1] for p in pairs])
+        for value in histogram.estimate_batch(lows, highs):
+            print(f"{value:.6g}")
+    else:
+        if args.low is None or args.high is None:
+            raise SystemExit("provide LOW and HIGH, or --batch FILE")
+        estimate = histogram.estimate(args.low, args.high)
+        print(f"{estimate:.6g}")
+    if args.profile:
+        plan = histogram.plan()
+        if plan is None:
+            print("plan: none (interpreted path; bucket type not compilable)")
+        else:
+            stats = plan.stats()
+            print(
+                f"plan: {stats['buckets']} buckets, {stats['cells']} cells, "
+                f"compiled in {stats['compile_seconds'] * 1e3:.3f} ms, "
+                f"{stats['layout_decodes']} layout decodes, "
+                f"distinct={'yes' if stats['supports_distinct'] else 'no'}"
+            )
     return 0
 
 
@@ -425,8 +461,20 @@ def _build_parser() -> argparse.ArgumentParser:
 
     estimate = sub.add_parser("estimate", help="estimate a range [low, high)")
     estimate.add_argument("histogram")
-    estimate.add_argument("low", type=float)
-    estimate.add_argument("high", type=float)
+    estimate.add_argument("low", type=float, nargs="?", default=None)
+    estimate.add_argument("high", type=float, nargs="?", default=None)
+    estimate.add_argument(
+        "--batch",
+        metavar="FILE",
+        default=None,
+        help="file of 'low high' pairs (one per line); answers the whole "
+        "batch with one compiled-plan pass",
+    )
+    estimate.add_argument(
+        "--profile",
+        action="store_true",
+        help="print compiled-plan statistics (buckets, cells, compile time)",
+    )
     estimate.set_defaults(func=_cmd_estimate)
 
     analyze = sub.add_parser("analyze", help="compare every histogram kind on a column")

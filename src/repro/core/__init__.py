@@ -16,6 +16,8 @@ Public surface:
 * :mod:`repro.core.builder` -- one-call build API with the system θ policy.
 * :mod:`repro.core.kernels` -- vectorized acceptance-test kernels and the
   per-build :class:`~repro.core.kernels.AcceptanceCache`.
+* :mod:`repro.core.compiled` -- frozen numpy estimation plans serving
+  the read path (with :mod:`repro.core.batch` as a legacy view).
 * :mod:`repro.core.parallel` -- parallel multi-column construction with
   catalog bulk-loading.
 * Extensions: :mod:`repro.core.mixed` (heterogeneous buckets),
@@ -35,6 +37,7 @@ from repro.core.serialize import deserialize_histogram, serialize_histogram
 from repro.core.statistics import ColumnStatistics, StatisticsManager
 from repro.core.advisor import StatisticsAdvisor
 from repro.core.batch import CompiledHistogram, compile_histogram
+from repro.core.compiled import COMPILE_COUNTERS, CompileError
 from repro.core.catalog import StatisticsCatalog
 from repro.core.flexalpha import build_flexible_alpha
 from repro.core.kernels import AcceptanceCache
@@ -50,6 +53,8 @@ __all__ = [
     "StatisticsAdvisor",
     "CompiledHistogram",
     "compile_histogram",
+    "COMPILE_COUNTERS",
+    "CompileError",
     "StatisticsCatalog",
     "build_flexible_alpha",
     "MaintainedHistogram",

@@ -23,21 +23,21 @@ a query *fully covering* a bucket from the bucket's compressed total
 field, while the compiled form always integrates the bucklet densities.
 Both are within the payload compression factor of each other; tests pin
 that equivalence.
+
+Since the exact compiled plans of :mod:`repro.core.compiled` landed,
+this module is a thin view over them: :func:`compile_histogram` reuses
+the histogram's (cached) plan and exposes its fine cumulative-mass
+function through the piecewise-linear interface the join estimator
+integrates.  The arrays are identical to what the old per-bucket
+flattening produced, including the linear spread of raw per-code masses
+over ``[v, v+1)``.
 """
 
 from __future__ import annotations
 
-from typing import List
-
 import numpy as np
 
-from repro.core.buckets import (
-    AtomicDenseBucket,
-    EquiWidthBucket,
-    RawDenseBucket,
-    VariableWidthBucket,
-)
-from repro.core.flexalpha import FlexAlphaBucket
+from repro.core.compiled import CompiledHistogram as _CompiledPlan
 from repro.core.histogram import Histogram
 
 __all__ = ["CompiledHistogram", "compile_histogram"]
@@ -94,49 +94,21 @@ class CompiledHistogram:
         return float(self.estimate_batch(np.array([c1]), np.array([c2]))[0])
 
 
-def _bucket_segments(bucket) -> List:
-    """(edge, density) segments of one bucket, in order."""
-    segments = []
-    if isinstance(bucket, EquiWidthBucket):
-        bucket._decode()
-        m = bucket.bucklet_width
-        for index, estimate in enumerate(bucket._bucklets):
-            lo = bucket.lo + index * m
-            segments.append((lo, lo + m, float(estimate)))
-    elif isinstance(bucket, VariableWidthBucket):
-        bucket._decode()
-        edges = bucket._edges
-        for index, estimate in enumerate(bucket._bucklets):
-            lo, hi = float(edges[index]), float(edges[index + 1])
-            if hi > lo:
-                segments.append((lo, hi, float(estimate)))
-    elif isinstance(bucket, (AtomicDenseBucket, FlexAlphaBucket)):
-        segments.append((bucket.lo, bucket.hi, bucket.total_estimate()))
-    elif isinstance(bucket, RawDenseBucket):
-        freqs = bucket._decode()
-        for offset, estimate in enumerate(freqs):
-            lo = bucket.lo + offset
-            segments.append((lo, lo + 1, float(estimate)))
-    else:
-        raise TypeError(
-            f"cannot compile bucket type {type(bucket).__name__} "
-            "(only code-domain buckets are supported)"
-        )
-    return segments
-
-
 def compile_histogram(histogram: Histogram) -> CompiledHistogram:
-    """Flatten a code-domain histogram for batch estimation."""
+    """Flatten a code-domain histogram for batch estimation.
+
+    Reuses the histogram's cached exact plan (compiling it on first
+    use), so the packed payloads decode at most once no matter how many
+    views are derived.  Raises :class:`TypeError` for bucket types
+    without a plan emitter, :class:`ValueError` for value domains.
+    """
     if histogram.domain != "code":
         raise ValueError("batch compilation supports code-domain histograms")
-    edges: List[float] = []
-    masses: List[float] = [0.0]
-    for bucket in histogram.buckets:
-        for lo, hi, estimate in _bucket_segments(bucket):
-            if not edges:
-                edges.append(float(lo))
-            edges.append(float(hi))
-            masses.append(masses[-1] + estimate)
-    return CompiledHistogram(
-        np.asarray(edges, dtype=np.float64), np.asarray(masses, dtype=np.float64)
-    )
+    plan = histogram.plan()
+    if plan is None:
+        # Re-run compilation for its informative CompileError (a
+        # TypeError naming the offending bucket type).
+        _CompiledPlan.compile(histogram)
+        raise TypeError("histogram cannot be compiled")  # pragma: no cover
+    edges, masses = plan.fine_segments()
+    return CompiledHistogram(edges, masses)

@@ -6,6 +6,14 @@ covered buckets (the cheap path Sec. 6.2 stores totals for) and partial
 f̂avg estimates at the two fringes.  Estimates are never zero for
 non-empty query ranges -- the paper never returns zero because that
 invites unsound plan simplifications (Sec. 3).
+
+Estimates are served through a lazily compiled plan
+(:class:`repro.core.compiled.CompiledHistogram`) -- flat numpy arrays
+built once per histogram (histograms are immutable, so the plan is
+never invalidated).  The original bucket-walk implementations remain as
+``estimate_interpreted`` / ``estimate_distinct_interpreted``: they are
+the semantic reference the compiled path is tested against, and the
+fallback for bucket types without a plan emitter.
 """
 
 from __future__ import annotations
@@ -60,6 +68,16 @@ class Histogram:
         self.theta = float(theta)
         self.q = float(q)
         self.domain = domain
+        self._plan = None
+        self._plan_failed = False
+
+    def __getstate__(self) -> dict:
+        # Plans hold large decoded arrays and recompile cheaply; keep
+        # pickles (process-pool transfers, catalog files) plan-free.
+        state = self.__dict__.copy()
+        state["_plan"] = None
+        state["_plan_failed"] = False
+        return state
 
     # -- shape ---------------------------------------------------------------
 
@@ -83,14 +101,49 @@ class Histogram:
         index = bisect.bisect_right(self._lows, c) - 1
         return min(max(index, 0), len(self._buckets) - 1)
 
+    def bucket_index_exclusive(self, c: float) -> int:
+        """Index of the last bucket with mass strictly below ``c``.
+
+        The exclusive-upper companion of :meth:`bucket_index` for query
+        upper endpoints: a ``c`` that lands exactly on a bucket boundary
+        maps to the bucket *below* it.  This replaces the former
+        ``bucket_index(hi - 1e-12)`` trick, which silently broke for
+        domains past ~2**40 where ``hi - 1e-12 == hi``.
+        """
+        index = bisect.bisect_left(self._lows, c) - 1
+        return min(max(index, 0), len(self._buckets) - 1)
+
     # -- estimation -----------------------------------------------------------
+
+    def plan(self):
+        """The compiled estimation plan, built on first use.
+
+        Returns ``None`` when the histogram holds bucket types without a
+        plan emitter; estimation then stays on the interpreted walk.
+        """
+        if self._plan is None and not self._plan_failed:
+            from repro.core.compiled import CompiledHistogram, CompileError
+
+            try:
+                self._plan = CompiledHistogram.compile(self)
+            except CompileError:
+                self._plan_failed = True
+        return self._plan
 
     def estimate(self, c1: float, c2: float) -> float:
         """Cardinality estimate for the range query ``[c1, c2)``.
 
         Clamps to the histogram's domain and never returns less than 1
-        for a non-empty intersection with the domain.
+        for a non-empty intersection with the domain.  Served by the
+        compiled plan when available.
         """
+        plan = self.plan()
+        if plan is not None:
+            return plan.estimate(c1, c2)
+        return self.estimate_interpreted(c1, c2)
+
+    def estimate_interpreted(self, c1: float, c2: float) -> float:
+        """Reference bucket-walk implementation of :meth:`estimate`."""
         if c2 <= c1:
             return 0.0
         lo = max(float(c1), float(self.lo))
@@ -98,7 +151,7 @@ class Histogram:
         if hi <= lo:
             return 0.0
         first = self.bucket_index(lo)
-        last = self.bucket_index(hi - 1e-12) if hi < self.hi else len(self._buckets) - 1
+        last = self.bucket_index_exclusive(hi)
         estimate = 0.0
         for index in range(first, last + 1):
             bucket = self._buckets[index]
@@ -113,7 +166,15 @@ class Histogram:
 
         On a dense code domain this is the clipped range width; on a
         value domain the buckets' distinct-count fields are consulted.
+        Served by the compiled plan when it carries distinct counts.
         """
+        plan = self.plan()
+        if plan is not None and plan.supports_distinct:
+            return plan.estimate_distinct(c1, c2)
+        return self.estimate_distinct_interpreted(c1, c2)
+
+    def estimate_distinct_interpreted(self, c1: float, c2: float) -> float:
+        """Reference bucket-walk implementation of :meth:`estimate_distinct`."""
         if c2 <= c1:
             return 0.0
         lo = max(float(c1), float(self.lo))
@@ -123,7 +184,7 @@ class Histogram:
         if self.domain == "code":
             return max(hi - lo, 1.0)
         first = self.bucket_index(lo)
-        last = self.bucket_index(hi - 1e-12) if hi < self.hi else len(self._buckets) - 1
+        last = self.bucket_index_exclusive(hi)
         estimate = 0.0
         for index in range(first, last + 1):
             bucket = self._buckets[index]
@@ -149,7 +210,7 @@ class Histogram:
         if hi <= lo:
             return []
         first = self.bucket_index(lo)
-        last = self.bucket_index(hi - 1e-12) if hi < self.hi else len(self._buckets) - 1
+        last = self.bucket_index_exclusive(hi)
         out = []
         for index in range(first, last + 1):
             bucket = self._buckets[index]
@@ -169,13 +230,42 @@ class Histogram:
         return out
 
     def estimate_batch(self, c1s: np.ndarray, c2s: np.ndarray) -> np.ndarray:
-        """Vector of estimates for paired query endpoints."""
+        """Vector of estimates for paired query endpoints.
+
+        One compiled-plan pass over the whole batch: searchsorted on the
+        endpoint arrays, a prefix-sum gather for fully covered bucket
+        runs, and vectorized fringe interpolation.
+        """
         c1s = np.asarray(c1s, dtype=np.float64)
         c2s = np.asarray(c2s, dtype=np.float64)
         if c1s.shape != c2s.shape:
             raise ValueError("endpoint arrays must align")
+        plan = self.plan()
+        if plan is not None:
+            return plan.estimate_batch(c1s, c2s)
         return np.asarray(
-            [self.estimate(a, b) for a, b in zip(c1s.tolist(), c2s.tolist())]
+            [
+                self.estimate_interpreted(a, b)
+                for a, b in zip(c1s.tolist(), c2s.tolist())
+            ]
+        )
+
+    def estimate_distinct_batch(
+        self, c1s: np.ndarray, c2s: np.ndarray
+    ) -> np.ndarray:
+        """Vector of distinct-value estimates for paired endpoints."""
+        c1s = np.asarray(c1s, dtype=np.float64)
+        c2s = np.asarray(c2s, dtype=np.float64)
+        if c1s.shape != c2s.shape:
+            raise ValueError("endpoint arrays must align")
+        plan = self.plan()
+        if plan is not None and plan.supports_distinct:
+            return plan.estimate_distinct_batch(c1s, c2s)
+        return np.asarray(
+            [
+                self.estimate_distinct_interpreted(a, b)
+                for a, b in zip(c1s.tolist(), c2s.tolist())
+            ]
         )
 
     # -- sizing ----------------------------------------------------------------

@@ -132,18 +132,14 @@ class MaintainedHistogram:
         base = self.histogram.estimate(c1, c2)
         if self._inserts == 0:
             return base
-        added = 0.0
         lo = max(float(c1), float(self.histogram.lo))
         hi = min(float(c2), float(self.histogram.hi))
         if hi <= lo:
             return base
         first = self.histogram.bucket_index(lo)
-        last = (
-            self.histogram.bucket_index(hi - 1e-12)
-            if hi < self.histogram.hi
-            else len(self.histogram) - 1
-        )
+        last = self.histogram.bucket_index_exclusive(hi)
         buckets = self.histogram.buckets
+        added = 0.0
         for index in range(first, last + 1):
             bucket = buckets[index]
             overlap = min(hi, bucket.hi) - max(lo, bucket.lo)
@@ -152,6 +148,43 @@ class MaintainedHistogram:
             width = bucket.hi - bucket.lo
             added += self._bucket_insert_estimate(index) * overlap / width
         return base + added
+
+    def estimate_batch(self, c1s, c2s) -> np.ndarray:
+        """Vector of :meth:`estimate` answers for paired endpoints.
+
+        The base histogram answers through its compiled plan; the insert
+        blend is itself a piecewise-linear cumulative function over the
+        bucket edges (uniform spread within each bucket), so it too is
+        one ``searchsorted`` + interpolation pass.
+        """
+        c1s = np.asarray(c1s, dtype=np.float64)
+        c2s = np.asarray(c2s, dtype=np.float64)
+        if c1s.shape != c2s.shape:
+            raise ValueError("endpoint arrays must align")
+        base = self.histogram.estimate_batch(c1s, c2s)
+        if self._inserts == 0:
+            return base
+        edges = np.asarray(
+            [b.lo for b in self.histogram.buckets] + [self.histogram.hi],
+            dtype=np.float64,
+        )
+        # Cumulative insert mass at each edge; registers re-read per call
+        # because increments move them between calls.
+        cum = np.concatenate(
+            ([0.0], np.cumsum([c.estimate() for c in self._counters]))
+        )
+
+        def insert_cdf(x: np.ndarray) -> np.ndarray:
+            x = np.clip(x, edges[0], edges[-1])
+            k = np.clip(
+                np.searchsorted(edges, x, side="right") - 1, 0, edges.size - 2
+            )
+            width = edges[k + 1] - edges[k]
+            return cum[k] + (cum[k + 1] - cum[k]) * (x - edges[k]) / width
+
+        added = insert_cdf(c2s) - insert_cdf(c1s)
+        nonempty = base > 0.0
+        return np.where(nonempty, base + np.maximum(added, 0.0), base)
 
     # -- rebuild signalling ----------------------------------------------
 

@@ -43,6 +43,29 @@ class ColumnStatistics:
             return float(self.exact_counts[lo:hi].sum())
         return self.histogram.estimate(float(c1), float(c2))
 
+    def estimate_range_batch(self, c1s, c2s) -> np.ndarray:
+        """Vector of :meth:`estimate_range` answers for paired endpoints.
+
+        Exact columns answer from a cached exclusive prefix sum; the
+        histogram path runs one compiled-plan pass over the batch.
+        """
+        c1s = np.asarray(c1s)
+        c2s = np.asarray(c2s)
+        if c1s.shape != c2s.shape:
+            raise ValueError("endpoint arrays must align")
+        if self.exact_counts is not None:
+            cum = self.__dict__.get("_cum")
+            if cum is None:
+                cum = np.concatenate(([0], np.cumsum(self.exact_counts)))
+                self.__dict__["_cum"] = cum
+            d = self.exact_counts.size
+            lo = np.clip(c1s.astype(np.int64), 0, d)
+            hi = np.clip(c2s.astype(np.int64), lo, d)
+            return (cum[hi] - cum[lo]).astype(np.float64)
+        return self.histogram.estimate_batch(
+            c1s.astype(np.float64), c2s.astype(np.float64)
+        )
+
     def estimate_value_range(self, low: Any, high: Any) -> float:
         """Cardinality estimate for a value-space range ``[low, high)``."""
         if self.histogram is not None and self.histogram.domain == "value":

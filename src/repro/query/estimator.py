@@ -18,7 +18,9 @@ independence assumption.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.core.multidim import Histogram2D
 from repro.core.statistics import StatisticsManager
@@ -110,6 +112,45 @@ class CardinalityEstimator:
         if isinstance(predicate, AndPredicate):
             return self._estimate_conjunction(predicate)
         raise TypeError(f"unsupported predicate {type(predicate).__name__}")
+
+    def estimate_batch(
+        self, predicates: Sequence[Predicate]
+    ) -> List[CardinalityEstimate]:
+        """One estimate per predicate, answered with batched statistics.
+
+        Single-column predicates are grouped per column, translated to
+        code ranges once, and answered by one
+        ``estimate_range_batch`` call per column (a single compiled-plan
+        pass instead of a Python loop).  Conjunctions fall back to
+        :meth:`estimate`.  Output order matches the input order.
+        """
+        results: List[Optional[CardinalityEstimate]] = [None] * len(predicates)
+        grouped: Dict[str, List[Tuple[int, int, int]]] = {}
+        for position, predicate in enumerate(predicates):
+            if isinstance(predicate, (RangePredicate, EqualsPredicate)):
+                name, c1, c2 = self._code_range(predicate)
+                if c2 <= c1:
+                    results[position] = CardinalityEstimate(0.0, "exact")
+                else:
+                    grouped.setdefault(name, []).append((position, c1, c2))
+            else:
+                results[position] = self.estimate(predicate)
+        for name, entries in grouped.items():
+            stats = self.manager.statistics(self.table.name, name)
+            method = "exact" if stats.is_exact else "histogram"
+            batch = getattr(stats, "estimate_range_batch", None)
+            if batch is not None:
+                c1s = np.asarray([c1 for _, c1, _ in entries], dtype=np.float64)
+                c2s = np.asarray([c2 for _, _, c2 in entries], dtype=np.float64)
+                values = batch(c1s, c2s)
+                for (position, _, _), value in zip(entries, values):
+                    results[position] = CardinalityEstimate(float(value), method)
+            else:
+                for position, c1, c2 in entries:
+                    results[position] = CardinalityEstimate(
+                        float(stats.estimate_range(c1, c2)), method
+                    )
+        return results
 
     def selectivity(self, predicate: Predicate) -> float:
         """Estimated fraction of the table's rows that qualify."""

@@ -9,11 +9,16 @@ optimizer thread or a CLI invocation wants.  Transport problems raise
 from __future__ import annotations
 
 import socket
-from typing import Any, Dict, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.query.estimator import CardinalityEstimate
 from repro.query.predicates import Predicate, RangePredicate
-from repro.service.protocol import decode_line, encode_line, predicate_to_wire
+from repro.service.protocol import (
+    decode_line,
+    encode_line,
+    predicate_to_wire,
+    predicates_to_wire,
+)
 
 __all__ = ["ServiceError", "StatisticsClient"]
 
@@ -75,6 +80,40 @@ class StatisticsClient:
     ) -> CardinalityEstimate:
         """Convenience wrapper for the canonical ``[low, high)`` query."""
         return self.estimate(table, RangePredicate(column, low, high))
+
+    def estimate_batch(
+        self, table: str, predicates: Sequence[Predicate]
+    ) -> List[CardinalityEstimate]:
+        """Many predicate cardinalities in one round trip.
+
+        The whole batch travels as a single request line and is answered
+        by one server-side compiled-plan pass, amortizing both the JSON
+        round-trip and the per-predicate dispatch.
+        """
+        response = self.call(
+            "estimate_batch",
+            table=table,
+            predicates=predicates_to_wire(predicates),
+        )
+        return [
+            CardinalityEstimate(value=float(value), method=str(method))
+            for value, method in zip(response["values"], response["methods"])
+        ]
+
+    def estimate_range_batch(
+        self,
+        table: str,
+        column: str,
+        lows: Sequence[Any],
+        highs: Sequence[Any],
+    ) -> List[CardinalityEstimate]:
+        """Batch convenience wrapper for paired ``[low, high)`` queries."""
+        if len(lows) != len(highs):
+            raise ValueError("endpoint sequences must align")
+        return self.estimate_batch(
+            table,
+            [RangePredicate(column, low, high) for low, high in zip(lows, highs)],
+        )
 
     def insert(self, table: str, column: str, codes: Sequence[int]) -> Dict[str, Any]:
         return self.call("insert", table=table, column=column, codes=list(codes))

@@ -19,7 +19,7 @@ module.
 from __future__ import annotations
 
 import json
-from typing import Any, Dict
+from typing import Any, Dict, List, Sequence
 
 from repro.query.predicates import (
     AndPredicate,
@@ -31,6 +31,8 @@ from repro.query.predicates import (
 __all__ = [
     "predicate_to_wire",
     "predicate_from_wire",
+    "predicates_to_wire",
+    "predicates_from_wire",
     "encode_line",
     "decode_line",
     "error_response",
@@ -76,6 +78,20 @@ def predicate_from_wire(data: Dict[str, Any]) -> Predicate:
             raise ValueError("'and' children must be a list")
         return AndPredicate(*(predicate_from_wire(child) for child in children))
     raise ValueError(f"unknown predicate type {kind!r}")
+
+
+def predicates_to_wire(predicates: Sequence[Predicate]) -> List[Dict[str, Any]]:
+    """Serialize a predicate batch (the ``estimate_batch`` payload)."""
+    return [predicate_to_wire(predicate) for predicate in predicates]
+
+
+def predicates_from_wire(data: Any) -> List[Predicate]:
+    """Rebuild a predicate batch; rejects non-list payloads."""
+    if not isinstance(data, list):
+        raise ValueError(
+            f"predicate batch must be a list, got {type(data).__name__}"
+        )
+    return [predicate_from_wire(item) for item in data]
 
 
 def _field(data: Dict[str, Any], name: str) -> Any:

@@ -92,6 +92,11 @@ class ColumnRegister:
         with self._lock:
             return self._maintained.estimate(c1, c2)
 
+    def estimate_batch(self, c1s, c2s) -> np.ndarray:
+        """Vector of blended estimates; one lock hold for the batch."""
+        with self._lock:
+            return self._maintained.estimate_batch(c1s, c2s)
+
     def histogram(self) -> Histogram:
         with self._lock:
             return self._maintained.histogram

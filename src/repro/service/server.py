@@ -27,6 +27,7 @@ from typing import Any, Dict, Optional, Tuple
 import numpy as np
 
 from repro.core.catalog import StatisticsCatalog
+from repro.core.compiled import COMPILE_COUNTERS
 from repro.core.config import HistogramConfig
 from repro.core.parallel import build_column_histograms
 from repro.core.statistics import ColumnStatistics, StatisticsManager
@@ -39,6 +40,7 @@ from repro.service.protocol import (
     error_response,
     ok_response,
     predicate_from_wire,
+    predicates_from_wire,
 )
 from repro.service.refresh import ColumnRegister, MaintenanceRegistry
 from repro.service.store import StatisticsStore
@@ -67,6 +69,11 @@ class RegisterStatistics:
 
     def estimate_range(self, c1: int, c2: int) -> float:
         return self._register.estimate(float(c1), float(c2))
+
+    def estimate_range_batch(self, c1s, c2s) -> np.ndarray:
+        return self._register.estimate_batch(
+            np.asarray(c1s, dtype=np.float64), np.asarray(c2s, dtype=np.float64)
+        )
 
     def size_bytes(self) -> int:
         return self._register.histogram().size_bytes()
@@ -207,6 +214,25 @@ class StatisticsService:
                 )
             return estimator.estimate(predicate)
 
+    def estimate_batch(self, table_name: str, predicates) -> list:
+        """One round-trip worth of predicate cardinalities.
+
+        A single tracked operation answers the whole batch through the
+        estimator's grouped-per-column compiled-plan path, amortizing
+        both the request overhead and the Python dispatch.
+        """
+        with self.metrics.track("estimate_batch"):
+            with self._lock:
+                estimator = self._estimators.get(table_name)
+            if estimator is None:
+                raise KeyError(
+                    f"no statistics served for table {table_name!r}; "
+                    "build it first"
+                )
+            estimates = estimator.estimate_batch(predicates)
+            self.metrics.incr("estimates_batched", len(estimates))
+            return estimates
+
     def insert(self, table_name: str, column_name: str, codes) -> Dict[str, Any]:
         """Route inserted rows to the column's maintenance register."""
         with self.metrics.track("insert"):
@@ -238,6 +264,7 @@ class StatisticsService:
                 "tables": list(self.tables()),
                 "metrics": self.metrics.snapshot(),
                 "cache": self.store.cache_stats(),
+                "compile": COMPILE_COUNTERS.snapshot(),
                 "columns": columns,
             }
 
@@ -254,6 +281,16 @@ class StatisticsService:
                 estimate = self.estimate(_require(request, "table"), predicate)
                 return ok_response(
                     request, value=estimate.value, method=estimate.method
+                )
+            if op == "estimate_batch":
+                predicates = predicates_from_wire(_require(request, "predicates"))
+                estimates = self.estimate_batch(
+                    _require(request, "table"), predicates
+                )
+                return ok_response(
+                    request,
+                    values=[estimate.value for estimate in estimates],
+                    methods=[estimate.method for estimate in estimates],
                 )
             if op == "insert":
                 codes = request.get("codes")

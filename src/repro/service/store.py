@@ -12,7 +12,12 @@
   while the bytes were being parsed -- the invariant that makes
   background rebuild swaps atomic: a reader either sees the complete old
   histogram or the complete new one, never a torn mixture and never a
-  resurrected stale cache entry.
+  resurrected stale cache entry;
+* a compiled-plan cache keyed on the same generations: :meth:`plan`
+  hands batch estimators the key's frozen
+  :class:`~repro.core.compiled.CompiledHistogram`, compiled at most once
+  per published histogram version (hits/misses/compile time surface in
+  :meth:`cache_stats`).
 
 The store owns all catalog access; the underlying
 :class:`StatisticsCatalog` is single-threaded by design, so every
@@ -23,6 +28,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
+from time import perf_counter
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.catalog import StatisticsCatalog
@@ -120,6 +126,11 @@ class StatisticsStore:
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        # Compiled plans per key, valid for exactly one generation.
+        self._plans: Dict[_Key, Tuple[int, object]] = {}
+        self._plan_hits = 0
+        self._plan_misses = 0
+        self._plan_compile_seconds = 0.0
 
     # -- locking ----------------------------------------------------------
 
@@ -160,6 +171,34 @@ class StatisticsStore:
                     self._cache_store(key, generation, data_histogram)
             return data_histogram
 
+    def plan(self, table: str, column: str):
+        """The compiled plan of the key's current histogram version.
+
+        Compiled at most once per generation; a ``put``/``invalidate``
+        that bumps the generation drops the plan together with the
+        cached histogram.  Returns ``None`` for histograms whose bucket
+        types have no plan emitter (estimation stays interpreted).
+        """
+        key = (table, column)
+        histogram = self.get(table, column)
+        with self._mutex:
+            generation = self._generations.get(key, 0)
+            cached = self._plans.get(key)
+            if cached is not None and cached[0] == generation:
+                self._plan_hits += 1
+                return cached[1]
+            self._plan_misses += 1
+        start = perf_counter()
+        plan = histogram.plan()
+        seconds = perf_counter() - start
+        with self._mutex:
+            # Same fill rule as the histogram cache: discard if the
+            # generation moved while we were compiling.
+            if self._generations.get(key, 0) == generation:
+                self._plans[key] = (generation, plan)
+                self._plan_compile_seconds += seconds
+        return plan
+
     def generation(self, table: str, column: str) -> int:
         with self._mutex:
             return self._generations.get((table, column), 0)
@@ -188,6 +227,7 @@ class StatisticsStore:
                 generation = self._generations.get(key, 0) + 1
                 self._generations[key] = generation
                 self._cache_store(key, generation, histogram)
+                self._plans.pop(key, None)
                 return generation
 
     def invalidate(self, table: Optional[str] = None, column: Optional[str] = None) -> int:
@@ -210,6 +250,7 @@ class StatisticsStore:
             for key in keys:
                 self._generations[key] = self._generations.get(key, 0) + 1
                 self._cache.pop(key, None)
+                self._plans.pop(key, None)
             return len(keys)
 
     def remove(self, table: str, column: str) -> None:
@@ -219,6 +260,7 @@ class StatisticsStore:
         with lock.write():
             with self._mutex:
                 self._cache.pop(key, None)
+                self._plans.pop(key, None)
                 self._generations.pop(key, None)
                 self._catalog.remove(table, column)
 
@@ -231,7 +273,7 @@ class StatisticsStore:
             self._cache.popitem(last=False)
             self._evictions += 1
 
-    def cache_stats(self) -> Dict[str, int]:
+    def cache_stats(self) -> Dict[str, object]:
         with self._mutex:
             return {
                 "hits": self._hits,
@@ -239,6 +281,10 @@ class StatisticsStore:
                 "evictions": self._evictions,
                 "size": len(self._cache),
                 "capacity": self._capacity,
+                "plan_hits": self._plan_hits,
+                "plan_misses": self._plan_misses,
+                "plans_cached": len(self._plans),
+                "plan_compile_seconds": self._plan_compile_seconds,
             }
 
     def __repr__(self) -> str:

@@ -1,0 +1,171 @@
+"""The ``estimate_batch`` service operation: wire format, one-round-trip
+semantics, per-op metrics, the store's generation-keyed plan cache, and
+batch parity through a maintenance register."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.query.predicates import AndPredicate, EqualsPredicate, RangePredicate
+from repro.service.client import ServiceError, StatisticsClient
+from repro.service.protocol import predicates_from_wire, predicates_to_wire
+from repro.service.server import start_server_thread
+
+
+@pytest.fixture
+def running(service):
+    handle = start_server_thread(service)
+    try:
+        yield handle
+    finally:
+        handle.stop()
+
+
+@pytest.fixture
+def client(running):
+    with StatisticsClient(*running.address) as client:
+        yield client
+
+
+class TestWireFormat:
+    def test_round_trip(self):
+        predicates = [
+            RangePredicate("amount", 3, 40),
+            EqualsPredicate("region", 7),
+            AndPredicate(RangePredicate("amount", 0, 9), EqualsPredicate("flag", 1)),
+        ]
+        rebuilt = predicates_from_wire(predicates_to_wire(predicates))
+        assert len(rebuilt) == len(predicates)
+        for got, want in zip(rebuilt, predicates):
+            assert type(got) is type(want)
+            assert got.columns() == want.columns()
+
+    def test_rejects_non_list(self):
+        with pytest.raises(ValueError, match="must be a list"):
+            predicates_from_wire({"column": "amount"})
+
+
+class TestBatchOp:
+    def test_one_round_trip_serves_n_predicates(self, service, client):
+        """The point of the op: N predicates, ONE tracked request."""
+        n = 25
+        predicates = [RangePredicate("amount", lo, lo + 10) for lo in range(1, n + 1)]
+        batch = client.estimate_batch("orders", predicates)
+        assert len(batch) == n
+
+        snapshot = service.metrics.snapshot()
+        assert snapshot["requests"]["estimate_batch"] == 1
+        assert snapshot["counters"]["estimates_batched"] == n
+        assert "estimate" not in snapshot["requests"]  # no scalar fan-out
+        assert snapshot["latency"]["estimate_batch"]["count"] == 1
+
+    def test_batch_matches_single_ops(self, client):
+        predicates = [RangePredicate("amount", lo, lo + 25) for lo in range(1, 40, 3)]
+        predicates += [EqualsPredicate("flag", 2), EqualsPredicate("region", 5)]
+        batch = client.estimate_batch("orders", predicates)
+        for predicate, got in zip(predicates, batch):
+            want = client.estimate("orders", predicate)
+            np.testing.assert_allclose(got.value, want.value, rtol=1e-9)
+            assert got.method == want.method
+
+    def test_range_batch_convenience_validates_alignment(self, client):
+        with pytest.raises(ValueError, match="align"):
+            client.estimate_range_batch("orders", "amount", [1, 2], [3])
+
+    def test_unknown_table_is_a_service_error(self, client):
+        with pytest.raises(ServiceError, match="nope"):
+            client.estimate_batch("nope", [RangePredicate("amount", 1, 2)])
+
+    def test_concurrent_batches_aggregate_per_op(self, service, running):
+        """Several clients batching at once: every op lands in its own
+        metrics family, nothing errors, numbers match the scalar path."""
+        n_clients, per_batch = 4, 30
+        failures = []
+        barrier = threading.Barrier(n_clients)
+
+        def run(seed):
+            rng = np.random.default_rng(seed)
+            lows = rng.integers(1, 250, size=per_batch)
+            with StatisticsClient(*running.address) as client:
+                reference = [
+                    client.estimate_range("orders", "amount", int(lo), int(lo) + 20).value
+                    for lo in lows
+                ]
+                barrier.wait()
+                batch = client.estimate_range_batch(
+                    "orders", "amount", lows, lows + 20
+                )
+                if [e.value for e in batch] != reference:
+                    failures.append(seed)
+
+        threads = [threading.Thread(target=run, args=(i,)) for i in range(n_clients)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not failures
+
+        snapshot = service.metrics.snapshot()
+        assert snapshot["errors"] == {}
+        assert snapshot["requests"]["estimate_batch"] == n_clients
+        assert snapshot["requests"]["estimate"] == n_clients * per_batch
+        assert snapshot["counters"]["estimates_batched"] == n_clients * per_batch
+        assert snapshot["latency"]["estimate"]["count"] == n_clients * per_batch
+        assert snapshot["latency"]["estimate_batch"]["count"] == n_clients
+
+    def test_status_exposes_compile_counters(self, service, client):
+        client.estimate_batch("orders", [RangePredicate("amount", 1, 50)])
+        compile_stats = service.status()["compile"]
+        assert compile_stats.get("plans_compiled", 0) >= 1
+
+
+class TestStorePlanCache:
+    def test_plan_cached_per_generation(self, service):
+        store = service.store
+        first = store.plan("orders", "amount")
+        assert first is not None
+        assert store.plan("orders", "amount") is first
+
+        stats = store.cache_stats()
+        assert stats["plan_hits"] >= 1
+        assert stats["plan_misses"] >= 1
+        assert stats["plans_cached"] >= 1
+        assert stats["plan_compile_seconds"] >= 0.0
+
+    def test_generation_bump_drops_the_plan(self, service):
+        store = service.store
+        stale = store.plan("orders", "amount")
+        service.build("orders")  # bumps the generation, new histogram
+        fresh = store.plan("orders", "amount")
+        assert fresh is not stale
+        assert store.plan("orders", "amount") is fresh
+
+    def test_invalidate_drops_the_plan(self, service):
+        store = service.store
+        stale = store.plan("orders", "amount")
+        store.invalidate("orders", "amount")
+        assert store.plan("orders", "amount") is not stale
+
+
+class TestMaintainedBatch:
+    def test_batch_parity_after_inserts(self, service, client):
+        """Register-blended estimates: batch == scalar, including the
+        unmerged insert delta."""
+        rng = np.random.default_rng(5)
+        domain_hi = int(service.store.get("orders", "amount").hi)
+        before = client.estimate_range("orders", "amount", 1, domain_hi).value
+        client.insert(
+            "orders", "amount", [int(c) for c in rng.integers(0, domain_hi, 200)]
+        )
+        after = client.estimate_range("orders", "amount", 1, domain_hi).value
+        assert after > before  # the delta is live
+
+        lows = np.arange(1, 101, 7, dtype=np.float64)
+        highs = lows + 35
+        batch = client.estimate_range_batch("orders", "amount", lows, highs)
+        scalar = [
+            client.estimate_range("orders", "amount", lo, hi).value
+            for lo, hi in zip(lows, highs)
+        ]
+        np.testing.assert_allclose([e.value for e in batch], scalar, rtol=1e-9)

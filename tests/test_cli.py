@@ -223,3 +223,45 @@ class TestCommands:
         estimate = float(capsys.readouterr().out.strip())
         truth = int(np.count_nonzero(np.unique(raw, return_inverse=True)[1] < 150))
         assert max(estimate / truth, truth / estimate) < 2.0
+
+
+class TestEstimateBatchFlag:
+    @pytest.fixture
+    def built(self, column_npy, tmp_path):
+        out = tmp_path / "hist.bin"
+        assert main(["build", str(column_npy), str(out), "--kind", "V8DincB"]) == 0
+        return out
+
+    def test_batch_file_prints_one_estimate_per_line(self, built, tmp_path, capsys):
+        queries = tmp_path / "q.txt"
+        queries.write_text("# low high\n0 100\n5,60\n\n10 20\n")
+        capsys.readouterr()
+        assert main(["estimate", str(built), "--batch", str(queries)]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 3
+        assert all(float(line) >= 0 for line in lines)
+
+    def test_batch_matches_scalar(self, built, tmp_path, capsys):
+        queries = tmp_path / "q.txt"
+        queries.write_text("3 80\n")
+        capsys.readouterr()
+        main(["estimate", str(built), "--batch", str(queries)])
+        batched = capsys.readouterr().out.strip()
+        main(["estimate", str(built), "3", "80"])
+        assert capsys.readouterr().out.strip() == batched
+
+    def test_profile_prints_plan_stats(self, built, capsys):
+        capsys.readouterr()
+        assert main(["estimate", str(built), "0", "50", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "plan:" in out and "cells" in out and "layout decodes" in out
+
+    def test_malformed_line_names_file_and_line(self, built, tmp_path):
+        queries = tmp_path / "q.txt"
+        queries.write_text("0 10\nbad line\n")
+        with pytest.raises(SystemExit, match="q.txt:2"):
+            main(["estimate", str(built), "--batch", str(queries)])
+
+    def test_missing_endpoints_without_batch(self, built):
+        with pytest.raises(SystemExit, match="LOW and HIGH"):
+            main(["estimate", str(built)])

@@ -164,3 +164,71 @@ class TestConjunctions:
         estimator = CardinalityEstimator(table)
         with pytest.raises(KeyError):
             estimator.register_joint(JointStatistics("nope", "ship_day", None))
+
+
+class TestEstimateBatch:
+    """The batched predicate API: one vectorized pass per column, same
+    numbers and method attribution as the scalar loop."""
+
+    @pytest.fixture
+    def batch_table(self, rng):
+        n = 30_000
+        order_day = rng.integers(0, 90, size=n)
+        status = rng.integers(0, 6, size=n)  # < 20 distinct -> exact counts
+        table = Table("orders")
+        table.add_column(
+            DictionaryEncodedColumn.from_values(order_day, name="order_day")
+        )
+        table.add_column(DictionaryEncodedColumn.from_values(status, name="status"))
+        return table, order_day, status
+
+    def test_matches_scalar_loop(self, batch_table, rng):
+        table, _, _ = batch_table
+        estimator = CardinalityEstimator(table)
+        predicates = []
+        for _ in range(60):
+            lo = int(rng.integers(0, 80))
+            predicates.append(RangePredicate("order_day", lo, lo + int(rng.integers(1, 20))))
+            predicates.append(EqualsPredicate("status", int(rng.integers(0, 6))))
+        batch = estimator.estimate_batch(predicates)
+        scalar = [estimator.estimate(p) for p in predicates]
+        assert len(batch) == len(predicates)
+        for got, want in zip(batch, scalar):
+            assert got.method == want.method
+            np.testing.assert_allclose(got.value, want.value, rtol=1e-9)
+
+    def test_order_and_methods_preserved(self, batch_table):
+        table, order_day, status = batch_table
+        estimator = CardinalityEstimator(table)
+        predicates = [
+            EqualsPredicate("status", 2),           # exact path
+            RangePredicate("order_day", 10, 40),    # histogram path
+            EqualsPredicate("order_day", 12345),    # absent value
+            AndPredicate(                            # conjunction fallback
+                RangePredicate("order_day", 0, 50),
+                EqualsPredicate("status", 1),
+            ),
+        ]
+        results = estimator.estimate_batch(predicates)
+        assert results[0].method == "exact"
+        assert results[0].value == float(np.count_nonzero(status == 2))
+        assert results[1].method == "histogram"
+        assert results[2].value == 0.0 and results[2].method == "exact"
+        assert results[3].method == estimator.estimate(predicates[3]).method
+        np.testing.assert_allclose(
+            results[3].value, estimator.estimate(predicates[3]).value, rtol=1e-9
+        )
+
+    def test_exact_column_batch_is_exact(self, batch_table):
+        table, _, status = batch_table
+        estimator = CardinalityEstimator(table)
+        predicates = [RangePredicate("status", lo, lo + 2) for lo in range(5)]
+        results = estimator.estimate_batch(predicates)
+        for lo, result in enumerate(results):
+            truth = float(np.count_nonzero((status >= lo) & (status < lo + 2)))
+            assert result.method == "exact"
+            assert result.value == truth
+
+    def test_empty_batch(self, batch_table):
+        table, _, _ = batch_table
+        assert CardinalityEstimator(table).estimate_batch([]) == []
