@@ -5,7 +5,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint-artifacts smoke bench-estimation
+.PHONY: test lint-artifacts smoke bench-estimation bench-obs
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -17,6 +17,13 @@ bench-estimation:
 	REPRO_BENCH_ASSERT_SPEEDUP=1 $(PYTHON) -m pytest -x -q \
 		benchmarks/test_estimation_cost.py benchmarks/test_service_throughput.py
 
+# Telemetry overhead guard: default (disabled) telemetry must cost
+# < 5% of handle() throughput vs the NULL_TELEMETRY baseline.  The
+# assertion is armed only here so tier-1 never flakes on timer noise.
+bench-obs:
+	REPRO_BENCH_ASSERT_OVERHEAD=1 $(PYTHON) -m pytest -x -q \
+		benchmarks/test_obs_overhead.py
+
 lint-artifacts:
 	@bad=$$(git ls-files | grep -E '__pycache__|\.pyc$$' || true); \
 	if [ -n "$$bad" ]; then \
@@ -26,4 +33,4 @@ lint-artifacts:
 	fi; \
 	echo "lint-artifacts: ok (no tracked __pycache__/*.pyc)"
 
-smoke: lint-artifacts test
+smoke: lint-artifacts test bench-obs

@@ -105,10 +105,18 @@ def test_service_throughput(tmp_path, emit, emit_json):
 
     text = format_table(["path", "requests/sec"], rows)
     emit("service_throughput", text)
+    # The service's own q-compressed latency histogram doubles as the
+    # benchmark's quantile report (bound: qerror <= 2**0.125 per value).
+    latency = service.metrics.snapshot()["latency"]["estimate"]
     emit_json(
         "service",
         {
             "store_reads": {"warm_per_second": warm, "cold_per_second": cold},
+            "estimate_latency_ms": {
+                key: latency[key]
+                for key in ("count", "p50_ms", "p90_ms", "p99_ms", "max_ms")
+            },
+            "latency_qerror_bound": latency["qerror_bound"],
         },
     )
 

@@ -10,6 +10,8 @@ Usage::
     python -m repro serve data_dir/ catalog_dir/ --table orders --port 7443
     python -m repro query localhost:7443 --table orders --column amount 100 5000
     python -m repro query localhost:7443 --status
+    python -m repro metrics localhost:7443 --prometheus
+    python -m repro slowlog localhost:7443 --limit 10
 
 Column input formats:
 
@@ -340,14 +342,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     from repro.service.refresh import RefreshScheduler
     from repro.service.server import StatisticsServer, StatisticsService
+    from repro.service.telemetry import ServiceTelemetry
 
     table = _load_table(Path(args.input), args.table)
+    telemetry = ServiceTelemetry(
+        trace_requests=not args.no_trace,
+        slow_ms=args.slow_ms,
+        event_log=args.log_events,
+    )
     service = StatisticsService(
         Path(args.catalog),
         kind=args.kind,
         config=_config_from_args(args),
         cache_capacity=args.cache_capacity,
         build_workers=args.workers or None,
+        telemetry=telemetry,
     )
     built = service.add_table(table)
     print(
@@ -362,6 +371,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         kind=args.kind,
         config=service.config,
         metrics=service.metrics,
+        drift=service.drift,
     )
     scheduler.start()
     server = StatisticsServer(service, host=args.host, port=args.port)
@@ -379,6 +389,46 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print("shutting down")
     finally:
         scheduler.stop()
+        service.close()
+    return 0
+
+
+def _parse_address(address: str):
+    host, _, port = address.rpartition(":")
+    if not host or not port.isdigit():
+        raise ValueError(f"address must be host:port, got {address!r}")
+    return host, int(port)
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service.client import StatisticsClient
+    from repro.service.export import render_prometheus
+
+    host, port = _parse_address(args.address)
+    with StatisticsClient(host, port, timeout=args.timeout) as client:
+        snapshot = client.metrics()
+    if args.prometheus:
+        print(render_prometheus(snapshot), end="")
+    else:
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_slowlog(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service.client import StatisticsClient
+
+    host, port = _parse_address(args.address)
+    with StatisticsClient(host, port, timeout=args.timeout) as client:
+        entries = client.slow_log(limit=args.limit)
+    if not entries:
+        print("slow log is empty")
+        return 0
+    for entry in entries:
+        print(json.dumps(entry, sort_keys=True))
     return 0
 
 
@@ -387,10 +437,8 @@ def _cmd_query(args: argparse.Namespace) -> int:
 
     from repro.service.client import StatisticsClient
 
-    host, _, port = args.address.rpartition(":")
-    if not host or not port.isdigit():
-        raise ValueError(f"address must be host:port, got {args.address!r}")
-    with StatisticsClient(host, int(port), timeout=args.timeout) as client:
+    host, port = _parse_address(args.address)
+    with StatisticsClient(host, port, timeout=args.timeout) as client:
         if args.status:
             print(json.dumps(client.status(), indent=2, sort_keys=True))
             return 0
@@ -522,8 +570,41 @@ def _build_parser() -> argparse.ArgumentParser:
         "--staleness-threshold", type=float, default=0.2,
         help="insert fraction that triggers a background rebuild",
     )
+    serve.add_argument(
+        "--slow-ms", type=float, default=50.0,
+        help="latency threshold for the slow-request log, milliseconds",
+    )
+    serve.add_argument(
+        "--log-events", metavar="FILE", default=None,
+        help="append one JSON event line per request to FILE",
+    )
+    serve.add_argument(
+        "--no-trace", action="store_true",
+        help="disable per-request span trees (slow log keeps op/latency only)",
+    )
     add_construction_options(serve)
     serve.set_defaults(func=_cmd_serve)
+
+    metrics_cmd = sub.add_parser(
+        "metrics", help="dump a running server's metrics snapshot"
+    )
+    metrics_cmd.add_argument("address", help="host:port of the server")
+    metrics_cmd.add_argument(
+        "--prometheus", action="store_true",
+        help="render the Prometheus text exposition format instead of JSON",
+    )
+    metrics_cmd.add_argument("--timeout", type=float, default=10.0)
+    metrics_cmd.set_defaults(func=_cmd_metrics)
+
+    slowlog_cmd = sub.add_parser(
+        "slowlog", help="print a running server's recent slow requests"
+    )
+    slowlog_cmd.add_argument("address", help="host:port of the server")
+    slowlog_cmd.add_argument(
+        "--limit", type=int, default=None, help="cap on entries (newest first)"
+    )
+    slowlog_cmd.add_argument("--timeout", type=float, default=10.0)
+    slowlog_cmd.set_defaults(func=_cmd_slowlog)
 
     query = sub.add_parser("query", help="query a running statistics server")
     query.add_argument("address", help="host:port of the server")

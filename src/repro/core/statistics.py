@@ -66,6 +66,40 @@ class ColumnStatistics:
             c1s.astype(np.float64), c2s.astype(np.float64)
         )
 
+    def estimate_distinct_range(self, c1: int, c2: int) -> float:
+        """Distinct-value estimate for the code range ``[c1, c2)``."""
+        if self.exact_counts is not None:
+            d = self.exact_counts.size
+            lo = min(max(int(c1), 0), d)
+            hi = min(max(int(c2), lo), d)
+            return float(np.count_nonzero(self.exact_counts[lo:hi]))
+        return self.histogram.estimate_distinct(float(c1), float(c2))
+
+    def estimate_distinct_range_batch(self, c1s, c2s) -> np.ndarray:
+        """Vector of :meth:`estimate_distinct_range` answers.
+
+        Exact columns answer from a cached prefix sum of the occupancy
+        bitmap; the histogram path runs one compiled-plan distinct pass.
+        """
+        c1s = np.asarray(c1s)
+        c2s = np.asarray(c2s)
+        if c1s.shape != c2s.shape:
+            raise ValueError("endpoint arrays must align")
+        if self.exact_counts is not None:
+            occupancy = self.__dict__.get("_distinct_cum")
+            if occupancy is None:
+                occupancy = np.concatenate(
+                    ([0], np.cumsum(self.exact_counts > 0))
+                )
+                self.__dict__["_distinct_cum"] = occupancy
+            d = self.exact_counts.size
+            lo = np.clip(c1s.astype(np.int64), 0, d)
+            hi = np.clip(c2s.astype(np.int64), lo, d)
+            return (occupancy[hi] - occupancy[lo]).astype(np.float64)
+        return self.histogram.estimate_distinct_batch(
+            c1s.astype(np.float64), c2s.astype(np.float64)
+        )
+
     def estimate_value_range(self, low: Any, high: Any) -> float:
         """Cardinality estimate for a value-space range ``[low, high)``."""
         if self.histogram is not None and self.histogram.domain == "value":

@@ -44,13 +44,21 @@ __all__ = [
 
 @dataclasses.dataclass(frozen=True)
 class BuildRequest:
-    """What to build: source + kind + config + instrumentation switch."""
+    """What to build: source + kind + config + instrumentation switch.
+
+    ``request_id`` is a pass-through correlation string: a build that
+    originates from a service request carries the request's id into its
+    :class:`BuildResult` profile, so a build profile recorded far from
+    the request (another thread, another process) still points back to
+    the wire request that caused it.
+    """
 
     source: Union[AttributeDensity, "object"]
     kind: str = "V8DincB"
     config: Optional[HistogramConfig] = None
     trace: bool = False
     label: Optional[str] = None
+    request_id: Optional[str] = None
 
 
 @dataclasses.dataclass(frozen=True)
@@ -78,16 +86,20 @@ class BuildResult:
     phases: Dict[str, float]
     counters: Dict[str, int]
     trace: Optional[Span] = None
+    request_id: Optional[str] = None
 
     def profile(self) -> Dict[str, object]:
         """Picklable summary: what crosses process/service boundaries."""
-        return {
+        profile: Dict[str, object] = {
             "kind": self.kind,
             "seconds": self.seconds,
             "phases": dict(self.phases),
             "counters": dict(self.counters),
             "trace": self.trace.to_dict() if self.trace is not None else None,
         }
+        if self.request_id is not None:
+            profile["request_id"] = self.request_id
+        return profile
 
     def format_phases(self) -> str:
         """Aligned per-phase breakdown (the ``--profile`` table)."""
@@ -160,6 +172,7 @@ class BuildPipeline:
             phases=phases,
             counters=counters,
             trace=root,
+            request_id=request.request_id,
         )
 
 

@@ -8,6 +8,7 @@ empty call, so hot loops stay instrumented unconditionally.
 """
 
 from repro.obs.counters import CounterSet
+from repro.obs.quantile import QuantileHistogram
 from repro.obs.trace import NULL_TRACE, NullTrace, PhaseTimer, Span, Trace
 
 __all__ = [
@@ -15,6 +16,7 @@ __all__ = [
     "NULL_TRACE",
     "NullTrace",
     "PhaseTimer",
+    "QuantileHistogram",
     "Span",
     "Trace",
 ]

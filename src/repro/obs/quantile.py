@@ -1,0 +1,212 @@
+"""Fixed-size quantile histograms on the paper's q-compression grid.
+
+The paper stores bucket frequencies as q-compressed codes (Sec. 6.1.1):
+``code = floor(log_b(x)) + 1``, decoded to the q-middle of the
+quantisation cell, bounding the round-trip *q-error* by ``sqrt(b)``.
+:class:`QuantileHistogram` turns that same grid into a telemetry
+primitive: a fixed array of counters whose bucket boundaries are the
+powers of a q-compression base, so any quantile it reports is the
+q-middle of the cell containing the true order statistic -- a provable
+multiplicative error bound of ``sqrt(base)``, not a heuristic sketch.
+
+This is the latency/q-error distribution store behind
+:class:`repro.service.metrics.ServiceMetrics` and the drift detector:
+the metrics layer inherits the exact guarantee it is monitoring.
+Everything is stdlib-only; one :func:`math.log` per recorded value.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Dict, List, Optional, Tuple
+
+from repro.compression.qcompress import qcompress, qdecompress
+
+__all__ = ["QuantileHistogram"]
+
+# One-eighth binary orders of magnitude: sqrt(base) ~= 1.044, i.e. any
+# reported quantile is within ~4.4% of the true order statistic.
+DEFAULT_BASE = 2.0 ** 0.25
+
+
+class QuantileHistogram:
+    """Log-bucketed value distribution with a q-error-bounded quantile.
+
+    Parameters
+    ----------
+    base:
+        Q-compression base of the bucket grid; reported quantiles carry
+        a worst-case q-error of ``sqrt(base)``.
+    min_value, max_value:
+        The representable range.  Bucket ``k >= 1`` covers
+        ``[min_value * base**(k-1), min_value * base**k)`` -- exactly the
+        q-compression cells of ``value / min_value``.  Values outside
+        the range clamp to the first/last cell (the bound holds inside).
+    lock:
+        Optional externally owned lock, so a holder with several
+        histograms (e.g. ``ServiceMetrics``) can snapshot them
+        consistently under one lock.
+    """
+
+    __slots__ = (
+        "base",
+        "min_value",
+        "max_value",
+        "_lock",
+        "_counts",
+        "_count",
+        "_sum",
+        "_min",
+        "_max",
+    )
+
+    def __init__(
+        self,
+        base: float = DEFAULT_BASE,
+        min_value: float = 1e-6,
+        max_value: float = 1e4,
+        lock: Optional[threading.Lock] = None,
+    ) -> None:
+        if base <= 1.0:
+            raise ValueError(f"base must be > 1, got {base}")
+        if not 0 < min_value < max_value:
+            raise ValueError(
+                f"need 0 < min_value < max_value, got {min_value}, {max_value}"
+            )
+        self.base = float(base)
+        self.min_value = float(min_value)
+        self.max_value = float(max_value)
+        self._lock = lock if lock is not None else threading.Lock()
+        # Codes 0 (zero values) .. code(max_value); the last cell also
+        # absorbs the overflow clamp.
+        n_codes = qcompress(max_value / min_value, self.base)
+        self._counts = [0] * (n_codes + 1)
+        self._count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = 0.0
+
+    # -- grid --------------------------------------------------------------
+
+    @property
+    def max_qerror(self) -> float:
+        """Worst-case q-error of any reported quantile: ``sqrt(base)``."""
+        return math.sqrt(self.base)
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def _code(self, value: float) -> int:
+        if value <= 0.0:
+            return 0
+        scaled = value / self.min_value
+        if scaled <= 1.0:
+            return 1  # underflow clamp: the cell containing min_value
+        return min(qcompress(scaled, self.base), len(self._counts) - 1)
+
+    def _decode(self, code: int) -> float:
+        if code == 0:
+            return 0.0
+        return self.min_value * qdecompress(code, self.base)
+
+    def bucket_upper_bound(self, code: int) -> float:
+        """Upper boundary of a bucket (the Prometheus ``le`` label)."""
+        if code == 0:
+            return 0.0
+        if code == len(self._counts) - 1:
+            return math.inf  # the overflow clamp makes the last cell open
+        return self.min_value * self.base ** code
+
+    # -- recording ---------------------------------------------------------
+
+    def record(self, value: float) -> None:
+        """Count one observation (negative values clamp to zero)."""
+        value = float(value)
+        if value < 0.0:
+            value = 0.0
+        code = self._code(value)
+        with self._lock:
+            self._counts[code] += 1
+            self._count += 1
+            self._sum += value
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+
+    # -- reading -----------------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def total(self) -> float:
+        with self._lock:
+            return self._sum
+
+    @property
+    def max(self) -> float:
+        with self._lock:
+            return self._max
+
+    def quantile(self, p: float) -> float:
+        """The ``p``-quantile, within a factor ``sqrt(base)`` of truth.
+
+        Walks the cumulative counts to the cell holding the order
+        statistic of rank ``ceil(p * count)`` and returns its q-middle,
+        clamped to the observed ``[min, max]`` (which only tightens the
+        estimate: the true quantile lies in that interval).
+        """
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"p must be in [0, 1], got {p}")
+        with self._lock:
+            if self._count == 0:
+                return 0.0
+            rank = max(1, math.ceil(p * self._count))
+            cumulative = 0
+            for code, bucket_count in enumerate(self._counts):
+                cumulative += bucket_count
+                if cumulative >= rank:
+                    estimate = self._decode(code)
+                    return min(max(estimate, self._min), self._max)
+            return self._max  # unreachable: cumulative ends at _count
+
+    def bucket_counts(self) -> List[Tuple[float, int]]:
+        """Sparse ``(upper_bound, count)`` pairs for non-empty buckets."""
+        with self._lock:
+            return [
+                (self.bucket_upper_bound(code), count)
+                for code, count in enumerate(self._counts)
+                if count
+            ]
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-compatible summary: count/mean/max plus key quantiles.
+
+        ``buckets`` carries the sparse non-empty cells so an exporter
+        (e.g. the Prometheus renderer) can rebuild the cumulative
+        distribution from a snapshot that crossed the wire.
+        """
+        with self._lock:
+            count = self._count
+            mean = self._sum / count if count else 0.0
+            maximum = self._max if count else 0.0
+        return {
+            "count": count,
+            "mean": mean,
+            "max": maximum,
+            "p50": self.quantile(0.50),
+            "p90": self.quantile(0.90),
+            "p99": self.quantile(0.99),
+            "qerror_bound": self.max_qerror,
+            "buckets": [[ub, c] for ub, c in self.bucket_counts()],
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"QuantileHistogram(base={self.base:.4f}, "
+            f"count={self.count}, p50={self.quantile(0.5):.3g})"
+        )

@@ -163,6 +163,26 @@ class Span:
             "children": [child.to_dict() for child in self.children],
         }
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Span":
+        """Rebuild a span tree from :meth:`to_dict` output.
+
+        Profiles cross process and service boundaries as dicts (e.g. a
+        parallel build's per-column profile); this grafts them back into
+        a live trace so a request span tree can contain the engine spans
+        of work that ran in a worker.
+        """
+        span = cls(str(data.get("name", "span")))
+        span.seconds = float(data.get("seconds", 0.0) or 0.0)
+        for name, amount in (data.get("counters") or {}).items():
+            span.counters[name] = int(amount)
+        for name, snap in (data.get("timers") or {}).items():
+            timer = span.timer(name)
+            timer.seconds = float(snap.get("seconds", 0.0) or 0.0)
+            timer.calls = int(snap.get("calls", 0) or 0)
+        span.children = [cls.from_dict(child) for child in data.get("children") or []]
+        return span
+
     def format(self, indent: int = 0) -> str:
         """Human-readable indented rendering of the span tree."""
         pad = "  " * indent
@@ -223,6 +243,10 @@ class Trace:
     def count(self, name: str, amount: int = 1) -> None:
         self._stack[-1].count(name, amount)
 
+    def attach(self, span: Span) -> None:
+        """Graft an already-finished span under the current span."""
+        self._stack[-1].children.append(span)
+
     def close(self) -> Span:
         """Finish the root span and return it."""
         self.root.finish()
@@ -243,6 +267,9 @@ class NullTrace:
         return _NULL_CONTEXT
 
     def count(self, name: str, amount: int = 1) -> None:
+        return None
+
+    def attach(self, span: "Span") -> None:
         return None
 
     def close(self) -> None:

@@ -25,6 +25,7 @@ import numpy as np
 from repro.core.multidim import Histogram2D
 from repro.core.statistics import StatisticsManager
 from repro.dictionary.table import Table
+from repro.obs import NULL_TRACE
 from repro.query.predicates import (
     AndPredicate,
     EqualsPredicate,
@@ -114,7 +115,7 @@ class CardinalityEstimator:
         raise TypeError(f"unsupported predicate {type(predicate).__name__}")
 
     def estimate_batch(
-        self, predicates: Sequence[Predicate]
+        self, predicates: Sequence[Predicate], trace=NULL_TRACE
     ) -> List[CardinalityEstimate]:
         """One estimate per predicate, answered with batched statistics.
 
@@ -123,33 +124,70 @@ class CardinalityEstimator:
         ``estimate_range_batch`` call per column (a single compiled-plan
         pass instead of a Python loop).  Conjunctions fall back to
         :meth:`estimate`.  Output order matches the input order.
+
+        ``trace`` (a :class:`repro.obs.Trace` or the no-op twin) gets
+        one span per column group, so a request's span tree shows how
+        the batch fanned out.
         """
+        return self._batch(predicates, "estimate_range_batch", trace)
+
+    def estimate_distinct_batch(
+        self, predicates: Sequence[Predicate], trace=NULL_TRACE
+    ) -> List[CardinalityEstimate]:
+        """One *distinct-value* estimate per single-column predicate.
+
+        The distinct analogue of :meth:`estimate_batch`: predicates are
+        grouped per column and answered by one
+        ``estimate_distinct_range_batch`` pass each.  Conjunctions have
+        no well-defined per-column distinct count and are rejected.
+        """
+        for predicate in predicates:
+            if not isinstance(predicate, (RangePredicate, EqualsPredicate)):
+                raise TypeError(
+                    "distinct estimation requires single-column predicates, "
+                    f"got {type(predicate).__name__}"
+                )
+        return self._batch(predicates, "estimate_distinct_range_batch", trace)
+
+    def _batch(
+        self, predicates: Sequence[Predicate], batch_method: str, trace
+    ) -> List[CardinalityEstimate]:
         results: List[Optional[CardinalityEstimate]] = [None] * len(predicates)
         grouped: Dict[str, List[Tuple[int, int, int]]] = {}
-        for position, predicate in enumerate(predicates):
-            if isinstance(predicate, (RangePredicate, EqualsPredicate)):
-                name, c1, c2 = self._code_range(predicate)
-                if c2 <= c1:
-                    results[position] = CardinalityEstimate(0.0, "exact")
+        with trace.span("group_predicates") as span:
+            span.count("predicates", len(predicates))
+            for position, predicate in enumerate(predicates):
+                if isinstance(predicate, (RangePredicate, EqualsPredicate)):
+                    name, c1, c2 = self._code_range(predicate)
+                    if c2 <= c1:
+                        results[position] = CardinalityEstimate(0.0, "exact")
+                    else:
+                        grouped.setdefault(name, []).append((position, c1, c2))
                 else:
-                    grouped.setdefault(name, []).append((position, c1, c2))
-            else:
-                results[position] = self.estimate(predicate)
+                    results[position] = self.estimate(predicate)
+        scalar_method = (
+            "estimate_range"
+            if batch_method == "estimate_range_batch"
+            else "estimate_distinct_range"
+        )
         for name, entries in grouped.items():
-            stats = self.manager.statistics(self.table.name, name)
-            method = "exact" if stats.is_exact else "histogram"
-            batch = getattr(stats, "estimate_range_batch", None)
-            if batch is not None:
-                c1s = np.asarray([c1 for _, c1, _ in entries], dtype=np.float64)
-                c2s = np.asarray([c2 for _, _, c2 in entries], dtype=np.float64)
-                values = batch(c1s, c2s)
-                for (position, _, _), value in zip(entries, values):
-                    results[position] = CardinalityEstimate(float(value), method)
-            else:
-                for position, c1, c2 in entries:
-                    results[position] = CardinalityEstimate(
-                        float(stats.estimate_range(c1, c2)), method
-                    )
+            with trace.span(f"column[{name}]") as span:
+                span.count("predicates", len(entries))
+                stats = self.manager.statistics(self.table.name, name)
+                method = "exact" if stats.is_exact else "histogram"
+                batch = getattr(stats, batch_method, None)
+                if batch is not None:
+                    c1s = np.asarray([c1 for _, c1, _ in entries], dtype=np.float64)
+                    c2s = np.asarray([c2 for _, _, c2 in entries], dtype=np.float64)
+                    values = batch(c1s, c2s)
+                    for (position, _, _), value in zip(entries, values):
+                        results[position] = CardinalityEstimate(float(value), method)
+                else:
+                    scalar = getattr(stats, scalar_method)
+                    for position, c1, c2 in entries:
+                        results[position] = CardinalityEstimate(
+                            float(scalar(c1, c2)), method
+                        )
         return results
 
     def selectivity(self, predicate: Predicate) -> float:

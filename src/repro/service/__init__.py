@@ -12,24 +12,46 @@ reproduction:
 * :mod:`~repro.service.server` -- the request core plus an asyncio
   JSON-lines TCP front end;
 * :mod:`~repro.service.client` -- a small blocking client;
-* :mod:`~repro.service.metrics` -- request/latency/cache/rebuild counters.
+* :mod:`~repro.service.metrics` -- request/latency/cache/rebuild
+  counters, with latencies on q-compressed quantile histograms;
+* :mod:`~repro.service.telemetry` -- per-request tracing policy, the
+  slow-log ring and the JSON event log;
+* :mod:`~repro.service.drift` -- observed-vs-estimated q-error tracking
+  from ``feedback`` requests, feeding priority rebuilds;
+* :mod:`~repro.service.export` -- Prometheus text-format rendering of
+  the metrics snapshot.
 """
 
 from repro.service.client import ServiceError, StatisticsClient
+from repro.service.drift import ColumnDrift, DriftTracker
+from repro.service.export import render_prometheus
 from repro.service.metrics import ServiceMetrics
 from repro.service.refresh import ColumnRegister, MaintenanceRegistry, RefreshScheduler
 from repro.service.server import StatisticsServer, StatisticsService, start_server_thread
 from repro.service.store import StatisticsStore
+from repro.service.telemetry import (
+    NULL_TELEMETRY,
+    EventLog,
+    ServiceTelemetry,
+    SlowLog,
+)
 
 __all__ = [
+    "ColumnDrift",
     "ColumnRegister",
+    "DriftTracker",
+    "EventLog",
     "MaintenanceRegistry",
+    "NULL_TELEMETRY",
     "RefreshScheduler",
     "ServiceError",
     "ServiceMetrics",
+    "ServiceTelemetry",
+    "SlowLog",
     "StatisticsClient",
     "StatisticsServer",
     "StatisticsService",
     "StatisticsStore",
+    "render_prometheus",
     "start_server_thread",
 ]

@@ -9,6 +9,7 @@ optimizer thread or a CLI invocation wants.  Transport problems raise
 from __future__ import annotations
 
 import socket
+import uuid
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.query.estimator import CardinalityEstimate
@@ -37,17 +38,35 @@ class StatisticsClient:
 
     # -- plumbing ---------------------------------------------------------
 
-    def call(self, op: str, **fields: Any) -> Dict[str, Any]:
-        """One round trip; returns the response fields on success."""
+    def call(
+        self, op: str, request_id: Optional[str] = None, **fields: Any
+    ) -> Dict[str, Any]:
+        """One round trip; returns the response fields on success.
+
+        Every request carries a ``request_id`` (a fresh UUID unless the
+        caller supplies one) that the server echoes and stamps on all
+        telemetry the request produces; it survives on the response and
+        on :class:`ServiceError` for correlation.
+        """
         self._request_id += 1
-        request = {"op": op, "id": self._request_id, **fields}
+        if request_id is None:
+            request_id = uuid.uuid4().hex
+        request = {
+            "op": op,
+            "id": self._request_id,
+            "request_id": request_id,
+            **fields,
+        }
         self._sock.sendall(encode_line(request))
         line = self._reader.readline()
         if not line:
             raise ConnectionError("server closed the connection")
         response = decode_line(line)
         if not response.get("ok"):
-            raise ServiceError(response.get("error", "unknown server error"))
+            message = response.get("error", "unknown server error")
+            raise ServiceError(
+                f"{message} (request_id={response.get('request_id', request_id)})"
+            )
         return response
 
     def close(self) -> None:
@@ -114,6 +133,43 @@ class StatisticsClient:
             table,
             [RangePredicate(column, low, high) for low, high in zip(lows, highs)],
         )
+
+    def estimate_distinct_batch(
+        self, table: str, predicates: Sequence[Predicate]
+    ) -> List[CardinalityEstimate]:
+        """Distinct-value estimates for many predicates in one round trip."""
+        response = self.call(
+            "estimate_distinct_batch",
+            table=table,
+            predicates=predicates_to_wire(predicates),
+        )
+        return [
+            CardinalityEstimate(value=float(value), method=str(method))
+            for value, method in zip(response["values"], response["methods"])
+        ]
+
+    def feedback(
+        self, table: str, column: str, estimated: float, actual: float
+    ) -> Dict[str, Any]:
+        """Report an observed true cardinality for a served estimate."""
+        return self.call(
+            "feedback",
+            table=table,
+            column=column,
+            estimated=float(estimated),
+            actual=float(actual),
+        )
+
+    def slow_log(self, limit: Optional[int] = None) -> List[Dict[str, Any]]:
+        """Recent slow-request records (newest first), with span trees."""
+        fields: Dict[str, Any] = {}
+        if limit is not None:
+            fields["limit"] = int(limit)
+        return list(self.call("slow_log", **fields)["entries"])
+
+    def metrics(self) -> Dict[str, Any]:
+        """The full metrics snapshot the Prometheus exporter renders."""
+        return self.call("metrics")["snapshot"]
 
     def insert(self, table: str, column: str, codes: Sequence[int]) -> Dict[str, Any]:
         return self.call("insert", table=table, column=column, codes=list(codes))

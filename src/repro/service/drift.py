@@ -1,0 +1,169 @@
+"""Accuracy drift detection from query feedback.
+
+The paper certifies a histogram's θ,q contract *at build time*; once
+inserts accumulate (or the workload shifts onto poorly-modelled cells),
+nothing in the serving path observes whether deployed estimates still
+honor it.  Following the query-feedback idea of self-tuning histograms
+(Viswanathan et al.), the service accepts ``feedback`` requests carrying
+the *observed* true cardinality of a previously estimated predicate.
+
+:class:`DriftTracker` keeps one q-compressed
+:class:`~repro.obs.QuantileHistogram` of observed q-errors per column
+(the telemetry distribution carries the same multiplicative error bound
+it is monitoring).  A column whose observed q-error tail exceeds its
+certified ``q`` is *flagged*: the
+:class:`~repro.service.refresh.RefreshScheduler` treats a flagged column
+like a stale one and schedules a priority rebuild, after which the
+column's window resets and must re-earn its flag.
+
+θ-awareness: an observation where both the estimate and the truth lie at
+or below the histogram's θ is *not* a violation (the contract tolerates
+any error there); such observations are recorded with q-error 1.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.qerror import qerror
+from repro.obs import QuantileHistogram
+
+__all__ = ["ColumnDrift", "DriftTracker"]
+
+_Key = Tuple[str, str]
+
+# Drift grid: q-errors live in [1, 1e9); sqrt(base) ~= 1.044 resolution.
+_QERR_BASE = 2.0 ** 0.125
+_QERR_MAX = 1e9
+
+
+class ColumnDrift:
+    """Observed-vs-estimated q-error state for one (table, column)."""
+
+    __slots__ = ("certified_q", "theta", "_histogram", "_violations", "_lock")
+
+    def __init__(self, certified_q: float, theta: float) -> None:
+        self.certified_q = float(certified_q)
+        self.theta = float(theta)
+        self._lock = threading.Lock()
+        self._histogram = QuantileHistogram(
+            base=_QERR_BASE, min_value=1.0, max_value=_QERR_MAX, lock=self._lock
+        )
+        self._violations = 0
+
+    def observe(self, estimated: float, actual: float) -> float:
+        """Record one feedback observation; returns the scored q-error.
+
+        Observations inside the θ-region score 1 (the contract tolerates
+        them); infinite q-errors (zero on one side only) clamp to the
+        grid's ceiling so they land in the top cell instead of raising.
+        """
+        if estimated <= self.theta and actual <= self.theta:
+            observed = 1.0
+        else:
+            observed = qerror(estimated, actual)
+            if math.isinf(observed):
+                observed = _QERR_MAX
+        self._histogram.record(observed)
+        if observed > self.certified_q:
+            with self._lock:
+                self._violations += 1
+        return observed
+
+    @property
+    def observations(self) -> int:
+        return self._histogram.count
+
+    @property
+    def violations(self) -> int:
+        with self._lock:
+            return self._violations
+
+    def qerr_p99(self) -> float:
+        return self._histogram.quantile(0.99)
+
+    def exceeded(self, min_observations: int) -> bool:
+        """True when the tail breaches the certified contract."""
+        return (
+            self._histogram.count >= min_observations
+            and self.qerr_p99() > self.certified_q
+        )
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "certified_q": self.certified_q,
+            "theta": self.theta,
+            "observations": self.observations,
+            "violations": self.violations,
+            "qerr_p50": self._histogram.quantile(0.50),
+            "qerr_p99": self.qerr_p99(),
+            "qerr_max": self._histogram.max,
+        }
+
+
+class DriftTracker:
+    """Per-column drift state plus the rebuild flagging policy.
+
+    Parameters
+    ----------
+    min_observations:
+        Feedback sample floor before a column may be flagged -- one
+        unlucky observation must not trigger a rebuild storm.
+    """
+
+    def __init__(self, min_observations: int = 5) -> None:
+        if min_observations < 1:
+            raise ValueError("min_observations must be >= 1")
+        self.min_observations = min_observations
+        self._lock = threading.Lock()
+        self._columns: Dict[_Key, ColumnDrift] = {}
+
+    def observe(
+        self,
+        table: str,
+        column: str,
+        estimated: float,
+        actual: float,
+        certified_q: float,
+        theta: float,
+    ) -> Dict[str, object]:
+        """Fold one feedback observation in; returns the scored record."""
+        key = (table, column)
+        with self._lock:
+            drift = self._columns.get(key)
+            if drift is None:
+                drift = self._columns[key] = ColumnDrift(certified_q, theta)
+        observed = drift.observe(estimated, actual)
+        return {
+            "qerror": observed,
+            "certified_q": drift.certified_q,
+            "flagged": drift.exceeded(self.min_observations),
+        }
+
+    def get(self, table: str, column: str) -> Optional[ColumnDrift]:
+        with self._lock:
+            return self._columns.get((table, column))
+
+    def flagged(self) -> List[_Key]:
+        """Columns whose observed q-error tail breaches their contract."""
+        with self._lock:
+            items = list(self._columns.items())
+        return [
+            key for key, drift in items if drift.exceeded(self.min_observations)
+        ]
+
+    def reset(self, table: str, column: str) -> None:
+        """Drop a column's window (called after its priority rebuild)."""
+        with self._lock:
+            self._columns.pop((table, column), None)
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        with self._lock:
+            items = list(self._columns.items())
+        return {f"{table}.{column}": d.snapshot() for (table, column), d in items}
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._columns)

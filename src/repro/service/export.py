@@ -1,0 +1,251 @@
+"""Prometheus text-format rendering of a service metrics snapshot.
+
+The ``metrics`` wire op ships the full JSON snapshot (counters, cache
+stats, q-compressed latency/q-error histograms, drift state); this
+module renders that snapshot as the Prometheus text exposition format,
+so ``repro metrics --prometheus`` can feed a scrape endpoint or a
+textfile collector without the server growing an HTTP dependency.
+
+Latency histograms translate directly: the q-compression grid's cell
+boundaries become the ``le`` labels of a native Prometheus histogram
+(cumulative counts, ``_sum``, ``_count``).  Everything else is counters
+and gauges with ``op`` / ``table`` / ``column`` / ``name`` labels.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Mapping, Tuple
+
+__all__ = ["render_prometheus"]
+
+
+def _escape_label(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace("\n", "\\n")
+        .replace('"', '\\"')
+    )
+
+
+def _labels(pairs: Mapping[str, Any]) -> str:
+    if not pairs:
+        return ""
+    inner = ",".join(f'{k}="{_escape_label(v)}"' for k, v in pairs.items())
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    value = float(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+class _Writer:
+    def __init__(self) -> None:
+        self.lines: List[str] = []
+        self._typed: set = set()
+
+    def header(self, name: str, kind: str, help_text: str) -> None:
+        if name in self._typed:
+            return
+        self._typed.add(name)
+        self.lines.append(f"# HELP {name} {help_text}")
+        self.lines.append(f"# TYPE {name} {kind}")
+
+    def sample(self, name: str, labels: Mapping[str, Any], value: float) -> None:
+        self.lines.append(f"{name}{_labels(labels)} {_format_value(value)}")
+
+    def render(self) -> str:
+        return "\n".join(self.lines) + "\n"
+
+
+def _cumulative_buckets(
+    buckets: List[List[float]],
+) -> List[Tuple[float, int]]:
+    cumulative = 0
+    out: List[Tuple[float, int]] = []
+    for upper_bound, count in buckets:
+        cumulative += int(count)
+        out.append((float(upper_bound), cumulative))
+    return out
+
+
+def _render_histogram(
+    writer: _Writer,
+    name: str,
+    help_text: str,
+    labels: Mapping[str, Any],
+    summary: Mapping[str, Any],
+    scale: float = 1.0,
+) -> None:
+    """One Prometheus histogram from a QuantileHistogram snapshot.
+
+    ``summary`` is the sparse snapshot that crossed the wire (``count``,
+    ``mean``/``mean_ms``, ``buckets``); ``scale`` converts stored bucket
+    bounds into the exported unit (latency snapshots store seconds).
+    """
+    writer.header(name, "histogram", help_text)
+    count = int(summary.get("count", 0))
+    cumulative = _cumulative_buckets(list(summary.get("buckets") or []))
+    for upper_bound, running in cumulative:
+        le = "+Inf" if math.isinf(upper_bound) else _format_value(upper_bound * scale)
+        writer.sample(f"{name}_bucket", {**labels, "le": le}, running)
+    # The grid's overflow cell is already +Inf when populated; emit the
+    # mandatory +Inf bucket when it is not.
+    if not cumulative or not math.isinf(cumulative[-1][0]):
+        writer.sample(f"{name}_bucket", {**labels, "le": "+Inf"}, count)
+    if "mean" in summary:
+        total = float(summary["mean"]) * count
+    else:
+        total = float(summary.get("mean_ms", 0.0)) * 1e-3 * count
+    writer.sample(f"{name}_sum", labels, total * scale)
+    writer.sample(f"{name}_count", labels, count)
+
+
+def _split_key(key: str) -> Tuple[str, str]:
+    table, _, column = key.partition(".")
+    return table, column
+
+
+def render_prometheus(snapshot: Dict[str, Any], prefix: str = "repro") -> str:
+    """Render a ``metrics`` op snapshot as Prometheus text format."""
+    writer = _Writer()
+    metrics = snapshot.get("metrics") or {}
+
+    requests = metrics.get("requests") or {}
+    if requests:
+        writer.header(f"{prefix}_requests_total", "counter", "Requests served per op.")
+        for op in sorted(requests):
+            writer.sample(f"{prefix}_requests_total", {"op": op}, requests[op])
+    errors = metrics.get("errors") or {}
+    if errors:
+        writer.header(f"{prefix}_errors_total", "counter", "Failed requests per op.")
+        for op in sorted(errors):
+            writer.sample(f"{prefix}_errors_total", {"op": op}, errors[op])
+
+    counters = metrics.get("counters") or {}
+    if counters:
+        writer.header(
+            f"{prefix}_counter_total", "counter", "Free-form service counters."
+        )
+        for name in sorted(counters):
+            writer.sample(f"{prefix}_counter_total", {"name": name}, counters[name])
+
+    latency = metrics.get("latency") or {}
+    for op in sorted(latency):
+        _render_histogram(
+            writer,
+            f"{prefix}_request_latency_seconds",
+            "Per-op request latency on the q-compression grid.",
+            {"op": op},
+            latency[op],
+        )
+
+    cache = snapshot.get("cache") or {}
+    cache_counters = ("hits", "misses", "evictions", "plan_hits", "plan_misses")
+    for key in cache_counters:
+        if key in cache:
+            writer.header(
+                f"{prefix}_store_{key}_total", "counter", f"Store cache {key}."
+            )
+            writer.sample(f"{prefix}_store_{key}_total", {}, cache[key])
+    cache_gauges = ("size", "capacity", "plans_cached", "plan_compile_seconds")
+    for key in cache_gauges:
+        if key in cache:
+            writer.header(f"{prefix}_store_{key}", "gauge", f"Store cache {key}.")
+            writer.sample(f"{prefix}_store_{key}", {}, cache[key])
+
+    compile_counters = snapshot.get("compile") or {}
+    if compile_counters:
+        writer.header(
+            f"{prefix}_compile_total", "counter", "Compiled-plan counters."
+        )
+        for name in sorted(compile_counters):
+            writer.sample(
+                f"{prefix}_compile_total", {"name": name}, compile_counters[name]
+            )
+
+    drift = snapshot.get("drift") or {}
+    if drift:
+        writer.header(
+            f"{prefix}_drift_observations_total",
+            "counter",
+            "Feedback observations per column.",
+        )
+        for key in sorted(drift):
+            table, column = _split_key(key)
+            writer.sample(
+                f"{prefix}_drift_observations_total",
+                {"table": table, "column": column},
+                drift[key].get("observations", 0),
+            )
+        writer.header(
+            f"{prefix}_drift_violations_total",
+            "counter",
+            "Feedback observations breaching the certified q.",
+        )
+        for key in sorted(drift):
+            table, column = _split_key(key)
+            writer.sample(
+                f"{prefix}_drift_violations_total",
+                {"table": table, "column": column},
+                drift[key].get("violations", 0),
+            )
+        writer.header(
+            f"{prefix}_drift_qerror_p99",
+            "gauge",
+            "Observed q-error p99 per column (q-compressed window).",
+        )
+        for key in sorted(drift):
+            table, column = _split_key(key)
+            writer.sample(
+                f"{prefix}_drift_qerror_p99",
+                {"table": table, "column": column},
+                drift[key].get("qerr_p99", 0.0),
+            )
+        writer.header(
+            f"{prefix}_drift_certified_q",
+            "gauge",
+            "The q certified at build time per column.",
+        )
+        for key in sorted(drift):
+            table, column = _split_key(key)
+            writer.sample(
+                f"{prefix}_drift_certified_q",
+                {"table": table, "column": column},
+                drift[key].get("certified_q", 0.0),
+            )
+
+    columns = snapshot.get("columns") or {}
+    if columns:
+        writer.header(
+            f"{prefix}_column_staleness",
+            "gauge",
+            "Insert fraction since the last rebuild per column.",
+        )
+        for key in sorted(columns):
+            table, column = _split_key(key)
+            writer.sample(
+                f"{prefix}_column_staleness",
+                {"table": table, "column": column},
+                columns[key].get("staleness", 0.0),
+            )
+        writer.header(
+            f"{prefix}_column_rebuilds_total",
+            "counter",
+            "Completed rebuilds per column.",
+        )
+        for key in sorted(columns):
+            table, column = _split_key(key)
+            writer.sample(
+                f"{prefix}_column_rebuilds_total",
+                {"table": table, "column": column},
+                columns[key].get("rebuilds", 0),
+            )
+
+    return writer.render()

@@ -4,7 +4,13 @@ A deliberately small metrics surface -- the counters a ``status`` call
 reports and the throughput benchmark reads.  The counter families are
 :class:`repro.obs.CounterSet` instances sharing one re-entrant lock, so
 the increments are nanoseconds next to histogram estimation and
-:meth:`ServiceMetrics.snapshot` stays consistent across families.  Build
+:meth:`ServiceMetrics.snapshot` stays consistent across families.
+
+Per-op latency is a :class:`repro.obs.QuantileHistogram` on the paper's
+q-compression grid: ``status`` reports p50/p90/p99/max where every
+quantile carries a provable ``sqrt(base)`` q-error bound -- the metrics
+layer inherits the same multiplicative guarantee it is monitoring,
+instead of collapsing the distribution to count/mean/max.  Build
 profiles reported by the :mod:`repro.engine` pipeline fold in through
 :meth:`ServiceMetrics.record_build_profile`, giving ``status`` the same
 per-phase vocabulary (density scan, bucket search, acceptance tests,
@@ -18,34 +24,17 @@ import time
 from contextlib import contextmanager
 from typing import Dict, Iterator, List, Mapping, Optional
 
-from repro.obs import CounterSet
+from repro.obs import CounterSet, QuantileHistogram
 
-__all__ = ["LatencyStat", "ServiceMetrics"]
+__all__ = ["LATENCY_BASE", "ServiceMetrics"]
 
+# Quarter-binary orders of magnitude: reported latency quantiles are
+# within sqrt(2**0.25) ~= 1.09x of the true order statistic.
+LATENCY_BASE = 2.0 ** 0.25
 
-class LatencyStat:
-    """Count / total / max of one operation's service time."""
-
-    __slots__ = ("count", "total_seconds", "max_seconds")
-
-    def __init__(self) -> None:
-        self.count = 0
-        self.total_seconds = 0.0
-        self.max_seconds = 0.0
-
-    def record(self, seconds: float) -> None:
-        self.count += 1
-        self.total_seconds += seconds
-        if seconds > self.max_seconds:
-            self.max_seconds = seconds
-
-    def snapshot(self) -> Dict[str, float]:
-        mean = self.total_seconds / self.count if self.count else 0.0
-        return {
-            "count": self.count,
-            "mean_ms": mean * 1e3,
-            "max_ms": self.max_seconds * 1e3,
-        }
+# Latency grid: 1 microsecond .. ~3 hours, in seconds.
+_LATENCY_MIN_SECONDS = 1e-6
+_LATENCY_MAX_SECONDS = 1e4
 
 
 class ServiceMetrics:
@@ -53,7 +42,10 @@ class ServiceMetrics:
 
     Four families:
 
-    * per-op request/error counts and latencies (via :meth:`track`);
+    * per-op request/error counts and latency distributions (via
+      :meth:`track`); latencies live in q-compressed
+      :class:`QuantileHistogram` buckets, so ``snapshot`` reports
+      p50/p90/p99/max with a known q-error bound;
     * free-form named counters (:meth:`incr`) -- rebuilds triggered /
       completed / failed, rows inserted, estimates served stale;
     * per-phase build timing folded in from pipeline profiles
@@ -69,7 +61,7 @@ class ServiceMetrics:
         self._requests = CounterSet(lock=self._lock)
         self._errors = CounterSet(lock=self._lock)
         self._counters = CounterSet(lock=self._lock)
-        self._latency: Dict[str, LatencyStat] = {}
+        self._latency: Dict[str, QuantileHistogram] = {}
         # op -> phase -> [seconds, builds]
         self._phases: Dict[str, Dict[str, List[float]]] = {}
 
@@ -84,9 +76,12 @@ class ServiceMetrics:
             raise
         finally:
             elapsed = time.perf_counter() - start
-            self._requests.incr(op)
+            # One lock hold for both updates (the lock is re-entrant):
+            # a concurrent snapshot never sees a request counted with
+            # its latency missing.
             with self._lock:
-                self._latency.setdefault(op, LatencyStat()).record(elapsed)
+                self._requests.incr(op)
+                self.latency_histogram(op).record(elapsed)
 
     def incr(self, name: str, amount: int = 1) -> None:
         self._counters.incr(name, amount)
@@ -96,6 +91,23 @@ class ServiceMetrics:
 
     def requests(self, op: str) -> int:
         return self._requests.get(op)
+
+    def latency_histogram(self, op: str) -> QuantileHistogram:
+        """The op's latency distribution (created on first use).
+
+        Shares the metrics lock, so one :meth:`snapshot` acquisition
+        covers counters and latency histograms consistently.
+        """
+        with self._lock:
+            histogram = self._latency.get(op)
+            if histogram is None:
+                histogram = self._latency[op] = QuantileHistogram(
+                    base=LATENCY_BASE,
+                    min_value=_LATENCY_MIN_SECONDS,
+                    max_value=_LATENCY_MAX_SECONDS,
+                    lock=self._lock,
+                )
+            return histogram
 
     def record_build_profile(
         self, op: str, profile: Optional[Mapping[str, object]]
@@ -122,6 +134,20 @@ class ServiceMetrics:
             slot[1] += 1
         self._counters.merge(counters, prefix=f"{op}.")
 
+    @staticmethod
+    def _latency_summary(histogram: QuantileHistogram) -> Dict[str, object]:
+        snap = histogram.snapshot()
+        return {
+            "count": snap["count"],
+            "mean_ms": float(snap["mean"]) * 1e3,
+            "max_ms": float(snap["max"]) * 1e3,
+            "p50_ms": float(snap["p50"]) * 1e3,
+            "p90_ms": float(snap["p90"]) * 1e3,
+            "p99_ms": float(snap["p99"]) * 1e3,
+            "qerror_bound": snap["qerror_bound"],
+            "buckets": snap["buckets"],  # sparse (le_seconds, count) cells
+        }
+
     def snapshot(self) -> Dict[str, object]:
         """A JSON-compatible view of every counter."""
         with self._lock:
@@ -129,7 +155,8 @@ class ServiceMetrics:
                 "requests": self._requests.snapshot(),
                 "errors": self._errors.snapshot(),
                 "latency": {
-                    op: stat.snapshot() for op, stat in self._latency.items()
+                    op: self._latency_summary(histogram)
+                    for op, histogram in self._latency.items()
                 },
                 "counters": self._counters.snapshot(),
                 "phases": {

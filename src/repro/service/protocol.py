@@ -4,8 +4,14 @@ The service speaks JSON lines: one request object per line in, one
 response object per line out, over a plain TCP stream.  Requests carry
 an ``op`` plus op-specific fields (and an optional ``id`` echoed back);
 responses always carry ``ok`` and either the result fields or an
-``error`` string.  Predicates -- the interesting payload -- serialize to
-small tagged objects mirroring :mod:`repro.query.predicates`::
+``error`` string.  Every request may also carry a ``request_id`` -- a
+client-chosen correlation string; the server resolves one (UUID
+fallback) when absent, echoes it on the response, and stamps it on every
+telemetry record the request produces (event-log lines, slow-log
+entries, span trees), so a slow query can be chased from the client call
+site through the server's trace with one grep.  Predicates -- the
+interesting payload -- serialize to small tagged objects mirroring
+:mod:`repro.query.predicates`::
 
     {"type": "range", "column": "price", "low": 10, "high": 99}
     {"type": "eq", "column": "region", "value": 3}
@@ -131,6 +137,8 @@ def ok_response(request: Dict[str, Any], **fields: Any) -> Dict[str, Any]:
     response: Dict[str, Any] = {"ok": True}
     if "id" in request:
         response["id"] = request["id"]
+    if "request_id" in request:
+        response["request_id"] = request["request_id"]
     response.update(fields)
     return response
 
@@ -140,4 +148,6 @@ def error_response(request: Dict[str, Any], error: str) -> Dict[str, Any]:
     response: Dict[str, Any] = {"ok": False, "error": error}
     if isinstance(request, dict) and "id" in request:
         response["id"] = request["id"]
+    if isinstance(request, dict) and "request_id" in request:
+        response["request_id"] = request["request_id"]
     return response

@@ -14,7 +14,11 @@ that loop as a service concern:
 * :class:`RefreshScheduler` -- a daemon thread that polls staleness and
   ships rebuilds to a :func:`repro.core.parallel.make_executor` pool.
   The new histogram is swapped in atomically under the store's
-  generation counter while estimates keep serving the old one.
+  generation counter while estimates keep serving the old one.  Given a
+  :class:`~repro.service.drift.DriftTracker`, the scheduler also treats
+  observed q-error drift as a rebuild trigger: a column whose feedback
+  q-error p99 breaches its certified ``q`` is rebuilt at the next sweep
+  regardless of staleness, and its drift window resets after the swap.
 
 Degradation ladder: a column with a fresh histogram answers within the
 θ,q bound; once inserts accumulate, estimates blend Morris counts (known
@@ -97,9 +101,30 @@ class ColumnRegister:
         with self._lock:
             return self._maintained.estimate_batch(c1s, c2s)
 
+    def estimate_distinct(self, c1: float, c2: float) -> float:
+        """Distinct-value estimate from the base histogram.
+
+        Inserts between delta merges cannot add distinct values (the
+        dictionary's code domain is fixed until the next merge), so the
+        base histogram's distinct estimate needs no Morris blending.
+        """
+        with self._lock:
+            return self._maintained.histogram.estimate_distinct(c1, c2)
+
+    def estimate_distinct_batch(self, c1s, c2s) -> np.ndarray:
+        """Vector of distinct estimates; one lock hold for the batch."""
+        with self._lock:
+            return self._maintained.histogram.estimate_distinct_batch(c1s, c2s)
+
     def histogram(self) -> Histogram:
         with self._lock:
             return self._maintained.histogram
+
+    def certified_bounds(self) -> Tuple[float, float]:
+        """The (q, θ) the current base histogram certified at build time."""
+        with self._lock:
+            profile = self._maintained.error_profile()
+            return float(profile["base_q"]), float(profile["base_theta"])
 
     # -- updates ----------------------------------------------------------
 
@@ -252,10 +277,15 @@ class RefreshScheduler:
         at a time and skips process spawn overhead.
     metrics:
         Counter sink (``rebuilds_triggered`` / ``rebuilds_completed`` /
-        ``rebuilds_failed``).
+        ``rebuilds_failed`` / ``rebuilds_drift``).
     on_rebuild:
         Optional callback ``(register, histogram_or_None)`` after each
         attempt -- tests hook this to observe convergence.
+    drift:
+        Optional :class:`~repro.service.drift.DriftTracker`.  Columns it
+        flags are rebuilt at the next sweep even below the staleness
+        threshold; a successful swap resets the column's drift window so
+        stale feedback cannot retrigger forever.
     """
 
     def __init__(
@@ -270,6 +300,7 @@ class RefreshScheduler:
         max_workers: Optional[int] = None,
         metrics: Optional[ServiceMetrics] = None,
         on_rebuild: Optional[Callable[[ColumnRegister, Optional[Histogram]], None]] = None,
+        drift=None,
     ) -> None:
         if not 0 < threshold < 1:
             raise ValueError("threshold must be in (0, 1)")
@@ -283,6 +314,7 @@ class RefreshScheduler:
         self.config = config
         self.metrics = metrics if metrics is not None else ServiceMetrics()
         self._on_rebuild = on_rebuild
+        self.drift = drift
         self._pool = make_executor(executor, max_workers)
         self._in_flight: Dict[_Key, object] = {}
         # Reentrant: add_done_callback runs _finish inline on this very
@@ -329,14 +361,18 @@ class RefreshScheduler:
         those rebuilds to finish before returning.
         """
         started: List[Tuple[_Key, threading.Event]] = []
+        flagged = set(self.drift.flagged()) if self.drift is not None else set()
         for key, register in self.registry.items():
             with self._lock:
                 if key in self._in_flight:
                     continue
-                if not register.needs_rebuild(self.threshold):
+                drifted = key in flagged
+                if not drifted and not register.needs_rebuild(self.threshold):
                     continue
                 merged, covered = register.snapshot_for_rebuild()
                 self.metrics.incr("rebuilds_triggered")
+                if drifted:
+                    self.metrics.incr("rebuilds_drift")
                 try:
                     future = submit_histogram_build(
                         self._pool,
@@ -378,6 +414,9 @@ class RefreshScheduler:
             self.store.put(key[0], key[1], histogram)
             self.metrics.incr("rebuilds_completed")
             self.metrics.record_build_profile("rebuild", profile)
+            if self.drift is not None:
+                # The fresh histogram voids the old feedback window.
+                self.drift.reset(key[0], key[1])
         except Exception:
             # Graceful degradation: the register keeps serving the stale
             # histogram with Morris-blended inserts; nothing propagates

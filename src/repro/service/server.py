@@ -15,6 +15,15 @@ endpoint (one request object per line, one response per line; see
 thread so a slow estimate never stalls the accept loop.  A malformed or
 failing request produces a structured ``{"ok": false}`` response -- the
 connection, and every other client, keeps going.
+
+Telemetry: every request resolves a ``request_id`` (client-supplied or a
+server UUID) that is echoed in the response and stamped on every event
+the request produces.  With request tracing enabled, a
+:class:`~repro.obs.Trace` follows the request through the estimator, the
+store and the build engine, and slow requests park their span tree in
+the ``slow_log`` ring.  ``feedback`` requests feed the
+:class:`~repro.service.drift.DriftTracker`, closing the loop from
+observed q-errors back to priority rebuilds.
 """
 
 from __future__ import annotations
@@ -22,6 +31,7 @@ from __future__ import annotations
 import asyncio
 import threading
 from pathlib import Path
+from time import perf_counter
 from typing import Any, Dict, Optional, Tuple
 
 import numpy as np
@@ -32,7 +42,9 @@ from repro.core.config import HistogramConfig
 from repro.core.parallel import build_column_histograms
 from repro.core.statistics import ColumnStatistics, StatisticsManager
 from repro.dictionary.table import Table, histogram_worthy
+from repro.obs import NULL_TRACE, Span
 from repro.query.estimator import CardinalityEstimate, CardinalityEstimator
+from repro.service.drift import DriftTracker
 from repro.service.metrics import ServiceMetrics
 from repro.service.protocol import (
     decode_line,
@@ -44,6 +56,7 @@ from repro.service.protocol import (
 )
 from repro.service.refresh import ColumnRegister, MaintenanceRegistry
 from repro.service.store import StatisticsStore
+from repro.service.telemetry import ServiceTelemetry, resolve_request_id
 
 __all__ = [
     "RegisterStatistics",
@@ -75,6 +88,14 @@ class RegisterStatistics:
             np.asarray(c1s, dtype=np.float64), np.asarray(c2s, dtype=np.float64)
         )
 
+    def estimate_distinct_range(self, c1: int, c2: int) -> float:
+        return self._register.estimate_distinct(float(c1), float(c2))
+
+    def estimate_distinct_range_batch(self, c1s, c2s) -> np.ndarray:
+        return self._register.estimate_distinct_batch(
+            np.asarray(c1s, dtype=np.float64), np.asarray(c2s, dtype=np.float64)
+        )
+
     def size_bytes(self) -> int:
         return self._register.histogram().size_bytes()
 
@@ -97,6 +118,14 @@ class StatisticsService:
         Morris base for the maintenance registers.
     seed:
         Seed for the registers' randomness (tests pin it).
+    telemetry:
+        Request telemetry policy (:class:`ServiceTelemetry` or the null
+        twin).  The default keeps per-request tracing *off* but the
+        slow-log ring live, so ``slow_log`` works out of the box at
+        near-zero overhead.
+    drift:
+        Feedback drift tracker; defaults to a fresh
+        :class:`DriftTracker`.
     """
 
     def __init__(
@@ -109,6 +138,8 @@ class StatisticsService:
         build_workers: Optional[int] = None,
         counter_base: float = 1.05,
         seed: Optional[int] = None,
+        telemetry=None,
+        drift: Optional[DriftTracker] = None,
     ) -> None:
         self.kind = kind
         self.config = config
@@ -117,6 +148,12 @@ class StatisticsService:
         )
         self.registry = MaintenanceRegistry()
         self.metrics = ServiceMetrics()
+        self.telemetry = (
+            telemetry
+            if telemetry is not None
+            else ServiceTelemetry(trace_requests=False)
+        )
+        self.drift = drift if drift is not None else DriftTracker()
         self._build_executor = build_executor
         self._build_workers = build_workers
         self._counter_base = counter_base
@@ -124,6 +161,10 @@ class StatisticsService:
         self._lock = threading.RLock()
         self._tables: Dict[str, Table] = {}
         self._estimators: Dict[str, CardinalityEstimator] = {}
+
+    def close(self) -> None:
+        """Flush and close telemetry sinks (the event log)."""
+        self.telemetry.close()
 
     # -- table registration ------------------------------------------------
 
@@ -141,7 +182,9 @@ class StatisticsService:
 
     # -- operations --------------------------------------------------------
 
-    def build(self, table_name: str, kind: Optional[str] = None) -> Dict[str, int]:
+    def build(
+        self, table_name: str, kind: Optional[str] = None, trace=NULL_TRACE
+    ) -> Dict[str, int]:
         """(Re)build statistics for every column of a registered table.
 
         Worthy columns get fresh histograms (fanned across the build
@@ -149,6 +192,10 @@ class StatisticsService:
         in new maintenance registers; tiny/unique columns keep exact
         counts.  The estimate path picks the new statistics up
         atomically when the estimator is swapped at the end.
+
+        A traced request grafts each column build's own span tree (which
+        crossed the pool boundary as a profile dict) into its trace, so
+        the slow log shows per-phase build timings end to end.
         """
         with self.metrics.track("build"):
             with self._lock:
@@ -157,15 +204,20 @@ class StatisticsService:
                 raise KeyError(f"unknown table {table_name!r}")
             kind = kind or self.kind
             worthy = [column for column in table if histogram_worthy(column)]
+
+            def sink(name: str, profile: Dict[str, Any]) -> None:
+                self.metrics.record_build_profile("build", profile)
+                span_dict = profile.get("trace")
+                if span_dict:
+                    trace.attach(Span.from_dict(span_dict))
+
             histograms = build_column_histograms(
                 worthy,
                 kind=kind,
                 config=self.config,
                 max_workers=self._build_workers,
                 executor=self._build_executor,
-                phase_sink=lambda name, profile: self.metrics.record_build_profile(
-                    "build", profile
-                ),
+                phase_sink=sink,
             )
             manager = StatisticsManager(kind=kind, config=self.config)
             exact = 0
@@ -202,19 +254,22 @@ class StatisticsService:
                 self._estimators[table_name] = estimator
             return {"built": len(histograms), "exact": exact}
 
+    def _estimator(self, table_name: str) -> CardinalityEstimator:
+        with self._lock:
+            estimator = self._estimators.get(table_name)
+        if estimator is None:
+            raise KeyError(
+                f"no statistics served for table {table_name!r}; "
+                "build it first"
+            )
+        return estimator
+
     def estimate(self, table_name: str, predicate) -> CardinalityEstimate:
         """Predicate cardinality via the served statistics."""
         with self.metrics.track("estimate"):
-            with self._lock:
-                estimator = self._estimators.get(table_name)
-            if estimator is None:
-                raise KeyError(
-                    f"no statistics served for table {table_name!r}; "
-                    "build it first"
-                )
-            return estimator.estimate(predicate)
+            return self._estimator(table_name).estimate(predicate)
 
-    def estimate_batch(self, table_name: str, predicates) -> list:
+    def estimate_batch(self, table_name: str, predicates, trace=NULL_TRACE) -> list:
         """One round-trip worth of predicate cardinalities.
 
         A single tracked operation answers the whole batch through the
@@ -222,16 +277,56 @@ class StatisticsService:
         both the request overhead and the Python dispatch.
         """
         with self.metrics.track("estimate_batch"):
-            with self._lock:
-                estimator = self._estimators.get(table_name)
-            if estimator is None:
-                raise KeyError(
-                    f"no statistics served for table {table_name!r}; "
-                    "build it first"
-                )
-            estimates = estimator.estimate_batch(predicates)
+            estimates = self._estimator(table_name).estimate_batch(
+                predicates, trace=trace
+            )
             self.metrics.incr("estimates_batched", len(estimates))
             return estimates
+
+    def estimate_distinct_batch(
+        self, table_name: str, predicates, trace=NULL_TRACE
+    ) -> list:
+        """Distinct-value estimates for a batch of single-column predicates."""
+        with self.metrics.track("estimate_distinct_batch"):
+            estimates = self._estimator(table_name).estimate_distinct_batch(
+                predicates, trace=trace
+            )
+            self.metrics.incr("distinct_batched", len(estimates))
+            return estimates
+
+    def feedback(
+        self, table_name: str, column_name: str, estimated: float, actual: float
+    ) -> Dict[str, Any]:
+        """Fold one observed true cardinality into the drift tracker.
+
+        The column's certified (q, θ) come from its live register; a
+        column without maintained statistics (exact counts) has no
+        contract to drift from and is rejected.
+        """
+        with self.metrics.track("feedback"):
+            register = self.registry.get(table_name, column_name)
+            if register is None:
+                raise KeyError(
+                    f"no maintained statistics for {table_name}.{column_name}"
+                )
+            certified_q, theta = register.certified_bounds()
+            record = self.drift.observe(
+                table_name,
+                column_name,
+                float(estimated),
+                float(actual),
+                certified_q,
+                theta,
+            )
+            self.metrics.incr("feedback_observations")
+            if record["flagged"]:
+                self.metrics.incr("feedback_flagged")
+            return record
+
+    def slow_log(self, limit: Optional[int] = None) -> list:
+        """Most recent slow-request records, newest first."""
+        with self.metrics.track("slow_log"):
+            return self.telemetry.slow_entries(limit)
 
     def insert(self, table_name: str, column_name: str, codes) -> Dict[str, Any]:
         """Route inserted rows to the column's maintenance register."""
@@ -255,64 +350,134 @@ class StatisticsService:
     def status(self) -> Dict[str, Any]:
         """Metrics, cache counters and per-column maintenance state."""
         with self.metrics.track("status"):
-            columns = {}
-            for (table, column), register in self.registry.items():
-                state = register.status()
-                state["generation"] = self.store.generation(table, column)
-                columns[f"{table}.{column}"] = state
-            return {
-                "tables": list(self.tables()),
-                "metrics": self.metrics.snapshot(),
-                "cache": self.store.cache_stats(),
-                "compile": COMPILE_COUNTERS.snapshot(),
-                "columns": columns,
-            }
+            return self._snapshot()
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        """The ``metrics`` op: the same snapshot under its own op counter.
+
+        This is what :func:`repro.service.export.render_prometheus`
+        renders.
+        """
+        with self.metrics.track("metrics"):
+            return self._snapshot()
+
+    def _snapshot(self) -> Dict[str, Any]:
+        drift = self.drift.snapshot()
+        flagged = {f"{t}.{c}" for t, c in self.drift.flagged()}
+        columns = {}
+        for (table, column), register in self.registry.items():
+            state = register.status()
+            state["generation"] = self.store.generation(table, column)
+            key = f"{table}.{column}"
+            observed = drift.get(key)
+            if observed is not None:
+                state["qerr_p99"] = observed["qerr_p99"]
+                state["drift_flagged"] = key in flagged
+            columns[key] = state
+        return {
+            "tables": list(self.tables()),
+            "metrics": self.metrics.snapshot(),
+            "cache": self.store.cache_stats(),
+            "compile": COMPILE_COUNTERS.snapshot(),
+            "columns": columns,
+            "drift": drift,
+        }
 
     # -- wire dispatch -----------------------------------------------------
 
     def handle(self, request: Dict[str, Any]) -> Dict[str, Any]:
-        """Serve one wire request; always returns a response object."""
+        """Serve one wire request; always returns a response object.
+
+        Telemetry wraps every dispatch: the resolved ``request_id`` is
+        echoed in the response, the request trace (when tracing is on)
+        follows the call into the estimator/store/engine, and the finish
+        hook feeds the event log and the slow-log ring.
+        """
+        op = str(request.get("op") or "")
+        request_id = resolve_request_id(request)
+        trace = self.telemetry.begin(op, request_id)
+        fields: Dict[str, Any] = {}
+        start = perf_counter()
         try:
-            op = request.get("op")
-            if op == "ping":
-                return ok_response(request, pong=True)
-            if op == "estimate":
-                predicate = predicate_from_wire(_require(request, "predicate"))
-                estimate = self.estimate(_require(request, "table"), predicate)
-                return ok_response(
-                    request, value=estimate.value, method=estimate.method
-                )
-            if op == "estimate_batch":
-                predicates = predicates_from_wire(_require(request, "predicates"))
-                estimates = self.estimate_batch(
-                    _require(request, "table"), predicates
-                )
-                return ok_response(
-                    request,
-                    values=[estimate.value for estimate in estimates],
-                    methods=[estimate.method for estimate in estimates],
-                )
-            if op == "insert":
-                codes = request.get("codes")
-                if codes is None:
-                    codes = [_require(request, "code")]
-                result = self.insert(
-                    _require(request, "table"), _require(request, "column"), codes
-                )
-                return ok_response(request, **result)
-            if op == "build":
-                result = self.build(
-                    _require(request, "table"), kind=request.get("kind")
-                )
-                return ok_response(request, **result)
-            if op == "invalidate":
-                count = self.invalidate(request.get("table"), request.get("column"))
-                return ok_response(request, invalidated=count)
-            if op == "status":
-                return ok_response(request, status=self.status())
-            return error_response(request, f"unknown op {op!r}")
+            response = self._dispatch(op, request, trace, fields)
         except Exception as error:  # noqa: BLE001 -- every failure is a response
-            return error_response(request, f"{type(error).__name__}: {error}")
+            response = error_response(request, f"{type(error).__name__}: {error}")
+        response["request_id"] = request_id
+        self.telemetry.finish(
+            trace,
+            op=op,
+            request_id=request_id,
+            seconds=perf_counter() - start,
+            ok=bool(response.get("ok")),
+            fields=fields,
+        )
+        return response
+
+    def _dispatch(
+        self,
+        op: str,
+        request: Dict[str, Any],
+        trace,
+        fields: Dict[str, Any],
+    ) -> Dict[str, Any]:
+        if op == "ping":
+            return ok_response(request, pong=True)
+        if op == "estimate":
+            predicate = predicate_from_wire(_require(request, "predicate"))
+            table = _require(request, "table")
+            estimate = self.estimate(table, predicate)
+            fields.update(table=table, value=estimate.value, method=estimate.method)
+            return ok_response(request, value=estimate.value, method=estimate.method)
+        if op in ("estimate_batch", "estimate_distinct_batch"):
+            predicates = predicates_from_wire(_require(request, "predicates"))
+            table = _require(request, "table")
+            batch = (
+                self.estimate_batch
+                if op == "estimate_batch"
+                else self.estimate_distinct_batch
+            )
+            estimates = batch(table, predicates, trace=trace)
+            fields.update(table=table, batch=len(estimates))
+            return ok_response(
+                request,
+                values=[estimate.value for estimate in estimates],
+                methods=[estimate.method for estimate in estimates],
+            )
+        if op == "insert":
+            codes = request.get("codes")
+            if codes is None:
+                codes = [_require(request, "code")]
+            table = _require(request, "table")
+            column = _require(request, "column")
+            result = self.insert(table, column, codes)
+            fields.update(table=table, column=column, inserted=result["inserted"])
+            return ok_response(request, **result)
+        if op == "build":
+            table = _require(request, "table")
+            result = self.build(table, kind=request.get("kind"), trace=trace)
+            fields.update(table=table, **result)
+            return ok_response(request, **result)
+        if op == "invalidate":
+            count = self.invalidate(request.get("table"), request.get("column"))
+            return ok_response(request, invalidated=count)
+        if op == "feedback":
+            table = _require(request, "table")
+            column = _require(request, "column")
+            record = self.feedback(
+                table,
+                column,
+                _require(request, "estimated"),
+                _require(request, "actual"),
+            )
+            fields.update(table=table, column=column, qerror=record["qerror"])
+            return ok_response(request, **record)
+        if op == "slow_log":
+            return ok_response(request, entries=self.slow_log(request.get("limit")))
+        if op == "metrics":
+            return ok_response(request, snapshot=self.metrics_snapshot())
+        if op == "status":
+            return ok_response(request, status=self.status())
+        return error_response(request, f"unknown op {op!r}")
 
 
 def _require(request: Dict[str, Any], field: str) -> Any:

@@ -17,7 +17,16 @@
   hands batch estimators the key's frozen
   :class:`~repro.core.compiled.CompiledHistogram`, compiled at most once
   per published histogram version (hits/misses/compile time surface in
-  :meth:`cache_stats`).
+  :meth:`cache_stats`).  The plan cache is *striped*: plans live in
+  key-hashed stripes, each behind its own lock, so concurrent
+  ``estimate_batch`` streams resolving plans for different columns never
+  serialize on the store mutex.
+
+Lock ordering (deadlock freedom): the store mutex is never held while a
+stripe lock is acquired, and stripe locks never nest with each other --
+every stripe acquisition happens after the mutex is released, and a
+stale stripe entry is harmless because plans are validated against the
+key's generation on every read.
 
 The store owns all catalog access; the underlying
 :class:`StatisticsCatalog` is single-threaded by design, so every
@@ -33,10 +42,25 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.core.catalog import StatisticsCatalog
 from repro.core.histogram import Histogram
+from repro.obs import NULL_TRACE
 
 __all__ = ["ReadWriteLock", "StatisticsStore"]
 
 _Key = Tuple[str, str]
+
+
+class _PlanStripe:
+    """One lock-protected shard of the compiled-plan cache."""
+
+    __slots__ = ("lock", "plans", "hits", "misses", "compile_seconds")
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        # key -> (generation, compiled plan)
+        self.plans: Dict[_Key, Tuple[int, object]] = {}
+        self.hits = 0
+        self.misses = 0
+        self.compile_seconds = 0.0
 
 
 class ReadWriteLock:
@@ -111,11 +135,20 @@ class StatisticsStore:
         histogram is held twice.
     capacity:
         Maximum number of deserialized histograms kept in memory.
+    plan_stripes:
+        Number of key-hashed stripes sharding the compiled-plan cache.
     """
 
-    def __init__(self, catalog: StatisticsCatalog, capacity: int = 128) -> None:
+    def __init__(
+        self,
+        catalog: StatisticsCatalog,
+        capacity: int = 128,
+        plan_stripes: int = 16,
+    ) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if plan_stripes < 1:
+            raise ValueError(f"plan_stripes must be >= 1, got {plan_stripes}")
         self._catalog = catalog
         self._capacity = capacity
         # _mutex guards the maps below *and* all catalog access.
@@ -126,11 +159,9 @@ class StatisticsStore:
         self._hits = 0
         self._misses = 0
         self._evictions = 0
-        # Compiled plans per key, valid for exactly one generation.
-        self._plans: Dict[_Key, Tuple[int, object]] = {}
-        self._plan_hits = 0
-        self._plan_misses = 0
-        self._plan_compile_seconds = 0.0
+        # Compiled plans per key, valid for exactly one generation,
+        # sharded so concurrent batch streams do not share one lock.
+        self._plan_stripes = tuple(_PlanStripe() for _ in range(plan_stripes))
 
     # -- locking ----------------------------------------------------------
 
@@ -141,10 +172,25 @@ class StatisticsStore:
                 lock = self._key_locks[key] = ReadWriteLock()
             return lock
 
+    def _stripe(self, key: _Key) -> _PlanStripe:
+        return self._plan_stripes[hash(key) % len(self._plan_stripes)]
+
+    def _drop_plan(self, key: _Key) -> None:
+        """Forget a key's cached plan (memory hygiene, not correctness:
+        a surviving entry is rejected by its generation on read)."""
+        stripe = self._stripe(key)
+        with stripe.lock:
+            stripe.plans.pop(key, None)
+
     # -- reads ------------------------------------------------------------
 
-    def get(self, table: str, column: str) -> Histogram:
-        """The current histogram for a key, cached; ``KeyError`` if absent."""
+    def get(self, table: str, column: str, trace=NULL_TRACE) -> Histogram:
+        """The current histogram for a key, cached; ``KeyError`` if absent.
+
+        ``trace`` (a :class:`repro.obs.Trace` or the no-op twin) counts
+        the cache outcome and wraps the catalog re-parse in a span, so a
+        request's span tree shows where a cold read went.
+        """
         key = (table, column)
         lock = self._key_lock(key)
         with lock.read():
@@ -154,14 +200,18 @@ class StatisticsStore:
                 if cached is not None and cached[0] == generation:
                     self._cache.move_to_end(key)
                     self._hits += 1
+                    trace.count("cache_hit")
                     return cached[1]
                 self._misses += 1
-                data_histogram = None
-                if key in self._catalog:
-                    # Load under the mutex: catalog internals are not
-                    # thread-safe, and the per-key read lock already
-                    # orders us against writers of this key.
-                    data_histogram = self._catalog.get(table, column)
+            trace.count("cache_miss")
+            with trace.span("catalog_load"):
+                with self._mutex:
+                    data_histogram = None
+                    if key in self._catalog:
+                        # Load under the mutex: catalog internals are not
+                        # thread-safe, and the per-key read lock already
+                        # orders us against writers of this key.
+                        data_histogram = self._catalog.get(table, column)
             if data_histogram is None:
                 raise KeyError(f"no statistics for {table}.{column}")
             with self._mutex:
@@ -171,32 +221,43 @@ class StatisticsStore:
                     self._cache_store(key, generation, data_histogram)
             return data_histogram
 
-    def plan(self, table: str, column: str):
+    def plan(self, table: str, column: str, trace=NULL_TRACE):
         """The compiled plan of the key's current histogram version.
 
         Compiled at most once per generation; a ``put``/``invalidate``
         that bumps the generation drops the plan together with the
         cached histogram.  Returns ``None`` for histograms whose bucket
         types have no plan emitter (estimation stays interpreted).
+
+        Plans live in key-hashed stripes: a lookup touches the store
+        mutex only for the generation read, then its own stripe's lock,
+        so concurrent batch streams on different columns do not contend.
         """
         key = (table, column)
-        histogram = self.get(table, column)
+        histogram = self.get(table, column, trace=trace)
         with self._mutex:
             generation = self._generations.get(key, 0)
-            cached = self._plans.get(key)
+        stripe = self._stripe(key)
+        with stripe.lock:
+            cached = stripe.plans.get(key)
             if cached is not None and cached[0] == generation:
-                self._plan_hits += 1
+                stripe.hits += 1
+                trace.count("plan_hit")
                 return cached[1]
-            self._plan_misses += 1
-        start = perf_counter()
-        plan = histogram.plan()
-        seconds = perf_counter() - start
+            stripe.misses += 1
+        trace.count("plan_miss")
+        with trace.span("plan_compile"):
+            start = perf_counter()
+            plan = histogram.plan()
+            seconds = perf_counter() - start
         with self._mutex:
+            current = self._generations.get(key, 0)
+        with stripe.lock:
             # Same fill rule as the histogram cache: discard if the
             # generation moved while we were compiling.
-            if self._generations.get(key, 0) == generation:
-                self._plans[key] = (generation, plan)
-                self._plan_compile_seconds += seconds
+            if current == generation:
+                stripe.plans[key] = (generation, plan)
+                stripe.compile_seconds += seconds
         return plan
 
     def generation(self, table: str, column: str) -> int:
@@ -227,8 +288,8 @@ class StatisticsStore:
                 generation = self._generations.get(key, 0) + 1
                 self._generations[key] = generation
                 self._cache_store(key, generation, histogram)
-                self._plans.pop(key, None)
-                return generation
+            self._drop_plan(key)
+            return generation
 
     def invalidate(self, table: Optional[str] = None, column: Optional[str] = None) -> int:
         """Bump generations and drop cached histograms.
@@ -250,8 +311,9 @@ class StatisticsStore:
             for key in keys:
                 self._generations[key] = self._generations.get(key, 0) + 1
                 self._cache.pop(key, None)
-                self._plans.pop(key, None)
-            return len(keys)
+        for key in keys:
+            self._drop_plan(key)
+        return len(keys)
 
     def remove(self, table: str, column: str) -> None:
         """Drop one key from cache, generations and the catalog."""
@@ -260,9 +322,9 @@ class StatisticsStore:
         with lock.write():
             with self._mutex:
                 self._cache.pop(key, None)
-                self._plans.pop(key, None)
                 self._generations.pop(key, None)
                 self._catalog.remove(table, column)
+            self._drop_plan(key)
 
     # -- cache ------------------------------------------------------------
 
@@ -275,17 +337,31 @@ class StatisticsStore:
 
     def cache_stats(self) -> Dict[str, object]:
         with self._mutex:
-            return {
+            stats = {
                 "hits": self._hits,
                 "misses": self._misses,
                 "evictions": self._evictions,
                 "size": len(self._cache),
                 "capacity": self._capacity,
-                "plan_hits": self._plan_hits,
-                "plan_misses": self._plan_misses,
-                "plans_cached": len(self._plans),
-                "plan_compile_seconds": self._plan_compile_seconds,
             }
+        plan_hits = plan_misses = plans_cached = 0
+        compile_seconds = 0.0
+        for stripe in self._plan_stripes:
+            with stripe.lock:
+                plan_hits += stripe.hits
+                plan_misses += stripe.misses
+                plans_cached += len(stripe.plans)
+                compile_seconds += stripe.compile_seconds
+        stats.update(
+            {
+                "plan_hits": plan_hits,
+                "plan_misses": plan_misses,
+                "plans_cached": plans_cached,
+                "plan_stripes": len(self._plan_stripes),
+                "plan_compile_seconds": compile_seconds,
+            }
+        )
+        return stats
 
     def __repr__(self) -> str:
         stats = self.cache_stats()

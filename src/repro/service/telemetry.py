@@ -1,0 +1,219 @@
+"""End-to-end request telemetry: tracing policy, slow log, event log.
+
+Every wire request carries a ``request_id`` (client-generated, with a
+server-side UUID fallback).  :class:`ServiceTelemetry` decides what the
+service records about each request beyond the always-on metrics
+counters:
+
+* **request tracing** -- a :class:`repro.obs.Trace` rooted at the op,
+  threaded through service → store → engine so the span tree shows where
+  a request's time went (estimator batch grouping, catalog loads, plan
+  compiles, per-column build spans);
+* **slow log** -- a bounded in-memory ring of the most recent slow
+  requests, each entry carrying its span tree (the ``slow_log`` wire op
+  and ``repro slowlog`` CLI read it);
+* **event log** -- one structured JSON line per request (op,
+  request_id, latency, table/column, estimate, cache counters) appended
+  to a file behind the server's ``--log-events`` flag.
+
+:data:`NULL_TELEMETRY` is the disabled twin, mirroring
+:data:`repro.obs.NULL_TRACE`: every hook is a no-op, so the request path
+stays instrumented unconditionally and pays only an attribute lookup and
+an empty call when telemetry is off.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import uuid
+from collections import deque
+from typing import Any, Dict, IO, List, Optional, Union
+
+from repro.obs import NULL_TRACE, Trace
+
+__all__ = [
+    "EventLog",
+    "NullServiceTelemetry",
+    "ServiceTelemetry",
+    "SlowLog",
+    "NULL_TELEMETRY",
+    "resolve_request_id",
+]
+
+
+def resolve_request_id(request: Dict[str, Any]) -> str:
+    """The request's ``request_id``, or a fresh UUID when absent.
+
+    Anything non-string a client sent is stringified rather than
+    rejected -- the id exists to correlate telemetry, not to validate.
+    """
+    request_id = request.get("request_id")
+    if request_id is None or request_id == "":
+        return uuid.uuid4().hex
+    return str(request_id)
+
+
+class SlowLog:
+    """A bounded ring of recent slow-request records (newest first)."""
+
+    def __init__(self, capacity: int = 64, threshold_ms: float = 50.0) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if threshold_ms < 0:
+            raise ValueError("threshold_ms must be >= 0")
+        self.capacity = capacity
+        self.threshold_ms = float(threshold_ms)
+        self._lock = threading.Lock()
+        self._ring: "deque[Dict[str, Any]]" = deque(maxlen=capacity)
+
+    def offer(self, entry: Dict[str, Any], seconds: float) -> bool:
+        """Record the entry if it qualifies as slow; returns whether it did."""
+        if seconds * 1e3 < self.threshold_ms:
+            return False
+        with self._lock:
+            self._ring.append(entry)
+        return True
+
+    def entries(self, limit: Optional[int] = None) -> List[Dict[str, Any]]:
+        """Most recent slow entries, newest first."""
+        with self._lock:
+            entries = list(self._ring)
+        entries.reverse()
+        return entries[:limit] if limit is not None else entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)
+
+
+class EventLog:
+    """Thread-safe JSON-lines event sink (one line per request)."""
+
+    def __init__(self, target: Union[str, "IO[str]"]) -> None:
+        self._lock = threading.Lock()
+        if hasattr(target, "write"):
+            self._handle: IO[str] = target  # type: ignore[assignment]
+            self._owns_handle = False
+        else:
+            self._handle = open(target, "a", encoding="utf-8")
+            self._owns_handle = True
+        self.emitted = 0
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        line = json.dumps(event, separators=(",", ":"), sort_keys=True, default=str)
+        with self._lock:
+            self._handle.write(line + "\n")
+            self._handle.flush()
+            self.emitted += 1
+
+    def close(self) -> None:
+        with self._lock:
+            if self._owns_handle:
+                self._handle.close()
+
+
+class ServiceTelemetry:
+    """Per-request telemetry policy for the statistics service.
+
+    Parameters
+    ----------
+    trace_requests:
+        Build a span tree per request.  Off, requests ride the
+        :data:`~repro.obs.NULL_TRACE` path and slow-log entries carry no
+        tree (they still record op/id/latency).
+    slow_ms, slow_capacity:
+        Threshold and ring size of the slow log.
+    event_log:
+        ``None``, a path, an open text handle, or an :class:`EventLog`:
+        where per-request JSON event lines go.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        trace_requests: bool = True,
+        slow_ms: float = 50.0,
+        slow_capacity: int = 64,
+        event_log: Union[None, str, "IO[str]", EventLog] = None,
+    ) -> None:
+        self.trace_requests = trace_requests
+        self.slow_log = SlowLog(capacity=slow_capacity, threshold_ms=slow_ms)
+        if event_log is None or isinstance(event_log, EventLog):
+            self.event_log = event_log
+        else:
+            self.event_log = EventLog(event_log)
+
+    def begin(self, op: str, request_id: str):
+        """The trace for one request: real when tracing is on."""
+        if self.trace_requests:
+            return Trace(op or "request")
+        return NULL_TRACE
+
+    def finish(
+        self,
+        trace,
+        *,
+        op: str,
+        request_id: str,
+        seconds: float,
+        ok: bool,
+        fields: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Close out one request: slow-log ring + event line."""
+        root = trace.close()
+        if (
+            root is None
+            and self.event_log is None
+            and seconds * 1e3 < self.slow_log.threshold_ms
+        ):
+            return  # nothing would record this request; skip building the entry
+        entry: Dict[str, Any] = {
+            "op": op,
+            "request_id": request_id,
+            "latency_ms": seconds * 1e3,
+            "ok": ok,
+        }
+        if fields:
+            entry.update(fields)
+        if root is not None:
+            counters = root.counter_totals()
+            if counters:
+                entry["counters"] = counters
+        if self.event_log is not None:
+            self.event_log.emit(entry)
+        slow_entry = dict(entry)
+        if root is not None:
+            slow_entry["trace"] = root.to_dict()
+        self.slow_log.offer(slow_entry, seconds)
+
+    def slow_entries(self, limit: Optional[int] = None) -> List[Dict[str, Any]]:
+        return self.slow_log.entries(limit)
+
+    def close(self) -> None:
+        if self.event_log is not None:
+            self.event_log.close()
+
+
+class NullServiceTelemetry:
+    """Disabled telemetry: every hook is a no-op on shared singletons."""
+
+    enabled = False
+
+    __slots__ = ()
+
+    def begin(self, op: str, request_id: str):
+        return NULL_TRACE
+
+    def finish(self, trace, **kwargs) -> None:
+        return None
+
+    def slow_entries(self, limit: Optional[int] = None) -> List[Dict[str, Any]]:
+        return []
+
+    def close(self) -> None:
+        return None
+
+
+NULL_TELEMETRY = NullServiceTelemetry()

@@ -120,6 +120,69 @@ class TestBatchOp:
         assert compile_stats.get("plans_compiled", 0) >= 1
 
 
+class TestDistinctBatchOp:
+    def test_distinct_batch_matches_scalar_statistics(self, service, client):
+        predicates = [RangePredicate("amount", lo, lo + 30) for lo in range(1, 60, 5)]
+        batch = client.estimate_distinct_batch("orders", predicates)
+        estimator = service._estimators["orders"]
+        for predicate, got in zip(predicates, batch):
+            name, c1, c2 = estimator._code_range(predicate)
+            stats = estimator.manager.statistics("orders", name)
+            want = stats.estimate_distinct_range(c1, c2)
+            np.testing.assert_allclose(got.value, want, rtol=1e-9)
+            assert got.method == "histogram"
+
+    def test_exact_columns_count_occupied_codes(self, client, served_table):
+        # 'flag' holds 5 distinct values with exact counts: the distinct
+        # estimate of the full range is exactly 5.
+        (estimate,) = client.estimate_distinct_batch(
+            "orders", [RangePredicate("flag", 0, 5)]
+        )
+        assert estimate.method == "exact"
+        assert estimate.value == 5.0
+
+    def test_empty_range_is_exact_zero(self, client):
+        # Entirely above the dictionary's domain: an empty code range.
+        (estimate,) = client.estimate_distinct_batch(
+            "orders", [RangePredicate("amount", 10**6, 10**6 + 5)]
+        )
+        assert estimate.value == 0.0
+        assert estimate.method == "exact"
+
+    def test_distinct_bounded_by_cardinality(self, client):
+        predicates = [RangePredicate("amount", lo, lo + 40) for lo in range(1, 80, 7)]
+        distinct = client.estimate_distinct_batch("orders", predicates)
+        cardinality = client.estimate_batch("orders", predicates)
+        for d, c in zip(distinct, cardinality):
+            assert d.value <= c.value + 1e-9
+
+    def test_conjunctions_rejected(self, client):
+        with pytest.raises(ServiceError, match="single-column"):
+            client.estimate_distinct_batch(
+                "orders",
+                [AndPredicate(RangePredicate("amount", 1, 9), EqualsPredicate("flag", 1))],
+            )
+
+    def test_own_op_metrics_family(self, service, client):
+        n = 7
+        client.estimate_distinct_batch(
+            "orders", [RangePredicate("amount", lo, lo + 5) for lo in range(1, n + 1)]
+        )
+        snapshot = service.metrics.snapshot()
+        assert snapshot["requests"]["estimate_distinct_batch"] == 1
+        assert snapshot["counters"]["distinct_batched"] == n
+        assert snapshot["latency"]["estimate_distinct_batch"]["count"] == 1
+
+    def test_register_backed_distinct_ignores_inserts(self, service, client):
+        """Inserts cannot add distinct values between delta merges, so the
+        distinct estimate is stable while the cardinality estimate moves."""
+        predicate = RangePredicate("amount", 1, 120)
+        (before,) = client.estimate_distinct_batch("orders", [predicate])
+        client.insert("orders", "amount", [10, 11, 12, 10, 11, 12])
+        (after,) = client.estimate_distinct_batch("orders", [predicate])
+        assert after.value == before.value
+
+
 class TestStorePlanCache:
     def test_plan_cached_per_generation(self, service):
         store = service.store

@@ -1,0 +1,132 @@
+"""Accuracy drift detection and the feedback → priority-rebuild loop."""
+
+import math
+
+import pytest
+
+from repro.service.drift import ColumnDrift, DriftTracker
+from repro.service.refresh import RefreshScheduler
+
+
+class TestColumnDrift:
+    def test_theta_region_scores_one(self):
+        drift = ColumnDrift(certified_q=2.0, theta=16.0)
+        assert drift.observe(estimated=3.0, actual=12.0) == 1.0
+        assert drift.violations == 0
+
+    def test_violations_counted_above_certified_q(self):
+        drift = ColumnDrift(certified_q=2.0, theta=1.0)
+        assert drift.observe(estimated=100.0, actual=500.0) == 5.0
+        assert drift.violations == 1
+        assert drift.observe(estimated=100.0, actual=150.0) == 1.5
+        assert drift.violations == 1
+
+    def test_infinite_qerror_clamps_to_grid(self):
+        drift = ColumnDrift(certified_q=2.0, theta=0.0)
+        observed = drift.observe(estimated=0.0, actual=50.0)
+        assert math.isfinite(observed)
+        assert drift.violations == 1
+
+    def test_snapshot_shape(self):
+        drift = ColumnDrift(certified_q=2.0, theta=16.0)
+        drift.observe(100.0, 330.0)
+        snap = drift.snapshot()
+        assert snap["observations"] == 1
+        assert snap["violations"] == 1
+        assert snap["qerr_p99"] == pytest.approx(3.3, rel=0.05)
+
+
+class TestDriftTracker:
+    def test_flag_requires_sample_floor(self):
+        tracker = DriftTracker(min_observations=5)
+        for _ in range(4):
+            record = tracker.observe("t", "c", 10.0, 100.0, 2.0, 1.0)
+            assert record["flagged"] is False
+        record = tracker.observe("t", "c", 10.0, 100.0, 2.0, 1.0)
+        assert record["flagged"] is True
+        assert tracker.flagged() == [("t", "c")]
+
+    def test_healthy_column_never_flags(self):
+        tracker = DriftTracker(min_observations=3)
+        for _ in range(20):
+            tracker.observe("t", "c", 100.0, 110.0, 2.0, 1.0)
+        assert tracker.flagged() == []
+
+    def test_reset_clears_the_window(self):
+        tracker = DriftTracker(min_observations=2)
+        for _ in range(5):
+            tracker.observe("t", "c", 1.0, 100.0, 2.0, 0.0)
+        assert tracker.flagged()
+        tracker.reset("t", "c")
+        assert tracker.flagged() == []
+        assert len(tracker) == 0
+
+    def test_validates_floor(self):
+        with pytest.raises(ValueError):
+            DriftTracker(min_observations=0)
+
+
+class TestDriftTriggeredRebuild:
+    def test_flagged_column_rebuilds_despite_low_staleness(self, service):
+        """The loop the telemetry exists for: feedback reporting bad
+        q-errors flags the column, the next sweep rebuilds it (no
+        staleness needed), the swap resets the drift window."""
+        register = service.registry.get("orders", "amount")
+        assert register.staleness() < 0.01  # nothing inserted
+        generation_before = service.store.generation("orders", "amount")
+        rebuilds_before = register.rebuilds
+
+        certified_q, _ = register.certified_bounds()
+        # Observed q-error of 50x: far beyond any certified q.
+        assert certified_q < 50.0
+        for _ in range(service.drift.min_observations):
+            record = service.feedback("orders", "amount", 1000.0, 1000.0 * 50)
+        assert record["flagged"] is True
+        assert ("orders", "amount") in service.drift.flagged()
+
+        scheduler = RefreshScheduler(
+            service.store,
+            service.registry,
+            threshold=0.5,
+            interval=10.0,
+            kind=service.kind,
+            config=service.config,
+            metrics=service.metrics,
+            drift=service.drift,
+        )
+        try:
+            started = scheduler.check_now(block=True)
+        finally:
+            scheduler.stop()
+
+        assert ("orders", "amount") in started
+        assert register.rebuilds == rebuilds_before + 1
+        assert service.store.generation("orders", "amount") > generation_before
+        assert service.metrics.counter("rebuilds_drift") == 1
+        # Convergence: the swap reset the window; a second sweep is a no-op.
+        assert service.drift.flagged() == []
+        scheduler2 = RefreshScheduler(
+            service.store,
+            service.registry,
+            threshold=0.5,
+            interval=10.0,
+            metrics=service.metrics,
+            drift=service.drift,
+        )
+        try:
+            assert scheduler2.check_now(block=True) == []
+        finally:
+            scheduler2.stop()
+
+    def test_status_exposes_observed_qerror(self, service):
+        for _ in range(3):
+            service.feedback("orders", "amount", 100.0, 480.0)
+        status = service.status()
+        state = status["columns"]["orders.amount"]
+        assert state["qerr_p99"] == pytest.approx(4.8, rel=0.06)
+        assert "orders.amount" in status["drift"]
+        assert status["drift"]["orders.amount"]["observations"] == 3
+
+    def test_feedback_rejected_for_exact_columns(self, service):
+        with pytest.raises(KeyError, match="flag"):
+            service.feedback("orders", "flag", 10.0, 12.0)

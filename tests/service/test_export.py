@@ -1,0 +1,148 @@
+"""Prometheus text-format export, validated with a minimal parser.
+
+The parser implements just enough of the exposition-format grammar to
+catch real mistakes: sample lines must parse, every metric must be
+typed before it is sampled, histogram buckets must be cumulative and
+end at ``+Inf`` with ``_count`` matching.
+"""
+
+import re
+
+import pytest
+
+from repro.query.predicates import RangePredicate
+from repro.service.export import render_prometheus
+
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>[^ ]+)$"
+)
+_LABEL = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def parse_prometheus(text):
+    """Parse exposition text into (types, samples); asserts grammar."""
+    types = {}
+    samples = []
+    for line in text.splitlines():
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            assert len(line.split(" ", 3)) == 4, f"malformed HELP: {line!r}"
+            continue
+        if line.startswith("# TYPE "):
+            _, _, name, kind = line.split(" ", 3)
+            assert kind in ("counter", "gauge", "histogram"), line
+            assert name not in types, f"duplicate TYPE for {name}"
+            types[name] = kind
+            continue
+        assert not line.startswith("#"), f"unknown comment: {line!r}"
+        match = _SAMPLE.match(line)
+        assert match, f"unparseable sample: {line!r}"
+        labels = dict(_LABEL.findall(match.group("labels") or ""))
+        value = match.group("value")
+        parsed = float("inf") if value == "+Inf" else float(value)
+        samples.append((match.group("name"), labels, parsed))
+    # Every sample's family must be typed (histograms add suffixes).
+    for name, _, _ in samples:
+        family = re.sub(r"_(bucket|sum|count)$", "", name)
+        assert name in types or family in types, f"untyped sample {name}"
+    return types, samples
+
+
+def check_histograms(types, samples):
+    """Cumulative buckets, +Inf terminal, _count == +Inf bucket."""
+    for family, kind in types.items():
+        if kind != "histogram":
+            continue
+        series = {}
+        for name, labels, value in samples:
+            if name == f"{family}_bucket":
+                key = tuple(
+                    sorted((k, v) for k, v in labels.items() if k != "le")
+                )
+                series.setdefault(key, []).append(
+                    (float("inf") if labels["le"] == "+Inf" else float(labels["le"]),
+                     value)
+                )
+        counts = {
+            tuple(sorted(labels.items())): value
+            for name, labels, value in samples
+            if name == f"{family}_count"
+        }
+        assert series, f"histogram {family} has no buckets"
+        for key, buckets in series.items():
+            buckets.sort()
+            values = [count for _, count in buckets]
+            assert values == sorted(values), f"{family} not cumulative: {key}"
+            assert buckets[-1][0] == float("inf"), f"{family} missing +Inf"
+            assert counts[key] == values[-1], f"{family} _count mismatch"
+
+
+class TestRenderPrometheus:
+    @pytest.fixture
+    def snapshot(self, service):
+        for low in range(1, 30, 3):
+            service.estimate("orders", RangePredicate("amount", low, low + 20))
+        service.insert("orders", "amount", [3, 4, 5])
+        for _ in range(6):
+            service.feedback("orders", "amount", 50.0, 400.0)
+        return service.metrics_snapshot()
+
+    def test_output_parses_and_histograms_are_wellformed(self, snapshot):
+        text = render_prometheus(snapshot)
+        types, samples = parse_prometheus(text)
+        check_histograms(types, samples)
+
+    def test_request_counters_exported_per_op(self, snapshot):
+        _, samples = parse_prometheus(render_prometheus(snapshot))
+        requests = {
+            labels["op"]: value
+            for name, labels, value in samples
+            if name == "repro_requests_total"
+        }
+        assert requests["estimate"] == 10
+        assert requests["insert"] == 1
+        assert requests["feedback"] == 6
+
+    def test_latency_histogram_on_qcompression_grid(self, snapshot):
+        types, samples = parse_prometheus(render_prometheus(snapshot))
+        assert types["repro_request_latency_seconds"] == "histogram"
+        finite = sorted(
+            float(labels["le"])
+            for name, labels, _ in samples
+            if name == "repro_request_latency_seconds_bucket"
+            and labels["op"] == "estimate"
+            and labels["le"] != "+Inf"
+        )
+        base = 2.0 ** 0.25
+        for lower, upper in zip(finite, finite[1:]):
+            ratio = upper / lower
+            assert any(
+                ratio == pytest.approx(base ** k, rel=1e-6) for k in range(1, 64)
+            ), f"bucket bounds not on the q-compression grid: {lower}, {upper}"
+
+    def test_drift_metrics_exported_with_column_labels(self, snapshot):
+        _, samples = parse_prometheus(render_prometheus(snapshot))
+        qerr = [
+            (labels, value)
+            for name, labels, value in samples
+            if name == "repro_drift_qerror_p99"
+        ]
+        assert qerr
+        labels, value = qerr[0]
+        assert labels == {"table": "orders", "column": "amount"}
+        assert value == pytest.approx(8.0, rel=0.06)
+
+    def test_label_escaping(self):
+        snapshot = {
+            "metrics": {"requests": {'weird"op\\name': 3}},
+        }
+        text = render_prometheus(snapshot)
+        types, samples = parse_prometheus(text)
+        assert samples[0][2] == 3
+
+    def test_empty_snapshot_renders(self):
+        types, samples = parse_prometheus(render_prometheus({}))
+        assert samples == []

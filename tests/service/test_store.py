@@ -119,6 +119,70 @@ class TestStoreBasics:
             StatisticsStore(StatisticsCatalog(tmp_path), capacity=0)
 
 
+class TestPlanStripes:
+    def test_stats_report_stripe_count(self, tmp_path):
+        store = StatisticsStore(StatisticsCatalog(tmp_path), plan_stripes=8)
+        assert store.cache_stats()["plan_stripes"] == 8
+
+    def test_stripe_count_validated(self, tmp_path):
+        with pytest.raises(ValueError):
+            StatisticsStore(StatisticsCatalog(tmp_path), plan_stripes=0)
+
+    def test_single_stripe_still_correct(self, tmp_path, rng):
+        store = StatisticsStore(StatisticsCatalog(tmp_path), plan_stripes=1)
+        store.put("t", "a", _histogram(rng))
+        store.put("t", "b", _histogram(rng))
+        assert store.plan("t", "a") is store.plan("t", "a")
+        assert store.plan("t", "b") is not None
+        assert store.cache_stats()["plans_cached"] == 2
+
+    def test_no_cross_stripe_deadlock_under_mixed_load(self, tmp_path, rng):
+        """Many threads resolving plans across many keys while writers
+        put/invalidate (which drop plans after releasing the store
+        mutex): every thread must finish -- a lock-ordering bug between
+        the mutex and the stripe locks would hang the join -- and every
+        resolved plan must belong to the key's current generation."""
+        catalog = StatisticsCatalog(tmp_path)
+        store = StatisticsStore(catalog, capacity=32, plan_stripes=4)
+        keys = [("t", f"c{i}") for i in range(8)]
+        # Two prebuilt versions per key: the storm swaps them, it does
+        # not pay histogram construction inside the contended loop.
+        versions = {key: [_histogram(rng, size=120) for _ in range(2)] for key in keys}
+        for table, column in keys:
+            store.put(table, column, versions[(table, column)][0])
+        stop = threading.Event()
+        failures = []
+
+        def planner(offset):
+            while not stop.is_set():
+                for table, column in keys[offset:] + keys[:offset]:
+                    plan = store.plan(table, column)
+                    if plan is None:
+                        failures.append((table, column))
+
+        def writer():
+            for round_ in range(3):
+                for table, column in keys:
+                    store.put(table, column, versions[(table, column)][round_ % 2])
+                    store.invalidate(table, column)
+
+        planners = [threading.Thread(target=planner, args=(i,)) for i in range(4)]
+        for t in planners:
+            t.start()
+        w = threading.Thread(target=writer)
+        w.start()
+        w.join(timeout=60)
+        assert not w.is_alive(), "writer deadlocked"
+        stop.set()
+        for t in planners:
+            t.join(timeout=30)
+            assert not t.is_alive(), "planner deadlocked"
+        assert not failures
+        # Post-storm: every cached plan serves the current generation.
+        for table, column in keys:
+            assert store.plan(table, column) is store.plan(table, column)
+
+
 class TestStoreConcurrency:
     def test_concurrent_readers_and_swappers(self, tmp_path, rng):
         """Hammer one key with readers while a writer swaps versions.

@@ -1,0 +1,236 @@
+"""Request telemetry: request ids, the slow log, the event log, and
+metrics snapshot consistency under concurrency."""
+
+import io
+import json
+import threading
+
+import pytest
+
+from repro.query.predicates import RangePredicate
+from repro.service.client import StatisticsClient
+from repro.service.metrics import ServiceMetrics
+from repro.service.server import StatisticsService, start_server_thread
+from repro.service.telemetry import (
+    NULL_TELEMETRY,
+    EventLog,
+    ServiceTelemetry,
+    SlowLog,
+    resolve_request_id,
+)
+
+
+class TestResolveRequestId:
+    def test_echoes_client_id(self):
+        assert resolve_request_id({"request_id": "abc"}) == "abc"
+
+    def test_generates_uuid_when_absent(self):
+        first = resolve_request_id({})
+        second = resolve_request_id({"request_id": ""})
+        assert first and second and first != second
+
+    def test_stringifies_non_strings(self):
+        assert resolve_request_id({"request_id": 42}) == "42"
+
+
+class TestSlowLog:
+    def test_threshold_filters(self):
+        log = SlowLog(capacity=4, threshold_ms=10.0)
+        assert not log.offer({"op": "fast"}, seconds=0.005)
+        assert log.offer({"op": "slow"}, seconds=0.02)
+        assert len(log) == 1
+
+    def test_ring_keeps_newest(self):
+        log = SlowLog(capacity=3, threshold_ms=0.0)
+        for i in range(10):
+            log.offer({"i": i}, seconds=1.0)
+        entries = log.entries()
+        assert [e["i"] for e in entries] == [9, 8, 7]
+        assert [e["i"] for e in log.entries(limit=2)] == [9, 8]
+
+    def test_validates_parameters(self):
+        with pytest.raises(ValueError):
+            SlowLog(capacity=0)
+        with pytest.raises(ValueError):
+            SlowLog(threshold_ms=-1.0)
+
+
+class TestEventLog:
+    def test_emits_json_lines(self):
+        sink = io.StringIO()
+        log = EventLog(sink)
+        log.emit({"op": "estimate", "latency_ms": 1.5})
+        log.emit({"op": "insert"})
+        lines = sink.getvalue().strip().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[0])["op"] == "estimate"
+        assert log.emitted == 2
+
+    def test_file_target(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(str(path))
+        log.emit({"op": "ping"})
+        log.close()
+        assert json.loads(path.read_text().strip())["op"] == "ping"
+
+
+class TestServiceTelemetry:
+    def test_traced_request_lands_in_slow_log_with_tree(self):
+        telemetry = ServiceTelemetry(trace_requests=True, slow_ms=0.0)
+        trace = telemetry.begin("estimate", "rid-1")
+        with trace.span("group_predicates"):
+            trace.count("cache_hit", 2)
+        telemetry.finish(
+            trace,
+            op="estimate",
+            request_id="rid-1",
+            seconds=0.01,
+            ok=True,
+            fields={"table": "orders"},
+        )
+        (entry,) = telemetry.slow_entries()
+        assert entry["request_id"] == "rid-1"
+        assert entry["table"] == "orders"
+        assert entry["counters"] == {"cache_hit": 2}
+        assert entry["trace"]["children"][0]["name"] == "group_predicates"
+
+    def test_untraced_requests_keep_op_and_latency(self):
+        telemetry = ServiceTelemetry(trace_requests=False, slow_ms=0.0)
+        trace = telemetry.begin("ping", "rid-2")
+        telemetry.finish(trace, op="ping", request_id="rid-2", seconds=0.2, ok=True)
+        (entry,) = telemetry.slow_entries()
+        assert entry["op"] == "ping"
+        assert "trace" not in entry
+
+    def test_event_log_receives_every_request(self):
+        sink = io.StringIO()
+        telemetry = ServiceTelemetry(
+            trace_requests=False, slow_ms=1e9, event_log=EventLog(sink)
+        )
+        for i in range(3):
+            trace = telemetry.begin("estimate", f"rid-{i}")
+            telemetry.finish(
+                trace, op="estimate", request_id=f"rid-{i}", seconds=0.001, ok=True
+            )
+        events = [json.loads(line) for line in sink.getvalue().strip().splitlines()]
+        assert [e["request_id"] for e in events] == ["rid-0", "rid-1", "rid-2"]
+        assert telemetry.slow_entries() == []  # under the slow threshold
+
+    def test_null_telemetry_is_inert(self):
+        trace = NULL_TELEMETRY.begin("estimate", "rid")
+        NULL_TELEMETRY.finish(
+            trace, op="estimate", request_id="rid", seconds=9.0, ok=False
+        )
+        assert NULL_TELEMETRY.slow_entries() == []
+        assert NULL_TELEMETRY.enabled is False
+        NULL_TELEMETRY.close()
+
+
+class TestMetricsSnapshotConsistency:
+    def test_concurrent_snapshots_are_internally_consistent(self):
+        """Hammer track() from several threads while snapshotting: every
+        snapshot must show requests == latency count per op (both updates
+        happen under one lock hold)."""
+        metrics = ServiceMetrics()
+        stop = threading.Event()
+        failures = []
+
+        def worker(op):
+            while not stop.is_set():
+                with metrics.track(op):
+                    pass
+
+        def snapshotter():
+            for _ in range(200):
+                snap = metrics.snapshot()
+                for op, count in snap["requests"].items():
+                    if snap["latency"][op]["count"] != count:
+                        failures.append((op, count, snap["latency"][op]["count"]))
+
+        workers = [
+            threading.Thread(target=worker, args=(op,))
+            for op in ("estimate", "insert")
+            for _ in range(2)
+        ]
+        reader = threading.Thread(target=snapshotter)
+        for t in workers:
+            t.start()
+        reader.start()
+        reader.join(timeout=60)
+        stop.set()
+        for t in workers:
+            t.join(timeout=10)
+        assert not failures
+
+    def test_latency_quantiles_reported_per_op(self):
+        metrics = ServiceMetrics()
+        for _ in range(20):
+            with metrics.track("estimate"):
+                pass
+        summary = metrics.snapshot()["latency"]["estimate"]
+        assert summary["count"] == 20
+        assert summary["p50_ms"] <= summary["p90_ms"] <= summary["p99_ms"]
+        assert summary["qerror_bound"] == pytest.approx(2.0 ** 0.125)
+        assert summary["buckets"]  # sparse cells crossed the snapshot
+
+
+class TestRequestIdEndToEnd:
+    @pytest.fixture
+    def traced_service(self, tmp_path, served_table):
+        service = StatisticsService(
+            tmp_path / "catalog",
+            seed=99,
+            telemetry=ServiceTelemetry(trace_requests=True, slow_ms=0.0),
+        )
+        service.add_table(served_table)
+        return service
+
+    def test_request_id_round_trips_to_span_tree(self, traced_service):
+        handle = start_server_thread(traced_service)
+        try:
+            with StatisticsClient(*handle.address) as client:
+                response = client.call(
+                    "estimate_batch",
+                    request_id="trace-me",
+                    table="orders",
+                    predicates=[
+                        {"type": "range", "column": "amount", "low": 1, "high": 50}
+                    ],
+                )
+        finally:
+            handle.stop()
+        assert response["request_id"] == "trace-me"
+        entries = [
+            e
+            for e in traced_service.telemetry.slow_entries()
+            if e["request_id"] == "trace-me"
+        ]
+        assert entries, "slow log must hold the traced request"
+        entry = entries[0]
+        assert entry["op"] == "estimate_batch"
+        tree = entry["trace"]
+        assert tree["name"] == "estimate_batch"
+        names = [child["name"] for child in tree["children"]]
+        assert "group_predicates" in names
+        assert any(name.startswith("column[") for name in names)
+
+    def test_server_generates_id_when_client_sends_none(self, traced_service):
+        response = traced_service.handle({"op": "ping"})
+        assert response["ok"] and response["request_id"]
+
+    def test_error_responses_carry_the_id(self, traced_service):
+        response = traced_service.handle(
+            {"op": "estimate", "request_id": "broken", "table": "nope"}
+        )
+        assert response["ok"] is False
+        assert response["request_id"] == "broken"
+
+    def test_slow_log_op_over_the_wire(self, traced_service):
+        handle = start_server_thread(traced_service)
+        try:
+            with StatisticsClient(*handle.address) as client:
+                client.estimate("orders", RangePredicate("amount", 1, 40))
+                entries = client.slow_log(limit=5)
+        finally:
+            handle.stop()
+        assert entries and entries[0]["latency_ms"] >= 0.0

@@ -265,3 +265,71 @@ class TestEstimateBatchFlag:
     def test_missing_endpoints_without_batch(self, built):
         with pytest.raises(SystemExit, match="LOW and HIGH"):
             main(["estimate", str(built)])
+
+
+class TestObservabilityCommands:
+    @pytest.fixture
+    def running(self, tmp_path, rng):
+        from repro.dictionary.column import DictionaryEncodedColumn
+        from repro.dictionary.table import Table
+        from repro.service.server import StatisticsService, start_server_thread
+        from repro.service.telemetry import ServiceTelemetry
+
+        table = Table("orders")
+        table.add_column(
+            DictionaryEncodedColumn.from_values(
+                rng.integers(1, 400, size=3_000), name="amount"
+            )
+        )
+        service = StatisticsService(
+            tmp_path / "catalog",
+            seed=3,
+            telemetry=ServiceTelemetry(trace_requests=True, slow_ms=0.0),
+        )
+        service.add_table(table)
+        handle = start_server_thread(service)
+        try:
+            yield f"{handle.address[0]}:{handle.address[1]}", service
+        finally:
+            handle.stop()
+            service.close()
+
+    def test_parse_address_validates(self):
+        from repro.cli import _parse_address
+
+        assert _parse_address("localhost:7443") == ("localhost", 7443)
+        for bad in ("localhost", ":7443", "host:port"):
+            with pytest.raises(ValueError, match="host:port"):
+                _parse_address(bad)
+
+    def test_metrics_prometheus_output(self, running, capsys):
+        address, _ = running
+        assert main(["query", address, "10", "200",
+                     "--table", "orders", "--column", "amount"]) == 0
+        capsys.readouterr()
+        assert main(["metrics", address, "--prometheus"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_requests_total counter" in out
+        assert 'repro_requests_total{op="estimate"} 1' in out
+
+    def test_metrics_json_output(self, running, capsys):
+        import json
+
+        address, _ = running
+        capsys.readouterr()
+        assert main(["metrics", address]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert "metrics" in snapshot and "columns" in snapshot
+
+    def test_slowlog_prints_traced_entries(self, running, capsys):
+        import json
+
+        address, _ = running
+        assert main(["query", address, "10", "200",
+                     "--table", "orders", "--column", "amount"]) == 0
+        capsys.readouterr()
+        assert main(["slowlog", address, "--limit", "3"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        entries = [json.loads(line) for line in lines]
+        assert any(e["op"] == "estimate" for e in entries)
+        assert all("request_id" in e for e in entries)

@@ -1,11 +1,23 @@
-"""The observability primitives: spans, phase timers, counters."""
+"""The observability primitives: spans, phase timers, counters, and the
+q-compressed quantile histogram."""
 
+import math
 import threading
 import time
 
+import numpy as np
 import pytest
 
-from repro.obs import NULL_TRACE, CounterSet, NullTrace, PhaseTimer, Span, Trace
+from repro.core.qerror import qerror
+from repro.obs import (
+    NULL_TRACE,
+    CounterSet,
+    NullTrace,
+    PhaseTimer,
+    QuantileHistogram,
+    Span,
+    Trace,
+)
 
 
 class TestPhaseTimer:
@@ -152,6 +164,119 @@ class TestNullTrace:
     def test_shared_singleton_contexts(self):
         assert NULL_TRACE.span("a") is NULL_TRACE.timer("b")
         NULL_TRACE.span("a").count("x")  # span-compatible surface
+
+
+class TestSpanSerialization:
+    def test_from_dict_round_trips(self):
+        root = Span("build").begin()
+        root.count("tests", 7)
+        with root.timer("packing"):
+            pass
+        child = Span("search").begin()
+        child.count("buckets", 3)
+        child.finish()
+        root.children.append(child)
+        root.finish()
+        rebuilt = Span.from_dict(root.to_dict())
+        assert rebuilt.to_dict() == root.to_dict()
+        assert rebuilt.counter_totals() == root.counter_totals()
+        assert rebuilt.phase_seconds() == root.phase_seconds()
+
+    def test_trace_attach_grafts_into_current_span(self):
+        trace = Trace("request")
+        foreign = Span("column_build").begin()
+        foreign.finish()
+        with trace.span("build"):
+            trace.attach(foreign)
+        assert trace.root.children[0].children[0] is foreign
+
+    def test_null_trace_attach_is_noop(self):
+        NULL_TRACE.attach(Span("x"))  # must not raise or retain anything
+
+
+class TestQuantileHistogram:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            QuantileHistogram(base=1.0)
+        with pytest.raises(ValueError):
+            QuantileHistogram(min_value=5.0, max_value=1.0)
+        with pytest.raises(ValueError):
+            QuantileHistogram().quantile(1.5)
+
+    def test_empty_histogram(self):
+        histogram = QuantileHistogram()
+        assert histogram.count == 0
+        assert histogram.quantile(0.5) == 0.0
+        assert histogram.snapshot()["count"] == 0
+
+    def test_basic_accounting(self):
+        histogram = QuantileHistogram(min_value=1e-3, max_value=1e3)
+        for value in (0.5, 1.0, 2.0, -3.0):
+            histogram.record(value)
+        assert histogram.count == 4
+        assert histogram.max == 2.0
+        assert histogram.total == pytest.approx(3.5)  # negative clamps to 0
+
+    def test_quantile_qerror_bound_property(self):
+        """The tentpole guarantee: any reported quantile is within
+        ``sqrt(base)`` (q-error) of the true order statistic, for values
+        inside the representable range."""
+        rng = np.random.default_rng(7)
+        for trial in range(5):
+            histogram = QuantileHistogram(
+                base=2.0 ** 0.25, min_value=1e-6, max_value=1e4
+            )
+            values = np.clip(rng.lognormal(0.0, 3.0, size=2000), 1e-6, 1e4)
+            for value in values:
+                histogram.record(float(value))
+            ordered = np.sort(values)
+            for p in (0.01, 0.25, 0.5, 0.9, 0.99, 1.0):
+                rank = max(1, math.ceil(p * len(ordered)))
+                truth = float(ordered[rank - 1])
+                got = histogram.quantile(p)
+                assert qerror(got, truth) <= histogram.max_qerror * (1 + 1e-9)
+
+    def test_quantile_clamps_to_observed_extremes(self):
+        histogram = QuantileHistogram(min_value=1.0, max_value=1e6)
+        histogram.record(5.0)
+        assert histogram.quantile(0.0) == 5.0
+        assert histogram.quantile(1.0) == 5.0
+
+    def test_bucket_bounds_form_prometheus_grid(self):
+        histogram = QuantileHistogram(base=2.0, min_value=1.0, max_value=8.0)
+        histogram.record(0.0)
+        histogram.record(3.0)
+        histogram.record(1e9)  # overflow clamps into the open last cell
+        buckets = histogram.bucket_counts()
+        uppers = [ub for ub, _ in buckets]
+        assert uppers == sorted(uppers)
+        assert math.isinf(uppers[-1])
+        assert sum(count for _, count in buckets) == 3
+
+    def test_snapshot_is_json_compatible(self):
+        import json
+
+        histogram = QuantileHistogram()
+        for value in (1e-4, 2e-3, 0.5):
+            histogram.record(value)
+        snap = histogram.snapshot()
+        json.dumps(snap)
+        assert snap["count"] == 3
+        assert snap["qerror_bound"] == pytest.approx(math.sqrt(histogram.base))
+
+    def test_concurrent_records_all_land(self):
+        histogram = QuantileHistogram()
+
+        def work():
+            for _ in range(500):
+                histogram.record(0.01)
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert histogram.count == 2000
 
 
 class TestCounterSet:
