@@ -5,7 +5,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint-artifacts smoke bench-estimation bench-obs
+.PHONY: test lint-artifacts smoke bench-estimation bench-obs bench-wire
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -16,6 +16,14 @@ test:
 bench-estimation:
 	REPRO_BENCH_ASSERT_SPEEDUP=1 $(PYTHON) -m pytest -x -q \
 		benchmarks/test_estimation_cost.py benchmarks/test_service_throughput.py
+
+# Wire-path guard: the binary frame transport must move estimate_batch
+# predicates at >= 2x the JSON-lines rate (and >= 2x the recorded
+# BENCH_service.json baseline), and the asyncio front end must hold
+# >= 10x handler_threads idle connections.  Writes BENCH_wire.json.
+bench-wire:
+	REPRO_BENCH_ASSERT_WIRE=1 $(PYTHON) -m pytest -x -q \
+		benchmarks/test_wire_throughput.py
 
 # Telemetry overhead guard: default (disabled) telemetry must cost
 # < 5% of handle() throughput vs the NULL_TELEMETRY baseline.  The
@@ -33,4 +41,4 @@ lint-artifacts:
 	fi; \
 	echo "lint-artifacts: ok (no tracked __pycache__/*.pyc)"
 
-smoke: lint-artifacts test bench-obs
+smoke: lint-artifacts test bench-obs bench-wire

@@ -8,7 +8,9 @@ Usage::
     python -m repro estimate histogram.bin 100 5000
     python -m repro analyze column.npy
     python -m repro serve data_dir/ catalog_dir/ --table orders --port 7443
+    python -m repro serve data_dir/ catalog_dir/ --workers 4 --transport binary
     python -m repro query localhost:7443 --table orders --column amount 100 5000
+    python -m repro query localhost:7443 --table orders --column amount 100 5000 --binary
     python -m repro query localhost:7443 --status
     python -m repro metrics localhost:7443 --prometheus
     python -m repro slowlog localhost:7443 --limit 10
@@ -340,6 +342,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
+    from repro.service.config import ServiceConfig
     from repro.service.refresh import RefreshScheduler
     from repro.service.server import StatisticsServer, StatisticsService
     from repro.service.telemetry import ServiceTelemetry
@@ -355,7 +358,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         kind=args.kind,
         config=_config_from_args(args),
         cache_capacity=args.cache_capacity,
-        build_workers=args.workers or None,
+        build_workers=args.build_workers or None,
         telemetry=telemetry,
     )
     built = service.add_table(table)
@@ -374,20 +377,50 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         drift=service.drift,
     )
     scheduler.start()
-    server = StatisticsServer(service, host=args.host, port=args.port)
+    runtime = ServiceConfig(
+        handler_threads=args.handler_threads,
+        estimator_workers=args.workers,
+        transport=args.transport,
+        max_inflight=args.max_inflight,
+    )
+    server = StatisticsServer(
+        service, host=args.host, port=args.port, config=runtime
+    )
 
     async def _serve() -> None:
+        import signal
+
         await server.start()
         host, port = server.address
         # Flush so wrappers watching a pipe see the address immediately.
-        print(f"serving statistics on {host}:{port} (ctrl-c to stop)", flush=True)
-        await server.serve_forever()
+        print(
+            f"serving statistics on {host}:{port} "
+            f"(transport={runtime.transport}, "
+            f"handlers={runtime.handler_threads}, "
+            f"estimator workers={runtime.estimator_workers}; ctrl-c to stop)",
+            flush=True,
+        )
+        # Graceful SIGTERM/SIGINT: stop accepting, stop the worker pool,
+        # unlink shared-plan segments -- a supervisor's `kill` cleans up
+        # immediately instead of leaning on the next startup sweep.
+        stop_requested = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, stop_requested.set)
+            except (NotImplementedError, OSError, RuntimeError):
+                pass
+        try:
+            await stop_requested.wait()
+        finally:
+            await server.stop()
 
     try:
         asyncio.run(_serve())
     except KeyboardInterrupt:
-        print("shutting down")
+        pass
     finally:
+        print("shutting down", flush=True)
         scheduler.stop()
         service.close()
     return 0
@@ -435,10 +468,11 @@ def _cmd_slowlog(args: argparse.Namespace) -> int:
 def _cmd_query(args: argparse.Namespace) -> int:
     import json
 
-    from repro.service.client import StatisticsClient
+    from repro.service.client import BinaryStatisticsClient, StatisticsClient
 
     host, port = _parse_address(args.address)
-    with StatisticsClient(host, port, timeout=args.timeout) as client:
+    client_cls = BinaryStatisticsClient if args.binary else StatisticsClient
+    with client_cls(host, port, timeout=args.timeout) as client:
         if args.status:
             print(json.dumps(client.status(), indent=2, sort_keys=True))
             return 0
@@ -446,8 +480,16 @@ def _cmd_query(args: argparse.Namespace) -> int:
             raise ValueError("--table and --column are required for an estimate")
         if args.low is None or args.high is None:
             raise ValueError("provide LOW and HIGH for an estimate")
-        estimate = client.estimate_range(args.table, args.column, args.low, args.high)
-        print(f"{estimate.value:.6g} ({estimate.method})")
+        if args.binary:
+            values = client.estimate_range_batch(
+                args.table, args.column, [args.low], [args.high]
+            )
+            print(f"{float(values[0]):.6g} (binary)")
+        else:
+            estimate = client.estimate_range(
+                args.table, args.column, args.low, args.high
+            )
+            print(f"{estimate.value:.6g} ({estimate.method})")
     return 0
 
 
@@ -556,7 +598,25 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--port", type=int, default=0, help="0 picks an ephemeral port")
     serve.add_argument("--kind", default="V8DincB", choices=HISTOGRAM_KINDS)
     serve.add_argument(
-        "--workers", type=int, default=0, help="build pool width (0 = one per CPU)"
+        "--workers", type=int, default=0,
+        help="estimator worker processes serving shared compiled plans "
+        "(0 = answer everything in-process)",
+    )
+    serve.add_argument(
+        "--build-workers", type=int, default=0,
+        help="build pool width (0 = one per CPU)",
+    )
+    serve.add_argument(
+        "--handler-threads", type=int, default=8,
+        help="request handler threads (the service-owned executor)",
+    )
+    serve.add_argument(
+        "--transport", default="auto", choices=("auto", "binary", "json"),
+        help="wire formats accepted (auto negotiates per connection)",
+    )
+    serve.add_argument(
+        "--max-inflight", type=int, default=32,
+        help="per-connection cap on concurrently served binary frames",
     )
     serve.add_argument(
         "--cache-capacity", type=int, default=128,
@@ -613,7 +673,14 @@ def _build_parser() -> argparse.ArgumentParser:
     query.add_argument("--table", default=None)
     query.add_argument("--column", default=None)
     query.add_argument("--status", action="store_true", help="print server status")
-    query.add_argument("--timeout", type=float, default=10.0)
+    query.add_argument(
+        "--binary", action="store_true",
+        help="use the binary frame transport (array fast path for estimates)",
+    )
+    query.add_argument(
+        "--timeout", type=float, default=10.0,
+        help="socket timeout, seconds (connect and each response)",
+    )
     query.set_defaults(func=_cmd_query)
 
     return parser

@@ -39,7 +39,7 @@ decodes for observability (`repro estimate --profile`, service status).
 from __future__ import annotations
 
 from time import perf_counter
-from typing import List, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -191,6 +191,9 @@ class _Surface:
 
     __slots__ = ("bucket_cdf", "bucket_fine", "seg_x", "seg_base", "seg_slope")
 
+    #: The flat tables a surface is made of, in export order.
+    ARRAY_FIELDS = ("bucket_cdf", "bucket_fine", "seg_x", "seg_base", "seg_slope")
+
     def __init__(
         self,
         bucket_totals: np.ndarray,
@@ -201,6 +204,19 @@ class _Surface:
         self.seg_x = np.asarray(segments.xs, dtype=np.float64)
         self.seg_base = np.asarray(segments.base, dtype=np.float64)
         self.seg_slope = np.asarray(segments.slope, dtype=np.float64)
+
+    @classmethod
+    def from_arrays(cls, arrays: Mapping[str, np.ndarray], prefix: str) -> "_Surface":
+        """Reassemble a surface from exported flat tables (no recompute).
+
+        The arrays are adopted as-is -- views over a shared-memory
+        buffer stay views, which is what makes worker-attached plans
+        zero-copy.
+        """
+        surface = object.__new__(cls)
+        for field in cls.ARRAY_FIELDS:
+            setattr(surface, field, arrays[f"{prefix}{field}"])
+        return surface
 
 
 class CompiledHistogram:
@@ -295,6 +311,58 @@ class CompiledHistogram:
                     or distinct_surface is not None,
                 },
             )
+
+    # -- plan export / attach ----------------------------------------------
+
+    def export_tables(self) -> Tuple[dict, Dict[str, np.ndarray]]:
+        """The plan as ``(meta, arrays)`` -- flat tables plus JSON-able
+        metadata.
+
+        Everything a plan *is* lives in the returned float64 arrays
+        (``bucket_edges``, the range surface, the fine global CDF and an
+        optional distinct surface); ``meta`` carries the domain and the
+        compile stats.  :meth:`from_tables` reverses the split exactly,
+        so a plan can cross a process boundary as raw buffers -- the
+        shared-memory publisher packs these arrays into one segment and
+        workers re-attach them with ``np.frombuffer`` views.
+        """
+        meta = {
+            "domain": self.domain,
+            "has_distinct": self._distinct is not None,
+            "stats": dict(self._stats),
+        }
+        arrays: Dict[str, np.ndarray] = {
+            "bucket_edges": self.bucket_edges,
+            "fine_global_left": self._fine_global_left,
+        }
+        for field in _Surface.ARRAY_FIELDS:
+            arrays[f"range.{field}"] = getattr(self._range, field)
+        if self._distinct is not None:
+            for field in _Surface.ARRAY_FIELDS:
+                arrays[f"distinct.{field}"] = getattr(self._distinct, field)
+        return meta, arrays
+
+    @classmethod
+    def from_tables(
+        cls, meta: Mapping[str, object], arrays: Mapping[str, np.ndarray]
+    ) -> "CompiledHistogram":
+        """Rebuild a plan from :meth:`export_tables` output, zero-copy.
+
+        The arrays are adopted without copying; callers attaching a
+        shared-memory segment must keep it mapped for the lifetime of
+        the returned plan.
+        """
+        distinct = None
+        if meta["has_distinct"]:
+            distinct = _Surface.from_arrays(arrays, "distinct.")
+        return cls(
+            domain=str(meta["domain"]),
+            bucket_edges=arrays["bucket_edges"],
+            range_surface=_Surface.from_arrays(arrays, "range."),
+            fine_global_left=arrays["fine_global_left"],
+            distinct_surface=distinct,
+            stats=dict(meta["stats"]),  # type: ignore[arg-type]
+        )
 
     # -- introspection -----------------------------------------------------
 

@@ -85,6 +85,26 @@ class OrderedDictionary:
         c2 = int(np.searchsorted(self._values, high, side="left"))
         return c1, max(c2, c1)
 
+    def encode_range_batch(
+        self, lows: np.ndarray, highs: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`encode_range` for paired endpoint arrays.
+
+        Two ``searchsorted`` passes translate a whole batch of value
+        ranges into code ranges -- the translation step of the service's
+        binary ``estimate_batch`` wire path.  Returns ``(c1s, c2s)`` as
+        ``int64`` arrays with ``c2s >= c1s`` elementwise (an empty value
+        range maps to an empty code range, exactly like the scalar
+        form).
+        """
+        lows = np.asarray(lows)
+        highs = np.asarray(highs)
+        if lows.shape != highs.shape:
+            raise ValueError("endpoint arrays must align")
+        c1s = np.searchsorted(self._values, lows, side="left").astype(np.int64)
+        c2s = np.searchsorted(self._values, highs, side="left").astype(np.int64)
+        return c1s, np.maximum(c2s, c1s)
+
     def size_bytes(self) -> int:
         """Storage footprint of the dictionary itself.
 

@@ -9,9 +9,17 @@ reproduction:
   LRU cache over the on-disk :class:`~repro.core.catalog.StatisticsCatalog`;
 * :mod:`~repro.service.refresh` -- per-column maintenance registers and
   the staleness-driven background rebuild scheduler;
-* :mod:`~repro.service.server` -- the request core plus an asyncio
-  JSON-lines TCP front end;
-* :mod:`~repro.service.client` -- a small blocking client;
+* :mod:`~repro.service.server` -- the request core plus an asyncio TCP
+  front end speaking both wire formats (negotiated per connection);
+* :mod:`~repro.service.frames` -- the length-prefixed binary frame
+  protocol (raw float64 predicate/result buffers on the batch path);
+* :mod:`~repro.service.config` -- the :class:`ServiceConfig` runtime
+  knobs (handler pool, transports, estimator workers, backpressure);
+* :mod:`~repro.service.shm` -- shared-memory publication of compiled
+  plans (one copy serves every estimator process);
+* :mod:`~repro.service.workers` -- the estimator process pool answering
+  code-range batches off the shared plans;
+* :mod:`~repro.service.client` -- blocking clients for both transports;
 * :mod:`~repro.service.metrics` -- request/latency/cache/rebuild
   counters, with latencies on q-compressed quantile histograms;
 * :mod:`~repro.service.telemetry` -- per-request tracing policy, the
@@ -22,13 +30,21 @@ reproduction:
   the metrics snapshot.
 """
 
-from repro.service.client import ServiceError, StatisticsClient
+from repro.service.client import (
+    BinaryStatisticsClient,
+    ServiceError,
+    StatisticsClient,
+)
+from repro.service.config import ServiceConfig
 from repro.service.drift import ColumnDrift, DriftTracker
 from repro.service.export import render_prometheus
+from repro.service.frames import FrameError
 from repro.service.metrics import ServiceMetrics
 from repro.service.refresh import ColumnRegister, MaintenanceRegistry, RefreshScheduler
 from repro.service.server import StatisticsServer, StatisticsService, start_server_thread
+from repro.service.shm import SharedPlanDirectory, sweep_orphan_segments
 from repro.service.store import StatisticsStore
+from repro.service.workers import EstimatorWorkerPool, WorkerPoolError
 from repro.service.telemetry import (
     NULL_TELEMETRY,
     EventLog,
@@ -37,21 +53,28 @@ from repro.service.telemetry import (
 )
 
 __all__ = [
+    "BinaryStatisticsClient",
     "ColumnDrift",
     "ColumnRegister",
     "DriftTracker",
+    "EstimatorWorkerPool",
     "EventLog",
+    "FrameError",
     "MaintenanceRegistry",
     "NULL_TELEMETRY",
     "RefreshScheduler",
+    "ServiceConfig",
     "ServiceError",
     "ServiceMetrics",
     "ServiceTelemetry",
+    "SharedPlanDirectory",
     "SlowLog",
     "StatisticsClient",
     "StatisticsServer",
     "StatisticsService",
     "StatisticsStore",
+    "WorkerPoolError",
     "render_prometheus",
     "start_server_thread",
+    "sweep_orphan_segments",
 ]

@@ -1,19 +1,46 @@
-"""A small blocking client for the statistics service.
+"""Blocking clients for the statistics service, one per transport.
 
-One socket, JSON lines, synchronous request/response -- the shape an
-optimizer thread or a CLI invocation wants.  Transport problems raise
-``OSError``; the server's structured failures raise
-:class:`ServiceError` with the server-side message.
+:class:`StatisticsClient` speaks JSON lines -- one request object per
+line, synchronous request/response, the shape an optimizer thread or a
+CLI invocation wants.  :class:`BinaryStatisticsClient` speaks the
+length-prefixed frame protocol (:mod:`repro.service.frames`): the same
+operation surface (every JSON op travels framed), plus the array fast
+path where a batch of range predicates is two raw float64 buffers
+instead of a list of JSON objects.
+
+Both clients own a single socket and reuse one receive buffer across
+responses -- no per-response allocation churn.  Transport problems
+raise ``OSError``; a connection the server closes mid-response raises
+:class:`ConnectionError` immediately (never a silent hang on a torn
+read); the server's structured failures raise :class:`ServiceError`
+with the server-side message.
 """
 
 from __future__ import annotations
 
 import socket
 import uuid
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.query.estimator import CardinalityEstimate
 from repro.query.predicates import Predicate, RangePredicate
+from repro.service.frames import (
+    FRAME_HEADER_SIZE,
+    OP_ERROR,
+    OP_ESTIMATE_BATCH,
+    OP_ESTIMATE_DISTINCT_BATCH,
+    OP_HELLO,
+    OP_JSON,
+    OP_JSON_RESPONSE,
+    OP_RESULT_VECTOR,
+    decode_json_body,
+    decode_result_vector,
+    encode_json_frame,
+    encode_range_batch,
+    parse_frame_header,
+)
 from repro.service.protocol import (
     decode_line,
     encode_line,
@@ -21,67 +48,26 @@ from repro.service.protocol import (
     predicates_to_wire,
 )
 
-__all__ = ["ServiceError", "StatisticsClient"]
+__all__ = ["BinaryStatisticsClient", "ServiceError", "StatisticsClient"]
+
+_RECV_CHUNK = 1 << 16
 
 
 class ServiceError(RuntimeError):
     """The server answered ``{"ok": false, ...}``."""
 
 
-class StatisticsClient:
-    """Blocking JSON-lines client; safe for one thread per instance."""
+class _ServiceOps:
+    """The op surface shared by both transports.
 
-    def __init__(self, host: str, port: int, timeout: float = 10.0) -> None:
-        self._sock = socket.create_connection((host, port), timeout=timeout)
-        self._reader = self._sock.makefile("rb")
-        self._request_id = 0
-
-    # -- plumbing ---------------------------------------------------------
+    Everything here funnels through ``self.call(op, **fields)``, which
+    each client implements over its own wire format.
+    """
 
     def call(
         self, op: str, request_id: Optional[str] = None, **fields: Any
     ) -> Dict[str, Any]:
-        """One round trip; returns the response fields on success.
-
-        Every request carries a ``request_id`` (a fresh UUID unless the
-        caller supplies one) that the server echoes and stamps on all
-        telemetry the request produces; it survives on the response and
-        on :class:`ServiceError` for correlation.
-        """
-        self._request_id += 1
-        if request_id is None:
-            request_id = uuid.uuid4().hex
-        request = {
-            "op": op,
-            "id": self._request_id,
-            "request_id": request_id,
-            **fields,
-        }
-        self._sock.sendall(encode_line(request))
-        line = self._reader.readline()
-        if not line:
-            raise ConnectionError("server closed the connection")
-        response = decode_line(line)
-        if not response.get("ok"):
-            message = response.get("error", "unknown server error")
-            raise ServiceError(
-                f"{message} (request_id={response.get('request_id', request_id)})"
-            )
-        return response
-
-    def close(self) -> None:
-        try:
-            self._reader.close()
-        finally:
-            self._sock.close()
-
-    def __enter__(self) -> "StatisticsClient":
-        return self
-
-    def __exit__(self, *exc) -> None:
-        self.close()
-
-    # -- operations -------------------------------------------------------
+        raise NotImplementedError
 
     def ping(self) -> bool:
         return bool(self.call("ping").get("pong"))
@@ -105,8 +91,8 @@ class StatisticsClient:
     ) -> List[CardinalityEstimate]:
         """Many predicate cardinalities in one round trip.
 
-        The whole batch travels as a single request line and is answered
-        by one server-side compiled-plan pass, amortizing both the JSON
+        The whole batch travels as a single request and is answered by
+        one server-side compiled-plan pass, amortizing both the
         round-trip and the per-predicate dispatch.
         """
         response = self.call(
@@ -192,3 +178,280 @@ class StatisticsClient:
 
     def status(self) -> Dict[str, Any]:
         return self.call("status")["status"]
+
+
+class StatisticsClient(_ServiceOps):
+    """Blocking JSON-lines client; safe for one thread per instance.
+
+    ``timeout`` bounds every socket operation (connect and each recv);
+    a server that stops answering raises ``socket.timeout`` instead of
+    hanging the caller forever.
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 10.0) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._rx = bytearray()  # reused across every response
+        self._request_id = 0
+
+    def settimeout(self, timeout: Optional[float]) -> None:
+        """Adjust the per-operation socket timeout."""
+        self._sock.settimeout(timeout)
+
+    # -- plumbing ---------------------------------------------------------
+
+    def _read_line(self) -> bytes:
+        """One response line from the reused receive buffer.
+
+        A clean close between responses raises ``ConnectionError``
+        ("closed the connection"); a close *mid-response* -- buffered
+        bytes but no terminator -- is distinguished so a torn response
+        is an immediate error, never a hang or a half-parsed line.
+        """
+        rx = self._rx
+        while True:
+            index = rx.find(b"\n")
+            if index >= 0:
+                line = bytes(rx[: index + 1])
+                del rx[: index + 1]
+                return line
+            chunk = self._sock.recv(_RECV_CHUNK)
+            if not chunk:
+                if rx:
+                    partial = len(rx)
+                    rx.clear()
+                    raise ConnectionError(
+                        "server closed the connection mid-response "
+                        f"({partial} bytes of an unterminated line)"
+                    )
+                raise ConnectionError("server closed the connection")
+            rx.extend(chunk)
+
+    def call(
+        self, op: str, request_id: Optional[str] = None, **fields: Any
+    ) -> Dict[str, Any]:
+        """One round trip; returns the response fields on success.
+
+        Every request carries a ``request_id`` (a fresh UUID unless the
+        caller supplies one) that the server echoes and stamps on all
+        telemetry the request produces; it survives on the response and
+        on :class:`ServiceError` for correlation.
+        """
+        self._request_id += 1
+        if request_id is None:
+            request_id = uuid.uuid4().hex
+        request = {
+            "op": op,
+            "id": self._request_id,
+            "request_id": request_id,
+            **fields,
+        }
+        self._sock.sendall(encode_line(request))
+        response = decode_line(self._read_line())
+        if not response.get("ok"):
+            message = response.get("error", "unknown server error")
+            raise ServiceError(
+                f"{message} (request_id={response.get('request_id', request_id)})"
+            )
+        return response
+
+    def close(self) -> None:
+        self._sock.close()
+
+    def __enter__(self) -> "StatisticsClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class BinaryStatisticsClient(_ServiceOps):
+    """Blocking binary-frame client; safe for one thread per instance.
+
+    Connecting performs the ``HELLO`` negotiation, so construction fails
+    fast against a server with the binary transport disabled.  Every
+    JSON-lines op is available (framed as ``OP_JSON``); the point of the
+    transport is :meth:`estimate_range_batch` /
+    :meth:`estimate_distinct_range_batch`, whose predicate batches
+    travel as raw float64 buffers (16 bytes per predicate) and whose
+    answers come back as one contiguous result vector.
+
+    The receive path reads into one growing reused buffer
+    (``recv_into``); only the decoded result array is copied out.
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 10.0) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._rx = bytearray(FRAME_HEADER_SIZE)  # grows to the largest frame
+        self._request_id = 0
+        self.server_info: Dict[str, Any] = {}
+        self._hello()
+
+    def settimeout(self, timeout: Optional[float]) -> None:
+        """Adjust the per-operation socket timeout."""
+        self._sock.settimeout(timeout)
+
+    # -- plumbing ---------------------------------------------------------
+
+    def _hello(self) -> None:
+        self._sock.sendall(encode_json_frame({}, opcode=OP_HELLO))
+        opcode, body = self._read_frame()
+        if opcode == OP_ERROR:
+            raise ServiceError(str(decode_json_body(body).get("error")))
+        if opcode != OP_HELLO:
+            raise ConnectionError(
+                f"unexpected opcode 0x{opcode:02x} in HELLO response"
+            )
+        self.server_info = decode_json_body(body)
+
+    def _read_exact(self, n: int) -> memoryview:
+        """``n`` bytes into the reused buffer; a view, valid until the
+        next read.  EOF mid-read is an immediate ``ConnectionError``.
+
+        Growth replaces the buffer instead of resizing it (a resize
+        would fail while a previous read's view is still exported); the
+        steady state is zero allocation per response.
+        """
+        if len(self._rx) < n:
+            self._rx = bytearray(max(n, 2 * len(self._rx)))
+        view = memoryview(self._rx)
+        got = 0
+        while got < n:
+            received = self._sock.recv_into(view[got:n])
+            if received == 0:
+                if got:
+                    raise ConnectionError(
+                        f"server closed the connection mid-frame ({got} of {n} bytes)"
+                    )
+                raise ConnectionError("server closed the connection")
+            got += received
+        return view[:n]
+
+    def _read_frame(self) -> Tuple[int, memoryview]:
+        """One frame off the socket: ``(opcode, body view)``.
+
+        The body view aliases the reused receive buffer -- decode (and
+        copy anything kept) before the next read.
+        """
+        # The 8-byte header is copied out so its view is released before
+        # the body read reuses the buffer.
+        header = bytes(self._read_exact(FRAME_HEADER_SIZE))
+        opcode, length = parse_frame_header(header)
+        return opcode, self._read_exact(length)
+
+    def call(
+        self, op: str, request_id: Optional[str] = None, **fields: Any
+    ) -> Dict[str, Any]:
+        """One framed-JSON round trip (same semantics as the lines client)."""
+        self._request_id += 1
+        if request_id is None:
+            request_id = uuid.uuid4().hex
+        request = {
+            "op": op,
+            "id": self._request_id,
+            "request_id": request_id,
+            **fields,
+        }
+        self._sock.sendall(encode_json_frame(request, opcode=OP_JSON))
+        opcode, body = self._read_frame()
+        response = decode_json_body(body)
+        if opcode not in (OP_JSON_RESPONSE, OP_ERROR):
+            raise ConnectionError(
+                f"unexpected opcode 0x{opcode:02x} in JSON response"
+            )
+        if not response.get("ok"):
+            message = response.get("error", "unknown server error")
+            raise ServiceError(
+                f"{message} (request_id={response.get('request_id', request_id)})"
+            )
+        return response
+
+    # -- the array fast path ----------------------------------------------
+
+    def send_range_batch(
+        self,
+        table: str,
+        column: str,
+        lows: np.ndarray,
+        highs: np.ndarray,
+        distinct: bool = False,
+    ) -> int:
+        """Push one array frame without waiting; returns its frame id.
+
+        Pairs with :meth:`recv_result_vector` for pipelined use: up to
+        the server's per-connection in-flight window may be outstanding
+        at once, and responses carry the frame id for matching.
+        """
+        self._request_id += 1
+        self._sock.sendall(
+            encode_range_batch(
+                table,
+                column,
+                np.asarray(lows, dtype=np.float64),
+                np.asarray(highs, dtype=np.float64),
+                distinct=distinct,
+                frame_id=self._request_id,
+            )
+        )
+        return self._request_id
+
+    def recv_result_vector(self) -> Tuple[Dict[str, Any], np.ndarray]:
+        """One result vector off the wire: ``(header, values copy)``."""
+        opcode, body = self._read_frame()
+        if opcode == OP_ERROR:
+            response = decode_json_body(body)
+            raise ServiceError(str(response.get("error", "unknown server error")))
+        if opcode != OP_RESULT_VECTOR:
+            raise ConnectionError(
+                f"unexpected opcode 0x{opcode:02x} in batch response"
+            )
+        header, values = decode_result_vector(body)
+        # The values view aliases the reused receive buffer.
+        return header, values.copy()
+
+    def estimate_range_batch(
+        self,
+        table: str,
+        column: str,
+        lows: Sequence[Any],
+        highs: Sequence[Any],
+    ) -> np.ndarray:
+        """Cardinalities for paired ``[low, high)`` arrays, one round trip.
+
+        Unlike the JSON client's method of the same name this returns
+        the raw ``float64`` vector -- the transport exists so nothing
+        per-predicate is ever materialized.
+        """
+        frame_id = self.send_range_batch(table, column, lows, highs)
+        header, values = self.recv_result_vector()
+        if header.get("id") != frame_id:
+            raise ConnectionError(
+                f"response frame id {header.get('id')!r} does not match "
+                f"request {frame_id}"
+            )
+        return values
+
+    def estimate_distinct_range_batch(
+        self,
+        table: str,
+        column: str,
+        lows: Sequence[Any],
+        highs: Sequence[Any],
+    ) -> np.ndarray:
+        """Distinct-value twin of :meth:`estimate_range_batch`."""
+        frame_id = self.send_range_batch(table, column, lows, highs, distinct=True)
+        header, values = self.recv_result_vector()
+        if header.get("id") != frame_id:
+            raise ConnectionError(
+                f"response frame id {header.get('id')!r} does not match "
+                f"request {frame_id}"
+            )
+        return values
+
+    def close(self) -> None:
+        self._sock.close()
+
+    def __enter__(self) -> "BinaryStatisticsClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

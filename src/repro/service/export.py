@@ -146,6 +146,47 @@ def render_prometheus(snapshot: Dict[str, Any], prefix: str = "repro") -> str:
             latency[op],
         )
 
+    wire = metrics.get("wire") or {}
+    transports = wire.get("transports") or {}
+    if transports:
+        writer.header(
+            f"{prefix}_wire_frames_total",
+            "counter",
+            "Frames (or JSON lines) per transport and direction.",
+        )
+        for transport in sorted(transports):
+            family = transports[transport]
+            for direction in ("in", "out"):
+                writer.sample(
+                    f"{prefix}_wire_frames_total",
+                    {"transport": transport, "direction": direction},
+                    family.get(f"frames_{direction}", 0),
+                )
+        writer.header(
+            f"{prefix}_wire_bytes_total",
+            "counter",
+            "Wire bytes per transport and direction.",
+        )
+        for transport in sorted(transports):
+            family = transports[transport]
+            for direction in ("in", "out"):
+                writer.sample(
+                    f"{prefix}_wire_bytes_total",
+                    {"transport": transport, "direction": direction},
+                    family.get(f"bytes_{direction}", 0),
+                )
+    wire_latency = wire.get("latency") or {}
+    for transport in sorted(wire_latency):
+        ops = wire_latency[transport]
+        for op in sorted(ops):
+            _render_histogram(
+                writer,
+                f"{prefix}_wire_latency_seconds",
+                "End-to-end dispatch latency per transport and op.",
+                {"transport": transport, "op": op},
+                ops[op],
+            )
+
     cache = snapshot.get("cache") or {}
     cache_counters = ("hits", "misses", "evictions", "plan_hits", "plan_misses")
     for key in cache_counters:

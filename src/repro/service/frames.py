@@ -1,0 +1,325 @@
+"""Length-prefixed binary frames: the service's fast wire format.
+
+JSON lines (:mod:`repro.service.protocol`) are the compatibility
+transport; this module is the throughput transport.  Both run over the
+same TCP port -- the server sniffs the first two bytes of a connection
+and a frame's magic selects the binary path, so JSON clients keep
+working unmodified while binary clients negotiate with a ``HELLO``
+frame.
+
+Frame layout (all integers little-endian)::
+
+    offset 0  magic      2 bytes   0xAA 0x51 (never a JSON-lines start)
+    offset 2  version    1 byte    PROTOCOL_VERSION (1)
+    offset 3  opcode     1 byte    see OP_* below
+    offset 4  length     u32       body size in bytes
+    offset 8  body       `length` bytes, opcode-specific
+
+Opcode families:
+
+* ``OP_HELLO`` -- connection negotiation; the body is a small JSON
+  object (client: empty or options, server: version + supported ops).
+* ``OP_JSON`` / ``OP_JSON_RESPONSE`` -- any JSON-lines request/response
+  object framed as bytes: the entire existing op surface is reachable
+  over the binary transport.
+* ``OP_ESTIMATE_BATCH`` / ``OP_ESTIMATE_DISTINCT_BATCH`` -- the hot
+  path.  The body is a u32 header length, a JSON header (table, column,
+  id), then two raw ``<f8`` arrays (lows, highs) back to back.  No
+  per-predicate objects: the predicate arrays travel as the bytes numpy
+  already holds, and :func:`decode_range_batch` hands the server
+  ``np.frombuffer`` views of the receive buffer (zero-copy).
+* ``OP_RESULT_VECTOR`` -- the batch answer: u32 header length, JSON
+  header (ok, method, id), then one raw ``<f8`` result array.
+* ``OP_ERROR`` -- a framed structured failure (mirrors the JSON-lines
+  ``{"ok": false}`` response).
+
+Malformed input is a :class:`FrameError`; the server answers with an
+``OP_ERROR`` frame where the stream is still synchronized (bad opcode,
+bad body) and closes the connection where it cannot be (bad magic or
+version, oversized length) -- sibling connections are unaffected either
+way.
+
+Like :mod:`repro.service.protocol`, everything here is pure data
+transformation; no sockets, no locks.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any, Dict, Optional, Tuple, Union
+
+import numpy as np
+
+__all__ = [
+    "FRAME_HEADER_SIZE",
+    "FrameError",
+    "MAGIC",
+    "MAX_FRAME_BYTES",
+    "OP_ERROR",
+    "OP_ESTIMATE_BATCH",
+    "OP_ESTIMATE_DISTINCT_BATCH",
+    "OP_HELLO",
+    "OP_JSON",
+    "OP_JSON_RESPONSE",
+    "OP_RESULT_VECTOR",
+    "PROTOCOL_VERSION",
+    "decode_json_body",
+    "decode_range_batch",
+    "decode_result_vector",
+    "encode_error_frame",
+    "encode_frame",
+    "encode_json_frame",
+    "encode_range_batch",
+    "encode_result_vector",
+    "parse_frame_header",
+]
+
+#: Two bytes no JSON-lines request can start with (requests are JSON
+#: objects, optionally preceded by whitespace).
+MAGIC = b"\xaa\x51"
+PROTOCOL_VERSION = 1
+FRAME_HEADER_SIZE = 8
+
+#: Upper bound on a frame body; a larger advertised length is treated as
+#: a protocol violation, not an allocation request.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+OP_HELLO = 0x01
+OP_JSON = 0x02
+OP_JSON_RESPONSE = 0x03
+OP_ESTIMATE_BATCH = 0x10
+OP_ESTIMATE_DISTINCT_BATCH = 0x11
+OP_RESULT_VECTOR = 0x12
+OP_ERROR = 0x7F
+
+_KNOWN_OPCODES = frozenset(
+    {
+        OP_HELLO,
+        OP_JSON,
+        OP_JSON_RESPONSE,
+        OP_ESTIMATE_BATCH,
+        OP_ESTIMATE_DISTINCT_BATCH,
+        OP_RESULT_VECTOR,
+        OP_ERROR,
+    }
+)
+
+_HEADER = struct.Struct("<2sBBI")
+_U32 = struct.Struct("<I")
+_F8 = np.dtype("<f8")
+
+_Body = Union[bytes, bytearray, memoryview]
+
+
+class FrameError(ValueError):
+    """The byte stream violates the frame protocol.
+
+    ``recoverable`` distinguishes failures *inside* a well-delimited
+    frame (the connection can answer with ``OP_ERROR`` and continue)
+    from failures of the delimiting itself (the stream cannot be
+    resynchronized and must close).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        recoverable: bool = False,
+        body_length: Optional[int] = None,
+    ) -> None:
+        super().__init__(message)
+        self.recoverable = recoverable
+        #: For recoverable *header* errors (unknown opcode): the still-
+        #: valid body length, so a reader can drain the body and stay
+        #: synchronized on the stream.
+        self.body_length = body_length
+
+
+# -- framing -----------------------------------------------------------
+
+
+def encode_frame(opcode: int, body: _Body = b"") -> bytes:
+    """One complete frame: header plus body bytes."""
+    body = bytes(body)
+    if len(body) > MAX_FRAME_BYTES:
+        raise FrameError(
+            f"frame body of {len(body)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit"
+        )
+    return _HEADER.pack(MAGIC, PROTOCOL_VERSION, opcode, len(body)) + body
+
+
+def parse_frame_header(header: _Body) -> Tuple[int, int]:
+    """Validate an 8-byte frame header; returns ``(opcode, body_length)``.
+
+    Raises :class:`FrameError` (non-recoverable) on bad magic, an
+    unsupported version, an oversized length, or a short header -- all
+    cases where the stream offset can no longer be trusted.  An unknown
+    opcode *is* recoverable: the body length is still valid, so the
+    caller can skip the body and answer with a framed error.
+    """
+    if len(header) < FRAME_HEADER_SIZE:
+        raise FrameError(
+            f"truncated frame header ({len(header)} of {FRAME_HEADER_SIZE} bytes)"
+        )
+    magic, version, opcode, length = _HEADER.unpack(bytes(header[:FRAME_HEADER_SIZE]))
+    if magic != MAGIC:
+        raise FrameError(f"bad frame magic {magic!r}")
+    if version != PROTOCOL_VERSION:
+        raise FrameError(
+            f"unsupported frame protocol version {version} "
+            f"(speaking {PROTOCOL_VERSION})"
+        )
+    if length > MAX_FRAME_BYTES:
+        raise FrameError(
+            f"advertised frame body of {length} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit"
+        )
+    if opcode not in _KNOWN_OPCODES:
+        raise FrameError(
+            f"unknown frame opcode 0x{opcode:02x}",
+            recoverable=True,
+            body_length=length,
+        )
+    return opcode, length
+
+
+# -- JSON bodies -------------------------------------------------------
+
+
+def encode_json_frame(message: Dict[str, Any], opcode: int = OP_JSON) -> bytes:
+    """A JSON-lines message as one binary frame."""
+    body = json.dumps(message, separators=(",", ":"), default=_coerce).encode("utf-8")
+    return encode_frame(opcode, body)
+
+
+def decode_json_body(body: _Body) -> Dict[str, Any]:
+    """Parse a JSON frame body; rejects non-object payloads."""
+    try:
+        message = json.loads(bytes(body).decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise FrameError(f"bad JSON frame body: {error}", recoverable=True)
+    if not isinstance(message, dict):
+        raise FrameError("JSON frame bodies must be objects", recoverable=True)
+    return message
+
+
+def encode_error_frame(error: str, meta: Optional[Dict[str, Any]] = None) -> bytes:
+    """A framed structured failure (the binary twin of ``{"ok": false}``)."""
+    payload: Dict[str, Any] = {"ok": False, "error": error}
+    if meta:
+        for key in ("id", "request_id"):
+            if key in meta:
+                payload[key] = meta[key]
+    return encode_json_frame(payload, opcode=OP_ERROR)
+
+
+# -- array bodies ------------------------------------------------------
+
+
+def _pack_header_and_arrays(header: Dict[str, Any], *arrays: np.ndarray) -> bytes:
+    rendered = json.dumps(header, separators=(",", ":"), default=_coerce).encode(
+        "utf-8"
+    )
+    parts = [_U32.pack(len(rendered)), rendered]
+    for array in arrays:
+        parts.append(np.ascontiguousarray(array, dtype=_F8).tobytes())
+    return b"".join(parts)
+
+
+def _split_header(body: _Body) -> Tuple[Dict[str, Any], memoryview]:
+    view = memoryview(body)
+    if len(view) < 4:
+        raise FrameError("array frame body too short for its header length")
+    (header_len,) = _U32.unpack(bytes(view[:4]))
+    if 4 + header_len > len(view):
+        raise FrameError(
+            f"array frame header of {header_len} bytes overruns the body",
+            recoverable=True,
+        )
+    header = decode_json_body(view[4 : 4 + header_len])
+    return header, view[4 + header_len :]
+
+
+def encode_range_batch(
+    table: str,
+    column: str,
+    lows: np.ndarray,
+    highs: np.ndarray,
+    *,
+    distinct: bool = False,
+    request_id: Optional[str] = None,
+    frame_id: Optional[int] = None,
+) -> bytes:
+    """A batch of ``[low, high)`` range predicates as one array frame.
+
+    The endpoint arrays travel as raw ``<f8`` buffers after a small JSON
+    header -- 16 bytes per predicate regardless of batch size, versus
+    ~60 bytes of JSON predicate object each on the lines transport.
+    """
+    lows = np.ascontiguousarray(lows, dtype=_F8)
+    highs = np.ascontiguousarray(highs, dtype=_F8)
+    if lows.shape != highs.shape or lows.ndim != 1:
+        raise ValueError("endpoint arrays must be aligned 1-d vectors")
+    header: Dict[str, Any] = {"table": table, "column": column, "n": int(lows.size)}
+    if request_id is not None:
+        header["request_id"] = request_id
+    if frame_id is not None:
+        header["id"] = frame_id
+    opcode = OP_ESTIMATE_DISTINCT_BATCH if distinct else OP_ESTIMATE_BATCH
+    return encode_frame(opcode, _pack_header_and_arrays(header, lows, highs))
+
+
+def decode_range_batch(
+    body: _Body,
+) -> Tuple[Dict[str, Any], np.ndarray, np.ndarray]:
+    """Split an array-frame body into ``(header, lows, highs)``.
+
+    The returned arrays are ``np.frombuffer`` views of ``body`` -- no
+    copy is made, so the caller must keep the buffer alive while the
+    arrays are in use (the server's receive buffer is, for the duration
+    of the request).
+    """
+    header, payload = _split_header(body)
+    n = header.get("n")
+    if not isinstance(n, int) or n < 0:
+        raise FrameError("array frame header is missing a valid 'n'", recoverable=True)
+    expected = 2 * n * _F8.itemsize
+    if len(payload) != expected:
+        raise FrameError(
+            f"array frame carries {len(payload)} payload bytes, "
+            f"expected {expected} for n={n}",
+            recoverable=True,
+        )
+    lows = np.frombuffer(payload, dtype=_F8, count=n)
+    highs = np.frombuffer(payload, dtype=_F8, count=n, offset=n * _F8.itemsize)
+    return header, lows, highs
+
+
+def encode_result_vector(values: np.ndarray, header: Dict[str, Any]) -> bytes:
+    """A batch answer: JSON header + one raw ``<f8`` result array."""
+    values = np.ascontiguousarray(values, dtype=_F8)
+    header = {**header, "ok": True, "n": int(values.size)}
+    return encode_frame(OP_RESULT_VECTOR, _pack_header_and_arrays(header, values))
+
+
+def decode_result_vector(body: _Body) -> Tuple[Dict[str, Any], np.ndarray]:
+    """Split a result-vector body into ``(header, values)`` (zero-copy)."""
+    header, payload = _split_header(body)
+    n = header.get("n")
+    if not isinstance(n, int) or n < 0:
+        raise FrameError("result frame header is missing a valid 'n'", recoverable=True)
+    if len(payload) != n * _F8.itemsize:
+        raise FrameError(
+            f"result frame carries {len(payload)} payload bytes, "
+            f"expected {n * _F8.itemsize} for n={n}",
+            recoverable=True,
+        )
+    return header, np.frombuffer(payload, dtype=_F8, count=n)
+
+
+def _coerce(value: Any) -> Any:
+    # Numpy scalars reach headers through metrics and ids.
+    if hasattr(value, "item"):
+        return value.item()
+    raise TypeError(f"Object of type {type(value).__name__} is not JSON serializable")

@@ -22,7 +22,7 @@ from __future__ import annotations
 import threading
 import time
 from contextlib import contextmanager
-from typing import Dict, Iterator, List, Mapping, Optional
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
 
 from repro.obs import CounterSet, QuantileHistogram
 
@@ -64,6 +64,10 @@ class ServiceMetrics:
         self._latency: Dict[str, QuantileHistogram] = {}
         # op -> phase -> [seconds, builds]
         self._phases: Dict[str, Dict[str, List[float]]] = {}
+        # transport -> {frames_in, frames_out, bytes_in, bytes_out}
+        self._wire: Dict[str, Dict[str, int]] = {}
+        # (transport, op) -> dispatch latency
+        self._wire_latency: Dict[Tuple[str, str], QuantileHistogram] = {}
 
     @contextmanager
     def track(self, op: str) -> Iterator[None]:
@@ -108,6 +112,67 @@ class ServiceMetrics:
                     lock=self._lock,
                 )
             return histogram
+
+    # -- wire accounting ---------------------------------------------------
+
+    def record_wire(
+        self,
+        transport: str,
+        *,
+        frames_in: int = 0,
+        frames_out: int = 0,
+        bytes_in: int = 0,
+        bytes_out: int = 0,
+    ) -> None:
+        """Fold one request's frame/byte traffic into a transport family.
+
+        ``transport`` is ``"json"`` or ``"binary"``; a JSON line counts
+        as one frame each way, so bytes-per-op is comparable across
+        transports.
+        """
+        with self._lock:
+            family = self._wire.setdefault(
+                transport,
+                {"frames_in": 0, "frames_out": 0, "bytes_in": 0, "bytes_out": 0},
+            )
+            family["frames_in"] += int(frames_in)
+            family["frames_out"] += int(frames_out)
+            family["bytes_in"] += int(bytes_in)
+            family["bytes_out"] += int(bytes_out)
+
+    def observe_wire_latency(self, transport: str, op: str, seconds: float) -> None:
+        """One end-to-end dispatch latency under its (transport, op) pair.
+
+        Separate from the service-core :meth:`track` histograms: this
+        clock includes frame decode, executor hand-off and response
+        encode, so the two families together separate wire cost from
+        estimation cost.
+        """
+        with self._lock:
+            histogram = self._wire_latency.get((transport, op))
+            if histogram is None:
+                histogram = self._wire_latency[(transport, op)] = QuantileHistogram(
+                    base=LATENCY_BASE,
+                    min_value=_LATENCY_MIN_SECONDS,
+                    max_value=_LATENCY_MAX_SECONDS,
+                    lock=self._lock,
+                )
+            histogram.record(seconds)
+
+    def wire_snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            latency: Dict[str, Dict[str, object]] = {}
+            for (transport, op), histogram in self._wire_latency.items():
+                latency.setdefault(transport, {})[op] = self._latency_summary(
+                    histogram
+                )
+            return {
+                "transports": {
+                    transport: dict(family)
+                    for transport, family in self._wire.items()
+                },
+                "latency": latency,
+            }
 
     def record_build_profile(
         self, op: str, profile: Optional[Mapping[str, object]]
@@ -159,6 +224,7 @@ class ServiceMetrics:
                     for op, histogram in self._latency.items()
                 },
                 "counters": self._counters.snapshot(),
+                "wire": self.wire_snapshot(),
                 "phases": {
                     op: {
                         name: {"seconds": slot[0], "builds": slot[1]}

@@ -9,12 +9,32 @@ are *live* register-blended statistics (so estimates include Morris
 counts for post-build inserts) and whose unworthy columns keep exact
 per-value counts, exactly as Sec. 8.2 prescribes.
 
-:class:`StatisticsServer` puts that core behind a JSON-lines TCP
-endpoint (one request object per line, one response per line; see
-:mod:`repro.service.protocol`).  Request handling hops to a worker
-thread so a slow estimate never stalls the accept loop.  A malformed or
-failing request produces a structured ``{"ok": false}`` response -- the
-connection, and every other client, keeps going.
+:class:`StatisticsServer` puts that core behind one TCP endpoint that
+speaks *two* wire formats, negotiated per connection by sniffing the
+first two bytes: the frame magic (:data:`repro.service.frames.MAGIC`)
+selects the length-prefixed binary protocol, anything else falls
+through to JSON lines (one request object per line; see
+:mod:`repro.service.protocol`) -- existing JSON clients keep working
+unmodified.  Request handling hops to a service-owned, explicitly sized
+thread pool (``ServiceConfig.handler_threads``) so a slow estimate
+never stalls the accept loop and concurrency is a configuration
+decision rather than ``asyncio.to_thread``'s default executor.  Binary
+connections pipeline: up to ``ServiceConfig.max_inflight`` frames per
+connection are served concurrently (a semaphore pauses the reader
+beyond that), and responses carry the request's ``id`` so a client can
+match them.  A malformed or failing request produces a structured
+``{"ok": false}`` response (or ``OP_ERROR`` frame) -- the connection,
+and every other client, keeps going; only frame-level desynchronization
+(bad magic/version, oversized length, truncation) closes a connection,
+and then only that one.
+
+With ``ServiceConfig.estimator_workers > 0`` the server additionally
+publishes every compiled plan into shared memory
+(:class:`~repro.service.shm.SharedPlanDirectory`) and fans binary batch
+frames out to an :class:`~repro.service.workers.EstimatorWorkerPool` of
+estimator processes; a store listener republishes on every rebuild
+(generation bump) and any pool failure falls back to the in-process
+path, counted but never surfaced to the client.
 
 Telemetry: every request resolves a ``request_id`` (client-supplied or a
 server UUID) that is echoed in the response and stamped on every event
@@ -29,10 +49,12 @@ observed q-errors back to priority rebuilds.
 from __future__ import annotations
 
 import asyncio
+import json
 import threading
+from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 from time import perf_counter
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, Optional, Set, Tuple
 
 import numpy as np
 
@@ -44,7 +66,25 @@ from repro.core.statistics import ColumnStatistics, StatisticsManager
 from repro.dictionary.table import Table, histogram_worthy
 from repro.obs import NULL_TRACE, Span
 from repro.query.estimator import CardinalityEstimate, CardinalityEstimator
+from repro.service.config import ServiceConfig
 from repro.service.drift import DriftTracker
+from repro.service.frames import (
+    FRAME_HEADER_SIZE,
+    MAGIC,
+    OP_ESTIMATE_BATCH,
+    OP_ESTIMATE_DISTINCT_BATCH,
+    OP_HELLO,
+    OP_JSON,
+    OP_JSON_RESPONSE,
+    PROTOCOL_VERSION,
+    FrameError,
+    decode_json_body,
+    decode_range_batch,
+    encode_error_frame,
+    encode_json_frame,
+    encode_result_vector,
+    parse_frame_header,
+)
 from repro.service.metrics import ServiceMetrics
 from repro.service.protocol import (
     decode_line,
@@ -55,8 +95,10 @@ from repro.service.protocol import (
     predicates_from_wire,
 )
 from repro.service.refresh import ColumnRegister, MaintenanceRegistry
+from repro.service.shm import SharedPlanDirectory, sweep_orphan_segments
 from repro.service.store import StatisticsStore
 from repro.service.telemetry import ServiceTelemetry, resolve_request_id
+from repro.service.workers import EstimatorWorkerPool, WorkerPoolError
 
 __all__ = [
     "RegisterStatistics",
@@ -161,6 +203,12 @@ class StatisticsService:
         self._lock = threading.RLock()
         self._tables: Dict[str, Table] = {}
         self._estimators: Dict[str, CardinalityEstimator] = {}
+        #: Optional fan-out hook for the array estimate path.  The
+        #: server installs a callable ``(table, column, c1s, c2s,
+        #: distinct) -> values | None`` routing code-range batches to
+        #: the estimator worker pool; ``None`` (or a
+        #: :class:`WorkerPoolError`) falls back to the in-process path.
+        self.array_backend: Optional[Callable[..., Optional[np.ndarray]]] = None
 
     def close(self) -> None:
         """Flush and close telemetry sinks (the event log)."""
@@ -293,6 +341,85 @@ class StatisticsService:
             )
             self.metrics.incr("distinct_batched", len(estimates))
             return estimates
+
+    def estimate_range_array(
+        self,
+        table_name: str,
+        column_name: str,
+        lows: np.ndarray,
+        highs: np.ndarray,
+        distinct: bool = False,
+    ) -> Tuple[np.ndarray, str]:
+        """Range estimates for aligned endpoint arrays on one column.
+
+        The binary transport's hot path: no predicate objects are ever
+        materialized.  The value endpoints are translated to code ranges
+        in two vectorized ``searchsorted`` passes
+        (:meth:`~repro.dictionary.ordered.OrderedDictionary.encode_range_batch`),
+        then answered either by the estimator worker pool (when the
+        server installed :attr:`array_backend` and the pool serves this
+        key's current generation) or by the same register-blended
+        statistics the JSON path uses -- with zero pending inserts the
+        two are bit-identical, and a pool failure silently falls back.
+
+        Returns ``(values, method)``; empty value ranges are exact
+        zeros, mirroring the predicate path's ``c2 <= c1`` rule.
+        """
+        op = "estimate_distinct_batch" if distinct else "estimate_batch"
+        with self.metrics.track(op):
+            with self._lock:
+                table = self._tables.get(table_name)
+            if table is None:
+                raise KeyError(f"unknown table {table_name!r}")
+            column = table.column(column_name)
+            c1s, c2s = column.dictionary.encode_range_batch(
+                np.asarray(lows), np.asarray(highs)
+            )
+            nonempty = c2s > c1s
+            c1s = c1s.astype(np.float64)
+            c2s = c2s.astype(np.float64)
+            values: Optional[np.ndarray] = None
+            method = "histogram"
+            backend = self.array_backend
+            if backend is not None:
+                try:
+                    values = backend(table_name, column_name, c1s, c2s, distinct)
+                except WorkerPoolError:
+                    self.metrics.incr("worker_fallbacks")
+                    values = None
+                else:
+                    if values is not None:
+                        self.metrics.incr("worker_batches")
+            if values is None:
+                estimator = self._estimator(table_name)
+                stats = estimator.manager.statistics(table_name, column_name)
+                method = "exact" if stats.is_exact else "histogram"
+                batch_name = (
+                    "estimate_distinct_range_batch"
+                    if distinct
+                    else "estimate_range_batch"
+                )
+                batch = getattr(stats, batch_name, None)
+                if batch is not None:
+                    values = np.asarray(batch(c1s, c2s), dtype=np.float64)
+                else:
+                    scalar = getattr(
+                        stats,
+                        "estimate_distinct_range" if distinct else "estimate_range",
+                    )
+                    values = np.asarray(
+                        [
+                            float(scalar(int(c1), int(c2)))
+                            for c1, c2 in zip(c1s, c2s)
+                        ],
+                        dtype=np.float64,
+                    )
+            values = np.where(nonempty, values, 0.0)
+            self.metrics.incr(
+                "distinct_batched" if distinct else "estimates_batched",
+                int(values.size),
+            )
+            return values, method
 
     def feedback(
         self, table_name: str, column_name: str, estimated: float, actual: float
@@ -487,18 +614,32 @@ def _require(request: Dict[str, Any], field: str) -> Any:
 
 
 class StatisticsServer:
-    """JSON-lines TCP endpoint over a :class:`StatisticsService`."""
+    """Dual-transport TCP endpoint over a :class:`StatisticsService`.
+
+    One port, two wire formats: the first two bytes of a connection
+    select binary frames (frame magic) or JSON lines (anything else).
+    All request handling runs on a service-owned thread pool sized by
+    ``config.handler_threads``; with ``config.estimator_workers > 0``
+    the server also owns a shared-plan directory and an estimator
+    process pool fanning batch frames across cores.
+    """
 
     def __init__(
         self,
         service: StatisticsService,
         host: str = "127.0.0.1",
         port: int = 0,
+        config: Optional[ServiceConfig] = None,
     ) -> None:
         self.service = service
         self.host = host
         self.port = port
+        self.config = config if config is not None else ServiceConfig()
         self._server: Optional[asyncio.AbstractServer] = None
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._plans: Optional[SharedPlanDirectory] = None
+        self._pool: Optional[EstimatorWorkerPool] = None
+        self._publish_lock = threading.Lock()
 
     @property
     def address(self) -> Tuple[str, int]:
@@ -508,6 +649,12 @@ class StatisticsServer:
         return self._server.sockets[0].getsockname()[:2]
 
     async def start(self) -> None:
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.handler_threads,
+            thread_name_prefix="repro-handler",
+        )
+        if self.config.estimator_workers > 0:
+            self._start_fanout()
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port
         )
@@ -523,35 +670,355 @@ class StatisticsServer:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        self.service.array_backend = None
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.stop()
+        plans, self._plans = self._plans, None
+        if plans is not None:
+            plans.close()
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=False)
+
+    # -- estimator fan-out -------------------------------------------------
+
+    def _start_fanout(self) -> None:
+        """Bring up shared plans + worker pool and wire the routing hook."""
+        # A predecessor that crashed without cleanup may have leaked
+        # segments; its pid is dead, so the sweep is safe.
+        removed = sweep_orphan_segments()
+        if removed:
+            self.service.metrics.incr("shm_orphans_swept", len(removed))
+        self._plans = SharedPlanDirectory()
+        self._pool = EstimatorWorkerPool(self.config.estimator_workers)
+        self._pool.start()
+        for table, column in self.service.store.keys():
+            self._publish_key(table, column)
+        self._push_manifest()
+        self.service.store.add_listener(self._on_store_put)
+        self.service.array_backend = self._route_array_batch
+
+    def _publish_key(self, table: str, column: str) -> None:
+        plans = self._plans
+        if plans is None:
+            return
+        try:
+            plan = self.service.store.plan(table, column)
+        except KeyError:
+            return
+        if plan is None:
+            return  # no compiled form; the in-process path serves it
+        generation = self.service.store.generation(table, column)
+        plans.publish(table, column, generation, plan)
+
+    def _push_manifest(self) -> None:
+        pool, plans = self._pool, self._plans
+        if pool is None or plans is None:
+            return
+        try:
+            pool.publish(plans.manifest())
+        except WorkerPoolError:
+            self.service.metrics.incr("worker_publish_failures")
+
+    def _on_store_put(self, table: str, column: str, generation: int) -> None:
+        """Store listener: republish a rebuilt key to every worker.
+
+        Runs on the putting (build/rebuild) thread; serialized so two
+        concurrent rebuilds cannot interleave manifest pushes.
+        """
+        with self._publish_lock:
+            self._publish_key(table, column)
+            self._push_manifest()
+
+    def _route_array_batch(
+        self,
+        table: str,
+        column: str,
+        c1s: np.ndarray,
+        c2s: np.ndarray,
+        distinct: bool,
+    ) -> Optional[np.ndarray]:
+        """The service's ``array_backend``: pool when safe, else ``None``.
+
+        The pool serves the *published base plan*, so it is only used
+        when it holds the key's current store generation and (for
+        cardinality estimates) the maintenance register has no pending
+        inserts to blend -- exactly the condition under which the pool
+        answer is bit-identical to the in-process one.
+        """
+        pool = self._pool
+        if pool is None:
+            return None
+        generation = self.service.store.generation(table, column)
+        if pool.served_generation(table, column) != generation:
+            return None
+        if not distinct:
+            register = self.service.registry.get(table, column)
+            if register is not None and register.staleness() > 0.0:
+                return None
+        return pool.estimate(table, column, c1s, c2s, distinct)
+
+    # -- connection handling -----------------------------------------------
 
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         try:
-            while True:
-                line = await reader.readline()
-                if not line:
-                    break
-                if not line.strip():
-                    continue
-                try:
-                    request = decode_line(line)
-                except Exception as error:
-                    response = error_response({}, f"bad request: {error}")
-                else:
-                    # Off the event loop: estimates and inserts take
-                    # locks and run numpy; the accept loop stays free.
-                    response = await asyncio.to_thread(self.service.handle, request)
-                writer.write(encode_line(response))
+            try:
+                first = await reader.readexactly(2)
+            except asyncio.IncompleteReadError as error:
+                first = error.partial
+                if not first:
+                    return
+            if first == MAGIC and self.config.binary_enabled:
+                await self._serve_binary(reader, writer, first)
+            elif self.config.json_enabled:
+                await self._serve_json(reader, writer, first)
+            else:
+                # Binary-only server: answer the JSON-lines client with
+                # one parseable error line, then close.
+                writer.write(
+                    json.dumps(
+                        {
+                            "ok": False,
+                            "error": "server requires the binary frame transport",
+                        }
+                    ).encode("utf-8")
+                    + b"\n"
+                )
                 await writer.drain()
         except (ConnectionResetError, BrokenPipeError):
             pass
         finally:
-            writer.close()
             try:
+                writer.close()
                 await writer.wait_closed()
-            except (ConnectionResetError, BrokenPipeError):
+            except (ConnectionResetError, BrokenPipeError, OSError, RuntimeError):
+                # RuntimeError: the event loop closed under us during
+                # server shutdown; nothing left to flush.
                 pass
+
+    # -- JSON lines --------------------------------------------------------
+
+    async def _serve_json(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        initial: bytes,
+    ) -> None:
+        loop = asyncio.get_running_loop()
+        metrics = self.service.metrics
+        while True:
+            line = await reader.readline()
+            if initial:
+                # The sniffed transport bytes belong to the first line.
+                line, initial = initial + line, b""
+            if not line:
+                break
+            if not line.strip():
+                continue
+            start = perf_counter()
+            try:
+                request = decode_line(line)
+            except Exception as error:
+                op = "error"
+                response = error_response({}, f"bad request: {error}")
+            else:
+                op = str(request.get("op") or "")
+                # Off the event loop: estimates and inserts take locks
+                # and run numpy; the accept loop stays free.
+                response = await loop.run_in_executor(
+                    self._executor, self.service.handle, request
+                )
+            payload = encode_line(response)
+            writer.write(payload)
+            await writer.drain()
+            metrics.record_wire(
+                "json",
+                frames_in=1,
+                frames_out=1,
+                bytes_in=len(line),
+                bytes_out=len(payload),
+            )
+            metrics.observe_wire_latency("json", op, perf_counter() - start)
+
+    # -- binary frames -----------------------------------------------------
+
+    async def _serve_binary(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        first: bytes,
+    ) -> None:
+        semaphore = asyncio.Semaphore(self.config.max_inflight)
+        write_lock = asyncio.Lock()
+        pending: Set[asyncio.Task] = set()
+        metrics = self.service.metrics
+        buffered = first
+        try:
+            while True:
+                try:
+                    header = buffered + await reader.readexactly(
+                        FRAME_HEADER_SIZE - len(buffered)
+                    )
+                    buffered = b""
+                except asyncio.IncompleteReadError:
+                    break  # disconnect between (or inside) headers
+                try:
+                    opcode, length = parse_frame_header(header)
+                    if length > self.config.max_frame_bytes:
+                        raise FrameError(
+                            f"frame body of {length} bytes exceeds this "
+                            f"server's {self.config.max_frame_bytes}-byte limit"
+                        )
+                except FrameError as error:
+                    drain = error.body_length
+                    if error.recoverable and drain is not None:
+                        # Unknown opcode with a trustworthy length:
+                        # skip the body, answer, keep the connection.
+                        try:
+                            await reader.readexactly(drain)
+                        except asyncio.IncompleteReadError:
+                            break
+                        await self._write_frame(
+                            writer, write_lock, encode_error_frame(str(error))
+                        )
+                        metrics.incr("frame_errors_recovered")
+                        continue
+                    # Desynchronized stream: one framed error, then close.
+                    await self._write_frame(
+                        writer, write_lock, encode_error_frame(str(error))
+                    )
+                    metrics.incr("frame_errors_fatal")
+                    break
+                try:
+                    body = await reader.readexactly(length) if length else b""
+                except asyncio.IncompleteReadError:
+                    break  # mid-frame disconnect
+                await semaphore.acquire()
+                task = asyncio.create_task(
+                    self._run_frame(
+                        opcode, body, writer, write_lock, semaphore
+                    )
+                )
+                pending.add(task)
+                task.add_done_callback(pending.discard)
+        finally:
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+
+    async def _write_frame(
+        self,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+        payload: bytes,
+    ) -> None:
+        async with write_lock:
+            writer.write(payload)
+            await writer.drain()
+
+    async def _run_frame(
+        self,
+        opcode: int,
+        body: bytes,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+        semaphore: asyncio.Semaphore,
+    ) -> None:
+        start = perf_counter()
+        loop = asyncio.get_running_loop()
+        try:
+            op, payload = await loop.run_in_executor(
+                self._executor, self._dispatch_frame, opcode, body
+            )
+        except Exception as error:  # noqa: BLE001 -- every failure is a frame
+            op = "error"
+            payload = encode_error_frame(f"{type(error).__name__}: {error}")
+        finally:
+            semaphore.release()
+        try:
+            await self._write_frame(writer, write_lock, payload)
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            return
+        metrics = self.service.metrics
+        metrics.record_wire(
+            "binary",
+            frames_in=1,
+            frames_out=1,
+            bytes_in=FRAME_HEADER_SIZE + len(body),
+            bytes_out=len(payload),
+        )
+        metrics.observe_wire_latency("binary", op, perf_counter() - start)
+
+    def _dispatch_frame(self, opcode: int, body: bytes) -> Tuple[str, bytes]:
+        """Serve one binary frame (runs on the handler pool).
+
+        Returns ``(op name, response frame bytes)``; every failure --
+        protocol or service -- becomes an ``OP_ERROR`` frame so the
+        connection survives anything short of desynchronization.
+        """
+        meta: Dict[str, Any] = {}
+        try:
+            if opcode == OP_HELLO:
+                if body:
+                    decode_json_body(body)  # validated, options reserved
+                return "hello", encode_json_frame(
+                    {
+                        "ok": True,
+                        "version": PROTOCOL_VERSION,
+                        "server": "repro-statistics",
+                        "ops": [
+                            "hello",
+                            "json",
+                            "estimate_batch",
+                            "estimate_distinct_batch",
+                        ],
+                    },
+                    opcode=OP_HELLO,
+                )
+            if opcode == OP_JSON:
+                request = decode_json_body(body)
+                meta = request
+                response = self.service.handle(request)
+                return (
+                    str(request.get("op") or "json"),
+                    encode_json_frame(response, opcode=OP_JSON_RESPONSE),
+                )
+            if opcode in (OP_ESTIMATE_BATCH, OP_ESTIMATE_DISTINCT_BATCH):
+                header, lows, highs = decode_range_batch(body)
+                meta = header
+                distinct = opcode == OP_ESTIMATE_DISTINCT_BATCH
+                op = "estimate_distinct_batch" if distinct else "estimate_batch"
+                table = header.get("table")
+                column = header.get("column")
+                if not isinstance(table, str) or not isinstance(column, str):
+                    raise FrameError(
+                        "array frame header needs string 'table' and 'column'",
+                        recoverable=True,
+                    )
+                values, method = self.service.estimate_range_array(
+                    table, column, lows, highs, distinct=distinct
+                )
+                echo = {
+                    key: header[key]
+                    for key in ("id", "request_id")
+                    if key in header
+                }
+                echo["method"] = method
+                return op, encode_result_vector(values, echo)
+            # OP_JSON_RESPONSE / OP_RESULT_VECTOR / OP_ERROR are
+            # response opcodes; a client sending one is confused but
+            # recoverable.
+            raise FrameError(
+                f"opcode 0x{opcode:02x} is not a request", recoverable=True
+            )
+        except FrameError as error:
+            return "error", encode_error_frame(str(error), meta)
+        except Exception as error:  # noqa: BLE001 -- every failure is a frame
+            return "error", encode_error_frame(
+                f"{type(error).__name__}: {error}", meta
+            )
 
 
 class ServerHandle:
@@ -591,15 +1058,18 @@ def start_server_thread(
     host: str = "127.0.0.1",
     port: int = 0,
     timeout: float = 10.0,
+    config: Optional[ServiceConfig] = None,
 ) -> ServerHandle:
     """Start a :class:`StatisticsServer` on a background thread.
 
     Returns a handle exposing the bound ``address`` and ``stop()``;
     the default ``port=0`` binds an ephemeral port.  This is what the
     tests and the throughput benchmark use to host a real TCP server
-    inside one process.
+    inside one process.  ``config`` shapes the runtime (handler pool,
+    transports, estimator workers); the default serves both transports
+    in-process.
     """
-    server = StatisticsServer(service, host, port)
+    server = StatisticsServer(service, host, port, config=config)
     loop = asyncio.new_event_loop()
     started = threading.Event()
     failure: Dict[str, BaseException] = {}

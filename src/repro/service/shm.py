@@ -1,0 +1,275 @@
+"""Shared-memory publication of compiled estimation plans.
+
+A :class:`~repro.core.compiled.CompiledHistogram` is nothing but flat
+float64 tables (``bucket_cdf``, fine segment arrays), so N estimator
+processes can serve one plan from a single copy: the server packs the
+exported tables into one ``multiprocessing.shared_memory`` segment and
+workers re-attach them as ``np.frombuffer`` views -- no pickling, no
+recompilation, no per-worker copy.
+
+:class:`SharedPlanDirectory` owns the publisher side: one segment per
+(table, column) *generation*, named ``<prefix>-<seq>`` under a
+pid-stamped prefix.  Publishing a new generation creates the new
+segment first, then unlinks the old one -- workers still attached to
+the old mapping keep a valid view until they pick up the new manifest
+(POSIX keeps unlinked segments alive while mapped), so a republish is
+never a torn read.  The manifest -- plain dicts describing name, layout
+and generation -- is what travels to workers over their command pipes.
+
+Cleanup is defense in depth:
+
+* explicit :meth:`SharedPlanDirectory.close` (the server's shutdown
+  path) closes and unlinks every live segment;
+* an ``atexit`` hook covers interpreter exits that skip shutdown;
+* :func:`sweep_orphan_segments` removes segments whose creating process
+  died without either (the pid is part of the prefix), and runs at
+  server startup so a crashed predecessor cannot leak ``/dev/shm``
+  forever.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import re
+import threading
+import uuid
+from multiprocessing import shared_memory
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.compiled import CompiledHistogram
+
+__all__ = [
+    "SHM_PREFIX",
+    "SharedPlanDirectory",
+    "attach_plan",
+    "attach_tables",
+    "pack_tables",
+    "sweep_orphan_segments",
+]
+
+_Key = Tuple[str, str]
+
+#: Family prefix of every segment this module creates.  The full
+#: segment name is ``repro-plan-<pid>-<token>-<seq>``.
+SHM_PREFIX = "repro-plan"
+
+_NAME_PATTERN = re.compile(rf"^{SHM_PREFIX}-(\d+)-[0-9a-f]+-\d+$")
+
+_ALIGN = 8
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+def pack_tables(
+    arrays: Dict[str, np.ndarray], name: str
+) -> Tuple[shared_memory.SharedMemory, Dict[str, Dict[str, object]]]:
+    """Copy named arrays into one new shared-memory segment.
+
+    Returns the segment and its layout -- ``{key: {offset, shape,
+    dtype}}`` with explicit little-endian dtype strings -- which is all
+    an attaching process needs (the layout travels over the worker
+    command pipe as plain data).
+    """
+    layout: Dict[str, Dict[str, object]] = {}
+    offset = 0
+    prepared: Dict[str, np.ndarray] = {}
+    for key in sorted(arrays):
+        array = np.ascontiguousarray(arrays[key])
+        if array.dtype.byteorder == ">":
+            array = array.astype(array.dtype.newbyteorder("<"))
+        prepared[key] = array
+        offset = _aligned(offset)
+        layout[key] = {
+            "offset": offset,
+            "shape": list(array.shape),
+            "dtype": array.dtype.str,
+        }
+        offset += array.nbytes
+    segment = shared_memory.SharedMemory(name=name, create=True, size=max(offset, 1))
+    for key, array in prepared.items():
+        spec = layout[key]
+        start = int(spec["offset"])  # type: ignore[arg-type]
+        view = np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf, offset=start)
+        view[...] = array
+    return segment, layout
+
+
+def attach_tables(
+    segment: shared_memory.SharedMemory, layout: Dict[str, Dict[str, object]]
+) -> Dict[str, np.ndarray]:
+    """Zero-copy views of a packed segment, keyed like the original arrays.
+
+    The views alias ``segment.buf``; the caller owns keeping the segment
+    mapped for their lifetime.
+    """
+    arrays: Dict[str, np.ndarray] = {}
+    for key, spec in layout.items():
+        arrays[key] = np.ndarray(
+            tuple(spec["shape"]),  # type: ignore[arg-type]
+            dtype=np.dtype(str(spec["dtype"])),
+            buffer=segment.buf,
+            offset=int(spec["offset"]),  # type: ignore[arg-type]
+        )
+    return arrays
+
+
+def attach_plan(entry: Dict[str, object]) -> Tuple[CompiledHistogram, shared_memory.SharedMemory]:
+    """Attach one manifest entry; returns ``(plan, segment)``.
+
+    The plan's arrays are views over the returned segment -- close the
+    segment only after dropping the plan.  Ownership (and the unlink)
+    stays with the publishing :class:`SharedPlanDirectory`; attaching
+    re-registers the name with the process tree's shared resource
+    tracker, which is idempotent, so the publisher's unlink remains the
+    single deregistration.  (Crash cleanup is handled by
+    :func:`sweep_orphan_segments`, not the tracker.)
+    """
+    segment = shared_memory.SharedMemory(name=str(entry["name"]))
+    arrays = attach_tables(segment, entry["layout"])  # type: ignore[arg-type]
+    plan = CompiledHistogram.from_tables(entry["meta"], arrays)  # type: ignore[arg-type]
+    return plan, segment
+
+
+class SharedPlanDirectory:
+    """Publisher of generation-tagged shared plans for one server.
+
+    Thread-safe: rebuild threads publish while the front end reads the
+    manifest.
+    """
+
+    def __init__(self, prefix: Optional[str] = None) -> None:
+        self._prefix = prefix or f"{SHM_PREFIX}-{os.getpid()}-{uuid.uuid4().hex[:8]}"
+        self._lock = threading.Lock()
+        # key -> (generation, segment, manifest entry)
+        self._entries: Dict[_Key, Tuple[int, shared_memory.SharedMemory, Dict[str, object]]] = {}
+        self._seq = 0
+        self._closed = False
+        atexit.register(self.close)
+
+    @property
+    def prefix(self) -> str:
+        return self._prefix
+
+    def publish(
+        self, table: str, column: str, generation: int, plan: CompiledHistogram
+    ) -> Dict[str, object]:
+        """Publish (or republish) one key's plan; returns its manifest entry.
+
+        Create-then-unlink ordering makes the swap safe for attached
+        workers; an unchanged generation is a no-op returning the
+        existing entry.
+        """
+        key = (table, column)
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("shared plan directory is closed")
+            current = self._entries.get(key)
+            if current is not None and current[0] == generation:
+                return dict(current[2])
+            self._seq += 1
+            name = f"{self._prefix}-{self._seq}"
+            meta, arrays = plan.export_tables()
+            segment, layout = pack_tables(arrays, name)
+            entry: Dict[str, object] = {
+                "table": table,
+                "column": column,
+                "generation": int(generation),
+                "name": name,
+                "layout": layout,
+                "meta": meta,
+            }
+            self._entries[key] = (generation, segment, entry)
+        if current is not None:
+            _release(current[1])
+        return dict(entry)
+
+    def drop(self, table: str, column: str) -> None:
+        """Unpublish one key (unlinks its segment)."""
+        with self._lock:
+            current = self._entries.pop((table, column), None)
+        if current is not None:
+            _release(current[1])
+
+    def manifest(self) -> List[Dict[str, object]]:
+        """Every live entry as pipe-safe plain data."""
+        with self._lock:
+            return [dict(entry) for _, _, entry in self._entries.values()]
+
+    def keys(self) -> List[_Key]:
+        with self._lock:
+            return list(self._entries)
+
+    def generation(self, table: str, column: str) -> Optional[int]:
+        with self._lock:
+            current = self._entries.get((table, column))
+            return None if current is None else current[0]
+
+    def close(self) -> None:
+        """Unlink every published segment (idempotent; atexit-registered)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            entries = list(self._entries.values())
+            self._entries.clear()
+        for _, segment, _ in entries:
+            _release(segment)
+
+    def __enter__(self) -> "SharedPlanDirectory":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def _release(segment: shared_memory.SharedMemory) -> None:
+    try:
+        segment.close()
+    except Exception:
+        pass
+    try:
+        segment.unlink()
+    except FileNotFoundError:
+        pass
+    except Exception:
+        pass
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    return True
+
+
+def sweep_orphan_segments(shm_dir: str = "/dev/shm") -> List[str]:
+    """Unlink plan segments whose creating process is gone.
+
+    Scans the shared-memory filesystem for this module's name pattern
+    and removes every segment stamped with a dead pid.  Returns the
+    removed names; a platform without ``/dev/shm`` sweeps nothing.
+    """
+    removed: List[str] = []
+    try:
+        candidates = os.listdir(shm_dir)
+    except OSError:
+        return removed
+    for name in candidates:
+        match = _NAME_PATTERN.match(name)
+        if match is None or _pid_alive(int(match.group(1))):
+            continue
+        try:
+            segment = shared_memory.SharedMemory(name=name)
+        except (FileNotFoundError, OSError):
+            continue
+        _release(segment)
+        removed.append(name)
+    return removed

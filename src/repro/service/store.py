@@ -162,6 +162,31 @@ class StatisticsStore:
         # Compiled plans per key, valid for exactly one generation,
         # sharded so concurrent batch streams do not share one lock.
         self._plan_stripes = tuple(_PlanStripe() for _ in range(plan_stripes))
+        # Publication listeners: called (table, column, generation) after
+        # every successful put, outside all store locks.
+        self._listeners: List = []
+
+    def add_listener(self, listener) -> None:
+        """Register a publication callback.
+
+        ``listener(table, column, generation)`` fires after every
+        :meth:`put`, once the new version is published -- this is how
+        the server's shared-plan directory learns about rebuilds without
+        the store knowing anything about shared memory.  Listeners run
+        on the putting thread with no store locks held; exceptions are
+        swallowed (publication must never fail a build).
+        """
+        with self._mutex:
+            self._listeners.append(listener)
+
+    def _notify(self, table: str, column: str, generation: int) -> None:
+        with self._mutex:
+            listeners = list(self._listeners)
+        for listener in listeners:
+            try:
+                listener(table, column, generation)
+            except Exception:
+                pass
 
     # -- locking ----------------------------------------------------------
 
@@ -289,7 +314,8 @@ class StatisticsStore:
                 self._generations[key] = generation
                 self._cache_store(key, generation, histogram)
             self._drop_plan(key)
-            return generation
+        self._notify(table, column, generation)
+        return generation
 
     def invalidate(self, table: Optional[str] = None, column: Optional[str] = None) -> int:
         """Bump generations and drop cached histograms.

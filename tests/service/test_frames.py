@@ -1,0 +1,225 @@
+"""Unit tests for the binary frame protocol (pure data layer)."""
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro.service.frames import (
+    FRAME_HEADER_SIZE,
+    MAGIC,
+    MAX_FRAME_BYTES,
+    OP_ERROR,
+    OP_ESTIMATE_BATCH,
+    OP_ESTIMATE_DISTINCT_BATCH,
+    OP_HELLO,
+    OP_JSON,
+    OP_RESULT_VECTOR,
+    PROTOCOL_VERSION,
+    FrameError,
+    decode_json_body,
+    decode_range_batch,
+    decode_result_vector,
+    encode_error_frame,
+    encode_frame,
+    encode_json_frame,
+    encode_range_batch,
+    encode_result_vector,
+    parse_frame_header,
+)
+
+
+def header_bytes(magic=MAGIC, version=PROTOCOL_VERSION, opcode=OP_JSON, length=0):
+    return struct.pack("<2sBBI", magic, version, opcode, length)
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        frame = encode_frame(OP_JSON, b"hello")
+        opcode, length = parse_frame_header(frame[:FRAME_HEADER_SIZE])
+        assert opcode == OP_JSON
+        assert length == 5
+        assert frame[FRAME_HEADER_SIZE:] == b"hello"
+
+    def test_empty_body(self):
+        frame = encode_frame(OP_HELLO)
+        opcode, length = parse_frame_header(frame)
+        assert (opcode, length) == (OP_HELLO, 0)
+
+    def test_magic_is_not_a_json_start(self):
+        # The negotiation sniff relies on no JSON-lines request starting
+        # with the magic bytes.
+        assert MAGIC[0:1] not in b" \t{["
+
+    def test_truncated_header(self):
+        with pytest.raises(FrameError) as err:
+            parse_frame_header(header_bytes()[:5])
+        assert not err.value.recoverable
+
+    def test_bad_magic(self):
+        with pytest.raises(FrameError) as err:
+            parse_frame_header(header_bytes(magic=b"\x00\x00"))
+        assert not err.value.recoverable
+
+    def test_bad_version(self):
+        with pytest.raises(FrameError) as err:
+            parse_frame_header(header_bytes(version=99))
+        assert not err.value.recoverable
+
+    def test_oversized_length(self):
+        with pytest.raises(FrameError) as err:
+            parse_frame_header(header_bytes(length=MAX_FRAME_BYTES + 1))
+        assert not err.value.recoverable
+
+    def test_unknown_opcode_is_recoverable_with_length(self):
+        with pytest.raises(FrameError) as err:
+            parse_frame_header(header_bytes(opcode=0x42, length=17))
+        assert err.value.recoverable
+        assert err.value.body_length == 17
+
+    def test_encode_rejects_oversized_body(self, monkeypatch):
+        import repro.service.frames as frames
+
+        monkeypatch.setattr(frames, "MAX_FRAME_BYTES", 16)
+        with pytest.raises(FrameError):
+            encode_frame(OP_JSON, b"x" * 17)
+
+
+class TestJsonBodies:
+    def test_roundtrip(self):
+        frame = encode_json_frame({"op": "ping", "id": 3})
+        opcode, length = parse_frame_header(frame)
+        assert opcode == OP_JSON
+        assert decode_json_body(frame[FRAME_HEADER_SIZE:]) == {"op": "ping", "id": 3}
+
+    def test_bad_json_recoverable(self):
+        with pytest.raises(FrameError) as err:
+            decode_json_body(b"{nope")
+        assert err.value.recoverable
+
+    def test_non_object_rejected(self):
+        with pytest.raises(FrameError) as err:
+            decode_json_body(b"[1, 2]")
+        assert err.value.recoverable
+
+    def test_error_frame_echoes_ids(self):
+        frame = encode_error_frame("boom", {"id": 7, "request_id": "r", "junk": 1})
+        opcode, _ = parse_frame_header(frame)
+        assert opcode == OP_ERROR
+        body = decode_json_body(frame[FRAME_HEADER_SIZE:])
+        assert body == {"ok": False, "error": "boom", "id": 7, "request_id": "r"}
+
+    def test_numpy_scalars_coerced(self):
+        frame = encode_json_frame({"value": np.float64(1.5), "n": np.int64(3)})
+        body = decode_json_body(frame[FRAME_HEADER_SIZE:])
+        assert body == {"value": 1.5, "n": 3}
+
+
+class TestArrayBodies:
+    def test_range_batch_roundtrip(self):
+        lows = np.array([1.0, 2.5, -3.0])
+        highs = np.array([2.0, 9.5, 4.0])
+        frame = encode_range_batch("orders", "amount", lows, highs, frame_id=11)
+        opcode, length = parse_frame_header(frame)
+        assert opcode == OP_ESTIMATE_BATCH
+        header, got_lows, got_highs = decode_range_batch(frame[FRAME_HEADER_SIZE:])
+        assert header["table"] == "orders"
+        assert header["column"] == "amount"
+        assert header["n"] == 3
+        assert header["id"] == 11
+        np.testing.assert_array_equal(got_lows, lows)
+        np.testing.assert_array_equal(got_highs, highs)
+
+    def test_distinct_opcode(self):
+        frame = encode_range_batch(
+            "t", "c", np.array([0.0]), np.array([1.0]), distinct=True
+        )
+        opcode, _ = parse_frame_header(frame)
+        assert opcode == OP_ESTIMATE_DISTINCT_BATCH
+
+    def test_decode_is_zero_copy(self):
+        lows = np.array([1.0, 2.0])
+        highs = np.array([3.0, 4.0])
+        frame = encode_range_batch("t", "c", lows, highs)
+        body = memoryview(frame)[FRAME_HEADER_SIZE:]
+        _, got_lows, _ = decode_range_batch(body)
+        # A frombuffer view, not a copy.
+        assert not got_lows.flags.owndata
+
+    def test_misaligned_endpoints_rejected(self):
+        with pytest.raises(ValueError):
+            encode_range_batch("t", "c", np.array([1.0]), np.array([1.0, 2.0]))
+
+    def test_payload_length_mismatch(self):
+        frame = encode_range_batch("t", "c", np.array([1.0]), np.array([2.0]))
+        with pytest.raises(FrameError) as err:
+            decode_range_batch(frame[FRAME_HEADER_SIZE:-8])
+        assert err.value.recoverable
+
+    def test_header_overrun(self):
+        body = struct.pack("<I", 1000) + b"{}"
+        with pytest.raises(FrameError) as err:
+            decode_range_batch(body)
+        assert err.value.recoverable
+
+    def test_body_too_short_for_header_length(self):
+        with pytest.raises(FrameError):
+            decode_range_batch(b"\x01")
+
+    def test_missing_n(self):
+        inner = b'{"table": "t", "column": "c"}'
+        body = struct.pack("<I", len(inner)) + inner
+        with pytest.raises(FrameError) as err:
+            decode_range_batch(body)
+        assert err.value.recoverable
+
+    def test_result_vector_roundtrip(self):
+        values = np.array([1.5, 0.0, 99.25])
+        frame = encode_result_vector(values, {"id": 4, "method": "histogram"})
+        opcode, _ = parse_frame_header(frame)
+        assert opcode == OP_RESULT_VECTOR
+        header, got = decode_result_vector(frame[FRAME_HEADER_SIZE:])
+        assert header["ok"] is True
+        assert header["id"] == 4
+        assert header["method"] == "histogram"
+        np.testing.assert_array_equal(got, values)
+
+    def test_result_vector_length_mismatch(self):
+        frame = encode_result_vector(np.array([1.0, 2.0]), {})
+        with pytest.raises(FrameError) as err:
+            decode_result_vector(frame[FRAME_HEADER_SIZE:-8])
+        assert err.value.recoverable
+
+
+class TestFuzz:
+    def test_random_bytes_never_hang_or_crash(self, rng):
+        """Arbitrary byte soup either parses or raises FrameError."""
+        for _ in range(200):
+            blob = rng.integers(0, 256, size=int(rng.integers(0, 64))).astype(
+                np.uint8
+            ).tobytes()
+            try:
+                opcode, length = parse_frame_header(blob)
+            except FrameError:
+                continue
+            assert 0 <= length <= MAX_FRAME_BYTES
+
+    def test_random_array_bodies(self, rng):
+        """Truncations/corruptions of a valid array body stay recoverable."""
+        frame = encode_range_batch(
+            "orders",
+            "amount",
+            rng.uniform(0, 100, 16),
+            rng.uniform(100, 200, 16),
+        )
+        body = bytearray(frame[FRAME_HEADER_SIZE:])
+        for _ in range(100):
+            mutated = bytearray(body)
+            cut = int(rng.integers(0, len(mutated)))
+            mutated = mutated[:cut] if rng.random() < 0.5 else mutated
+            if len(mutated) == len(body) and mutated:
+                mutated[int(rng.integers(0, len(mutated)))] ^= 0xFF
+            try:
+                decode_range_batch(bytes(mutated))
+            except FrameError:
+                pass

@@ -1,0 +1,313 @@
+"""Shared-memory plan lifecycle: pack/attach parity, publication,
+generation bumps, orphan sweeping, and worker-pool fan-out.
+
+Everything here runs against real ``multiprocessing.shared_memory``
+segments and real forked worker processes; the invariants are
+
+* an attached plan is numerically identical to the in-process one
+  (rtol 1e-9 -- in practice bit-identical, same tables, same code);
+* a republish under a new generation is visible to workers after
+  ``publish`` returns, and the old segment name disappears;
+* no segment outlives its owner: explicit close, server stop, and the
+  startup sweep all leave ``/dev/shm`` clean.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.service.config import ServiceConfig
+from repro.service.server import start_server_thread
+from repro.service.shm import (
+    SHM_PREFIX,
+    SharedPlanDirectory,
+    attach_plan,
+    attach_tables,
+    pack_tables,
+    sweep_orphan_segments,
+)
+from repro.service.workers import EstimatorWorkerPool, WorkerPoolError
+
+SHM_DIR = "/dev/shm"
+
+pytestmark = pytest.mark.skipif(
+    not os.path.isdir(SHM_DIR), reason="needs a POSIX shared-memory filesystem"
+)
+
+
+def shm_segments(prefix=SHM_PREFIX):
+    return [name for name in os.listdir(SHM_DIR) if name.startswith(prefix)]
+
+
+@pytest.fixture
+def plan(service):
+    compiled = service.store.plan("orders", "amount")
+    assert compiled is not None
+    return compiled
+
+
+class TestPackAttach:
+    def test_roundtrip(self, rng):
+        arrays = {
+            "cdf": rng.uniform(0, 1, 100),
+            "bounds": rng.integers(0, 50, 32).astype(np.float64),
+            "empty": np.array([], dtype=np.float64),
+        }
+        segment, layout = pack_tables(arrays, f"{SHM_PREFIX}-{os.getpid()}-abc0-999")
+        try:
+            attached = attach_tables(segment, layout)
+            assert set(attached) == set(arrays)
+            for key in arrays:
+                np.testing.assert_array_equal(attached[key], arrays[key])
+                if arrays[key].size:
+                    # A view over the segment, not a copy.
+                    assert not attached[key].flags.owndata
+        finally:
+            segment.close()
+            segment.unlink()
+
+    def test_export_from_tables_parity(self, plan, rng):
+        meta, arrays = plan.export_tables()
+        rebuilt = type(plan).from_tables(meta, arrays)
+        c1s = rng.integers(0, 100, 200).astype(np.float64)
+        c2s = c1s + rng.integers(1, 40, 200)
+        np.testing.assert_allclose(
+            rebuilt.estimate_batch(c1s, c2s),
+            plan.estimate_batch(c1s, c2s),
+            rtol=1e-9,
+        )
+
+    def test_attach_plan_parity(self, plan, rng):
+        with SharedPlanDirectory() as directory:
+            entry = directory.publish("orders", "amount", 1, plan)
+            attached, segment = attach_plan(entry)
+            try:
+                c1s = rng.integers(0, 100, 200).astype(np.float64)
+                c2s = c1s + rng.integers(1, 40, 200)
+                np.testing.assert_allclose(
+                    attached.estimate_batch(c1s, c2s),
+                    plan.estimate_batch(c1s, c2s),
+                    rtol=1e-9,
+                )
+                if plan.supports_distinct:
+                    np.testing.assert_allclose(
+                        attached.estimate_distinct_batch(c1s, c2s),
+                        plan.estimate_distinct_batch(c1s, c2s),
+                        rtol=1e-9,
+                    )
+            finally:
+                del attached  # drop views before closing the mapping
+                segment.close()
+
+
+class TestDirectory:
+    def test_publish_creates_and_close_unlinks(self, plan):
+        directory = SharedPlanDirectory()
+        entry = directory.publish("orders", "amount", 1, plan)
+        assert entry["name"] in shm_segments(directory.prefix)
+        directory.close()
+        assert shm_segments(directory.prefix) == []
+
+    def test_same_generation_is_noop(self, plan):
+        with SharedPlanDirectory() as directory:
+            first = directory.publish("orders", "amount", 1, plan)
+            second = directory.publish("orders", "amount", 1, plan)
+            assert first["name"] == second["name"]
+            assert len(shm_segments(directory.prefix)) == 1
+
+    def test_generation_bump_swaps_segment(self, plan):
+        with SharedPlanDirectory() as directory:
+            old = directory.publish("orders", "amount", 1, plan)
+            # A worker still attached to the old generation keeps a
+            # valid mapping across the republish (create-then-unlink).
+            attached, segment = attach_plan(old)
+            new = directory.publish("orders", "amount", 2, plan)
+            assert new["name"] != old["name"]
+            names = shm_segments(directory.prefix)
+            assert new["name"] in names
+            assert old["name"] not in names  # unlinked
+            assert float(attached.estimate(1.0, 5.0)) >= 0.0  # still readable
+            del attached
+            segment.close()
+            assert directory.generation("orders", "amount") == 2
+
+    def test_drop(self, plan):
+        with SharedPlanDirectory() as directory:
+            directory.publish("orders", "amount", 1, plan)
+            directory.drop("orders", "amount")
+            assert shm_segments(directory.prefix) == []
+            assert directory.manifest() == []
+
+    def test_publish_after_close_raises(self, plan):
+        directory = SharedPlanDirectory()
+        directory.close()
+        with pytest.raises(RuntimeError):
+            directory.publish("orders", "amount", 1, plan)
+
+
+class TestOrphanSweep:
+    def test_dead_pid_swept_live_pid_kept(self, plan):
+        from multiprocessing import shared_memory
+
+        dead_name = f"{SHM_PREFIX}-999999999-deadbeef-1"
+        orphan = shared_memory.SharedMemory(name=dead_name, create=True, size=64)
+        orphan.close()
+        with SharedPlanDirectory() as directory:
+            live = directory.publish("orders", "amount", 1, plan)
+            removed = sweep_orphan_segments()
+            assert dead_name in removed
+            assert dead_name not in shm_segments()
+            assert live["name"] in shm_segments(directory.prefix)
+
+    def test_foreign_names_untouched(self):
+        from multiprocessing import shared_memory
+
+        foreign = shared_memory.SharedMemory(create=True, size=64)
+        try:
+            removed = sweep_orphan_segments()
+            assert foreign.name.lstrip("/") not in removed
+        finally:
+            foreign.close()
+            foreign.unlink()
+
+
+class TestWorkerPool:
+    def test_pool_parity_rtol_1e9(self, service, plan, rng):
+        with SharedPlanDirectory() as directory:
+            generation = service.store.generation("orders", "amount")
+            entry = directory.publish("orders", "amount", generation, plan)
+            with EstimatorWorkerPool(2) as pool:
+                pool.publish([entry])
+                assert pool.serves("orders", "amount")
+                assert pool.served_generation("orders", "amount") == generation
+                c1s = rng.integers(0, 100, 500).astype(np.float64)
+                c2s = c1s + rng.integers(1, 40, 500)
+                for _ in range(4):  # hit both workers round-robin
+                    np.testing.assert_allclose(
+                        pool.estimate("orders", "amount", c1s, c2s),
+                        plan.estimate_batch(c1s, c2s),
+                        rtol=1e-9,
+                    )
+                if plan.supports_distinct:
+                    np.testing.assert_allclose(
+                        pool.estimate("orders", "amount", c1s, c2s, distinct=True),
+                        plan.estimate_distinct_batch(c1s, c2s),
+                        rtol=1e-9,
+                    )
+
+    def test_workers_follow_generation_bump(self, service, plan):
+        with SharedPlanDirectory() as directory:
+            entry = directory.publish("orders", "amount", 1, plan)
+            with EstimatorWorkerPool(2) as pool:
+                pool.publish([entry])
+                before = pool.estimate(
+                    "orders", "amount", np.array([5.0]), np.array([20.0])
+                )
+                bumped = directory.publish("orders", "amount", 2, plan)
+                pool.publish([bumped])  # blocks until every worker re-attached
+                assert pool.served_generation("orders", "amount") == 2
+                after = pool.estimate(
+                    "orders", "amount", np.array([5.0]), np.array([20.0])
+                )
+                np.testing.assert_allclose(after, before, rtol=1e-9)
+                # The old segment is gone even though workers had it mapped.
+                assert entry["name"] not in shm_segments(directory.prefix)
+
+    def test_unknown_key_raises_pool_error(self, service, plan):
+        with SharedPlanDirectory() as directory:
+            entry = directory.publish("orders", "amount", 1, plan)
+            with EstimatorWorkerPool(1) as pool:
+                pool.publish([entry])
+                with pytest.raises(WorkerPoolError):
+                    pool.estimate(
+                        "orders", "region", np.array([0.0]), np.array([1.0])
+                    )
+
+    def test_stopped_pool_raises(self):
+        pool = EstimatorWorkerPool(1)
+        with pytest.raises(WorkerPoolError):
+            pool.estimate("t", "c", np.array([0.0]), np.array([1.0]))
+
+
+class TestServerFanout:
+    @pytest.fixture
+    def fanned_out(self, service):
+        handle = start_server_thread(
+            service,
+            config=ServiceConfig(handler_threads=2, estimator_workers=2),
+        )
+        yield handle, service
+        handle.stop()
+
+    def test_pool_serves_and_matches_in_process(self, fanned_out, rng):
+        handle, service = fanned_out
+        lows = rng.integers(1, 200, 64).astype(float)
+        highs = lows + rng.integers(1, 100, 64)
+        pooled, _ = service.estimate_range_array("orders", "amount", lows, highs)
+        assert service.metrics.counter("worker_batches") >= 1
+        # Force the in-process path for the same query.
+        backend, service.array_backend = service.array_backend, None
+        try:
+            local, _ = service.estimate_range_array("orders", "amount", lows, highs)
+        finally:
+            service.array_backend = backend
+        np.testing.assert_allclose(pooled, local, rtol=1e-9)
+
+    def test_store_put_republishes(self, fanned_out):
+        handle, service = fanned_out
+        server = handle.server
+        generation = service.store.generation("orders", "amount")
+        histogram = service.store.get("orders", "amount")
+        new_generation = service.store.put("orders", "amount", histogram)
+        assert new_generation > generation
+        # The store listener republished synchronously; the pool now
+        # serves the new generation and routing stays on the pool.
+        assert (
+            server._pool.served_generation("orders", "amount") == new_generation
+        )
+        before = service.metrics.counter("worker_batches")
+        service.estimate_range_array(
+            "orders", "amount", np.array([1.0]), np.array([50.0])
+        )
+        assert service.metrics.counter("worker_batches") == before + 1
+
+    def test_worker_pool_error_falls_back(self, fanned_out):
+        handle, service = fanned_out
+
+        def exploding_backend(table, column, c1s, c2s, distinct):
+            raise WorkerPoolError("injected")
+
+        backend, service.array_backend = service.array_backend, exploding_backend
+        try:
+            values, _ = service.estimate_range_array(
+                "orders", "amount", np.array([1.0]), np.array([50.0])
+            )
+        finally:
+            service.array_backend = backend
+        assert service.metrics.counter("worker_fallbacks") == 1
+        assert values[0] > 0  # answered by the in-process fallback
+
+    def test_stop_leaves_no_segments(self, service):
+        handle = start_server_thread(
+            service, config=ServiceConfig(estimator_workers=2)
+        )
+        prefix = handle.server._plans.prefix
+        assert shm_segments(prefix)  # published at startup
+        handle.stop()
+        assert shm_segments(prefix) == []
+
+    def test_startup_sweeps_orphans(self, service):
+        from multiprocessing import shared_memory
+
+        dead_name = f"{SHM_PREFIX}-999999998-cafebabe-1"
+        orphan = shared_memory.SharedMemory(name=dead_name, create=True, size=64)
+        orphan.close()
+        handle = start_server_thread(
+            service, config=ServiceConfig(estimator_workers=1)
+        )
+        try:
+            assert dead_name not in shm_segments()
+            assert service.metrics.counter("shm_orphans_swept") >= 1
+        finally:
+            handle.stop()
