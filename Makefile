@@ -5,7 +5,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint-artifacts smoke bench-estimation bench-obs bench-wire
+.PHONY: test lint-artifacts smoke bench-estimation bench-obs bench-wire bench-fleet
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -32,6 +32,14 @@ bench-obs:
 	REPRO_BENCH_ASSERT_OVERHEAD=1 $(PYTHON) -m pytest -x -q \
 		benchmarks/test_obs_overhead.py
 
+# Fleet scale-out guard: 4 process shards must move >= 2.5x the
+# predicates/sec of a single node -- armed on machines with >= 4
+# effective cores; on smaller boxes only a time-slicing sanity floor
+# applies (the benchmark is core-aware).  Writes BENCH_fleet.json.
+bench-fleet:
+	REPRO_BENCH_ASSERT_FLEET=1 $(PYTHON) -m pytest -x -q \
+		benchmarks/test_fleet_throughput.py
+
 lint-artifacts:
 	@bad=$$(git ls-files | grep -E '__pycache__|\.pyc$$' || true); \
 	if [ -n "$$bad" ]; then \
@@ -41,4 +49,4 @@ lint-artifacts:
 	fi; \
 	echo "lint-artifacts: ok (no tracked __pycache__/*.pyc)"
 
-smoke: lint-artifacts test bench-obs bench-wire
+smoke: lint-artifacts test bench-obs bench-wire bench-fleet

@@ -1,0 +1,181 @@
+"""Fleet scale-out: 4-shard throughput vs a single node.
+
+The acceptance bar is a >= 2.5x predicates/sec gain from sharding the
+store four ways (process mode: real processes, real cores).  That bar
+only makes physical sense when the machine *has* cores to scale onto,
+so the floor is core-aware:
+
+* >= 4 effective cores: the 2.5x floor arms under
+  ``REPRO_BENCH_ASSERT_FLEET=1`` (the ``make smoke`` setting);
+* fewer cores: the same benchmark still runs and records its numbers
+  (the trajectory stays diffable across machines), but only a sanity
+  floor is asserted -- four shards time-slicing one core cannot beat
+  parallel hardware, and pretending otherwise would make the bench red
+  on every small container.
+
+``BENCH_fleet.json`` records both throughputs, the speedup, the core
+count, and which floor was armed.
+"""
+
+import os
+import threading
+import time
+
+import numpy as np
+
+from repro.dictionary.column import DictionaryEncodedColumn
+from repro.dictionary.table import Table
+from repro.experiments.report import format_table
+from repro.service.fleet import FleetConfig, FleetSupervisor
+
+ASSERT_FLEET = os.environ.get("REPRO_BENCH_ASSERT_FLEET", "") == "1"
+FULL = os.environ.get("REPRO_BENCH_FULL", "") == "1"
+
+N_ROWS = 50_000 if FULL else 4_000
+N_BATCHES = 120 if FULL else 24
+BATCH_SIZE = 64
+N_WORKERS = 8
+COLUMNS = ("amount", "region", "price", "quantity")
+
+SPEEDUP_FLOOR = 2.5  # the acceptance bar, armed on >= 4 cores
+SANITY_FLOOR = 0.25  # time-slicing overhead bound for starved machines
+
+
+def _effective_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
+
+
+def _bench_table() -> Table:
+    rng = np.random.default_rng(7)
+    table = Table("bench")
+    table.add_column(
+        DictionaryEncodedColumn.from_values(
+            rng.zipf(1.4, size=N_ROWS).clip(max=2_000), name="amount"
+        )
+    )
+    table.add_column(
+        DictionaryEncodedColumn.from_values(
+            rng.integers(0, 1_000, size=N_ROWS), name="region"
+        )
+    )
+    table.add_column(
+        DictionaryEncodedColumn.from_values(
+            np.round(rng.lognormal(3.0, 1.0, size=N_ROWS), 2), name="price"
+        )
+    )
+    table.add_column(
+        DictionaryEncodedColumn.from_values(
+            rng.integers(0, 800, size=N_ROWS), name="quantity"
+        )
+    )
+    return table
+
+
+def _throughput(supervisor: FleetSupervisor) -> float:
+    """Predicates/sec from ``N_WORKERS`` concurrent routing clients."""
+    barrier = threading.Barrier(N_WORKERS + 1)
+    failures = []
+
+    def run(worker: int) -> None:
+        rng = np.random.default_rng(worker)
+        column = COLUMNS[worker % len(COLUMNS)]
+        with supervisor.client() as client:
+            client.estimate_range("bench", column, 1, 10)  # warm off the clock
+            barrier.wait()
+            for _ in range(N_BATCHES):
+                lows = rng.uniform(1, 700, size=BATCH_SIZE)
+                values = client.estimate_range_batch(
+                    "bench", column, lows, lows + 100
+                )
+                if not np.all(np.isfinite(values)):
+                    failures.append(column)
+
+    threads = [
+        threading.Thread(target=run, args=(worker,)) for worker in range(N_WORKERS)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    start = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - start
+    assert not failures
+    return (N_WORKERS * N_BATCHES * BATCH_SIZE) / elapsed
+
+
+def _fleet(tmp_path, table: Table, shards: int) -> FleetSupervisor:
+    return FleetSupervisor(
+        tmp_path / f"fleet-{shards}",
+        [table],
+        FleetConfig(
+            shards=shards,
+            replication=min(2, shards),
+            mode="process",
+            seed=7,
+            heartbeat_interval=0.0,
+        ),
+    ).start()
+
+
+def test_fleet_throughput(tmp_path, emit, emit_json):
+    table = _bench_table()
+    cores = _effective_cores()
+    armed = ASSERT_FLEET and cores >= 4
+    floor = SPEEDUP_FLOOR if cores >= 4 else SANITY_FLOOR
+
+    single = _fleet(tmp_path, table, shards=1)
+    try:
+        single_rps = _throughput(single)
+    finally:
+        single.stop()
+
+    fleet = _fleet(tmp_path, table, shards=4)
+    try:
+        fleet_rps = _throughput(fleet)
+        status = fleet.fleet_status()
+        assert status["shards_up"] == 4
+        assert status["errors"] == {}
+    finally:
+        fleet.stop()
+
+    speedup = fleet_rps / single_rps
+    emit(
+        "fleet_throughput",
+        format_table(
+            ["deployment", "predicates/sec", "speedup"],
+            [
+                ["1 shard", f"{single_rps:,.0f}", "1.0x"],
+                ["4 shards", f"{fleet_rps:,.0f}", f"{speedup:.2f}x"],
+            ],
+        )
+        + f"\ncores={cores} floor={floor} armed={armed}",
+    )
+    emit_json(
+        "fleet",
+        {
+            "scale_out": {
+                "n_predicates": int(N_WORKERS * N_BATCHES * BATCH_SIZE),
+                "workers": N_WORKERS,
+                "single_node_per_second": single_rps,
+                "fleet_4_per_second": fleet_rps,
+                "speedup": speedup,
+                "cores": cores,
+                "floor": floor,
+                "armed": armed,
+            }
+        },
+    )
+
+    if armed:
+        assert speedup >= SPEEDUP_FLOOR, (
+            f"fleet scale-out regressed: {speedup:.2f}x < {SPEEDUP_FLOOR}x floor"
+        )
+    else:
+        assert speedup >= SANITY_FLOOR, (
+            f"fleet overhead pathological: {speedup:.2f}x < {SANITY_FLOOR}x "
+            f"sanity floor on {cores} core(s)"
+        )

@@ -382,6 +382,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         estimator_workers=args.workers,
         transport=args.transport,
         max_inflight=args.max_inflight,
+        drain_grace=args.drain_grace,
     )
     server = StatisticsServer(
         service, host=args.host, port=args.port, config=runtime
@@ -490,6 +491,81 @@ def _cmd_query(args: argparse.Namespace) -> int:
                 args.table, args.column, args.low, args.high
             )
             print(f"{estimate.value:.6g} ({estimate.method})")
+    return 0
+
+
+def _cmd_fleet_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
+    from repro.service.fleet import FleetConfig, FleetSupervisor
+
+    table = _load_table(Path(args.input), args.table)
+    config = FleetConfig(
+        shards=args.shards,
+        replication=args.replication,
+        host=args.host,
+        mode=args.mode,
+        handler_threads=args.handler_threads,
+        estimator_workers=args.workers,
+        drain_grace=args.drain_grace,
+        kind=args.kind,
+        seed=args.seed,
+        heartbeat_interval=args.heartbeat_interval,
+        cold_start=not args.no_cold_start,
+        sample_rate=args.sample_rate,
+        control_port=args.control_port,
+    )
+    supervisor = FleetSupervisor(Path(args.catalog), [table], config)
+    supervisor.start()
+    host, port = supervisor.control_address
+    # Flush so wrappers watching a pipe see the addresses immediately.
+    print(f"fleet control on {host}:{port}", flush=True)
+    for shard_id, (shard_host, shard_port) in sorted(supervisor.addresses().items()):
+        print(f"  shard {shard_id} on {shard_host}:{shard_port}", flush=True)
+    stop_requested = threading.Event()
+
+    def _stop(signum, frame) -> None:  # noqa: ARG001 - signal signature
+        stop_requested.set()
+
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            signal.signal(signum, _stop)
+        except (OSError, ValueError):
+            pass
+    try:
+        stop_requested.wait()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        print("shutting down fleet", flush=True)
+        supervisor.stop()
+    return 0
+
+
+def _cmd_fleet_status(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service.client import StatisticsClient
+    from repro.service.export import render_fleet_prometheus
+
+    host, port = _parse_address(args.address)
+    with StatisticsClient(host, port, timeout=args.timeout) as client:
+        status = client.call("fleet-status")["status"]
+    if args.prometheus:
+        print(render_fleet_prometheus(status), end="")
+    else:
+        print(json.dumps(status, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_fleet_query(args: argparse.Namespace) -> int:
+    from repro.service.fleet import FleetClient
+
+    host, port = _parse_address(args.address)
+    with FleetClient.from_supervisor(host, port, timeout=args.timeout) as client:
+        estimate = client.estimate_range(args.table, args.column, args.low, args.high)
+        print(f"{estimate.value:.6g} ({estimate.method})")
     return 0
 
 
@@ -619,6 +695,10 @@ def _build_parser() -> argparse.ArgumentParser:
         help="per-connection cap on concurrently served binary frames",
     )
     serve.add_argument(
+        "--drain-grace", type=float, default=5.0,
+        help="seconds to wait for in-flight requests on SIGTERM/SIGINT",
+    )
+    serve.add_argument(
         "--cache-capacity", type=int, default=128,
         help="LRU capacity of the serving store",
     )
@@ -682,6 +762,82 @@ def _build_parser() -> argparse.ArgumentParser:
         help="socket timeout, seconds (connect and each response)",
     )
     query.set_defaults(func=_cmd_query)
+
+    fleet = sub.add_parser(
+        "fleet", help="run or inspect a sharded statistics fleet"
+    )
+    fleet_sub = fleet.add_subparsers(dest="fleet_command", required=True)
+
+    fleet_serve = fleet_sub.add_parser(
+        "serve",
+        help="shard one table across N statistics servers with a control port",
+    )
+    fleet_serve.add_argument("input", help="directory of column files (or a single file)")
+    fleet_serve.add_argument("catalog", help="root directory for per-shard catalogs")
+    fleet_serve.add_argument("--table", default="table", help="table name to serve")
+    fleet_serve.add_argument("--shards", type=int, default=4)
+    fleet_serve.add_argument(
+        "--replication", type=int, default=2,
+        help="rendezvous owners per histogram-worthy column",
+    )
+    fleet_serve.add_argument("--host", default="127.0.0.1")
+    fleet_serve.add_argument(
+        "--control-port", type=int, default=0,
+        help="fleet control port (0 picks an ephemeral port)",
+    )
+    fleet_serve.add_argument(
+        "--mode", default="process", choices=("process", "thread"),
+        help="shard isolation (process = one OS process per shard)",
+    )
+    fleet_serve.add_argument("--kind", default="V8DincB", choices=HISTOGRAM_KINDS)
+    fleet_serve.add_argument("--seed", type=int, default=None)
+    fleet_serve.add_argument(
+        "--workers", type=int, default=0,
+        help="estimator worker processes per shard",
+    )
+    fleet_serve.add_argument(
+        "--handler-threads", type=int, default=4,
+        help="request handler threads per shard",
+    )
+    fleet_serve.add_argument(
+        "--drain-grace", type=float, default=5.0,
+        help="per-shard in-flight drain window on shutdown, seconds",
+    )
+    fleet_serve.add_argument(
+        "--heartbeat-interval", type=float, default=0.5,
+        help="supervisor liveness poll period, seconds (0 disables restarts)",
+    )
+    fleet_serve.add_argument(
+        "--sample-rate", type=float, default=0.1,
+        help="row sampling rate for cold-started replacement shards",
+    )
+    fleet_serve.add_argument(
+        "--no-cold-start", action="store_true",
+        help="restart shards with full histogram rebuilds (no sampled stand-in)",
+    )
+    fleet_serve.set_defaults(func=_cmd_fleet_serve)
+
+    fleet_status = fleet_sub.add_parser(
+        "status", help="merged cluster-wide status from the fleet control port"
+    )
+    fleet_status.add_argument("address", help="host:port of the fleet control port")
+    fleet_status.add_argument(
+        "--prometheus", action="store_true",
+        help="render one cluster-wide Prometheus exposition with shard labels",
+    )
+    fleet_status.add_argument("--timeout", type=float, default=10.0)
+    fleet_status.set_defaults(func=_cmd_fleet_status)
+
+    fleet_query = fleet_sub.add_parser(
+        "query", help="route one range estimate through the fleet client"
+    )
+    fleet_query.add_argument("address", help="host:port of the fleet control port")
+    fleet_query.add_argument("low", type=float)
+    fleet_query.add_argument("high", type=float)
+    fleet_query.add_argument("--table", required=True)
+    fleet_query.add_argument("--column", required=True)
+    fleet_query.add_argument("--timeout", type=float, default=10.0)
+    fleet_query.set_defaults(func=_cmd_fleet_query)
 
     return parser
 

@@ -13,6 +13,18 @@ This is the latency/q-error distribution store behind
 :class:`repro.service.metrics.ServiceMetrics` and the drift detector:
 the metrics layer inherits the exact guarantee it is monitoring.
 Everything is stdlib-only; one :func:`math.log` per recorded value.
+
+The grid also makes the histogram a *mergeable* aggregate: two
+histograms on the same ``(base, min_value, max_value)`` grid have
+identical cell boundaries, so :meth:`QuantileHistogram.merge` adds their
+counts cell by cell and the merged quantiles are exactly the quantiles
+of the pooled observation stream -- still within the ``sqrt(base)``
+q-error bound.  Nothing is approximated by merging; only *different*
+grids are rejected (loudly), because their cells do not line up and any
+re-binning would silently void the bound.  :meth:`to_wire` /
+:meth:`from_wire` round-trip the full mergeable state through JSON, so
+per-shard telemetry can cross the wire and be folded into one
+fleet-wide distribution.
 """
 
 from __future__ import annotations
@@ -134,6 +146,130 @@ class QuantileHistogram:
                 self._min = value
             if value > self._max:
                 self._max = value
+
+    # -- merging -----------------------------------------------------------
+
+    def grid(self) -> Tuple[float, float, float]:
+        """The q-compression grid identity: ``(base, min_value, max_value)``.
+
+        Two histograms merge exactly iff their grids compare equal --
+        equal floats mean identical cell boundaries, so counts add.
+        """
+        return (self.base, self.min_value, self.max_value)
+
+    def merge(self, other: "QuantileHistogram") -> "QuantileHistogram":
+        """Fold ``other``'s observations into this histogram, exactly.
+
+        Same-grid histograms have identical cell boundaries, so the
+        merged counts are exactly the counts of the concatenated
+        observation stream and every reported quantile keeps the
+        ``sqrt(base)`` q-error bound.  Histograms on *different* grids
+        are rejected with :class:`ValueError` -- their cells do not line
+        up, and re-binning would silently void the bound.
+        """
+        if not isinstance(other, QuantileHistogram):
+            raise TypeError(
+                f"can only merge QuantileHistogram, got {type(other).__name__}"
+            )
+        if other.grid() != self.grid():
+            raise ValueError(
+                "cannot merge QuantileHistograms on different q-compression "
+                f"grids: {self.grid()} vs {other.grid()} -- counts only add "
+                "exactly when the cell boundaries are identical"
+            )
+        # Copy the other side under its own lock first (never nested
+        # with ours, so shared or distinct locks are both safe).
+        with other._lock:
+            counts = list(other._counts)
+            count = other._count
+            total = other._sum
+            low, high = other._min, other._max
+        with self._lock:
+            for code, cell in enumerate(counts):
+                if cell:
+                    self._counts[code] += cell
+            self._count += count
+            self._sum += total
+            if low < self._min:
+                self._min = low
+            if high > self._max:
+                self._max = high
+        return self
+
+    @classmethod
+    def merged(cls, histograms) -> "QuantileHistogram":
+        """A fresh histogram holding the union of several same-grid ones."""
+        histograms = list(histograms)
+        if not histograms:
+            raise ValueError("merged() needs at least one histogram")
+        base, min_value, max_value = histograms[0].grid()
+        out = cls(base=base, min_value=min_value, max_value=max_value)
+        for histogram in histograms:
+            out.merge(histogram)
+        return out
+
+    def to_wire(self) -> Dict[str, object]:
+        """The complete mergeable state as JSON-compatible data.
+
+        Carries the grid identity plus sparse per-cell counts, so
+        :meth:`from_wire` on the far side reconstructs a histogram that
+        merges exactly -- this is how per-shard latency/drift
+        distributions travel to a fleet aggregator.
+        """
+        with self._lock:
+            return {
+                "grid": {
+                    "base": self.base,
+                    "min_value": self.min_value,
+                    "max_value": self.max_value,
+                },
+                "codes": [
+                    [code, cell] for code, cell in enumerate(self._counts) if cell
+                ],
+                "count": self._count,
+                "sum": self._sum,
+                "min": self._min if self._count else None,
+                "max": self._max,
+            }
+
+    @classmethod
+    def from_wire(
+        cls, payload: Dict[str, object], lock: Optional[threading.Lock] = None
+    ) -> "QuantileHistogram":
+        """Rebuild a histogram from :meth:`to_wire` data (exact)."""
+        grid = payload.get("grid")
+        if not isinstance(grid, dict):
+            raise ValueError("wire payload is missing its 'grid'")
+        histogram = cls(
+            base=float(grid["base"]),
+            min_value=float(grid["min_value"]),
+            max_value=float(grid["max_value"]),
+            lock=lock,
+        )
+        count = 0
+        for code, cell in payload.get("codes") or []:
+            code, cell = int(code), int(cell)
+            if not 0 <= code < len(histogram._counts):
+                raise ValueError(
+                    f"wire payload cell {code} is outside the grid's "
+                    f"{len(histogram._counts)} cells"
+                )
+            if cell < 0:
+                raise ValueError(f"negative cell count {cell} at code {code}")
+            histogram._counts[code] += cell
+            count += cell
+        declared = int(payload.get("count") or 0)
+        if declared != count:
+            raise ValueError(
+                f"wire payload declares {declared} observations but its "
+                f"cells hold {count}"
+            )
+        histogram._count = count
+        histogram._sum = float(payload.get("sum") or 0.0)
+        minimum = payload.get("min")
+        histogram._min = float(minimum) if minimum is not None else math.inf
+        histogram._max = float(payload.get("max") or 0.0)
+        return histogram
 
     # -- reading -----------------------------------------------------------
 

@@ -33,7 +33,26 @@ from repro.query.predicates import (
     RangePredicate,
 )
 
-__all__ = ["CardinalityEstimator", "CardinalityEstimate", "JointStatistics"]
+__all__ = [
+    "CardinalityEstimator",
+    "CardinalityEstimate",
+    "JointStatistics",
+    "method_of",
+]
+
+
+def method_of(stats) -> str:
+    """The method label of a statistics object's answers.
+
+    Statistics may advertise an explicit ``method_label`` (the sampled
+    cold-start estimator reports ``"sample"`` so callers can see its
+    weaker certificate); otherwise the label falls out of
+    ``is_exact``.
+    """
+    label = getattr(stats, "method_label", None)
+    if label:
+        return str(label)
+    return "exact" if stats.is_exact else "histogram"
 
 
 @dataclass(frozen=True)
@@ -174,7 +193,7 @@ class CardinalityEstimator:
             with trace.span(f"column[{name}]") as span:
                 span.count("predicates", len(entries))
                 stats = self.manager.statistics(self.table.name, name)
-                method = "exact" if stats.is_exact else "histogram"
+                method = method_of(stats)
                 batch = getattr(stats, batch_method, None)
                 if batch is not None:
                     c1s = np.asarray([c1 for _, c1, _ in entries], dtype=np.float64)
@@ -205,7 +224,7 @@ class CardinalityEstimator:
             return CardinalityEstimate(0.0, "exact")
         stats = self.manager.statistics(self.table.name, name)
         value = stats.estimate_range(c1, c2)
-        return CardinalityEstimate(value, "exact" if stats.is_exact else "histogram")
+        return CardinalityEstimate(value, method_of(stats))
 
     def _estimate_conjunction(self, predicate: AndPredicate) -> CardinalityEstimate:
         columns = predicate.columns()

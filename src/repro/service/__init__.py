@@ -27,17 +27,28 @@ reproduction:
 * :mod:`~repro.service.drift` -- observed-vs-estimated q-error tracking
   from ``feedback`` requests, feeding priority rebuilds;
 * :mod:`~repro.service.export` -- Prometheus text-format rendering of
-  the metrics snapshot.
+  the metrics snapshot (single-node and fleet-wide);
+* :mod:`~repro.service.fleet` -- the distributed layer: rendezvous
+  sharding, the routing client with replica failover, the shard
+  supervisor and exactly-merged cross-shard telemetry.
 """
 
 from repro.service.client import (
     BinaryStatisticsClient,
     ServiceError,
+    ServiceUnavailableError,
     StatisticsClient,
 )
 from repro.service.config import ServiceConfig
 from repro.service.drift import ColumnDrift, DriftTracker
-from repro.service.export import render_prometheus
+from repro.service.export import render_fleet_prometheus, render_prometheus
+from repro.service.fleet import (
+    FleetClient,
+    FleetConfig,
+    FleetSupervisor,
+    FleetTopology,
+    FleetUnavailableError,
+)
 from repro.service.frames import FrameError
 from repro.service.metrics import ServiceMetrics
 from repro.service.refresh import ColumnRegister, MaintenanceRegistry, RefreshScheduler
@@ -59,12 +70,18 @@ __all__ = [
     "DriftTracker",
     "EstimatorWorkerPool",
     "EventLog",
+    "FleetClient",
+    "FleetConfig",
+    "FleetSupervisor",
+    "FleetTopology",
+    "FleetUnavailableError",
     "FrameError",
     "MaintenanceRegistry",
     "NULL_TELEMETRY",
     "RefreshScheduler",
     "ServiceConfig",
     "ServiceError",
+    "ServiceUnavailableError",
     "ServiceMetrics",
     "ServiceTelemetry",
     "SharedPlanDirectory",
@@ -74,6 +91,7 @@ __all__ = [
     "StatisticsService",
     "StatisticsStore",
     "WorkerPoolError",
+    "render_fleet_prometheus",
     "render_prometheus",
     "start_server_thread",
     "sweep_orphan_segments",

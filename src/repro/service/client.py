@@ -9,11 +9,19 @@ path where a batch of range predicates is two raw float64 buffers
 instead of a list of JSON objects.
 
 Both clients own a single socket and reuse one receive buffer across
-responses -- no per-response allocation churn.  Transport problems
-raise ``OSError``; a connection the server closes mid-response raises
-:class:`ConnectionError` immediately (never a silent hang on a torn
-read); the server's structured failures raise :class:`ServiceError`
-with the server-side message.
+responses -- no per-response allocation churn.  The failure taxonomy is
+typed so callers can route on it:
+
+* :class:`ServiceUnavailableError` -- the *server* is gone: connection
+  refused or reset, or the peer closed the socket (cleanly or
+  mid-response).  It is marked ``retryable``: the request never reached
+  a decision, so a router (e.g. the fleet client) may fail the same
+  request over to a replica.
+* :class:`ConnectionError` / ``OSError`` -- a protocol-level problem on
+  a live connection (desynchronized frames, mismatched ids).  Not
+  retryable blind: something is wrong with the conversation itself.
+* :class:`ServiceError` -- the server answered ``{"ok": false}``; the
+  request was received and deliberately rejected.
 """
 
 from __future__ import annotations
@@ -48,13 +56,48 @@ from repro.service.protocol import (
     predicates_to_wire,
 )
 
-__all__ = ["BinaryStatisticsClient", "ServiceError", "StatisticsClient"]
+__all__ = [
+    "BinaryStatisticsClient",
+    "ServiceError",
+    "ServiceUnavailableError",
+    "StatisticsClient",
+]
 
 _RECV_CHUNK = 1 << 16
 
 
 class ServiceError(RuntimeError):
     """The server answered ``{"ok": false, ...}``."""
+
+
+class ServiceUnavailableError(ConnectionError):
+    """The server cannot be reached or vanished mid-conversation.
+
+    Raised on connection refused/reset and on a peer close (clean or
+    torn).  Subclasses :class:`ConnectionError`, so existing handlers
+    keep working; the distinguishing mark is ``retryable``: the request
+    reached no decision, so a routing layer may retry it verbatim
+    against a replica without risking a duplicated side effect on *this*
+    server.
+    """
+
+    retryable = True
+
+
+#: Transport failures that mean "the server is gone", not "the
+#: conversation is broken".  ``ConnectionError`` covers refused, reset
+#: and aborted; the clients re-raise these as ServiceUnavailableError.
+_GONE = (ConnectionRefusedError, ConnectionResetError, ConnectionAbortedError, BrokenPipeError)
+
+
+def _connect(host: str, port: int, timeout: float) -> socket.socket:
+    """``create_connection`` with refused/reset typed as unavailable."""
+    try:
+        return socket.create_connection((host, port), timeout=timeout)
+    except _GONE as error:
+        raise ServiceUnavailableError(
+            f"statistics server at {host}:{port} is unavailable: {error}"
+        ) from error
 
 
 class _ServiceOps:
@@ -189,7 +232,7 @@ class StatisticsClient(_ServiceOps):
     """
 
     def __init__(self, host: str, port: int, timeout: float = 10.0) -> None:
-        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._sock = _connect(host, port, timeout)
         self._rx = bytearray()  # reused across every response
         self._request_id = 0
 
@@ -202,10 +245,10 @@ class StatisticsClient(_ServiceOps):
     def _read_line(self) -> bytes:
         """One response line from the reused receive buffer.
 
-        A clean close between responses raises ``ConnectionError``
-        ("closed the connection"); a close *mid-response* -- buffered
-        bytes but no terminator -- is distinguished so a torn response
-        is an immediate error, never a hang or a half-parsed line.
+        A vanished server -- clean close, mid-response close, or a
+        reset -- raises :class:`ServiceUnavailableError` immediately
+        (never a silent hang on a torn read), so a routing layer can
+        fail the request over to a replica.
         """
         rx = self._rx
         while True:
@@ -214,16 +257,22 @@ class StatisticsClient(_ServiceOps):
                 line = bytes(rx[: index + 1])
                 del rx[: index + 1]
                 return line
-            chunk = self._sock.recv(_RECV_CHUNK)
+            try:
+                chunk = self._sock.recv(_RECV_CHUNK)
+            except _GONE as error:
+                rx.clear()
+                raise ServiceUnavailableError(
+                    f"connection to the server was reset: {error}"
+                ) from error
             if not chunk:
                 if rx:
                     partial = len(rx)
                     rx.clear()
-                    raise ConnectionError(
+                    raise ServiceUnavailableError(
                         "server closed the connection mid-response "
                         f"({partial} bytes of an unterminated line)"
                     )
-                raise ConnectionError("server closed the connection")
+                raise ServiceUnavailableError("server closed the connection")
             rx.extend(chunk)
 
     def call(
@@ -245,7 +294,12 @@ class StatisticsClient(_ServiceOps):
             "request_id": request_id,
             **fields,
         }
-        self._sock.sendall(encode_line(request))
+        try:
+            self._sock.sendall(encode_line(request))
+        except _GONE as error:
+            raise ServiceUnavailableError(
+                f"connection to the server was lost: {error}"
+            ) from error
         response = decode_line(self._read_line())
         if not response.get("ok"):
             message = response.get("error", "unknown server error")
@@ -280,7 +334,7 @@ class BinaryStatisticsClient(_ServiceOps):
     """
 
     def __init__(self, host: str, port: int, timeout: float = 10.0) -> None:
-        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._sock = _connect(host, port, timeout)
         self._rx = bytearray(FRAME_HEADER_SIZE)  # grows to the largest frame
         self._request_id = 0
         self.server_info: Dict[str, Any] = {}
@@ -293,7 +347,7 @@ class BinaryStatisticsClient(_ServiceOps):
     # -- plumbing ---------------------------------------------------------
 
     def _hello(self) -> None:
-        self._sock.sendall(encode_json_frame({}, opcode=OP_HELLO))
+        self._send(encode_json_frame({}, opcode=OP_HELLO))
         opcode, body = self._read_frame()
         if opcode == OP_ERROR:
             raise ServiceError(str(decode_json_body(body).get("error")))
@@ -305,7 +359,8 @@ class BinaryStatisticsClient(_ServiceOps):
 
     def _read_exact(self, n: int) -> memoryview:
         """``n`` bytes into the reused buffer; a view, valid until the
-        next read.  EOF mid-read is an immediate ``ConnectionError``.
+        next read.  EOF mid-read immediately raises
+        :class:`ServiceUnavailableError`.
 
         Growth replaces the buffer instead of resizing it (a resize
         would fail while a previous read's view is still exported); the
@@ -316,15 +371,28 @@ class BinaryStatisticsClient(_ServiceOps):
         view = memoryview(self._rx)
         got = 0
         while got < n:
-            received = self._sock.recv_into(view[got:n])
+            try:
+                received = self._sock.recv_into(view[got:n])
+            except _GONE as error:
+                raise ServiceUnavailableError(
+                    f"connection to the server was reset: {error}"
+                ) from error
             if received == 0:
                 if got:
-                    raise ConnectionError(
+                    raise ServiceUnavailableError(
                         f"server closed the connection mid-frame ({got} of {n} bytes)"
                     )
-                raise ConnectionError("server closed the connection")
+                raise ServiceUnavailableError("server closed the connection")
             got += received
         return view[:n]
+
+    def _send(self, payload: bytes) -> None:
+        try:
+            self._sock.sendall(payload)
+        except _GONE as error:
+            raise ServiceUnavailableError(
+                f"connection to the server was lost: {error}"
+            ) from error
 
     def _read_frame(self) -> Tuple[int, memoryview]:
         """One frame off the socket: ``(opcode, body view)``.
@@ -351,7 +419,7 @@ class BinaryStatisticsClient(_ServiceOps):
             "request_id": request_id,
             **fields,
         }
-        self._sock.sendall(encode_json_frame(request, opcode=OP_JSON))
+        self._send(encode_json_frame(request, opcode=OP_JSON))
         opcode, body = self._read_frame()
         response = decode_json_body(body)
         if opcode not in (OP_JSON_RESPONSE, OP_ERROR):
@@ -382,7 +450,7 @@ class BinaryStatisticsClient(_ServiceOps):
         at once, and responses carry the frame id for matching.
         """
         self._request_id += 1
-        self._sock.sendall(
+        self._send(
             encode_range_batch(
                 table,
                 column,

@@ -44,6 +44,12 @@ class ServiceConfig:
     max_frame_bytes:
         Upper bound on one frame body; larger advertised lengths close
         the connection (after a framed error) instead of allocating.
+    drain_grace:
+        Graceful-shutdown budget in seconds: :meth:`StatisticsServer.stop
+        <repro.service.server.StatisticsServer.stop>` stops accepting,
+        then waits up to this long for in-flight requests to finish
+        before cancelling what remains.  ``0`` shuts down immediately
+        (the pre-drain behavior).
     """
 
     handler_threads: int = 8
@@ -51,6 +57,7 @@ class ServiceConfig:
     transport: str = "auto"
     max_inflight: int = 32
     max_frame_bytes: int = MAX_FRAME_BYTES
+    drain_grace: float = 5.0
 
     def __post_init__(self) -> None:
         if self.handler_threads < 1:
@@ -70,6 +77,10 @@ class ServiceConfig:
         if self.max_frame_bytes < 1:
             raise ValueError(
                 f"max_frame_bytes must be >= 1, got {self.max_frame_bytes}"
+            )
+        if self.drain_grace < 0:
+            raise ValueError(
+                f"drain_grace must be >= 0, got {self.drain_grace}"
             )
 
     @property

@@ -100,6 +100,9 @@ class ColumnDrift:
             "qerr_p50": self._histogram.quantile(0.50),
             "qerr_p99": self.qerr_p99(),
             "qerr_max": self._histogram.max,
+            # Mergeable state: fleet aggregation folds per-shard drift
+            # windows together exactly (same q-compression grid).
+            "histogram": self._histogram.to_wire(),
         }
 
 

@@ -10,6 +10,12 @@ Latency histograms translate directly: the q-compression grid's cell
 boundaries become the ``le`` labels of a native Prometheus histogram
 (cumulative counts, ``_sum``, ``_count``).  Everything else is counters
 and gauges with ``op`` / ``table`` / ``column`` / ``name`` labels.
+
+:func:`render_fleet_prometheus` renders a *fleet* in one exposition:
+every shard's full snapshot with a ``shard`` label, a per-shard ``up``
+gauge, plus the ``{prefix}_fleet_*`` families -- request totals summed
+across shards and latency/drift distributions merged *exactly* on the
+shared q-compression grid (see :mod:`repro.service.fleet.status`).
 """
 
 from __future__ import annotations
@@ -17,7 +23,7 @@ from __future__ import annotations
 import math
 from typing import Any, Dict, List, Mapping, Tuple
 
-__all__ = ["render_prometheus"]
+__all__ = ["render_fleet_prometheus", "render_prometheus"]
 
 
 def _escape_label(value: str) -> str:
@@ -62,6 +68,24 @@ class _Writer:
 
     def render(self) -> str:
         return "\n".join(self.lines) + "\n"
+
+
+class _LabeledWriter:
+    """A writer view injecting fixed labels (e.g. ``shard``) per sample.
+
+    Headers pass through to the shared writer, so a family emitted by
+    several shards is typed once in the combined exposition.
+    """
+
+    def __init__(self, inner: _Writer, extra: Mapping[str, Any]) -> None:
+        self._inner = inner
+        self._extra = dict(extra)
+
+    def header(self, name: str, kind: str, help_text: str) -> None:
+        self._inner.header(name, kind, help_text)
+
+    def sample(self, name: str, labels: Mapping[str, Any], value: float) -> None:
+        self._inner.sample(name, {**self._extra, **labels}, value)
 
 
 def _cumulative_buckets(
@@ -115,6 +139,12 @@ def _split_key(key: str) -> Tuple[str, str]:
 def render_prometheus(snapshot: Dict[str, Any], prefix: str = "repro") -> str:
     """Render a ``metrics`` op snapshot as Prometheus text format."""
     writer = _Writer()
+    _render_snapshot(writer, snapshot, prefix)
+    return writer.render()
+
+
+def _render_snapshot(writer, snapshot: Dict[str, Any], prefix: str) -> None:
+    """One snapshot's families into ``writer`` (plain or labeled)."""
     metrics = snapshot.get("metrics") or {}
 
     requests = metrics.get("requests") or {}
@@ -288,5 +318,98 @@ def render_prometheus(snapshot: Dict[str, Any], prefix: str = "repro") -> str:
                 {"table": table, "column": column},
                 columns[key].get("rebuilds", 0),
             )
+
+
+def render_fleet_prometheus(
+    status: Dict[str, Any], prefix: str = "repro"
+) -> str:
+    """Render a ``fleet-status`` payload as one Prometheus exposition.
+
+    ``status`` is the merged view of
+    :func:`repro.service.fleet.status.merge_fleet_status`.  The output
+    holds three layers:
+
+    * ``{prefix}_fleet_shard_up`` -- liveness gauge per shard;
+    * ``{prefix}_fleet_*`` -- cluster-wide aggregates: request/error
+      totals summed across shards, request latency and drift q-error
+      distributions merged exactly on the shared q-compression grid
+      (the merged quantiles keep the ``sqrt(base)`` bound);
+    * every live shard's full per-node exposition, each sample labeled
+      with its ``shard``.
+    """
+    writer = _Writer()
+
+    shards = status.get("shards") or {}
+    if shards:
+        writer.header(
+            f"{prefix}_fleet_shard_up", "gauge", "Shard liveness (1 = serving)."
+        )
+        for shard in sorted(shards):
+            writer.sample(
+                f"{prefix}_fleet_shard_up",
+                {"shard": shard},
+                1 if shards[shard] else 0,
+            )
+
+    requests = status.get("requests") or {}
+    if requests:
+        writer.header(
+            f"{prefix}_fleet_requests_total",
+            "counter",
+            "Requests served per op, summed across shards.",
+        )
+        for op in sorted(requests):
+            writer.sample(
+                f"{prefix}_fleet_requests_total", {"op": op}, requests[op]
+            )
+    errors = status.get("errors") or {}
+    if errors:
+        writer.header(
+            f"{prefix}_fleet_errors_total",
+            "counter",
+            "Failed requests per op, summed across shards.",
+        )
+        for op in sorted(errors):
+            writer.sample(f"{prefix}_fleet_errors_total", {"op": op}, errors[op])
+
+    for op, summary in sorted((status.get("latency") or {}).items()):
+        _render_histogram(
+            writer,
+            f"{prefix}_fleet_request_latency_seconds",
+            "Fleet-wide request latency, merged exactly on the "
+            "q-compression grid.",
+            {"op": op},
+            summary,
+        )
+
+    drift = status.get("drift") or {}
+    if drift:
+        writer.header(
+            f"{prefix}_fleet_drift_qerror_p99",
+            "gauge",
+            "Fleet-wide observed q-error p99 per column (merged window).",
+        )
+        for key in sorted(drift):
+            table, column = _split_key(key)
+            writer.sample(
+                f"{prefix}_fleet_drift_qerror_p99",
+                {"table": table, "column": column},
+                drift[key].get("qerr_p99", 0.0),
+            )
+        writer.header(
+            f"{prefix}_fleet_drift_observations_total",
+            "counter",
+            "Feedback observations per column, summed across shards.",
+        )
+        for key in sorted(drift):
+            table, column = _split_key(key)
+            writer.sample(
+                f"{prefix}_fleet_drift_observations_total",
+                {"table": table, "column": column},
+                drift[key].get("observations", 0),
+            )
+
+    for shard, snapshot in sorted((status.get("per_shard") or {}).items()):
+        _render_snapshot(_LabeledWriter(writer, {"shard": shard}), snapshot, prefix)
 
     return writer.render()

@@ -1,0 +1,40 @@
+"""The distributed statistics fleet.
+
+A layer above the single-node runtime: rendezvous placement of (table,
+column) statistics onto shards (:mod:`.hashing`), a routing client
+speaking the existing JSON and binary transports per shard with
+replica failover (:mod:`.client`), a supervisor owning shard lifecycle,
+liveness and the control port (:mod:`.supervisor`), bounded-sample
+cold-start statistics for rebuilding shards (:mod:`.coldstart`), and
+exact cross-shard telemetry merging on the paper's q-compression grid
+(:mod:`.status`).
+"""
+
+from repro.service.fleet.client import FleetClient, FleetUnavailableError
+from repro.service.fleet.coldstart import (
+    SampledColumnStatistics,
+    build_sampled_manager,
+    sampling_qerror_bound,
+)
+from repro.service.fleet.hashing import (
+    FleetTopology,
+    rendezvous_owners,
+    shard_table,
+)
+from repro.service.fleet.status import merge_fleet_status, merge_wire_histograms
+from repro.service.fleet.supervisor import FleetConfig, FleetSupervisor
+
+__all__ = [
+    "FleetClient",
+    "FleetConfig",
+    "FleetSupervisor",
+    "FleetTopology",
+    "FleetUnavailableError",
+    "SampledColumnStatistics",
+    "build_sampled_manager",
+    "merge_fleet_status",
+    "merge_wire_histograms",
+    "rendezvous_owners",
+    "sampling_qerror_bound",
+    "shard_table",
+]

@@ -1,0 +1,392 @@
+"""The routing client: one fleet, the single-node op surface.
+
+:class:`FleetClient` holds the fleet's :class:`FleetTopology` plus the
+shard address map and routes every operation to the shards that own the
+touched column -- JSON lines for the structured ops, binary frames for
+the array fast path, exactly the transports a single
+:class:`~repro.service.server.StatisticsServer` speaks.
+
+Routing invariant: a predicate is routed by the rendezvous owners of its
+*first* referenced column.  Histogram-worthy columns live exactly on
+their owners; unworthy (exact-count) columns are replicated on every
+shard, so this rule always lands on a shard that can answer
+single-column predicates, and conjunctions are answerable whenever their
+columns are co-located (force co-location with ``hot_columns``
+replication if a conjunction pair matters).
+
+Failover invariant: estimates are idempotent reads, so when a shard dies
+mid-batch (:class:`~repro.service.client.ServiceUnavailableError`) the
+*whole sub-batch* is retried verbatim against the key's next-ranked
+owner -- a request is either answered once by somebody or fails loudly;
+nothing is dropped and nothing can be double-counted.  Results re-enter
+the caller's order by their original batch positions.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.query.estimator import CardinalityEstimate
+from repro.query.predicates import Predicate, RangePredicate
+from repro.service.client import (
+    BinaryStatisticsClient,
+    ServiceError,
+    ServiceUnavailableError,
+    StatisticsClient,
+)
+from repro.service.fleet.hashing import FleetTopology
+from repro.service.fleet.status import merge_fleet_status
+
+__all__ = ["FleetClient", "FleetUnavailableError"]
+
+
+class FleetUnavailableError(ServiceUnavailableError):
+    """Every owner of a key refused or dropped the request."""
+
+
+class FleetClient:
+    """Routes the statistics op surface across a shard fleet.
+
+    Parameters
+    ----------
+    topology:
+        The fleet's placement function (shard ids, replication, hot
+        columns) -- must match what the supervisor sharded the catalog
+        with, or routing will miss.
+    addresses:
+        Shard id -> ``(host, port)`` of that shard's server.
+    timeout:
+        Per-socket-operation timeout for every underlying client.
+    prefer_binary:
+        Use the binary frame transport for the array fast path
+        (:meth:`estimate_range_batch`); a shard with binary disabled
+        falls back to JSON for that shard only.
+
+    Thread safety: the underlying single-shard clients are
+    one-conversation-at-a-time, so every call on a shard's connections
+    holds that shard's lock -- the batch fan-out may route several
+    groups through one shard, and callers may share one
+    :class:`FleetClient` across threads; calls landing on the same
+    shard simply serialize.
+    """
+
+    def __init__(
+        self,
+        topology: FleetTopology,
+        addresses: Mapping[int, Tuple[str, int]],
+        timeout: float = 10.0,
+        prefer_binary: bool = True,
+    ) -> None:
+        missing = set(topology.shard_ids) - set(addresses)
+        if missing:
+            raise ValueError(f"no address for shard(s) {sorted(missing)}")
+        self.topology = topology
+        self.addresses = {
+            int(shard): (str(host), int(port))
+            for shard, (host, port) in addresses.items()
+        }
+        self.timeout = timeout
+        self.prefer_binary = prefer_binary
+        self._lock = threading.Lock()
+        self._json: Dict[int, StatisticsClient] = {}
+        self._binary: Dict[int, Optional[BinaryStatisticsClient]] = {}
+        # The single-shard clients are one-conversation-at-a-time; the
+        # fan-out may route two groups through one shard, so every call
+        # on a shard's connections holds that shard's lock.
+        self._shard_locks: Dict[int, threading.Lock] = {
+            shard: threading.Lock() for shard in topology.shard_ids
+        }
+        self._fanout = ThreadPoolExecutor(
+            max_workers=max(2, len(topology.shard_ids)),
+            thread_name_prefix="repro-fleet",
+        )
+
+    @classmethod
+    def from_supervisor(
+        cls, host: str, port: int, timeout: float = 10.0, **kwargs: Any
+    ) -> "FleetClient":
+        """Bootstrap topology + addresses from a supervisor's control port."""
+        with StatisticsClient(host, port, timeout=timeout) as control:
+            payload = control.call("topology")["topology"]
+        topology = FleetTopology(
+            shard_ids=tuple(int(s) for s in payload["shard_ids"]),
+            replication=int(payload["replication"]),
+            hot_columns=dict(payload.get("hot_columns") or {}),
+        )
+        addresses = {
+            int(shard): (str(address[0]), int(address[1]))
+            for shard, address in payload["addresses"].items()
+        }
+        return cls(topology, addresses, timeout=timeout, **kwargs)
+
+    # -- per-shard connections ---------------------------------------------
+
+    def _json_client(self, shard: int) -> StatisticsClient:
+        with self._lock:
+            client = self._json.get(shard)
+        if client is not None:
+            return client
+        host, port = self.addresses[shard]
+        client = StatisticsClient(host, port, timeout=self.timeout)
+        with self._lock:
+            self._json[shard] = client
+        return client
+
+    def _binary_client(self, shard: int) -> Optional[BinaryStatisticsClient]:
+        """The shard's binary client, ``None`` if it only speaks JSON."""
+        with self._lock:
+            if shard in self._binary:
+                return self._binary[shard]
+        host, port = self.addresses[shard]
+        try:
+            client: Optional[BinaryStatisticsClient] = BinaryStatisticsClient(
+                host, port, timeout=self.timeout
+            )
+        except ServiceError:
+            client = None  # binary transport disabled on this shard
+        with self._lock:
+            self._binary[shard] = client
+        return client
+
+    def _drop(self, shard: int) -> None:
+        """Forget a shard's connections (it died; reconnect on retry)."""
+        with self._lock:
+            json_client = self._json.pop(shard, None)
+            binary_client = self._binary.pop(shard, None)
+        for client in (json_client, binary_client):
+            if client is not None:
+                try:
+                    client.close()
+                except OSError:
+                    pass
+
+    def close(self) -> None:
+        self._fanout.shutdown(wait=False)
+        with self._lock:
+            clients = [*self._json.values(), *self._binary.values()]
+            self._json.clear()
+            self._binary.clear()
+        for client in clients:
+            if client is not None:
+                try:
+                    client.close()
+                except OSError:
+                    pass
+
+    def __enter__(self) -> "FleetClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- routing + failover -------------------------------------------------
+
+    def _owners_for(self, table: str, predicate: Predicate) -> Tuple[int, ...]:
+        columns = predicate.columns()
+        if not columns:
+            raise ValueError(f"cannot route column-free predicate {predicate!r}")
+        return self.topology.owners(table, columns[0])
+
+    def _failover(self, owners: Sequence[int], fn, *args: Any) -> Any:
+        """Run ``fn(shard, *args)`` against owners until one answers.
+
+        A :class:`ServiceUnavailableError` from a shard invalidates its
+        cached connections and is retried once against the *same* shard
+        with a fresh connection (it may have just restarted on its
+        port), then falls over to the next owner.  Protocol and service
+        errors propagate immediately -- they are answers, not outages.
+        """
+        last: Optional[ServiceUnavailableError] = None
+        for shard in owners:
+            for _ in range(2):  # cached connection, then one fresh one
+                try:
+                    with self._shard_locks[shard]:
+                        return fn(shard, *args)
+                except ServiceUnavailableError as error:
+                    self._drop(shard)
+                    last = error
+        raise FleetUnavailableError(
+            f"all owners {tuple(owners)} are unavailable"
+        ) from last
+
+    # -- the op surface -----------------------------------------------------
+
+    def ping(self) -> Dict[str, bool]:
+        """Ping every shard; never raises, reports liveness per shard."""
+        out: Dict[str, bool] = {}
+        for shard in self.topology.shard_ids:
+            try:
+                out[str(shard)] = self._failover([shard], self._ping_shard)
+            except ServiceUnavailableError:
+                out[str(shard)] = False
+        return out
+
+    def _ping_shard(self, shard: int) -> bool:
+        return self._json_client(shard).ping()
+
+    def estimate(self, table: str, predicate: Predicate) -> CardinalityEstimate:
+        owners = self._owners_for(table, predicate)
+        return self._failover(
+            owners,
+            lambda shard: self._json_client(shard).estimate(table, predicate),
+        )
+
+    def estimate_range(
+        self, table: str, column: str, low: Any, high: Any
+    ) -> CardinalityEstimate:
+        return self.estimate(table, RangePredicate(column, low, high))
+
+    def _grouped(
+        self, table: str, predicates: Sequence[Predicate]
+    ) -> Dict[Tuple[int, ...], List[Tuple[int, Predicate]]]:
+        """Batch positions grouped by their owner tuple, order preserved."""
+        groups: Dict[Tuple[int, ...], List[Tuple[int, Predicate]]] = {}
+        for position, predicate in enumerate(predicates):
+            groups.setdefault(self._owners_for(table, predicate), []).append(
+                (position, predicate)
+            )
+        return groups
+
+    def _batch_op(
+        self, op: str, table: str, predicates: Sequence[Predicate]
+    ) -> List[CardinalityEstimate]:
+        """Fan one batch out by owning shard; reassemble in request order."""
+        if not predicates:
+            return []
+        groups = self._grouped(table, predicates)
+
+        def run(item) -> List[Tuple[int, CardinalityEstimate]]:
+            owners, entries = item
+            subset = [predicate for _, predicate in entries]
+            estimates = self._failover(owners, self._shard_batch, op, table, subset)
+            return [
+                (position, estimate)
+                for (position, _), estimate in zip(entries, estimates)
+            ]
+
+        results: List[Optional[CardinalityEstimate]] = [None] * len(predicates)
+        for placed in self._fanout.map(run, groups.items()):
+            for position, estimate in placed:
+                results[position] = estimate
+        return results  # type: ignore[return-value] -- every slot is filled
+
+    def _shard_batch(
+        self, shard: int, op: str, table: str, predicates: Sequence[Predicate]
+    ) -> List[CardinalityEstimate]:
+        client = self._json_client(shard)
+        if op == "estimate_batch":
+            return client.estimate_batch(table, predicates)
+        return client.estimate_distinct_batch(table, predicates)
+
+    def estimate_batch(
+        self, table: str, predicates: Sequence[Predicate]
+    ) -> List[CardinalityEstimate]:
+        return self._batch_op("estimate_batch", table, predicates)
+
+    def estimate_distinct_batch(
+        self, table: str, predicates: Sequence[Predicate]
+    ) -> List[CardinalityEstimate]:
+        return self._batch_op("estimate_distinct_batch", table, predicates)
+
+    def estimate_range_batch(
+        self,
+        table: str,
+        column: str,
+        lows: Sequence[Any],
+        highs: Sequence[Any],
+        distinct: bool = False,
+    ) -> np.ndarray:
+        """The array fast path: one column, raw float64 endpoint buffers.
+
+        Single-column, so the whole batch has one owner tuple; the
+        binary frame transport is used when the owner speaks it.
+        """
+        owners = self.topology.owners(table, column)
+        lows = np.asarray(lows, dtype=np.float64)
+        highs = np.asarray(highs, dtype=np.float64)
+        return self._failover(
+            owners, self._shard_range_batch, table, column, lows, highs, distinct
+        )
+
+    def _shard_range_batch(
+        self,
+        shard: int,
+        table: str,
+        column: str,
+        lows: np.ndarray,
+        highs: np.ndarray,
+        distinct: bool,
+    ) -> np.ndarray:
+        if self.prefer_binary:
+            client = self._binary_client(shard)
+            if client is not None:
+                if distinct:
+                    return client.estimate_distinct_range_batch(
+                        table, column, lows, highs
+                    )
+                return client.estimate_range_batch(table, column, lows, highs)
+        json_client = self._json_client(shard)
+        batch = (
+            json_client.estimate_distinct_batch
+            if distinct
+            else json_client.estimate_batch
+        )
+        estimates = batch(
+            table,
+            [RangePredicate(column, low, high) for low, high in zip(lows, highs)],
+        )
+        return np.asarray([e.value for e in estimates], dtype=np.float64)
+
+    def insert(
+        self, table: str, column: str, codes: Sequence[int]
+    ) -> Dict[str, Any]:
+        """Route inserted rows to *every* owner of the column.
+
+        Replicas maintain their registers in lockstep with the primary,
+        so a failover target answers with the same blended statistics.
+        Raises if any owner is unreachable -- a silent partial insert
+        would fork the replicas.
+        """
+        owners = self.topology.owners(table, column)
+        result: Dict[str, Any] = {}
+        for shard in owners:
+            result = self._failover(
+                [shard],
+                lambda s: self._json_client(s).insert(table, column, codes),
+            )
+        return result
+
+    def feedback(
+        self, table: str, column: str, estimated: float, actual: float
+    ) -> Dict[str, Any]:
+        """Drift feedback goes to the column's primary owner."""
+        owners = self.topology.owners(table, column)
+        return self._failover(
+            owners,
+            lambda shard: self._json_client(shard).feedback(
+                table, column, estimated, actual
+            ),
+        )
+
+    # -- fleet telemetry ----------------------------------------------------
+
+    def shard_status(self) -> Dict[str, Optional[Dict[str, Any]]]:
+        """Every shard's ``status`` snapshot; a dead shard maps to None."""
+        out: Dict[str, Optional[Dict[str, Any]]] = {}
+        for shard in self.topology.shard_ids:
+            try:
+                out[str(shard)] = self._failover([shard], self._status_shard)
+            except ServiceUnavailableError:
+                out[str(shard)] = None
+        return out
+
+    def _status_shard(self, shard: int) -> Dict[str, Any]:
+        return self._json_client(shard).status()
+
+    def fleet_status(self) -> Dict[str, Any]:
+        """The merged fleet view (see :func:`merge_fleet_status`)."""
+        return merge_fleet_status(self.shard_status(), self.topology.describe())

@@ -1,0 +1,155 @@
+"""Bounded-sampling statistics for a shard that is still rebuilding.
+
+When a shard dies, its replicas keep answering with the real
+histograms.  But a *restarting* shard has its table data long before its
+histograms finish rebuilding, and during a double fault (primary and
+replica both gone) the fleet would rather serve a certified-weaker
+answer than none.  Following "Q-error Bounds of Random Uniform Sampling
+for Cardinality Estimation" (see PAPERS.md), a Bernoulli sample of rate
+``p`` answers any range predicate whose true cardinality is at least
+``theta`` within q-error ``1 + eps`` with probability ``1 - delta``,
+where the Chernoff two-sided bound gives
+
+    eps ~= sqrt(3 * ln(2 / delta) / (p * theta))
+
+:class:`SampledColumnStatistics` duck-types the column-statistics
+estimate interface and stamps ``method_label = "sample"`` so every
+estimate it serves is visibly *not* carrying the paper's histogram
+certificate; :func:`sampling_qerror_bound` computes the certificate it
+does carry.  The sample is a binomial thinning of the column's frequency
+vector -- equivalent in distribution to sampling rows, but built in one
+vectorized pass over statistics the shard already holds.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.core.statistics import ColumnStatistics, StatisticsManager
+from repro.dictionary.table import Table, histogram_worthy
+
+__all__ = [
+    "SampledColumnStatistics",
+    "build_sampled_manager",
+    "sampling_qerror_bound",
+]
+
+
+def sampling_qerror_bound(
+    rate: float, theta: float, delta: float = 0.01
+) -> float:
+    """The certified q-error of a rate-``p`` sample above ``theta``.
+
+    Any predicate with true cardinality ``>= theta`` is answered within
+    a factor ``1 + eps`` with probability ``1 - delta`` (Chernoff, both
+    tails).  Below ``theta`` the sample certifies nothing -- the same
+    theta-region carve-out the paper's histograms use.
+    """
+    if not 0 < rate <= 1:
+        raise ValueError(f"rate must be in (0, 1], got {rate}")
+    if theta <= 0:
+        raise ValueError(f"theta must be > 0, got {theta}")
+    if not 0 < delta < 1:
+        raise ValueError(f"delta must be in (0, 1), got {delta}")
+    return 1.0 + math.sqrt(3.0 * math.log(2.0 / delta) / (rate * theta))
+
+
+class SampledColumnStatistics:
+    """Range estimates from a Bernoulli sample of one column.
+
+    Duck-types the estimate surface of
+    :class:`~repro.core.statistics.ColumnStatistics` (scalar and batch,
+    cardinality and distinct), so it drops into a
+    :class:`~repro.core.statistics.StatisticsManager` and the service's
+    estimator uses it unchanged.  ``method_label`` marks every answer.
+    """
+
+    is_exact = False
+    method_label = "sample"
+
+    def __init__(
+        self,
+        frequencies: np.ndarray,
+        rate: float,
+        rng: np.random.Generator,
+    ) -> None:
+        if not 0 < rate <= 1:
+            raise ValueError(f"rate must be in (0, 1], got {rate}")
+        self.rate = float(rate)
+        frequencies = np.asarray(frequencies, dtype=np.int64)
+        # Binomial thinning of per-code frequencies == Bernoulli rows.
+        sampled = rng.binomial(frequencies, rate)
+        self._sample_cum = np.concatenate(([0], np.cumsum(sampled)))
+        self._distinct_cum = np.concatenate(([0], np.cumsum(sampled > 0)))
+        self._sample_size = int(self._sample_cum[-1])
+
+    @property
+    def sample_size(self) -> int:
+        return self._sample_size
+
+    def qerror_bound(self, theta: float, delta: float = 0.01) -> float:
+        return sampling_qerror_bound(self.rate, theta, delta)
+
+    def _clip(self, c1s: np.ndarray, c2s: np.ndarray):
+        d = len(self._sample_cum) - 1
+        i = np.clip(np.ceil(c1s).astype(np.int64), 0, d)
+        j = np.clip(np.ceil(c2s).astype(np.int64), i, d)
+        return i, j
+
+    def estimate_range_batch(self, c1s, c2s) -> np.ndarray:
+        c1s = np.asarray(c1s, dtype=np.float64)
+        c2s = np.asarray(c2s, dtype=np.float64)
+        i, j = self._clip(c1s, c2s)
+        hits = (self._sample_cum[j] - self._sample_cum[i]).astype(np.float64)
+        values = np.maximum(hits / self.rate, 1.0)
+        return np.where(c2s > c1s, values, 0.0)
+
+    def estimate_range(self, c1: int, c2: int) -> float:
+        return float(self.estimate_range_batch([c1], [c2])[0])
+
+    def estimate_distinct_range_batch(self, c1s, c2s) -> np.ndarray:
+        c1s = np.asarray(c1s, dtype=np.float64)
+        c2s = np.asarray(c2s, dtype=np.float64)
+        i, j = self._clip(c1s, c2s)
+        seen = (self._distinct_cum[j] - self._distinct_cum[i]).astype(np.float64)
+        # A value absent from the sample may still exist: scale the seen
+        # count up by the per-value miss probability is not identifiable
+        # without the frequencies, so serve the sample's lower bound
+        # clamped to 1 -- certified-weaker, visibly labelled.
+        values = np.maximum(seen, 1.0)
+        return np.where(c2s > c1s, values, 0.0)
+
+    def estimate_distinct_range(self, c1: int, c2: int) -> float:
+        return float(self.estimate_distinct_range_batch([c1], [c2])[0])
+
+    def size_bytes(self) -> int:
+        return self._sample_size * 8
+
+
+def build_sampled_manager(
+    table: Table,
+    rate: float,
+    rng: Optional[np.random.Generator] = None,
+) -> StatisticsManager:
+    """A manager answering every column of ``table`` from samples.
+
+    Worthy columns get :class:`SampledColumnStatistics`; tiny/unique
+    columns keep their exact counts (sampling them would be strictly
+    worse than the exact statistics the shard can build instantly).
+    Plugged into a service via
+    :meth:`~repro.service.server.StatisticsService.publish_estimator`,
+    this is the cold-start serving state of a rebuilding shard.
+    """
+    rng = rng if rng is not None else np.random.default_rng()
+    manager = StatisticsManager()
+    for column in table:
+        frequencies = np.asarray(column.frequencies, dtype=np.int64)
+        if histogram_worthy(column):
+            stats = SampledColumnStatistics(frequencies, rate, rng)
+        else:
+            stats = ColumnStatistics(column=column, exact_counts=frequencies)
+        manager.set_statistics(table.name, column.name, stats)
+    return manager

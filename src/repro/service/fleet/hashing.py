@@ -1,0 +1,152 @@
+"""Rendezvous placement of (table, column) statistics onto shards.
+
+Rendezvous (highest-random-weight) hashing scores every shard for every
+key with a keyed :func:`hashlib.blake2b` digest and ranks them; the
+top-``k`` shards own the key (first is the *primary*, the rest are
+replicas).  The properties the fleet leans on:
+
+* **deterministic** -- every process (supervisor, router, shard) computes
+  the identical ranking from nothing but the shard-id list, so there is
+  no placement table to distribute or keep consistent;
+* **minimal disruption** -- removing a shard only moves the keys it
+  owned (each promotes its next-ranked shard); adding one only claims
+  the keys it now wins.  No modular-arithmetic reshuffle;
+* **per-key replication** -- ``k`` is a per-key decision, so a hot
+  column can carry more replicas than the fleet default.
+
+Columns that are not histogram-worthy (tiny domains, unique keys; the
+paper's Sec. 8.2 filter) are *replicated everywhere* instead of
+partitioned: their exact per-value statistics are small, and having them
+on every shard means any single-shard request mixing a worthy column
+with its table's flag/key columns can be answered locally.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.dictionary.table import Table, histogram_worthy
+
+__all__ = ["FleetTopology", "rendezvous_owners", "shard_table"]
+
+
+def _score(table: str, column: str, shard_id: int) -> int:
+    """The shard's rendezvous weight for one key (higher wins)."""
+    digest = hashlib.blake2b(
+        f"{table}\x00{column}\x00{shard_id}".encode("utf-8"), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big")
+
+
+def rendezvous_owners(
+    table: str, column: str, shard_ids: Sequence[int], k: int
+) -> Tuple[int, ...]:
+    """The ``k`` owning shards for a key, primary first.
+
+    Ranks every shard by its rendezvous score (shard id breaks the
+    astronomically unlikely tie, keeping the order total) and returns
+    the top ``k`` -- or all shards when ``k`` exceeds the fleet size.
+    """
+    if not shard_ids:
+        raise ValueError("rendezvous_owners needs at least one shard")
+    if k < 1:
+        raise ValueError(f"replication k must be >= 1, got {k}")
+    ranked = sorted(
+        shard_ids,
+        key=lambda shard_id: (_score(table, column, shard_id), shard_id),
+        reverse=True,
+    )
+    return tuple(ranked[: min(k, len(ranked))])
+
+
+@dataclass(frozen=True)
+class FleetTopology:
+    """The pure placement function of a statistics fleet.
+
+    Parameters
+    ----------
+    shard_ids:
+        The fleet's shard identities (stable small integers; a restarted
+        shard keeps its id, so placement never moves on restart).
+    replication:
+        Default owners per worthy column (primary + ``replication - 1``
+        replicas).
+    hot_columns:
+        Per-key replication overrides, keyed ``"table.column"`` -- a
+        column known to dominate the workload can live on more (or all)
+        shards.
+    """
+
+    shard_ids: Tuple[int, ...]
+    replication: int = 2
+    hot_columns: Mapping[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.shard_ids:
+            raise ValueError("a fleet needs at least one shard")
+        if len(set(self.shard_ids)) != len(self.shard_ids):
+            raise ValueError(f"duplicate shard ids in {self.shard_ids}")
+        if not 1 <= self.replication:
+            raise ValueError(f"replication must be >= 1, got {self.replication}")
+        for key, k in self.hot_columns.items():
+            if int(k) < 1:
+                raise ValueError(
+                    f"hot column {key!r} replication must be >= 1, got {k}"
+                )
+
+    def replication_for(self, table: str, column: str) -> int:
+        override = self.hot_columns.get(f"{table}.{column}")
+        return int(override) if override is not None else self.replication
+
+    def owners(self, table: str, column: str) -> Tuple[int, ...]:
+        """Owning shards for one column, primary first."""
+        return rendezvous_owners(
+            table, column, self.shard_ids, self.replication_for(table, column)
+        )
+
+    def primary(self, table: str, column: str) -> int:
+        return self.owners(table, column)[0]
+
+    def placement(self, table: Table) -> Dict[str, Tuple[int, ...]]:
+        """Column name -> owning shards for one table.
+
+        Unworthy columns report *every* shard: their exact counts are
+        replicated fleet-wide (see module docstring).
+        """
+        out: Dict[str, Tuple[int, ...]] = {}
+        for column in table:
+            if histogram_worthy(column):
+                out[column.name] = self.owners(table.name, column.name)
+            else:
+                out[column.name] = tuple(self.shard_ids)
+        return out
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "shard_ids": list(self.shard_ids),
+            "replication": self.replication,
+            "hot_columns": dict(self.hot_columns),
+        }
+
+
+def shard_table(table: Table, topology: FleetTopology, shard_id: int) -> Table:
+    """The subset of ``table`` one shard serves.
+
+    Worthy columns appear iff the shard is among their owners; unworthy
+    columns appear on every shard.  Columns are shared by reference (a
+    :class:`~repro.dictionary.column.DictionaryEncodedColumn` is
+    immutable after load), so the subset costs nothing but the dict.
+    Every owner builds its histogram from the identical column data and
+    configuration, which is what makes replica answers bit-identical to
+    the primary's.
+    """
+    subset = Table(table.name)
+    for column in table:
+        if (
+            not histogram_worthy(column)
+            or shard_id in topology.owners(table.name, column.name)
+        ):
+            subset.add_column(column)
+    return subset

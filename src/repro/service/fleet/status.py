@@ -1,0 +1,144 @@
+"""Exact aggregation of per-shard telemetry into one fleet view.
+
+Every shard's ``metrics`` snapshot carries its latency and drift
+distributions as wire-serialized
+:class:`~repro.obs.QuantileHistogram` states
+(:meth:`~repro.obs.QuantileHistogram.to_wire`).  Because every shard
+builds those histograms on the *same* q-compression grid (the constants
+in :mod:`repro.service.metrics` and :mod:`repro.service.drift`), the
+fleet aggregate is not an approximation: per-cell counts add, and every
+merged quantile is exactly the quantile of the pooled per-shard
+observation stream, still within the grid's ``sqrt(base)`` q-error
+bound.  A shard reporting a *different* grid (version skew) fails the
+merge loudly rather than polluting the aggregate.
+
+:func:`merge_fleet_status` is the data behind the supervisor's
+``fleet-status`` op and the fleet Prometheus exposition.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from repro.obs import QuantileHistogram
+from repro.service.metrics import ServiceMetrics
+
+__all__ = ["merge_fleet_status", "merge_wire_histograms"]
+
+
+def merge_wire_histograms(
+    payloads: Sequence[Mapping[str, Any]]
+) -> QuantileHistogram:
+    """One histogram holding the union of several wire payloads.
+
+    Exact for same-grid payloads; raises :class:`ValueError` when any
+    grid disagrees (see module docstring).
+    """
+    if not payloads:
+        raise ValueError("merge_wire_histograms needs at least one payload")
+    return QuantileHistogram.merged(
+        QuantileHistogram.from_wire(dict(payload)) for payload in payloads
+    )
+
+
+def _merged_summary(payloads: List[Mapping[str, Any]]) -> Dict[str, Any]:
+    """A merged latency summary in the per-shard summary vocabulary."""
+    histogram = merge_wire_histograms(payloads)
+    return ServiceMetrics._latency_summary(histogram)
+
+
+def _add_counts(into: Dict[str, float], counts: Mapping[str, Any]) -> None:
+    for name, value in counts.items():
+        into[name] = into.get(name, 0) + value
+
+
+def merge_fleet_status(
+    shards: Mapping[str, Mapping[str, Any]],
+    topology: Optional[Mapping[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Fold per-shard ``metrics``/``status`` snapshots into a fleet view.
+
+    Parameters
+    ----------
+    shards:
+        Shard label (e.g. ``"0"``) -> that shard's snapshot, as returned
+        by the service's ``metrics`` op (``snapshot["metrics"]`` of a
+        ``status`` response also works: only the ``requests``,
+        ``errors``, ``counters``, ``latency`` and sibling ``drift``
+        families are read).  A dead shard is passed as ``None`` and
+        reported down.
+    topology:
+        Optional :meth:`FleetTopology.describe` payload, echoed through.
+
+    Returns the fleet aggregate: summed request/error/free-form
+    counters, per-op latency summaries merged *exactly* across shards,
+    per-column drift likewise, per-shard liveness, and the raw per-shard
+    snapshots (the Prometheus renderer labels those by shard).
+    """
+    requests: Dict[str, float] = {}
+    errors: Dict[str, float] = {}
+    counters: Dict[str, float] = {}
+    latency_payloads: Dict[str, List[Mapping[str, Any]]] = {}
+    drift_payloads: Dict[str, List[Mapping[str, Any]]] = {}
+    drift_scalars: Dict[str, Dict[str, float]] = {}
+    live: Dict[str, bool] = {}
+    per_shard: Dict[str, Mapping[str, Any]] = {}
+
+    for shard, snapshot in shards.items():
+        shard = str(shard)
+        if snapshot is None:
+            live[shard] = False
+            continue
+        live[shard] = True
+        per_shard[shard] = snapshot
+        metrics = snapshot.get("metrics", snapshot)
+        _add_counts(requests, metrics.get("requests") or {})
+        _add_counts(errors, metrics.get("errors") or {})
+        _add_counts(counters, metrics.get("counters") or {})
+        for op, summary in (metrics.get("latency") or {}).items():
+            payload = summary.get("histogram")
+            if payload:
+                latency_payloads.setdefault(op, []).append(payload)
+        for key, column in (snapshot.get("drift") or {}).items():
+            payload = column.get("histogram")
+            if payload:
+                drift_payloads.setdefault(key, []).append(payload)
+            scalars = drift_scalars.setdefault(
+                key, {"observations": 0, "violations": 0, "certified_q": 0.0}
+            )
+            scalars["observations"] += int(column.get("observations") or 0)
+            scalars["violations"] += int(column.get("violations") or 0)
+            scalars["certified_q"] = max(
+                scalars["certified_q"], float(column.get("certified_q") or 0.0)
+            )
+
+    latency = {
+        op: _merged_summary(payloads)
+        for op, payloads in sorted(latency_payloads.items())
+    }
+    drift: Dict[str, Dict[str, Any]] = {}
+    for key, payloads in sorted(drift_payloads.items()):
+        histogram = merge_wire_histograms(payloads)
+        drift[key] = {
+            **drift_scalars[key],
+            "qerr_p50": histogram.quantile(0.50),
+            "qerr_p99": histogram.quantile(0.99),
+            "qerr_max": histogram.max,
+            "qerror_bound": histogram.max_qerror,
+            "histogram": histogram.to_wire(),
+        }
+
+    out: Dict[str, Any] = {
+        "shards": live,
+        "shards_up": sum(live.values()),
+        "shards_total": len(live),
+        "requests": requests,
+        "errors": errors,
+        "counters": counters,
+        "latency": latency,
+        "drift": drift,
+        "per_shard": per_shard,
+    }
+    if topology is not None:
+        out["topology"] = dict(topology)
+    return out

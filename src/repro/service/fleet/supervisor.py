@@ -1,0 +1,543 @@
+"""The fleet supervisor: shard lifecycle, liveness, and the control port.
+
+:class:`FleetSupervisor` turns a catalog of tables into N running
+:class:`~repro.service.server.StatisticsServer` shards, each serving the
+:func:`~repro.service.fleet.hashing.shard_table` subset its rendezvous
+placement assigns.  Two execution modes:
+
+* ``mode="thread"`` -- every shard is an in-process server on its own
+  event-loop thread.  Cheap and deterministic; what the parity and
+  failover tests (and a laptop demo) use.
+* ``mode="process"`` -- every shard is a forked OS process with its own
+  GIL, handler pool and (optionally) estimator workers.  What ``repro
+  fleet serve`` runs.
+
+Liveness: a monitor thread heartbeats the shards.  A shard found dead is
+restarted **on its original port** after a backoff, so client address
+maps stay valid across the restart; while it rebuilds, routing falls
+over to the key's replicas
+(:meth:`~repro.service.fleet.client.FleetClient` retries by rendezvous
+rank), and a restarting shard with ``cold_start`` enabled serves
+bounded-sample estimates (:mod:`~repro.service.fleet.coldstart`) the
+moment it binds, swapping to real histograms when its background build
+completes.
+
+The supervisor also answers a tiny JSON-lines **control port** (the
+existing :class:`~repro.service.client.StatisticsClient` speaks it):
+``ping``, ``topology`` (shard ids + addresses, what
+:meth:`FleetClient.from_supervisor` bootstraps from) and
+``fleet-status`` (the exactly-merged cluster view of
+:func:`~repro.service.fleet.status.merge_fleet_status`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import signal
+import socketserver
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.dictionary.table import Table
+from repro.service.client import ServiceUnavailableError, StatisticsClient
+from repro.service.config import ServiceConfig
+from repro.service.fleet.client import FleetClient
+from repro.service.fleet.coldstart import build_sampled_manager
+from repro.service.fleet.hashing import FleetTopology, shard_table
+from repro.service.fleet.status import merge_fleet_status
+from repro.service.protocol import decode_line, encode_line, error_response, ok_response
+from repro.service.server import (
+    ServerHandle,
+    StatisticsServer,
+    StatisticsService,
+    start_server_thread,
+)
+
+__all__ = ["FleetConfig", "FleetSupervisor"]
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Shape of one statistics fleet.
+
+    Parameters
+    ----------
+    shards:
+        Number of shard servers.
+    replication:
+        Default owners per histogram-worthy column.
+    hot_columns:
+        ``"table.column"`` -> replication override for hot keys.
+    host:
+        Bind host for every shard and the control port.
+    mode:
+        ``"thread"`` (in-process shards) or ``"process"`` (forked).
+    handler_threads, estimator_workers, drain_grace:
+        Forwarded into each shard's :class:`ServiceConfig`.
+    kind:
+        Histogram variant each shard builds.
+    seed:
+        Base seed; shard ``i`` uses ``seed + i`` so register randomness
+        differs across shards but every run is reproducible.
+    heartbeat_interval:
+        Monitor wake-up period in seconds (0 disables the monitor).
+    restart_backoff:
+        Pause before respawning a dead shard.
+    cold_start:
+        Serve bounded-sample estimates while a restarted shard rebuilds.
+    sample_rate:
+        Bernoulli rate of the cold-start sample.
+    control_port:
+        Bind port of the supervisor's JSON-lines control endpoint
+        (``0`` picks an ephemeral port).
+    """
+
+    shards: int = 4
+    replication: int = 2
+    hot_columns: Mapping[str, int] = field(default_factory=dict)
+    host: str = "127.0.0.1"
+    mode: str = "thread"
+    handler_threads: int = 4
+    estimator_workers: int = 0
+    drain_grace: float = 5.0
+    kind: str = "V8DincB"
+    seed: Optional[int] = None
+    heartbeat_interval: float = 0.5
+    restart_backoff: float = 0.1
+    cold_start: bool = True
+    sample_rate: float = 0.1
+    control_port: int = 0
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ValueError(f"shards must be >= 1, got {self.shards}")
+        if self.mode not in ("thread", "process"):
+            raise ValueError(f"mode must be thread or process, got {self.mode!r}")
+        if not 0 < self.sample_rate <= 1:
+            raise ValueError(
+                f"sample_rate must be in (0, 1], got {self.sample_rate}"
+            )
+
+    def topology(self) -> FleetTopology:
+        return FleetTopology(
+            shard_ids=tuple(range(self.shards)),
+            replication=self.replication,
+            hot_columns=dict(self.hot_columns),
+        )
+
+    def service_config(self) -> ServiceConfig:
+        return ServiceConfig(
+            handler_threads=self.handler_threads,
+            estimator_workers=self.estimator_workers,
+            drain_grace=self.drain_grace,
+        )
+
+
+def _build_shard_service(
+    catalog_root: Path,
+    tables: Sequence[Table],
+    topology: FleetTopology,
+    shard_id: int,
+    config: FleetConfig,
+    cold: bool,
+) -> Tuple[StatisticsService, List[str]]:
+    """One shard's service over its table subsets.
+
+    ``cold`` publishes sampled estimators instead of building -- the
+    caller is expected to run the real builds in the background.
+    Returns the service plus the names of tables still needing a build.
+    """
+    seed = None if config.seed is None else config.seed + shard_id
+    service = StatisticsService(
+        catalog_root / f"shard-{shard_id}", kind=config.kind, seed=seed
+    )
+    pending: List[str] = []
+    rng = np.random.default_rng(seed)
+    for table in tables:
+        subset = shard_table(table, topology, shard_id)
+        if cold:
+            service.add_table(subset, build=False)
+            service.publish_estimator(
+                subset.name,
+                build_sampled_manager(subset, config.sample_rate, rng),
+            )
+            pending.append(subset.name)
+        else:
+            service.add_table(subset)
+    return service, pending
+
+
+def _shard_process_main(
+    shard_id: int,
+    catalog_root: Path,
+    tables: Sequence[Table],
+    topology: FleetTopology,
+    config: FleetConfig,
+    port: int,
+    cold: bool,
+    conn,
+) -> None:
+    """Entry point of a forked shard process.
+
+    Builds (or cold-starts) the shard's service, binds the server,
+    reports ``("ready", port)`` up the pipe, then serves until SIGTERM
+    -- which drains via :meth:`StatisticsServer.stop` and unlinks any
+    shared-memory segments before the process exits.
+    """
+    signal.signal(signal.SIGINT, signal.SIG_IGN)  # the supervisor decides
+
+    async def main() -> None:
+        service, pending = _build_shard_service(
+            catalog_root, tables, topology, shard_id, config, cold
+        )
+        server = StatisticsServer(
+            service, config.host, port, config=config.service_config()
+        )
+        await server.start()
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        loop.add_signal_handler(signal.SIGTERM, stop.set)
+        conn.send(("ready", server.address[1]))
+        conn.close()
+        if pending:
+            # The real histograms rebuild behind the sampled serving
+            # state; each build() swaps the estimator atomically.
+            def rebuild() -> None:
+                for name in pending:
+                    service.build(name)
+
+            threading.Thread(
+                target=rebuild, name="fleet-rebuild", daemon=True
+            ).start()
+        try:
+            await stop.wait()
+        finally:
+            await server.stop()
+            service.close()
+
+    try:
+        asyncio.run(main())
+    except Exception as error:  # noqa: BLE001 -- report startup failure up
+        try:
+            conn.send(("error", f"{type(error).__name__}: {error}"))
+            conn.close()
+        except OSError:
+            pass
+
+
+class _ThreadShard:
+    """An in-process shard: a service behind a server-thread handle."""
+
+    def __init__(self, handle: ServerHandle, service: StatisticsService) -> None:
+        self.handle = handle
+        self.service = service
+        # Captured while the server is bound: the restart path needs the
+        # port after the handle has died.
+        self.port = handle.address[1]
+        self._stopped = False
+
+    def alive(self) -> bool:
+        return self.handle._thread.is_alive()
+
+    def stop(self) -> None:
+        if self._stopped:
+            return
+        self._stopped = True
+        try:
+            self.handle.stop()
+        except Exception:  # noqa: BLE001 -- already dead is fine
+            pass
+        self.service.close()
+
+    def kill(self) -> None:
+        self.stop()
+
+
+class _ProcessShard:
+    """A forked shard process plus its reported port."""
+
+    def __init__(self, process: multiprocessing.Process, port: int) -> None:
+        self.process = process
+        self.port = port
+
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    def stop(self) -> None:
+        if self.process.is_alive():
+            self.process.terminate()  # SIGTERM: the shard drains
+            self.process.join(timeout=10.0)
+            if self.process.is_alive():
+                self.process.kill()
+                self.process.join(timeout=5.0)
+
+    def kill(self) -> None:
+        """SIGKILL -- the crash the monitor is there to catch."""
+        if self.process.is_alive():
+            self.process.kill()
+            self.process.join(timeout=5.0)
+
+
+class FleetSupervisor:
+    """Spawns, monitors and restarts a fleet of statistics shards."""
+
+    def __init__(
+        self,
+        catalog_root: Path,
+        tables: Sequence[Table],
+        config: Optional[FleetConfig] = None,
+    ) -> None:
+        self.config = config if config is not None else FleetConfig()
+        self.catalog_root = Path(catalog_root)
+        self.tables = list(tables)
+        self.topology = self.config.topology()
+        self._shards: Dict[int, Any] = {}
+        self._restarts: Dict[int, int] = {
+            shard: 0 for shard in self.topology.shard_ids
+        }
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._monitor: Optional[threading.Thread] = None
+        self._control: Optional[socketserver.ThreadingTCPServer] = None
+        self._control_thread: Optional[threading.Thread] = None
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> "FleetSupervisor":
+        """Launch every shard, the monitor and the control port."""
+        for shard_id in self.topology.shard_ids:
+            self._shards[shard_id] = self._launch(shard_id, port=0, cold=False)
+        if self.config.heartbeat_interval > 0:
+            self._monitor = threading.Thread(
+                target=self._monitor_loop, name="fleet-monitor", daemon=True
+            )
+            self._monitor.start()
+        self._start_control()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._monitor is not None:
+            self._monitor.join(timeout=10.0)
+            self._monitor = None
+        if self._control is not None:
+            self._control.shutdown()
+            self._control.server_close()
+            self._control = None
+        if self._control_thread is not None:
+            self._control_thread.join(timeout=5.0)
+            self._control_thread = None
+        with self._lock:
+            shards = dict(self._shards)
+            self._shards.clear()
+        for shard in shards.values():
+            shard.stop()
+
+    def __enter__(self) -> "FleetSupervisor":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def _launch(self, shard_id: int, port: int, cold: bool):
+        if self.config.mode == "thread":
+            service, pending = _build_shard_service(
+                self.catalog_root,
+                self.tables,
+                self.topology,
+                shard_id,
+                self.config,
+                cold,
+            )
+            handle = start_server_thread(
+                service,
+                self.config.host,
+                port,
+                config=self.config.service_config(),
+            )
+            if pending:
+                def rebuild() -> None:
+                    for name in pending:
+                        service.build(name)
+
+                threading.Thread(
+                    target=rebuild, name="fleet-rebuild", daemon=True
+                ).start()
+            return _ThreadShard(handle, service)
+        context = multiprocessing.get_context("fork")
+        parent, child = context.Pipe()
+        process = context.Process(
+            target=_shard_process_main,
+            args=(
+                shard_id,
+                self.catalog_root,
+                self.tables,
+                self.topology,
+                self.config,
+                port,
+                cold,
+                child,
+            ),
+            name=f"repro-shard-{shard_id}",
+            daemon=True,
+        )
+        process.start()
+        child.close()
+        if not parent.poll(60.0):
+            process.kill()
+            raise RuntimeError(f"shard {shard_id} did not report ready")
+        status, detail = parent.recv()
+        parent.close()
+        if status != "ready":
+            process.join(timeout=5.0)
+            raise RuntimeError(f"shard {shard_id} failed to start: {detail}")
+        return _ProcessShard(process, int(detail))
+
+    # -- liveness -----------------------------------------------------------
+
+    def _monitor_loop(self) -> None:
+        while not self._stop.wait(self.config.heartbeat_interval):
+            for shard_id in self.topology.shard_ids:
+                with self._lock:
+                    shard = self._shards.get(shard_id)
+                if shard is None or shard.alive() or self._stop.is_set():
+                    continue
+                self._restart(shard_id, shard)
+
+    def _restart(self, shard_id: int, dead) -> None:
+        """Respawn a dead shard on its original port, cold-starting."""
+        time.sleep(self.config.restart_backoff)
+        if self._stop.is_set():
+            return
+        try:
+            replacement = self._launch(
+                shard_id, port=dead.port, cold=self.config.cold_start
+            )
+        except Exception:  # noqa: BLE001 -- retried on the next heartbeat
+            return
+        with self._lock:
+            if self._stop.is_set():
+                replacement.stop()
+                return
+            self._shards[shard_id] = replacement
+            self._restarts[shard_id] += 1
+
+    def kill_shard(self, shard_id: int) -> None:
+        """Hard-kill one shard (tests and fire drills)."""
+        with self._lock:
+            shard = self._shards.get(shard_id)
+        if shard is not None:
+            shard.kill()
+
+    def restarts(self, shard_id: int) -> int:
+        with self._lock:
+            return self._restarts[shard_id]
+
+    # -- addressing + clients ----------------------------------------------
+
+    def addresses(self) -> Dict[int, Tuple[str, int]]:
+        with self._lock:
+            return {
+                shard_id: (self.config.host, shard.port)
+                for shard_id, shard in self._shards.items()
+            }
+
+    def client(self, **kwargs: Any) -> FleetClient:
+        """A routing client over the fleet's current addresses."""
+        return FleetClient(self.topology, self.addresses(), **kwargs)
+
+    def describe(self) -> Dict[str, Any]:
+        with self._lock:
+            shards = {
+                str(shard_id): {
+                    "host": self.config.host,
+                    "port": shard.port,
+                    "alive": shard.alive(),
+                    "restarts": self._restarts[shard_id],
+                }
+                for shard_id, shard in self._shards.items()
+            }
+        return {
+            "mode": self.config.mode,
+            "topology": self.topology.describe(),
+            "shards": shards,
+        }
+
+    def fleet_status(self) -> Dict[str, Any]:
+        """Pull every shard's snapshot and merge (see :mod:`.status`)."""
+        snapshots: Dict[str, Optional[Dict[str, Any]]] = {}
+        for shard_id, (host, port) in sorted(self.addresses().items()):
+            try:
+                with StatisticsClient(host, port, timeout=5.0) as shard:
+                    snapshots[str(shard_id)] = shard.status()
+            except (ServiceUnavailableError, OSError):
+                snapshots[str(shard_id)] = None
+        return merge_fleet_status(snapshots, self.topology.describe())
+
+    # -- the control port ---------------------------------------------------
+
+    @property
+    def control_address(self) -> Tuple[str, int]:
+        if self._control is None:
+            raise RuntimeError("supervisor is not started")
+        return self._control.server_address[:2]
+
+    def _start_control(self) -> None:
+        supervisor = self
+
+        class Handler(socketserver.StreamRequestHandler):
+            def handle(self) -> None:
+                while True:
+                    line = self.rfile.readline()
+                    if not line:
+                        return
+                    if not line.strip():
+                        continue
+                    try:
+                        request = decode_line(line)
+                        response = supervisor._control_op(request)
+                    except Exception as error:  # noqa: BLE001
+                        response = error_response(
+                            {}, f"{type(error).__name__}: {error}"
+                        )
+                    try:
+                        self.wfile.write(encode_line(response))
+                    except OSError:
+                        return
+
+        class Server(socketserver.ThreadingTCPServer):
+            allow_reuse_address = True
+            daemon_threads = True
+
+        self._control = Server((self.config.host, self.config.control_port), Handler)
+        self._control_thread = threading.Thread(
+            target=self._control.serve_forever,
+            name="fleet-control",
+            daemon=True,
+        )
+        self._control_thread.start()
+
+    def _control_op(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        op = str(request.get("op") or "")
+        if op == "ping":
+            return ok_response(request, pong=True)
+        if op == "topology":
+            addresses = {
+                str(shard): [host, port]
+                for shard, (host, port) in self.addresses().items()
+            }
+            return ok_response(
+                request,
+                topology={**self.topology.describe(), "addresses": addresses},
+            )
+        if op == "fleet-status":
+            return ok_response(request, status=self.fleet_status())
+        if op == "status":
+            return ok_response(request, status=self.describe())
+        return error_response(request, f"unknown op {op!r}")

@@ -211,6 +211,10 @@ class ServiceMetrics:
             "p99_ms": float(snap["p99"]) * 1e3,
             "qerror_bound": snap["qerror_bound"],
             "buckets": snap["buckets"],  # sparse (le_seconds, count) cells
+            # The complete mergeable state: a fleet aggregator rebuilds
+            # the histogram from this and folds shards together exactly
+            # (same grid => counts add), keeping the sqrt(base) bound.
+            "histogram": histogram.to_wire(),
         }
 
     def snapshot(self) -> Dict[str, object]:

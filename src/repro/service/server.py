@@ -65,7 +65,11 @@ from repro.core.parallel import build_column_histograms
 from repro.core.statistics import ColumnStatistics, StatisticsManager
 from repro.dictionary.table import Table, histogram_worthy
 from repro.obs import NULL_TRACE, Span
-from repro.query.estimator import CardinalityEstimate, CardinalityEstimator
+from repro.query.estimator import (
+    CardinalityEstimate,
+    CardinalityEstimator,
+    method_of,
+)
 from repro.service.config import ServiceConfig
 from repro.service.drift import DriftTracker
 from repro.service.frames import (
@@ -302,6 +306,25 @@ class StatisticsService:
                 self._estimators[table_name] = estimator
             return {"built": len(histograms), "exact": exact}
 
+    def publish_estimator(
+        self, table_name: str, manager: StatisticsManager
+    ) -> None:
+        """Install a pre-built statistics manager for a registered table.
+
+        The fleet cold-start path uses this: a restarting shard can
+        serve bounded-sample statistics (``method_label = "sample"``)
+        the moment its table data is loaded, swapping to real
+        histograms when the background :meth:`build` completes -- the
+        same atomic estimator swap that build performs.
+        """
+        with self._lock:
+            table = self._tables.get(table_name)
+            if table is None:
+                raise KeyError(f"unknown table {table_name!r}")
+            self._estimators[table_name] = CardinalityEstimator(
+                table, manager, build=False
+            )
+
     def _estimator(self, table_name: str) -> CardinalityEstimator:
         with self._lock:
             estimator = self._estimators.get(table_name)
@@ -393,7 +416,7 @@ class StatisticsService:
             if values is None:
                 estimator = self._estimator(table_name)
                 stats = estimator.manager.statistics(table_name, column_name)
-                method = "exact" if stats.is_exact else "histogram"
+                method = method_of(stats)
                 batch_name = (
                     "estimate_distinct_range_batch"
                     if distinct
@@ -640,6 +663,10 @@ class StatisticsServer:
         self._plans: Optional[SharedPlanDirectory] = None
         self._pool: Optional[EstimatorWorkerPool] = None
         self._publish_lock = threading.Lock()
+        # Graceful-shutdown state, touched only on the event loop:
+        # requests currently executing, and every live connection task.
+        self._inflight = 0
+        self._conn_tasks: Set[asyncio.Task] = set()
 
     @property
     def address(self) -> Tuple[str, int]:
@@ -666,10 +693,25 @@ class StatisticsServer:
             await self._server.serve_forever()
 
     async def stop(self) -> None:
+        """Shut down gracefully: drain, then tear down, then clean up.
+
+        New connections stop immediately; requests already executing get
+        up to ``config.drain_grace`` seconds to produce their responses
+        before the remaining connection tasks are cancelled.  The worker
+        pool is stopped and the shared-memory plan directory unlinked
+        *deterministically* here -- a SIGTERM'd ``repro serve`` leaves no
+        orphan segments behind for the startup sweep to collect.
+        """
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        drained = await self._drain(self.config.drain_grace)
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*list(self._conn_tasks), return_exceptions=True)
+        self._conn_tasks.clear()
         self.service.array_backend = None
         pool, self._pool = self._pool, None
         if pool is not None:
@@ -679,7 +721,22 @@ class StatisticsServer:
             plans.close()
         executor, self._executor = self._executor, None
         if executor is not None:
-            executor.shutdown(wait=False)
+            # A drained server has an idle pool: waiting is free and
+            # guarantees every response was fully computed.  If the
+            # grace expired, don't block shutdown on stuck requests.
+            executor.shutdown(wait=drained)
+
+    async def _drain(self, grace: float) -> bool:
+        """Wait up to ``grace`` seconds for in-flight requests to finish."""
+        if grace <= 0:
+            return self._inflight == 0
+        deadline = perf_counter() + grace
+        while self._inflight and perf_counter() < deadline:
+            await asyncio.sleep(0.01)
+        if self._inflight:
+            self.service.metrics.incr("shutdown_drain_expired")
+            return False
+        return True
 
     # -- estimator fan-out -------------------------------------------------
 
@@ -764,6 +821,9 @@ class StatisticsServer:
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
         try:
             try:
                 first = await reader.readexactly(2)
@@ -790,7 +850,14 @@ class StatisticsServer:
                 await writer.drain()
         except (ConnectionResetError, BrokenPipeError):
             pass
+        except asyncio.CancelledError:
+            # Only stop() cancels connection tasks (after the drain
+            # grace); ending normally keeps the cancellation out of
+            # asyncio's transport callbacks' logs.
+            pass
         finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
             try:
                 writer.close()
                 await writer.wait_closed()
@@ -819,21 +886,27 @@ class StatisticsServer:
             if not line.strip():
                 continue
             start = perf_counter()
+            # In-flight until the response is on the wire: a graceful
+            # stop() drains accepted requests *and* their writes.
+            self._inflight += 1
             try:
-                request = decode_line(line)
-            except Exception as error:
-                op = "error"
-                response = error_response({}, f"bad request: {error}")
-            else:
-                op = str(request.get("op") or "")
-                # Off the event loop: estimates and inserts take locks
-                # and run numpy; the accept loop stays free.
-                response = await loop.run_in_executor(
-                    self._executor, self.service.handle, request
-                )
-            payload = encode_line(response)
-            writer.write(payload)
-            await writer.drain()
+                try:
+                    request = decode_line(line)
+                except Exception as error:
+                    op = "error"
+                    response = error_response({}, f"bad request: {error}")
+                else:
+                    op = str(request.get("op") or "")
+                    # Off the event loop: estimates and inserts take
+                    # locks and run numpy; the accept loop stays free.
+                    response = await loop.run_in_executor(
+                        self._executor, self.service.handle, request
+                    )
+                payload = encode_line(response)
+                writer.write(payload)
+                await writer.drain()
+            finally:
+                self._inflight -= 1
             metrics.record_wire(
                 "json",
                 frames_in=1,
@@ -928,19 +1001,25 @@ class StatisticsServer:
     ) -> None:
         start = perf_counter()
         loop = asyncio.get_running_loop()
+        # In-flight until the response frame is on the wire (see
+        # ``_serve_json``): stop() waits for accepted frames to answer.
+        self._inflight += 1
         try:
-            op, payload = await loop.run_in_executor(
-                self._executor, self._dispatch_frame, opcode, body
-            )
-        except Exception as error:  # noqa: BLE001 -- every failure is a frame
-            op = "error"
-            payload = encode_error_frame(f"{type(error).__name__}: {error}")
+            try:
+                op, payload = await loop.run_in_executor(
+                    self._executor, self._dispatch_frame, opcode, body
+                )
+            except Exception as error:  # noqa: BLE001 -- every failure is a frame
+                op = "error"
+                payload = encode_error_frame(f"{type(error).__name__}: {error}")
+            finally:
+                semaphore.release()
+            try:
+                await self._write_frame(writer, write_lock, payload)
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                return
         finally:
-            semaphore.release()
-        try:
-            await self._write_frame(writer, write_lock, payload)
-        except (ConnectionResetError, BrokenPipeError, OSError):
-            return
+            self._inflight -= 1
         metrics = self.service.metrics
         metrics.record_wire(
             "binary",

@@ -1,0 +1,80 @@
+"""Shared fixtures for the fleet suite.
+
+Thread-mode fleets with the liveness monitor disabled: shard death is
+injected with ``kill_shard`` and must stay dead, so the failover path
+(not a restart) is what the assertions see.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dictionary.column import DictionaryEncodedColumn
+from repro.dictionary.table import Table
+from repro.service.fleet import FleetConfig, FleetSupervisor
+from repro.service.server import StatisticsService
+
+
+def make_fleet_table(rng, rows: int = 4000) -> Table:
+    """Four worthy columns (spread over the shards) plus one exact-count."""
+    table = Table("orders")
+    table.add_column(
+        DictionaryEncodedColumn.from_values(
+            rng.zipf(1.5, size=rows).clip(max=300), name="amount"
+        )
+    )
+    table.add_column(
+        DictionaryEncodedColumn.from_values(
+            rng.integers(0, 120, size=rows), name="region"
+        )
+    )
+    table.add_column(
+        DictionaryEncodedColumn.from_values(
+            np.round(rng.lognormal(3.0, 1.0, size=rows), 1), name="price"
+        )
+    )
+    table.add_column(
+        DictionaryEncodedColumn.from_values(
+            rng.integers(0, 80, size=rows), name="quantity"
+        )
+    )
+    # < 20 distinct: unworthy, replicated to every shard as exact counts.
+    table.add_column(
+        DictionaryEncodedColumn.from_values(
+            rng.integers(0, 5, size=rows), name="flag"
+        )
+    )
+    return table
+
+
+@pytest.fixture(scope="module")
+def fleet_table():
+    return make_fleet_table(np.random.default_rng(4242))
+
+
+@pytest.fixture(scope="module")
+def single_node(fleet_table, tmp_path_factory):
+    """The ground truth: one service holding the whole table."""
+    service = StatisticsService(
+        tmp_path_factory.mktemp("single") / "catalog", seed=99
+    )
+    service.add_table(fleet_table)
+    yield service
+    service.close()
+
+
+@pytest.fixture(scope="module")
+def fleet(fleet_table, tmp_path_factory):
+    """A 4-shard thread-mode fleet over the same table, monitor off."""
+    config = FleetConfig(
+        shards=4,
+        replication=2,
+        mode="thread",
+        seed=99,
+        heartbeat_interval=0.0,  # no restarts: dead shards stay dead
+    )
+    supervisor = FleetSupervisor(
+        tmp_path_factory.mktemp("fleet"), [fleet_table], config
+    )
+    supervisor.start()
+    yield supervisor
+    supervisor.stop()

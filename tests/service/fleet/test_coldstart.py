@@ -1,0 +1,129 @@
+"""Bounded-sampling cold start: the certified-weaker serving state."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.qerror import qerror
+from repro.dictionary.column import DictionaryEncodedColumn
+from repro.dictionary.table import Table
+from repro.query.predicates import RangePredicate
+from repro.service.fleet import (
+    SampledColumnStatistics,
+    build_sampled_manager,
+    sampling_qerror_bound,
+)
+from repro.service.server import StatisticsService
+
+
+class TestSamplingBound:
+    def test_chernoff_formula(self):
+        rate, theta, delta = 0.1, 100.0, 0.01
+        expected = 1.0 + math.sqrt(3.0 * math.log(2.0 / delta) / (rate * theta))
+        assert sampling_qerror_bound(rate, theta, delta) == pytest.approx(expected)
+
+    def test_tightens_with_rate_and_theta(self):
+        assert sampling_qerror_bound(0.5, 100.0) < sampling_qerror_bound(0.1, 100.0)
+        assert sampling_qerror_bound(0.1, 1000.0) < sampling_qerror_bound(0.1, 100.0)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            sampling_qerror_bound(0.0, 100.0)
+        with pytest.raises(ValueError):
+            sampling_qerror_bound(1.5, 100.0)
+        with pytest.raises(ValueError):
+            sampling_qerror_bound(0.1, 0.0)
+        with pytest.raises(ValueError):
+            sampling_qerror_bound(0.1, 100.0, delta=1.0)
+
+
+class TestSampledColumnStatistics:
+    def test_rate_one_is_exact(self):
+        frequencies = np.array([5, 0, 12, 3, 7], dtype=np.int64)
+        stats = SampledColumnStatistics(
+            frequencies, rate=1.0, rng=np.random.default_rng(0)
+        )
+        cum = np.concatenate(([0], np.cumsum(frequencies)))
+        for c1 in range(5):
+            for c2 in range(c1 + 1, 6):
+                assert stats.estimate_range(c1, c2) == max(cum[c2] - cum[c1], 1)
+
+    def test_empty_range_is_zero(self):
+        stats = SampledColumnStatistics(
+            np.array([10, 10]), rate=0.5, rng=np.random.default_rng(0)
+        )
+        assert stats.estimate_range(1, 1) == 0.0
+        assert stats.estimate_distinct_range(2, 1) == 0.0
+
+    def test_is_labelled_not_exact(self):
+        stats = SampledColumnStatistics(
+            np.array([10]), rate=0.5, rng=np.random.default_rng(0)
+        )
+        assert stats.is_exact is False
+        assert stats.method_label == "sample"
+
+    def test_estimates_within_certified_bound_above_theta(self):
+        rng = np.random.default_rng(23)
+        frequencies = rng.integers(0, 50, size=400).astype(np.int64)
+        rate, theta = 0.25, 200.0
+        stats = SampledColumnStatistics(
+            frequencies, rate=rate, rng=np.random.default_rng(7)
+        )
+        bound = stats.qerror_bound(theta, delta=0.01)
+        cum = np.concatenate(([0], np.cumsum(frequencies)))
+        checked = 0
+        for c1 in range(0, 380, 19):
+            c2 = c1 + 20
+            truth = float(cum[c2] - cum[c1])
+            if truth < theta:
+                continue
+            checked += 1
+            assert qerror(stats.estimate_range(c1, c2), truth) <= bound
+        assert checked > 10  # the workload actually exercised the bound
+
+    def test_distinct_is_a_lower_bound(self):
+        frequencies = np.array([4, 0, 9, 1, 1, 30], dtype=np.int64)
+        stats = SampledColumnStatistics(
+            frequencies, rate=0.5, rng=np.random.default_rng(3)
+        )
+        true_distinct = np.concatenate(([0], np.cumsum(frequencies > 0)))
+        value = stats.estimate_distinct_range(0, 6)
+        assert 1.0 <= value <= float(true_distinct[-1])
+
+
+class TestBuildSampledManager:
+    @pytest.fixture
+    def table(self, rng):
+        table = Table("t")
+        table.add_column(
+            DictionaryEncodedColumn.from_values(
+                rng.integers(0, 300, size=3000), name="worthy"
+            )
+        )
+        table.add_column(
+            DictionaryEncodedColumn.from_values(
+                rng.integers(0, 4, size=3000), name="tiny"
+            )
+        )
+        return table
+
+    def test_worthy_sampled_unworthy_exact(self, table):
+        manager = build_sampled_manager(table, 0.2, np.random.default_rng(1))
+        assert isinstance(
+            manager.statistics("t", "worthy"), SampledColumnStatistics
+        )
+        assert manager.statistics("t", "tiny").is_exact
+
+    def test_published_estimator_serves_sample_method(self, table, tmp_path):
+        service = StatisticsService(tmp_path / "catalog", seed=5)
+        service.add_table(table, build=False)
+        service.publish_estimator(
+            "t", build_sampled_manager(table, 0.2, np.random.default_rng(1))
+        )
+        estimate = service.estimate("t", RangePredicate("worthy", 10, 200))
+        assert estimate.method == "sample"
+        assert estimate.value >= 1.0
+        # The unworthy column still answers from exact counts.
+        assert service.estimate("t", RangePredicate("tiny", 0, 3)).method == "exact"
+        service.close()

@@ -1,0 +1,136 @@
+"""The fleet answers exactly like a single node -- even one shard down.
+
+Parity holds bit-for-bit (``rtol=1e-9``) because every owner of a
+worthy column builds its histogram from identical column data with an
+identical seed and configuration; the router only picks *who* answers,
+never *what* the answer is.
+"""
+
+import numpy as np
+import pytest
+
+from repro.query.predicates import EqualsPredicate, RangePredicate
+from repro.service.fleet import FleetConfig, FleetSupervisor, FleetUnavailableError
+from tests.service.fleet.conftest import make_fleet_table
+
+RTOL = 1e-9
+
+
+def mixed_predicates(rng, n=50):
+    """Ranges + equalities over every column, worthy and unworthy."""
+    columns = ("amount", "region", "price", "quantity", "flag")
+    out = []
+    for i in range(n):
+        column = columns[i % len(columns)]
+        low, high = sorted(rng.uniform(0, 250, size=2))
+        if i % 7 == 0:
+            out.append(EqualsPredicate(column, float(int(low))))
+        else:
+            out.append(RangePredicate(column, float(low), float(high)))
+    return out
+
+
+@pytest.fixture(scope="module")
+def client(fleet):
+    with fleet.client() as client:
+        yield client
+
+
+class TestParity:
+    def test_estimate_batch_matches_single_node(self, client, single_node):
+        predicates = mixed_predicates(np.random.default_rng(1))
+        fleet_values = [e.value for e in client.estimate_batch("orders", predicates)]
+        truth = [
+            single_node.estimate("orders", p).value for p in predicates
+        ]
+        np.testing.assert_allclose(fleet_values, truth, rtol=RTOL)
+
+    def test_methods_match_single_node(self, client, single_node):
+        predicates = mixed_predicates(np.random.default_rng(2), n=20)
+        fleet_estimates = client.estimate_batch("orders", predicates)
+        for predicate, estimate in zip(predicates, fleet_estimates):
+            assert estimate.method == single_node.estimate("orders", predicate).method
+
+    def test_estimate_distinct_batch_matches_single_node(
+        self, client, single_node
+    ):
+        predicates = [
+            RangePredicate("amount", float(low), float(low + 40))
+            for low in range(0, 200, 10)
+        ]
+        fleet_values = [
+            e.value for e in client.estimate_distinct_batch("orders", predicates)
+        ]
+        truth = [
+            e.value
+            for e in single_node.estimate_distinct_batch("orders", predicates)
+        ]
+        np.testing.assert_allclose(fleet_values, truth, rtol=RTOL)
+
+    def test_binary_range_batch_matches_single_node(self, client, single_node):
+        rng = np.random.default_rng(3)
+        lows = rng.uniform(0, 150, size=64)
+        highs = lows + rng.uniform(0, 100, size=64)
+        fleet_values = client.estimate_range_batch("orders", "amount", lows, highs)
+        truth = [
+            single_node.estimate(
+                "orders", RangePredicate("amount", float(lo), float(hi))
+            ).value
+            for lo, hi in zip(lows, highs)
+        ]
+        np.testing.assert_allclose(fleet_values, truth, rtol=RTOL)
+
+    def test_single_estimate_and_ping(self, client):
+        estimate = client.estimate_range("orders", "amount", 1, 100)
+        assert estimate.value > 0
+        assert client.ping() == {"0": True, "1": True, "2": True, "3": True}
+
+
+class TestFailover:
+    @pytest.fixture()
+    def killed_fleet(self, tmp_path):
+        """A fresh 3-shard fleet (monitor off) this test may mutilate."""
+        table = make_fleet_table(np.random.default_rng(4242))
+        supervisor = FleetSupervisor(
+            tmp_path,
+            [table],
+            FleetConfig(shards=3, replication=2, mode="thread", seed=99,
+                        heartbeat_interval=0.0),
+        )
+        supervisor.start()
+        try:
+            yield supervisor
+        finally:
+            supervisor.stop()
+
+    def test_dead_primary_fails_over_bit_identically(self, killed_fleet):
+        predicates = mixed_predicates(np.random.default_rng(5))
+        with killed_fleet.client() as client:
+            before = [e.value for e in client.estimate_batch("orders", predicates)]
+            primary = client.topology.primary("orders", "amount")
+            killed_fleet.kill_shard(primary)
+            after = [e.value for e in client.estimate_batch("orders", predicates)]
+        # No request dropped, duplicated or reordered; every value equal.
+        assert len(after) == len(predicates)
+        np.testing.assert_allclose(after, before, rtol=RTOL)
+
+    def test_binary_path_fails_over(self, killed_fleet):
+        with killed_fleet.client() as client:
+            lows = np.arange(0.0, 50.0)
+            highs = lows + 25.0
+            before = client.estimate_range_batch("orders", "amount", lows, highs)
+            killed_fleet.kill_shard(client.topology.primary("orders", "amount"))
+            after = client.estimate_range_batch("orders", "amount", lows, highs)
+        np.testing.assert_allclose(after, before, rtol=RTOL)
+
+    def test_all_owners_dead_raises_fleet_unavailable(self, killed_fleet):
+        with killed_fleet.client() as client:
+            owners = client.topology.owners("orders", "amount")
+            for shard in owners:
+                killed_fleet.kill_shard(shard)
+            with pytest.raises(FleetUnavailableError):
+                client.estimate_range("orders", "amount", 1, 10)
+            # Liveness reporting sees exactly the dead owners.
+            ping = client.ping()
+            for shard in owners:
+                assert ping[str(shard)] is False

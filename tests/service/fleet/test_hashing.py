@@ -1,0 +1,129 @@
+"""Rendezvous placement: determinism, disruption bounds, balance."""
+
+import numpy as np
+import pytest
+
+from repro.dictionary.column import DictionaryEncodedColumn
+from repro.dictionary.table import Table
+from repro.service.fleet import FleetTopology, rendezvous_owners, shard_table
+
+SHARDS = (0, 1, 2, 3)
+
+
+class TestRendezvousOwners:
+    def test_deterministic(self):
+        first = rendezvous_owners("t", "c", SHARDS, 2)
+        assert all(
+            rendezvous_owners("t", "c", SHARDS, 2) == first for _ in range(10)
+        )
+
+    def test_owner_count_and_distinctness(self):
+        for k in (1, 2, 3, 4):
+            owners = rendezvous_owners("t", "c", SHARDS, k)
+            assert len(owners) == k
+            assert len(set(owners)) == k
+
+    def test_k_clamps_to_fleet_size(self):
+        assert len(rendezvous_owners("t", "c", SHARDS, 99)) == len(SHARDS)
+
+    def test_primary_is_prefix_stable_in_k(self):
+        # Growing k only appends replicas; the leading owners never move.
+        for key in range(50):
+            column = f"c{key}"
+            prefix = rendezvous_owners("t", column, SHARDS, 1)
+            for k in (2, 3, 4):
+                owners = rendezvous_owners("t", column, SHARDS, k)
+                assert owners[: len(prefix)] == prefix
+                prefix = owners
+
+    def test_minimal_disruption_on_shard_removal(self):
+        """Dropping one shard only moves the keys it owned: every other
+        key keeps its exact owner list."""
+        removed = 2
+        survivors = tuple(s for s in SHARDS if s != removed)
+        for key in range(200):
+            column = f"c{key}"
+            before = rendezvous_owners("t", column, SHARDS, 2)
+            after = rendezvous_owners("t", column, survivors, 2)
+            if removed not in before:
+                assert after == before
+            else:
+                # The dead shard's keys promote their next-ranked shard;
+                # the surviving owner keeps its relative rank.
+                kept = tuple(s for s in before if s != removed)
+                assert set(kept) <= set(after)
+
+    def test_rough_balance(self):
+        counts = {shard: 0 for shard in SHARDS}
+        n = 2000
+        for key in range(n):
+            counts[rendezvous_owners("t", f"c{key}", SHARDS, 1)[0]] += 1
+        expected = n / len(SHARDS)
+        for shard, count in counts.items():
+            assert abs(count - expected) < 4 * np.sqrt(expected), (shard, counts)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            rendezvous_owners("t", "c", (), 1)
+        with pytest.raises(ValueError):
+            rendezvous_owners("t", "c", SHARDS, 0)
+
+
+class TestFleetTopology:
+    def test_hot_column_override(self):
+        topology = FleetTopology(
+            shard_ids=SHARDS, replication=2, hot_columns={"t.hot": 4}
+        )
+        assert topology.replication_for("t", "cold") == 2
+        assert topology.replication_for("t", "hot") == 4
+        assert len(topology.owners("t", "hot")) == 4
+
+    def test_rejects_degenerate_shapes(self):
+        with pytest.raises(ValueError):
+            FleetTopology(shard_ids=())
+        with pytest.raises(ValueError):
+            FleetTopology(shard_ids=(0, 0))
+        with pytest.raises(ValueError):
+            FleetTopology(shard_ids=SHARDS, replication=0)
+        with pytest.raises(ValueError):
+            FleetTopology(shard_ids=SHARDS, hot_columns={"t.c": 0})
+
+
+class TestShardTable:
+    @pytest.fixture
+    def table(self, rng):
+        table = Table("t")
+        table.add_column(
+            DictionaryEncodedColumn.from_values(
+                rng.integers(0, 500, size=2000), name="worthy"
+            )
+        )
+        table.add_column(
+            DictionaryEncodedColumn.from_values(
+                rng.integers(0, 4, size=2000), name="tiny"
+            )
+        )
+        return table
+
+    def test_worthy_columns_live_on_their_owners_only(self, table):
+        topology = FleetTopology(shard_ids=SHARDS, replication=2)
+        owners = topology.owners("t", "worthy")
+        for shard in SHARDS:
+            subset = shard_table(table, topology, shard)
+            assert ("worthy" in subset) == (shard in owners)
+
+    def test_unworthy_columns_live_everywhere(self, table):
+        topology = FleetTopology(shard_ids=SHARDS, replication=2)
+        for shard in SHARDS:
+            assert "tiny" in shard_table(table, topology, shard)
+
+    def test_columns_are_shared_by_reference(self, table):
+        topology = FleetTopology(shard_ids=SHARDS, replication=4)
+        subset = shard_table(table, topology, 0)
+        assert subset.column("worthy") is table.column("worthy")
+
+    def test_placement_covers_every_column(self, table):
+        topology = FleetTopology(shard_ids=SHARDS, replication=2)
+        placement = topology.placement(table)
+        assert placement["tiny"] == SHARDS
+        assert len(placement["worthy"]) == 2

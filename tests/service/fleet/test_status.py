@@ -1,0 +1,209 @@
+"""Exactly-merged fleet telemetry and its Prometheus exposition.
+
+The merge guarantee under test: fleet-wide quantiles computed from the
+merged histograms equal the quantiles of one histogram fed the *pooled*
+per-shard observation stream (same grid, cell counts add), and therefore
+stay within the grid's ``sqrt(base)`` q-error of the true pooled order
+statistics.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.qerror import qerror
+from repro.obs import QuantileHistogram
+from repro.service.drift import DriftTracker
+from repro.service.export import render_fleet_prometheus
+from repro.service.fleet import merge_fleet_status, merge_wire_histograms
+from repro.service.metrics import ServiceMetrics
+
+
+def _shard_snapshot(latencies, feedback):
+    """One shard's ``metrics``-op-shaped snapshot from raw observations."""
+    metrics = ServiceMetrics()
+    for seconds in latencies:
+        metrics.latency_histogram("estimate").record(seconds)
+        metrics._requests.incr("estimate")
+    drift = DriftTracker(min_observations=1)
+    for estimated, actual in feedback:
+        drift.observe("orders", "amount", estimated, actual,
+                      certified_q=2.0, theta=100.0)
+    return {"metrics": metrics.snapshot(), "drift": drift.snapshot()}
+
+
+class TestMergeFleetStatus:
+    def test_merged_latency_quantiles_match_pooled_stream(self):
+        rng = np.random.default_rng(11)
+        per_shard = [
+            rng.lognormal(-6.0, 1.5, size=rng.integers(50, 200))
+            for _ in range(4)
+        ]
+        shards = {
+            str(i): _shard_snapshot(latencies, [])
+            for i, latencies in enumerate(per_shard)
+        }
+        merged = merge_fleet_status(shards)
+        summary = merged["latency"]["estimate"]
+        pooled = np.sort(np.concatenate(per_shard))
+        assert summary["count"] == len(pooled)
+        merged_histogram = QuantileHistogram.from_wire(summary["histogram"])
+        bound = merged_histogram.max_qerror
+        for p in (0.5, 0.9, 0.99):
+            got = merged_histogram.quantile(p)
+            rank = max(1, math.ceil(p * len(pooled)))
+            truth = float(pooled[rank - 1])
+            assert qerror(got, truth) <= bound * (1 + 1e-9), (p, got, truth)
+        # The summary's millisecond quantiles are the same numbers.
+        assert summary["p99_ms"] == pytest.approx(
+            merged_histogram.quantile(0.99) * 1e3
+        )
+
+    def test_merged_drift_matches_pooled_observations(self):
+        rng = np.random.default_rng(13)
+        per_shard = []
+        for _ in range(3):
+            pairs = [
+                (float(a), float(a * q))
+                for a, q in zip(
+                    rng.uniform(200, 5000, size=120),
+                    rng.lognormal(0.3, 0.4, size=120),
+                )
+            ]
+            per_shard.append(pairs)
+        shards = {
+            str(i): _shard_snapshot([], pairs)
+            for i, pairs in enumerate(per_shard)
+        }
+        merged = merge_fleet_status(shards)
+        drift = merged["drift"]["orders.amount"]
+        pooled = np.sort(
+            [qerror(est, act) for pairs in per_shard for est, act in pairs]
+        )
+        assert drift["observations"] == len(pooled)
+        bound = drift["qerror_bound"]
+        for p, got in ((0.5, drift["qerr_p50"]), (0.99, drift["qerr_p99"])):
+            rank = max(1, math.ceil(p * len(pooled)))
+            truth = float(pooled[rank - 1])
+            assert qerror(got, truth) <= bound * (1 + 1e-9), (p, got, truth)
+        assert drift["violations"] == int(np.sum(pooled > 2.0))
+
+    def test_merge_equals_histogram_of_pooled_stream_exactly(self):
+        """Not just within-bound: merging shard histograms produces the
+        *identical* state as recording the pooled stream into one."""
+        rng = np.random.default_rng(17)
+        streams = [rng.lognormal(-5, 2, size=80) for _ in range(4)]
+        shards = {
+            str(i): _shard_snapshot(stream, [])
+            for i, stream in enumerate(streams)
+        }
+        merged = merge_fleet_status(shards)
+        pooled_metrics = ServiceMetrics()
+        for stream in streams:
+            for seconds in stream:
+                pooled_metrics.latency_histogram("estimate").record(seconds)
+        pooled_wire = pooled_metrics.snapshot()["latency"]["estimate"]["histogram"]
+        merged_wire = dict(merged["latency"]["estimate"]["histogram"])
+        # The running float total is order-sensitive; the mergeable state
+        # (grid + cells + count + extremes) must be identical.
+        assert merged_wire.pop("sum") == pytest.approx(pooled_wire.pop("sum"))
+        assert merged_wire == pooled_wire
+
+    def test_dead_shard_reported_down_not_merged(self):
+        shards = {
+            "0": _shard_snapshot([0.001, 0.002], []),
+            "1": None,
+        }
+        merged = merge_fleet_status(shards)
+        assert merged["shards"] == {"0": True, "1": False}
+        assert merged["shards_up"] == 1
+        assert merged["shards_total"] == 2
+        assert merged["latency"]["estimate"]["count"] == 2
+
+    def test_version_skew_grid_mismatch_fails_loudly(self):
+        left = QuantileHistogram(base=2.0, min_value=1e-6, max_value=1e4)
+        right = QuantileHistogram(base=4.0, min_value=1e-6, max_value=1e4)
+        left.record(0.01)
+        right.record(0.01)
+        with pytest.raises(ValueError, match="grid"):
+            merge_wire_histograms([left.to_wire(), right.to_wire()])
+
+    def test_counters_sum_across_shards(self):
+        shards = {
+            "0": _shard_snapshot([0.001], []),
+            "1": _shard_snapshot([0.002, 0.003], []),
+        }
+        merged = merge_fleet_status(shards)
+        assert merged["requests"] == {"estimate": 3}
+
+
+class TestFleetPrometheus:
+    @pytest.fixture()
+    def status(self):
+        rng = np.random.default_rng(19)
+        shards = {
+            str(i): _shard_snapshot(
+                rng.lognormal(-6, 1, size=30),
+                [(1000.0, 1300.0)] * 5,
+            )
+            for i in range(2)
+        }
+        shards["2"] = None
+        return merge_fleet_status(shards)
+
+    def test_fleet_families_and_shard_labels(self, status):
+        text = render_fleet_prometheus(status)
+        assert '# TYPE repro_fleet_shard_up gauge' in text
+        assert 'repro_fleet_shard_up{shard="0"} 1' in text
+        assert 'repro_fleet_shard_up{shard="2"} 0' in text
+        assert 'repro_fleet_requests_total{op="estimate"} 60' in text
+        assert 'repro_fleet_request_latency_seconds_bucket' in text
+        assert (
+            'repro_fleet_drift_qerror_p99{table="orders",column="amount"}' in text
+        )
+        assert (
+            'repro_fleet_drift_observations_total'
+            '{table="orders",column="amount"} 10' in text
+        )
+        # Per-shard expositions ride along, labeled by shard.
+        assert 'repro_requests_total{shard="0",op="estimate"} 30' in text
+        assert 'repro_requests_total{shard="1",op="estimate"} 30' in text
+
+    def test_headers_not_duplicated_across_shards(self, status):
+        text = render_fleet_prometheus(status)
+        assert text.count("# TYPE repro_requests_total counter") == 1
+
+    def test_merged_bucket_counts_sum_shards(self, status):
+        text = render_fleet_prometheus(status)
+        inf_lines = [
+            line
+            for line in text.splitlines()
+            if line.startswith("repro_fleet_request_latency_seconds_bucket")
+            and 'le="+Inf"' in line
+        ]
+        assert inf_lines and inf_lines[0].endswith(" 60")
+
+
+class TestLiveFleetStatus:
+    def test_supervisor_merges_live_shards(self, fleet):
+        with fleet.client() as client:
+            client.estimate_range("orders", "amount", 1, 50)
+            client.feedback("orders", "amount", 100.0, 140.0)
+        status = fleet.fleet_status()
+        assert status["shards_up"] == status["shards_total"] == 4
+        assert status["requests"].get("estimate", 0) >= 1
+        assert "topology" in status
+        text = render_fleet_prometheus(status)
+        assert 'repro_fleet_shard_up{shard="3"} 1' in text
+
+    def test_control_port_serves_fleet_status(self, fleet):
+        from repro.service.client import StatisticsClient
+
+        host, port = fleet.control_address
+        with StatisticsClient(host, port) as control:
+            assert control.ping()
+            payload = control.call("fleet-status")["status"]
+            assert payload["shards_up"] == 4
+            topology = control.call("topology")["topology"]
+            assert sorted(int(s) for s in topology["addresses"]) == [0, 1, 2, 3]

@@ -1,0 +1,85 @@
+"""Process-mode supervision: SIGKILL a shard, watch it come back.
+
+Slower than the thread-mode suite (real forks, real histogram builds in
+the children), so it keeps the fleet small and the table modest.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.service.fleet import FleetConfig, FleetSupervisor
+from tests.service.fleet.conftest import make_fleet_table
+
+
+@pytest.fixture(scope="module")
+def process_fleet(tmp_path_factory):
+    table = make_fleet_table(np.random.default_rng(4242), rows=2000)
+    supervisor = FleetSupervisor(
+        tmp_path_factory.mktemp("proc-fleet"),
+        [table],
+        FleetConfig(
+            shards=3,
+            replication=2,
+            mode="process",
+            seed=7,
+            heartbeat_interval=0.2,
+            restart_backoff=0.05,
+            cold_start=True,
+            sample_rate=0.2,
+        ),
+    )
+    supervisor.start()
+    yield supervisor
+    supervisor.stop()
+
+
+def _wait_until(predicate, timeout=90.0, interval=0.2):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+class TestProcessSupervision:
+    def test_kill_failover_restart_same_port(self, process_fleet):
+        with process_fleet.client() as client:
+            assert all(client.ping().values())
+            primary = client.topology.primary("orders", "amount")
+            port_before = process_fleet.addresses()[primary][1]
+            before = client.estimate_range("orders", "amount", 1, 100).value
+
+            process_fleet.kill_shard(primary)
+            # The replica answers bit-identically while the shard is down
+            # (or just restarted into its cold sampled state -- either
+            # way the request must be answered, and the replica path is
+            # what a batch in flight would take).
+            during = client.estimate_range("orders", "amount", 1, 100)
+            assert during.value == pytest.approx(before, rel=1e-9) or (
+                during.method == "sample"
+            )
+
+            # The monitor restarts the shard on its original port.
+            assert _wait_until(lambda: process_fleet.restarts(primary) >= 1)
+            assert process_fleet.addresses()[primary][1] == port_before
+            assert _wait_until(
+                lambda: client.ping().get(str(primary)) is True, timeout=60.0
+            )
+            # Once the background rebuild lands, answers are exact again
+            # and bit-identical to the pre-kill value.
+            def rebuilt() -> bool:
+                estimate = client.estimate_range("orders", "amount", 1, 100)
+                return (
+                    estimate.method != "sample"
+                    and estimate.value == pytest.approx(before, rel=1e-9)
+                )
+
+            assert _wait_until(rebuilt, timeout=120.0)
+            assert process_fleet.restarts(primary) == 1
+
+    def test_fleet_status_sees_all_shards_up(self, process_fleet):
+        status = process_fleet.fleet_status()
+        assert status["shards_up"] == status["shards_total"] == 3

@@ -1,0 +1,125 @@
+"""Graceful shutdown and the typed unavailable-service failure mode."""
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.query.predicates import RangePredicate
+from repro.service.client import (
+    BinaryStatisticsClient,
+    ServiceUnavailableError,
+    StatisticsClient,
+)
+from repro.service.config import ServiceConfig
+from repro.service.server import start_server_thread
+
+
+def _closed_port() -> int:
+    """A port that was just bound and released -- nothing listens on it."""
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+class TestServiceUnavailableError:
+    def test_is_a_retryable_connection_error(self):
+        error = ServiceUnavailableError("gone")
+        assert isinstance(error, ConnectionError)
+        assert error.retryable is True
+
+    def test_json_client_connect_refused(self):
+        with pytest.raises(ServiceUnavailableError):
+            StatisticsClient("127.0.0.1", _closed_port(), timeout=2.0)
+
+    def test_binary_client_connect_refused(self):
+        with pytest.raises(ServiceUnavailableError):
+            BinaryStatisticsClient("127.0.0.1", _closed_port(), timeout=2.0)
+
+    def test_json_client_server_gone_mid_conversation(self, service):
+        handle = start_server_thread(service)
+        client = StatisticsClient(*handle.address)
+        assert client.ping()
+        handle.stop()
+        with pytest.raises(ServiceUnavailableError):
+            client.ping()
+        client.close()
+
+    def test_binary_client_server_gone_mid_conversation(self, service):
+        handle = start_server_thread(service)
+        client = BinaryStatisticsClient(*handle.address)
+        assert client.estimate_range_batch("orders", "amount", [1.0], [50.0])
+        handle.stop()
+        with pytest.raises(ServiceUnavailableError):
+            client.estimate_range_batch("orders", "amount", [1.0], [50.0])
+        client.close()
+
+
+class TestGracefulDrain:
+    def test_inflight_request_completes_before_exit(self, service):
+        """stop() drains: a request already dispatched when shutdown begins
+        still receives its full response."""
+        release = threading.Event()
+        inner = service.estimate
+
+        def slow_estimate(table, predicate):
+            release.wait(5.0)
+            return inner(table, predicate)
+
+        service.estimate = slow_estimate
+        handle = start_server_thread(
+            service, config=ServiceConfig(drain_grace=5.0)
+        )
+        results = {}
+
+        def ask():
+            with StatisticsClient(*handle.address) as client:
+                results["value"] = client.estimate(
+                    "orders", RangePredicate("amount", 1, 100)
+                ).value
+
+        asker = threading.Thread(target=ask)
+        asker.start()
+        time.sleep(0.3)  # let the request reach the handler
+        stopper = threading.Thread(target=handle.stop)
+        stopper.start()
+        time.sleep(0.2)  # shutdown is now waiting on the in-flight request
+        release.set()
+        asker.join(10.0)
+        stopper.join(10.0)
+        assert not asker.is_alive() and not stopper.is_alive()
+        assert results["value"] > 0
+        snapshot = service.metrics.snapshot()
+        assert snapshot["counters"].get("shutdown_drain_expired", 0) == 0
+
+    def test_expired_drain_is_counted(self, service):
+        release = threading.Event()
+
+        def stuck_estimate(table, predicate):
+            release.wait(10.0)
+            raise RuntimeError("never answered")
+
+        service.estimate = stuck_estimate
+        handle = start_server_thread(
+            service, config=ServiceConfig(drain_grace=0.2)
+        )
+
+        def ask():
+            try:
+                with StatisticsClient(*handle.address) as client:
+                    client.estimate("orders", RangePredicate("amount", 1, 2))
+            except Exception:
+                pass
+
+        asker = threading.Thread(target=ask, daemon=True)
+        asker.start()
+        time.sleep(0.3)
+        handle.stop(timeout=10.0)
+        release.set()
+        snapshot = service.metrics.snapshot()
+        assert snapshot["counters"].get("shutdown_drain_expired", 0) == 1
+
+    def test_drain_grace_must_be_non_negative(self):
+        with pytest.raises(ValueError):
+            ServiceConfig(drain_grace=-1.0)

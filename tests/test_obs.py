@@ -279,6 +279,101 @@ class TestQuantileHistogram:
         assert histogram.count == 2000
 
 
+class TestQuantileHistogramMerge:
+    GRID = dict(base=2.0 ** 0.25, min_value=1e-6, max_value=1e4)
+
+    def test_same_grid_counts_add_exactly(self):
+        left = QuantileHistogram(**self.GRID)
+        right = QuantileHistogram(**self.GRID)
+        for value in (0.001, 0.5, 7.0):
+            left.record(value)
+        for value in (0.5, 200.0):
+            right.record(value)
+        merged = QuantileHistogram.merged([left, right])
+        assert merged.count == 5
+        assert merged.total == pytest.approx(left.total + right.total)
+        assert merged.max == 200.0
+        # Cell-exact: the merged sparse counts are the sum of the parts.
+        pooled = {}
+        for histogram in (left, right):
+            for code, cell in histogram.to_wire()["codes"]:
+                pooled[code] = pooled.get(code, 0) + cell
+        assert dict(merged.to_wire()["codes"]) == pooled
+
+    def test_mismatched_grids_raise(self):
+        left = QuantileHistogram(base=2.0, min_value=1.0, max_value=1e3)
+        for wrong in (
+            QuantileHistogram(base=4.0, min_value=1.0, max_value=1e3),
+            QuantileHistogram(base=2.0, min_value=0.5, max_value=1e3),
+            QuantileHistogram(base=2.0, min_value=1.0, max_value=1e6),
+        ):
+            with pytest.raises(ValueError, match="grid"):
+                left.merge(wrong)
+
+    def test_wire_roundtrip(self):
+        histogram = QuantileHistogram(**self.GRID)
+        for value in (1e-7, 0.02, 3.0, 1e9):  # clamps at both ends
+            histogram.record(value)
+        clone = QuantileHistogram.from_wire(histogram.to_wire())
+        assert clone.grid() == histogram.grid()
+        assert clone.count == histogram.count
+        assert clone.to_wire() == histogram.to_wire()
+        for p in (0.1, 0.5, 0.9):
+            assert clone.quantile(p) == histogram.quantile(p)
+
+    def test_from_wire_rejects_corruption(self):
+        histogram = QuantileHistogram(**self.GRID)
+        histogram.record(1.0)
+        good = histogram.to_wire()
+        bad_grid = dict(good)
+        bad_grid.pop("grid")
+        with pytest.raises(ValueError):
+            QuantileHistogram.from_wire(bad_grid)
+        bad_count = dict(good, count=99)
+        with pytest.raises(ValueError):
+            QuantileHistogram.from_wire(bad_count)
+
+    def test_merge_property_pooled_stream(self):
+        """The satellite guarantee: quantiles of the merged histogram agree
+        with quantiles of one histogram fed the pooled stream *exactly*
+        (same grid, same cells), and therefore sit within ``sqrt(base)``
+        q-error of the true pooled order statistics."""
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        values = st.floats(
+            min_value=1e-6, max_value=1e4, allow_nan=False, allow_infinity=False
+        )
+        streams = st.lists(
+            st.lists(values, min_size=1, max_size=60), min_size=2, max_size=4
+        )
+
+        @settings(max_examples=60, deadline=None)
+        @given(streams=streams)
+        def check(streams):
+            parts = []
+            pooled = QuantileHistogram(**self.GRID)
+            flat = []
+            for stream in streams:
+                part = QuantileHistogram(**self.GRID)
+                for value in stream:
+                    part.record(value)
+                    pooled.record(value)
+                    flat.append(value)
+                parts.append(part)
+            merged = QuantileHistogram.merged(parts)
+            assert merged.count == len(flat)
+            ordered = sorted(flat)
+            for p in (0.1, 0.5, 0.9, 1.0):
+                got = merged.quantile(p)
+                assert got == pooled.quantile(p)
+                rank = max(1, math.ceil(p * len(ordered)))
+                truth = float(ordered[rank - 1])
+                assert qerror(got, truth) <= merged.max_qerror * (1 + 1e-9)
+
+        check()
+
+
 class TestCounterSet:
     def test_incr_and_get(self):
         counters = CounterSet()
