@@ -5,7 +5,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint-artifacts smoke bench-estimation bench-obs bench-wire bench-fleet
+.PHONY: test lint-artifacts smoke bench-estimation bench-obs bench-wire bench-fleet bench-maintenance
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -40,6 +40,14 @@ bench-fleet:
 	REPRO_BENCH_ASSERT_FLEET=1 $(PYTHON) -m pytest -x -q \
 		benchmarks/test_fleet_throughput.py
 
+# Maintenance churn guard: a single broken bucket must repair >= 5x
+# faster than a full column rebuild, and repair cost must stay
+# proportional to churn (k repaired buckets < 1 rebuild for k up to 16).
+# Writes BENCH_maintenance.json.
+bench-maintenance:
+	REPRO_BENCH_ASSERT_MAINTENANCE=1 $(PYTHON) -m pytest -x -q \
+		benchmarks/test_maintenance_churn.py
+
 lint-artifacts:
 	@bad=$$(git ls-files | grep -E '__pycache__|\.pyc$$' || true); \
 	if [ -n "$$bad" ]; then \
@@ -49,4 +57,4 @@ lint-artifacts:
 	fi; \
 	echo "lint-artifacts: ok (no tracked __pycache__/*.pyc)"
 
-smoke: lint-artifacts test bench-obs bench-wire bench-fleet
+smoke: lint-artifacts test bench-obs bench-wire bench-fleet bench-maintenance

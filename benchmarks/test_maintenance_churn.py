@@ -1,0 +1,297 @@
+"""Localized bucket repair vs full-column rebuild under churn.
+
+The maintenance tentpole's acceptance bars, measured:
+
+* a single-bucket certificate violation is repaired >= 5x faster than a
+  full rebuild of the column (armed via ``REPRO_BENCH_ASSERT_MAINTENANCE=1``,
+  the ``make smoke`` setting);
+* repair cost is proportional to churn -- repairing k broken buckets
+  stays below the full-rebuild cost for every measured k, and far below
+  it for small k (the "repair-cost-proportional-to-churn floor");
+* repaired histograms pass the same theta,q certificate as rebuilt
+  ones, and untouched buckets answer identically (rtol 1e-9);
+* a 4-shard fleet of seeded registers under identical churn answers
+  bit-identically to a single node while repairs run.
+
+``BENCH_maintenance.json`` records the timings and speedups so the
+trajectory stays diffable across PRs.
+"""
+
+import os
+import time
+
+import numpy as np
+
+from repro.core.builder import build_histogram
+from repro.core.density import AttributeDensity
+from repro.experiments.report import format_table
+from repro.experiments.validate import certify
+from repro.service.refresh import ColumnRegister
+
+ASSERT_MAINT = os.environ.get("REPRO_BENCH_ASSERT_MAINTENANCE", "") == "1"
+FULL = os.environ.get("REPRO_BENCH_FULL", "") == "1"
+
+N_CODES = 12_000 if FULL else 6_000
+KIND = "V8DincB"
+REPEATS = 7 if FULL else 5
+HOT_MULTIPLIER = 60  # inserted rows per damaged bucket, x its base mass
+
+SPEEDUP_FLOOR = 5.0  # single-bucket repair vs full rebuild, armed
+CHURN_KS = (1, 4, 16)
+
+
+def _base_frequencies(seed: int = 7) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.integers(1, 200, size=N_CODES).astype(np.int64)
+
+
+def _fresh_register(base, histogram, seed: int = 1) -> ColumnRegister:
+    return ColumnRegister(
+        "bench", "amount", base, histogram, rng=np.random.default_rng(seed)
+    )
+
+
+def _damage(register: ColumnRegister, histogram, bucket_indices) -> np.ndarray:
+    """Concentrate inserts on one code per bucket; returns the hot codes."""
+    hot = []
+    for index in bucket_indices:
+        bucket = histogram.buckets[index]
+        code = int(bucket.lo)
+        mass = max(int(histogram.estimate(bucket.lo, bucket.hi)), 1)
+        register.insert_many(np.full(HOT_MULTIPLIER * mass, code, dtype=np.int64))
+        hot.append(code)
+    return np.asarray(hot)
+
+
+def _spread_indices(n_buckets: int, k: int) -> list:
+    return [int(i) for i in np.linspace(1, n_buckets - 2, num=k).astype(int)]
+
+
+def _median_action_seconds(prepare, action, repeats: int = REPEATS):
+    """Median wall time of ``action(prepare())``; setup stays off the clock.
+
+    Applying the churn itself (Morris-counter inserts) costs the same on
+    both maintenance paths, so only the *response* -- repair or rebuild
+    -- is timed.
+    """
+    samples = []
+    result = None
+    for _ in range(repeats):
+        state = prepare()
+        start = time.perf_counter()
+        result = action(state)
+        samples.append(time.perf_counter() - start)
+    return float(np.median(samples)), result
+
+
+def test_single_bucket_repair_beats_rebuild(emit, emit_json):
+    base = _base_frequencies()
+    histogram = build_histogram(AttributeDensity(base), kind=KIND)
+    n_buckets = len(histogram)
+    [target] = _spread_indices(n_buckets, 1)
+
+    def damaged_register():
+        register = _fresh_register(base, histogram)
+        _damage(register, histogram, [target])
+        return register
+
+    def do_repair(register):
+        failing = register.failing_buckets()
+        assert failing.size >= 1
+        result = register.repair(failing=failing)
+        return register, result
+
+    def do_rebuild(register):
+        merged, _ = register.snapshot_for_rebuild()
+        return build_histogram(AttributeDensity(merged), kind=KIND)
+
+    repair_s, (register, result) = _median_action_seconds(damaged_register, do_repair)
+    rebuild_s, rebuilt = _median_action_seconds(damaged_register, do_rebuild)
+    speedup = rebuild_s / repair_s
+
+    repaired = register.histogram()
+    merged = register.current_frequencies()
+    density = AttributeDensity(np.maximum(merged, 1))
+
+    # Certificate parity: the repaired histogram passes the exact check
+    # a rebuilt histogram passes.
+    assert certify(repaired, density).passed
+    assert certify(rebuilt, density).passed
+
+    # Untouched buckets are carried as the same objects and answer
+    # identically to the pre-churn histogram (rtol 1e-9 by identity).
+    preserved = sum(
+        1 for bucket in repaired.buckets
+        if any(bucket is old for old in histogram.buckets)
+    )
+    assert preserved == result.preserved_buckets
+    assert preserved >= n_buckets - 8
+    for bucket in histogram.buckets:
+        if any(bucket is kept for kept in repaired.buckets):
+            before = histogram.estimate(bucket.lo, bucket.hi)
+            after = repaired.estimate(bucket.lo, bucket.hi)
+            np.testing.assert_allclose(after, before, rtol=1e-9)
+
+    emit(
+        "maintenance_repair_speed",
+        format_table(
+            ["path", "median ms", "speedup"],
+            [
+                ["full rebuild", f"{rebuild_s * 1e3:.2f}", "1.0x"],
+                ["bucket repair", f"{repair_s * 1e3:.2f}", f"{speedup:.1f}x"],
+            ],
+        )
+        + f"\nbuckets={n_buckets} preserved={preserved} armed={ASSERT_MAINT}",
+    )
+    emit_json(
+        "maintenance",
+        {
+            "repair_speed": {
+                "buckets": n_buckets,
+                "rebuild_seconds": rebuild_s,
+                "repair_seconds": repair_s,
+                "speedup": speedup,
+                "preserved_buckets": preserved,
+                "floor": SPEEDUP_FLOOR,
+                "armed": ASSERT_MAINT,
+            }
+        },
+    )
+
+    if ASSERT_MAINT:
+        assert speedup >= SPEEDUP_FLOOR, (
+            f"single-bucket repair regressed: {speedup:.1f}x < {SPEEDUP_FLOOR}x floor"
+        )
+    else:
+        assert speedup > 1.0, f"repair slower than rebuild: {speedup:.2f}x"
+
+
+def test_repair_cost_proportional_to_churn(emit, emit_json):
+    base = _base_frequencies()
+    histogram = build_histogram(AttributeDensity(base), kind=KIND)
+    n_buckets = len(histogram)
+
+    def damaged(k):
+        def prepare():
+            register = _fresh_register(base, histogram)
+            _damage(register, histogram, _spread_indices(n_buckets, k))
+            return register
+
+        return prepare
+
+    def do_rebuild(register):
+        merged, _ = register.snapshot_for_rebuild()
+        return build_histogram(AttributeDensity(merged), kind=KIND)
+
+    rebuild_s, _ = _median_action_seconds(damaged(1), do_rebuild)
+
+    rows = []
+    timings = {}
+    for k in CHURN_KS:
+        def do_repair(register, k=k):
+            failing = register.failing_buckets()
+            assert failing.size >= k
+            return register.repair(failing=failing)
+
+        seconds, _ = _median_action_seconds(damaged(k), do_repair)
+        timings[k] = seconds
+        rows.append(
+            [f"repair k={k}", f"{seconds * 1e3:.2f}",
+             f"{rebuild_s / seconds:.1f}x"]
+        )
+
+    emit(
+        "maintenance_churn_scaling",
+        format_table(
+            ["path", "median ms", "vs rebuild"],
+            [["full rebuild", f"{rebuild_s * 1e3:.2f}", "1.0x"]] + rows,
+        ),
+    )
+    emit_json(
+        "maintenance",
+        {
+            "churn_scaling": {
+                "rebuild_seconds": rebuild_s,
+                "repair_seconds": {str(k): timings[k] for k in CHURN_KS},
+                "armed": ASSERT_MAINT,
+            }
+        },
+    )
+
+    # The proportionality floor: localized repair never costs more than
+    # the rebuild it replaces, and small repairs cost a small fraction.
+    if ASSERT_MAINT:
+        assert timings[1] * SPEEDUP_FLOOR <= rebuild_s
+        assert timings[4] * 2.0 <= rebuild_s
+        assert timings[16] <= rebuild_s
+    else:
+        assert timings[1] < rebuild_s
+
+
+def test_sustained_ingest_stays_inside_certified_bound(emit_json):
+    base = _base_frequencies(seed=11)
+    histogram = build_histogram(AttributeDensity(base), kind=KIND)
+    register = _fresh_register(base, histogram, seed=3)
+    rng = np.random.default_rng(5)
+    repairs = 0
+    rounds = 12 if FULL else 8
+    for _ in range(rounds):
+        # Each round hammers one random code, then repairs what broke.
+        code = int(rng.integers(0, N_CODES))
+        register.insert_many(np.full(4_000, code, dtype=np.int64))
+        failing = register.failing_buckets()
+        if failing.size:
+            register.repair(failing=failing)
+            repairs += 1
+    current = register.current_frequencies()
+    report = certify(register.histogram(), AttributeDensity(np.maximum(current, 1)))
+    assert report.passed, str(report)
+    assert repairs >= rounds // 2  # hot single codes do break certificates
+    emit_json(
+        "maintenance",
+        {
+            "sustained_ingest": {
+                "rounds": rounds,
+                "repairs": repairs,
+                "certified": bool(report.passed),
+            }
+        },
+    )
+
+
+def test_fleet_answers_bit_identically_under_repair(emit_json):
+    """4 seeded registers churned identically == 1 node, exactly."""
+    base = _base_frequencies(seed=13)
+    histogram = build_histogram(AttributeDensity(base), kind=KIND)
+    n_buckets = len(histogram)
+    registers = [_fresh_register(base, histogram, seed=9) for _ in range(5)]
+    single, shards = registers[0], registers[1:]
+
+    hot_indices = _spread_indices(n_buckets, 3)
+    for register in registers:
+        _damage(register, histogram, hot_indices)
+        failing = register.failing_buckets()
+        assert failing.size >= 1
+        register.repair(failing=failing)
+        # Keep churning after the repair: estimates must stay identical
+        # while Morris registers blend on top of the repaired histogram.
+        register.insert_many(np.arange(0, N_CODES, 17, dtype=np.int64))
+
+    rng = np.random.default_rng(2)
+    lows = rng.integers(0, N_CODES - 100, size=512)
+    highs = lows + rng.integers(1, 100, size=512)
+    reference = single.estimate_batch(lows, highs)
+    for shard in shards:
+        answers = shard.estimate_batch(lows, highs)
+        assert np.array_equal(answers, reference)
+    emit_json(
+        "maintenance",
+        {
+            "fleet_identity": {
+                "shards": len(shards),
+                "queries": int(lows.size),
+                "bit_identical": True,
+                "repairs_per_shard": 1,
+            }
+        },
+    )

@@ -12,6 +12,7 @@ Usage::
     python -m repro query localhost:7443 --table orders --column amount 100 5000
     python -m repro query localhost:7443 --table orders --column amount 100 5000 --binary
     python -m repro query localhost:7443 --status
+    python -m repro ingest localhost:7443 --table orders --column amount --rows 20000
     python -m repro metrics localhost:7443 --prometheus
     python -m repro slowlog localhost:7443 --limit 10
 
@@ -375,6 +376,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         config=service.config,
         metrics=service.metrics,
         drift=service.drift,
+        repair=not args.no_repair,
+        escalate_fraction=args.escalate_fraction,
     )
     scheduler.start()
     runtime = ServiceConfig(
@@ -491,6 +494,111 @@ def _cmd_query(args: argparse.Namespace) -> int:
                 args.table, args.column, args.low, args.high
             )
             print(f"{estimate.value:.6g} ({estimate.method})")
+    return 0
+
+
+def _maintenance_state(status: dict, key: str) -> dict:
+    """Per-column maintenance counters + global escalations from a status."""
+    column = (status.get("columns") or {}).get(key) or {}
+    counters = ((status.get("metrics") or {}).get("counters")) or {}
+    state = {
+        "staleness": float(column.get("staleness", 0.0)),
+        "repairs": int(column.get("repairs", 0)),
+        "repair_buckets": int(column.get("repair_buckets", 0)),
+        "rebuilds": int(column.get("rebuilds", 0)),
+        "deletes": int(column.get("deletes", 0)),
+        "rebuilds_escalated": int(counters.get("rebuilds_escalated", 0)),
+        "repairs_failed": int(counters.get("repairs_failed", 0)),
+    }
+    return state
+
+
+def _report_ingest_events(before: dict, after: dict, rows_sent: int) -> None:
+    """Print one line per maintenance event that fired since ``before``."""
+    if after["repairs"] > before["repairs"]:
+        buckets = after["repair_buckets"] - before["repair_buckets"]
+        print(
+            f"event: repair x{after['repairs'] - before['repairs']} "
+            f"({buckets} bucket{'s' if buckets != 1 else ''}) "
+            f"after {rows_sent} rows",
+            flush=True,
+        )
+    if after["rebuilds"] > before["rebuilds"]:
+        escalated = after["rebuilds_escalated"] - before["rebuilds_escalated"]
+        suffix = " (escalated from repair)" if escalated > 0 else ""
+        print(
+            f"event: rebuild x{after['rebuilds'] - before['rebuilds']}"
+            f"{suffix} after {rows_sent} rows",
+            flush=True,
+        )
+    if after["repairs_failed"] > before["repairs_failed"]:
+        print(
+            f"event: repair failed x{after['repairs_failed'] - before['repairs_failed']} "
+            f"after {rows_sent} rows",
+            flush=True,
+        )
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.service.client import StatisticsClient
+
+    host, port = _parse_address(args.address)
+    if args.input is not None:
+        codes = load_column_values(Path(args.input)).astype(np.int64)
+    else:
+        rng = np.random.default_rng(args.seed)
+        if args.hot_code is not None:
+            # Skewed workload: all mass on one code -- the intra-bucket
+            # degradation a localized repair exists to fix.
+            codes = np.full(args.rows, int(args.hot_code), dtype=np.int64)
+        else:
+            codes = rng.integers(0, args.domain, size=args.rows, dtype=np.int64)
+    if codes.size == 0:
+        raise ValueError("nothing to ingest")
+    key = f"{args.table}.{args.column}"
+    op_name = "delete" if args.delete else "insert"
+    with StatisticsClient(host, port, timeout=args.timeout) as client:
+        state = _maintenance_state(client.status(), key)
+        start_state = dict(state)
+        sent = 0
+        started = time.monotonic()
+        for lo in range(0, codes.size, args.batch_size):
+            batch = codes[lo : lo + args.batch_size]
+            op = client.delete if args.delete else client.insert
+            result = op(args.table, args.column, [int(c) for c in batch])
+            sent += int(batch.size)
+            fresh = _maintenance_state(client.status(), key)
+            _report_ingest_events(state, fresh, sent)
+            state = fresh
+            print(
+                f"{op_name} {sent}/{codes.size} rows "
+                f"staleness={result['staleness']:.3f}",
+                flush=True,
+            )
+            if args.pause > 0:
+                time.sleep(args.pause)
+        # Maintenance runs on the server's schedule; give the sweep a
+        # window to act on what we just streamed before summarising.
+        deadline = time.monotonic() + args.wait
+        while time.monotonic() < deadline:
+            fresh = _maintenance_state(client.status(), key)
+            _report_ingest_events(state, fresh, sent)
+            changed = fresh != state
+            state = fresh
+            if changed and state["staleness"] < args.settle_staleness:
+                break
+            time.sleep(min(0.2, args.wait))
+        elapsed = time.monotonic() - started
+    print(
+        f"done: {sent} rows ({op_name}) in {elapsed:.2f}s; "
+        f"repairs={state['repairs'] - start_state['repairs']} "
+        f"repaired_buckets={state['repair_buckets'] - start_state['repair_buckets']} "
+        f"rebuilds={state['rebuilds'] - start_state['rebuilds']} "
+        f"escalated={state['rebuilds_escalated'] - start_state['rebuilds_escalated']} "
+        f"staleness={state['staleness']:.3f}"
+    )
     return 0
 
 
@@ -708,7 +816,15 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--staleness-threshold", type=float, default=0.2,
-        help="insert fraction that triggers a background rebuild",
+        help="churn fraction that triggers maintenance (repair or rebuild)",
+    )
+    serve.add_argument(
+        "--no-repair", action="store_true",
+        help="disable localized bucket repair (always rebuild whole columns)",
+    )
+    serve.add_argument(
+        "--escalate-fraction", type=float, default=0.3,
+        help="failing-bucket fraction beyond which repair escalates to a rebuild",
     )
     serve.add_argument(
         "--slow-ms", type=float, default=50.0,
@@ -762,6 +878,53 @@ def _build_parser() -> argparse.ArgumentParser:
         help="socket timeout, seconds (connect and each response)",
     )
     query.set_defaults(func=_cmd_query)
+
+    ingest = sub.add_parser(
+        "ingest",
+        help="stream rows into a served column and watch repair/rebuild events",
+    )
+    ingest.add_argument("address", help="host:port of the server")
+    ingest.add_argument("--table", required=True)
+    ingest.add_argument("--column", required=True)
+    ingest.add_argument(
+        "--input", default=None,
+        help="codes to stream (.npy or line-per-value text); omit to generate",
+    )
+    ingest.add_argument(
+        "--rows", type=int, default=10_000,
+        help="generated workload size (ignored with --input)",
+    )
+    ingest.add_argument(
+        "--domain", type=int, default=1000,
+        help="generated codes are uniform over [0, DOMAIN)",
+    )
+    ingest.add_argument(
+        "--hot-code", type=int, default=None,
+        help="send every generated row to this one code (skewed workload)",
+    )
+    ingest.add_argument("--seed", type=int, default=None)
+    ingest.add_argument(
+        "--batch-size", type=int, default=2000,
+        help="rows per insert/delete request",
+    )
+    ingest.add_argument(
+        "--delete", action="store_true",
+        help="stream deletes instead of inserts",
+    )
+    ingest.add_argument(
+        "--pause", type=float, default=0.0,
+        help="seconds to sleep between batches (lets maintenance interleave)",
+    )
+    ingest.add_argument(
+        "--wait", type=float, default=5.0,
+        help="seconds to watch for repair/rebuild events after the last batch",
+    )
+    ingest.add_argument(
+        "--settle-staleness", type=float, default=0.05,
+        help="stop waiting early once staleness drops below this",
+    )
+    ingest.add_argument("--timeout", type=float, default=10.0)
+    ingest.set_defaults(func=_cmd_ingest)
 
     fleet = sub.add_parser(
         "fleet", help="run or inspect a sharded statistics fleet"

@@ -312,6 +312,161 @@ class CompiledHistogram:
                 },
             )
 
+    # -- incremental patching ----------------------------------------------
+
+    def patch(self, histogram, ranges, trace=NULL_TRACE) -> "CompiledHistogram":
+        """A plan for a *repaired* ``histogram``, splicing this plan's tables.
+
+        ``ranges`` are the :class:`~repro.core.repair.RepairedRange`
+        records of a :func:`~repro.core.repair.repair_histogram` run
+        against the histogram this plan was compiled from (duck-typed:
+        any object with ``lo``/``hi``/``old_span``/``new_span`` works).
+        Only the replaced bucket runs have their cells re-emitted; every
+        other bucket's segment rows are copied from the existing tables
+        byte-for-byte -- possible because segment bases are kept *local
+        to the enclosing bucket*, so a repair elsewhere cannot move
+        them.  The only quantities rippling past a patch are the global
+        prefix sums (``bucket_cdf``, ``fine_global_left``), which are
+        cheap array arithmetic, not cell emission.
+
+        Returns a new frozen plan (plans never mutate -- shared-memory
+        consumers may hold views of the old tables).  Raises
+        :class:`CompileError` when the plan and the ranges do not line
+        up (wrong histogram, value domain, distinct surface).
+        """
+        start = perf_counter()
+        if self.domain != "code" or self._distinct is not None:
+            raise CompileError("only code-domain range plans can be patched")
+        if not ranges:
+            raise CompileError("patch needs at least one repaired range")
+        with trace.span("patch_plan") as span:
+            ranges = sorted(ranges, key=lambda item: item.lo)
+            buckets = histogram.buckets
+            surface = self._range
+            old_x = surface.seg_x
+            old_base = surface.seg_base
+            old_slope = surface.seg_slope
+            old_gl = self._fine_global_left
+            old_fine = surface.bucket_fine
+            old_totals = np.diff(surface.bucket_cdf)
+            old_los = self.bucket_edges[:-1]
+
+            xs_parts: List[np.ndarray] = []
+            base_parts: List[np.ndarray] = []
+            slope_parts: List[np.ndarray] = []
+            gl_parts: List[np.ndarray] = []
+            fine_parts: List[np.ndarray] = []
+            totals_parts: List[np.ndarray] = []
+            lo_parts: List[np.ndarray] = []
+            x_cursor = base_cursor = b_cursor = 0
+            shift = 0.0
+            decodes = 0
+            patched_cells = 0
+            patched_buckets = 0
+            for item in ranges:
+                first, last = item.old_span
+                j0, j1 = item.new_span
+                lo, old_hi = float(item.lo), float(item.hi)
+                s0 = int(np.searchsorted(old_x, lo, side="left"))
+                s1 = int(np.searchsorted(old_x, old_hi, side="left"))
+                aligned = (
+                    first >= b_cursor
+                    and last < old_fine.size
+                    and s1 < old_x.size
+                    and old_x[s0] == lo
+                    and old_x[s1] == old_hi
+                    and old_los[first] == lo
+                )
+                if not aligned:
+                    raise CompileError(
+                        f"plan does not align with repaired range "
+                        f"[{item.lo}, {item.hi}) over buckets "
+                        f"{first}..{last}"
+                    )
+                segments = _SegmentBuilder(lo)
+                new_totals = np.empty(j1 - j0 + 1, dtype=np.float64)
+                new_los = np.empty(j1 - j0 + 1, dtype=np.float64)
+                for offset, bucket in enumerate(buckets[j0 : j1 + 1]):
+                    segments.open_bucket()
+                    decodes += _emit_cells(bucket, segments)
+                    segments.close_bucket(bucket.hi)
+                    new_totals[offset] = bucket.total_estimate()
+                    new_los[offset] = bucket.lo
+                xs_parts.append(old_x[x_cursor:s0])
+                xs_parts.append(np.asarray(segments.xs, dtype=np.float64))
+                base_parts.append(old_base[base_cursor:s0])
+                base_parts.append(np.asarray(segments.base, dtype=np.float64))
+                slope_parts.append(old_slope[base_cursor:s0])
+                slope_parts.append(np.asarray(segments.slope, dtype=np.float64))
+                gl_parts.append(old_gl[x_cursor:s0] + shift)
+                gl_parts.append(
+                    np.asarray(segments.global_left, dtype=np.float64)
+                    + (float(old_gl[s0]) + shift)
+                )
+                shift += float(segments.global_left[-1]) - float(
+                    old_gl[s1] - old_gl[s0]
+                )
+                fine_parts.append(old_fine[b_cursor:first])
+                fine_parts.append(
+                    np.asarray(segments.bucket_fine, dtype=np.float64)
+                )
+                totals_parts.append(old_totals[b_cursor:first])
+                totals_parts.append(new_totals)
+                lo_parts.append(old_los[b_cursor:first])
+                lo_parts.append(new_los)
+                patched_cells += len(segments.slope)
+                patched_buckets += j1 - j0 + 1
+                x_cursor, base_cursor, b_cursor = s1 + 1, s1, last + 1
+            xs_parts.append(old_x[x_cursor:])
+            base_parts.append(old_base[base_cursor:])
+            slope_parts.append(old_slope[base_cursor:])
+            gl_parts.append(old_gl[x_cursor:] + shift)
+            fine_parts.append(old_fine[b_cursor:])
+            totals_parts.append(old_totals[b_cursor:])
+            lo_parts.append(old_los[b_cursor:])
+
+            totals = np.concatenate(totals_parts)
+            edges = np.concatenate(lo_parts + [[float(histogram.hi)]])
+            seg_x = np.concatenate(xs_parts)
+            seg_base = np.concatenate(base_parts)
+            if seg_base.size != seg_x.size - 1 or totals.size != len(buckets):
+                raise CompileError(
+                    "patched tables are inconsistent with the repaired "
+                    "histogram; recompile instead"
+                )
+            arrays = {
+                "bucket_cdf": np.concatenate(([0.0], np.cumsum(totals))),
+                "bucket_fine": np.concatenate(fine_parts),
+                "seg_x": seg_x,
+                "seg_base": seg_base,
+                "seg_slope": np.concatenate(slope_parts),
+            }
+            seconds = perf_counter() - start
+            span.count("patched_buckets", patched_buckets)
+            span.count("patched_cells", patched_cells)
+            COMPILE_COUNTERS.incr("plans_patched")
+            COMPILE_COUNTERS.incr("patched_buckets", patched_buckets)
+            COMPILE_COUNTERS.incr("patched_cells", patched_cells)
+            COMPILE_COUNTERS.incr("layout_decodes", decodes)
+            COMPILE_COUNTERS.incr("patch_us", int(seconds * 1e6))
+            return type(self)(
+                domain=self.domain,
+                bucket_edges=edges,
+                range_surface=_Surface.from_arrays(arrays, ""),
+                fine_global_left=np.concatenate(gl_parts),
+                distinct_surface=None,
+                stats={
+                    "buckets": len(buckets),
+                    "cells": int(arrays["seg_slope"].size),
+                    "layout_decodes": int(decodes),
+                    "compile_seconds": seconds,
+                    "domain": self.domain,
+                    "supports_distinct": True,
+                    "patched_ranges": len(ranges),
+                    "patched_buckets": int(patched_buckets),
+                },
+            )
+
     # -- plan export / attach ----------------------------------------------
 
     def export_tables(self) -> Tuple[dict, Dict[str, np.ndarray]]:

@@ -20,7 +20,14 @@ __all__ = ["DeltaStore"]
 
 
 class DeltaStore:
-    """An append buffer of raw values awaiting a delta merge.
+    """An append buffer of raw values (and tombstones) awaiting a delta merge.
+
+    Deletes are buffered as *tombstones* -- values to subtract from the
+    main part at merge time -- mirroring how the write-optimised delta
+    records row invalidations rather than mutating the read-optimised
+    main in place.  ``len(delta)`` counts every pending change, inserts
+    and tombstones alike, because both contribute to the staleness that
+    triggers a merge.
 
     Parameters
     ----------
@@ -33,10 +40,21 @@ class DeltaStore:
         self, on_merge: Optional[Callable[[DictionaryEncodedColumn], None]] = None
     ) -> None:
         self._rows: List[Any] = []
+        self._tombstones: List[Any] = []
         self._on_merge = on_merge
 
     def __len__(self) -> int:
+        return len(self._rows) + len(self._tombstones)
+
+    @property
+    def pending_inserts(self) -> int:
+        """Buffered rows awaiting the next merge."""
         return len(self._rows)
+
+    @property
+    def pending_deletes(self) -> int:
+        """Buffered tombstones awaiting the next merge."""
+        return len(self._tombstones)
 
     def insert(self, value: Any) -> None:
         """Append one row."""
@@ -46,6 +64,14 @@ class DeltaStore:
         """Append many rows."""
         self._rows.extend(values)
 
+    def delete(self, value: Any) -> None:
+        """Buffer one tombstone; validated against the main at merge time."""
+        self._tombstones.append(value)
+
+    def delete_many(self, values: Sequence[Any]) -> None:
+        """Buffer many tombstones."""
+        self._tombstones.extend(values)
+
     def merge(
         self, main: Optional[DictionaryEncodedColumn] = None, name: str = ""
     ) -> DictionaryEncodedColumn:
@@ -54,9 +80,13 @@ class DeltaStore:
         The merged column gets a rebuilt ordered dictionary covering the
         union of old and new distinct values (codes of existing values may
         shift -- exactly why histograms are rebuilt at merge time rather
-        than patched).  The delta is emptied.
+        than patched).  Tombstones are applied as a multiset subtraction
+        against the combined rows; a tombstone for a value with no
+        matching row raises ``ValueError`` and leaves the delta intact
+        (all-or-nothing, like the maintenance registers' batch ops).
+        The delta is emptied on success.
         """
-        if not self._rows and main is None:
+        if not self._rows and not self._tombstones and main is None:
             raise ValueError("nothing to merge: empty delta and no main column")
         parts = []
         if main is not None:
@@ -67,9 +97,37 @@ class DeltaStore:
             parts.append(np.repeat(values, main.frequencies))
         if self._rows:
             parts.append(np.asarray(self._rows))
+        if not parts:
+            raise ValueError("cannot apply tombstones: no rows to delete from")
         raw = np.concatenate(parts) if len(parts) > 1 else parts[0]
+        if self._tombstones:
+            raw = self._apply_tombstones(raw)
         merged = DictionaryEncodedColumn.from_values(raw, name=name or getattr(main, "name", ""))
         self._rows.clear()
+        self._tombstones.clear()
         if self._on_merge is not None:
             self._on_merge(merged)
         return merged
+
+    def _apply_tombstones(self, raw: np.ndarray) -> np.ndarray:
+        """Subtract the tombstone multiset from ``raw``; raises on underflow."""
+        values, counts = np.unique(raw, return_counts=True)
+        dead_values, dead_counts = np.unique(np.asarray(self._tombstones), return_counts=True)
+        index = np.searchsorted(values, dead_values)
+        clipped = np.minimum(index, len(values) - 1)
+        present = (index < len(values)) & (values[clipped] == dead_values)
+        if not bool(np.all(present)):
+            missing = dead_values[~present]
+            raise ValueError(
+                f"cannot delete absent value(s): {missing[:5].tolist()}"
+            )
+        counts[index] -= dead_counts
+        if bool(np.any(counts[index] < 0)):
+            over = dead_values[counts[index] < 0]
+            raise ValueError(
+                f"more deletes than rows for value(s): {over[:5].tolist()}"
+            )
+        keep = counts > 0
+        if not bool(np.any(keep)):
+            raise ValueError("merge would delete every remaining row")
+        return np.repeat(values[keep], counts[keep])

@@ -203,6 +203,9 @@ class _ServiceOps:
     def insert(self, table: str, column: str, codes: Sequence[int]) -> Dict[str, Any]:
         return self.call("insert", table=table, column=column, codes=list(codes))
 
+    def delete(self, table: str, column: str, codes: Sequence[int]) -> Dict[str, Any]:
+        return self.call("delete", table=table, column=column, codes=list(codes))
+
     def build(self, table: str, kind: Optional[str] = None) -> Dict[str, Any]:
         fields: Dict[str, Any] = {"table": table}
         if kind is not None:

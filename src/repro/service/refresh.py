@@ -1,4 +1,4 @@
-"""Staleness-driven background rebuilds (the served delta merge).
+"""Staleness-driven maintenance: localized repair first, rebuild last.
 
 The paper refreshes statistics at delta-merge time (Sec. 8); between
 merges, Sec. 6.1.3's Morris registers absorb inserts.  This module runs
@@ -6,26 +6,35 @@ that loop as a service concern:
 
 * :class:`ColumnRegister` -- the per-column serving state: a
   :class:`~repro.core.maintenance.MaintainedHistogram` answering
-  estimates (base payload + Morris-blended inserts) plus an *exact*
-  per-code delta of inserts since the last build, which is what a
-  rebuild folds in (the Morris registers approximate mass for serving;
-  the delta is the write-optimized store that the merge consumes).
+  estimates (base payload + Morris-blended churn) plus an *exact*
+  per-code delta of inserts *and deletes* since the last build, which is
+  what a rebuild folds in (the Morris registers approximate mass for
+  serving; the delta is the write-optimized store that the merge
+  consumes).  :meth:`ColumnRegister.repair` runs the localized
+  :mod:`repro.core.repair` path against that delta: only the buckets
+  whose θ,q certificate actually broke are replaced, the served plan is
+  spliced in place (:meth:`~repro.core.compiled.CompiledHistogram.patch`)
+  instead of recompiled, and the repaired code ranges fold their delta
+  into the exact base.
 * :class:`MaintenanceRegistry` -- a thread-safe name → register map.
 * :class:`RefreshScheduler` -- a daemon thread that polls staleness and
-  ships rebuilds to a :func:`repro.core.parallel.make_executor` pool.
-  The new histogram is swapped in atomically under the store's
-  generation counter while estimates keep serving the old one.  Given a
-  :class:`~repro.service.drift.DriftTracker`, the scheduler also treats
-  observed q-error drift as a rebuild trigger: a column whose feedback
-  q-error p99 breaches its certified ``q`` is rebuilt at the next sweep
-  regardless of staleness, and its drift window resets after the swap.
+  escalates: when a sweep triggers (staleness past the threshold, or a
+  :class:`~repro.service.drift.DriftTracker` flag), it first re-tests
+  the churned buckets' certificates; if only a small fraction broke
+  (``escalate_fraction``), it repairs them inline -- cost proportional
+  to the damage -- and only falls back to shipping a full rebuild to a
+  :func:`repro.core.parallel.make_executor` pool when the damage is too
+  wide, the repair failed, or no localized certificate break explains
+  the staleness.  Full rebuilds swap atomically under the store's
+  generation counter while estimates keep serving the old histogram;
+  drift flags reset after either a repair or a rebuild.
 
 Degradation ladder: a column with a fresh histogram answers within the
-θ,q bound; once inserts accumulate, estimates blend Morris counts (known
-relative error, surfaced via ``error_profile``); if a rebuild fails, the
-stale-but-blended register keeps answering and the failure is only a
-metrics counter -- an estimate request never errors because maintenance
-is behind.
+θ,q bound; once churn accumulates, estimates blend Morris counts (known
+relative error, surfaced via ``error_profile``); broken buckets are
+repaired in place; if a repair or rebuild fails, the stale-but-blended
+register keeps answering and the failure is only a metrics counter -- an
+estimate request never errors because maintenance is behind.
 """
 
 from __future__ import annotations
@@ -39,6 +48,7 @@ from repro.core.config import HistogramConfig
 from repro.core.histogram import Histogram
 from repro.core.maintenance import MaintainedHistogram
 from repro.core.parallel import make_executor, submit_histogram_build
+from repro.core.repair import RepairError, RepairResult, repair_histogram
 from repro.core.serialize import deserialize_histogram
 from repro.service.metrics import ServiceMetrics
 from repro.service.store import StatisticsStore
@@ -85,6 +95,8 @@ class ColumnRegister:
             histogram, counter_base=counter_base, rng=self._rng
         )
         self._rebuilds = 0
+        self._repairs = 0
+        self._repaired_buckets = 0
 
     @property
     def key(self) -> _Key:
@@ -157,6 +169,57 @@ class ColumnRegister:
             np.add.at(self._delta, codes, 1)
             return int(codes.size)
 
+    def delete(self, code: int) -> None:
+        """Record one deleted row (raises outside the domain or when the
+        column holds no such row)."""
+        with self._lock:
+            code = int(code)
+            lo, hi = int(self._maintained.histogram.lo), int(
+                self._maintained.histogram.hi
+            )
+            if not lo <= code < hi:
+                raise ValueError(
+                    f"code {code} outside the histogram domain [{lo}, {hi})"
+                )
+            if self._base_freqs[code] + self._delta[code] < 1:
+                raise ValueError(
+                    f"delete of code {code} underflows: no recorded rows left"
+                )
+            self._maintained.delete(code)
+            self._delta[code] -= 1
+
+    def delete_many(self, codes) -> int:
+        """Record many deleted rows; returns the count recorded.
+
+        All-or-nothing like :meth:`insert_many`: one out-of-domain code,
+        or any code whose delete count exceeds the rows the register
+        knows about (base plus delta), rejects the whole batch before
+        any state is touched.
+        """
+        codes = np.asarray(codes, dtype=np.int64)
+        if codes.size == 0:
+            return 0
+        with self._lock:
+            lo, hi = int(self._maintained.histogram.lo), int(
+                self._maintained.histogram.hi
+            )
+            if codes.min() < lo or codes.max() >= hi:
+                raise ValueError(
+                    f"delete batch contains codes outside the histogram "
+                    f"domain [{lo}, {hi})"
+                )
+            counts = np.bincount(codes, minlength=self._base_freqs.size)
+            available = self._base_freqs + self._delta
+            short = np.flatnonzero(counts > available)
+            if short.size:
+                raise ValueError(
+                    f"delete batch underflows codes {short[:5].tolist()}: "
+                    "more deletes than recorded rows"
+                )
+            self._maintained.delete_many(codes)
+            np.subtract.at(self._delta, codes, 1)
+            return int(codes.size)
+
     # -- rebuild ----------------------------------------------------------
 
     def staleness(self) -> float:
@@ -170,35 +233,109 @@ class ColumnRegister:
     def snapshot_for_rebuild(self) -> Tuple[np.ndarray, np.ndarray]:
         """The frequencies a rebuild should use.
 
-        Returns ``(merged, delta_snapshot)``: the base frequencies plus
-        every insert recorded so far, and the delta that snapshot
-        includes (needed at swap time to tell which inserts the new
-        histogram already covers).
+        Returns ``(merged, covered_delta)``: the base frequencies plus
+        every insert and delete recorded so far -- clamped to the
+        never-zero floor of 1 a builder requires -- and the delta that
+        snapshot covers (needed at swap time to tell which churn the new
+        histogram already folded in).
         """
         with self._lock:
-            delta = self._delta.copy()
-            return self._base_freqs + delta, delta
+            merged = np.maximum(self._base_freqs + self._delta, 1)
+            return merged, merged - self._base_freqs
 
     def swap(self, histogram: Histogram, merged: np.ndarray, covered_delta: np.ndarray) -> None:
         """Install a freshly built histogram.
 
         ``merged``/``covered_delta`` are the arrays
-        :meth:`snapshot_for_rebuild` returned to the rebuild.  Inserts
-        that arrived *while the build ran* are replayed into the new
-        registers, so no recorded row is ever dropped; everything the
-        build covered becomes the new exact base.
+        :meth:`snapshot_for_rebuild` returned to the rebuild.  Churn
+        that arrived *while the build ran* is replayed into the new
+        registers -- inserts and deletes separately, both exact -- so no
+        recorded row is ever dropped; everything the build covered
+        becomes the new exact base.
         """
         with self._lock:
             fresh = MaintainedHistogram(
                 histogram, counter_base=self._counter_base, rng=self._rng
             )
             remaining = self._delta - covered_delta
-            if remaining.any():
-                fresh.insert_counts(remaining)
+            inserts = np.maximum(remaining, 0)
+            deletes = np.maximum(-remaining, 0)
+            if inserts.any():
+                fresh.insert_counts(inserts)
+            if deletes.any():
+                fresh.delete_counts(deletes)
             self._base_freqs = np.asarray(merged, dtype=np.int64)
             self._delta = remaining
             self._maintained = fresh
             self._rebuilds += 1
+
+    # -- localized repair --------------------------------------------------
+
+    def current_frequencies(self) -> np.ndarray:
+        """Current per-code truth: exact base plus the signed delta."""
+        with self._lock:
+            return self._base_freqs + self._delta
+
+    def failing_buckets(self) -> np.ndarray:
+        """Churned buckets whose θ,q certificate breaks on current truth."""
+        with self._lock:
+            return self._maintained.failing_buckets(
+                self._base_freqs + self._delta
+            )
+
+    def repair(
+        self,
+        config: Optional[HistogramConfig] = None,
+        failing: Optional[np.ndarray] = None,
+    ) -> RepairResult:
+        """Repair the broken buckets in place; returns the repair record.
+
+        Runs :func:`repro.core.repair.repair_histogram` on the current
+        exact frequencies, splices the compiled plan for the repaired
+        ranges (falling back to a lazy full recompile if the plan cannot
+        be patched), folds the repaired code ranges' delta into the
+        exact base -- the repaired buckets were built from it, so it is
+        no longer pending churn -- and rebases the Morris registers onto
+        the patched histogram (untouched buckets keep their registers
+        and tallies).  Raises :class:`~repro.core.repair.RepairError`
+        when nothing is failing.
+        """
+        with self._lock:
+            current = self._base_freqs + self._delta
+            if failing is None:
+                failing = self._maintained.failing_buckets(current)
+            failing = np.asarray(failing, dtype=np.int64)
+            if failing.size == 0:
+                raise RepairError("no failing buckets to repair")
+            old_histogram = self._maintained.histogram
+            result = repair_histogram(
+                old_histogram,
+                current,
+                failing,
+                config=config,
+                churned=self._maintained.churned_buckets(),
+            )
+            repaired = result.histogram
+            old_plan = old_histogram._plan
+            if old_plan is not None:
+                try:
+                    repaired._plan = old_plan.patch(repaired, result.ranges)
+                except Exception:
+                    # A full lazy compile on first use is the safe
+                    # fallback; repair correctness never depends on the
+                    # plan splice.
+                    repaired._plan = None
+            n = self._base_freqs.size
+            for item in result.ranges:
+                lo, hi = int(item.lo), min(int(item.hi), n)
+                self._base_freqs[lo:hi] = np.maximum(
+                    self._base_freqs[lo:hi] + self._delta[lo:hi], 1
+                )
+                self._delta[lo:hi] = 0
+            self._maintained = self._maintained.rebase(repaired)
+            self._repairs += 1
+            self._repaired_buckets += result.repaired_buckets
+            return result
 
     @property
     def rebuilds(self) -> int:
@@ -206,9 +343,19 @@ class ColumnRegister:
             return self._rebuilds
 
     @property
+    def repairs(self) -> int:
+        with self._lock:
+            return self._repairs
+
+    @property
     def inserts_recorded(self) -> int:
         with self._lock:
             return self._maintained.inserts_recorded
+
+    @property
+    def deletes_recorded(self) -> int:
+        with self._lock:
+            return self._maintained.deletes_recorded
 
     def status(self) -> Dict[str, object]:
         with self._lock:
@@ -216,12 +363,16 @@ class ColumnRegister:
             return {
                 "staleness": profile["staleness"],
                 "inserts": self._maintained.inserts_recorded,
+                "deletes": self._maintained.deletes_recorded,
                 "morris_insert_estimate": self._maintained.morris_insert_total(),
                 "base_total": self._maintained.base_total,
                 "base_theta": profile["base_theta"],
                 "base_q": profile["base_q"],
                 "insert_relative_std": profile["insert_relative_std"],
                 "rebuilds": self._rebuilds,
+                "repairs": self._repairs,
+                "repair_buckets": self._repaired_buckets,
+                "churned_buckets": int(self._maintained.churned_buckets().size),
                 "buckets": len(self._maintained.histogram),
                 "kind": self._maintained.histogram.kind,
             }
@@ -256,36 +407,55 @@ class MaintenanceRegistry:
 
 
 class RefreshScheduler:
-    """Watch register staleness; rebuild and swap in the background.
+    """Watch register staleness; repair inline, rebuild in the background.
 
     Parameters
     ----------
     store:
-        The serving store; completed rebuilds are published through
-        :meth:`StatisticsStore.put` (bumping the key's generation).
+        The serving store; repairs and completed rebuilds are published
+        through :meth:`StatisticsStore.put` (bumping the key's
+        generation).
     registry:
         The registers to watch.
     threshold:
-        Staleness fraction that triggers a rebuild.
+        Staleness fraction that triggers a maintenance sweep of a key.
     interval:
         Poll period of the background thread, seconds.
     kind, config:
-        Histogram variant/parameters for rebuilds.
+        Histogram variant/parameters for rebuilds (repairs pin θ,q to
+        the served histogram's own and reuse ``config`` otherwise).
     executor, max_workers:
         Pool shape (see :func:`repro.core.parallel.make_executor`);
         thread pools are the default -- rebuild traffic is a few columns
         at a time and skips process spawn overhead.
     metrics:
-        Counter sink (``rebuilds_triggered`` / ``rebuilds_completed`` /
-        ``rebuilds_failed`` / ``rebuilds_drift``).
+        Counter sink (``repairs`` / ``repair_buckets`` /
+        ``repairs_failed`` / ``repairs_drift`` / ``rebuilds_triggered``
+        / ``rebuilds_completed`` / ``rebuilds_failed`` /
+        ``rebuilds_drift`` / ``rebuilds_escalated``).
     on_rebuild:
         Optional callback ``(register, histogram_or_None)`` after each
-        attempt -- tests hook this to observe convergence.
+        rebuild attempt -- tests hook this to observe convergence.
     drift:
         Optional :class:`~repro.service.drift.DriftTracker`.  Columns it
-        flags are rebuilt at the next sweep even below the staleness
-        threshold; a successful swap resets the column's drift window so
-        stale feedback cannot retrigger forever.
+        flags are swept at the next poll even below the staleness
+        threshold; a successful repair or swap resets the column's drift
+        window so stale feedback cannot retrigger forever.
+    repair:
+        Escalation switch (default on).  A triggered key first re-tests
+        its churned buckets; when some fail and they are at most
+        ``escalate_fraction`` of the histogram, the key is repaired
+        inline -- cost proportional to the broken buckets -- and the
+        full rebuild is skipped unless the register is still past the
+        staleness threshold afterwards (``rebuilds_escalated`` counts
+        both that and the too-wide-damage case).  ``repair=False``
+        restores the rebuild-only behaviour.
+    escalate_fraction:
+        Damage fraction above which a repair is not worth it and the
+        sweep escalates straight to a full rebuild.
+    on_repair:
+        Optional callback ``(register, RepairResult)`` after each
+        successful inline repair.
     """
 
     def __init__(
@@ -301,11 +471,16 @@ class RefreshScheduler:
         metrics: Optional[ServiceMetrics] = None,
         on_rebuild: Optional[Callable[[ColumnRegister, Optional[Histogram]], None]] = None,
         drift=None,
+        repair: bool = True,
+        escalate_fraction: float = 0.3,
+        on_repair: Optional[Callable[[ColumnRegister, RepairResult], None]] = None,
     ) -> None:
         if not 0 < threshold < 1:
             raise ValueError("threshold must be in (0, 1)")
         if interval <= 0:
             raise ValueError("interval must be positive")
+        if not 0 < escalate_fraction <= 1:
+            raise ValueError("escalate_fraction must be in (0, 1]")
         self.store = store
         self.registry = registry
         self.threshold = threshold
@@ -315,6 +490,9 @@ class RefreshScheduler:
         self.metrics = metrics if metrics is not None else ServiceMetrics()
         self._on_rebuild = on_rebuild
         self.drift = drift
+        self.repair_enabled = repair
+        self.escalate_fraction = escalate_fraction
+        self._on_repair = on_repair
         self._pool = make_executor(executor, max_workers)
         self._in_flight: Dict[_Key, object] = {}
         # Reentrant: add_done_callback runs _finish inline on this very
@@ -355,12 +533,14 @@ class RefreshScheduler:
     # -- the rebuild loop -------------------------------------------------
 
     def check_now(self, block: bool = True) -> List[_Key]:
-        """One staleness sweep; returns the keys whose rebuild was started.
+        """One maintenance sweep; returns the keys acted on (repaired
+        inline or with a rebuild started).
 
         ``block=True`` (the deterministic mode tests use) waits for
-        those rebuilds to finish before returning.
+        started rebuilds to finish before returning (inline repairs are
+        synchronous already).
         """
-        started: List[Tuple[_Key, threading.Event]] = []
+        started: List[Tuple[_Key, Optional[threading.Event]]] = []
         flagged = set(self.drift.flagged()) if self.drift is not None else set()
         for key, register in self.registry.items():
             with self._lock:
@@ -369,6 +549,16 @@ class RefreshScheduler:
                 drifted = key in flagged
                 if not drifted and not register.needs_rebuild(self.threshold):
                     continue
+                if self.repair_enabled and self._try_repair(
+                    key, register, drifted
+                ):
+                    started.append((key, None))
+                    if not register.needs_rebuild(self.threshold):
+                        continue
+                    # Repaired, but the column is still past the
+                    # staleness threshold (churn outside the broken
+                    # buckets): escalate to the full rebuild.
+                    self.metrics.incr("rebuilds_escalated")
                 merged, covered = register.snapshot_for_rebuild()
                 self.metrics.incr("rebuilds_triggered")
                 if drifted:
@@ -400,8 +590,54 @@ class RefreshScheduler:
             # Wait on the post-swap event, not the future: result() can
             # return before the done callback has swapped the register.
             for _, done in started:
-                done.wait()
-        return [key for key, _ in started]
+                if done is not None:
+                    done.wait()
+        return list(dict.fromkeys(key for key, _ in started))
+
+    def _try_repair(
+        self, key: _Key, register: ColumnRegister, drifted: bool
+    ) -> bool:
+        """One inline repair attempt for a triggered key.
+
+        Returns ``True`` when the key was repaired (the sweep may still
+        escalate on residual staleness); ``False`` sends the sweep down
+        the full-rebuild path -- because nothing localized is broken,
+        the damage is too wide, or the repair failed.
+        """
+        try:
+            failing = register.failing_buckets()
+        except Exception:
+            self.metrics.incr("repairs_failed")
+            return False
+        if failing.size == 0:
+            # Stale but certificate-clean (e.g. spread-out churn blurring
+            # the Morris blend): only a rebuild helps.
+            return False
+        n_buckets = len(register.histogram())
+        if failing.size > self.escalate_fraction * n_buckets:
+            self.metrics.incr("rebuilds_escalated")
+            return False
+        try:
+            result = register.repair(self.config, failing=failing)
+        except Exception:
+            # Same degradation contract as a failed rebuild: the
+            # register keeps serving, and the sweep falls back to the
+            # full rebuild right away.
+            self.metrics.incr("repairs_failed")
+            return False
+        self.metrics.incr("repairs")
+        self.metrics.incr("repair_buckets", result.repaired_buckets)
+        if drifted:
+            self.metrics.incr("repairs_drift")
+            if self.drift is not None:
+                self.drift.reset(key[0], key[1])
+        try:
+            self.store.put(key[0], key[1], register.histogram())
+        except Exception:
+            self.metrics.incr("repairs_failed")
+        if self._on_repair is not None:
+            self._on_repair(register, result)
+        return True
 
     def _finish(
         self, key: _Key, register: ColumnRegister, merged, covered, future, done

@@ -490,6 +490,18 @@ class StatisticsService:
             self.metrics.incr("rows_inserted", inserted)
             return {"inserted": inserted, "staleness": register.staleness()}
 
+    def delete(self, table_name: str, column_name: str, codes) -> Dict[str, Any]:
+        """Route deleted rows to the column's maintenance register."""
+        with self.metrics.track("delete"):
+            register = self.registry.get(table_name, column_name)
+            if register is None:
+                raise KeyError(
+                    f"no maintained statistics for {table_name}.{column_name}"
+                )
+            deleted = register.delete_many(np.atleast_1d(codes))
+            self.metrics.incr("rows_deleted", deleted)
+            return {"deleted": deleted, "staleness": register.staleness()}
+
     def invalidate(
         self, table: Optional[str] = None, column: Optional[str] = None
     ) -> int:
@@ -601,6 +613,15 @@ class StatisticsService:
             column = _require(request, "column")
             result = self.insert(table, column, codes)
             fields.update(table=table, column=column, inserted=result["inserted"])
+            return ok_response(request, **result)
+        if op == "delete":
+            codes = request.get("codes")
+            if codes is None:
+                codes = [_require(request, "code")]
+            table = _require(request, "table")
+            column = _require(request, "column")
+            result = self.delete(table, column, codes)
+            fields.update(table=table, column=column, deleted=result["deleted"])
             return ok_response(request, **result)
         if op == "build":
             table = _require(request, "table")
@@ -767,7 +788,12 @@ class StatisticsServer:
         if plan is None:
             return  # no compiled form; the in-process path serves it
         generation = self.service.store.generation(table, column)
-        plans.publish(table, column, generation, plan)
+        entry = plans.publish(table, column, generation, plan, allow_patch=True)
+        action = entry.get("action")
+        if action == "patched":
+            self.service.metrics.incr("plan_patched_in_place")
+        elif action == "published":
+            self.service.metrics.incr("plan_republished")
 
     def _push_manifest(self) -> None:
         pool, plans = self._pool, self._plans

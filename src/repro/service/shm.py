@@ -149,6 +149,7 @@ class SharedPlanDirectory:
         self._entries: Dict[_Key, Tuple[int, shared_memory.SharedMemory, Dict[str, object]]] = {}
         self._seq = 0
         self._closed = False
+        self._actions = {"published": 0, "republished": 0, "patched": 0}
         atexit.register(self.close)
 
     @property
@@ -156,13 +157,37 @@ class SharedPlanDirectory:
         return self._prefix
 
     def publish(
-        self, table: str, column: str, generation: int, plan: CompiledHistogram
+        self,
+        table: str,
+        column: str,
+        generation: int,
+        plan: CompiledHistogram,
+        allow_patch: bool = False,
     ) -> Dict[str, object]:
         """Publish (or republish) one key's plan; returns its manifest entry.
 
         Create-then-unlink ordering makes the swap safe for attached
         workers; an unchanged generation is a no-op returning the
         existing entry.
+
+        With ``allow_patch=True`` and an existing entry whose packed
+        layout exactly matches the new plan's (same keys, shapes and
+        dtypes -- the common case after a localized bucket repair whose
+        split produced as many buckets as it replaced), the new tables
+        are written into the *existing* segment in place and only the
+        manifest generation moves: workers keep their mapping and
+        zero-copy views, no segment churn.  A shape-changing repair
+        falls back to the create-then-unlink republish automatically.
+        In-place patching trades the torn-read guarantee for zero
+        remapping: a worker mid-query may combine rows from both
+        generations for the patched range.  Both generations are valid
+        certified plans for their populations, and the window is one
+        memcpy wide -- acceptable for estimates, which is why it is
+        opt-in per call.
+
+        The returned entry carries an ``"action"`` key --
+        ``"unchanged"``, ``"patched"`` or ``"published"`` -- describing
+        what this call did (not stored in the manifest).
         """
         key = (table, column)
         with self._lock:
@@ -170,12 +195,21 @@ class SharedPlanDirectory:
                 raise RuntimeError("shared plan directory is closed")
             current = self._entries.get(key)
             if current is not None and current[0] == generation:
-                return dict(current[2])
+                out = dict(current[2])
+                out["action"] = "unchanged"
+                return out
+            meta, arrays = plan.export_tables()
+            if allow_patch and current is not None:
+                entry = self._patch_in_place(key, current, generation, meta, arrays)
+                if entry is not None:
+                    self._actions["patched"] += 1
+                    out = dict(entry)
+                    out["action"] = "patched"
+                    return out
             self._seq += 1
             name = f"{self._prefix}-{self._seq}"
-            meta, arrays = plan.export_tables()
             segment, layout = pack_tables(arrays, name)
-            entry: Dict[str, object] = {
+            entry = {
                 "table": table,
                 "column": column,
                 "generation": int(generation),
@@ -184,9 +218,61 @@ class SharedPlanDirectory:
                 "meta": meta,
             }
             self._entries[key] = (generation, segment, entry)
+            self._actions["published" if current is None else "republished"] += 1
         if current is not None:
             _release(current[1])
-        return dict(entry)
+        out = dict(entry)
+        out["action"] = "published"
+        return out
+
+    def _patch_in_place(
+        self,
+        key: _Key,
+        current: Tuple[int, shared_memory.SharedMemory, Dict[str, object]],
+        generation: int,
+        meta: Dict[str, object],
+        arrays: Dict[str, np.ndarray],
+    ) -> Optional[Dict[str, object]]:
+        """Overwrite the existing segment if the packed layout matches.
+
+        Caller holds the lock.  Returns the updated manifest entry, or
+        ``None`` when any table's shape or dtype moved (caller then
+        republishes into a fresh segment).
+        """
+        _, segment, entry = current
+        layout: Dict[str, Dict[str, object]] = entry["layout"]  # type: ignore[assignment]
+        if sorted(arrays) != sorted(layout):
+            return None
+        prepared: Dict[str, np.ndarray] = {}
+        for name, array in arrays.items():
+            array = np.ascontiguousarray(array)
+            if array.dtype.byteorder == ">":
+                array = array.astype(array.dtype.newbyteorder("<"))
+            spec = layout[name]
+            if (
+                list(array.shape) != list(spec["shape"])  # type: ignore[arg-type]
+                or array.dtype.str != str(spec["dtype"])
+            ):
+                return None
+            prepared[name] = array
+        for name, array in prepared.items():
+            spec = layout[name]
+            view = np.ndarray(
+                array.shape,
+                dtype=array.dtype,
+                buffer=segment.buf,
+                offset=int(spec["offset"]),  # type: ignore[arg-type]
+            )
+            view[...] = array
+        entry["generation"] = int(generation)
+        entry["meta"] = meta
+        self._entries[key] = (generation, segment, entry)
+        return entry
+
+    def stats(self) -> Dict[str, int]:
+        """Counts of publish outcomes: published/republished/patched."""
+        with self._lock:
+            return dict(self._actions)
 
     def drop(self, table: str, column: str) -> None:
         """Unpublish one key (unlinks its segment)."""

@@ -333,3 +333,92 @@ class TestPropertyParity:
         )
         histogram = build_histogram(density_column, kind=kind, config=CONFIG)
         _assert_parity(histogram, rng, distinct=True)
+
+
+class TestPlanPatch:
+    """Splicing repaired bucket runs into an existing plan's tables."""
+
+    def _repaired(self, rng, k=1):
+        from repro.core.repair import repair_histogram
+
+        base = rng.integers(1, 200, size=4000).astype(np.int64)
+        histogram = build_histogram(AttributeDensity(base), kind="V8DincB")
+        indices = np.linspace(2, len(histogram) - 3, num=k).astype(int)
+        current = base.copy()
+        for index in indices:
+            current[int(histogram.buckets[index].lo)] += 100_000
+        result = repair_histogram(histogram, current, indices.tolist())
+        return histogram, result
+
+    def test_patched_tables_match_full_recompile(self, rng):
+        histogram, result = self._repaired(rng, k=3)
+        old_plan = CompiledHistogram.compile(histogram)
+        patched = old_plan.patch(result.histogram, result.ranges)
+        recompiled = CompiledHistogram.compile(result.histogram)
+        _, patched_tables = patched.export_tables()
+        _, fresh_tables = recompiled.export_tables()
+        assert sorted(patched_tables) == sorted(fresh_tables)
+        for key in fresh_tables:
+            np.testing.assert_allclose(
+                patched_tables[key], fresh_tables[key], rtol=1e-12,
+                err_msg=key,
+            )
+
+    def test_patched_estimates_match_recompile_exactly(self, rng):
+        histogram, result = self._repaired(rng, k=2)
+        patched = CompiledHistogram.compile(histogram).patch(
+            result.histogram, result.ranges
+        )
+        recompiled = CompiledHistogram.compile(result.histogram)
+        lows = rng.integers(0, 3900, size=400).astype(np.float64)
+        highs = lows + rng.integers(1, 100, size=400)
+        np.testing.assert_array_equal(
+            patched.estimate_batch(lows, highs),
+            recompiled.estimate_batch(lows, highs),
+        )
+
+    def test_rows_outside_the_patch_are_byte_identical(self, rng):
+        histogram, result = self._repaired(rng, k=1)
+        old_plan = CompiledHistogram.compile(histogram)
+        patched = old_plan.patch(result.histogram, result.ranges)
+        _, old_tables = old_plan.export_tables()
+        _, new_tables = patched.export_tables()
+        [range_] = result.ranges
+        # Every fine-segment row before the splice point is an untouched
+        # byte-for-byte copy of the old plan's row.
+        splice = int(np.searchsorted(old_tables["range.seg_x"], range_.lo))
+        assert splice > 0
+        assert np.array_equal(
+            old_tables["range.seg_x"][:splice], new_tables["range.seg_x"][:splice]
+        )
+        assert np.array_equal(
+            old_tables["range.seg_base"][:splice], new_tables["range.seg_base"][:splice]
+        )
+
+    def test_patch_stats_and_counters(self, rng):
+        histogram, result = self._repaired(rng, k=1)
+        before = COMPILE_COUNTERS.snapshot().get("plans_patched", 0)
+        patched = CompiledHistogram.compile(histogram).patch(
+            result.histogram, result.ranges
+        )
+        stats = patched.stats()
+        assert stats["patched_ranges"] == 1
+        assert stats["patched_buckets"] >= 1
+        assert COMPILE_COUNTERS.snapshot()["plans_patched"] == before + 1
+
+    def test_patch_refuses_value_domain(self, rng):
+        values = np.cumsum(rng.integers(1, 9, size=300)).astype(float)
+        density = AttributeDensity(rng.integers(1, 40, size=300), values=values)
+        histogram = build_histogram(density, kind="1VincB1")
+        plan = CompiledHistogram.compile(histogram)
+        with pytest.raises(CompileError):
+            plan.patch(histogram, [type("R", (), {
+                "lo": 0, "hi": 10, "old_span": (0, 0), "new_span": (0, 0),
+            })()])
+
+    def test_patch_refuses_empty_ranges(self, rng):
+        base = rng.integers(1, 200, size=1000).astype(np.int64)
+        histogram = build_histogram(AttributeDensity(base), kind="V8DincB")
+        plan = CompiledHistogram.compile(histogram)
+        with pytest.raises(CompileError):
+            plan.patch(histogram, [])

@@ -62,6 +62,77 @@ class TestInsertTracking:
             maintained.insert(10**6)
 
 
+class TestDeleteTracking:
+    def test_deletes_lower_estimates_exactly(self, rng):
+        density, maintained = _maintained(rng)
+        before = maintained.estimate(0, 500)
+        maintained.delete_many(np.repeat(np.arange(100), 10))
+        after = maintained.estimate(0, 500)
+        # Deletes are exact (no Morris register): the drop is the count.
+        assert before - after == pytest.approx(1000.0)
+        assert maintained.deletes_recorded == 1000
+
+    def test_delete_counts_mirrors_insert_counts(self, rng):
+        density, maintained = _maintained(rng)
+        counts = np.zeros(500, dtype=np.int64)
+        counts[40:60] = 7
+        maintained.delete_counts(counts)
+        assert maintained.deletes_recorded == 140
+        # The full-domain drop is exact; a sub-bucket range sees its
+        # bucket's share (deleted mass spreads uniformly, like inserts).
+        assert maintained.estimate(0, 500) == pytest.approx(
+            maintained.histogram.estimate(0, 500) - 140
+        )
+        assert maintained.estimate(40, 60) < maintained.histogram.estimate(40, 60)
+
+    def test_estimates_never_negative(self, rng):
+        density, maintained = _maintained(rng)
+        mass = maintained.histogram.estimate(0, 10)
+        maintained.delete_many(np.repeat(np.arange(10), int(mass) * 3 // 10 + 50))
+        assert maintained.estimate(0, 10) >= 0.0
+
+    def test_staleness_counts_both_directions(self, rng):
+        _, maintained = _maintained(rng)
+        maintained.insert_many(rng.integers(0, 500, size=2000))
+        grew = maintained.staleness()
+        maintained.delete_many(rng.integers(0, 500, size=2000))
+        assert maintained.staleness() > grew
+
+    def test_out_of_domain_delete_raises(self, rng):
+        _, maintained = _maintained(rng)
+        with pytest.raises(ValueError):
+            maintained.delete(10**6)
+        with pytest.raises(ValueError):
+            maintained.delete_many([1, 10**6])
+
+
+class TestChurnTracking:
+    def test_churned_buckets_flags_touched_only(self, rng):
+        density, maintained = _maintained(rng)
+        assert maintained.churned_buckets().size == 0
+        histogram = maintained.histogram
+        bucket = histogram.buckets[0]
+        maintained.insert(int(bucket.lo))
+        churned = maintained.churned_buckets()
+        assert churned.tolist() == [0]
+        churn = maintained.bucket_churn()
+        assert churn[0] == 1 and churn.sum() == 1
+
+    def test_failing_buckets_empty_when_clean(self, rng):
+        density, maintained = _maintained(rng)
+        assert maintained.failing_buckets(density.frequencies).size == 0
+
+    def test_rebase_carries_counters_for_shared_buckets(self, rng):
+        density, maintained = _maintained(rng)
+        histogram = maintained.histogram
+        maintained.insert_many(np.full(500, int(histogram.buckets[0].lo)))
+        fresh = maintained.rebase(histogram)  # same buckets: all carried
+        assert fresh.inserts_recorded == 500
+        assert fresh.churned_buckets().tolist() == [0]
+        # Blended estimates survive the rebase bit-for-bit.
+        assert fresh.estimate(0, 500) == maintained.estimate(0, 500)
+
+
 class TestRebuildSignal:
     def test_staleness_grows(self, rng):
         _, maintained = _maintained(rng)

@@ -1,0 +1,184 @@
+"""Localized bucket repair: the acceptance re-test, splits and merges."""
+
+import numpy as np
+import pytest
+
+from repro.core.builder import build_histogram
+from repro.core.density import AttributeDensity
+from repro.core.maintenance import MaintainedHistogram
+from repro.core.qerror import qerror
+from repro.core.repair import (
+    RepairError,
+    buckets_acceptable,
+    repair_histogram,
+)
+from repro.experiments.validate import certify
+
+
+def _skewed(rng, n=4000, lo=1, hi=200):
+    base = rng.integers(lo, hi, size=n).astype(np.int64)
+    histogram = build_histogram(AttributeDensity(base), kind="V8DincB")
+    assert len(histogram) > 20  # the scenarios need many buckets
+    return base, histogram
+
+
+class TestAcceptanceRetest:
+    def test_fresh_histogram_fully_acceptable(self, rng):
+        base, histogram = _skewed(rng)
+        density = AttributeDensity(base)
+        for kind in ("V8DincB", "V8Dinc", "F8Dgt", "1DincB"):
+            histogram = build_histogram(density, kind=kind)
+            accepted = buckets_acceptable(
+                histogram, density, np.arange(len(histogram))
+            )
+            assert accepted.all(), f"{kind}: clean buckets failed the re-test"
+
+    def test_hot_code_breaks_only_its_bucket(self, rng):
+        base, histogram = _skewed(rng)
+        bucket = histogram.buckets[len(histogram) // 2]
+        current = base.copy()
+        current[int(bucket.lo)] += 100_000
+        accepted = buckets_acceptable(
+            histogram, AttributeDensity(current), np.arange(len(histogram))
+        )
+        failing = np.flatnonzero(~accepted)
+        assert failing.tolist() == [len(histogram) // 2]
+
+    def test_small_drift_within_envelope_passes(self, rng):
+        # Churn that stays inside theta,(q+1/k)*slack must not trigger.
+        base, histogram = _skewed(rng)
+        current = base + 1  # uniform +1 per code: tiny relative drift
+        accepted = buckets_acceptable(
+            histogram, AttributeDensity(current), np.arange(len(histogram))
+        )
+        assert accepted.all()
+
+
+class TestSplitRepair:
+    def test_skewed_intra_bucket_inserts_degrade_then_repair_fixes(self, rng):
+        """Satellite pin: the documented Morris-blend degradation.
+
+        Registers spread a bucket's inserted mass uniformly across the
+        bucket, so a hot single code inside one bucket degrades
+        sub-bucket estimates far past the certificate -- and a localized
+        repair (no full rebuild) brings them back inside the bound.
+        """
+        base, histogram = _skewed(rng)
+        maintained = MaintainedHistogram(
+            histogram, counter_base=1.05, rng=np.random.default_rng(0)
+        )
+        index = len(histogram) // 2
+        bucket = histogram.buckets[index]
+        code = int(bucket.lo)
+        maintained.insert_many(np.full(80_000, code))
+        current = base.copy()
+        current[code] += 80_000
+        truth = float(current[code])
+
+        # Pin the degradation: the blended estimate of the single hot
+        # code is off by far more than the certified transfer bound.
+        degraded = qerror(max(maintained.estimate(code, code + 1), 1e-9), truth)
+        bound = 3.0 * (1.4 ** 0.5)  # Cor. 5.3 at k=4 for q=2, with slack
+        assert degraded > bound
+
+        failing = maintained.failing_buckets(current)
+        assert index in failing.tolist()
+
+        result = repair_histogram(histogram, current, failing)
+        repaired = result.histogram
+        assert result.splits >= 1 and result.merges == 0
+        fixed = qerror(max(repaired.estimate(code, code + 1), 1e-9), truth)
+        assert fixed <= bound
+        assert certify(repaired, AttributeDensity(current)).passed
+
+    def test_untouched_buckets_are_identical_objects(self, rng):
+        base, histogram = _skewed(rng)
+        index = len(histogram) // 2
+        current = base.copy()
+        current[int(histogram.buckets[index].lo)] += 100_000
+        result = repair_histogram(histogram, current, [index])
+        old_ids = {id(b) for b in histogram.buckets}
+        carried = [b for b in result.histogram.buckets if id(b) in old_ids]
+        assert len(carried) == result.preserved_buckets
+        assert result.preserved_buckets == len(histogram) - 1
+        # Identical objects answer identically -- estimate parity is free.
+        for offset in (-2, 2):
+            neighbor = histogram.buckets[index + offset]
+            assert any(neighbor is b for b in result.histogram.buckets)
+
+    def test_repaired_range_mapping_is_exact(self, rng):
+        base, histogram = _skewed(rng)
+        index = len(histogram) // 2
+        bucket = histogram.buckets[index]
+        current = base.copy()
+        current[int(bucket.lo)] += 100_000
+        result = repair_histogram(histogram, current, [index])
+        assert len(result.ranges) == 1
+        [rng_] = result.ranges
+        assert rng_.action == "split"
+        assert rng_.lo == int(bucket.lo) and rng_.hi == int(bucket.hi)
+        assert rng_.old_span == (index, index)
+        first, last = rng_.new_span
+        repaired = result.histogram
+        assert repaired.buckets[first].lo == bucket.lo
+        assert repaired.buckets[last].hi == bucket.hi
+        assert result.buckets_after == len(repaired)
+
+    def test_verify_restamps_the_certificate(self, rng):
+        base, histogram = _skewed(rng)
+        index = 10
+        current = base.copy()
+        current[int(histogram.buckets[index].lo)] += 50_000
+        result = repair_histogram(histogram, current, [index], verify=True)
+        # The re-stamp ran: the replaced span passes the same re-test.
+        first, last = result.ranges[0].new_span
+        accepted = buckets_acceptable(
+            result.histogram,
+            AttributeDensity(np.maximum(current, 1)),
+            np.arange(first, last + 1),
+        )
+        assert accepted.all()
+
+
+class TestMergeRepair:
+    def test_delete_hollowed_buckets_merge(self, rng):
+        base, histogram = _skewed(rng, lo=50, hi=200)
+        # Hollow a run of adjacent buckets down to the never-zero floor.
+        start = len(histogram) // 3
+        run = histogram.buckets[start : start + 4]
+        current = base.copy()
+        lo, hi = int(run[0].lo), int(run[-1].hi)
+        current[lo:hi] = 1
+        maintained = MaintainedHistogram(
+            histogram, counter_base=1.05, rng=np.random.default_rng(0)
+        )
+        deletes = np.maximum(base[lo:hi] - 1, 0)
+        counts = np.zeros_like(base)
+        counts[lo:hi] = deletes
+        maintained.delete_counts(counts)
+        failing = maintained.failing_buckets(current)
+        result = repair_histogram(
+            histogram, current, failing,
+            churned=maintained.churned_buckets(),
+        )
+        assert result.histogram.buckets
+        assert len(result.histogram) < len(histogram)
+        assert result.merges + result.splits >= 1
+        assert certify(result.histogram, AttributeDensity(current)).passed
+
+
+class TestRepairErrors:
+    def test_empty_failing_raises(self, rng):
+        base, histogram = _skewed(rng)
+        with pytest.raises(RepairError):
+            repair_histogram(histogram, base, [])
+
+    def test_wrong_domain_raises(self, rng):
+        base, histogram = _skewed(rng)
+        with pytest.raises(RepairError):
+            repair_histogram(histogram, base[:100], [0])
+
+    def test_out_of_range_index_raises(self, rng):
+        base, histogram = _skewed(rng)
+        with pytest.raises(RepairError):
+            repair_histogram(histogram, base, [len(histogram) + 5])

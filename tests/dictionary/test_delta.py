@@ -53,3 +53,83 @@ class TestDeltaMerge:
         values, counts = np.unique(combined, return_counts=True)
         assert np.array_equal(merged.frequencies, counts)
         assert np.array_equal(merged.dictionary.values, values)
+
+
+class TestDeltaTombstones:
+    def test_len_counts_inserts_and_tombstones(self):
+        delta = DeltaStore()
+        delta.insert_many([1, 2])
+        delta.delete(3)
+        delta.delete_many([4, 5])
+        assert len(delta) == 5
+        assert delta.pending_inserts == 2
+        assert delta.pending_deletes == 3
+
+    def test_merge_subtracts_tombstones(self):
+        main = DictionaryEncodedColumn.from_values([10, 10, 20, 30])
+        delta = DeltaStore()
+        delta.delete(10)
+        delta.delete(30)
+        merged = delta.merge(main)
+        assert merged.n_rows == 2
+        assert merged.dictionary.values.tolist() == [10, 20]
+        assert merged.frequencies.tolist() == [1, 1]
+        assert len(delta) == 0
+
+    def test_tombstone_cancels_pending_insert(self):
+        main = DictionaryEncodedColumn.from_values([1, 2])
+        delta = DeltaStore()
+        delta.insert(3)
+        delta.delete(3)  # deletes the not-yet-merged row
+        merged = delta.merge(main)
+        assert merged.n_rows == 2
+        assert merged.dictionary.values.tolist() == [1, 2]
+
+    def test_deleting_absent_value_raises_and_keeps_delta(self):
+        main = DictionaryEncodedColumn.from_values([1, 2])
+        delta = DeltaStore()
+        delta.insert(4)
+        delta.delete(99)
+        with pytest.raises(ValueError, match="absent"):
+            delta.merge(main)
+        # All-or-nothing: nothing was consumed.
+        assert delta.pending_inserts == 1
+        assert delta.pending_deletes == 1
+
+    def test_deleting_more_rows_than_exist_raises(self):
+        main = DictionaryEncodedColumn.from_values([5, 5, 6])
+        delta = DeltaStore()
+        delta.delete_many([5, 5, 5])
+        with pytest.raises(ValueError, match="more deletes"):
+            delta.merge(main)
+
+    def test_deleting_every_row_raises(self):
+        main = DictionaryEncodedColumn.from_values([7])
+        delta = DeltaStore()
+        delta.delete(7)
+        with pytest.raises(ValueError, match="every remaining row"):
+            delta.merge(main)
+
+    def test_tombstones_only_merge_against_main(self):
+        main = DictionaryEncodedColumn.from_values([1, 1, 2, 3])
+        delta = DeltaStore()
+        delta.delete(1)
+        merged = delta.merge(main)
+        assert merged.frequencies.tolist() == [1, 1, 1]
+
+    def test_random_roundtrip_matches_multiset_difference(self, rng):
+        raw_main = rng.integers(0, 30, size=300)
+        main = DictionaryEncodedColumn.from_values(raw_main)
+        inserts = rng.integers(0, 40, size=100)
+        # Tombstone a random sample of rows that definitely exist.
+        dead = rng.choice(raw_main, size=80, replace=False)
+        delta = DeltaStore()
+        delta.insert_many(inserts.tolist())
+        delta.delete_many(dead.tolist())
+        merged = delta.merge(main)
+        expected = np.concatenate([raw_main, inserts]).tolist()
+        for value in dead.tolist():
+            expected.remove(value)
+        values, counts = np.unique(np.asarray(expected), return_counts=True)
+        assert np.array_equal(merged.dictionary.values, values)
+        assert np.array_equal(merged.frequencies, counts)

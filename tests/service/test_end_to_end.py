@@ -38,6 +38,10 @@ def test_concurrent_traffic_with_background_rebuild(service):
         config=service.config,
         metrics=service.metrics,
         on_rebuild=on_rebuild,
+        # Pin the full-rebuild rung: with repair enabled the hot-code
+        # churn would be absorbed by localized repairs and the rebuild
+        # this scenario waits for might never trigger.
+        repair=False,
     )
     failures = []
     stop = threading.Event()

@@ -97,6 +97,9 @@ class TestRebuildLoop:
             kind="V8DincB",
             config=HistogramConfig(theta=16.0),
             metrics=metrics,
+            # These tests pin the rebuild-only escalation rung; the
+            # repair-first path has its own class below.
+            repair=False,
         )
         return base, register, store, scheduler, metrics
 
@@ -244,3 +247,219 @@ class TestRebuildLoop:
 
 def _raise():
     raise RuntimeError("builder crashed")
+
+
+def _skewed_register(seed=7, n=4000):
+    """A register over a *many-bucket* histogram: repairs can localize."""
+    rng = np.random.default_rng(seed)
+    base = rng.integers(1, 200, size=n).astype(np.int64)
+    histogram = build_histogram(AttributeDensity(base), kind="V8DincB")
+    assert len(histogram) > 50
+    register = ColumnRegister(
+        "t", "c", base, histogram, rng=np.random.default_rng(1)
+    )
+    return base, histogram, register
+
+
+class TestRegisterDeletes:
+    def test_delete_lowers_estimates(self):
+        base, histogram, register = _skewed_register()
+        before = register.estimate(0, 4000)
+        codes = np.flatnonzero(base >= 3)[:100]  # room above the floor
+        register.delete_many(np.repeat(codes, 2))
+        assert register.estimate(0, 4000) == pytest.approx(before - 200)
+        assert register.deletes_recorded == 200
+
+    def test_delete_underflow_is_all_or_nothing(self):
+        base, histogram, register = _skewed_register()
+        code = int(np.argmin(base))
+        too_many = np.full(int(base[code]) + 1, code)
+        with pytest.raises(ValueError):
+            register.delete_many(too_many)
+        assert register.deletes_recorded == 0
+        assert register.staleness() == 0.0
+
+    def test_single_delete_guard(self):
+        # Every recorded row may be deleted; one more than recorded
+        # raises.  (The never-zero serving floor is applied when repair
+        # or rebuild clamps frequencies, not in the register's ledger.)
+        base, histogram, register = _skewed_register()
+        code = int(np.argmin(base))
+        for _ in range(int(base[code])):
+            register.delete(code)
+        with pytest.raises(ValueError):
+            register.delete(code)
+
+    def test_deletes_survive_swap_replay(self):
+        base, histogram, register = _skewed_register()
+        register.insert_many(np.full(500, 10))
+        merged, covered = register.snapshot_for_rebuild()
+        register.delete_many(np.full(100, 10))  # arrives mid-rebuild
+        rebuilt = build_histogram(AttributeDensity(merged), kind="V8DincB")
+        register.swap(rebuilt, merged, covered)
+        _, delta = register.snapshot_for_rebuild()
+        assert delta[10] == -100
+        assert register.deletes_recorded == 100
+
+
+class TestRepairLoop:
+    """The repair-first escalation ladder of the maintenance tentpole."""
+
+    def _loop(self, tmp_path, threshold=0.2, **kwargs):
+        base, histogram, register = _skewed_register()
+        store = StatisticsStore(StatisticsCatalog(tmp_path), capacity=8)
+        store.put("t", "c", histogram)
+        registry = MaintenanceRegistry()
+        registry.register(register)
+        metrics = ServiceMetrics()
+        scheduler = RefreshScheduler(
+            store,
+            registry,
+            threshold=threshold,
+            interval=0.05,
+            kind="V8DincB",
+            metrics=metrics,
+            **kwargs,
+        )
+        return base, histogram, register, store, scheduler, metrics
+
+    def test_hot_bucket_repaired_inline_no_rebuild(self, tmp_path):
+        base, histogram, register, store, scheduler, metrics = self._loop(tmp_path)
+        try:
+            code = int(histogram.buckets[len(histogram) // 2].lo)
+            register.insert_many(np.full(120_000, code))
+            assert register.needs_rebuild(scheduler.threshold)
+            plan_before = store.plan("t", "c")
+
+            assert scheduler.check_now(block=True) == [("t", "c")]
+            assert metrics.counter("repairs") == 1
+            assert metrics.counter("repair_buckets") >= 1
+            assert metrics.counter("rebuilds_triggered") == 0
+            assert metrics.counter("rebuilds_escalated") == 0
+
+            # The repair folded the churn: staleness reset, store bumped.
+            assert register.staleness() == 0.0
+            assert store.generation("t", "c") == 2
+            assert register.repairs == 1
+
+            # The served plan was patched in place, not recompiled.
+            plan_after = store.plan("t", "c")
+            assert plan_after is not plan_before
+            assert plan_after.stats().get("patched_ranges", 0) >= 1
+
+            # Estimates converged on the hot code.
+            truth = float(base[code] + 120_000)
+            estimate = register.estimate(code, code + 1)
+            assert qerror(max(estimate, 1e-9), truth) <= 3.0 * (1.4 ** 0.5)
+
+            # Certificate parity with a rebuild: the repaired histogram
+            # certifies against the merged truth.
+            merged = base.copy()
+            merged[code] += 120_000
+            report = certify(store.get("t", "c"), AttributeDensity(merged))
+            assert report.passed, str(report)
+
+            # Nothing further to do on the next sweep.
+            assert scheduler.check_now(block=True) == []
+            assert metrics.counter("repairs") == 1
+        finally:
+            scheduler.stop()
+
+    def test_wide_damage_escalates_to_rebuild(self, tmp_path):
+        base, histogram, register, store, scheduler, metrics = self._loop(
+            tmp_path, escalate_fraction=0.01
+        )
+        try:
+            # Break many buckets: more than 1% of them fail.
+            rng = np.random.default_rng(3)
+            hot = rng.choice(
+                [int(b.lo) for b in histogram.buckets], size=20, replace=False
+            )
+            register.insert_many(np.repeat(hot, 8000))
+            assert scheduler.check_now(block=True) == [("t", "c")]
+            assert metrics.counter("rebuilds_escalated") == 1
+            assert metrics.counter("repairs") == 0
+            assert metrics.counter("rebuilds_completed") == 1
+            assert register.rebuilds == 1
+        finally:
+            scheduler.stop()
+
+    def test_stale_but_clean_goes_straight_to_rebuild(self, tmp_path):
+        base, histogram, register, store, scheduler, metrics = self._loop(
+            tmp_path, threshold=0.05
+        )
+        try:
+            # Gentle proportional churn: every code grows ~8%, so the
+            # relative drift stays inside every cell's certified
+            # envelope -- but staleness still crosses the (low)
+            # threshold.  Stale-but-clean must skip repair entirely.
+            growth = np.maximum(base // 12, 1).astype(np.int64)
+            register.insert_many(np.repeat(np.arange(base.size), growth))
+            assert register.needs_rebuild(scheduler.threshold)
+            assert register.failing_buckets().size == 0
+            assert scheduler.check_now(block=True) == [("t", "c")]
+            assert metrics.counter("repairs") == 0
+            assert metrics.counter("rebuilds_escalated") == 0
+            assert metrics.counter("rebuilds_completed") == 1
+        finally:
+            scheduler.stop()
+
+    def test_repair_disabled_always_rebuilds(self, tmp_path):
+        base, histogram, register, store, scheduler, metrics = self._loop(
+            tmp_path, repair=False
+        )
+        try:
+            code = int(histogram.buckets[10].lo)
+            register.insert_many(np.full(120_000, code))
+            assert scheduler.check_now(block=True) == [("t", "c")]
+            assert metrics.counter("repairs") == 0
+            assert metrics.counter("rebuilds_completed") == 1
+        finally:
+            scheduler.stop()
+
+    def test_failed_repair_falls_back_to_rebuild(self, tmp_path, monkeypatch):
+        base, histogram, register, store, scheduler, metrics = self._loop(tmp_path)
+        try:
+            code = int(histogram.buckets[10].lo)
+            register.insert_many(np.full(120_000, code))
+            with monkeypatch.context() as patched:
+                patched.setattr(
+                    register, "repair",
+                    lambda *a, **k: (_ for _ in ()).throw(RuntimeError("boom")),
+                )
+                assert scheduler.check_now(block=True) == [("t", "c")]
+            assert metrics.counter("repairs_failed") == 1
+            assert metrics.counter("rebuilds_completed") == 1
+            assert register.rebuilds == 1
+        finally:
+            scheduler.stop()
+
+    def test_on_repair_callback_fires(self, tmp_path):
+        events = []
+        base, histogram, register, store, scheduler, metrics = self._loop(
+            tmp_path, on_repair=lambda reg, result: events.append(result)
+        )
+        try:
+            code = int(histogram.buckets[20].lo)
+            register.insert_many(np.full(120_000, code))
+            scheduler.check_now(block=True)
+            assert len(events) == 1
+            assert events[0].repaired_buckets >= 1
+            assert events[0].histogram is register.histogram()
+        finally:
+            scheduler.stop()
+
+    def test_status_surfaces_repair_counters(self, tmp_path):
+        base, histogram, register, store, scheduler, metrics = self._loop(tmp_path)
+        try:
+            code = int(histogram.buckets[30].lo)
+            register.insert_many(np.full(120_000, code))
+            register.delete_many(np.full(10, code))  # same hot bucket
+            scheduler.check_now(block=True)
+            status = register.status()
+            assert status["repairs"] == 1
+            assert status["repair_buckets"] >= 1
+            assert status["deletes"] == 0  # folded by the repair
+            assert status["rebuilds"] == 0
+        finally:
+            scheduler.stop()

@@ -100,6 +100,20 @@ class TestTcpServer:
         assert result["staleness"] > 0
         assert service.registry.get("orders", "amount").inserts_recorded == 30
 
+    def test_delete_over_the_wire(self, service, client):
+        client.insert("orders", "amount", [0, 1, 2] * 10)
+        result = client.delete("orders", "amount", [0, 1, 2] * 5)
+        assert result["deleted"] == 15
+        assert service.registry.get("orders", "amount").deletes_recorded == 15
+        assert service.metrics.counter("rows_deleted") == 15
+
+    def test_delete_underflow_is_an_error_response(self, service, client):
+        from repro.service.client import ServiceError
+
+        with pytest.raises(ServiceError, match="underflow"):
+            client.delete("orders", "amount", [0] * 10_000)
+        assert service.registry.get("orders", "amount").deletes_recorded == 0
+
     def test_numpy_codes_accepted(self, client):
         codes = list(np.random.default_rng(0).integers(0, 5, size=8))
         assert client.insert("orders", "amount", codes)["inserted"] == 8

@@ -311,3 +311,56 @@ class TestServerFanout:
             assert service.metrics.counter("shm_orphans_swept") >= 1
         finally:
             handle.stop()
+
+
+class TestPatchInPlace:
+    def test_matching_layout_patches_existing_segment(self, plan):
+        with SharedPlanDirectory() as directory:
+            old = directory.publish("orders", "amount", 1, plan)
+            attached, segment = attach_plan(old)
+            entry = directory.publish(
+                "orders", "amount", 2, plan, allow_patch=True
+            )
+            # Same shapes -> the bytes were overwritten in place: no new
+            # segment, workers keep their mapping, generation moved.
+            assert entry["action"] == "patched"
+            assert entry["name"] == old["name"]
+            assert entry["generation"] == 2
+            assert len(shm_segments(directory.prefix)) == 1
+            assert directory.generation("orders", "amount") == 2
+            assert directory.stats()["patched"] == 1
+            # The still-attached view reads the patched (identical) tables.
+            assert float(attached.estimate(1.0, 5.0)) >= 0.0
+            del attached
+            segment.close()
+
+    def test_shape_change_falls_back_to_republish(self, service, plan):
+        other = service.store.plan("orders", "region")  # different tables
+        assert other is not None
+        with SharedPlanDirectory() as directory:
+            old = directory.publish("orders", "amount", 1, plan)
+            entry = directory.publish(
+                "orders", "amount", 2, other, allow_patch=True
+            )
+            assert entry["action"] == "published"
+            assert entry["name"] != old["name"]
+            assert directory.stats()["patched"] == 0
+            assert directory.stats()["republished"] == 1
+
+    def test_without_allow_patch_always_republishes(self, plan):
+        with SharedPlanDirectory() as directory:
+            old = directory.publish("orders", "amount", 1, plan)
+            entry = directory.publish("orders", "amount", 2, plan)
+            assert entry["action"] == "published"
+            assert entry["name"] != old["name"]
+
+    def test_unchanged_generation_reports_unchanged(self, plan):
+        with SharedPlanDirectory() as directory:
+            directory.publish("orders", "amount", 1, plan)
+            entry = directory.publish(
+                "orders", "amount", 1, plan, allow_patch=True
+            )
+            assert entry["action"] == "unchanged"
+            assert directory.stats() == {
+                "published": 1, "republished": 0, "patched": 0,
+            }

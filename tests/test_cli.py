@@ -333,3 +333,78 @@ class TestObservabilityCommands:
         entries = [json.loads(line) for line in lines]
         assert any(e["op"] == "estimate" for e in entries)
         assert all("request_id" in e for e in entries)
+
+
+class TestIngestCommand:
+    @pytest.fixture
+    def serving(self, tmp_path, rng):
+        """A server with maintenance running: repairs can actually fire."""
+        import numpy as np
+
+        from repro.dictionary.column import DictionaryEncodedColumn
+        from repro.dictionary.table import Table
+        from repro.service.refresh import RefreshScheduler
+        from repro.service.server import StatisticsService, start_server_thread
+
+        # Skewed per-code frequencies -> a histogram with many buckets,
+        # so a single hot code damages a small *fraction* of them and
+        # the scheduler repairs instead of escalating.
+        frequencies = rng.integers(1, 200, size=1000)
+        values = np.repeat(np.arange(frequencies.size), frequencies)
+        table = Table("orders")
+        table.add_column(DictionaryEncodedColumn.from_values(values, name="amount"))
+        service = StatisticsService(tmp_path / "catalog", seed=3)
+        service.add_table(table)
+        scheduler = RefreshScheduler(
+            service.store,
+            service.registry,
+            threshold=0.05,
+            interval=0.05,
+            kind=service.kind,
+            config=service.config,
+            metrics=service.metrics,
+        )
+        scheduler.start()
+        handle = start_server_thread(service)
+        try:
+            yield f"{handle.address[0]}:{handle.address[1]}", service
+        finally:
+            handle.stop()
+            scheduler.stop()
+            service.close()
+
+    def test_hot_code_ingest_reports_repair(self, serving, capsys):
+        address, service = serving
+        assert main([
+            "ingest", address,
+            "--table", "orders", "--column", "amount",
+            "--rows", "12000", "--hot-code", "500",
+            "--batch-size", "3000", "--wait", "20", "--seed", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "insert 12000/12000 rows" in out
+        assert "done: 12000 rows (insert)" in out
+        # The hot code broke its bucket's theta,q certificate and the
+        # scheduler repaired it locally -- no full rebuild.
+        assert "event: repair" in out
+        assert "rebuilds=0" in out
+        assert service.metrics.counter("repairs") >= 1
+        assert service.metrics.counter("rebuilds_triggered") == 0
+
+    def test_delete_stream_roundtrips(self, serving, capsys):
+        address, _ = serving
+        assert main([
+            "ingest", address,
+            "--table", "orders", "--column", "amount",
+            "--rows", "200", "--hot-code", "500",
+            "--batch-size", "200", "--wait", "0",
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "ingest", address, "--delete",
+            "--table", "orders", "--column", "amount",
+            "--rows", "200", "--hot-code", "500",
+            "--batch-size", "200", "--wait", "0",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "done: 200 rows (delete)" in out
