@@ -5,10 +5,20 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint-artifacts smoke bench-estimation bench-obs bench-wire bench-fleet bench-maintenance
+.PHONY: test lint lint-artifacts smoke bench-estimation bench-obs bench-wire bench-fleet bench-maintenance bench-construction
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# Import hygiene: ruff (when installed, e.g. in CI) plus the repo's own
+# AST-based fallback, which needs nothing beyond the stdlib.
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src/repro tools benchmarks; \
+	else \
+		echo "lint: ruff not installed, running tools/lint_imports.py only"; \
+	fi
+	$(PYTHON) tools/lint_imports.py src/repro tools benchmarks
 
 # Estimation benchmarks with the compiled-path speedup floors armed:
 # a regression of the compiled batch path (>= 10x interpreted) or the
@@ -48,6 +58,13 @@ bench-maintenance:
 	REPRO_BENCH_ASSERT_MAINTENANCE=1 $(PYTHON) -m pytest -x -q \
 		benchmarks/test_maintenance_churn.py
 
+# Construction floor: the default acceptance-oracle search must build
+# every dictionary variant >= 3x faster than the classic search on the
+# heavy-tailed zipf column, bit-identically.  Writes BENCH_construction.json.
+bench-construction:
+	REPRO_BENCH_ASSERT_CONSTRUCTION=1 $(PYTHON) -m pytest -x -q \
+		benchmarks/test_fig9_dict_construction.py::test_construction_oracle_speedup
+
 lint-artifacts:
 	@bad=$$(git ls-files | grep -E '__pycache__|\.pyc$$' || true); \
 	if [ -n "$$bad" ]; then \
@@ -57,4 +74,4 @@ lint-artifacts:
 	fi; \
 	echo "lint-artifacts: ok (no tracked __pycache__/*.pyc)"
 
-smoke: lint-artifacts test bench-obs bench-wire bench-fleet bench-maintenance
+smoke: lint lint-artifacts test bench-obs bench-wire bench-fleet bench-maintenance bench-construction

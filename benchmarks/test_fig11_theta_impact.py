@@ -14,7 +14,6 @@ proxy for the paper's search-length mechanism.
 """
 
 import numpy as np
-import pytest
 
 from repro.core.config import HistogramConfig
 from repro.core.qvwh import GrowStats, build_qvwh

@@ -15,7 +15,6 @@ import numpy as np
 from repro.baselines import EquiWidthHistogram
 from repro.core.builder import build_histogram
 from repro.core.config import HistogramConfig
-from repro.core.density import AttributeDensity
 from repro.experiments.report import format_table
 from repro.optimizer import CostModel, plan_regret
 from repro.workloads.distributions import make_density

@@ -11,9 +11,7 @@ halves of that claim: sizes shrink monotonically, but doubling q buys
 only a modest reduction -- the significant savings need 4x.
 """
 
-import time
 
-import numpy as np
 
 from repro.core.config import HistogramConfig
 from repro.experiments.harness import build_record

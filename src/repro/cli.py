@@ -29,7 +29,7 @@ import argparse
 import sys
 from collections import OrderedDict
 from pathlib import Path
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 import numpy as np
 

@@ -14,6 +14,7 @@ integers into packed words and back into estimates.  Bucket *semantics*
 
 from __future__ import annotations
 
+import functools
 import math
 from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
@@ -44,6 +45,19 @@ __all__ = [
 # split reaches 3 + 2**5 - 1 = 34 bits (~16e9), ample for bucket totals.
 _BQ16 = BinaryQCompressor(k=10, s=6)
 _BQ8 = BinaryQCompressor(k=3, s=5)
+
+
+@functools.lru_cache(maxsize=64)
+def _q_codec_table(bases, bits):
+    """Per-(bases, bits) table of (index, range threshold, codec).
+
+    Encoding runs once per bucket; precomputing the ``largest_compressible``
+    thresholds and the codec objects takes both out of the packing loop.
+    """
+    return tuple(
+        (index, largest_compressible(base, bits), QCompressor(base=base, bits=bits))
+        for index, base in enumerate(bases)
+    )
 
 
 @dataclass(frozen=True)
@@ -138,9 +152,9 @@ class BucketLayout:
                     f"{self.name}: frequency {max_freq} exceeds the bq range"
                 )
             return 0, codec
-        for index, base in enumerate(self.bases):
-            if largest_compressible(base, self.bucklet_bits) >= max_freq:
-                return index, QCompressor(base=base, bits=self.bucklet_bits)
+        for index, threshold, codec in _q_codec_table(self.bases, self.bucklet_bits):
+            if threshold >= max_freq:
+                return index, codec
         raise OverflowError(
             f"{self.name}: frequency {max_freq} exceeds every base's range"
         )

@@ -22,6 +22,7 @@ compressible number for base ``b`` and width ``k`` is ``b ** (2**k - 2)``
 
 from __future__ import annotations
 
+import functools
 import math
 from dataclasses import dataclass
 
@@ -114,6 +115,15 @@ def max_roundtrip_qerror(base: float) -> float:
     return math.sqrt(base)
 
 
+# Bucket packing compresses the same small frequencies over and over
+# (bucklet totals cluster tightly on real densities), so the log-based
+# code computation is memoized.  Pure value cache: same (x, base) in,
+# same code out, bit-identical to calling qcompress directly.
+@functools.lru_cache(maxsize=1 << 17)
+def _qcompress_cached(x: float, base: float) -> int:
+    return qcompress(x, base)
+
+
 @dataclass(frozen=True)
 class QCompressor:
     """A configured q-compression codec for one bit width and base.
@@ -168,7 +178,7 @@ class QCompressor:
         return max_roundtrip_qerror(self.base)
 
     def compress(self, x: float) -> int:
-        code = qcompress(x, self.base)
+        code = _qcompress_cached(x, self.base)
         if code > self.max_code:
             raise OverflowError(
                 f"value {x} needs code {code} but only {self.bits} bits "

@@ -24,7 +24,6 @@ below, kept as the correctness oracle) and can memoize decisions in an
 
 from __future__ import annotations
 
-import math
 from typing import Optional
 
 import numpy as np

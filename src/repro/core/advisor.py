@@ -18,7 +18,7 @@ data changed underneath it.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.core.qerror import qerror
 from repro.core.transfer import exact_total_guarantee

@@ -45,6 +45,15 @@ class HistogramConfig:
         Acceptance-test kernel: ``"vectorized"`` (the batch kernels of
         :mod:`repro.core.kernels`, the default) or ``"literal"`` (the
         per-endpoint Sec. 4.2 loop, kept as the correctness oracle).
+    search:
+        Outer bucket-search strategy.  ``"oracle"`` (default) drives the
+        doubling/binary search through the O(1) sparse-table acceptance
+        oracle (:mod:`repro.core.search`) with warm-started speculative
+        probe batching; ``"classic"`` keeps the original one-dispatch-
+        per-probe loop.  Both produce bit-identical histograms — the
+        oracle only changes *how fast* decisions are reached, never what
+        they are.  The oracle path requires the vectorized kernel and a
+        dense domain; other combinations silently fall back to classic.
     """
 
     q: float = 2.0
@@ -55,6 +64,7 @@ class HistogramConfig:
     max_pretest_size: int = 300
     test_distinct: bool = True
     kernel: str = "vectorized"
+    search: str = "oracle"
 
     def __post_init__(self) -> None:
         if self.q < 1:
@@ -69,6 +79,15 @@ class HistogramConfig:
             raise ValueError(
                 f"kernel must be 'vectorized' or 'literal', got {self.kernel!r}"
             )
+        if self.search not in ("oracle", "classic"):
+            raise ValueError(
+                f"search must be 'oracle' or 'classic', got {self.search!r}"
+            )
+
+    @property
+    def oracle_search(self) -> bool:
+        """True when the O(1) acceptance-oracle search path applies."""
+        return self.search == "oracle" and self.kernel == "vectorized"
 
     def resolve_theta(self, total_rows: int) -> float:
         """The θ to use for a column with ``total_rows`` rows."""

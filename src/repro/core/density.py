@@ -15,11 +15,144 @@ and construction algorithm leans on that.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["AttributeDensity"]
+__all__ = ["AttributeDensity", "DensityIndex"]
+
+
+class DensityIndex:
+    """Per-column prefix structures for O(1) acceptance oracles.
+
+    Built once per :class:`AttributeDensity` (lazily, via
+    :meth:`AttributeDensity.ensure_index`) and cached on the density, so
+    every bucket search, repair and re-certification over the column
+    shares one copy:
+
+    * ``cum_list`` -- the exclusive prefix sums as a plain Python list;
+      scalar probes read range totals without paying numpy scalar
+      boxing per lookup.
+    * ``max_table`` / ``min_table`` -- sparse tables (one row per
+      power-of-two window) over the frequencies; the classic RMQ
+      construction makes any range max/min two lookups.  Row ``k``
+      holds the extreme of windows ``[i, i + 2**k)``.
+
+    Row values are exact int64 extremes, so oracle decisions derived
+    from them are bit-identical to slicing ``frequencies[i:j]``.
+    """
+
+    __slots__ = (
+        "cum_list", "max_table", "min_table",
+        "_max_lists", "_min_lists", "_values", "_values_list",
+    )
+
+    #: Sparse-table rows at or below this window size also keep a plain
+    #: Python list mirror for scalar-speed lookups; wider windows (rare:
+    #: only the doubling ladder's large probes) read the numpy rows.
+    SCALAR_LEVEL_WIDTH = 4096
+
+    def __init__(
+        self,
+        frequencies: np.ndarray,
+        cumulative: np.ndarray,
+        values: Optional[np.ndarray] = None,
+    ) -> None:
+        self.cum_list: List[int] = cumulative.tolist()
+        self._values = values
+        self._values_list: Optional[List[float]] = None
+        n = int(frequencies.size)
+        levels = max(n.bit_length() - 1, 0) + 1
+        max_table = np.empty((levels, n), dtype=np.int64)
+        min_table = np.empty((levels, n), dtype=np.int64)
+        max_table[0] = frequencies
+        min_table[0] = frequencies
+        for k in range(1, levels):
+            half = 1 << (k - 1)
+            span = n - (1 << k) + 1
+            np.maximum(
+                max_table[k - 1, :span],
+                max_table[k - 1, half : half + span],
+                out=max_table[k, :span],
+            )
+            np.minimum(
+                min_table[k - 1, :span],
+                min_table[k - 1, half : half + span],
+                out=min_table[k, :span],
+            )
+            # Pad the tail so fancy-indexed batch lookups never read
+            # uninitialised memory (padding cells are never selected).
+            max_table[k, span:] = max_table[k, span - 1] if span > 0 else 0
+            min_table[k, span:] = min_table[k, span - 1] if span > 0 else 0
+        max_table.setflags(write=False)
+        min_table.setflags(write=False)
+        self.max_table = max_table
+        self.min_table = min_table
+        scalar_levels = min(levels, self.SCALAR_LEVEL_WIDTH.bit_length())
+        self._max_lists: List[List[int]] = [
+            max_table[k].tolist() for k in range(scalar_levels)
+        ]
+        self._min_lists: List[List[int]] = [
+            min_table[k].tolist() for k in range(scalar_levels)
+        ]
+
+    @property
+    def values_list(self) -> List[float]:
+        """The distinct values as plain Python floats (built lazily;
+        only the value-space builders read it)."""
+        if self._values_list is None:
+            if self._values is None:
+                raise ValueError("index was built without values")
+            self._values_list = self._values.tolist()
+        return self._values_list
+
+    # -- scalar O(1) range extrema ------------------------------------------
+
+    def range_max(self, i: int, j: int) -> int:
+        """``max(frequencies[i:j])`` in O(1); ``j > i`` required."""
+        k = int(j - i).bit_length() - 1
+        left = j - (1 << k)
+        if k < len(self._max_lists):
+            row = self._max_lists[k]
+            a, b = row[i], row[left]
+        else:
+            row = self.max_table[k]
+            a, b = int(row[i]), int(row[left])
+        return a if a >= b else b
+
+    def range_min(self, i: int, j: int) -> int:
+        """``min(frequencies[i:j])`` in O(1); ``j > i`` required."""
+        k = int(j - i).bit_length() - 1
+        left = j - (1 << k)
+        if k < len(self._min_lists):
+            row = self._min_lists[k]
+            a, b = row[i], row[left]
+        else:
+            row = self.min_table[k]
+            a, b = int(row[i]), int(row[left])
+        return a if a <= b else b
+
+    # -- vectorized O(1)-per-range extrema ----------------------------------
+
+    def _levels_of(self, widths: np.ndarray) -> np.ndarray:
+        # floor(log2(w)) for w >= 1; frexp is exact for widths < 2**53.
+        return np.frexp(widths.astype(np.float64))[1].astype(np.int64) - 1
+
+    def range_max_batch(self, lowers: np.ndarray, uppers: np.ndarray) -> np.ndarray:
+        """Per-range ``max(frequencies[l:u])`` for a whole batch."""
+        levels = self._levels_of(uppers - lowers)
+        rights = uppers - (np.int64(1) << levels)
+        return np.maximum(
+            self.max_table[levels, lowers], self.max_table[levels, rights]
+        )
+
+    def range_min_batch(self, lowers: np.ndarray, uppers: np.ndarray) -> np.ndarray:
+        """Per-range ``min(frequencies[l:u])`` for a whole batch."""
+        levels = self._levels_of(uppers - lowers)
+        rights = uppers - (np.int64(1) << levels)
+        return np.minimum(
+            self.min_table[levels, lowers], self.min_table[levels, rights]
+        )
 
 
 class AttributeDensity:
@@ -56,6 +189,7 @@ class AttributeDensity:
         self._values = values
         self._cum = np.concatenate(([0], np.cumsum(frequencies)))
         self._dense = dense
+        self._index: Optional[DensityIndex] = None
 
     @classmethod
     def from_column(cls, column) -> "AttributeDensity":
@@ -112,6 +246,36 @@ class AttributeDensity:
         view.flags.writeable = False
         return view
 
+    # -- prefix index -------------------------------------------------------
+
+    @property
+    def has_index(self) -> bool:
+        """True once :meth:`ensure_index` has built the prefix structures."""
+        return self._index is not None
+
+    def ensure_index(self) -> DensityIndex:
+        """Build (once) and return the per-column :class:`DensityIndex`.
+
+        The index is cached on the density, so repeated builds, repairs
+        and re-certifications over the same column amortize one
+        construction pass.
+        """
+        if self._index is None:
+            self._index = DensityIndex(self._freqs, self._cum, self._values)
+        return self._index
+
+    def range_max(self, i: int, j: int) -> int:
+        """``max_frequency`` via the sparse table when built, else a slice."""
+        if self._index is not None:
+            return self._index.range_max(i, j)
+        return int(self._freqs[i:j].max())
+
+    def range_min(self, i: int, j: int) -> int:
+        """``min_frequency`` via the sparse table when built, else a slice."""
+        if self._index is not None:
+            return self._index.range_min(i, j)
+        return int(self._freqs[i:j].min())
+
     # -- range sums ---------------------------------------------------------
 
     def f_plus(self, i: int, j: int) -> int:
@@ -136,13 +300,13 @@ class AttributeDensity:
         """Largest single-value frequency within index range ``[i, j)``."""
         if j <= i:
             raise ValueError("empty range")
-        return int(self._freqs[i:j].max())
+        return self.range_max(i, j)
 
     def min_frequency(self, i: int, j: int) -> int:
         """Smallest single-value frequency within index range ``[i, j)``."""
         if j <= i:
             raise ValueError("empty range")
-        return int(self._freqs[i:j].min())
+        return self.range_min(i, j)
 
     def slice(self, i: int, j: int) -> Tuple[np.ndarray, np.ndarray]:
         """The (values, frequencies) pair of index range ``[i, j)``."""

@@ -19,7 +19,7 @@ fallback for bucket types without a plan emitter.
 from __future__ import annotations
 
 import bisect
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 import numpy as np
 

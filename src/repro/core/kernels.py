@@ -49,6 +49,9 @@ __all__ = [
     "pretest_dense_batch",
     "batch_slope_constraints",
     "slope_constraints",
+    "slope_constraints_scalar",
+    "value_slope_constraints_scalar",
+    "count_slope_constraints_scalar",
     "AcceptanceCache",
     "KERNEL_NAMES",
     "PAIR_CHUNK",
@@ -306,7 +309,10 @@ def pretest_dense_batch(
     condition holds for that range (``False`` still means "run a real
     test").  Range extrema come from one ``np.maximum.reduceat`` /
     ``np.minimum.reduceat`` pass over interleaved boundaries instead of
-    a Python call per range.  ``totals`` lets a caller that already
+    a Python call per range.  Once the density carries a
+    :class:`~repro.core.density.DensityIndex`, extrema come from two
+    sparse-table lookups per range instead (same exact integers, no
+    frequency-array scan at all).  ``totals`` lets a caller that already
     cumulated each range (the builders all have) skip the recompute.
     """
     lowers = np.asarray(lowers, dtype=np.int64)
@@ -324,22 +330,27 @@ def pretest_dense_batch(
     else:
         totals = np.asarray(totals, dtype=np.float64)
 
-    # Interleave [l0, u0, l1, u1, ...]; even segments are the ranges,
-    # odd segments are discarded.  reduceat indices must stay below the
-    # array length, so only a batch whose upper bound touches the domain
-    # end needs a sentinel element appended (copying the frequency array
-    # on every call would dominate small batches).
-    freqs = density.frequencies
-    idx = np.empty(2 * lowers.size, dtype=np.int64)
-    idx[0::2] = lowers
-    idx[1::2] = uppers
-    if int(uppers.max()) == d:
-        fmax_src = np.concatenate((freqs, [0]))
-        fmin_src = np.concatenate((freqs, [np.iinfo(np.int64).max]))
+    if density.has_index:
+        index = density.ensure_index()
+        fmax = index.range_max_batch(lowers, uppers).astype(np.float64)
+        fmin = index.range_min_batch(lowers, uppers).astype(np.float64)
     else:
-        fmax_src = fmin_src = freqs
-    fmax = np.maximum.reduceat(fmax_src, idx)[0::2].astype(np.float64)
-    fmin = np.minimum.reduceat(fmin_src, idx)[0::2].astype(np.float64)
+        # Interleave [l0, u0, l1, u1, ...]; even segments are the ranges,
+        # odd segments are discarded.  reduceat indices must stay below the
+        # array length, so only a batch whose upper bound touches the domain
+        # end needs a sentinel element appended (copying the frequency array
+        # on every call would dominate small batches).
+        freqs = density.frequencies
+        idx = np.empty(2 * lowers.size, dtype=np.int64)
+        idx[0::2] = lowers
+        idx[1::2] = uppers
+        if int(uppers.max()) == d:
+            fmax_src = np.concatenate((freqs, [0]))
+            fmin_src = np.concatenate((freqs, [np.iinfo(np.int64).max]))
+        else:
+            fmax_src = fmin_src = freqs
+        fmax = np.maximum.reduceat(fmax_src, idx)[0::2].astype(np.float64)
+        fmin = np.minimum.reduceat(fmin_src, idx)[0::2].astype(np.float64)
 
     if flexible_alpha:
         balanced = fmax <= q * q * fmin
@@ -411,6 +422,132 @@ def slope_constraints(
     return batch_slope_constraints(truths, widths, theta, q)
 
 
+def slope_constraints_scalar(
+    cum: Sequence[int], i_low: int, j: int, theta: float, q: float
+) -> Tuple[float, float]:
+    """Pure-scalar :func:`slope_constraints` over Python-list prefix sums.
+
+    The bounded (``incB``) growth loop's Corollary 4.2 windows typically
+    hold only a handful of intervals, where one numpy dispatch costs far
+    more than the arithmetic itself.  This mirror runs the *same* IEEE
+    double operations in the same per-element order — including the
+    ``nextafter`` ulp repair, which is an independent per-element fixed
+    point — so its (lb, ub) is bit-identical to the batch kernel's.
+    """
+    cj = cum[j]
+    lb = 0.0
+    ub = math.inf
+    for i in range(i_low, j):
+        t = float(cj - cum[i])
+        w = float(j - i)
+        if t > theta:
+            lo = t / (q * w)
+            while q * (lo * w) < t:
+                lo = math.nextafter(lo, math.inf)
+            if lo > lb:
+                lb = lo
+            hi = q * t / w
+            while hi * w > q * t:
+                hi = math.nextafter(hi, -math.inf)
+            if hi < ub:
+                ub = hi
+        else:
+            qt = q * t
+            cap = theta if theta > qt else qt
+            hi = cap / w
+            while hi * w > cap:
+                hi = math.nextafter(hi, -math.inf)
+            if hi < ub:
+                ub = hi
+    return lb, ub
+
+
+def value_slope_constraints_scalar(
+    cum: Sequence[int],
+    values: Sequence[float],
+    i_low: int,
+    j: int,
+    w_j: float,
+    theta: float,
+    q: float,
+) -> Tuple[float, float]:
+    """Scalar value-space frequency-slope constraints for intervals
+    ``[x_i, w_j)``, ``i_low <= i < j`` (the value-based growth loop).
+
+    Same contract as :func:`slope_constraints_scalar`, but widths live in
+    value space (``w_j - x_i``) instead of index space.  Runs the exact
+    IEEE double operations of :func:`batch_slope_constraints` per
+    element, so the bounds are bit-identical to the batch kernel's.
+    """
+    cj = cum[j]
+    lb = 0.0
+    ub = math.inf
+    for i in range(i_low, j):
+        t = float(cj - cum[i])
+        w = w_j - values[i]
+        if t > theta:
+            lo = t / (q * w)
+            while q * (lo * w) < t:
+                lo = math.nextafter(lo, math.inf)
+            if lo > lb:
+                lb = lo
+            hi = q * t / w
+            while hi * w > q * t:
+                hi = math.nextafter(hi, -math.inf)
+            if hi < ub:
+                ub = hi
+        else:
+            qt = q * t
+            cap = theta if theta > qt else qt
+            hi = cap / w
+            while hi * w > cap:
+                hi = math.nextafter(hi, -math.inf)
+            if hi < ub:
+                ub = hi
+    return lb, ub
+
+
+def count_slope_constraints_scalar(
+    values: Sequence[float],
+    i_low: int,
+    j: int,
+    w_j: float,
+    theta: float,
+    q: float,
+) -> Tuple[float, float]:
+    """Scalar distinct-count-slope constraints: truths are the interval
+    distinct counts ``j - i`` over value-space widths ``w_j - x_i``.
+
+    Bit-identical to :func:`batch_slope_constraints` over the
+    ``arange``/width arrays the classic value-based loop builds.
+    """
+    lb = 0.0
+    ub = math.inf
+    for i in range(i_low, j):
+        t = float(j - i)
+        w = w_j - values[i]
+        if t > theta:
+            lo = t / (q * w)
+            while q * (lo * w) < t:
+                lo = math.nextafter(lo, math.inf)
+            if lo > lb:
+                lb = lo
+            hi = q * t / w
+            while hi * w > q * t:
+                hi = math.nextafter(hi, -math.inf)
+            if hi < ub:
+                ub = hi
+        else:
+            qt = q * t
+            cap = theta if theta > qt else qt
+            hi = cap / w
+            while hi * w > cap:
+                hi = math.nextafter(hi, -math.inf)
+            if hi < ub:
+                ub = hi
+    return lb, ub
+
+
 # Mantissa bits kept when bucketing α for cache keys: ranges re-tested
 # by doubling/binary search recompute α as total/width, which is
 # bit-identical, so 40 bits leaves a wide safety margin without ever
@@ -474,19 +611,35 @@ class AcceptanceCache:
 
     # -- slope constraints -------------------------------------------------
 
+    def lookup_constraints(self, key: Tuple) -> Optional[Tuple[float, float]]:
+        """Cached (lb, ub) for a constraint key, or ``None`` on a miss.
+
+        Index-space keys are ``(i_low, j, theta, q)``; value-space
+        callers prefix a tag (e.g. ``("value", ...)``) so the two key
+        spaces can share one cache without colliding.
+        """
+        found = self._constraints.get(key)
+        if found is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return found
+
+    def store_constraints(
+        self, key: Tuple, bounds: Tuple[float, float]
+    ) -> Tuple[float, float]:
+        self._constraints[key] = bounds
+        return bounds
+
     def constraints(
         self, cum: np.ndarray, i_low: int, j: int, theta: float, q: float
     ) -> Tuple[float, float]:
         """Memoized :func:`slope_constraints`."""
         key = (i_low, j, theta, q)
-        found = self._constraints.get(key)
+        found = self.lookup_constraints(key)
         if found is not None:
-            self.hits += 1
             return found
-        self.misses += 1
-        result = slope_constraints(cum, i_low, j, theta, q)
-        self._constraints[key] = result
-        return result
+        return self.store_constraints(key, slope_constraints(cum, i_low, j, theta, q))
 
     def __repr__(self) -> str:
         return (

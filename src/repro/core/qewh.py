@@ -12,9 +12,7 @@ evaluation.
 from __future__ import annotations
 
 import math
-from typing import List
-
-from typing import Optional
+from typing import List, Optional
 
 from repro.compression.layouts import BucketLayout, QC16T8x6
 from repro.core.acceptance import is_theta_q_acceptable, pretest_dense
@@ -233,6 +231,7 @@ def build_qewh(
     config: HistogramConfig = HistogramConfig(),
     layout: BucketLayout = QC16T8x6,
     trace=None,
+    cache: Optional[AcceptanceCache] = None,
 ) -> Histogram:
     """Fig. 5's ``BuildQEWH``: generate-and-test equi-width construction.
 
@@ -240,7 +239,12 @@ def build_qewh(
     simple layout of Table 3 works, e.g. QC16x4 for sixteen narrower
     bucklets or BQC8x8 for binary-q payloads.  ``trace`` (a
     :class:`repro.obs.Trace`) accumulates acceptance-test/packing phase
-    timings and counters; ``None`` disables instrumentation.
+    timings and counters; ``None`` disables instrumentation.  With
+    ``config.search == "oracle"`` the outer search runs through the O(1)
+    sparse-table acceptance oracle (:mod:`repro.core.search`) — same
+    boundaries and certificates, far fewer kernel dispatches.  ``cache``
+    lets callers (the engine pipeline, ``repair_histogram``) share one
+    :class:`AcceptanceCache` across builds over the same density.
     """
     trace = trace if trace is not None else NULL_TRACE
     if not density.is_dense:
@@ -258,26 +262,50 @@ def build_qewh(
             "larger base or wider fields"
         )
     buckets: List[EquiWidthBucket] = []
-    cache = AcceptanceCache()
+    if cache is None:
+        cache = AcceptanceCache()
     packing = trace.timer("packing")
+    oracle = None
+    if config.oracle_search:
+        from repro.core.search import AcceptanceOracle, find_largest_oracle
+
+        oracle = AcceptanceOracle(density, theta, q, config, cache=cache)
     b = 0
+    warm = 0
     while b < d:
-        m = find_largest(
-            density,
-            b,
-            theta,
-            q,
-            config,
-            n_bucklets=n,
-            max_bucklet_total=capacity,
-            cache=cache,
-            trace=trace,
-        )
+        if oracle is not None:
+            m = find_largest_oracle(
+                density, b, theta, q, config,
+                n_bucklets=n, max_bucklet_total=capacity,
+                cache=cache, trace=trace, oracle=oracle, warm=warm,
+            )
+        else:
+            m = find_largest(
+                density,
+                b,
+                theta,
+                q,
+                config,
+                n_bucklets=n,
+                max_bucklet_total=capacity,
+                cache=cache,
+                trace=trace,
+            )
+        warm = m
         with packing:
-            freqs = [
-                density.f_plus(min(b + i * m, d), min(b + (i + 1) * m, d))
-                for i in range(n)
-            ]
+            if oracle is not None:
+                # Same integers as f_plus, read off the Python-list
+                # prefix sums (no per-bucklet numpy round trips).
+                cum = oracle.cum
+                freqs = [
+                    cum[min(b + (i + 1) * m, d)] - cum[min(b + i * m, d)]
+                    for i in range(n)
+                ]
+            else:
+                freqs = [
+                    density.f_plus(min(b + i * m, d), min(b + (i + 1) * m, d))
+                    for i in range(n)
+                ]
             buckets.append(EquiWidthBucket.build(b, m, freqs, layout=layout))
         b += n * m
     trace.count("buckets", len(buckets))

@@ -18,24 +18,46 @@ the left endpoints within the minimal-violation window of
 Corollary 4.2 (computed from the most pessimistic -- smallest -- α seen
 so far, so the window dominates the bound for every α the bucket has
 taken); this is the ``incB`` family of the evaluation.
+
+With ``config.search == "oracle"`` the per-step constraints run through
+:func:`~repro.core.kernels.slope_constraints_scalar` over the column's
+Python-list prefix sums (the bounded windows typically hold a handful
+of intervals, where a numpy dispatch costs more than the arithmetic),
+falling back to the batch kernel for wide windows.  Both compute the
+same IEEE doubles, so grown boundaries are bit-identical either way.
 """
 
 from __future__ import annotations
 
 import math
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from repro.core.buckets import AtomicDenseBucket, VariableWidthBucket
 from repro.core.config import HistogramConfig
 from repro.core.density import AttributeDensity
 from repro.core.histogram import Histogram
-from repro.core.kernels import AcceptanceCache, slope_constraints
+from repro.core.kernels import (
+    AcceptanceCache,
+    slope_constraints,
+    slope_constraints_scalar,
+)
 from repro.obs import NULL_TRACE
 
-__all__ = ["grow_bucklet", "build_qvwh", "build_atomic_dense", "GrowStats"]
+__all__ = [
+    "grow_bucklet",
+    "build_qvwh",
+    "build_atomic_dense",
+    "grow_span_buckets",
+    "grow_span_atomic",
+    "GrowStats",
+]
 
 # The 9-bit width fields cap seven of the eight bucklets at 511 values.
 MAX_BOUNDED_BUCKLET = 511
+
+# Corollary 4.2 windows at or below this many intervals take the scalar
+# constraints path; wider ones amortize a numpy dispatch.
+_SCALAR_WINDOW = 64
 
 
 class GrowStats:
@@ -57,6 +79,7 @@ def grow_bucklet(
     stats: "GrowStats" = None,
     cache: AcceptanceCache = None,
     trace=NULL_TRACE,
+    use_oracle: bool = False,
 ) -> int:
     """Longest prefix ``[l, l + m)`` that stays θ,q-acceptable for f̂avg.
 
@@ -65,12 +88,18 @@ def grow_bucklet(
     exactly).  A shared ``cache`` memoizes the per-(window, right
     endpoint) slope constraints, which recur when the next bucklet's
     first extension re-scans the window of the previous failure.
+    ``use_oracle`` selects the scalar fast path (bit-identical growth,
+    far fewer kernel dispatches).
     """
     if m_max <= 0:
         return 0
     if not 0 <= l < density.n_distinct:
         raise IndexError(f"start {l} out of range")
     m_max = min(m_max, density.n_distinct - l)
+    if use_oracle:
+        return _grow_bucklet_oracle(
+            density, l, m_max, theta, q, bounded, stats, cache, trace
+        )
     cum = density.cumulative
     base = int(cum[l])
     acceptance = trace.timer("acceptance_tests")
@@ -114,6 +143,83 @@ def grow_bucklet(
         trace.count("intervals_scanned", scanned)
 
 
+def _grow_bucklet_oracle(
+    density: AttributeDensity,
+    l: int,
+    m_max: int,
+    theta: float,
+    q: float,
+    bounded: bool,
+    stats: Optional[GrowStats],
+    cache: Optional[AcceptanceCache],
+    trace,
+) -> int:
+    """The ``use_oracle`` body of :func:`grow_bucklet`.
+
+    Same α-bound recurrence on the same float64 values; constraints come
+    from the cache, the scalar mirror, or (wide windows) the batch
+    kernel — all three bit-identical — so the grown width matches the
+    classic loop exactly.
+    """
+    index = density.ensure_index()
+    cum = index.cum_list
+    np_cum = density.cumulative
+    base = cum[l]
+    alpha_lb = 0.0
+    alpha_ub = math.inf
+    alpha_min = math.inf
+    tests = 0
+    scanned = 0
+    cache_hits = 0
+    try:
+        with trace.timer("acceptance_tests"):
+            for m in range(1, m_max + 1):
+                j = l + m
+                total = float(cum[j] - base)
+                alpha = total / m
+                if alpha < alpha_min:
+                    alpha_min = alpha
+                if bounded:
+                    window = math.ceil(2.0 * theta / alpha_min) + 3
+                    i_low = j - window
+                    if i_low < l:
+                        i_low = l
+                else:
+                    i_low = l
+                tests += 1
+                scanned += j - i_low
+                bounds = None
+                key = None
+                if cache is not None:
+                    key = (i_low, j, theta, q)
+                    bounds = cache.lookup_constraints(key)
+                if bounds is None:
+                    if j - i_low <= _SCALAR_WINDOW:
+                        bounds = slope_constraints_scalar(cum, i_low, j, theta, q)
+                    else:
+                        bounds = slope_constraints(np_cum, i_low, j, theta, q)
+                    if key is not None:
+                        cache.store_constraints(key, bounds)
+                else:
+                    cache_hits += 1
+                lb_new, ub_new = bounds
+                if lb_new > alpha_lb:
+                    alpha_lb = lb_new
+                if ub_new < alpha_ub:
+                    alpha_ub = ub_new
+                if alpha < alpha_lb or alpha > alpha_ub:
+                    return m - 1
+        return m_max
+    finally:
+        if stats is not None:
+            stats.intervals_scanned += scanned
+        trace.count("acceptance_tests", tests)
+        trace.count("search_probes", tests)
+        trace.count("intervals_scanned", scanned)
+        if cache_hits:
+            trace.count("acceptance_cache_hits", cache_hits)
+
+
 def _grow_bucket(
     density: AttributeDensity,
     start: int,
@@ -123,21 +229,24 @@ def _grow_bucket(
     stats: GrowStats = None,
     cache: AcceptanceCache = None,
     trace=NULL_TRACE,
+    stop: Optional[int] = None,
+    use_oracle: bool = False,
 ) -> Tuple[List[int], List[int], int]:
     """Grow one 8-bucklet bucket from ``start`` (Fig. 6's outer loop body).
 
     Returns (widths, bucklet totals, next start).  The first bucklet is
     unbounded; if it stays within 511 the *last* bucklet is the
     unbounded one instead, matching the 1F7x9 encoding's single open
-    width.
+    width.  ``stop`` caps growth at an arbitrary domain position (used
+    by localized repair to rebuild a span of the full density in place).
     """
-    d = density.n_distinct
+    d = density.n_distinct if stop is None else stop
     widths: List[int] = []
     totals: List[int] = []
     pos = start
     m0 = grow_bucklet(
         density, pos, d - pos, theta, q, bounded=bounded, stats=stats, cache=cache,
-        trace=trace,
+        trace=trace, use_oracle=use_oracle,
     )
     m0 = max(m0, 1)
     widths.append(m0)
@@ -156,7 +265,7 @@ def _grow_bucket(
             cap = min(MAX_BOUNDED_BUCKLET, d - pos)
         m = grow_bucklet(
             density, pos, cap, theta, q, bounded=bounded, stats=stats, cache=cache,
-            trace=trace,
+            trace=trace, use_oracle=use_oracle,
         )
         m = max(m, 1) if cap >= 1 else 0
         widths.append(m)
@@ -170,13 +279,16 @@ def build_qvwh(
     config: HistogramConfig = HistogramConfig(),
     stats: GrowStats = None,
     trace=None,
+    cache: Optional[AcceptanceCache] = None,
 ) -> Histogram:
     """Fig. 6's ``BuildQVWH``: incremental variable-width construction.
 
     Produces 128-bit QC16T8x6+1F7x9 buckets; the evaluation's ``V8Dinc``
     (``bounded_search=False``) and ``V8DincB`` (``True``) variants.
     ``trace`` (a :class:`repro.obs.Trace`) accumulates per-phase timings
-    and counters; ``None`` disables instrumentation.
+    and counters; ``None`` disables instrumentation.  ``cache`` lets
+    callers share one :class:`AcceptanceCache` across builds over the
+    same density.
     """
     trace = trace if trace is not None else NULL_TRACE
     if not density.is_dense:
@@ -185,13 +297,15 @@ def build_qvwh(
     q = config.q
     d = density.n_distinct
     buckets: List[VariableWidthBucket] = []
-    cache = AcceptanceCache() if config.kernel == "vectorized" else None
+    if cache is None:
+        cache = AcceptanceCache() if config.kernel == "vectorized" else None
+    use_oracle = config.oracle_search
     packing = trace.timer("packing")
     b = 0
     while b < d:
         widths, totals, b = _grow_bucket(
             density, b, theta, q, config.bounded_search, stats=stats, cache=cache,
-            trace=trace,
+            trace=trace, use_oracle=use_oracle,
         )
         with packing:
             buckets.append(VariableWidthBucket.build(b - sum(widths), widths, totals))
@@ -204,6 +318,7 @@ def build_atomic_dense(
     density: AttributeDensity,
     config: HistogramConfig = HistogramConfig(),
     trace=None,
+    cache: Optional[AcceptanceCache] = None,
 ) -> Histogram:
     """Atomic (bucklet-less) histograms: the ``1Dinc[B]`` variants.
 
@@ -217,13 +332,15 @@ def build_atomic_dense(
     q = config.q
     d = density.n_distinct
     buckets: List[AtomicDenseBucket] = []
-    cache = AcceptanceCache() if config.kernel == "vectorized" else None
+    if cache is None:
+        cache = AcceptanceCache() if config.kernel == "vectorized" else None
+    use_oracle = config.oracle_search
     packing = trace.timer("packing")
     b = 0
     while b < d:
         m = grow_bucklet(
             density, b, d - b, theta, q, bounded=config.bounded_search, cache=cache,
-            trace=trace,
+            trace=trace, use_oracle=use_oracle,
         )
         m = max(m, 1)
         with packing:
@@ -234,3 +351,64 @@ def build_atomic_dense(
     trace.count("buckets", len(buckets))
     kind = "1DincB" if config.bounded_search else "1Dinc"
     return Histogram(buckets, kind=kind, theta=theta, q=q, domain="code")
+
+
+# -- span builders (localized repair) --------------------------------------
+
+
+def grow_span_buckets(
+    density: AttributeDensity,
+    lo: int,
+    hi: int,
+    theta: float,
+    q: float,
+    bounded: bool = True,
+    cache: Optional[AcceptanceCache] = None,
+    trace=NULL_TRACE,
+    use_oracle: bool = True,
+) -> List[VariableWidthBucket]:
+    """Variable-width buckets covering ``[lo, hi)`` of the *full* density.
+
+    Produces exactly the buckets that building over the sliced
+    sub-density ``[lo, hi)`` and shifting by ``lo`` would: the growth
+    recurrence only reads cumulated-frequency differences inside the
+    span, and the Corollary 4.2 window is clamped at the span start
+    either way.  Running on the full density lets repair share the
+    column's index and :class:`AcceptanceCache` across attempts instead
+    of re-slicing and re-summing per damaged range.
+    """
+    buckets: List[VariableWidthBucket] = []
+    b = lo
+    while b < hi:
+        widths, totals, b = _grow_bucket(
+            density, b, theta, q, bounded, cache=cache, trace=trace,
+            stop=hi, use_oracle=use_oracle,
+        )
+        buckets.append(VariableWidthBucket.build(b - sum(widths), widths, totals))
+    return buckets
+
+
+def grow_span_atomic(
+    density: AttributeDensity,
+    lo: int,
+    hi: int,
+    theta: float,
+    q: float,
+    bounded: bool = True,
+    cache: Optional[AcceptanceCache] = None,
+    trace=NULL_TRACE,
+    use_oracle: bool = True,
+) -> List[AtomicDenseBucket]:
+    """Atomic buckets covering ``[lo, hi)`` of the *full* density
+    (see :func:`grow_span_buckets`)."""
+    buckets: List[AtomicDenseBucket] = []
+    b = lo
+    while b < hi:
+        m = grow_bucklet(
+            density, b, hi - b, theta, q, bounded=bounded, cache=cache,
+            trace=trace, use_oracle=use_oracle,
+        )
+        m = max(m, 1)
+        buckets.append(AtomicDenseBucket.build(b, b + m, density.f_plus(b, b + m)))
+        b += m
+    return buckets

@@ -51,6 +51,7 @@ from repro.core.flexalpha import FlexAlphaBucket
 from repro.core.histogram import Histogram
 from repro.core.kernels import (
     MATRIX_STRATEGY_MAX,
+    AcceptanceCache,
     acceptance_matrix_batch,
     pretest_dense_batch,
     subquadratic_test_vectorized,
@@ -372,10 +373,18 @@ def _build_replacement(
     lo: int,
     hi: int,
     config: HistogramConfig,
+    density: Optional[AttributeDensity] = None,
+    cache: Optional[AcceptanceCache] = None,
 ) -> List:
-    """Re-run the paper's bucket search on just ``[lo, hi)``."""
-    from repro.core.builder import build_histogram
+    """Re-run the paper's bucket search on just ``[lo, hi)``.
 
+    With the oracle search enabled the span builders grow the
+    replacement *in place* over the full ``density`` -- sharing its
+    prefix index and the repair-wide ``cache`` across every damaged
+    range -- instead of slicing a sub-density per range.  Both paths
+    produce identical buckets (the growth recurrence only reads
+    cumulated-frequency differences inside the span).
+    """
     n = clamped.size
     hi_eff = min(hi, n)
     if hi_eff <= lo:
@@ -385,10 +394,28 @@ def _build_replacement(
         if histogram.kind in _EXACT_COVER_KINDS
         else _DEFAULT_SUB_KIND
     )
-    sub = build_histogram(
-        AttributeDensity(clamped[lo:hi_eff]), kind=kind, config=config
-    )
-    fresh = [_shift_bucket(bucket, lo) for bucket in sub.buckets]
+    if config.oracle_search and density is not None:
+        from repro.core.qvwh import grow_span_atomic, grow_span_buckets
+
+        theta = config.resolve_theta(density.f_plus(lo, hi_eff))
+        bounded = kind in ("V8DincB", "1DincB")
+        if kind in ("1Dinc", "1DincB"):
+            fresh = grow_span_atomic(
+                density, lo, hi_eff, theta, config.q,
+                bounded=bounded, cache=cache,
+            )
+        else:
+            fresh = grow_span_buckets(
+                density, lo, hi_eff, theta, config.q,
+                bounded=bounded, cache=cache,
+            )
+    else:
+        from repro.core.builder import build_histogram
+
+        sub = build_histogram(
+            AttributeDensity(clamped[lo:hi_eff]), kind=kind, config=config
+        )
+        fresh = [_shift_bucket(bucket, lo) for bucket in sub.buckets]
     if int(fresh[0].lo) != lo:
         raise RepairError(
             f"replacement for [{lo}, {hi}) starts at {fresh[0].lo}"
@@ -458,6 +485,14 @@ def repair_histogram(
     sub_config = replace(base_config, theta=histogram.theta, q=histogram.q)
     clamped = np.maximum(frequencies, 1)
     density = AttributeDensity(clamped)
+    # One prefix index and one acceptance cache serve every damaged
+    # range (and the final re-stamp), so repeated repair attempts over
+    # the same truth pay the column-level costs once.
+    repair_cache: Optional[AcceptanceCache] = None
+    if sub_config.oracle_search:
+        density.ensure_index()
+    if sub_config.kernel == "vectorized":
+        repair_cache = AcceptanceCache()
     buckets = histogram.buckets
     for index in failing:
         if not 0 <= int(index) < len(buckets):
@@ -498,14 +533,20 @@ def repair_histogram(
                 # Binary-q rounding pushed the stored total past θ; a
                 # localized search keeps the certificate honest instead.
                 new_buckets.extend(
-                    _build_replacement(histogram, clamped, lo, hi, sub_config)
+                    _build_replacement(
+                        histogram, clamped, lo, hi, sub_config,
+                        density=density, cache=repair_cache,
+                    )
                 )
             else:
                 new_buckets.append(merged)
             merges += 1
         else:
             new_buckets.extend(
-                _build_replacement(histogram, clamped, lo, hi, sub_config)
+                _build_replacement(
+                    histogram, clamped, lo, hi, sub_config,
+                    density=density, cache=repair_cache,
+                )
             )
             splits += 1
         ranges.append(

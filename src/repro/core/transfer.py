@@ -14,7 +14,6 @@ queries.
 
 from __future__ import annotations
 
-import math
 from typing import Tuple
 
 __all__ = [

@@ -12,7 +12,7 @@ figures (Figs. 8 and 10).
 from __future__ import annotations
 
 import math
-from typing import Any, Optional, Sequence, Tuple
+from typing import Any, Optional, Sequence
 
 import numpy as np
 

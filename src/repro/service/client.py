@@ -37,8 +37,6 @@ from repro.query.predicates import Predicate, RangePredicate
 from repro.service.frames import (
     FRAME_HEADER_SIZE,
     OP_ERROR,
-    OP_ESTIMATE_BATCH,
-    OP_ESTIMATE_DISTINCT_BATCH,
     OP_HELLO,
     OP_JSON,
     OP_JSON_RESPONSE,

@@ -12,7 +12,7 @@ This module generates both, for the advisor/maintenance experiments:
 
 from __future__ import annotations
 
-from typing import Iterator, List, Tuple
+from typing import Iterator
 
 import numpy as np
 

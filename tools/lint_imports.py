@@ -1,0 +1,163 @@
+#!/usr/bin/env python
+"""Import lint: the subset of ruff F401/F811 this repo enforces.
+
+The container image does not ship ruff, so ``make lint`` falls back to
+this AST-based checker; CI installs ruff and runs both.  Three findings,
+all file:line-addressed:
+
+* ``duplicate-import``  -- the same name bound twice by import
+  statements in one scope (ruff F811), e.g. two ``from typing import
+  Optional`` lines.
+* ``split-import``      -- two module-level ``from X import ...``
+  statements for the same module that should be one block.
+* ``unused-import``     -- an imported name never read anywhere in the
+  file (ruff F401).  Names re-exported via ``__all__`` count as used;
+  ``__init__.py`` files are exempt (re-export by import is the idiom
+  there).
+
+Exit status 1 when any finding is reported.  Usage::
+
+    python tools/lint_imports.py src/repro [more paths...]
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import Dict, Iterator, List, Set, Tuple
+
+
+def iter_python_files(paths: List[str]) -> Iterator[Path]:
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file() and path.suffix == ".py":
+            yield path
+        elif path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+
+
+def _bound_name(alias: ast.alias, statement: ast.stmt) -> str:
+    if alias.asname is not None:
+        return alias.asname
+    if isinstance(statement, ast.Import):
+        # ``import os.path`` binds ``os``.
+        return alias.name.split(".")[0]
+    return alias.name
+
+
+def _used_names(tree: ast.Module) -> Set[str]:
+    used: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name):
+            used.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            root = node
+            while isinstance(root, ast.Attribute):
+                root = root.value
+            if isinstance(root, ast.Name):
+                used.add(root.id)
+    return used
+
+
+def _exported_names(tree: ast.Module) -> Set[str]:
+    exported: Set[str] = set()
+    for node in tree.body:
+        targets: List[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+            value = node.value
+        elif isinstance(node, ast.AugAssign):
+            targets = [node.target]
+            value = node.value
+        else:
+            continue
+        if not any(
+            isinstance(t, ast.Name) and t.id == "__all__" for t in targets
+        ):
+            continue
+        for item in ast.walk(value):
+            if isinstance(item, ast.Constant) and isinstance(item.value, str):
+                exported.add(item.value)
+    return exported
+
+
+def lint_file(path: Path) -> List[str]:
+    tree = ast.parse(path.read_text(), filename=str(path))
+    findings: List[str] = []
+
+    # Bindings per scope: walk each function/class body independently so
+    # a local ``import x`` never collides with a module-level one.
+    scopes: List[Tuple[ast.AST, List[ast.stmt]]] = [(tree, tree.body)]
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            scopes.append((node, node.body))
+
+    module_from: Dict[str, int] = {}
+    imported_at: Dict[str, Tuple[int, str]] = {}
+    for scope, body in scopes:
+        bound: Dict[str, int] = {}
+        for statement in body:
+            if not isinstance(statement, (ast.Import, ast.ImportFrom)):
+                continue
+            if isinstance(statement, ast.ImportFrom):
+                module = "." * statement.level + (statement.module or "")
+                if scope is tree and module != "__future__":
+                    first = module_from.setdefault(module, statement.lineno)
+                    if first != statement.lineno:
+                        findings.append(
+                            f"{path}:{statement.lineno}: split-import: "
+                            f"'from {module} import ...' already appears on "
+                            f"line {first}; merge the two blocks"
+                        )
+            future = (
+                isinstance(statement, ast.ImportFrom)
+                and statement.module == "__future__"
+            )
+            for alias in statement.names:
+                if alias.name == "*" or future:
+                    continue
+                name = _bound_name(alias, statement)
+                if name in bound:
+                    findings.append(
+                        f"{path}:{statement.lineno}: duplicate-import: "
+                        f"'{name}' already imported on line {bound[name]}"
+                    )
+                else:
+                    bound[name] = statement.lineno
+                if scope is tree and name not in imported_at:
+                    imported_at[name] = (statement.lineno, alias.name)
+
+    if path.name != "__init__.py":
+        used = _used_names(tree)
+        exported = _exported_names(tree)
+        for name, (lineno, target) in sorted(
+            imported_at.items(), key=lambda item: item[1][0]
+        ):
+            if target == "*" or name.startswith("_"):
+                continue
+            if name not in used and name not in exported:
+                findings.append(
+                    f"{path}:{lineno}: unused-import: '{name}' is never used"
+                )
+    return findings
+
+
+def main(argv: List[str]) -> int:
+    paths = argv or ["src/repro", "tools", "benchmarks"]
+    findings: List[str] = []
+    checked = 0
+    for path in iter_python_files(paths):
+        checked += 1
+        findings.extend(lint_file(path))
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"lint-imports: {len(findings)} finding(s) in {checked} files")
+        return 1
+    print(f"lint-imports: ok ({checked} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
