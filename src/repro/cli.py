@@ -378,6 +378,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         drift=service.drift,
         repair=not args.no_repair,
         escalate_fraction=args.escalate_fraction,
+        journal=service.journal,
+        on_anomaly=lambda reason, event: service.freeze_bundle(reason, **event),
     )
     scheduler.start()
     runtime = ServiceConfig(
@@ -494,6 +496,86 @@ def _cmd_query(args: argparse.Namespace) -> int:
                 args.table, args.column, args.low, args.high
             )
             print(f"{estimate.value:.6g} ({estimate.method})")
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service.client import BinaryStatisticsClient, StatisticsClient
+
+    host, port = _parse_address(args.address)
+    client_cls = BinaryStatisticsClient if args.binary else StatisticsClient
+    with client_cls(host, port, timeout=args.timeout) as client:
+        report = client.explain_range(args.table, args.column, args.low, args.high)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0
+    provenance = report["provenance"]
+    print(f"{report['value']:.6g} ({report['method']})")
+    for key in (
+        "table",
+        "column",
+        "generation",
+        "plan",
+        "via",
+        "code_range",
+        "bucket_span",
+        "certified_q",
+        "theta",
+        "sampling_rate",
+        "sampling_qerror_bound",
+    ):
+        if key in provenance:
+            print(f"  {key}: {provenance[key]}")
+    return 0
+
+
+def _cmd_doctor(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service.client import ServiceError, StatisticsClient
+
+    host, port = _parse_address(args.address)
+    with StatisticsClient(host, port, timeout=args.timeout) as client:
+        try:
+            report = client.doctor()
+        except ServiceError:
+            # A supervisor control port: same line protocol, fleet op.
+            report = client.call("fleet-doctor")["report"]
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True, default=str))
+        return 0
+    info = report.get("build_info") or {}
+    print(f"build: {info}")
+    audit = report.get("audit") or {}
+    breached = [
+        key
+        for key, slo in (audit.get("columns") or {}).items()
+        if not slo.get("slo_ok", True)
+    ]
+    print(
+        f"audit: {len((audit.get('columns') or {}))} column(s) scored, "
+        f"{len(breached)} SLO breach(es)"
+        + (f": {', '.join(sorted(breached))}" if breached else "")
+    )
+    bundles = report.get("bundles") or []
+    print(f"bundles: {len(bundles)} frozen")
+    for bundle in bundles:
+        label = bundle.get("shard")
+        prefix = f"shard {label} " if label is not None else ""
+        print(f"  {prefix}reason={bundle.get('reason')} seq={bundle.get('seq')}")
+    events = report.get("journal") or []
+    print(f"journal: {len(events)} event(s)")
+    for event in events[-args.tail:]:
+        shard = event.get("shard")
+        origin = f"[{shard}] " if shard is not None else ""
+        detail = {
+            key: value
+            for key, value in event.items()
+            if key not in ("seq", "ts", "category", "shard")
+        }
+        print(f"  {origin}#{event.get('seq')} {event.get('category')}: {detail}")
     return 0
 
 
@@ -878,6 +960,42 @@ def _build_parser() -> argparse.ArgumentParser:
         help="socket timeout, seconds (connect and each response)",
     )
     query.set_defaults(func=_cmd_query)
+
+    explain_cmd = sub.add_parser(
+        "explain",
+        help="estimate a range and print the answer's full provenance",
+    )
+    explain_cmd.add_argument("address", help="host:port of the server")
+    explain_cmd.add_argument("low", type=float)
+    explain_cmd.add_argument("high", type=float)
+    explain_cmd.add_argument("--table", required=True)
+    explain_cmd.add_argument("--column", required=True)
+    explain_cmd.add_argument(
+        "--binary", action="store_true",
+        help="use the binary frame transport (explain rides its JSON channel)",
+    )
+    explain_cmd.add_argument(
+        "--json", action="store_true", help="print the raw provenance object"
+    )
+    explain_cmd.add_argument("--timeout", type=float, default=10.0)
+    explain_cmd.set_defaults(func=_cmd_explain)
+
+    doctor_cmd = sub.add_parser(
+        "doctor",
+        help="pull a server's (or fleet's) debug bundle: journal, audit, bundles",
+    )
+    doctor_cmd.add_argument(
+        "address", help="host:port of a server or a fleet control port"
+    )
+    doctor_cmd.add_argument(
+        "--tail", type=int, default=20,
+        help="journal events to print (newest last)",
+    )
+    doctor_cmd.add_argument(
+        "--json", action="store_true", help="print the full report as JSON"
+    )
+    doctor_cmd.add_argument("--timeout", type=float, default=10.0)
+    doctor_cmd.set_defaults(func=_cmd_doctor)
 
     ingest = sub.add_parser(
         "ingest",

@@ -536,6 +536,19 @@ class CompiledHistogram:
     def stats(self) -> dict:
         return dict(self._stats)
 
+    def identity(self) -> str:
+        """Provenance label for this plan: how its tables were produced.
+
+        ``"compiled"`` for a plan frozen from scratch,
+        ``"compiled-patched"`` when any repair splice
+        (:meth:`patch`) contributed tables -- the distinction audit
+        attribution needs, because a patched plan serves under the
+        repair's re-certified envelope rather than the original build's.
+        """
+        if int(self._stats.get("patched_ranges", 0) or 0) > 0:
+            return "compiled-patched"
+        return "compiled"
+
     def fine_segments(self) -> Tuple[np.ndarray, np.ndarray]:
         """(edges, left-continuous global cumulative mass) of the fine
         range function -- the piecewise-linear view legacy consumers

@@ -4,19 +4,34 @@ Zero-dependency instrumentation shared by the build pipeline
 (:mod:`repro.engine`) and the statistics service
 (:mod:`repro.service.metrics`).  Tracing is opt-in per build; the
 disabled path (:data:`NULL_TRACE`) costs an attribute lookup and an
-empty call, so hot loops stay instrumented unconditionally.
+empty call, so hot loops stay instrumented unconditionally.  The
+flight recorder (:class:`EventJournal`) applies the same discipline to
+state transitions: a bounded structured event ring with a
+:data:`NULL_JOURNAL` twin for the zero-cost baseline.
 """
 
 from repro.obs.counters import CounterSet
+from repro.obs.journal import (
+    CATEGORIES,
+    EventJournal,
+    NULL_JOURNAL,
+    NullJournal,
+    merge_journal_events,
+)
 from repro.obs.quantile import QuantileHistogram
 from repro.obs.trace import NULL_TRACE, NullTrace, PhaseTimer, Span, Trace
 
 __all__ = [
+    "CATEGORIES",
     "CounterSet",
+    "EventJournal",
+    "NULL_JOURNAL",
     "NULL_TRACE",
+    "NullJournal",
     "NullTrace",
     "PhaseTimer",
     "QuantileHistogram",
     "Span",
     "Trace",
+    "merge_journal_events",
 ]

@@ -1,0 +1,256 @@
+"""Flight recorder: a bounded, structured event ring for the service.
+
+Every state transition that can later explain a wrong estimate --
+builds, localized repairs, shared-memory publishes and in-place
+patches, rebuild escalations, drift flags, shard failovers, sampled
+cold starts, worker-pool fallbacks -- lands here as one small dict
+with a monotonically increasing sequence number.  The ring is bounded
+(`deque(maxlen)`), so emitting is O(1) and the recorder can stay on
+in production; history older than the capacity is dropped, never
+blocks the hot path.
+
+Anomaly triggers (SLO burn, escalated rebuild, failover, pool
+fallback) call :meth:`EventJournal.freeze` to snapshot the ring
+together with caller-supplied sections (metrics, slow log, audit
+state) into a debug bundle.  Bundles are themselves bounded, so a
+flapping anomaly cannot exhaust memory.
+
+Cross-shard collection (``repro doctor`` against a fleet) merges the
+per-shard rings with :func:`merge_journal_events`, which tags each
+event with its shard and sorts on ``(ts, shard, seq)`` -- a total
+order, so merging the same rings in any shard order yields the same
+timeline.
+
+:data:`NULL_JOURNAL` is the "journal code does not exist" twin (same
+idiom as :data:`~repro.obs.trace.NULL_TRACE`): every method is a
+no-op, so the overhead benchmark can measure the cost of the default
+enabled recorder against a true zero baseline.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence
+
+__all__ = [
+    "CATEGORIES",
+    "EventJournal",
+    "NULL_JOURNAL",
+    "NullJournal",
+    "merge_journal_events",
+]
+
+#: The closed set of event categories.  A closed set keeps the ring
+#: greppable and lets dashboards enumerate panels; emitting an unknown
+#: category is a programming error, not data.
+CATEGORIES = frozenset(
+    {
+        "build",
+        "repair",
+        "publish",
+        "patch",
+        "rebuild",
+        "escalation",
+        "drift",
+        "failover",
+        "coldstart",
+        "worker-fallback",
+    }
+)
+
+
+class EventJournal:
+    """Thread-safe bounded ring of structured events plus debug bundles.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of events retained; older events are dropped.
+    bundle_capacity:
+        Maximum number of frozen debug bundles retained.
+    clock:
+        Injectable time source (seconds since epoch) for tests.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        capacity: int = 256,
+        bundle_capacity: int = 8,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        if bundle_capacity <= 0:
+            raise ValueError(f"bundle_capacity must be positive, got {bundle_capacity}")
+        self._capacity = capacity
+        self._clock = clock
+        self._mutex = threading.Lock()
+        self._ring: deque = deque(maxlen=capacity)
+        self._bundles: deque = deque(maxlen=bundle_capacity)
+        self._seq = 0
+        self._counts: Dict[str, int] = {}
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def last_seq(self) -> int:
+        """Sequence number of the newest event (0 when nothing emitted)."""
+        with self._mutex:
+            return self._seq
+
+    def __len__(self) -> int:
+        with self._mutex:
+            return len(self._ring)
+
+    def emit(self, category: str, **fields: Any) -> int:
+        """Append one event; returns its sequence number.
+
+        ``fields`` must be JSON-serializable -- events travel over the
+        wire verbatim in ``journal``/``doctor`` responses.
+        """
+        if category not in CATEGORIES:
+            raise ValueError(
+                f"unknown journal category {category!r}; expected one of "
+                f"{sorted(CATEGORIES)}"
+            )
+        ts = self._clock()
+        with self._mutex:
+            self._seq += 1
+            seq = self._seq
+            event = {"seq": seq, "ts": ts, "category": category}
+            event.update(fields)
+            self._ring.append(event)
+            self._counts[category] = self._counts.get(category, 0) + 1
+        return seq
+
+    def events(
+        self,
+        limit: Optional[int] = None,
+        category: Optional[str] = None,
+        since_seq: Optional[int] = None,
+    ) -> List[Dict[str, Any]]:
+        """Retained events, oldest first (a chronological timeline).
+
+        ``limit`` keeps the *newest* matching events; ``category``
+        filters by category; ``since_seq`` keeps events with
+        ``seq > since_seq`` (cursor-style incremental reads).
+        """
+        with self._mutex:
+            events = list(self._ring)
+        if category is not None:
+            events = [event for event in events if event["category"] == category]
+        if since_seq is not None:
+            events = [event for event in events if event["seq"] > since_seq]
+        if limit is not None and limit >= 0:
+            events = events[-limit:] if limit else []
+        return [dict(event) for event in events]
+
+    def counts(self) -> Dict[str, int]:
+        """Lifetime emit counts per category (not bounded by the ring)."""
+        with self._mutex:
+            return dict(self._counts)
+
+    def freeze(self, reason: str, **sections: Any) -> Dict[str, Any]:
+        """Snapshot the ring plus caller sections into a debug bundle.
+
+        The bundle captures the timeline *as of the anomaly*: later
+        events keep flowing into the ring but do not mutate the bundle.
+        """
+        bundle = {
+            "reason": reason,
+            "ts": self._clock(),
+            "seq": self.last_seq,
+            "events": self.events(),
+        }
+        bundle.update(sections)
+        with self._mutex:
+            self._bundles.append(bundle)
+        return bundle
+
+    def bundles(self) -> List[Dict[str, Any]]:
+        """Retained debug bundles, oldest first."""
+        with self._mutex:
+            return [dict(bundle) for bundle in self._bundles]
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Wire-friendly summary: cursor position + per-category counts.
+
+        Deliberately excludes the event bodies -- ``status`` responses
+        stay small; full timelines travel only via ``journal``/``doctor``.
+        """
+        with self._mutex:
+            return {
+                "seq": self._seq,
+                "capacity": self._capacity,
+                "retained": len(self._ring),
+                "bundles": len(self._bundles),
+                "counts": dict(self._counts),
+            }
+
+
+class NullJournal:
+    """No-op twin of :class:`EventJournal`: the zero-cost baseline."""
+
+    __slots__ = ()
+
+    enabled = False
+    capacity = 0
+    last_seq = 0
+
+    def __len__(self) -> int:
+        return 0
+
+    def emit(self, category: str, **fields: Any) -> int:
+        return 0
+
+    def events(self, limit=None, category=None, since_seq=None) -> List[Dict[str, Any]]:
+        return []
+
+    def counts(self) -> Dict[str, int]:
+        return {}
+
+    def freeze(self, reason: str, **sections: Any) -> Dict[str, Any]:
+        return {}
+
+    def bundles(self) -> List[Dict[str, Any]]:
+        return []
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"seq": 0, "capacity": 0, "retained": 0, "bundles": 0, "counts": {}}
+
+
+NULL_JOURNAL = NullJournal()
+
+
+def merge_journal_events(
+    per_shard: Mapping[str, Iterable[Mapping[str, Any]]],
+    limit: Optional[int] = None,
+) -> List[Dict[str, Any]]:
+    """Merge per-shard event rings into one deterministic timeline.
+
+    Each event is tagged with its shard name and the merged list is
+    sorted by ``(ts, shard, seq)`` -- a total order over all events, so
+    the result is independent of the iteration order of ``per_shard``
+    (and of dict insertion order: shuffled inputs merge identically).
+    ``limit`` keeps the newest events after merging.
+    """
+    merged: List[Dict[str, Any]] = []
+    for shard, events in per_shard.items():
+        for event in events:
+            tagged = dict(event)
+            tagged["shard"] = str(shard)
+            merged.append(tagged)
+    merged.sort(key=_merge_key)
+    if limit is not None and limit >= 0:
+        merged = merged[-limit:] if limit else []
+    return merged
+
+
+def _merge_key(event: Mapping[str, Any]) -> Sequence[Any]:
+    return (float(event.get("ts", 0.0)), event["shard"], int(event.get("seq", 0)))

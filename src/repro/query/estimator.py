@@ -17,7 +17,7 @@ independence assumption.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -57,10 +57,15 @@ def method_of(stats) -> str:
 
 @dataclass(frozen=True)
 class CardinalityEstimate:
-    """An estimate plus how it was produced."""
+    """An estimate plus how it was produced.
+
+    ``provenance`` (optional, excluded from equality) carries the full
+    attribution dict built by :meth:`CardinalityEstimator.explain`.
+    """
 
     value: float
-    method: str  # "exact" | "histogram" | "joint" | "independence"
+    method: str  # "exact" | "histogram" | "sample" | "joint" | "independence"
+    provenance: Optional[Dict[str, object]] = field(default=None, compare=False)
 
     def __float__(self) -> float:
         return self.value
@@ -208,6 +213,53 @@ class CardinalityEstimator:
                             float(scalar(c1, c2)), method
                         )
         return results
+
+    def explain(self, predicate: Predicate) -> CardinalityEstimate:
+        """Estimate a predicate and attribute *how* it was answered.
+
+        The returned estimate's ``value``/``method`` are bit-consistent
+        with :meth:`estimate` -- the same ``_code_range`` translation
+        feeds the same ``estimate_range`` call on the same statistics
+        object -- plus a ``provenance`` dict: the translated code
+        range, the bucket span consulted (when the statistics expose
+        one), and the cold-start sampling bound when the answer came
+        from a sample.  Service-level attribution (store generation,
+        plan identity, certified envelope) is layered on top by
+        :meth:`repro.service.server.StatisticsService.explain`.
+        """
+        if not isinstance(predicate, (RangePredicate, EqualsPredicate)):
+            estimate = self.estimate(predicate)
+            return CardinalityEstimate(
+                estimate.value,
+                estimate.method,
+                {"method": estimate.method, "composite": True},
+            )
+        name, c1, c2 = self._code_range(predicate)
+        if c2 <= c1:
+            provenance = {
+                "column": name,
+                "method": "exact",
+                "code_range": [int(c1), int(c2)],
+                "empty": True,
+            }
+            return CardinalityEstimate(0.0, "exact", provenance)
+        stats = self.manager.statistics(self.table.name, name)
+        value = stats.estimate_range(c1, c2)
+        method = method_of(stats)
+        provenance = {
+            "column": name,
+            "method": method,
+            "code_range": [int(c1), int(c2)],
+        }
+        bucket_span = getattr(stats, "bucket_span", None)
+        if bucket_span is not None:
+            span = bucket_span(c1, c2)
+            if span is not None:
+                provenance["bucket_span"] = [int(span[0]), int(span[1])]
+        rate = getattr(stats, "rate", None)
+        if rate is not None:
+            provenance["sampling_rate"] = float(rate)
+        return CardinalityEstimate(value, method, provenance)
 
     def selectivity(self, predicate: Predicate) -> float:
         """Estimated fraction of the table's rows that qualify."""

@@ -1,0 +1,390 @@
+"""Estimate provenance ledger and per-column q-error SLO accounting.
+
+The paper's deliverable is a *certificate*: every histogram answer is
+promised to be within a factor ``q`` of the truth (above the ``theta``
+floor).  This module closes the loop on that promise in production.
+
+Two halves:
+
+* :class:`AuditLedger` keeps a bounded ``request_id -> provenance``
+  map.  When an estimate is served, the service records the envelope
+  that answered it -- method, store generation, plan identity,
+  certified ``(theta, q)``, sampling bound for cold starts.  When a
+  ``feedback`` op later reports the observed true cardinality for that
+  request, the observation is scored against the *certificate that
+  answered it*, not whatever certificate happens to be current.
+
+* Per-column SLO / error-budget accounting.  Each scored observation
+  lands in a per-column counter block: total observations, violations,
+  and violations broken down by attributed cause.  A column's SLO is
+  healthy while ``violations <= budget * observations``; the *burn*
+  ratio (violation rate over budget) is exported to Prometheus so a
+  flipping gauge is visible before the repair lands.
+
+Violation causes (:func:`attribute_violation`):
+
+``sampled``
+    The answer came from a cold-start sample; its Chernoff bound, not
+    the histogram certificate, was in force.
+``stale-generation``
+    The store generation moved between answer and feedback -- churn
+    (or a repair/rebuild) invalidated the certificate that answered.
+``patched-plan``
+    The answer was served by an in-place patched compiled plan; the
+    splice carries the repair's re-certified envelope, so violations
+    here point at the repair acceptance test.
+``drift``
+    Certificate was current and unpatched; the data simply moved past
+    the transfer bound.  This is the cause the ROADMAP's self-tuning
+    (theta, q) item must react to.
+``unattributed``
+    Feedback arrived without (or after eviction of) the answering
+    provenance record.
+
+Snapshots are plain integer counters, so cross-shard merging in
+:func:`repro.service.fleet.status.merge_fleet_status` is exact:
+counts add, budgets take the strictest, health recomputes from the
+merged totals.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from collections import OrderedDict, deque
+from typing import Any, Dict, Iterable, List, Mapping, Optional
+
+__all__ = [
+    "AuditLedger",
+    "CAUSES",
+    "CAUSE_DRIFT",
+    "CAUSE_PATCHED_PLAN",
+    "CAUSE_SAMPLED",
+    "CAUSE_STALE_GENERATION",
+    "CAUSE_UNATTRIBUTED",
+    "attribute_violation",
+    "merge_audit_snapshots",
+]
+
+CAUSE_SAMPLED = "sampled"
+CAUSE_STALE_GENERATION = "stale-generation"
+CAUSE_PATCHED_PLAN = "patched-plan"
+CAUSE_DRIFT = "drift"
+CAUSE_UNATTRIBUTED = "unattributed"
+
+#: Attribution order matters: a sampled answer is "sampled" even if the
+#: generation also moved -- the sampling bound, not the histogram
+#: certificate, was the promise in force.
+CAUSES = (
+    CAUSE_SAMPLED,
+    CAUSE_STALE_GENERATION,
+    CAUSE_PATCHED_PLAN,
+    CAUSE_DRIFT,
+    CAUSE_UNATTRIBUTED,
+)
+
+
+def attribute_violation(
+    provenance: Optional[Mapping[str, Any]],
+    current_generation: Optional[int],
+) -> str:
+    """Attribute a q-error violation to its most specific cause.
+
+    ``provenance`` is the per-column envelope recorded when the answer
+    was served (or None when no record survives); ``current_generation``
+    is the store generation at feedback time.
+    """
+    if provenance is None:
+        return CAUSE_UNATTRIBUTED
+    if provenance.get("method") == "sample":
+        return CAUSE_SAMPLED
+    generation = provenance.get("generation")
+    if (
+        generation is not None
+        and current_generation is not None
+        and generation != current_generation
+    ):
+        return CAUSE_STALE_GENERATION
+    if provenance.get("plan") == "compiled-patched":
+        return CAUSE_PATCHED_PLAN
+    return CAUSE_DRIFT
+
+
+class _ColumnSlo:
+    """Error-budget counters for one column.  Caller holds the lock."""
+
+    __slots__ = ("observations", "violations", "causes")
+
+    def __init__(self) -> None:
+        self.observations = 0
+        self.violations = 0
+        self.causes: Dict[str, int] = {}
+
+    def snapshot(self, budget: float) -> Dict[str, Any]:
+        allowed = budget * self.observations
+        # A zero budget makes any violation an immediate, huge burn;
+        # keep the value finite so it survives JSON round-trips.
+        burn = self.violations / allowed if allowed > 0 else self.violations * 1e9
+        return {
+            "observations": self.observations,
+            "violations": self.violations,
+            "budget": budget,
+            "burn": burn,
+            "slo_ok": self.violations <= allowed,
+            "causes": dict(self.causes),
+        }
+
+
+class AuditLedger:
+    """Bounded request_id->provenance map plus per-column SLO counters.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum provenance records retained; least recently *recorded*
+        requests are evicted first (feedback normally arrives soon
+        after the answer, so recency eviction loses little).
+    error_budget:
+        Allowed violation fraction per column.  The default 0.01 means
+        the very first violation on a lightly-observed column flips
+        its SLO gauge -- by design: the acceptance bar is "visible
+        before the repair lands".
+    """
+
+    enabled = True
+
+    def __init__(self, capacity: int = 2048, error_budget: float = 0.01) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        if not 0.0 <= error_budget < 1.0:
+            raise ValueError(f"error_budget must be in [0, 1), got {error_budget}")
+        self._capacity = capacity
+        self._budget = error_budget
+        self._mutex = threading.Lock()
+        # OrderedDict, not dict: at capacity every insert evicts, and
+        # popitem(last=False) is O(1) where next(iter())+del on a plain
+        # dict degrades linearly with accumulated tombstones.
+        self._records: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        self._columns: Dict[str, _ColumnSlo] = {}
+        self._recorded = 0
+        self._evicted = 0
+        # Lock-free staging ring for the estimate hot path: record()
+        # only appends here (deque.append is atomic under the GIL) and
+        # the next reader folds entries into ``_records`` under the
+        # mutex.  ``maxlen`` bounds memory on an unscraped service --
+        # overflow silently drops the *oldest* staged entries, and the
+        # per-entry sequence number lets the fold count those drops
+        # exactly as recorded-then-evicted.
+        self._staged: "deque" = deque(maxlen=max(2 * capacity, 256))
+        self._stage_seq = itertools.count(1)
+        self._stage_folded = 0
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def error_budget(self) -> float:
+        return self._budget
+
+    def __len__(self) -> int:
+        with self._mutex:
+            self._fold_staged()
+            return len(self._records)
+
+    # ------------------------------------------------------------------
+    # Provenance records
+    # ------------------------------------------------------------------
+    def record(self, request_id: str, columns: Mapping[str, Mapping[str, Any]]) -> None:
+        """Remember which envelope answered ``request_id``.
+
+        ``columns`` maps ``"table.column"`` to the provenance envelope
+        in force when the answer was computed.  The ledger takes
+        ownership of the mapping without copying (this runs once per
+        estimate answered): callers must hand over a mapping they will
+        not mutate afterwards.  Re-recording the same request_id merges
+        columns (batch ops touch several columns) copy-on-write --
+        stored mappings are never mutated in place, so several records
+        may safely share one cached mapping -- and does not refresh the
+        eviction slot: lifetime runs from the first recording.
+
+        Recordings become visible to :meth:`lookup` and
+        :meth:`snapshot` at their next call: both fold the staging
+        ring first, so a feedback that names this request_id always
+        sees it.
+        """
+        if not columns:
+            return
+        # No lock: one atomic append per estimate answered.  itertools
+        # count() hands out sequence numbers atomically too.
+        self._staged.append((next(self._stage_seq), request_id, columns))
+
+    def _fold_staged(self) -> None:
+        """Fold staged recordings into the ordered map (mutex held)."""
+        records = self._records
+        staged = self._staged
+        for _ in range(len(staged)):
+            try:
+                seq, request_id, columns = staged.popleft()
+            except IndexError:
+                break
+            lost = seq - self._stage_folded - 1
+            if lost > 0:
+                # The staging ring overflowed: those entries were
+                # recorded and immediately evicted, unseen.
+                self._recorded += lost
+                self._evicted += lost
+            self._stage_folded = seq
+            existing = records.get(request_id)
+            if existing is not None:
+                merged = dict(existing)
+                merged.update(columns)
+                records[request_id] = merged
+                continue
+            records[request_id] = (
+                columns if type(columns) is dict else dict(columns)
+            )
+            self._recorded += 1
+            while len(records) > self._capacity:
+                records.popitem(last=False)
+                self._evicted += 1
+
+    def lookup(self, request_id: Optional[str]) -> Optional[Dict[str, Any]]:
+        """Provenance recorded for ``request_id`` (None when unknown)."""
+        if request_id is None:
+            return None
+        with self._mutex:
+            self._fold_staged()
+            record = self._records.get(request_id)
+            return dict(record) if record is not None else None
+
+    # ------------------------------------------------------------------
+    # SLO accounting
+    # ------------------------------------------------------------------
+    def observe(
+        self,
+        table: str,
+        column: str,
+        qerror: float,
+        bound: float,
+        cause: str,
+    ) -> Dict[str, Any]:
+        """Score one feedback observation against its certificate.
+
+        Returns the violation verdict plus whether this observation
+        flipped the column's SLO from healthy to breached (the anomaly
+        trigger for the flight recorder).
+        """
+        violated = bound > 0 and qerror > bound
+        key = f"{table}.{column}"
+        with self._mutex:
+            slo = self._columns.get(key)
+            if slo is None:
+                slo = self._columns[key] = _ColumnSlo()
+            was_ok = slo.violations <= self._budget * slo.observations
+            slo.observations += 1
+            if violated:
+                slo.violations += 1
+                slo.causes[cause] = slo.causes.get(cause, 0) + 1
+            now_ok = slo.violations <= self._budget * slo.observations
+        return {
+            "violated": violated,
+            "cause": cause if violated else None,
+            "slo_ok": now_ok,
+            "breached_now": was_ok and not now_ok,
+        }
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """Plain-counter snapshot; exactly mergeable across shards."""
+        with self._mutex:
+            self._fold_staged()
+            columns = {
+                key: slo.snapshot(self._budget)
+                for key, slo in sorted(self._columns.items())
+            }
+            return {
+                "capacity": self._capacity,
+                "error_budget": self._budget,
+                "records": len(self._records),
+                "recorded": self._recorded,
+                "evicted": self._evicted,
+                "columns": columns,
+            }
+
+
+class NullAuditLedger:
+    """No-op twin for the overhead baseline."""
+
+    __slots__ = ()
+
+    enabled = False
+    capacity = 0
+    error_budget = 0.0
+
+    def __len__(self) -> int:
+        return 0
+
+    def record(self, request_id, columns) -> None:
+        return None
+
+    def lookup(self, request_id):
+        return None
+
+    def observe(self, table, column, qerror, bound, cause) -> Dict[str, Any]:
+        return {"violated": False, "cause": None, "slo_ok": True, "breached_now": False}
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "capacity": 0,
+            "error_budget": 0.0,
+            "records": 0,
+            "recorded": 0,
+            "evicted": 0,
+            "columns": {},
+        }
+
+
+NULL_AUDIT = NullAuditLedger()
+
+
+def merge_audit_snapshots(
+    snapshots: Iterable[Optional[Mapping[str, Any]]],
+) -> Dict[str, Any]:
+    """Exactly merge per-shard audit snapshots.
+
+    Counters add; the budget takes the strictest (smallest) shard
+    value; per-column health is recomputed from the merged totals, so
+    a breach on any shard breaches the fleet view.
+    """
+    live: List[Mapping[str, Any]] = [s for s in snapshots if s]
+    if not live:
+        return {"error_budget": 0.0, "records": 0, "recorded": 0, "evicted": 0, "columns": {}}
+    budget = min(float(s.get("error_budget", 0.0)) for s in live)
+    merged: Dict[str, Any] = {
+        "error_budget": budget,
+        "records": sum(int(s.get("records", 0)) for s in live),
+        "recorded": sum(int(s.get("recorded", 0)) for s in live),
+        "evicted": sum(int(s.get("evicted", 0)) for s in live),
+    }
+    columns: Dict[str, Dict[str, Any]] = {}
+    for snap in live:
+        for key, slo in (snap.get("columns") or {}).items():
+            into = columns.setdefault(
+                key, {"observations": 0, "violations": 0, "causes": {}}
+            )
+            into["observations"] += int(slo.get("observations", 0))
+            into["violations"] += int(slo.get("violations", 0))
+            for cause, count in (slo.get("causes") or {}).items():
+                into["causes"][cause] = into["causes"].get(cause, 0) + int(count)
+    for key, slo in columns.items():
+        allowed = budget * slo["observations"]
+        slo["budget"] = budget
+        slo["slo_ok"] = slo["violations"] <= allowed
+        slo["burn"] = (
+            slo["violations"] / allowed if allowed > 0 else slo["violations"] * 1e9
+        )
+    merged["columns"] = {key: columns[key] for key in sorted(columns)}
+    return merged

@@ -175,17 +175,77 @@ class _ServiceOps:
             for value, method in zip(response["values"], response["methods"])
         ]
 
-    def feedback(
-        self, table: str, column: str, estimated: float, actual: float
-    ) -> Dict[str, Any]:
-        """Report an observed true cardinality for a served estimate."""
-        return self.call(
-            "feedback",
-            table=table,
-            column=column,
-            estimated=float(estimated),
-            actual=float(actual),
+    def explain(self, table: str, predicate: Predicate) -> Dict[str, Any]:
+        """An estimate plus its full provenance attribution.
+
+        The returned dict carries ``value`` / ``method`` (bit-identical
+        to what ``estimate`` would have answered) and ``provenance``:
+        method, store generation, plan identity, bucket span, certified
+        (θ, q) envelope and -- for sampled cold starts -- the sampling
+        rate and probabilistic q-error bound.
+        """
+        response = self.call(
+            "explain", table=table, predicate=predicate_to_wire(predicate)
         )
+        return {
+            "value": float(response["value"]),
+            "method": str(response["method"]),
+            "provenance": dict(response.get("provenance") or {}),
+        }
+
+    def explain_range(
+        self, table: str, column: str, low: Any, high: Any
+    ) -> Dict[str, Any]:
+        """Convenience wrapper: explain the canonical ``[low, high)`` query."""
+        return self.explain(table, RangePredicate(column, low, high))
+
+    def feedback(
+        self,
+        table: str,
+        column: str,
+        estimated: float,
+        actual: float,
+        estimate_request_id: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """Report an observed true cardinality for a served estimate.
+
+        Passing the ``request_id`` of the original estimate lets the
+        server score the observation against the exact certificate that
+        answered it and attribute any violation by cause.
+        """
+        fields: Dict[str, Any] = {
+            "table": table,
+            "column": column,
+            "estimated": float(estimated),
+            "actual": float(actual),
+        }
+        if estimate_request_id is not None:
+            fields["estimate_request_id"] = str(estimate_request_id)
+        return self.call("feedback", **fields)
+
+    def audit(self) -> Dict[str, Any]:
+        """The audit ledger snapshot: per-column q-error SLO accounting."""
+        return self.call("audit")["audit"]
+
+    def journal(
+        self,
+        limit: Optional[int] = None,
+        category: Optional[str] = None,
+        since_seq: Optional[int] = None,
+    ) -> List[Dict[str, Any]]:
+        """Flight-recorder events, oldest first."""
+        fields: Dict[str, Any] = {}
+        if limit is not None:
+            fields["limit"] = int(limit)
+        if category is not None:
+            fields["category"] = category
+        if since_seq is not None:
+            fields["since_seq"] = int(since_seq)
+        return list(self.call("journal", **fields)["events"])
+
+    def doctor(self) -> Dict[str, Any]:
+        """The full debug bundle: journal, audit, slow log, metrics."""
+        return self.call("doctor")["report"]
 
     def slow_log(self, limit: Optional[int] = None) -> List[Dict[str, Any]]:
         """Recent slow-request records (newest first), with span trees."""

@@ -28,7 +28,7 @@ import threading
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.qerror import qerror
-from repro.obs import QuantileHistogram
+from repro.obs import NULL_JOURNAL, QuantileHistogram
 
 __all__ = ["ColumnDrift", "DriftTracker"]
 
@@ -42,7 +42,14 @@ _QERR_MAX = 1e9
 class ColumnDrift:
     """Observed-vs-estimated q-error state for one (table, column)."""
 
-    __slots__ = ("certified_q", "theta", "_histogram", "_violations", "_lock")
+    __slots__ = (
+        "certified_q",
+        "theta",
+        "_histogram",
+        "_violations",
+        "_lock",
+        "flag_journaled",
+    )
 
     def __init__(self, certified_q: float, theta: float) -> None:
         self.certified_q = float(certified_q)
@@ -52,6 +59,9 @@ class ColumnDrift:
             base=_QERR_BASE, min_value=1.0, max_value=_QERR_MAX, lock=self._lock
         )
         self._violations = 0
+        #: Set by the tracker once the column's flag transition has been
+        #: journaled, so a flapping tail emits one event per episode.
+        self.flag_journaled = False
 
     def observe(self, estimated: float, actual: float) -> float:
         """Record one feedback observation; returns the scored q-error.
@@ -114,12 +124,18 @@ class DriftTracker:
     min_observations:
         Feedback sample floor before a column may be flagged -- one
         unlucky observation must not trigger a rebuild storm.
+    journal:
+        Flight recorder (:class:`repro.obs.EventJournal` or the null
+        twin).  A column's transition into the flagged state emits one
+        ``drift`` event, so the recorder's timeline shows *when* the
+        contract was first observed broken, not just that it is.
     """
 
-    def __init__(self, min_observations: int = 5) -> None:
+    def __init__(self, min_observations: int = 5, journal=NULL_JOURNAL) -> None:
         if min_observations < 1:
             raise ValueError("min_observations must be >= 1")
         self.min_observations = min_observations
+        self.journal = journal
         self._lock = threading.Lock()
         self._columns: Dict[_Key, ColumnDrift] = {}
 
@@ -139,10 +155,21 @@ class DriftTracker:
             if drift is None:
                 drift = self._columns[key] = ColumnDrift(certified_q, theta)
         observed = drift.observe(estimated, actual)
+        flagged = drift.exceeded(self.min_observations)
+        if flagged and not drift.flag_journaled:
+            drift.flag_journaled = True
+            self.journal.emit(
+                "drift",
+                table=table,
+                column=column,
+                certified_q=drift.certified_q,
+                qerr_p99=drift.qerr_p99(),
+                observations=drift.observations,
+            )
         return {
             "qerror": observed,
             "certified_q": drift.certified_q,
-            "flagged": drift.exceeded(self.min_observations),
+            "flagged": flagged,
         }
 
     def get(self, table: str, column: str) -> Optional[ColumnDrift]:

@@ -21,9 +21,28 @@ shared q-compression grid (see :mod:`repro.service.fleet.status`).
 from __future__ import annotations
 
 import math
+import platform
 from typing import Any, Dict, List, Mapping, Tuple
 
-__all__ = ["render_fleet_prometheus", "render_prometheus"]
+__all__ = ["build_info", "render_fleet_prometheus", "render_prometheus"]
+
+
+def build_info() -> Dict[str, str]:
+    """Static identity of this process: package, python, numpy versions.
+
+    Rendered as the conventional ``{prefix}_build_info`` gauge (value 1,
+    versions as labels) and embedded in ``status``/``doctor`` payloads,
+    so a fleet operator can spot a mixed-version rollout at a glance.
+    """
+    import numpy
+
+    import repro
+
+    return {
+        "version": str(getattr(repro, "__version__", "unknown")),
+        "python": platform.python_version(),
+        "numpy": str(numpy.__version__),
+    }
 
 
 def _escape_label(value: str) -> str:
@@ -146,6 +165,20 @@ def render_prometheus(snapshot: Dict[str, Any], prefix: str = "repro") -> str:
 def _render_snapshot(writer, snapshot: Dict[str, Any], prefix: str) -> None:
     """One snapshot's families into ``writer`` (plain or labeled)."""
     metrics = snapshot.get("metrics") or {}
+
+    info = snapshot.get("build_info")
+    if info:
+        writer.header(
+            f"{prefix}_build_info",
+            "gauge",
+            "Constant 1; build identity in the labels.",
+        )
+        writer.sample(f"{prefix}_build_info", dict(info), 1)
+    if "uptime_seconds" in metrics:
+        writer.header(
+            f"{prefix}_uptime_seconds", "gauge", "Seconds since process metrics init."
+        )
+        writer.sample(f"{prefix}_uptime_seconds", {}, metrics["uptime_seconds"])
 
     requests = metrics.get("requests") or {}
     if requests:
@@ -292,6 +325,23 @@ def _render_snapshot(writer, snapshot: Dict[str, Any], prefix: str) -> None:
                 drift[key].get("certified_q", 0.0),
             )
 
+    _render_audit(writer, snapshot.get("audit") or {}, f"{prefix}_qerror")
+
+    journal = snapshot.get("journal") or {}
+    journal_counts = journal.get("counts") or {}
+    if journal_counts:
+        writer.header(
+            f"{prefix}_journal_events_total",
+            "counter",
+            "Flight-recorder events emitted per category.",
+        )
+        for category in sorted(journal_counts):
+            writer.sample(
+                f"{prefix}_journal_events_total",
+                {"category": category},
+                journal_counts[category],
+            )
+
     columns = snapshot.get("columns") or {}
     if columns:
         writer.header(
@@ -317,6 +367,69 @@ def _render_snapshot(writer, snapshot: Dict[str, Any], prefix: str) -> None:
                 f"{prefix}_column_rebuilds_total",
                 {"table": table, "column": column},
                 columns[key].get("rebuilds", 0),
+            )
+
+
+def _render_audit(writer, audit: Mapping[str, Any], family: str) -> None:
+    """The audit ledger's per-column SLO families.
+
+    ``family`` is the metric stem (``repro_qerror`` per node,
+    ``repro_fleet_qerror`` for the merged view); the same column blocks
+    render either way because merged audit snapshots keep the per-node
+    shape.
+    """
+    columns = audit.get("columns") or {}
+    if not columns:
+        return
+    writer.header(
+        f"{family}_slo_ok",
+        "gauge",
+        "1 while the column's q-error violations fit its error budget.",
+    )
+    for key in sorted(columns):
+        table, column = _split_key(key)
+        writer.sample(
+            f"{family}_slo_ok",
+            {"table": table, "column": column},
+            1 if columns[key].get("slo_ok", True) else 0,
+        )
+    writer.header(
+        f"{family}_slo_burn",
+        "gauge",
+        "Violation rate over the error budget (>1 = SLO breached).",
+    )
+    for key in sorted(columns):
+        table, column = _split_key(key)
+        writer.sample(
+            f"{family}_slo_burn",
+            {"table": table, "column": column},
+            columns[key].get("burn", 0.0),
+        )
+    writer.header(
+        f"{family}_audit_observations_total",
+        "counter",
+        "Feedback observations scored against their answering certificate.",
+    )
+    for key in sorted(columns):
+        table, column = _split_key(key)
+        writer.sample(
+            f"{family}_audit_observations_total",
+            {"table": table, "column": column},
+            columns[key].get("observations", 0),
+        )
+    writer.header(
+        f"{family}_audit_violations_total",
+        "counter",
+        "Certificate violations per column, attributed by cause.",
+    )
+    for key in sorted(columns):
+        table, column = _split_key(key)
+        causes = columns[key].get("causes") or {}
+        for cause in sorted(causes):
+            writer.sample(
+                f"{family}_audit_violations_total",
+                {"table": table, "column": column, "cause": cause},
+                causes[cause],
             )
 
 
@@ -408,6 +521,8 @@ def render_fleet_prometheus(
                 {"table": table, "column": column},
                 drift[key].get("observations", 0),
             )
+
+    _render_audit(writer, status.get("audit") or {}, f"{prefix}_fleet_qerror")
 
     for shard, snapshot in sorted((status.get("per_shard") or {}).items()):
         _render_snapshot(_LabeledWriter(writer, {"shard": shard}), snapshot, prefix)

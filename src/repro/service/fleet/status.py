@@ -21,6 +21,7 @@ from __future__ import annotations
 from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 from repro.obs import QuantileHistogram
+from repro.service.audit import merge_audit_snapshots
 from repro.service.metrics import ServiceMetrics
 
 __all__ = ["merge_fleet_status", "merge_wire_histograms"]
@@ -83,6 +84,8 @@ def merge_fleet_status(
     drift_scalars: Dict[str, Dict[str, float]] = {}
     live: Dict[str, bool] = {}
     per_shard: Dict[str, Mapping[str, Any]] = {}
+    audit_snapshots: List[Mapping[str, Any]] = []
+    journal_counts: Dict[str, float] = {}
 
     for shard, snapshot in shards.items():
         shard = str(shard)
@@ -91,6 +94,11 @@ def merge_fleet_status(
             continue
         live[shard] = True
         per_shard[shard] = snapshot
+        audit = snapshot.get("audit")
+        if audit:
+            audit_snapshots.append(audit)
+        journal = snapshot.get("journal") or {}
+        _add_counts(journal_counts, journal.get("counts") or {})
         metrics = snapshot.get("metrics", snapshot)
         _add_counts(requests, metrics.get("requests") or {})
         _add_counts(errors, metrics.get("errors") or {})
@@ -137,6 +145,11 @@ def merge_fleet_status(
         "counters": counters,
         "latency": latency,
         "drift": drift,
+        # Audit accounting merges exactly: observation and violation
+        # counters add across shards, SLO health recomputed from the
+        # pooled totals (see merge_audit_snapshots).
+        "audit": merge_audit_snapshots(audit_snapshots),
+        "journal_counts": journal_counts,
         "per_shard": per_shard,
     }
     if topology is not None:

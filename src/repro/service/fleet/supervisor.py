@@ -45,6 +45,8 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.dictionary.table import Table
+from repro.obs import EventJournal, merge_journal_events
+from repro.service.audit import merge_audit_snapshots
 from repro.service.client import ServiceUnavailableError, StatisticsClient
 from repro.service.config import ServiceConfig
 from repro.service.fleet.client import FleetClient
@@ -303,6 +305,10 @@ class FleetSupervisor:
         }
         self._lock = threading.Lock()
         self._stop = threading.Event()
+        # The supervisor's own flight recorder: failovers and cold
+        # starts are fleet-level events no single shard can journal
+        # (the dead shard's ring died with it).
+        self.journal = EventJournal()
         self._monitor: Optional[threading.Thread] = None
         self._control: Optional[socketserver.ThreadingTCPServer] = None
         self._control_thread: Optional[threading.Thread] = None
@@ -427,6 +433,12 @@ class FleetSupervisor:
                 return
             self._shards[shard_id] = replacement
             self._restarts[shard_id] += 1
+            restarts = self._restarts[shard_id]
+        self.journal.emit(
+            "failover", shard=shard_id, port=dead.port, restarts=restarts
+        )
+        if self.config.cold_start:
+            self.journal.emit("coldstart", shard=shard_id, port=dead.port)
 
     def kill_shard(self, shard_id: int) -> None:
         """Hard-kill one shard (tests and fire drills)."""
@@ -479,6 +491,46 @@ class FleetSupervisor:
             except (ServiceUnavailableError, OSError):
                 snapshots[str(shard_id)] = None
         return merge_fleet_status(snapshots, self.topology.describe())
+
+    def fleet_doctor(self) -> Dict[str, Any]:
+        """One debug bundle for the whole fleet.
+
+        Pulls every live shard's ``doctor`` report and merges: journal
+        events interleave into one deterministic timeline (including the
+        supervisor's own failover/coldstart events under the
+        ``"supervisor"`` shard label), audit snapshots merge exactly,
+        frozen debug bundles are tagged by shard.
+        """
+        reports: Dict[str, Optional[Dict[str, Any]]] = {}
+        for shard_id, (host, port) in sorted(self.addresses().items()):
+            try:
+                with StatisticsClient(host, port, timeout=5.0) as shard:
+                    reports[str(shard_id)] = shard.doctor()
+            except (ServiceUnavailableError, OSError):
+                reports[str(shard_id)] = None
+        live = {shard: report for shard, report in reports.items() if report}
+        journals = {
+            shard: report.get("journal") or [] for shard, report in live.items()
+        }
+        journals["supervisor"] = self.journal.events()
+        bundles: List[Dict[str, Any]] = []
+        for shard, report in live.items():
+            for bundle in report.get("bundles") or []:
+                bundles.append({"shard": shard, **bundle})
+        return {
+            "shards": {shard: report is not None for shard, report in reports.items()},
+            "journal": merge_journal_events(journals),
+            "bundles": bundles,
+            "audit": merge_audit_snapshots(
+                report.get("audit") for report in live.values()
+            ),
+            "build_info": {
+                shard: report.get("build_info") for shard, report in live.items()
+            },
+            "uptime_seconds": {
+                shard: report.get("uptime_seconds") for shard, report in live.items()
+            },
+        }
 
     # -- the control port ---------------------------------------------------
 
@@ -538,6 +590,8 @@ class FleetSupervisor:
             )
         if op == "fleet-status":
             return ok_response(request, status=self.fleet_status())
+        if op == "fleet-doctor":
+            return ok_response(request, report=self.fleet_doctor())
         if op == "status":
             return ok_response(request, status=self.describe())
         return error_response(request, f"unknown op {op!r}")

@@ -58,6 +58,7 @@ class ServiceMetrics:
 
     def __init__(self) -> None:
         self._lock = threading.RLock()
+        self._started = time.time()
         self._requests = CounterSet(lock=self._lock)
         self._errors = CounterSet(lock=self._lock)
         self._counters = CounterSet(lock=self._lock)
@@ -221,6 +222,7 @@ class ServiceMetrics:
         """A JSON-compatible view of every counter."""
         with self._lock:
             return {
+                "uptime_seconds": time.time() - self._started,
                 "requests": self._requests.snapshot(),
                 "errors": self._errors.snapshot(),
                 "latency": {

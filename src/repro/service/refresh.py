@@ -50,6 +50,7 @@ from repro.core.maintenance import MaintainedHistogram
 from repro.core.parallel import make_executor, submit_histogram_build
 from repro.core.repair import RepairError, RepairResult, repair_histogram
 from repro.core.serialize import deserialize_histogram
+from repro.obs import NULL_JOURNAL
 from repro.service.metrics import ServiceMetrics
 from repro.service.store import StatisticsStore
 
@@ -456,6 +457,16 @@ class RefreshScheduler:
     on_repair:
         Optional callback ``(register, RepairResult)`` after each
         successful inline repair.
+    journal:
+        Flight recorder (:class:`repro.obs.EventJournal` or the null
+        twin).  Sweeps emit ``repair`` / ``rebuild`` / ``escalation``
+        events, so a later audit can reconstruct the exact maintenance
+        timeline (churn -> repair -> patch -> publish) behind any
+        estimate.
+    on_anomaly:
+        Optional callback ``(reason, details)`` fired when a sweep
+        escalates to a full rebuild -- the service hooks this to
+        freeze a debug bundle at the moment the cheap path gave up.
     """
 
     def __init__(
@@ -474,6 +485,8 @@ class RefreshScheduler:
         repair: bool = True,
         escalate_fraction: float = 0.3,
         on_repair: Optional[Callable[[ColumnRegister, RepairResult], None]] = None,
+        journal=NULL_JOURNAL,
+        on_anomaly: Optional[Callable[[str, Dict[str, object]], None]] = None,
     ) -> None:
         if not 0 < threshold < 1:
             raise ValueError("threshold must be in (0, 1)")
@@ -493,6 +506,8 @@ class RefreshScheduler:
         self.repair_enabled = repair
         self.escalate_fraction = escalate_fraction
         self._on_repair = on_repair
+        self.journal = journal
+        self._on_anomaly = on_anomaly
         self._pool = make_executor(executor, max_workers)
         self._in_flight: Dict[_Key, object] = {}
         # Reentrant: add_done_callback runs _finish inline on this very
@@ -559,8 +574,19 @@ class RefreshScheduler:
                     # staleness threshold (churn outside the broken
                     # buckets): escalate to the full rebuild.
                     self.metrics.incr("rebuilds_escalated")
+                    self._escalated(
+                        key, "residual-staleness", staleness=register.staleness()
+                    )
                 merged, covered = register.snapshot_for_rebuild()
                 self.metrics.incr("rebuilds_triggered")
+                self.journal.emit(
+                    "rebuild",
+                    table=key[0],
+                    column=key[1],
+                    status="triggered",
+                    drifted=drifted,
+                    staleness=register.staleness(),
+                )
                 if drifted:
                     self.metrics.incr("rebuilds_drift")
                 try:
@@ -594,6 +620,17 @@ class RefreshScheduler:
                     done.wait()
         return list(dict.fromkeys(key for key, _ in started))
 
+    def _escalated(self, key: _Key, why: str, **details: object) -> None:
+        """Journal an escalation and fire the anomaly hook."""
+        event = {"table": key[0], "column": key[1], "why": why, **details}
+        self.journal.emit("escalation", **event)
+        if self._on_anomaly is not None:
+            try:
+                self._on_anomaly("escalated-rebuild", event)
+            except Exception:
+                # An anomaly hook must never break the sweep.
+                self.metrics.incr("refresh_anomaly_hook_errors")
+
     def _try_repair(
         self, key: _Key, register: ColumnRegister, drifted: bool
     ) -> bool:
@@ -616,6 +653,12 @@ class RefreshScheduler:
         n_buckets = len(register.histogram())
         if failing.size > self.escalate_fraction * n_buckets:
             self.metrics.incr("rebuilds_escalated")
+            self._escalated(
+                key,
+                "damage-too-wide",
+                failing_buckets=int(failing.size),
+                buckets=int(n_buckets),
+            )
             return False
         try:
             result = register.repair(self.config, failing=failing)
@@ -627,6 +670,13 @@ class RefreshScheduler:
             return False
         self.metrics.incr("repairs")
         self.metrics.incr("repair_buckets", result.repaired_buckets)
+        self.journal.emit(
+            "repair",
+            table=key[0],
+            column=key[1],
+            buckets=int(result.repaired_buckets),
+            drifted=drifted,
+        )
         if drifted:
             self.metrics.incr("repairs_drift")
             if self.drift is not None:
@@ -650,6 +700,9 @@ class RefreshScheduler:
             self.store.put(key[0], key[1], histogram)
             self.metrics.incr("rebuilds_completed")
             self.metrics.record_build_profile("rebuild", profile)
+            self.journal.emit(
+                "rebuild", table=key[0], column=key[1], status="completed"
+            )
             if self.drift is not None:
                 # The fresh histogram voids the old feedback window.
                 self.drift.reset(key[0], key[1])
@@ -658,6 +711,9 @@ class RefreshScheduler:
             # histogram with Morris-blended inserts; nothing propagates
             # to request traffic.
             self.metrics.incr("rebuilds_failed")
+            self.journal.emit(
+                "rebuild", table=key[0], column=key[1], status="failed"
+            )
         finally:
             with self._lock:
                 self._in_flight.pop(key, None)

@@ -50,6 +50,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import math
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
@@ -62,16 +63,19 @@ from repro.core.catalog import StatisticsCatalog
 from repro.core.compiled import COMPILE_COUNTERS
 from repro.core.config import HistogramConfig
 from repro.core.parallel import build_column_histograms
+from repro.core.qerror import qerror
 from repro.core.statistics import ColumnStatistics, StatisticsManager
 from repro.dictionary.table import Table, histogram_worthy
-from repro.obs import NULL_TRACE, Span
+from repro.obs import NULL_TRACE, EventJournal, Span
 from repro.query.estimator import (
     CardinalityEstimate,
     CardinalityEstimator,
     method_of,
 )
+from repro.service.audit import AuditLedger, attribute_violation
 from repro.service.config import ServiceConfig
 from repro.service.drift import DriftTracker
+from repro.service.export import build_info
 from repro.service.frames import (
     FRAME_HEADER_SIZE,
     MAGIC,
@@ -101,7 +105,11 @@ from repro.service.protocol import (
 from repro.service.refresh import ColumnRegister, MaintenanceRegistry
 from repro.service.shm import SharedPlanDirectory, sweep_orphan_segments
 from repro.service.store import StatisticsStore
-from repro.service.telemetry import ServiceTelemetry, resolve_request_id
+from repro.service.telemetry import (
+    MAX_REQUEST_ID_CHARS,
+    ServiceTelemetry,
+    resolve_request_id,
+)
 from repro.service.workers import EstimatorWorkerPool, WorkerPoolError
 
 __all__ = [
@@ -145,6 +153,34 @@ class RegisterStatistics:
     def size_bytes(self) -> int:
         return self._register.histogram().size_bytes()
 
+    # -- provenance --------------------------------------------------------
+
+    def bucket_span(self, c1: int, c2: int) -> Optional[Tuple[int, int]]:
+        """Inclusive bucket index span the code range ``[c1, c2)`` touches.
+
+        The span the serving estimate integrated over: ``c1`` maps with
+        the inclusive rule, the exclusive upper endpoint ``c2`` with
+        ``bucket_index_exclusive`` so a range ending exactly on a bucket
+        boundary does not claim the next bucket.
+        """
+        histogram = self._register.histogram()
+        lo = histogram.bucket_index(int(c1))
+        hi = histogram.bucket_index_exclusive(int(c2))
+        return (int(lo), int(hi))
+
+    def certified_bounds(self) -> Tuple[float, float]:
+        """The register's certified ``(q, theta)`` envelope."""
+        return self._register.certified_bounds()
+
+    def plan_identity(self) -> str:
+        """How the serving plan was produced (compiled/patched/interpreted).
+
+        Uses the maintained histogram's own lazily-compiled plan -- the
+        exact object the estimate path executes -- so the label is
+        consistent with what answered, not with what the store caches.
+        """
+        return _register_plan_identity(self._register)
+
 
 class StatisticsService:
     """Tables, statistics and the request operations of the service.
@@ -171,7 +207,16 @@ class StatisticsService:
         near-zero overhead.
     drift:
         Feedback drift tracker; defaults to a fresh
-        :class:`DriftTracker`.
+        :class:`DriftTracker` wired to the service journal.
+    journal:
+        Flight recorder (:class:`~repro.obs.EventJournal` or
+        :data:`~repro.obs.NULL_JOURNAL`).  The default keeps a bounded
+        in-memory event ring live; the null twin is the zero-overhead
+        baseline the ``bench-obs`` floor measures against.
+    audit:
+        Estimate provenance ledger
+        (:class:`~repro.service.audit.AuditLedger` or its null twin);
+        defaults to a fresh bounded ledger.
     """
 
     def __init__(
@@ -186,6 +231,8 @@ class StatisticsService:
         seed: Optional[int] = None,
         telemetry=None,
         drift: Optional[DriftTracker] = None,
+        journal=None,
+        audit=None,
     ) -> None:
         self.kind = kind
         self.config = config
@@ -199,7 +246,11 @@ class StatisticsService:
             if telemetry is not None
             else ServiceTelemetry(trace_requests=False)
         )
-        self.drift = drift if drift is not None else DriftTracker()
+        self.journal = journal if journal is not None else EventJournal()
+        self.audit = audit if audit is not None else AuditLedger()
+        self.drift = (
+            drift if drift is not None else DriftTracker(journal=self.journal)
+        )
         self._build_executor = build_executor
         self._build_workers = build_workers
         self._counter_base = counter_base
@@ -213,6 +264,24 @@ class StatisticsService:
         #: the estimator worker pool; ``None`` (or a
         #: :class:`WorkerPoolError`) falls back to the in-process path.
         self.array_backend: Optional[Callable[..., Optional[np.ndarray]]] = None
+        #: Side-effect-free twin of :attr:`array_backend`: ``(table,
+        #: column) -> bool``, True when the pool *would* serve the key
+        #: right now.  ``explain`` uses it to report the serving path
+        #: without dispatching a batch.
+        self.array_backend_probe: Optional[Callable[[str, str], bool]] = None
+        #: Per-(table, column, method) provenance envelope cache, keyed
+        #: by store generation -- the certificate only changes when the
+        #: generation bumps, so the estimate hot path pays one
+        #: generation read and a dict hit, not an error_profile walk.
+        self._prov_cache: Dict[
+            Tuple[str, str, str], Tuple[int, Dict[str, Any]]
+        ] = {}
+        #: Single-column twin of :attr:`_prov_cache` holding the ready
+        #: ``{"table.column": envelope}`` mapping the estimate hot loop
+        #: hands straight to :meth:`AuditLedger.record`.
+        self._note_cache: Dict[
+            Tuple[str, str, str], Tuple[int, Dict[str, Dict[str, Any]]]
+        ] = {}
 
     def close(self) -> None:
         """Flush and close telemetry sinks (the event log)."""
@@ -304,6 +373,13 @@ class StatisticsService:
             estimator = CardinalityEstimator(table, manager, build=False)
             with self._lock:
                 self._estimators[table_name] = estimator
+            self.journal.emit(
+                "build",
+                table=table_name,
+                kind=kind,
+                built=len(histograms),
+                exact=exact,
+            )
             return {"built": len(histograms), "exact": exact}
 
     def publish_estimator(
@@ -324,6 +400,7 @@ class StatisticsService:
             self._estimators[table_name] = CardinalityEstimator(
                 table, manager, build=False
             )
+        self.journal.emit("coldstart", table=table_name)
 
     def _estimator(self, table_name: str) -> CardinalityEstimator:
         with self._lock:
@@ -372,6 +449,7 @@ class StatisticsService:
         lows: np.ndarray,
         highs: np.ndarray,
         distinct: bool = False,
+        request_id: Optional[str] = None,
     ) -> Tuple[np.ndarray, str]:
         """Range estimates for aligned endpoint arrays on one column.
 
@@ -402,18 +480,30 @@ class StatisticsService:
             c1s = c1s.astype(np.float64)
             c2s = c2s.astype(np.float64)
             values: Optional[np.ndarray] = None
+            # The pool serves published compiled plans, so a pool answer
+            # is by construction a histogram answer.
             method = "histogram"
+            via = "shm-worker-pool"
             backend = self.array_backend
             if backend is not None:
                 try:
                     values = backend(table_name, column_name, c1s, c2s, distinct)
-                except WorkerPoolError:
+                except WorkerPoolError as error:
                     self.metrics.incr("worker_fallbacks")
+                    # The pool journaled the failure; freeze the timeline
+                    # around it so the bundle shows what led up to it.
+                    self.freeze_bundle(
+                        "worker-fallback",
+                        table=table_name,
+                        column=column_name,
+                        error=str(error),
+                    )
                     values = None
                 else:
                     if values is not None:
                         self.metrics.incr("worker_batches")
             if values is None:
+                via = "in-process"
                 estimator = self._estimator(table_name)
                 stats = estimator.manager.statistics(table_name, column_name)
                 method = method_of(stats)
@@ -442,41 +532,301 @@ class StatisticsService:
                 "distinct_batched" if distinct else "estimates_batched",
                 int(values.size),
             )
+            if request_id is not None:
+                self.audit_note(
+                    request_id, table_name, {column_name: method}, via=via
+                )
             return values, method
 
     def feedback(
-        self, table_name: str, column_name: str, estimated: float, actual: float
+        self,
+        table_name: str,
+        column_name: str,
+        estimated: float,
+        actual: float,
+        estimate_request_id: Optional[str] = None,
     ) -> Dict[str, Any]:
-        """Fold one observed true cardinality into the drift tracker.
+        """Fold one observed true cardinality into drift + audit state.
 
         The column's certified (q, θ) come from its live register; a
         column without maintained statistics (exact counts) has no
-        contract to drift from and is rejected.
+        contract to drift from and is rejected -- unless the audit
+        ledger holds provenance for ``estimate_request_id`` (a sampled
+        cold-start answer has a certificate worth auditing even before
+        the first build registers the column).
+
+        With ``estimate_request_id`` the observation is also scored
+        against the *certificate that answered it*: a violation is
+        attributed to its cause (stale generation, patched plan,
+        sampled cold start, or plain drift) and folded into the
+        column's q-error SLO.  An SLO flip journals a ``drift`` event
+        and freezes a debug bundle.
         """
         with self.metrics.track("feedback"):
             register = self.registry.get(table_name, column_name)
-            if register is None:
+            provenance = self.audit.lookup(estimate_request_id)
+            column_prov = (
+                (provenance or {}).get(f"{table_name}.{column_name}")
+                if provenance is not None
+                else None
+            )
+            if register is None and column_prov is None:
                 raise KeyError(
                     f"no maintained statistics for {table_name}.{column_name}"
                 )
-            certified_q, theta = register.certified_bounds()
-            record = self.drift.observe(
-                table_name,
-                column_name,
-                float(estimated),
-                float(actual),
-                certified_q,
-                theta,
-            )
+            if register is not None:
+                certified_q, theta = register.certified_bounds()
+                record = self.drift.observe(
+                    table_name,
+                    column_name,
+                    float(estimated),
+                    float(actual),
+                    certified_q,
+                    theta,
+                )
+            else:
+                # Sampled cold start: no maintained contract to drift
+                # from, but the sampling bound is still auditable.
+                record = {
+                    "qerror": _plain_qerror(float(estimated), float(actual)),
+                    "certified_q": None,
+                    "flagged": False,
+                }
             self.metrics.incr("feedback_observations")
             if record["flagged"]:
                 self.metrics.incr("feedback_flagged")
+            if self.audit.enabled:
+                record.update(
+                    self._audit_feedback(
+                        table_name, column_name, record, column_prov
+                    )
+                )
             return record
+
+    def _audit_feedback(
+        self,
+        table_name: str,
+        column_name: str,
+        record: Dict[str, Any],
+        column_prov: Optional[Dict[str, Any]],
+    ) -> Dict[str, Any]:
+        """Score one feedback record against its answering certificate."""
+        generation = self.store.generation(table_name, column_name)
+        cause = attribute_violation(column_prov, generation)
+        if column_prov is not None:
+            bound = column_prov.get("sampling_qerror_bound") or column_prov.get(
+                "certified_q"
+            )
+        else:
+            bound = None
+        if bound is None:
+            bound = record.get("certified_q")
+        bound = float(bound) if bound else 0.0
+        outcome = self.audit.observe(
+            table_name, column_name, float(record["qerror"]), bound, cause
+        )
+        if outcome["violated"]:
+            self.metrics.incr("audit_violations")
+        if outcome["breached_now"]:
+            self.journal.emit(
+                "drift",
+                table=table_name,
+                column=column_name,
+                cause=cause,
+                qerror=float(record["qerror"]),
+                bound=bound,
+                slo="breached",
+            )
+            self.freeze_bundle(
+                "slo-burn", table=table_name, column=column_name, cause=cause
+            )
+        return {
+            "audited": column_prov is not None,
+            "violated": outcome["violated"],
+            "cause": outcome["cause"],
+            "slo_ok": outcome["slo_ok"],
+            "audit_bound": bound,
+        }
 
     def slow_log(self, limit: Optional[int] = None) -> list:
         """Most recent slow-request records, newest first."""
         with self.metrics.track("slow_log"):
             return self.telemetry.slow_entries(limit)
+
+    # -- provenance / audit / flight recorder ------------------------------
+
+    def explain(
+        self, table_name: str, predicate, request_id: Optional[str] = None
+    ) -> Tuple[CardinalityEstimate, Dict[str, Any]]:
+        """Estimate a predicate *and* attribute the answer end to end.
+
+        The value is computed by the exact same translation and
+        statistics call the ``estimate`` op uses (bit-consistent); the
+        provenance layers service-level attribution on top of the
+        estimator's: store generation, certified (θ, q) envelope, plan
+        identity (compiled / patched-in-place / interpreted), the
+        serving path (shm worker pool vs in-process), and the
+        cold-start sampling bound when the answer came from a sample.
+        """
+        with self.metrics.track("explain"):
+            estimator = self._estimator(table_name)
+            estimate = estimator.explain(predicate)
+            prov: Dict[str, Any] = dict(estimate.provenance or {})
+            prov["table"] = table_name
+            column = prov.get("column")
+            if column is not None and not prov.get("empty"):
+                prov["generation"] = self.store.generation(table_name, column)
+                register = self.registry.get(table_name, column)
+                if register is not None:
+                    certified_q, theta = register.certified_bounds()
+                    prov["certified_q"] = float(certified_q)
+                    prov["theta"] = float(theta)
+                    prov["plan"] = _register_plan_identity(register)
+                elif prov.get("method") == "sample":
+                    prov["plan"] = "sampled"
+                    self._attach_sampling_bound(prov, table_name, column)
+                else:
+                    prov["plan"] = "exact"
+                probe = self.array_backend_probe
+                pooled = (
+                    probe is not None
+                    and prov.get("method") == "histogram"
+                    and probe(table_name, column)
+                )
+                prov["via"] = "shm-worker-pool" if pooled else "in-process"
+            if request_id is not None and column is not None:
+                self.audit_note(
+                    request_id,
+                    table_name,
+                    {column: estimate.method},
+                    via=prov.get("via"),
+                )
+            return estimate, prov
+
+    def _attach_sampling_bound(
+        self, prov: Dict[str, Any], table_name: str, column: str
+    ) -> None:
+        """Add rate + Chernoff q-error bound for a sample-served column."""
+        try:
+            stats = self._estimator(table_name).manager.statistics(
+                table_name, column
+            )
+        except KeyError:
+            return
+        rate = getattr(stats, "rate", None)
+        bound_fn = getattr(stats, "qerror_bound", None)
+        if rate is None or bound_fn is None:
+            return
+        prov["sampling_rate"] = float(rate)
+        with self._lock:
+            table = self._tables.get(table_name)
+        if table is not None:
+            try:
+                theta = self.config.resolve_theta(table.column(column).n_rows)
+                prov["theta"] = float(theta)
+                prov["sampling_qerror_bound"] = float(bound_fn(theta))
+            except (KeyError, ValueError):
+                pass
+
+    def audit_note(
+        self,
+        request_id: str,
+        table_name: str,
+        column_methods: Dict[str, str],
+        via: Optional[str] = None,
+    ) -> None:
+        """Record which certificates answered a request, per column.
+
+        Hot-path cost is one store-generation read plus a dict hit per
+        column: the envelope (certified bounds, plan identity) is
+        cached per (key, method) and keyed by generation, so it is
+        rebuilt only when a put/repair/rebuild moves the key.
+        """
+        if not self.audit.enabled or not column_methods:
+            return
+        columns: Dict[str, Dict[str, Any]] = {}
+        for column, method in column_methods.items():
+            # Envelopes are immutable once cached (a generation bump
+            # *replaces* the cache entry), so records share the object:
+            # no per-request copy, and old records keep the envelope
+            # that was in force when they were answered.
+            envelope = self._audit_envelope(table_name, column, method)
+            if via is not None:
+                envelope = dict(envelope)
+                envelope["via"] = via
+            columns[f"{table_name}.{column}"] = envelope
+        self.audit.record(request_id, columns)
+
+    def audit_note_single(
+        self, request_id: str, table_name: str, column: str, method: str
+    ) -> None:
+        """One-column :meth:`audit_note` tuned for the estimate hot loop.
+
+        Caches the prepared ``{"table.column": envelope}`` mapping keyed
+        by generation so the steady state is one lock-free generation
+        read, one dict hit, and one ledger insert.
+        """
+        audit = self.audit
+        if not audit.enabled:
+            return
+        generation = self.store.generation_read(table_name, column)
+        cache_key = (table_name, column, method)
+        cached = self._note_cache.get(cache_key)
+        if cached is None or cached[0] != generation:
+            envelope = self._audit_envelope(table_name, column, method)
+            cached = (generation, {f"{table_name}.{column}": envelope})
+            self._note_cache[cache_key] = cached
+        audit.record(request_id, cached[1])
+
+    def _audit_envelope(
+        self, table_name: str, column: str, method: str
+    ) -> Dict[str, Any]:
+        generation = self.store.generation_read(table_name, column)
+        cache_key = (table_name, column, method)
+        cached = self._prov_cache.get(cache_key)
+        if cached is not None and cached[0] == generation:
+            return cached[1]
+        envelope: Dict[str, Any] = {"method": method, "generation": generation}
+        register = self.registry.get(table_name, column)
+        if register is not None and method == "histogram":
+            certified_q, theta = register.certified_bounds()
+            envelope["certified_q"] = float(certified_q)
+            envelope["theta"] = float(theta)
+            envelope["plan"] = _register_plan_identity(register)
+        elif method == "sample":
+            envelope["plan"] = "sampled"
+            self._attach_sampling_bound(envelope, table_name, column)
+        else:
+            envelope["plan"] = "exact"
+        self._prov_cache[cache_key] = (generation, envelope)
+        return envelope
+
+    def freeze_bundle(self, reason: str, **details: Any) -> Optional[Dict[str, Any]]:
+        """Freeze journal + metrics + slow log + audit into a debug bundle."""
+        if not self.journal.enabled:
+            return None
+        return self.journal.freeze(
+            reason,
+            details=details,
+            metrics=self.metrics.snapshot(),
+            slow_log=self.telemetry.slow_entries(16),
+            audit=self.audit.snapshot(),
+        )
+
+    def doctor(self) -> Dict[str, Any]:
+        """The full debugging view: identity, timeline, bundles, audit."""
+        with self.metrics.track("doctor"):
+            return {
+                "build_info": build_info(),
+                "uptime_seconds": self.metrics.snapshot().get("uptime_seconds"),
+                "journal": self.journal.events(),
+                "journal_seq": self.journal.last_seq,
+                "journal_counts": self.journal.counts(),
+                "bundles": self.journal.bundles(),
+                "audit": self.audit.snapshot(),
+                "slow_log": self.telemetry.slow_entries(16),
+                "metrics": self.metrics.snapshot(),
+            }
 
     def insert(self, table_name: str, column_name: str, codes) -> Dict[str, Any]:
         """Route inserted rows to the column's maintenance register."""
@@ -543,6 +893,9 @@ class StatisticsService:
             "compile": COMPILE_COUNTERS.snapshot(),
             "columns": columns,
             "drift": drift,
+            "audit": self.audit.snapshot(),
+            "journal": self.journal.snapshot(),
+            "build_info": build_info(),
         }
 
     # -- wire dispatch -----------------------------------------------------
@@ -561,7 +914,7 @@ class StatisticsService:
         fields: Dict[str, Any] = {}
         start = perf_counter()
         try:
-            response = self._dispatch(op, request, trace, fields)
+            response = self._dispatch(op, request, trace, fields, request_id)
         except Exception as error:  # noqa: BLE001 -- every failure is a response
             response = error_response(request, f"{type(error).__name__}: {error}")
         response["request_id"] = request_id
@@ -581,6 +934,7 @@ class StatisticsService:
         request: Dict[str, Any],
         trace,
         fields: Dict[str, Any],
+        request_id: str,
     ) -> Dict[str, Any]:
         if op == "ping":
             return ok_response(request, pong=True)
@@ -588,6 +942,9 @@ class StatisticsService:
             predicate = predicate_from_wire(_require(request, "predicate"))
             table = _require(request, "table")
             estimate = self.estimate(table, predicate)
+            column = getattr(predicate, "column", None)
+            if column is not None:
+                self.audit_note_single(request_id, table, column, estimate.method)
             fields.update(table=table, value=estimate.value, method=estimate.method)
             return ok_response(request, value=estimate.value, method=estimate.method)
         if op in ("estimate_batch", "estimate_distinct_batch"):
@@ -599,6 +956,12 @@ class StatisticsService:
                 else self.estimate_distinct_batch
             )
             estimates = batch(table, predicates, trace=trace)
+            column_methods = {
+                predicate.column: estimate.method
+                for predicate, estimate in zip(predicates, estimates)
+                if getattr(predicate, "column", None) is not None
+            }
+            self.audit_note(request_id, table, column_methods)
             fields.update(table=table, batch=len(estimates))
             return ok_response(
                 request,
@@ -639,9 +1002,38 @@ class StatisticsService:
                 column,
                 _require(request, "estimated"),
                 _require(request, "actual"),
+                estimate_request_id=request.get("estimate_request_id"),
             )
             fields.update(table=table, column=column, qerror=record["qerror"])
             return ok_response(request, **record)
+        if op == "explain":
+            predicate = predicate_from_wire(_require(request, "predicate"))
+            table = _require(request, "table")
+            estimate, provenance = self.explain(
+                table, predicate, request_id=request_id
+            )
+            fields.update(table=table, value=estimate.value, method=estimate.method)
+            return ok_response(
+                request,
+                value=estimate.value,
+                method=estimate.method,
+                provenance=provenance,
+            )
+        if op == "audit":
+            return ok_response(request, audit=self.audit.snapshot())
+        if op == "journal":
+            limit = request.get("limit")
+            return ok_response(
+                request,
+                events=self.journal.events(
+                    limit=int(limit) if limit is not None else None,
+                    category=request.get("category"),
+                    since_seq=request.get("since_seq"),
+                ),
+                seq=self.journal.last_seq,
+            )
+        if op == "doctor":
+            return ok_response(request, report=self.doctor())
         if op == "slow_log":
             return ok_response(request, entries=self.slow_log(request.get("limit")))
         if op == "metrics":
@@ -655,6 +1047,20 @@ def _require(request: Dict[str, Any], field: str) -> Any:
     if field not in request:
         raise ValueError(f"request is missing field {field!r}")
     return request[field]
+
+
+def _register_plan_identity(register: ColumnRegister) -> str:
+    """Identity label of the plan a register's estimates execute."""
+    plan = register.histogram().plan()
+    if plan is None:
+        return "interpreted"
+    return plan.identity() if hasattr(plan, "identity") else "compiled"
+
+
+def _plain_qerror(estimated: float, actual: float) -> float:
+    """q-error without a θ carve-out (for columns with no register)."""
+    value = qerror(estimated, actual)
+    return 1e9 if math.isinf(value) else float(value)
 
 
 class StatisticsServer:
@@ -734,6 +1140,7 @@ class StatisticsServer:
             await asyncio.gather(*list(self._conn_tasks), return_exceptions=True)
         self._conn_tasks.clear()
         self.service.array_backend = None
+        self.service.array_backend_probe = None
         pool, self._pool = self._pool, None
         if pool is not None:
             pool.stop()
@@ -768,14 +1175,17 @@ class StatisticsServer:
         removed = sweep_orphan_segments()
         if removed:
             self.service.metrics.incr("shm_orphans_swept", len(removed))
-        self._plans = SharedPlanDirectory()
-        self._pool = EstimatorWorkerPool(self.config.estimator_workers)
+        self._plans = SharedPlanDirectory(journal=self.service.journal)
+        self._pool = EstimatorWorkerPool(
+            self.config.estimator_workers, journal=self.service.journal
+        )
         self._pool.start()
         for table, column in self.service.store.keys():
             self._publish_key(table, column)
         self._push_manifest()
         self.service.store.add_listener(self._on_store_put)
         self.service.array_backend = self._route_array_batch
+        self.service.array_backend_probe = self._pool_serves
 
     def _publish_key(self, table: str, column: str) -> None:
         plans = self._plans
@@ -841,6 +1251,21 @@ class StatisticsServer:
             if register is not None and register.staleness() > 0.0:
                 return None
         return pool.estimate(table, column, c1s, c2s, distinct)
+
+    def _pool_serves(self, table: str, column: str) -> bool:
+        """Side-effect-free twin of :meth:`_route_array_batch` gating.
+
+        Answers "would the worker pool serve this key right now?" without
+        dispatching -- ``explain`` reports the serving path from it.
+        """
+        pool = self._pool
+        if pool is None:
+            return False
+        generation = self.service.store.generation(table, column)
+        if pool.served_generation(table, column) != generation:
+            return False
+        register = self.service.registry.get(table, column)
+        return register is None or register.staleness() == 0.0
 
     # -- connection handling -----------------------------------------------
 
@@ -1102,8 +1527,18 @@ class StatisticsServer:
                         "array frame header needs string 'table' and 'column'",
                         recoverable=True,
                     )
+                frame_request_id = header.get("request_id")
                 values, method = self.service.estimate_range_array(
-                    table, column, lows, highs, distinct=distinct
+                    table,
+                    column,
+                    lows,
+                    highs,
+                    distinct=distinct,
+                    request_id=(
+                        str(frame_request_id)[:MAX_REQUEST_ID_CHARS]
+                        if frame_request_id is not None
+                        else None
+                    ),
                 )
                 echo = {
                     key: header[key]

@@ -40,6 +40,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.core.compiled import CompiledHistogram
+from repro.obs import NULL_JOURNAL
 
 __all__ = [
     "SHM_PREFIX",
@@ -142,8 +143,9 @@ class SharedPlanDirectory:
     manifest.
     """
 
-    def __init__(self, prefix: Optional[str] = None) -> None:
+    def __init__(self, prefix: Optional[str] = None, journal=NULL_JOURNAL) -> None:
         self._prefix = prefix or f"{SHM_PREFIX}-{os.getpid()}-{uuid.uuid4().hex[:8]}"
+        self._journal = journal
         self._lock = threading.Lock()
         # key -> (generation, segment, manifest entry)
         self._entries: Dict[_Key, Tuple[int, shared_memory.SharedMemory, Dict[str, object]]] = {}
@@ -203,6 +205,13 @@ class SharedPlanDirectory:
                 entry = self._patch_in_place(key, current, generation, meta, arrays)
                 if entry is not None:
                     self._actions["patched"] += 1
+                    self._journal.emit(
+                        "patch",
+                        table=table,
+                        column=column,
+                        generation=int(generation),
+                        segment=str(entry.get("name", "")),
+                    )
                     out = dict(entry)
                     out["action"] = "patched"
                     return out
@@ -221,6 +230,14 @@ class SharedPlanDirectory:
             self._actions["published" if current is None else "republished"] += 1
         if current is not None:
             _release(current[1])
+        self._journal.emit(
+            "publish",
+            table=table,
+            column=column,
+            generation=int(generation),
+            segment=name,
+            republished=current is not None,
+        )
         out = dict(entry)
         out["action"] = "published"
         return out

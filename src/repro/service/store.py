@@ -289,6 +289,40 @@ class StatisticsStore:
         with self._mutex:
             return self._generations.get((table, column), 0)
 
+    def generation_read(self, table: str, column: str) -> int:
+        """Lock-free :meth:`generation` for per-request provenance checks.
+
+        A plain dict read is atomic under the GIL; racing a concurrent
+        bump can only return the immediately-previous generation, which
+        for cache-validation means one request refreshes its envelope a
+        beat late -- never a torn value.
+        """
+        return self._generations.get((table, column), 0)
+
+    def describe(self, table: str, column: str) -> dict:
+        """Provenance view of one key: generation + cached-plan state.
+
+        Pure inspection -- unlike :meth:`plan` it never triggers a
+        compile, so ``explain``/audit paths can ask "what is serving
+        right now" without perturbing what they observe.  ``plan`` is
+        the compiled plan's :meth:`~repro.core.compiled.CompiledHistogram.identity`
+        label when one is cached for the current generation, else
+        ``"interpreted"``.
+        """
+        key = (table, column)
+        with self._mutex:
+            generation = self._generations.get(key, 0)
+        stripe = self._stripe(key)
+        with stripe.lock:
+            cached = stripe.plans.get(key)
+        plan = None
+        if cached is not None and cached[0] == generation:
+            plan = cached[1]
+        identity = "interpreted"
+        if plan is not None:
+            identity = plan.identity() if hasattr(plan, "identity") else "compiled"
+        return {"generation": generation, "plan": identity}
+
     def __contains__(self, key: _Key) -> bool:
         with self._mutex:
             return key in self._catalog

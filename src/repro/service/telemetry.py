@@ -34,6 +34,7 @@ from repro.obs import NULL_TRACE, Trace
 
 __all__ = [
     "EventLog",
+    "MAX_REQUEST_ID_CHARS",
     "NullServiceTelemetry",
     "ServiceTelemetry",
     "SlowLog",
@@ -42,16 +43,25 @@ __all__ = [
 ]
 
 
+#: Upper bound on a client-supplied request_id.  The id is copied into
+#: the slow-log ring, the event log, and the audit ledger's keys; a
+#: hostile (or buggy) client streaming megabyte ids must not be able to
+#: bloat all three.  128 chars comfortably fits UUIDs, ULIDs and
+#: tracing-system ids.
+MAX_REQUEST_ID_CHARS = 128
+
+
 def resolve_request_id(request: Dict[str, Any]) -> str:
     """The request's ``request_id``, or a fresh UUID when absent.
 
     Anything non-string a client sent is stringified rather than
     rejected -- the id exists to correlate telemetry, not to validate.
+    Oversized ids are truncated to :data:`MAX_REQUEST_ID_CHARS`.
     """
     request_id = request.get("request_id")
     if request_id is None or request_id == "":
         return uuid.uuid4().hex
-    return str(request_id)
+    return str(request_id)[:MAX_REQUEST_ID_CHARS]
 
 
 class SlowLog:

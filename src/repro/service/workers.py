@@ -36,6 +36,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.obs import NULL_JOURNAL
 from repro.service.shm import attach_plan
 
 __all__ = ["EstimatorWorkerPool", "WorkerPoolError"]
@@ -146,13 +147,21 @@ class EstimatorWorkerPool:
         context shares the parent's resource-tracker and is the fast
         path on Linux; plans are *not* inherited through fork -- workers
         always attach by segment name, so spawn contexts work too.
+    journal:
+        Flight recorder; every :class:`WorkerPoolError` this pool
+        raises (a dead worker, a rejected manifest, a reported
+        estimate failure) emits one ``worker-fallback`` event, so the
+        timeline shows *why* the server fell back in-process.
     """
 
-    def __init__(self, n_workers: int, context: Optional[str] = None) -> None:
+    def __init__(
+        self, n_workers: int, context: Optional[str] = None, journal=NULL_JOURNAL
+    ) -> None:
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
         self._ctx = multiprocessing.get_context(context)
         self._n_workers = n_workers
+        self.journal = journal
         self._workers: List[_Worker] = []
         self._rr = itertools.count()
         self._served: Dict[_Key, int] = {}
@@ -228,8 +237,15 @@ class EstimatorWorkerPool:
         if not self._workers:
             raise WorkerPoolError("worker pool is not started")
         for worker in self._workers:
-            status, payload = worker.call(("plans", manifest))
+            try:
+                status, payload = worker.call(("plans", manifest))
+            except WorkerPoolError as error:
+                self.journal.emit("worker-fallback", stage="publish", error=str(error))
+                raise
             if status != "ok":
+                self.journal.emit(
+                    "worker-fallback", stage="publish", error=str(payload)
+                )
                 raise WorkerPoolError(f"worker rejected plan manifest: {payload}")
         with self._lock:
             self._served = {
@@ -259,16 +275,33 @@ class EstimatorWorkerPool:
         if not self._workers:
             raise WorkerPoolError("worker pool is not started")
         worker = self._workers[next(self._rr) % len(self._workers)]
-        status, payload = worker.call(
-            (
-                "estimate",
-                bool(distinct),
-                table,
-                column,
-                np.ascontiguousarray(c1s, dtype=np.float64),
-                np.ascontiguousarray(c2s, dtype=np.float64),
+        try:
+            status, payload = worker.call(
+                (
+                    "estimate",
+                    bool(distinct),
+                    table,
+                    column,
+                    np.ascontiguousarray(c1s, dtype=np.float64),
+                    np.ascontiguousarray(c2s, dtype=np.float64),
+                )
             )
-        )
+        except WorkerPoolError as error:
+            self.journal.emit(
+                "worker-fallback",
+                stage="estimate",
+                table=table,
+                column=column,
+                error=str(error),
+            )
+            raise
         if status != "ok":
+            self.journal.emit(
+                "worker-fallback",
+                stage="estimate",
+                table=table,
+                column=column,
+                error=str(payload),
+            )
             raise WorkerPoolError(str(payload))
         return payload  # type: ignore[return-value]

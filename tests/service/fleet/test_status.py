@@ -138,6 +138,66 @@ class TestMergeFleetStatus:
         assert merged["requests"] == {"estimate": 3}
 
 
+class TestFleetAuditMerge:
+    def _shard_with_audit(self, causes):
+        from repro.service.audit import AuditLedger
+
+        ledger = AuditLedger()
+        for cause, qerr in causes:
+            ledger.observe("orders", "amount", qerr, 2.0, cause)
+        snapshot = _shard_snapshot([0.001], [])
+        snapshot["audit"] = ledger.snapshot()
+        return snapshot
+
+    def test_audit_counters_pool_exactly_across_shards(self):
+        shards = {
+            "0": self._shard_with_audit(
+                [("drift", 9.0), ("drift", 1.0), ("stale-generation", 9.0)]
+            ),
+            "1": self._shard_with_audit([("sampled", 9.0), ("drift", 1.5)]),
+            "2": None,
+        }
+        merged = merge_fleet_status(shards)
+        slo = merged["audit"]["columns"]["orders.amount"]
+        assert slo["observations"] == 5
+        assert slo["violations"] == 3
+        assert slo["causes"] == {
+            "drift": 1,
+            "stale-generation": 1,
+            "sampled": 1,
+        }
+        assert not slo["slo_ok"]  # a breach on any shard breaches the fleet
+
+    def test_fleet_exposition_renders_merged_slo(self):
+        shards = {"0": self._shard_with_audit([("drift", 9.0)])}
+        text = render_fleet_prometheus(merge_fleet_status(shards))
+        assert (
+            'repro_fleet_qerror_slo_ok{table="orders",column="amount"} 0' in text
+        )
+        assert (
+            'repro_fleet_qerror_audit_violations_total'
+            '{table="orders",column="amount",cause="drift"} 1' in text
+        )
+        # The per-shard audit families ride along shard-labeled.
+        assert (
+            'repro_qerror_slo_ok{shard="0",table="orders",column="amount"} 0'
+            in text
+        )
+
+    def test_journal_counts_sum_across_shards(self):
+        base = _shard_snapshot([0.001], [])
+        left = dict(base)
+        left["journal"] = {"counts": {"build": 2, "repair": 1}}
+        right = dict(_shard_snapshot([0.002], []))
+        right["journal"] = {"counts": {"build": 1, "failover": 3}}
+        merged = merge_fleet_status({"0": left, "1": right})
+        assert merged["journal_counts"] == {
+            "build": 3,
+            "repair": 1,
+            "failover": 3,
+        }
+
+
 class TestFleetPrometheus:
     @pytest.fixture()
     def status(self):

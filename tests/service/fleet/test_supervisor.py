@@ -83,3 +83,29 @@ class TestProcessSupervision:
     def test_fleet_status_sees_all_shards_up(self, process_fleet):
         status = process_fleet.fleet_status()
         assert status["shards_up"] == status["shards_total"] == 3
+
+    def test_fleet_doctor_merges_journals_and_failovers(self, process_fleet):
+        # Runs after the kill test: the supervisor's own ring recorded
+        # the failover and the cold start it triggered.
+        report = process_fleet.fleet_doctor()
+        assert all(report["shards"].values())
+        shards_seen = {event["shard"] for event in report["journal"]}
+        assert "supervisor" in shards_seen
+        categories = {event["category"] for event in report["journal"]}
+        assert "failover" in categories
+        assert "coldstart" in categories
+        # Deterministic timeline: (ts, shard, seq) is totally ordered.
+        keys = [
+            (event["ts"], event["shard"], event["seq"])
+            for event in report["journal"]
+        ]
+        assert keys == sorted(keys)
+        assert set(report["build_info"]) == set(report["uptime_seconds"])
+
+    def test_control_port_serves_fleet_doctor(self, process_fleet):
+        from repro.service.client import StatisticsClient
+
+        host, port = process_fleet.control_address
+        with StatisticsClient(host, port) as control:
+            report = control.call("fleet-doctor")["report"]
+        assert "journal" in report and "audit" in report

@@ -1,0 +1,314 @@
+"""The q-error audit ledger: certificates, attribution, SLO accounting."""
+
+import numpy as np
+import pytest
+
+from repro.dictionary.column import DictionaryEncodedColumn
+from repro.dictionary.table import Table
+from repro.query.predicates import RangePredicate
+from repro.service.audit import (
+    CAUSE_DRIFT,
+    CAUSE_PATCHED_PLAN,
+    CAUSE_SAMPLED,
+    CAUSE_STALE_GENERATION,
+    CAUSE_UNATTRIBUTED,
+    AuditLedger,
+    NULL_AUDIT,
+    attribute_violation,
+    merge_audit_snapshots,
+)
+from repro.service.fleet.coldstart import build_sampled_manager
+from repro.service.refresh import RefreshScheduler
+from repro.service.server import StatisticsService
+
+
+class TestAttributeViolation:
+    def test_no_record_is_unattributed(self):
+        assert attribute_violation(None, 3) == CAUSE_UNATTRIBUTED
+
+    def test_sampled_wins_over_everything(self):
+        # Precedence: the sampling bound was the promise in force even
+        # if the generation also moved underneath.
+        prov = {"method": "sample", "generation": 1, "plan": "compiled-patched"}
+        assert attribute_violation(prov, 5) == CAUSE_SAMPLED
+
+    def test_generation_mismatch_is_stale(self):
+        prov = {"method": "histogram", "generation": 1, "plan": "compiled-patched"}
+        assert attribute_violation(prov, 2) == CAUSE_STALE_GENERATION
+
+    def test_patched_plan_at_current_generation(self):
+        prov = {"method": "histogram", "generation": 2, "plan": "compiled-patched"}
+        assert attribute_violation(prov, 2) == CAUSE_PATCHED_PLAN
+
+    def test_current_unpatched_certificate_is_drift(self):
+        prov = {"method": "histogram", "generation": 2, "plan": "compiled"}
+        assert attribute_violation(prov, 2) == CAUSE_DRIFT
+
+
+class TestAuditLedger:
+    def test_record_and_lookup(self):
+        ledger = AuditLedger()
+        ledger.record("r1", {"t.c": {"method": "histogram", "generation": 1}})
+        assert ledger.lookup("r1") == {
+            "t.c": {"method": "histogram", "generation": 1}
+        }
+        assert ledger.lookup("unknown") is None
+        assert ledger.lookup(None) is None
+
+    def test_rerecord_merges_columns(self):
+        ledger = AuditLedger()
+        ledger.record("r1", {"t.a": {"method": "histogram"}})
+        ledger.record("r1", {"t.b": {"method": "exact"}})
+        assert sorted(ledger.lookup("r1")) == ["t.a", "t.b"]
+        assert ledger.snapshot()["recorded"] == 1
+
+    def test_bounded_eviction_drops_oldest(self):
+        ledger = AuditLedger(capacity=2)
+        for i in range(4):
+            ledger.record(f"r{i}", {"t.c": {"n": i}})
+        assert ledger.lookup("r0") is None
+        assert ledger.lookup("r1") is None
+        assert ledger.lookup("r3") is not None
+        snapshot = ledger.snapshot()
+        assert snapshot["records"] == 2
+        assert snapshot["evicted"] == 2
+
+    def test_observe_scores_against_the_bound(self):
+        ledger = AuditLedger()
+        ok = ledger.observe("t", "c", qerror=1.5, bound=2.0, cause=CAUSE_DRIFT)
+        assert not ok["violated"] and ok["cause"] is None and ok["slo_ok"]
+        bad = ledger.observe("t", "c", qerror=9.0, bound=2.0, cause=CAUSE_DRIFT)
+        assert bad["violated"] and bad["cause"] == CAUSE_DRIFT
+        assert not bad["slo_ok"] and bad["breached_now"]
+        # Already breached: the next violation is not a fresh flip.
+        again = ledger.observe("t", "c", qerror=9.0, bound=2.0, cause=CAUSE_DRIFT)
+        assert again["violated"] and not again["breached_now"]
+
+    def test_zero_bound_never_violates(self):
+        ledger = AuditLedger()
+        verdict = ledger.observe("t", "c", qerror=1e6, bound=0.0, cause=CAUSE_DRIFT)
+        assert not verdict["violated"]
+
+    def test_snapshot_causes_breakdown_and_burn(self):
+        ledger = AuditLedger(error_budget=0.5)
+        ledger.observe("t", "c", 9.0, 2.0, CAUSE_STALE_GENERATION)
+        ledger.observe("t", "c", 9.0, 2.0, CAUSE_SAMPLED)
+        ledger.observe("t", "c", 1.0, 2.0, CAUSE_DRIFT)
+        slo = ledger.snapshot()["columns"]["t.c"]
+        assert slo["observations"] == 3
+        assert slo["violations"] == 2
+        assert slo["causes"] == {CAUSE_STALE_GENERATION: 1, CAUSE_SAMPLED: 1}
+        assert slo["burn"] == pytest.approx(2 / 1.5)
+        assert not slo["slo_ok"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AuditLedger(capacity=0)
+        with pytest.raises(ValueError):
+            AuditLedger(error_budget=1.0)
+
+    def test_null_twin_is_inert(self):
+        assert NULL_AUDIT.enabled is False
+        NULL_AUDIT.record("r", {"t.c": {}})
+        assert NULL_AUDIT.lookup("r") is None
+        verdict = NULL_AUDIT.observe("t", "c", 1e9, 2.0, CAUSE_DRIFT)
+        assert verdict == {
+            "violated": False,
+            "cause": None,
+            "slo_ok": True,
+            "breached_now": False,
+        }
+
+
+class TestMergeAuditSnapshots:
+    def test_counters_add_and_health_recomputes(self):
+        a = AuditLedger(error_budget=0.5)
+        b = AuditLedger(error_budget=0.25)
+        a.observe("t", "c", 9.0, 2.0, CAUSE_DRIFT)
+        a.observe("t", "c", 1.0, 2.0, CAUSE_DRIFT)
+        b.observe("t", "c", 9.0, 2.0, CAUSE_SAMPLED)
+        b.observe("t", "d", 1.0, 2.0, CAUSE_DRIFT)
+        merged = merge_audit_snapshots([a.snapshot(), None, b.snapshot()])
+        # Budget takes the strictest shard; counters pool exactly.
+        assert merged["error_budget"] == 0.25
+        slo = merged["columns"]["t.c"]
+        assert slo["observations"] == 3
+        assert slo["violations"] == 2
+        assert slo["causes"] == {CAUSE_DRIFT: 1, CAUSE_SAMPLED: 1}
+        assert not slo["slo_ok"]
+        assert merged["columns"]["t.d"]["slo_ok"]
+
+    def test_merge_of_nothing_is_empty(self):
+        merged = merge_audit_snapshots([])
+        assert merged["columns"] == {}
+        assert merged["records"] == 0
+
+
+class TestServiceAttribution:
+    """End-to-end: feedback scored against the certificate that answered."""
+
+    def _explained(self, service, request_id, low=1, high=100):
+        estimate, prov = service.explain(
+            "orders", RangePredicate("amount", low, high), request_id=request_id
+        )
+        return estimate, prov
+
+    def test_drift_when_certificate_is_current(self, service):
+        estimate, prov = self._explained(service, "r-drift")
+        record = service.feedback(
+            "orders",
+            "amount",
+            estimate.value,
+            estimate.value * 50,
+            estimate_request_id="r-drift",
+        )
+        assert record["audited"]
+        assert record["violated"]
+        assert record["cause"] == CAUSE_DRIFT
+        assert record["audit_bound"] == prov["certified_q"]
+        assert not record["slo_ok"]
+
+    def test_stale_generation_when_store_moved(self, service):
+        estimate, prov = self._explained(service, "r-stale")
+        service.build("orders")  # bumps the generation behind the answer
+        assert service.store.generation("orders", "amount") == prov["generation"] + 1
+        record = service.feedback(
+            "orders",
+            "amount",
+            estimate.value,
+            estimate.value * 50,
+            estimate_request_id="r-stale",
+        )
+        assert record["cause"] == CAUSE_STALE_GENERATION
+        causes = service.audit.snapshot()["columns"]["orders.amount"]["causes"]
+        assert causes == {CAUSE_STALE_GENERATION: 1}
+
+    def test_unattributed_without_request_id(self, service):
+        record = service.feedback("orders", "amount", 10.0, 10_000.0)
+        assert not record["audited"]
+        assert record["cause"] == CAUSE_UNATTRIBUTED
+
+    def test_slo_flip_freezes_a_debug_bundle(self, service):
+        estimate, _ = self._explained(service, "r-burn")
+        assert service.journal.bundles() == []
+        service.feedback(
+            "orders",
+            "amount",
+            estimate.value,
+            estimate.value * 50,
+            estimate_request_id="r-burn",
+        )
+        bundles = service.journal.bundles()
+        assert [b["reason"] for b in bundles] == ["slo-burn"]
+        assert bundles[0]["details"]["column"] == "amount"
+        assert "orders.amount" in bundles[0]["audit"]["columns"]
+        # The breach was journalled before the bundle froze.
+        drift_events = service.journal.events(category="drift")
+        assert drift_events and drift_events[-1]["slo"] == "breached"
+
+    def test_wire_ops_thread_the_request_id(self, service):
+        predicate = {"type": "range", "column": "amount", "low": 1, "high": 100}
+        answer = service.handle(
+            {
+                "op": "estimate",
+                "table": "orders",
+                "predicate": predicate,
+                "request_id": "wire-1",
+            }
+        )
+        assert answer["ok"]
+        verdict = service.handle(
+            {
+                "op": "feedback",
+                "table": "orders",
+                "column": "amount",
+                "estimated": answer["value"],
+                "actual": answer["value"] * 50,
+                "estimate_request_id": "wire-1",
+            }
+        )
+        assert verdict["ok"]
+        assert verdict["audited"]
+        assert verdict["cause"] == CAUSE_DRIFT
+
+    def test_sampled_cold_start_attribution(self, tmp_path, served_table):
+        service = StatisticsService(tmp_path / "cold", seed=11)
+        service.add_table(served_table, build=False)
+        service.publish_estimator(
+            served_table.name,
+            build_sampled_manager(served_table, 0.2, np.random.default_rng(3)),
+        )
+        estimate, prov = service.explain(
+            "orders", RangePredicate("amount", 1, 100), request_id="r-cold"
+        )
+        assert estimate.method == "sample"
+        assert prov["plan"] == "sampled"
+        assert prov["sampling_rate"] == pytest.approx(0.2)
+        assert prov["sampling_qerror_bound"] > 1.0
+        record = service.feedback(
+            "orders",
+            "amount",
+            max(estimate.value, 1.0),
+            max(estimate.value, 1.0) * 1000,
+            estimate_request_id="r-cold",
+        )
+        assert record["audited"]
+        assert record["cause"] == CAUSE_SAMPLED
+        assert record["audit_bound"] == pytest.approx(prov["sampling_qerror_bound"])
+
+    def test_patched_plan_attribution_after_inline_repair(self, tmp_path):
+        # A many-bucket column whose hot-bucket churn the scheduler can
+        # repair in place (same shape as tests/service/test_refresh.py).
+        rng = np.random.default_rng(0)
+        frequencies = rng.integers(1, 200, size=4000)
+        values = np.repeat(np.arange(4000), frequencies)
+        table = Table("orders")
+        table.add_column(DictionaryEncodedColumn.from_values(values, name="amount"))
+        service = StatisticsService(tmp_path / "patched", seed=5)
+        service.add_table(table)
+        scheduler = RefreshScheduler(
+            service.store,
+            service.registry,
+            threshold=0.2,
+            interval=0.05,
+            kind=service.kind,
+            metrics=service.metrics,
+            journal=service.journal,
+        )
+        try:
+            register = service.registry.get("orders", "amount")
+            histogram = register.histogram()
+            code = int(histogram.buckets[len(histogram) // 2].lo)
+            # Serve once before the churn: the compiled plan must exist
+            # for the repair to splice it in place.
+            _, before = service.explain(
+                "orders", RangePredicate("amount", code, code + 1)
+            )
+            assert before["plan"] == "compiled"
+            service.insert("orders", "amount", np.full(120_000, code))
+            assert scheduler.check_now(block=True) == [("orders", "amount")]
+            assert service.metrics.counter("repairs") == 1
+
+            estimate, prov = service.explain(
+                "orders",
+                RangePredicate("amount", code, code + 1),
+                request_id="r-patch",
+            )
+            assert prov["plan"] == "compiled-patched"
+            assert prov["generation"] == service.store.generation(
+                "orders", "amount"
+            )
+            record = service.feedback(
+                "orders",
+                "amount",
+                estimate.value,
+                estimate.value * 100,
+                estimate_request_id="r-patch",
+            )
+            assert record["cause"] == CAUSE_PATCHED_PLAN
+            causes = service.audit.snapshot()["columns"]["orders.amount"]["causes"]
+            assert causes == {CAUSE_PATCHED_PLAN: 1}
+            # The repair itself is on the flight-recorder timeline.
+            assert service.journal.events(category="repair")
+        finally:
+            scheduler.stop()

@@ -1,0 +1,110 @@
+"""The ``explain`` op: provenance attribution, bit-consistency, parity."""
+
+import pytest
+
+from repro.query.predicates import EqualsPredicate, RangePredicate
+from repro.service.client import BinaryStatisticsClient, StatisticsClient
+from repro.service.server import start_server_thread
+
+
+@pytest.fixture
+def running(service):
+    handle = start_server_thread(service)
+    try:
+        yield handle
+    finally:
+        handle.stop()
+
+
+class TestServiceExplain:
+    def test_value_bit_equal_to_estimate(self, service):
+        predicate = RangePredicate("amount", 1, 100)
+        estimate = service.estimate("orders", predicate)
+        explained, prov = service.explain("orders", predicate)
+        assert explained.value == estimate.value
+        assert explained.method == estimate.method
+        assert prov["method"] == estimate.method
+
+    def test_histogram_provenance_fields(self, service):
+        _, prov = service.explain("orders", RangePredicate("amount", 1, 100))
+        assert prov["table"] == "orders"
+        assert prov["column"] == "amount"
+        assert prov["method"] == "histogram"
+        assert prov["generation"] == service.store.generation("orders", "amount")
+        assert prov["plan"] in ("compiled", "compiled-patched", "interpreted")
+        assert prov["via"] == "in-process"  # no worker pool in this fixture
+        lo, hi = prov["bucket_span"]
+        assert 0 <= lo < hi  # inclusive span; this range consults several buckets
+        c1, c2 = prov["code_range"]
+        assert c1 < c2
+        assert prov["certified_q"] > 1.0
+        assert prov["theta"] > 0.0
+
+    def test_exact_column_provenance(self, service):
+        estimate, prov = service.explain("orders", EqualsPredicate("flag", 2))
+        assert estimate.method == "exact"
+        assert prov["plan"] == "exact"
+        assert "certified_q" not in prov
+
+    def test_empty_range_short_circuits(self, service):
+        # Beyond the dictionary's domain: translates to an empty code range.
+        estimate, prov = service.explain(
+            "orders", RangePredicate("amount", 1000, 2000)
+        )
+        assert estimate.value == 0.0
+        assert prov["empty"] is True
+        # No generation/plan attribution for an answer nothing computed.
+        assert "generation" not in prov
+
+    def test_explain_records_provenance_for_feedback(self, service):
+        service.explain(
+            "orders", RangePredicate("amount", 1, 100), request_id="exp-1"
+        )
+        recorded = service.audit.lookup("exp-1")
+        assert set(recorded) == {"orders.amount"}
+        envelope = recorded["orders.amount"]
+        assert envelope["method"] == "histogram"
+        assert envelope["generation"] == service.store.generation(
+            "orders", "amount"
+        )
+        assert envelope["via"] == "in-process"
+
+
+class TestExplainTransportParity:
+    def test_json_and_binary_explain_agree_bit_for_bit(self, running):
+        host, port = running.address
+        with StatisticsClient(host, port) as json_client:
+            via_json = json_client.explain_range("orders", "amount", 1, 100)
+            estimate = json_client.estimate_range("orders", "amount", 1, 100)
+        with BinaryStatisticsClient(host, port) as binary_client:
+            via_binary = binary_client.explain_range("orders", "amount", 1, 100)
+        assert via_json["value"] == estimate.value
+        assert via_binary["value"] == via_json["value"]
+        assert via_binary["method"] == via_json["method"]
+        # Identical attribution, not just identical numbers.
+        prov_json = dict(via_json["provenance"])
+        prov_binary = dict(via_binary["provenance"])
+        assert prov_binary == prov_json
+
+    def test_wire_explain_echoes_request_id(self, running):
+        host, port = running.address
+        with StatisticsClient(host, port) as client:
+            response = client.call(
+                "explain",
+                request_id="wire-explain",
+                table="orders",
+                predicate={"type": "range", "column": "amount", "low": 1, "high": 9},
+            )
+        assert response["request_id"] == "wire-explain"
+        assert response["provenance"]["column"] == "amount"
+
+    def test_doctor_and_journal_ops(self, running):
+        host, port = running.address
+        with StatisticsClient(host, port) as client:
+            events = client.journal(category="build")
+            assert events and events[0]["category"] == "build"
+            report = client.doctor()
+        assert report["build_info"]["version"]
+        assert report["uptime_seconds"] >= 0
+        assert report["journal_seq"] >= len(events)
+        assert report["audit"]["columns"] == {}

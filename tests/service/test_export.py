@@ -135,6 +135,53 @@ class TestRenderPrometheus:
         assert labels == {"table": "orders", "column": "amount"}
         assert value == pytest.approx(8.0, rel=0.06)
 
+    def test_build_info_and_uptime_gauges(self, snapshot):
+        types, samples = parse_prometheus(render_prometheus(snapshot))
+        assert types["repro_build_info"] == "gauge"
+        info = [
+            (labels, value)
+            for name, labels, value in samples
+            if name == "repro_build_info"
+        ]
+        assert len(info) == 1
+        labels, value = info[0]
+        assert value == 1
+        assert set(labels) == {"version", "python", "numpy"}
+        assert types["repro_uptime_seconds"] == "gauge"
+        uptime = [v for n, _, v in samples if n == "repro_uptime_seconds"]
+        assert uptime and uptime[0] >= 0
+
+    def test_audit_slo_families(self, snapshot):
+        # The fixture's 6 feedback calls all violate the certified q
+        # without an answering record: scored as "unattributed".
+        types, samples = parse_prometheus(render_prometheus(snapshot))
+        assert types["repro_qerror_slo_ok"] == "gauge"
+        assert types["repro_qerror_slo_burn"] == "gauge"
+        by_name = {}
+        for name, labels, value in samples:
+            if name.startswith("repro_qerror_"):
+                by_name.setdefault(name, []).append((labels, value))
+        (labels, ok), = by_name["repro_qerror_slo_ok"]
+        assert labels == {"table": "orders", "column": "amount"}
+        assert ok == 0  # six violations blew the 1% budget: gauge flipped
+        (_, burn), = by_name["repro_qerror_slo_burn"]
+        assert burn > 1.0
+        (_, observed), = by_name["repro_qerror_audit_observations_total"]
+        assert observed == 6
+        (labels, violations), = by_name["repro_qerror_audit_violations_total"]
+        assert labels["cause"] == "unattributed"
+        assert violations == 6
+
+    def test_journal_event_counters(self, snapshot):
+        types, samples = parse_prometheus(render_prometheus(snapshot))
+        assert types["repro_journal_events_total"] == "counter"
+        builds = [
+            value
+            for name, labels, value in samples
+            if name == "repro_journal_events_total" and labels["category"] == "build"
+        ]
+        assert builds and builds[0] >= 1
+
     def test_label_escaping(self):
         snapshot = {
             "metrics": {"requests": {'weird"op\\name': 3}},

@@ -12,6 +12,7 @@ from repro.service.client import StatisticsClient
 from repro.service.metrics import ServiceMetrics
 from repro.service.server import StatisticsService, start_server_thread
 from repro.service.telemetry import (
+    MAX_REQUEST_ID_CHARS,
     NULL_TELEMETRY,
     EventLog,
     ServiceTelemetry,
@@ -31,6 +32,19 @@ class TestResolveRequestId:
 
     def test_stringifies_non_strings(self):
         assert resolve_request_id({"request_id": 42}) == "42"
+
+    def test_oversized_ids_truncated(self):
+        # The id is copied into the slow log, event log and audit
+        # ledger; a hostile client must not bloat all three.
+        resolved = resolve_request_id({"request_id": "x" * 10_000})
+        assert resolved == "x" * MAX_REQUEST_ID_CHARS
+        assert len(resolve_request_id({"request_id": [0] * 5_000})) == (
+            MAX_REQUEST_ID_CHARS
+        )
+
+    def test_uuid_and_normal_ids_fit_the_cap(self):
+        assert len(resolve_request_id({})) <= MAX_REQUEST_ID_CHARS
+        assert resolve_request_id({"request_id": "a" * 128}) == "a" * 128
 
 
 class TestSlowLog:

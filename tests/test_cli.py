@@ -334,6 +334,53 @@ class TestObservabilityCommands:
         assert any(e["op"] == "estimate" for e in entries)
         assert all("request_id" in e for e in entries)
 
+    def test_explain_prints_value_and_provenance(self, running, capsys):
+        address, _ = running
+        assert main(["explain", address, "10", "200",
+                     "--table", "orders", "--column", "amount"]) == 0
+        out = capsys.readouterr().out
+        assert "(histogram)" in out
+        assert "certified_q:" in out
+        assert "plan:" in out
+        assert "via: in-process" in out
+
+    def test_explain_json_and_binary_agree(self, running, capsys):
+        import json
+
+        address, _ = running
+        assert main(["explain", address, "10", "200", "--json",
+                     "--table", "orders", "--column", "amount"]) == 0
+        via_json = json.loads(capsys.readouterr().out)
+        assert main(["explain", address, "10", "200", "--json", "--binary",
+                     "--table", "orders", "--column", "amount"]) == 0
+        via_binary = json.loads(capsys.readouterr().out)
+        assert via_binary["value"] == via_json["value"]
+        assert via_binary["provenance"] == via_json["provenance"]
+        prov = via_json["provenance"]
+        assert prov["table"] == "orders" and prov["column"] == "amount"
+
+    def test_doctor_summarises_health(self, running, capsys):
+        address, service = running
+        # One answered-and-audited request so the report has content.
+        assert main(["explain", address, "10", "200",
+                     "--table", "orders", "--column", "amount"]) == 0
+        capsys.readouterr()
+        assert main(["doctor", address]) == 0
+        out = capsys.readouterr().out
+        assert "build:" in out and "version" in out
+        assert "audit:" in out
+        assert "journal:" in out
+        assert "build" in out  # the build event from add_table
+
+    def test_doctor_json_round_trips(self, running, capsys):
+        import json
+
+        address, _ = running
+        assert main(["doctor", address, "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["build_info"]["version"]
+        assert "journal" in report and "audit" in report
+
 
 class TestIngestCommand:
     @pytest.fixture

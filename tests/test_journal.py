@@ -1,0 +1,182 @@
+"""The flight recorder: ring semantics, bundles, cross-shard merging."""
+
+import random
+
+import pytest
+
+from repro.obs import (
+    CATEGORIES,
+    EventJournal,
+    NULL_JOURNAL,
+    NullJournal,
+    merge_journal_events,
+)
+
+
+class FakeClock:
+    def __init__(self, start=100.0, step=1.0):
+        self.now = start
+        self.step = step
+
+    def __call__(self):
+        self.now += self.step
+        return self.now
+
+
+class TestEventJournal:
+    def test_emit_assigns_monotonic_sequence_numbers(self):
+        journal = EventJournal(clock=FakeClock())
+        seqs = [journal.emit("build", table=f"t{i}") for i in range(5)]
+        assert seqs == [1, 2, 3, 4, 5]
+        assert journal.last_seq == 5
+
+    def test_unknown_category_is_a_programming_error(self):
+        journal = EventJournal()
+        with pytest.raises(ValueError, match="unknown journal category"):
+            journal.emit("bogus")
+        assert len(journal) == 0
+
+    def test_every_declared_category_is_emittable(self):
+        journal = EventJournal(clock=FakeClock())
+        for category in sorted(CATEGORIES):
+            journal.emit(category)
+        assert journal.counts() == {category: 1 for category in CATEGORIES}
+
+    def test_ring_wraparound_keeps_newest_in_order(self):
+        journal = EventJournal(capacity=4, clock=FakeClock())
+        for i in range(10):
+            journal.emit("repair", n=i)
+        events = journal.events()
+        assert [event["seq"] for event in events] == [7, 8, 9, 10]
+        assert [event["n"] for event in events] == [6, 7, 8, 9]
+        # Sequence numbers and lifetime counts survive the drop.
+        assert journal.last_seq == 10
+        assert journal.counts() == {"repair": 10}
+        assert len(journal) == 4
+
+    def test_events_limit_keeps_newest(self):
+        journal = EventJournal(clock=FakeClock())
+        for i in range(6):
+            journal.emit("publish", n=i)
+        assert [e["n"] for e in journal.events(limit=2)] == [4, 5]
+        assert journal.events(limit=0) == []
+
+    def test_events_filters_by_category_and_cursor(self):
+        journal = EventJournal(clock=FakeClock())
+        journal.emit("build")
+        cursor = journal.emit("repair")
+        journal.emit("repair")
+        journal.emit("rebuild")
+        assert [e["seq"] for e in journal.events(category="repair")] == [2, 3]
+        assert [e["seq"] for e in journal.events(since_seq=cursor)] == [3, 4]
+
+    def test_events_are_copies(self):
+        journal = EventJournal(clock=FakeClock())
+        journal.emit("drift", column="c")
+        journal.events()[0]["column"] = "mutated"
+        assert journal.events()[0]["column"] == "c"
+
+    def test_freeze_captures_timeline_as_of_the_anomaly(self):
+        journal = EventJournal(clock=FakeClock())
+        journal.emit("escalation", why="residual-staleness")
+        bundle = journal.freeze("slo-burn", metrics={"requests": 7})
+        journal.emit("rebuild", status="completed")
+        assert bundle["reason"] == "slo-burn"
+        assert bundle["seq"] == 1
+        assert [e["category"] for e in bundle["events"]] == ["escalation"]
+        assert bundle["metrics"] == {"requests": 7}
+        # The live ring moved on; the stored bundle did not.
+        stored = journal.bundles()[0]
+        assert [e["seq"] for e in stored["events"]] == [1]
+
+    def test_bundles_are_bounded(self):
+        journal = EventJournal(bundle_capacity=2, clock=FakeClock())
+        for i in range(5):
+            journal.freeze(f"r{i}")
+        assert [b["reason"] for b in journal.bundles()] == ["r3", "r4"]
+
+    def test_snapshot_summarizes_without_event_bodies(self):
+        journal = EventJournal(capacity=2, clock=FakeClock())
+        journal.emit("build")
+        journal.emit("patch")
+        journal.emit("patch")
+        journal.freeze("anomaly")
+        snapshot = journal.snapshot()
+        assert snapshot == {
+            "seq": 3,
+            "capacity": 2,
+            "retained": 2,
+            "bundles": 1,
+            "counts": {"build": 1, "patch": 2},
+        }
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            EventJournal(capacity=0)
+        with pytest.raises(ValueError):
+            EventJournal(bundle_capacity=0)
+
+
+class TestNullJournal:
+    def test_null_twin_is_inert(self):
+        assert NULL_JOURNAL.enabled is False
+        assert NULL_JOURNAL.emit("build", table="t") == 0
+        assert NULL_JOURNAL.events() == []
+        assert NULL_JOURNAL.counts() == {}
+        assert NULL_JOURNAL.freeze("anything") == {}
+        assert NULL_JOURNAL.bundles() == []
+        assert len(NULL_JOURNAL) == 0
+        assert NULL_JOURNAL.snapshot()["seq"] == 0
+
+    def test_null_journal_has_no_instance_dict(self):
+        with pytest.raises(AttributeError):
+            NullJournal().stash = 1
+
+
+class TestMergeJournalEvents:
+    def _rings(self):
+        clock = FakeClock(start=0.0, step=1.0)
+        shard_a = EventJournal(clock=clock)
+        shard_b = EventJournal(clock=clock)
+        for i in range(4):
+            (shard_a if i % 2 == 0 else shard_b).emit("publish", n=i)
+        return {"a": shard_a.events(), "b": shard_b.events()}
+
+    def test_merge_interleaves_chronologically_and_tags_shards(self):
+        rings = self._rings()
+        merged = merge_journal_events(rings)
+        assert [(e["shard"], e["n"]) for e in merged] == [
+            ("a", 0),
+            ("b", 1),
+            ("a", 2),
+            ("b", 3),
+        ]
+
+    def test_merge_is_deterministic_under_shard_order(self):
+        rings = self._rings()
+        rng = random.Random(42)
+        baseline = merge_journal_events(rings)
+        for _ in range(5):
+            shards = list(rings)
+            rng.shuffle(shards)
+            assert merge_journal_events({s: rings[s] for s in shards}) == baseline
+
+    def test_tie_on_timestamp_breaks_by_shard_then_seq(self):
+        event = {"seq": 1, "ts": 5.0, "category": "build"}
+        merged = merge_journal_events(
+            {"z": [dict(event)], "a": [dict(event), {**event, "seq": 2}]}
+        )
+        assert [(e["shard"], e["seq"]) for e in merged] == [
+            ("a", 1),
+            ("a", 2),
+            ("z", 1),
+        ]
+
+    def test_merge_limit_keeps_newest(self):
+        merged = merge_journal_events(self._rings(), limit=2)
+        assert [e["n"] for e in merged] == [2, 3]
+
+    def test_merge_does_not_mutate_inputs(self):
+        rings = self._rings()
+        merge_journal_events(rings)
+        assert all("shard" not in event for event in rings["a"])
